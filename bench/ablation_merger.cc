@@ -1,0 +1,71 @@
+// Ablation (DESIGN.md §4): the Eq. 15 integrating MLP vs naive fusion.
+//
+// Compares four ways of producing the final list from the same two
+// candidate streams: UI only, UU only, z-normalised score sum (Eq. 16
+// features without the learned merger), and the full SCCF MLP. Also
+// toggles the per-user normalisation inside the sum fusion.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/sccf.h"
+#include "core/user_based.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+using namespace sccf;
+
+std::vector<std::string> Row(const std::string& name,
+                             const eval::EvalResult& r) {
+  return {name, FormatFloat(r.HrAt(20), 4), FormatFloat(r.HrAt(50), 4),
+          FormatFloat(r.NdcgAt(20), 4), FormatFloat(r.NdcgAt(50), 4)};
+}
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — integrating-component fusion strategies",
+      "UI only / UU only / z-score sum / learned MLP merger (Eq. 15-17)");
+
+  data::Dataset dataset =
+      bench::BuildDataset(data::SynMl1mConfig(bench::BenchScale()));
+  data::LeaveOneOutSplit split(dataset);
+
+  std::printf("[training FISM ...]\n");
+  std::fflush(stdout);
+  models::Fism fism(bench::FismOptions());
+  SCCF_CHECK(fism.Fit(split).ok());
+
+  TablePrinter table({"Fusion", "HR@20", "HR@50", "NDCG@20", "NDCG@50"});
+  table.AddRow(Row("UI only (FISM)", bench::EvalModel(fism, split)));
+
+  core::UserBasedComponent::Options uu_opts;
+  uu_opts.beta = 100;
+  uu_opts.include_validation = true;
+  core::UserBasedComponent uu(fism, uu_opts);
+  SCCF_CHECK(uu.Fit(split).ok());
+  table.AddRow(Row("UU only", bench::EvalModel(uu, split)));
+
+  core::Sccf::Options sum_opts;
+  sum_opts.num_candidates = 100;
+  sum_opts.score_sum_fusion = true;
+  core::Sccf sum_fusion(fism, sum_opts);
+  SCCF_CHECK(sum_fusion.Fit(split).ok());
+  table.AddRow(Row("z-score sum (no merger)",
+                   bench::EvalModel(sum_fusion, split)));
+
+  core::Sccf::Options mlp_opts;
+  mlp_opts.num_candidates = 100;
+  core::Sccf mlp_fusion(fism, mlp_opts);
+  SCCF_CHECK(mlp_fusion.Fit(split).ok());
+  table.AddRow(Row("learned MLP merger (SCCF)",
+                   bench::EvalModel(mlp_fusion, split)));
+
+  table.Print();
+  std::printf(
+      "\nExpected shape: both fusions beat either stream alone; the "
+      "learned merger matches or beats the hand-tuned sum, justifying "
+      "Eq. 15's fine-grained feature use.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation (extends Table III): real-time updates measured in *quality*,
+// not just latency.
+//
+// Prequential replay of every user's last events in global time order:
+// before each event, the held-out item is ranked by Eq. 12 neighbor votes
+// under a live-updated index vs a frozen pre-stream snapshot (what a
+// periodically retrained transductive system would serve between
+// retrains). The gap is the accuracy bought by the streaming refresh the
+// paper deploys.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/streaming_eval.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+using namespace sccf;
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — quality value of real-time index updates",
+      "prequential replay of each user's tail: live-updated vs frozen "
+      "user index, Eq. 12 neighbor-vote ranking");
+
+  // A sharply drifting regime (the Fig.-1 motivation) with a deep replay
+  // tail, so the frozen snapshot's corpus actually goes stale: by the end
+  // of the replay every neighbor's index entry is ~20 events old.
+  data::SyntheticConfig cfg = data::SynMl1mConfig(bench::BenchScale());
+  cfg.interest_drift = 0.5;
+  cfg.num_secondary_interests = 3;
+  cfg.primary_affinity = 0.45;
+  data::Dataset dataset = bench::BuildDataset(cfg);
+  data::LeaveOneOutSplit split(dataset);
+
+  std::printf("[training FISM ...]\n");
+  std::fflush(stdout);
+  models::Fism fism(bench::FismOptions());
+  SCCF_CHECK(fism.Fit(split).ok());
+
+  core::StreamingEvalOptions opts;
+  opts.tail_events = 20;
+  opts.cutoffs = {20, 50};
+  auto result = core::EvaluateStreamingUserBased(fism, dataset, opts);
+  SCCF_CHECK(result.ok()) << result.status().ToString();
+
+  TablePrinter table({"Regime", "HR@20", "NDCG@20", "HR@50", "NDCG@50"});
+  table.AddRow({"Stale query (transductive)",
+                FormatFloat(result->stale_query_hr[0], 4),
+                FormatFloat(result->stale_query_ndcg[0], 4),
+                FormatFloat(result->stale_query_hr[1], 4),
+                FormatFloat(result->stale_query_ndcg[1], 4)});
+  table.AddRow({"Frozen corpus, fresh query",
+                FormatFloat(result->frozen_hr[0], 4),
+                FormatFloat(result->frozen_ndcg[0], 4),
+                FormatFloat(result->frozen_hr[1], 4),
+                FormatFloat(result->frozen_ndcg[1], 4)});
+  table.AddRow({"Live (SCCF streaming)", FormatFloat(result->live_hr[0], 4),
+                FormatFloat(result->live_ndcg[0], 4),
+                FormatFloat(result->live_hr[1], 4),
+                FormatFloat(result->live_ndcg[1], 4)});
+  table.Print();
+  std::printf(
+      "\n%zu prequential predictions.\n"
+      "Expected shape: the stale-query regime (what a transductive "
+      "user-based model serves, since it cannot re-infer users between "
+      "retrains) loses clearly to both fresh-query regimes — the Fig.-1 "
+      "drift argument quantified. Live vs frozen-corpus is nearly neutral "
+      "on a static catalog: the freshness value concentrates on the query "
+      "side, which is exactly the part SCCF's inductive inference makes "
+      "cheap (Table III).\n",
+      result->num_predictions);
+  return 0;
+}

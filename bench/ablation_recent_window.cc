@@ -1,0 +1,56 @@
+// Ablation (DESIGN.md §4): the recent-item windows of the user-based
+// component. The paper fixes both to 15 ("we leverage the recent 15 items
+// to infer user embeddings ... recommend each user's latest 15 items");
+// this sweep shows why: short windows track drifting interests (Fig. 1)
+// while long windows dilute them.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/user_based.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+using namespace sccf;
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Ablation — recent-item window of the user-based component",
+      "infer/vote window in {5, 15, 50, all}; NDCG@50 and HR@50 of the UU "
+      "candidate stream");
+
+  data::SyntheticConfig cfg = data::SynMl1mConfig(bench::BenchScale());
+  cfg.interest_drift = 0.35;  // drifting regime where recency matters
+  data::Dataset dataset = bench::BuildDataset(cfg);
+  data::LeaveOneOutSplit split(dataset);
+
+  std::printf("[training FISM ...]\n");
+  std::fflush(stdout);
+  models::Fism fism(bench::FismOptions());
+  SCCF_CHECK(fism.Fit(split).ok());
+
+  TablePrinter table({"Window", "NDCG@50 (UU)", "HR@50 (UU)"});
+  const size_t kWindows[] = {2, 5, 15, 50, 0};  // 0 = full history
+  for (size_t w : kWindows) {
+    core::UserBasedComponent::Options opts;
+    opts.beta = 100;
+    opts.infer_window = w;
+    opts.vote_window = w;
+    opts.include_validation = true;
+    core::UserBasedComponent uu(fism, opts);
+    SCCF_CHECK(uu.Fit(split).ok());
+    const eval::EvalResult res = bench::EvalModel(uu, split);
+    table.AddRow({w == 0 ? "all" : std::to_string(w),
+                  FormatFloat(res.NdcgAt(50), 4),
+                  FormatFloat(res.HrAt(50), 4)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: small recent windows decisively beat long/"
+      "unbounded ones under interest drift — the recency motivation for "
+      "the paper's 15-item windows. Where the short end bends (2 vs 5 vs "
+      "15) depends on drift intensity and history length.\n");
+  return 0;
+}

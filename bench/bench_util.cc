@@ -1,0 +1,95 @@
+#include "bench/bench_util.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace sccf::bench {
+
+double BenchScale() {
+  static const double scale = [] {
+    const char* env = std::getenv("SCCF_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double v = 1.0;
+    if (!ParseDouble(env, &v) || v <= 0.0) {
+      SCCF_LOG_WARNING << "ignoring invalid SCCF_BENCH_SCALE='" << env << "'";
+      return 1.0;
+    }
+    return v;
+  }();
+  return scale;
+}
+
+bool FullMode() {
+  const char* env = std::getenv("SCCF_BENCH_FULL");
+  return env != nullptr && std::string(env) == "1";
+}
+
+std::vector<BenchDataset> TableOneDatasets() {
+  const double s = BenchScale();
+  return {
+      {"SynML-1M", data::SynMl1mConfig(s)},
+      {"SynML-20M", data::SynMl20mConfig(s)},
+      {"SynGames", data::SynGamesConfig(s)},
+      {"SynBeauty", data::SynBeautyConfig(s)},
+  };
+}
+
+data::Dataset BuildDataset(const data::SyntheticConfig& config) {
+  data::SyntheticGenerator gen(config);
+  auto ds = gen.Generate();
+  SCCF_CHECK(ds.ok()) << ds.status().ToString();
+  return std::move(ds).value();
+}
+
+models::Fism::Options FismOptions(size_t dim) {
+  models::Fism::Options opts;
+  opts.dim = dim;
+  opts.alpha = 0.5f;  // Sec. IV-A4
+  opts.epochs = 18;
+  opts.num_negatives = 4;
+  opts.learning_rate = 0.001f;
+  return opts;
+}
+
+models::SasRec::Options SasRecOptions(const data::Dataset& dataset,
+                                      size_t dim) {
+  models::SasRec::Options opts;
+  opts.dim = dim;
+  opts.num_blocks = 2;  // paper: 2 layers, 1 head
+  opts.num_heads = 1;
+  opts.epochs = 8;
+  // The paper uses L=200 (MovieLens) / 50 (Amazon); scaled to CPU budget
+  // by the same dense-vs-sparse split.
+  const double avg_len = dataset.Stats().avg_length;
+  opts.max_len = avg_len > 30 ? 50 : 25;
+  opts.dropout = avg_len > 30 ? 0.2f : 0.5f;
+  return opts;
+}
+
+eval::EvalResult EvalModel(const models::Recommender& model,
+                           const data::LeaveOneOutSplit& split) {
+  eval::EvalOptions opts;
+  opts.cutoffs = {20, 50, 100};
+  auto r = eval::Evaluate(model, split, opts);
+  SCCF_CHECK(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+void PrintHeader(const std::string& artifact, const std::string& detail) {
+  std::printf("\n=== %s ===\n%s\n(bench scale %.2f%s)\n\n", artifact.c_str(),
+              detail.c_str(), BenchScale(), FullMode() ? ", full mode" : "");
+  std::fflush(stdout);
+}
+
+std::string FormatImprovement(double ours, double base) {
+  if (base <= 0.0) return "n/a";
+  const double pct = (ours - base) / base * 100.0;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%+.2f%%", pct);
+  return buf;
+}
+
+}  // namespace sccf::bench

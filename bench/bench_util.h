@@ -1,0 +1,55 @@
+#ifndef SCCF_BENCH_BENCH_UTIL_H_
+#define SCCF_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/fism.h"
+#include "models/sasrec.h"
+
+namespace sccf::bench {
+
+/// Global size multiplier for benchmark workloads, read once from
+/// SCCF_BENCH_SCALE (default 1.0). Applied to user counts of the preset
+/// datasets so the suite can be shrunk for smoke runs or grown on beefier
+/// machines.
+double BenchScale();
+
+/// SCCF_BENCH_FULL=1 enables the expensive full sweeps (all four datasets
+/// in Fig. 5, larger corpora in Table III).
+bool FullMode();
+
+/// The four Table-I regime datasets at the current bench scale.
+struct BenchDataset {
+  std::string name;
+  data::SyntheticConfig config;
+};
+std::vector<BenchDataset> TableOneDatasets();
+
+/// Generates, 5-core-filters (paper mode), and wraps a preset config.
+data::Dataset BuildDataset(const data::SyntheticConfig& config);
+
+/// Benchmark-wide model settings (Sec. IV-A4 scaled to CPU budgets).
+models::Fism::Options FismOptions(size_t dim = 32);
+models::SasRec::Options SasRecOptions(const data::Dataset& dataset,
+                                      size_t dim = 32);
+
+/// Leave-one-out test evaluation at the paper's cutoffs {20, 50, 100}.
+eval::EvalResult EvalModel(const models::Recommender& model,
+                           const data::LeaveOneOutSplit& split);
+
+/// Prints a banner naming the experiment and the paper artifact it
+/// regenerates.
+void PrintHeader(const std::string& artifact, const std::string& detail);
+
+/// "+12.3%" / "-4.5%" improvement formatting used by Table II.
+std::string FormatImprovement(double ours, double base);
+
+}  // namespace sccf::bench
+
+#endif  // SCCF_BENCH_BENCH_UTIL_H_

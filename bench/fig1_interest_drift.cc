@@ -1,0 +1,53 @@
+// Regenerates paper Figure 1: the average distribution of "days before
+// today a category clicked today was first clicked" over a two-week
+// window, computed on a drifting-interest clickstream.
+//
+// Expected shape: a dominant bar at day 0 (brand-new categories, ~50% on
+// Taobao) followed by a decaying tail over days 1..14 — the motivation
+// for real-time neighborhood identification.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "data/synthetic.h"
+#include "online/interest_drift.h"
+#include "util/string_util.h"
+
+int main() {
+  using namespace sccf;
+  bench::PrintHeader(
+      "Figure 1 — user interest drift (category recency distribution)",
+      "proportion of today's categories first clicked x days before "
+      "today; x = 0 means not clicked in the last two weeks");
+
+  data::SyntheticConfig cfg;
+  cfg.name = "SynTaobao-drift";
+  cfg.num_users = static_cast<size_t>(2000 * bench::BenchScale());
+  cfg.num_items = 1200;
+  cfg.num_clusters = 120;
+  cfg.clusters_per_category = 1;  // category granularity == interest unit
+  cfg.num_secondary_interests = 3;
+  cfg.primary_affinity = 0.35;
+  cfg.interest_drift = 0.45;
+  cfg.days = 45;
+  cfg.min_actions = 30;
+  cfg.max_actions = 90;
+  cfg.seed = 99;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  SCCF_CHECK(ds.ok());
+
+  const std::vector<double> dist =
+      online::CategoryRecencyDistribution(*ds, /*window_days=*/14);
+
+  std::printf("days-before-today  proportion\n");
+  for (size_t d = 0; d < dist.size(); ++d) {
+    const int bar = static_cast<int>(dist[d] * 120);
+    std::printf("%17zu  %6s  %s\n", d, FormatFloat(dist[d], 4).c_str(),
+                std::string(bar, '#').c_str());
+  }
+  std::printf(
+      "\nPaper reference (Fig. 1): ~50%% of today's categories are new "
+      "(x = 0), with a decaying tail over the previous 14 days.\n");
+  return 0;
+}

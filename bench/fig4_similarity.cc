@@ -1,0 +1,115 @@
+// Regenerates paper Figure 4: the distribution of user-item cosine
+// similarities for (a) the ground-truth next item, (b) the UI candidate
+// list, and (c) the user-based (UU) candidate list, under SASRec-SCCF on
+// the ML-20M-regime dataset.
+//
+// Expected shape (Sec. IV-C): mean cosine of UI candidates > ground truth
+// > UU candidates — the UI component over-concentrates near the user while
+// the user-based component reaches farther items, which is why the two
+// complement each other.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/sccf.h"
+#include "tensor/tensor.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace sccf;
+
+struct Series {
+  std::vector<double> values;
+  double Mean() const {
+    double s = 0.0;
+    for (double v : values) s += v;
+    return values.empty() ? 0.0 : s / values.size();
+  }
+  double Stddev() const {
+    const double m = Mean();
+    double s = 0.0;
+    for (double v : values) s += (v - m) * (v - m);
+    return values.empty() ? 0.0 : std::sqrt(s / values.size());
+  }
+};
+
+void PrintHistogram(const char* name, const Series& s) {
+  constexpr int kBuckets = 12;
+  std::vector<int> counts(kBuckets, 0);
+  for (double v : s.values) {
+    int b = static_cast<int>((v + 0.6) / 1.2 * kBuckets);
+    b = std::max(0, std::min(kBuckets - 1, b));
+    ++counts[b];
+  }
+  int max_count = 1;
+  for (int c : counts) max_count = std::max(max_count, c);
+  std::printf("%s (mean %.4f, std %.4f)\n", name, s.Mean(), s.Stddev());
+  for (int b = 0; b < kBuckets; ++b) {
+    const double lo = -0.6 + 1.2 * b / kBuckets;
+    std::printf("  [%+0.2f,%+0.2f)  %5d  %s\n", lo, lo + 1.2 / kBuckets,
+                counts[b],
+                std::string(counts[b] * 60 / max_count, '#').c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Figure 4 — user/item cosine similarity: ground truth vs UI vs UU",
+      "SASRec-SCCF on the ML-20M-regime dataset; candidate-set scores are "
+      "per-user means over the list");
+
+  data::Dataset dataset =
+      bench::BuildDataset(data::SynMl20mConfig(bench::BenchScale() * 0.6));
+  data::LeaveOneOutSplit split(dataset);
+
+  std::printf("[training SASRec ...]\n");
+  std::fflush(stdout);
+  models::SasRec sasrec(bench::SasRecOptions(dataset));
+  SCCF_CHECK(sasrec.Fit(split).ok());
+
+  core::Sccf::Options opts;
+  opts.num_candidates = 100;
+  core::Sccf sccf(sasrec, opts);
+  SCCF_CHECK(sccf.Fit(split).ok());
+
+  const size_t d = sasrec.embedding_dim();
+  Series ground_truth, ui_series, uu_series;
+  std::vector<float> mu(d);
+  for (size_t u = 0; u < split.num_users(); ++u) {
+    if (!split.evaluable(u)) continue;
+    const auto history = split.TrainPlusValidSequence(u);
+    if (history.empty()) continue;
+    sasrec.InferUserEmbedding(history, mu.data());
+
+    ground_truth.values.push_back(tensor_ops::Cosine(
+        mu.data(), sasrec.ItemEmbedding(split.TestItem(u)), d));
+
+    const auto lists = sccf.CandidateListsFor(u, history);
+    auto mean_cos = [&](const core::CandidateList& list) {
+      double s = 0.0;
+      for (const auto& c : list) {
+        s += tensor_ops::Cosine(mu.data(), sasrec.ItemEmbedding(c.id), d);
+      }
+      return list.empty() ? 0.0 : s / list.size();
+    };
+    if (!lists.ui.empty()) ui_series.values.push_back(mean_cos(lists.ui));
+    if (!lists.uu.empty()) uu_series.values.push_back(mean_cos(lists.uu));
+  }
+
+  PrintHistogram("Ground truth (user vs next item)", ground_truth);
+  PrintHistogram("UI candidate list", ui_series);
+  PrintHistogram("UU candidate list", uu_series);
+
+  std::printf(
+      "\nSummary: mean(UI) = %.4f  |  mean(ground truth) = %.4f  |  "
+      "mean(UU) = %.4f\nExpected shape (paper Fig. 4): "
+      "mean(UI) > mean(ground truth) > mean(UU).\n",
+      ui_series.Mean(), ground_truth.Mean(), uu_series.Mean());
+  return 0;
+}

@@ -1,0 +1,178 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// experiment harness: GEMM, dot products, top-k selection, ANN search,
+// and the inductive inference paths (FISM pooling, SASRec forward) whose
+// latency Table III depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
+#include "models/fism.h"
+#include "models/sasrec.h"
+#include "nn/graph.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace sccf;
+
+void BM_Gemm(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(3);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  Tensor c({n, n});
+  for (size_t i = 0; i < a.size(); ++i) a[i] = rng.Normal();
+  for (size_t i = 0; i < b.size(); ++i) b[i] = rng.Normal();
+  for (auto _ : state) {
+    tensor_ops::Gemm(a, false, b, false, 1.0f, 0.0f, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Dot(benchmark::State& state) {
+  const size_t n = state.range(0);
+  Rng rng(5);
+  std::vector<float> a(n), b(n);
+  for (size_t i = 0; i < n; ++i) {
+    a[i] = rng.Normal();
+    b[i] = rng.Normal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor_ops::Dot(a.data(), b.data(), n));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Dot)->Arg(64)->Arg(1024);
+
+void BM_TopK(benchmark::State& state) {
+  const size_t n = 100000;
+  Rng rng(7);
+  std::vector<float> scores(n);
+  for (auto& s : scores) s = rng.Normal();
+  for (auto _ : state) {
+    index::TopKAccumulator acc(100);
+    for (size_t i = 0; i < n; ++i) acc.Offer(static_cast<int>(i), scores[i]);
+    benchmark::DoNotOptimize(acc.Take());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopK);
+
+template <typename IndexT>
+std::unique_ptr<IndexT> BuildIndex(size_t n, size_t d,
+                                   const std::vector<float>& corpus);
+
+template <>
+std::unique_ptr<index::BruteForceIndex> BuildIndex(
+    size_t n, size_t d, const std::vector<float>& corpus) {
+  auto idx =
+      std::make_unique<index::BruteForceIndex>(d, index::Metric::kCosine);
+  for (size_t i = 0; i < n; ++i) {
+    SCCF_CHECK(idx->Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  return idx;
+}
+
+template <>
+std::unique_ptr<index::HnswIndex> BuildIndex(
+    size_t n, size_t d, const std::vector<float>& corpus) {
+  auto idx = std::make_unique<index::HnswIndex>(
+      d, index::Metric::kCosine, index::HnswIndex::Options{});
+  for (size_t i = 0; i < n; ++i) {
+    SCCF_CHECK(idx->Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  return idx;
+}
+
+template <typename IndexT>
+void BM_IndexSearch(benchmark::State& state) {
+  const size_t n = state.range(0);
+  const size_t d = 32;
+  Rng rng(9);
+  std::vector<float> corpus(n * d);
+  for (auto& v : corpus) v = rng.Normal();
+  auto idx = BuildIndex<IndexT>(n, d, corpus);
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+  for (auto _ : state) {
+    auto r = idx->Search(q.data(), 100);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK_TEMPLATE(BM_IndexSearch, index::BruteForceIndex)
+    ->Arg(2000)
+    ->Arg(20000);
+BENCHMARK_TEMPLATE(BM_IndexSearch, index::HnswIndex)->Arg(2000)->Arg(20000);
+
+// The Table-III inference path: FISM pooling vs SASRec transformer.
+struct InferenceFixture {
+  InferenceFixture() {
+    data::SyntheticConfig cfg;
+    cfg.num_users = 200;
+    cfg.num_items = 500;
+    cfg.num_clusters = 20;
+    cfg.min_actions = 20;
+    cfg.max_actions = 60;
+    data::SyntheticGenerator gen(cfg);
+    auto ds = gen.Generate();
+    SCCF_CHECK(ds.ok());
+    dataset = std::make_unique<data::Dataset>(std::move(ds).value());
+    split = std::make_unique<data::LeaveOneOutSplit>(*dataset);
+
+    models::Fism::Options fopts;
+    fopts.dim = 64;
+    fopts.epochs = 0;  // weights only; latency is training-independent
+    fism = std::make_unique<models::Fism>(fopts);
+    SCCF_CHECK(fism->Fit(*split).ok());
+
+    models::SasRec::Options sopts;
+    sopts.dim = 64;
+    sopts.max_len = 50;
+    sopts.epochs = 0;
+    sasrec = std::make_unique<models::SasRec>(sopts);
+    SCCF_CHECK(sasrec->Fit(*split).ok());
+  }
+  std::unique_ptr<data::Dataset> dataset;
+  std::unique_ptr<data::LeaveOneOutSplit> split;
+  std::unique_ptr<models::Fism> fism;
+  std::unique_ptr<models::SasRec> sasrec;
+};
+
+InferenceFixture& Fixture() {
+  static InferenceFixture* f = new InferenceFixture();
+  return *f;
+}
+
+void BM_FismInference(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto history = f.split->TrainSequence(0);
+  std::vector<float> out(64);
+  for (auto _ : state) {
+    f.fism->InferUserEmbedding(history, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FismInference);
+
+void BM_SasRecInference(benchmark::State& state) {
+  auto& f = Fixture();
+  const auto history = f.split->TrainSequence(0);
+  std::vector<float> out(64);
+  for (auto _ : state) {
+    f.sasrec->InferUserEmbedding(history, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SasRecInference);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,156 @@
+// Regenerates paper Table II: the main top-N comparison.
+//
+// Rows per dataset: HR/NDCG @ {20,50,100} for Pop, ItemKNN, UserKNN,
+// BPR-MF, FISM, FISM-UU, FISM-SCCF (improvement vs FISM), SASRec,
+// SASRec-UU, SASRec-SCCF (improvement vs SASRec).
+//
+// Expected shapes vs the paper: personalized > Pop/ItemKNN; SASRec is the
+// strongest baseline; X-SCCF > X for both bases on every metric;
+// FISM-UU >= FISM while SASRec-UU < SASRec.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "core/sccf.h"
+#include "core/user_based.h"
+#include "eval/evaluator.h"
+#include "models/bpr_mf.h"
+#include "models/item_knn.h"
+#include "models/pop.h"
+#include "models/user_knn.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sccf;
+
+std::vector<std::string> MetricRow(const std::string& name,
+                                   const eval::EvalResult& r) {
+  std::vector<std::string> row = {name};
+  for (double v : r.hr) row.push_back(FormatFloat(v, 4));
+  for (double v : r.ndcg) row.push_back(FormatFloat(v, 4));
+  return row;
+}
+
+core::Sccf::Options SccfOptions() {
+  core::Sccf::Options opts;
+  opts.num_candidates = 100;
+  opts.user_based.beta = 100;      // paper default
+  opts.user_based.infer_window = 15;
+  opts.user_based.vote_window = 15;
+  return opts;
+}
+
+void RunDataset(const bench::BenchDataset& preset) {
+  Stopwatch clock;
+  data::Dataset dataset = bench::BuildDataset(preset.config);
+  data::LeaveOneOutSplit split(dataset);
+  std::printf("--- %s: %zu users, %zu items, %zu actions ---\n",
+              preset.name.c_str(), dataset.num_users(), dataset.num_items(),
+              dataset.num_actions());
+
+  TablePrinter table({"Method", "HR@20", "HR@50", "HR@100", "NDCG@20",
+                      "NDCG@50", "NDCG@100"});
+
+  models::PopRecommender pop;
+  SCCF_CHECK(pop.Fit(split).ok());
+  table.AddRow(MetricRow("Pop", bench::EvalModel(pop, split)));
+
+  models::ItemKnn item_knn;
+  SCCF_CHECK(item_knn.Fit(split).ok());
+  table.AddRow(MetricRow("ItemKNN", bench::EvalModel(item_knn, split)));
+
+  models::UserKnn user_knn({.num_neighbors = 100});
+  SCCF_CHECK(user_knn.Fit(split).ok());
+  table.AddRow(MetricRow("UserKNN", bench::EvalModel(user_knn, split)));
+
+  models::BprMf::Options bpr_opts;
+  bpr_opts.dim = 32;
+  bpr_opts.epochs = 20;
+  models::BprMf bpr(bpr_opts);
+  SCCF_CHECK(bpr.Fit(split).ok());
+  table.AddRow(MetricRow("BPR-MF", bench::EvalModel(bpr, split)));
+
+  // FISM family.
+  models::Fism fism(bench::FismOptions());
+  SCCF_CHECK(fism.Fit(split).ok());
+  const eval::EvalResult fism_res = bench::EvalModel(fism, split);
+  table.AddRow(MetricRow("FISM", fism_res));
+
+  core::UserBasedComponent::Options uu_opts = SccfOptions().user_based;
+  uu_opts.include_validation = true;  // test-time snapshot
+  core::UserBasedComponent fism_uu(fism, uu_opts);
+  SCCF_CHECK(fism_uu.Fit(split).ok());
+  table.AddRow(MetricRow("FISM-UU", bench::EvalModel(fism_uu, split)));
+
+  core::Sccf fism_sccf(fism, SccfOptions());
+  SCCF_CHECK(fism_sccf.Fit(split).ok());
+  const eval::EvalResult fism_sccf_res = bench::EvalModel(fism_sccf, split);
+  table.AddRow(MetricRow("FISM-SCCF", fism_sccf_res));
+
+  // SASRec family.
+  models::SasRec sasrec(bench::SasRecOptions(dataset));
+  SCCF_CHECK(sasrec.Fit(split).ok());
+  const eval::EvalResult sas_res = bench::EvalModel(sasrec, split);
+  table.AddRow(MetricRow("SASRec", sas_res));
+
+  core::UserBasedComponent sas_uu(sasrec, uu_opts);
+  SCCF_CHECK(sas_uu.Fit(split).ok());
+  table.AddRow(MetricRow("SASRec-UU", bench::EvalModel(sas_uu, split)));
+
+  core::Sccf sas_sccf(sasrec, SccfOptions());
+  SCCF_CHECK(sas_sccf.Fit(split).ok());
+  const eval::EvalResult sas_sccf_res = bench::EvalModel(sas_sccf, split);
+  table.AddRow(MetricRow("SASRec-SCCF", sas_sccf_res));
+
+  table.Print();
+  std::printf(
+      "FISM-SCCF vs FISM:    HR@20 %s, HR@100 %s, NDCG@20 %s, NDCG@100 %s\n",
+      bench::FormatImprovement(fism_sccf_res.HrAt(20), fism_res.HrAt(20))
+          .c_str(),
+      bench::FormatImprovement(fism_sccf_res.HrAt(100), fism_res.HrAt(100))
+          .c_str(),
+      bench::FormatImprovement(fism_sccf_res.NdcgAt(20), fism_res.NdcgAt(20))
+          .c_str(),
+      bench::FormatImprovement(fism_sccf_res.NdcgAt(100),
+                               fism_res.NdcgAt(100))
+          .c_str());
+  std::printf(
+      "SASRec-SCCF vs SASRec: HR@20 %s, HR@100 %s, NDCG@20 %s, NDCG@100 "
+      "%s\n",
+      bench::FormatImprovement(sas_sccf_res.HrAt(20), sas_res.HrAt(20))
+          .c_str(),
+      bench::FormatImprovement(sas_sccf_res.HrAt(100), sas_res.HrAt(100))
+          .c_str(),
+      bench::FormatImprovement(sas_sccf_res.NdcgAt(20), sas_res.NdcgAt(20))
+          .c_str(),
+      bench::FormatImprovement(sas_sccf_res.NdcgAt(100), sas_res.NdcgAt(100))
+          .c_str());
+  std::printf("[%s done in %.1fs]\n\n", preset.name.c_str(),
+              clock.ElapsedSeconds());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table II — top-N performance comparison",
+      "Pop / ItemKNN / UserKNN / BPR-MF / FISM(+UU,+SCCF) / "
+      "SASRec(+UU,+SCCF), HR & NDCG @ {20,50,100}, leave-one-out full "
+      "ranking");
+  // SCCF_BENCH_ONLY=<substring> restricts to matching datasets (dev aid).
+  const char* only = std::getenv("SCCF_BENCH_ONLY");
+  for (const auto& preset : bench::TableOneDatasets()) {
+    if (only != nullptr &&
+        preset.name.find(only) == std::string::npos) {
+      continue;
+    }
+    RunDataset(preset);
+  }
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Regenerates paper Table III: per-interaction latency of the SCCF
+// user-based component vs transductive UserKNN in the streaming setting.
+//
+// Protocol (Sec. IV-D): when a user interacts with a new item, measure
+//   - inferring time: recomputing the user representation (0 for UserKNN,
+//     one inductive forward pass for SCCF),
+//   - identifying time: finding the beta most similar users (a scan over
+//     every user's high-dimensional interaction set for UserKNN, a
+//     vector-index search in d dimensions for SCCF),
+// averaged over users. We report the paper's baseline formulation
+// (sparse-intersection scan, Eq. 13) and additionally the inverted-index
+// optimisation of UserKNN, which is the strongest transductive contender.
+//
+// Expected shape: SCCF pays a small constant inference cost; its identify
+// time stays nearly flat as the corpus grows while both UserKNN variants
+// scale with interaction volume (the paper's ML-1M -> Videos jump).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/realtime.h"
+#include "models/user_knn.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sccf;
+
+struct Latencies {
+  double knn_naive_ms = 0.0;     // Eq. 13 sparse-intersection scan
+  double knn_inverted_ms = 0.0;  // inverted-index optimisation
+  double sccf_infer_ms = 0.0;
+  double sccf_identify_ms = 0.0;  // index update + neighbor search
+};
+
+Latencies MeasureDataset(const data::SyntheticConfig& config) {
+  data::Dataset dataset = bench::BuildDataset(config);
+  data::LeaveOneOutSplit split(dataset);
+  std::printf("[%s: %zu users, %zu items, %zu actions]\n",
+              config.name.c_str(), dataset.num_users(), dataset.num_items(),
+              dataset.num_actions());
+  std::fflush(stdout);
+
+  // Latency does not depend on model quality; untrained weights exercise
+  // exactly the same inference code path as converged ones.
+  models::SasRec::Options sas_opts = bench::SasRecOptions(dataset);
+  sas_opts.epochs = 0;
+  models::SasRec sasrec(sas_opts);
+  SCCF_CHECK(sasrec.Fit(split).ok());
+
+  models::UserKnn user_knn({.num_neighbors = 100});
+  SCCF_CHECK(user_knn.Fit(split).ok());
+
+  core::RealTimeService::Options rt_opts;
+  rt_opts.beta = 100;
+  rt_opts.index_kind = core::IndexKind::kHnsw;
+  core::RealTimeService service(sasrec, rt_opts);
+  SCCF_CHECK(service.BootstrapFromSplit(split).ok());
+
+  LatencyStats knn_naive, knn_inverted, infer, identify;
+  size_t measured = 0;
+  const size_t stride =
+      std::max<size_t>(1, split.num_users() / 300);  // ~300 samples
+  for (size_t u = 0; u < split.num_users() && measured < 300; u += stride) {
+    if (!split.evaluable(u)) continue;
+    const int new_item = split.ValidItem(u);
+
+    std::span<const int> train = split.TrainSequence(u);
+    std::vector<int> history(train.begin(), train.end());
+    history.push_back(new_item);
+    {
+      Stopwatch clock;
+      auto nbrs = user_knn.IdentifyNeighbors(
+          history, static_cast<int>(u),
+          models::UserKnn::Strategy::kSparseIntersection);
+      knn_naive.Add(clock.ElapsedMillis());
+      SCCF_CHECK(!nbrs.empty());
+    }
+    {
+      Stopwatch clock;
+      auto nbrs = user_knn.IdentifyNeighbors(
+          history, static_cast<int>(u),
+          models::UserKnn::Strategy::kInvertedIndex);
+      knn_inverted.Add(clock.ElapsedMillis());
+      SCCF_CHECK(!nbrs.empty());
+    }
+
+    auto timing = service.OnInteraction(static_cast<int>(u), new_item);
+    SCCF_CHECK(timing.ok()) << timing.status().ToString();
+    infer.Add(timing->infer_ms);
+    identify.Add(timing->index_ms + timing->identify_ms);
+    ++measured;
+  }
+
+  return {knn_naive.mean(), knn_inverted.mean(), infer.mean(),
+          identify.mean()};
+}
+
+void PrintDataset(const std::string& name, const Latencies& lat) {
+  TablePrinter table(
+      {name, "UserKNN (Eq.13)", "UserKNN (inverted)", "SCCF"});
+  table.AddRow({"Inferring time (ms)", "0.000", "0.000",
+                FormatFloat(lat.sccf_infer_ms, 3)});
+  table.AddRow({"Identifying time (ms)", FormatFloat(lat.knn_naive_ms, 3),
+                FormatFloat(lat.knn_inverted_ms, 3),
+                FormatFloat(lat.sccf_identify_ms, 3)});
+  table.AddRow({"Total time (ms)", FormatFloat(lat.knn_naive_ms, 3),
+                FormatFloat(lat.knn_inverted_ms, 3),
+                FormatFloat(lat.sccf_infer_ms + lat.sccf_identify_ms, 3)});
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Table III — real-time latency: UserKNN vs SCCF user-based component",
+      "per-new-interaction latency, averaged over users (paper: ML-1M "
+      "6.83ms vs 2.38ms; Videos 51.95ms vs 1.54ms)");
+
+  // Small corpus (the paper's ML-1M role).
+  PrintDataset("SynML-1M", MeasureDataset(data::SynMl1mConfig()));
+
+  // Larger corpus (the paper's Videos role): many more users and longer
+  // interaction volume, so the transductive scan grows while the ANN
+  // search stays nearly flat.
+  data::SyntheticConfig big = data::SynMl1mConfig(bench::FullMode() ? 16.0
+                                                                    : 8.0);
+  big.name = "SynVideos";
+  big.num_items = 3000;
+  big.num_clusters = 150;
+  big.min_actions = 15;
+  big.max_actions = 90;
+  big.seed = 21;
+  PrintDataset(big.name, MeasureDataset(big));
+
+  std::printf(
+      "\nExpected shape: SCCF total well below the Eq. 13 scan, and its "
+      "identify time nearly flat in corpus size while both UserKNN "
+      "variants grow with interaction volume.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Two-stage candidate generation, dissected.
+//
+// Shows the three SCCF components separately for one user:
+//   - C_UI: the global list from the inductive UI model (Eq. 10),
+//   - C_UU: the local list voted by the user's real-time neighborhood
+//           (Eq. 11-12),
+//   - the integrating MLP's fused ranking over the union (Eq. 15-17),
+// and demonstrates the paper's "beer & diapers" argument: items that the
+// UI model ranks poorly but the user's segment loves surface through the
+// UU list.
+//
+// Run: ./build/examples/candidate_generation
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+
+#include "core/sccf.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/sasrec.h"
+
+int main() {
+  using namespace sccf;
+
+  data::SyntheticConfig cfg;
+  cfg.name = "candgen";
+  cfg.num_users = 400;
+  cfg.num_items = 500;
+  cfg.num_clusters = 25;  // strong local structure
+  cfg.primary_affinity = 0.75;
+  cfg.min_actions = 12;
+  cfg.max_actions = 40;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  if (!ds.ok()) return 1;
+  data::Dataset dataset = std::move(ds).value();
+  data::LeaveOneOutSplit split(dataset);
+
+  // A sequential deep UI component this time (SASRec).
+  models::SasRec::Options sas_opts;
+  sas_opts.dim = 32;
+  sas_opts.max_len = 30;
+  sas_opts.num_blocks = 1;
+  sas_opts.epochs = 5;
+  models::SasRec sasrec(sas_opts);
+  std::printf("training SASRec ...\n");
+  if (!sasrec.Fit(split).ok()) return 1;
+
+  core::Sccf::Options opts;
+  opts.num_candidates = 20;
+  opts.user_based.beta = 30;
+  core::Sccf sccf(sasrec, opts);
+  std::printf("fitting SCCF (index + merger) ...\n");
+  if (!sccf.Fit(split).ok()) return 1;
+
+  const size_t user = 11;
+  const auto history = split.TrainPlusValidSequence(user);
+  const int truth = split.TestItem(user);
+
+  const auto lists = sccf.CandidateListsFor(user, history);
+  auto print_list = [&](const char* name, const core::CandidateList& list) {
+    std::printf("%s:", name);
+    for (size_t i = 0; i < list.size() && i < 10; ++i) {
+      std::printf(" %d%s", list[i].id, list[i].id == truth ? "*" : "");
+    }
+    std::printf("  (* = held-out next item)\n");
+  };
+  std::printf("\nuser %zu, ground-truth next item: %d\n", user, truth);
+  print_list("C_UI (global view) ", lists.ui);
+  print_list("C_UU (local view)  ", lists.uu);
+
+  // Which items did only the neighborhood surface?
+  std::set<int> ui_ids;
+  for (const auto& c : lists.ui) ui_ids.insert(c.id);
+  std::printf("local-only candidates (in C_UU, missed by C_UI):");
+  size_t shown = 0;
+  for (const auto& c : lists.uu) {
+    if (ui_ids.count(c.id) == 0 && shown++ < 8) std::printf(" %d", c.id);
+  }
+  std::printf("\n");
+
+  // Fused ranking over the union.
+  std::vector<float> scores;
+  sccf.ScoreAll(user, history, &scores);
+  auto fused = core::TopNFromScores(scores, 10);
+  std::printf("fused top-10 (integrating MLP):");
+  for (const auto& c : fused) {
+    std::printf(" %d%s", c.id, c.id == truth ? "*" : "");
+  }
+  std::printf("\n");
+  return 0;
+}

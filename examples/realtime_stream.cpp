@@ -1,0 +1,106 @@
+// Real-time streaming demo: the paper's headline capability.
+//
+// A RealTimeService holds the fitted inductive model, a dynamic vector
+// index of user embeddings, and live histories. Each new interaction
+// re-infers the user's representation with one forward pass and refreshes
+// the index — so the neighborhood (and therefore the user-based candidate
+// list) adapts *immediately*, with no retraining.
+//
+// The demo streams one user through a taste change (she starts consuming
+// another segment's items) and prints how her neighborhood and
+// recommendations shift, with the per-interaction latency breakdown of
+// paper Table III.
+//
+// Run: ./build/examples/realtime_stream
+
+#include <cstdio>
+
+#include "core/realtime.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/fism.h"
+
+int main() {
+  using namespace sccf;
+
+  data::SyntheticConfig cfg;
+  cfg.name = "stream";
+  cfg.num_users = 400;
+  cfg.num_items = 500;
+  cfg.num_clusters = 10;
+  cfg.min_actions = 12;
+  cfg.max_actions = 40;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  if (!ds.ok()) return 1;
+  data::Dataset dataset = std::move(ds).value();
+  data::LeaveOneOutSplit split(dataset);
+
+  models::Fism::Options fism_opts;
+  fism_opts.dim = 32;
+  fism_opts.epochs = 8;
+  models::Fism fism(fism_opts);
+  if (!fism.Fit(split).ok()) return 1;
+
+  core::RealTimeService::Options rt_opts;
+  rt_opts.beta = 20;
+  rt_opts.index_kind = core::IndexKind::kHnsw;  // sub-linear identify
+  core::RealTimeService service(fism, rt_opts);
+  if (!service.BootstrapFromSplit(split).ok()) return 1;
+  std::printf("bootstrapped %zu users into the HNSW index\n",
+              service.num_users());
+
+  const int user = 0;
+  const int donor = 123;  // we stream the donor's taste into `user`
+
+  auto print_state = [&](const char* label) {
+    auto nbrs = service.Neighbors(user);
+    auto recs = service.RecommendUserBased(user, 5);
+    std::printf("\n%s\n  neighbors:", label);
+    size_t shown = 0;
+    for (const auto& nb : nbrs.value()) {
+      if (shown++ == 5) break;
+      std::printf(" %d(%.2f)", nb.id, nb.score);
+    }
+    std::printf("\n  user-based recs:");
+    for (const auto& r : recs.value()) {
+      std::printf(" %d(%.2f)", r.id, r.score);
+    }
+    std::printf("\n");
+  };
+
+  print_state("BEFORE drift (original taste)");
+
+  // Stream 15 of the donor's recent items as new interactions.
+  const auto donor_history = split.TrainSequence(donor);
+  const size_t take = donor_history.size() < 15 ? donor_history.size() : 15;
+  double total_ms = 0.0;
+  for (size_t i = donor_history.size() - take; i < donor_history.size();
+       ++i) {
+    auto timing = service.OnInteraction(user, donor_history[i]);
+    if (!timing.ok()) return 1;
+    total_ms += timing->total_ms();
+    if (i + 3 >= donor_history.size()) {
+      std::printf(
+          "  interaction item=%4d  infer %.3fms  index %.3fms  identify "
+          "%.3fms\n",
+          donor_history[i], timing->infer_ms, timing->index_ms,
+          timing->identify_ms);
+    }
+  }
+  std::printf("streamed %zu interactions, mean %.3f ms each\n", take,
+              total_ms / take);
+
+  print_state("AFTER drift (adopted the donor's taste)");
+  auto nbrs = service.Neighbors(user);
+  for (const auto& nb : nbrs.value()) {
+    if (nb.id == donor) {
+      std::printf(
+          "\nthe donor (user %d) now appears in user %d's neighborhood — "
+          "picked up in real time, no retraining.\n",
+          donor, user);
+      break;
+    }
+  }
+  return 0;
+}

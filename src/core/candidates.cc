@@ -1,0 +1,34 @@
+#include "core/candidates.h"
+
+#include <cmath>
+
+namespace sccf::core {
+
+CandidateList TopNFromScores(const std::vector<float>& scores, size_t n,
+                             float floor) {
+  index::TopKAccumulator acc(n);
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (scores[i] <= floor) continue;
+    acc.Offer(static_cast<int>(i), scores[i]);
+  }
+  return acc.Take();
+}
+
+ScoreMoments MomentsOver(const std::vector<float>& scores,
+                         const std::vector<int>& items) {
+  ScoreMoments m;
+  if (items.empty()) return m;
+  double sum = 0.0;
+  for (int i : items) sum += scores[i];
+  m.mean = static_cast<float>(sum / items.size());
+  double var = 0.0;
+  for (int i : items) {
+    const double t = scores[i] - m.mean;
+    var += t * t;
+  }
+  var /= items.size();
+  m.stddev = var > 1e-12 ? static_cast<float>(std::sqrt(var)) : 1.0f;
+  return m;
+}
+
+}  // namespace sccf::core

@@ -1,0 +1,31 @@
+#ifndef SCCF_CORE_CANDIDATES_H_
+#define SCCF_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace sccf::core {
+
+/// A ranked candidate list (C^u_UI / C^u_UU of Eq. 14): item ids with
+/// their raw preference scores, descending.
+using CandidateList = std::vector<index::Neighbor>;
+
+/// Extracts the top-n scoring items from a dense score array, skipping
+/// entries at or below `floor` (used to mask history items).
+CandidateList TopNFromScores(const std::vector<float>& scores, size_t n,
+                             float floor = -1e29f);
+
+/// Mean and standard deviation of the scores that `items` have in the
+/// dense array `scores` — the per-user normalisation of Eq. 16. A zero
+/// std is reported as 1 to keep the z-score defined.
+struct ScoreMoments {
+  float mean = 0.0f;
+  float stddev = 1.0f;
+};
+ScoreMoments MomentsOver(const std::vector<float>& scores,
+                         const std::vector<int>& items);
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_CANDIDATES_H_

@@ -1,0 +1,149 @@
+#include "core/integrating.h"
+
+#include <algorithm>
+
+#include "nn/graph.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace sccf::core {
+
+IntegratingMlp::IntegratingMlp(size_t feature_dim, Options options)
+    : feature_dim_(feature_dim), options_(std::move(options)), rng_(options_.seed) {
+  std::vector<size_t> dims;
+  dims.push_back(feature_dim_);
+  for (size_t h : options_.hidden) dims.push_back(h);
+  dims.push_back(1);
+  mlp_ = std::make_unique<nn::Mlp>("sccf.merger", dims, rng_,
+                                   options_.dropout);
+  if (options_.score_skip_connection) {
+    SCCF_CHECK_GE(feature_dim_, 2u);
+    Tensor init = Tensor::Zeros({2, 1});
+    init[0] = 1.0f;   // z_UI
+    init[1] = 0.3f;   // z_UU
+    skip_weights_ = std::make_unique<nn::Parameter>("sccf.merger.skip",
+                                                    std::move(init));
+  }
+}
+
+nn::Var IntegratingMlp::Forward(nn::Graph& g, nn::Var x) const {
+  nn::Var logits = mlp_->Apply(g, x);
+  if (skip_weights_ != nullptr) {
+    nn::Var z = g.SliceCols(x, feature_dim_ - 2, feature_dim_);
+    logits = g.Add(logits, g.MatMul(z, g.Param(skip_weights_.get())));
+  }
+  return logits;
+}
+
+float IntegratingMlp::BatchLoss(const UserBatch& batch) const {
+  nn::Graph g(/*training=*/false);
+  nn::Var x = g.Input(batch.features);
+  nn::Var logits = Forward(g, x);
+  Tensor labels = Tensor::Zeros({batch.features.rows(), 1});
+  labels[batch.positive_row] = 1.0f;
+  nn::Var loss = g.BceWithLogits(logits, labels);
+  return g.value(loss).scalar();
+}
+
+Status IntegratingMlp::Train(std::vector<UserBatch> batches) {
+  if (batches.empty()) {
+    return Status::FailedPrecondition(
+        "no merger training batches: no user's held-out item appeared in "
+        "the candidate union");
+  }
+  for (const UserBatch& b : batches) {
+    if (b.features.rank() != 2 || b.features.cols() != feature_dim_) {
+      return Status::InvalidArgument("batch feature dim mismatch");
+    }
+    if (b.positive_row < 0 ||
+        static_cast<size_t>(b.positive_row) >= b.features.rows()) {
+      return Status::InvalidArgument("positive_row out of range");
+    }
+  }
+
+  rng_.Shuffle(batches);
+  const size_t num_valid = std::min(
+      batches.size() - 1,
+      static_cast<size_t>(batches.size() * options_.validation_fraction));
+  const size_t num_train = batches.size() - num_valid;
+
+  std::vector<nn::Parameter*> params = mlp_->Parameters();
+  if (skip_weights_ != nullptr) params.push_back(skip_weights_.get());
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = options_.learning_rate;
+  opt.weight_decay = options_.l2;
+  nn::AdamOptimizer adam(opt);
+
+  // Snapshot of the best parameter values for early-stopping restore.
+  std::vector<Tensor> best_values;
+  auto snapshot = [&] {
+    best_values.clear();
+    for (nn::Parameter* p : params) best_values.push_back(p->value);
+  };
+  auto restore = [&] {
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_values[i];
+    }
+  };
+
+  float best_val = 1e30f;
+  size_t bad_epochs = 0;
+  std::vector<size_t> order(num_train);
+  for (size_t i = 0; i < num_train; ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double train_loss = 0.0;
+    for (size_t idx : order) {
+      const UserBatch& b = batches[idx];
+      nn::Graph g(/*training=*/true, &rng_);
+      nn::Var x = g.Input(b.features);
+      nn::Var logits = Forward(g, x);
+      Tensor labels = Tensor::Zeros({b.features.rows(), 1});
+      labels[b.positive_row] = 1.0f;
+      // Eq. 17 weights each user by 1/|C_u|, which is exactly the mean
+      // BCE inside the batch.
+      nn::Var loss = g.BceWithLogits(logits, labels);
+      g.Backward(loss);
+      adam.Step(params);
+      train_loss += g.value(loss).scalar();
+    }
+
+    float val_loss = 0.0f;
+    if (num_valid > 0) {
+      for (size_t i = num_train; i < batches.size(); ++i) {
+        val_loss += BatchLoss(batches[i]);
+      }
+      val_loss /= num_valid;
+    } else {
+      val_loss = static_cast<float>(train_loss / std::max<size_t>(1, num_train));
+    }
+    if (options_.verbose) {
+      SCCF_LOG_INFO << "merger epoch " << epoch + 1 << " train="
+                    << train_loss / std::max<size_t>(1, num_train)
+                    << " val=" << val_loss;
+    }
+    if (val_loss < best_val - 1e-5f) {
+      best_val = val_loss;
+      bad_epochs = 0;
+      snapshot();
+    } else if (++bad_epochs >= options_.patience) {
+      break;
+    }
+  }
+  if (!best_values.empty()) restore();
+  best_validation_loss_ = best_val;
+  trained_ = true;
+  return Status::OK();
+}
+
+void IntegratingMlp::Predict(const Tensor& features,
+                             std::vector<float>* out) const {
+  SCCF_CHECK(trained_) << "Train must be called first";
+  nn::Graph g(/*training=*/false);
+  nn::Var logits = Forward(g, g.Input(features));
+  const Tensor& v = g.value(logits);
+  out->assign(v.data(), v.data() + v.size());
+}
+
+}  // namespace sccf::core

@@ -1,0 +1,82 @@
+#ifndef SCCF_CORE_INTEGRATING_H_
+#define SCCF_CORE_INTEGRATING_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/layers.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace sccf::core {
+
+/// The SCCF integrating component (paper Sec. III-D): a fully connected
+/// network that fuses, per candidate item, the concatenation
+/// [m_u (+) q_i (+) r~UI_ui (+) r~UU_ui] (Eq. 16, scores z-normalised per
+/// user over the candidate union) into the final preference (Eq. 15).
+///
+/// Training follows Eq. 17: each user whose held-out item appears in the
+/// candidate union contributes a batch with exactly one positive row; the
+/// loss is the per-user mean binary cross-entropy.
+class IntegratingMlp {
+ public:
+  struct Options {
+    /// Hidden widths of the fully connected stack.
+    std::vector<size_t> hidden = {32, 16};
+    size_t max_epochs = 40;
+    float learning_rate = 0.001f;
+    /// lambda of Eq. 17.
+    float l2 = 1e-6f;
+    /// Fraction of users held out to drive early stopping (paper uses
+    /// 10% of users).
+    float validation_fraction = 0.1f;
+    size_t patience = 3;
+    float dropout = 0.0f;
+    uint64_t seed = 99;
+    bool verbose = false;
+    /// Adds a learned linear skip over the two normalised preference
+    /// features, initialised to favour the UI score. The merger then
+    /// starts from a sensible fusion (≈ z_UI + 0.3 z_UU) instead of
+    /// random, which keeps SCCF from under-cutting a very strong UI base
+    /// while the MLP learns the fine-grained corrections of Eq. 15.
+    bool score_skip_connection = true;
+  };
+
+  /// One user's training example: feature rows for every candidate in
+  /// C_u = C_UI u C_UU, with `positive_row` marking the held-out item.
+  struct UserBatch {
+    Tensor features;  // [num_candidates, feature_dim]
+    int positive_row = -1;
+  };
+
+  /// `feature_dim` = 2 * embedding_dim + 2.
+  IntegratingMlp(size_t feature_dim, Options options);
+
+  /// Trains with early stopping on a held-out user slice. Requires at
+  /// least one batch.
+  Status Train(std::vector<UserBatch> batches);
+
+  /// Scores each feature row (Eq. 15). Usable from multiple threads.
+  void Predict(const Tensor& features, std::vector<float>* out) const;
+
+  bool trained() const { return trained_; }
+  size_t feature_dim() const { return feature_dim_; }
+  float best_validation_loss() const { return best_validation_loss_; }
+
+ private:
+  nn::Var Forward(nn::Graph& g, nn::Var x) const;
+  float BatchLoss(const UserBatch& batch) const;
+
+  size_t feature_dim_;
+  Options options_;
+  Rng rng_;
+  std::unique_ptr<nn::Mlp> mlp_;
+  std::unique_ptr<nn::Parameter> skip_weights_;  // [2, 1] over z_UI, z_UU
+  bool trained_ = false;
+  float best_validation_loss_ = 0.0f;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_INTEGRATING_H_

@@ -1,0 +1,46 @@
+#include "core/profile_neighborhood.h"
+
+#include "util/logging.h"
+
+namespace sccf::core {
+
+ProfileAwareNeighborhood::ProfileAwareNeighborhood(
+    const index::VectorIndex* index, std::vector<std::vector<int>> profiles,
+    Options options)
+    : index_(index), profiles_(std::move(profiles)), options_(options) {
+  SCCF_CHECK(index_ != nullptr);
+  SCCF_CHECK_GE(options_.profile_weight, 0.0f);
+  SCCF_CHECK_LT(options_.profile_weight, 1.0f);
+  SCCF_CHECK_GE(options_.expansion, 1u);
+}
+
+float ProfileAwareNeighborhood::ProfileAgreement(const std::vector<int>& a,
+                                                 const std::vector<int>& b) {
+  if (a.empty() || a.size() != b.size()) return 0.0f;
+  size_t same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += a[i] == b[i];
+  return static_cast<float>(same) / a.size();
+}
+
+StatusOr<std::vector<index::Neighbor>> ProfileAwareNeighborhood::Neighbors(
+    const float* query_embedding, const std::vector<int>& query_profile,
+    size_t beta, int exclude_user) const {
+  if (beta == 0) return Status::InvalidArgument("beta must be positive");
+  SCCF_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> fetched,
+      index_->Search(query_embedding, beta * options_.expansion,
+                     exclude_user));
+
+  const float w = options_.profile_weight;
+  index::TopKAccumulator acc(beta);
+  for (const index::Neighbor& nb : fetched) {
+    float agreement = 0.0f;
+    if (nb.id >= 0 && static_cast<size_t>(nb.id) < profiles_.size()) {
+      agreement = ProfileAgreement(query_profile, profiles_[nb.id]);
+    }
+    acc.Offer(nb.id, (1.0f - w) * nb.score + w * agreement);
+  }
+  return acc.Take();
+}
+
+}  // namespace sccf::core

@@ -1,0 +1,59 @@
+#ifndef SCCF_CORE_PROFILE_NEIGHBORHOOD_H_
+#define SCCF_CORE_PROFILE_NEIGHBORHOOD_H_
+
+#include <memory>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/status.h"
+
+namespace sccf::core {
+
+/// Profile-aware neighbor identification — the paper's first stated
+/// future-work direction ("incorporate side information such as user
+/// profile to identify similar users").
+///
+/// Each user carries a categorical profile (e.g., demographic bucket or
+/// declared segment). The neighborhood query over-fetches from the
+/// behaviour-embedding index, then re-scores candidates with
+///
+///   score = (1 - profile_weight) * cosine(m_u, m_v)
+///         + profile_weight       * agreement(profile_u, profile_v)
+///
+/// where agreement is the fraction of matching profile fields. With
+/// profile_weight = 0 this reduces exactly to the base SCCF neighborhood.
+class ProfileAwareNeighborhood {
+ public:
+  struct Options {
+    /// Blend factor in [0, 1).
+    float profile_weight = 0.3f;
+    /// Over-fetch multiplier: candidates = beta * expansion are fetched
+    /// from the index before profile re-scoring keeps the top beta.
+    size_t expansion = 3;
+  };
+
+  /// `index` is the fitted user-embedding index (not owned). Profiles are
+  /// indexed by user id; every id the index can return must be covered.
+  ProfileAwareNeighborhood(const index::VectorIndex* index,
+                           std::vector<std::vector<int>> profiles,
+                           Options options);
+
+  /// Top-beta neighbors under the blended similarity.
+  StatusOr<std::vector<index::Neighbor>> Neighbors(
+      const float* query_embedding, const std::vector<int>& query_profile,
+      size_t beta, int exclude_user) const;
+
+  /// Fraction of equal fields between two profiles (0 when arities
+  /// differ).
+  static float ProfileAgreement(const std::vector<int>& a,
+                                const std::vector<int>& b);
+
+ private:
+  const index::VectorIndex* index_;
+  std::vector<std::vector<int>> profiles_;
+  Options options_;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_PROFILE_NEIGHBORHOOD_H_

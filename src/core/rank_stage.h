@@ -1,0 +1,54 @@
+#ifndef SCCF_CORE_RANK_STAGE_H_
+#define SCCF_CORE_RANK_STAGE_H_
+
+#include <span>
+#include <vector>
+
+#include "core/user_based.h"
+#include "models/recommender.h"
+#include "util/status.h"
+
+namespace sccf::core {
+
+/// Applying SCCF to the *ranking* step — the paper's second future-work
+/// direction ("existing methods only consider user-item relation to
+/// predict the score for each candidate in the ranking step").
+///
+/// Given a candidate set produced by any upstream generator, the stage
+/// re-scores each candidate by blending the UI preference with the
+/// user-neighborhood vote mass (Eq. 12 restricted to the candidates),
+/// both z-normalised over the candidate set (Eq. 16):
+///
+///   score(i) = z(m_u . q_i) + uu_weight * z(r^UU_ui)
+///
+/// This injects the local neighborhood signal into a stage that
+/// traditionally sees only user-item features, without retraining the
+/// upstream ranker.
+class SccfRankStage {
+ public:
+  struct Options {
+    float uu_weight = 0.5f;
+  };
+
+  /// Both references must outlive the stage; `user_based` must be fitted.
+  SccfRankStage(const models::InductiveUiModel& base,
+                const UserBasedComponent& user_based)
+      : SccfRankStage(base, user_based, Options()) {}
+  SccfRankStage(const models::InductiveUiModel& base,
+                const UserBasedComponent& user_based, Options options);
+
+  /// Re-ranks `candidates` for the user; returns them sorted by the
+  /// blended score (descending).
+  StatusOr<std::vector<index::Neighbor>> Rerank(
+      size_t user, std::span<const int> history,
+      const std::vector<int>& candidates) const;
+
+ private:
+  const models::InductiveUiModel* base_;
+  const UserBasedComponent* user_based_;
+  Options options_;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_RANK_STAGE_H_

@@ -1,0 +1,160 @@
+#include "core/realtime.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace sccf::core {
+
+RealTimeService::RealTimeService(const models::InductiveUiModel& model,
+                                 Options options)
+    : model_(&model), options_(options) {
+  SCCF_CHECK_GT(model_->num_items(), 0u) << "model must be fitted";
+}
+
+void RealTimeService::InferWindowEmbedding(const std::vector<int>& history,
+                                           float* out) const {
+  const size_t take = options_.infer_window == 0
+                          ? history.size()
+                          : std::min(history.size(), options_.infer_window);
+  model_->InferUserEmbedding(
+      std::span<const int>(history.data() + history.size() - take, take),
+      out);
+}
+
+std::vector<int> RealTimeService::VoteItems(
+    const std::vector<int>& history) const {
+  const size_t take = options_.vote_window == 0
+                          ? history.size()
+                          : std::min(history.size(), options_.vote_window);
+  std::vector<int> votes(history.end() - take, history.end());
+  std::sort(votes.begin(), votes.end());
+  votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+  return votes;
+}
+
+Status RealTimeService::Bootstrap(const std::vector<UserState>& users) {
+  if (bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap may be called once");
+  }
+  const size_t d = model_->embedding_dim();
+  switch (options_.index_kind) {
+    case IndexKind::kBruteForce:
+      index_ =
+          std::make_unique<index::BruteForceIndex>(d, options_.metric);
+      break;
+    case IndexKind::kIvfFlat:
+      index_ = std::make_unique<index::IvfFlatIndex>(d, options_.metric,
+                                                     options_.ivf);
+      break;
+    case IndexKind::kHnsw:
+      index_ = std::make_unique<index::HnswIndex>(d, options_.metric,
+                                                  options_.hnsw);
+      break;
+  }
+
+  std::vector<float> embeddings(users.size() * d, 0.0f);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserState& s = users[i];
+    if (s.user < 0) return Status::InvalidArgument("negative user id");
+    if (!s.history.empty()) {
+      InferWindowEmbedding(s.history, embeddings.data() + i * d);
+      vote_items_[s.user] = VoteItems(s.history);
+    }
+    histories_[s.user] = s.history;
+  }
+  if (options_.index_kind == IndexKind::kIvfFlat) {
+    auto* ivf = static_cast<index::IvfFlatIndex*>(index_.get());
+    SCCF_RETURN_NOT_OK(ivf->Train(embeddings, users.size()));
+  }
+  for (size_t i = 0; i < users.size(); ++i) {
+    SCCF_RETURN_NOT_OK(
+        index_->Add(users[i].user, embeddings.data() + i * d));
+  }
+  bootstrapped_ = true;
+  return Status::OK();
+}
+
+Status RealTimeService::BootstrapFromSplit(
+    const data::LeaveOneOutSplit& split) {
+  std::vector<UserState> users(split.num_users());
+  for (size_t u = 0; u < split.num_users(); ++u) {
+    users[u].user = static_cast<int>(u);
+    const std::span<const int> h = split.TrainSequence(u);
+    users[u].history.assign(h.begin(), h.end());
+  }
+  return Bootstrap(users);
+}
+
+StatusOr<RealTimeService::UpdateTiming> RealTimeService::OnInteraction(
+    int user, int item) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  if (item < 0 || static_cast<size_t>(item) >= model_->num_items()) {
+    return Status::InvalidArgument("unknown item " + std::to_string(item));
+  }
+  std::vector<int>& history = histories_[user];  // creates on cold start
+  history.push_back(item);
+
+  UpdateTiming timing;
+  const size_t d = model_->embedding_dim();
+  std::vector<float> emb(d, 0.0f);
+
+  Stopwatch infer_clock;
+  InferWindowEmbedding(history, emb.data());
+  timing.infer_ms = infer_clock.ElapsedMillis();
+
+  Stopwatch index_clock;
+  SCCF_RETURN_NOT_OK(index_->Add(user, emb.data()));
+  timing.index_ms = index_clock.ElapsedMillis();
+  vote_items_[user] = VoteItems(history);
+
+  Stopwatch identify_clock;
+  SCCF_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
+                        index_->Search(emb.data(), options_.beta, user));
+  (void)neighbors;
+  timing.identify_ms = identify_clock.ElapsedMillis();
+  return timing;
+}
+
+StatusOr<std::vector<index::Neighbor>> RealTimeService::Neighbors(
+    int user) const {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  auto it = histories_.find(user);
+  if (it == histories_.end() || it->second.empty()) {
+    return Status::NotFound("user " + std::to_string(user) +
+                            " has no history");
+  }
+  std::vector<float> emb(model_->embedding_dim(), 0.0f);
+  InferWindowEmbedding(it->second, emb.data());
+  return index_->Search(emb.data(), options_.beta, user);
+}
+
+StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
+                                                            size_t n) const {
+  SCCF_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
+                        Neighbors(user));
+  std::vector<float> scores(model_->num_items(), 0.0f);
+  for (const index::Neighbor& nb : neighbors) {
+    auto vi = vote_items_.find(nb.id);
+    if (vi == vote_items_.end()) continue;
+    for (int item : vi->second) scores[item] += nb.score;
+  }
+  const auto hist = histories_.find(user);
+  if (hist != histories_.end()) {
+    for (int item : hist->second) scores[item] = 0.0f;
+  }
+  return TopNFromScores(scores, n, 0.0f);
+}
+
+const std::vector<int>& RealTimeService::History(int user) const {
+  static const std::vector<int>* empty = new std::vector<int>();
+  auto it = histories_.find(user);
+  return it == histories_.end() ? *empty : it->second;
+}
+
+}  // namespace sccf::core

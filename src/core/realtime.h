@@ -1,0 +1,90 @@
+#ifndef SCCF_CORE_REALTIME_H_
+#define SCCF_CORE_REALTIME_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/user_based.h"
+#include "data/split.h"
+#include "models/recommender.h"
+#include "util/status.h"
+
+namespace sccf::core {
+
+/// The streaming serving loop of the SCCF user-based component
+/// (paper Sec. III-C2 and Table III): when a user interacts with a new
+/// item, the service re-infers her representation with one forward pass of
+/// the inductive UI model, refreshes the vector index, and can immediately
+/// identify the new neighborhood — no retraining, unlike transductive
+/// user-based baselines.
+class RealTimeService {
+ public:
+  struct Options {
+    size_t beta = 100;
+    /// Recent items used to infer the query embedding (15 in the paper).
+    size_t infer_window = 15;
+    /// Recent items each user contributes as votes (15 in the paper).
+    size_t vote_window = 15;
+    IndexKind index_kind = IndexKind::kBruteForce;
+    index::Metric metric = index::Metric::kCosine;
+    index::IvfFlatIndex::Options ivf;
+    index::HnswIndex::Options hnsw;
+  };
+
+  /// One user's state snapshot to load at startup.
+  struct UserState {
+    int user = -1;
+    std::vector<int> history;  // chronological
+  };
+
+  /// Per-interaction latency breakdown reported by OnInteraction — the
+  /// columns of Table III.
+  struct UpdateTiming {
+    double infer_ms = 0.0;     // user-representation inference
+    double index_ms = 0.0;     // vector-index refresh
+    double identify_ms = 0.0;  // neighborhood search
+    double total_ms() const { return infer_ms + index_ms + identify_ms; }
+  };
+
+  /// `model` must be fitted and outlive the service.
+  RealTimeService(const models::InductiveUiModel& model, Options options);
+
+  /// Loads initial user states and builds the index (training the coarse
+  /// quantizer first for IVF). Must be called exactly once.
+  Status Bootstrap(const std::vector<UserState>& users);
+
+  /// Convenience: bootstrap from every user's training-prefix history.
+  Status BootstrapFromSplit(const data::LeaveOneOutSplit& split);
+
+  /// Ingests one interaction: appends to the user's history, re-infers the
+  /// embedding, updates the index, and identifies the fresh neighborhood.
+  /// Unknown users are created on the fly (cold start).
+  StatusOr<UpdateTiming> OnInteraction(int user, int item);
+
+  /// Current neighborhood of `user` (Eq. 11).
+  StatusOr<std::vector<index::Neighbor>> Neighbors(int user) const;
+
+  /// Eq. 12 user-based candidate list from the current snapshot.
+  StatusOr<CandidateList> RecommendUserBased(int user, size_t n) const;
+
+  const std::vector<int>& History(int user) const;
+  size_t num_users() const { return histories_.size(); }
+
+ private:
+  void InferWindowEmbedding(const std::vector<int>& history,
+                            float* out) const;
+  std::vector<int> VoteItems(const std::vector<int>& history) const;
+
+  const models::InductiveUiModel* model_;
+  Options options_;
+  bool bootstrapped_ = false;
+  std::unique_ptr<index::VectorIndex> index_;
+  std::unordered_map<int, std::vector<int>> histories_;
+  std::unordered_map<int, std::vector<int>> vote_items_;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_REALTIME_H_

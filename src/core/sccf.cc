@@ -1,0 +1,152 @@
+#include "core/sccf.h"
+
+#include <algorithm>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace sccf::core {
+
+namespace {
+constexpr float kMaskedScore = -1e30f;
+}  // namespace
+
+Sccf::Sccf(const models::InductiveUiModel& base, Options options)
+    : base_(&base), options_(std::move(options)) {
+  SCCF_CHECK_GT(options_.num_candidates, 0u);
+}
+
+Sccf::UnionFeatures Sccf::BuildFeatures(size_t u,
+                                        std::span<const int> history,
+                                        const UserBasedComponent& uu) const {
+  const size_t d = base_->embedding_dim();
+  const size_t n_cand = options_.num_candidates;
+
+  // Infer m_u once; UI scores are its dot products with every item
+  // (Eq. 10), with the user's history masked (never recommend R+_u).
+  std::vector<float> user_emb(d, 0.0f);
+  base_->InferUserEmbedding(history, user_emb.data());
+  std::vector<float> ui_scores(base_->num_items());
+  for (size_t i = 0; i < ui_scores.size(); ++i) {
+    ui_scores[i] = tensor_ops::Dot(
+        user_emb.data(), base_->ItemEmbedding(static_cast<int>(i)), d);
+  }
+  for (int item : history) ui_scores[item] = kMaskedScore;
+
+  std::vector<float> uu_scores;
+  uu.ScoreAll(u, history, &uu_scores);
+
+  const CandidateList ui_list = TopNFromScores(ui_scores, n_cand);
+  // UU scores are vote sums: only strictly positive entries are real
+  // candidates.
+  const CandidateList uu_list = TopNFromScores(uu_scores, n_cand, 0.0f);
+
+  UnionFeatures out;
+  out.items.reserve(ui_list.size() + uu_list.size());
+  for (const auto& c : ui_list) out.items.push_back(c.id);
+  for (const auto& c : uu_list) out.items.push_back(c.id);
+  std::sort(out.items.begin(), out.items.end());
+  out.items.erase(std::unique(out.items.begin(), out.items.end()),
+                  out.items.end());
+
+  // Eq. 16: z-normalise each channel over the candidate union, per user.
+  const ScoreMoments mui = MomentsOver(ui_scores, out.items);
+  const ScoreMoments muu = MomentsOver(uu_scores, out.items);
+
+  const size_t c = out.items.size();
+  out.features = Tensor::Zeros({c, 2 * d + 2});
+  for (size_t r = 0; r < c; ++r) {
+    const int item = out.items[r];
+    float* row = out.features.data() + r * (2 * d + 2);
+    std::copy(user_emb.begin(), user_emb.end(), row);
+    const float* q = base_->ItemEmbedding(item);
+    std::copy(q, q + d, row + d);
+    row[2 * d] = (ui_scores[item] - mui.mean) / mui.stddev;
+    row[2 * d + 1] = (uu_scores[item] - muu.mean) / muu.stddev;
+  }
+  return out;
+}
+
+Status Sccf::Fit(const data::LeaveOneOutSplit& split) {
+  if (base_->num_items() == 0) {
+    return Status::FailedPrecondition(
+        "the UI base model must be fitted before Sccf::Fit");
+  }
+  // Two user snapshots: training prefixes for merger training, prefixes
+  // plus validation items for test-time scoring (Sec. IV-A4).
+  UserBasedComponent::Options uu_opts = options_.user_based;
+  uu_opts.include_validation = false;
+  uu_train_ = std::make_unique<UserBasedComponent>(*base_, uu_opts);
+  SCCF_RETURN_NOT_OK(uu_train_->Fit(split));
+
+  uu_opts.include_validation = true;
+  uu_test_ = std::make_unique<UserBasedComponent>(*base_, uu_opts);
+  SCCF_RETURN_NOT_OK(uu_test_->Fit(split));
+
+  if (options_.score_sum_fusion) return Status::OK();
+
+  const size_t d = base_->embedding_dim();
+  merger_ = std::make_unique<IntegratingMlp>(2 * d + 2, options_.merger);
+
+  // Build one batch per user whose validation item lands in the candidate
+  // union (Sec. III-D: users whose i+ is outside C_u are not used).
+  std::vector<IntegratingMlp::UserBatch> batches;
+  for (size_t u = 0; u < split.num_users(); ++u) {
+    if (!split.evaluable(u)) continue;
+    const std::span<const int> history = split.TrainSequence(u);
+    if (history.empty()) continue;
+    UnionFeatures uf = BuildFeatures(u, history, *uu_train_);
+    const int valid_item = split.ValidItem(u);
+    const auto it =
+        std::lower_bound(uf.items.begin(), uf.items.end(), valid_item);
+    if (it == uf.items.end() || *it != valid_item) continue;
+    IntegratingMlp::UserBatch batch;
+    batch.positive_row = static_cast<int>(it - uf.items.begin());
+    batch.features = std::move(uf.features);
+    batches.push_back(std::move(batch));
+  }
+  return merger_->Train(std::move(batches));
+}
+
+void Sccf::ScoreAll(size_t u, std::span<const int> history,
+                    std::vector<float>* scores) const {
+  SCCF_CHECK(uu_test_ != nullptr) << "Fit must be called first";
+  scores->assign(base_->num_items(), kMaskedScore);
+  if (history.empty()) return;
+
+  UnionFeatures uf = BuildFeatures(u, history, *uu_test_);
+  if (uf.items.empty()) return;
+
+  if (options_.score_sum_fusion) {
+    // Ablation path: z(UI) + z(UU) without the learned merger.
+    const size_t d = base_->embedding_dim();
+    for (size_t r = 0; r < uf.items.size(); ++r) {
+      const float* row = uf.features.data() + r * (2 * d + 2);
+      (*scores)[uf.items[r]] = row[2 * d] + row[2 * d + 1];
+    }
+    return;
+  }
+
+  std::vector<float> merged;
+  merger_->Predict(uf.features, &merged);
+  for (size_t r = 0; r < uf.items.size(); ++r) {
+    (*scores)[uf.items[r]] = merged[r];
+  }
+}
+
+Sccf::Lists Sccf::CandidateListsFor(size_t u,
+                                    std::span<const int> history) const {
+  SCCF_CHECK(uu_test_ != nullptr) << "Fit must be called first";
+  std::vector<float> ui_scores;
+  base_->ScoreAll(u, history, &ui_scores);
+  for (int item : history) ui_scores[item] = kMaskedScore;
+  std::vector<float> uu_scores;
+  uu_test_->ScoreAll(u, history, &uu_scores);
+
+  Lists lists;
+  lists.ui = TopNFromScores(ui_scores, options_.num_candidates);
+  lists.uu = TopNFromScores(uu_scores, options_.num_candidates, 0.0f);
+  return lists;
+}
+
+}  // namespace sccf::core

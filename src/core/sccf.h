@@ -1,0 +1,83 @@
+#ifndef SCCF_CORE_SCCF_H_
+#define SCCF_CORE_SCCF_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/integrating.h"
+#include "core/user_based.h"
+#include "models/recommender.h"
+
+namespace sccf::core {
+
+/// Self-Complementary Collaborative Filtering — the paper's framework
+/// (Fig. 2). Wraps any fitted inductive UI model with:
+///
+///   1. the UI candidate list C_UI (Eq. 10, global view),
+///   2. the user-based candidate list C_UU from the real-time neighborhood
+///      (Eq. 11-12, local view), and
+///   3. the integrating MLP that fuses both into the final top-N (Eq. 15-17).
+///
+/// The merger is trained on each user's validation-position item with
+/// training-prefix candidate lists; test scoring rebuilds the user snapshot
+/// with validation items added back, matching Sec. IV-A4.
+class Sccf : public models::Recommender {
+ public:
+  struct Options {
+    /// Size N of each candidate list (Eq. 14). Must cover the largest
+    /// evaluation cutoff.
+    size_t num_candidates = 100;
+    UserBasedComponent::Options user_based;
+    IntegratingMlp::Options merger;
+    /// Ablation: replace the MLP with the sum of the two z-normalised
+    /// scores (no learned fusion).
+    bool score_sum_fusion = false;
+  };
+
+  /// `base` must be fitted before Sccf::Fit and outlive this object.
+  Sccf(const models::InductiveUiModel& base, Options options);
+
+  std::string name() const override { return base_->name() + "-SCCF"; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Final SCCF scores: candidates in the union C_UI u C_UU carry the
+  /// merger output; everything else is -1e30 (outside the candidate set).
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+  /// Both candidate lists at test time, for the Fig.-4 analysis.
+  struct Lists {
+    CandidateList ui;
+    CandidateList uu;
+  };
+  Lists CandidateListsFor(size_t u, std::span<const int> history) const;
+
+  const UserBasedComponent& user_based_test() const { return *uu_test_; }
+  const models::InductiveUiModel& base() const { return *base_; }
+  const IntegratingMlp& merger() const { return *merger_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct UnionFeatures {
+    std::vector<int> items;  // candidate union, ascending item id
+    Tensor features;         // [items.size(), 2d+2]
+  };
+
+  /// Computes both raw score vectors, the candidate union, and the Eq.-16
+  /// feature matrix for user `u` with the given history, against the given
+  /// user-based snapshot.
+  UnionFeatures BuildFeatures(size_t u, std::span<const int> history,
+                              const UserBasedComponent& uu) const;
+
+  const models::InductiveUiModel* base_;
+  Options options_;
+  std::unique_ptr<UserBasedComponent> uu_train_;
+  std::unique_ptr<UserBasedComponent> uu_test_;
+  std::unique_ptr<IntegratingMlp> merger_;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_SCCF_H_

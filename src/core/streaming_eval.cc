@@ -1,0 +1,222 @@
+#include "core/streaming_eval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
+#include "util/logging.h"
+
+namespace sccf::core {
+
+namespace {
+
+std::unique_ptr<index::VectorIndex> MakeIndex(IndexKind kind, size_t dim) {
+  switch (kind) {
+    case IndexKind::kBruteForce:
+      return std::make_unique<index::BruteForceIndex>(
+          dim, index::Metric::kCosine);
+    case IndexKind::kIvfFlat:
+      return std::make_unique<index::IvfFlatIndex>(
+          dim, index::Metric::kCosine, index::IvfFlatIndex::Options{});
+    case IndexKind::kHnsw:
+      return std::make_unique<index::HnswIndex>(
+          dim, index::Metric::kCosine, index::HnswIndex::Options{});
+  }
+  return nullptr;
+}
+
+// Rank of `target` among vote scores; history masked to 0 votes.
+size_t RankByVotes(const std::vector<index::Neighbor>& neighbors,
+                   const std::vector<std::vector<int>>& vote_items,
+                   std::span<const int> history, int target,
+                   size_t num_items) {
+  std::vector<float> scores(num_items, 0.0f);
+  for (const auto& nb : neighbors) {
+    for (int item : vote_items[nb.id]) scores[item] += nb.score;
+  }
+  for (int item : history) scores[item] = 0.0f;
+  const float t = scores[target];
+  size_t better = 0;
+  for (float s : scores) better += s > t;
+  return better + 1;
+}
+
+}  // namespace
+
+double StreamingEvalResult::LiveNdcgAt(size_t k) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return live_ndcg[i];
+  }
+  return 0.0;
+}
+
+double StreamingEvalResult::FrozenNdcgAt(size_t k) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return frozen_ndcg[i];
+  }
+  return 0.0;
+}
+
+double StreamingEvalResult::StaleQueryNdcgAt(size_t k) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return stale_query_ndcg[i];
+  }
+  return 0.0;
+}
+
+StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
+    const models::InductiveUiModel& model, const data::Dataset& dataset,
+    const StreamingEvalOptions& options) {
+  if (model.num_items() == 0) {
+    return Status::FailedPrecondition("model must be fitted");
+  }
+  if (options.tail_events == 0 || options.cutoffs.empty()) {
+    return Status::InvalidArgument("tail_events and cutoffs required");
+  }
+  const size_t n = dataset.num_users();
+  const size_t d = model.embedding_dim();
+  const size_t m = dataset.num_items();
+
+  // Bootstrap snapshot: every user's sequence minus the replayed tail.
+  auto prefix_len = [&](size_t u) -> size_t {
+    const size_t len = dataset.sequence(u).size();
+    return len >= 2 * options.tail_events ? len - options.tail_events : len;
+  };
+  auto infer_tail = [&](std::span<const int> history, float* out) {
+    const size_t take = options.infer_window == 0
+                            ? history.size()
+                            : std::min(history.size(), options.infer_window);
+    model.InferUserEmbedding(
+        history.subspan(history.size() - take, take), out);
+  };
+
+  std::unique_ptr<index::VectorIndex> frozen =
+      MakeIndex(options.index_kind, d);
+  std::unique_ptr<index::VectorIndex> live =
+      MakeIndex(options.index_kind, d);
+  std::vector<std::vector<int>> vote_items(n);
+  std::vector<float> bootstrap_emb(n * d, 0.0f);
+  {
+    std::vector<float> emb(d);
+    for (size_t u = 0; u < n; ++u) {
+      const auto& seq = dataset.sequence(u);
+      const size_t p = prefix_len(u);
+      if (p == 0) continue;
+      std::span<const int> prefix(seq.data(), p);
+      infer_tail(prefix, emb.data());
+      std::copy(emb.begin(), emb.end(), bootstrap_emb.begin() + u * d);
+      SCCF_RETURN_NOT_OK(frozen->Add(static_cast<int>(u), emb.data()));
+      SCCF_RETURN_NOT_OK(live->Add(static_cast<int>(u), emb.data()));
+      const size_t vt = options.vote_window == 0
+                            ? p
+                            : std::min(p, options.vote_window);
+      std::vector<int> votes(prefix.end() - vt, prefix.end());
+      std::sort(votes.begin(), votes.end());
+      votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+      vote_items[u] = std::move(votes);
+    }
+  }
+
+  StreamingEvalResult result;
+  result.cutoffs = options.cutoffs;
+  result.live_hr.assign(options.cutoffs.size(), 0.0);
+  result.live_ndcg.assign(options.cutoffs.size(), 0.0);
+  result.frozen_hr.assign(options.cutoffs.size(), 0.0);
+  result.frozen_ndcg.assign(options.cutoffs.size(), 0.0);
+  result.stale_query_hr.assign(options.cutoffs.size(), 0.0);
+  result.stale_query_ndcg.assign(options.cutoffs.size(), 0.0);
+
+  // Interleave every user's tail events in global timestamp order, so a
+  // prediction for user u sees the *other* users' already-revealed events
+  // in the live regime — neighborhood freshness is exactly what differs.
+  struct Event {
+    int64_t ts;
+    size_t user;
+    size_t pos;  // index into the user's sequence
+  };
+  std::vector<Event> events;
+  for (size_t u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequence(u);
+    if (seq.size() < 2 * options.tail_events) continue;
+    for (size_t t = prefix_len(u); t < seq.size(); ++t) {
+      events.push_back({dataset.timestamps(u)[t], u, t});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
+
+  // The live regime maintains its own (fresh) vote snapshots.
+  std::vector<std::vector<int>> vote_items_live = vote_items;
+
+  std::vector<float> emb(d);
+  for (const Event& e : events) {
+    const auto& seq = dataset.sequence(e.user);
+    const int target = seq[e.pos];
+    const std::span<const int> history(seq.data(), e.pos);
+
+    // Predict under both regimes. The query embedding is always fresh
+    // (the query side is inductive either way); what differs is the
+    // staleness of the indexed corpus and of the neighbors' vote lists.
+    infer_tail(history, emb.data());
+    auto live_nbrs =
+        live->Search(emb.data(), options.beta, static_cast<int>(e.user));
+    SCCF_RETURN_NOT_OK(live_nbrs.status());
+    auto frozen_nbrs =
+        frozen->Search(emb.data(), options.beta, static_cast<int>(e.user));
+    SCCF_RETURN_NOT_OK(frozen_nbrs.status());
+    auto stale_nbrs = frozen->Search(bootstrap_emb.data() + e.user * d,
+                                     options.beta,
+                                     static_cast<int>(e.user));
+    SCCF_RETURN_NOT_OK(stale_nbrs.status());
+
+    const size_t live_rank =
+        RankByVotes(*live_nbrs, vote_items_live, history, target, m);
+    const size_t frozen_rank =
+        RankByVotes(*frozen_nbrs, vote_items, history, target, m);
+    const size_t stale_rank =
+        RankByVotes(*stale_nbrs, vote_items, history, target, m);
+    for (size_t c = 0; c < options.cutoffs.size(); ++c) {
+      const size_t k = options.cutoffs[c];
+      result.live_hr[c] += live_rank <= k ? 1.0 : 0.0;
+      result.frozen_hr[c] += frozen_rank <= k ? 1.0 : 0.0;
+      result.stale_query_hr[c] += stale_rank <= k ? 1.0 : 0.0;
+      result.live_ndcg[c] +=
+          live_rank <= k ? 1.0 / std::log2(live_rank + 1.0) : 0.0;
+      result.frozen_ndcg[c] +=
+          frozen_rank <= k ? 1.0 / std::log2(frozen_rank + 1.0) : 0.0;
+      result.stale_query_ndcg[c] +=
+          stale_rank <= k ? 1.0 / std::log2(stale_rank + 1.0) : 0.0;
+    }
+    ++result.num_predictions;
+
+    // Reveal: the live regime absorbs the interaction (embedding, index
+    // entry, vote list); the frozen regime serves the stale snapshot.
+    std::span<const int> revealed(seq.data(), e.pos + 1);
+    infer_tail(revealed, emb.data());
+    SCCF_RETURN_NOT_OK(live->Add(static_cast<int>(e.user), emb.data()));
+    const size_t vt = options.vote_window == 0
+                          ? revealed.size()
+                          : std::min(revealed.size(), options.vote_window);
+    std::vector<int> votes(revealed.end() - vt, revealed.end());
+    std::sort(votes.begin(), votes.end());
+    votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+    vote_items_live[e.user] = std::move(votes);
+  }
+
+  if (result.num_predictions > 0) {
+    for (size_t c = 0; c < options.cutoffs.size(); ++c) {
+      result.live_hr[c] /= result.num_predictions;
+      result.live_ndcg[c] /= result.num_predictions;
+      result.frozen_hr[c] /= result.num_predictions;
+      result.frozen_ndcg[c] /= result.num_predictions;
+      result.stale_query_hr[c] /= result.num_predictions;
+      result.stale_query_ndcg[c] /= result.num_predictions;
+    }
+  }
+  return result;
+}
+
+}  // namespace sccf::core

@@ -1,0 +1,92 @@
+#ifndef SCCF_CORE_USER_BASED_H_
+#define SCCF_CORE_USER_BASED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
+#include "index/vector_index.h"
+#include "models/recommender.h"
+
+namespace sccf::core {
+
+/// Which ANN backend identifies the user neighborhood.
+enum class IndexKind { kBruteForce, kIvfFlat, kHnsw };
+
+/// The SCCF user-based component (paper Sec. III-C).
+///
+/// It owns no trainable parameters: user representations are inferred by
+/// the inductive UI model from each user's recent items (the paper infers
+/// from the latest 15), stored in a vector index, and a user's
+/// neighborhood N_u is the top-beta most cosine-similar users (Eq. 11).
+/// Candidates are the neighbors' recent items, weighted by similarity
+/// (Eq. 12), excluding the querying user's own history.
+class UserBasedComponent : public models::Recommender {
+ public:
+  struct Options {
+    /// Neighborhood size beta (Sec. III-C, Table IV sweeps {50,100,200}).
+    size_t beta = 100;
+    /// Recent items used to infer the query user embedding (15 in paper).
+    size_t infer_window = 15;
+    /// Recent items each neighbor contributes as votes (15 in paper).
+    size_t vote_window = 15;
+    IndexKind index_kind = IndexKind::kBruteForce;
+    index::Metric metric = index::Metric::kCosine;
+    /// Build the user snapshot from prefix+validation histories (test-time
+    /// protocol) instead of training prefixes.
+    bool include_validation = false;
+    index::IvfFlatIndex::Options ivf;
+    index::HnswIndex::Options hnsw;
+  };
+
+  /// `base` must outlive this component and be fitted before Fit is
+  /// called here.
+  UserBasedComponent(const models::InductiveUiModel& base, Options options);
+
+  std::string name() const override { return base_->name() + "-UU"; }
+
+  /// Infers every user's embedding, builds the index, and snapshots each
+  /// user's recent vote items.
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Eq. 11 neighborhood of an arbitrary query embedding.
+  std::vector<index::Neighbor> Neighbors(const float* query_embedding,
+                                         size_t beta,
+                                         int exclude_user) const;
+
+  /// Eq. 12 scores: fresh query embedding from `history`'s tail, neighbor
+  /// lookup, similarity-weighted votes over neighbors' recent items.
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+  /// Re-infers user `u` from `history` and updates the index and vote
+  /// snapshot — the streaming path of the real-time service.
+  Status UpdateUser(int u, std::span<const int> history);
+
+  const index::VectorIndex& index() const { return *index_; }
+  const models::InductiveUiModel& base() const { return *base_; }
+  const Options& options() const { return options_; }
+  size_t num_items() const { return num_items_; }
+
+  /// Items user `v` contributes votes for (diagnostics).
+  const std::vector<int>& vote_items(size_t v) const {
+    return vote_items_[v];
+  }
+
+ private:
+  std::unique_ptr<index::VectorIndex> MakeIndex(size_t n) const;
+  void InferWindowEmbedding(std::span<const int> history, float* out) const;
+
+  const models::InductiveUiModel* base_;
+  Options options_;
+  size_t num_items_ = 0;
+  std::unique_ptr<index::VectorIndex> index_;
+  std::vector<std::vector<int>> vote_items_;
+};
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_USER_BASED_H_

@@ -1,0 +1,125 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace sccf::data {
+
+StatusOr<Dataset> Dataset::FromInteractions(
+    std::string name, std::vector<Interaction> interactions) {
+  if (interactions.empty()) {
+    return Status::InvalidArgument("dataset '" + name + "' is empty");
+  }
+
+  std::stable_sort(interactions.begin(), interactions.end(),
+                   [](const Interaction& a, const Interaction& b) {
+                     if (a.user != b.user) return a.user < b.user;
+                     return a.timestamp < b.timestamp;
+                   });
+
+  Dataset ds;
+  ds.name_ = std::move(name);
+  ds.num_actions_ = interactions.size();
+
+  std::unordered_map<int, int> user_map;
+  std::unordered_map<int, int> item_map;
+  for (const Interaction& it : interactions) {
+    if (user_map.emplace(it.user, static_cast<int>(user_map.size())).second) {
+      ds.original_user_ids_.push_back(it.user);
+    }
+    if (item_map.emplace(it.item, static_cast<int>(item_map.size())).second) {
+      ds.original_item_ids_.push_back(it.item);
+    }
+  }
+  ds.num_items_ = item_map.size();
+  ds.sequences_.resize(user_map.size());
+  ds.timestamps_.resize(user_map.size());
+  ds.item_sets_.resize(user_map.size());
+  ds.item_counts_.assign(ds.num_items_, 0);
+
+  for (const Interaction& it : interactions) {
+    const int u = user_map[it.user];
+    const int i = item_map[it.item];
+    ds.sequences_[u].push_back(i);
+    ds.timestamps_[u].push_back(it.timestamp);
+    ++ds.item_counts_[i];
+  }
+  for (size_t u = 0; u < ds.sequences_.size(); ++u) {
+    std::vector<int> s = ds.sequences_[u];
+    std::sort(s.begin(), s.end());
+    s.erase(std::unique(s.begin(), s.end()), s.end());
+    ds.item_sets_[u] = std::move(s);
+  }
+  return ds;
+}
+
+bool Dataset::UserHasItem(size_t u, int item) const {
+  const auto& s = item_sets_[u];
+  return std::binary_search(s.begin(), s.end(), item);
+}
+
+void Dataset::set_item_categories(std::vector<int> categories) {
+  SCCF_CHECK_EQ(categories.size(), num_items_);
+  int max_cat = -1;
+  for (int c : categories) max_cat = std::max(max_cat, c);
+  num_categories_ = static_cast<size_t>(max_cat + 1);
+  item_categories_ = std::move(categories);
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats st;
+  st.num_users = num_users();
+  st.num_items = num_items();
+  st.num_actions = num_actions();
+  st.avg_length =
+      st.num_users == 0
+          ? 0.0
+          : static_cast<double>(st.num_actions) / st.num_users;
+  st.density = st.num_users == 0 || st.num_items == 0
+                   ? 0.0
+                   : static_cast<double>(st.num_actions) /
+                         (static_cast<double>(st.num_users) * st.num_items);
+  return st;
+}
+
+namespace {
+
+// Drops interactions of users (or items) occurring fewer than k times.
+// Returns true if anything was removed.
+bool FilterByCount(std::vector<Interaction>* interactions, size_t k,
+                   bool by_user) {
+  std::unordered_map<int, size_t> count;
+  for (const Interaction& it : *interactions) {
+    ++count[by_user ? it.user : it.item];
+  }
+  const size_t before = interactions->size();
+  interactions->erase(
+      std::remove_if(interactions->begin(), interactions->end(),
+                     [&](const Interaction& it) {
+                       return count[by_user ? it.user : it.item] < k;
+                     }),
+      interactions->end());
+  return interactions->size() != before;
+}
+
+}  // namespace
+
+std::vector<Interaction> KCoreFilter(std::vector<Interaction> interactions,
+                                     size_t k, CoreFilterMode mode) {
+  if (mode == CoreFilterMode::kPaper) {
+    FilterByCount(&interactions, k, /*by_user=*/false);
+    FilterByCount(&interactions, k, /*by_user=*/true);
+    FilterByCount(&interactions, k, /*by_user=*/true);
+    return interactions;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = FilterByCount(&interactions, k, /*by_user=*/false);
+    changed = FilterByCount(&interactions, k, /*by_user=*/true) || changed;
+  }
+  return interactions;
+}
+
+}  // namespace sccf::data

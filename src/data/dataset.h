@@ -1,0 +1,104 @@
+#ifndef SCCF_DATA_DATASET_H_
+#define SCCF_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sccf::data {
+
+/// One implicit-feedback event (click/purchase/rating-converted-to-1).
+struct Interaction {
+  int user = 0;
+  int item = 0;
+  int64_t timestamp = 0;
+};
+
+/// Summary statistics matching the columns of the paper's Table I.
+struct DatasetStats {
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_actions = 0;
+  double avg_length = 0.0;
+  double density = 0.0;  // actions / (users * items)
+};
+
+/// Immutable interaction corpus with contiguous ids and per-user
+/// chronological sequences — the S_u of the paper (Sec. III-A). Optionally
+/// carries per-item category labels (used by the Fig.-1 interest-drift
+/// analysis) and per-event timestamps.
+class Dataset {
+ public:
+  /// Builds from raw interactions: sorts each user's events by timestamp
+  /// (stable, so equal timestamps keep input order) and compacts user/item
+  /// ids to [0, n) / [0, m). Duplicate (user, item) events are kept; models
+  /// that need sets de-duplicate via UserItemSet.
+  static StatusOr<Dataset> FromInteractions(
+      std::string name, std::vector<Interaction> interactions);
+
+  const std::string& name() const { return name_; }
+  size_t num_users() const { return sequences_.size(); }
+  size_t num_items() const { return num_items_; }
+  size_t num_actions() const { return num_actions_; }
+
+  /// Items user `u` interacted with, oldest first.
+  const std::vector<int>& sequence(size_t u) const { return sequences_[u]; }
+  /// Timestamps aligned with sequence(u).
+  const std::vector<int64_t>& timestamps(size_t u) const {
+    return timestamps_[u];
+  }
+
+  /// Sorted unique items of user `u` (the R+_u set).
+  const std::vector<int>& user_item_set(size_t u) const {
+    return item_sets_[u];
+  }
+  /// Membership test in R+_u via binary search.
+  bool UserHasItem(size_t u, int item) const;
+
+  /// Number of interactions that mention each item (popularity).
+  const std::vector<size_t>& item_counts() const { return item_counts_; }
+
+  /// Per-item category labels; empty when the corpus has none.
+  const std::vector<int>& item_categories() const { return item_categories_; }
+  void set_item_categories(std::vector<int> categories);
+  size_t num_categories() const { return num_categories_; }
+
+  DatasetStats Stats() const;
+
+  /// Original (pre-compaction) user ids, index = compact id.
+  const std::vector<int>& original_user_ids() const {
+    return original_user_ids_;
+  }
+  const std::vector<int>& original_item_ids() const {
+    return original_item_ids_;
+  }
+
+ private:
+  Dataset() = default;
+
+  std::string name_;
+  size_t num_items_ = 0;
+  size_t num_actions_ = 0;
+  std::vector<std::vector<int>> sequences_;
+  std::vector<std::vector<int64_t>> timestamps_;
+  std::vector<std::vector<int>> item_sets_;
+  std::vector<size_t> item_counts_;
+  std::vector<int> item_categories_;
+  size_t num_categories_ = 0;
+  std::vector<int> original_user_ids_;
+  std::vector<int> original_item_ids_;
+};
+
+/// Removes low-activity users/items. `mode` kPaper reproduces Sec. IV-A1:
+/// drop items with < k actions, then drop users with < k actions, then drop
+/// users with < k actions once more after the item filter shrank histories.
+/// kFixpoint iterates both filters until nothing changes (strict k-core).
+enum class CoreFilterMode { kPaper, kFixpoint };
+std::vector<Interaction> KCoreFilter(std::vector<Interaction> interactions,
+                                     size_t k, CoreFilterMode mode);
+
+}  // namespace sccf::data
+
+#endif  // SCCF_DATA_DATASET_H_

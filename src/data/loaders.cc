@@ -1,0 +1,102 @@
+#include "data/loaders.h"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace sccf::data {
+
+namespace {
+
+// Splits on "::" (ML-1M) or "," (ML-20M / Amazon).
+std::vector<std::string> SplitRecord(const std::string& line) {
+  if (line.find("::") != std::string::npos) {
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (;;) {
+      size_t pos = line.find("::", start);
+      if (pos == std::string::npos) {
+        out.push_back(line.substr(start));
+        break;
+      }
+      out.push_back(line.substr(start, pos - start));
+      start = pos + 2;
+    }
+    return out;
+  }
+  return Split(line, ',');
+}
+
+StatusOr<std::vector<Interaction>> LoadRatingsFile(const std::string& path,
+                                                   bool string_ids) {
+  std::ifstream f(path);
+  if (!f) return Status::IoError("cannot open " + path);
+
+  std::unordered_map<std::string, int> user_ids;
+  std::unordered_map<std::string, int> item_ids;
+  auto intern = [](std::unordered_map<std::string, int>& map,
+                   const std::string& key) {
+    return map.emplace(key, static_cast<int>(map.size())).first->second;
+  };
+
+  std::vector<Interaction> out;
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(f, line)) {
+    ++lineno;
+    std::string_view stripped = StripWhitespace(line);
+    if (stripped.empty()) continue;
+    std::vector<std::string> fields = SplitRecord(std::string(stripped));
+    if (fields.size() < 4) {
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": expected >=4 fields");
+    }
+    Interaction it;
+    int64_t ts = 0;
+    if (!ParseInt64(fields[3], &ts)) {
+      if (lineno == 1) continue;  // header row
+      return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                     ": bad timestamp '" + fields[3] + "'");
+    }
+    it.timestamp = ts;
+    if (string_ids) {
+      it.user = intern(user_ids, fields[0]);
+      it.item = intern(item_ids, fields[1]);
+    } else {
+      int64_t u = 0;
+      int64_t i = 0;
+      if (!ParseInt64(fields[0], &u) || !ParseInt64(fields[1], &i)) {
+        if (lineno == 1) continue;  // header row
+        return Status::InvalidArgument(path + ":" + std::to_string(lineno) +
+                                       ": bad ids");
+      }
+      it.user = static_cast<int>(u);
+      it.item = static_cast<int>(i);
+    }
+    out.push_back(it);
+  }
+  if (out.empty()) return Status::InvalidArgument(path + ": no records");
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Interaction>> LoadMovieLens(const std::string& path) {
+  return LoadRatingsFile(path, /*string_ids=*/false);
+}
+
+StatusOr<std::vector<Interaction>> LoadAmazonRatings(
+    const std::string& path) {
+  return LoadRatingsFile(path, /*string_ids=*/true);
+}
+
+StatusOr<Dataset> LoadAndPreprocess(const std::string& name,
+                                    const std::string& path, size_t core) {
+  SCCF_ASSIGN_OR_RETURN(std::vector<Interaction> raw,
+                        LoadAmazonRatings(path));
+  raw = KCoreFilter(std::move(raw), core, CoreFilterMode::kPaper);
+  return Dataset::FromInteractions(name, std::move(raw));
+}
+
+}  // namespace sccf::data

@@ -1,0 +1,29 @@
+#ifndef SCCF_DATA_LOADERS_H_
+#define SCCF_DATA_LOADERS_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sccf::data {
+
+/// Loads MovieLens "ratings.dat" ("user::item::rating::timestamp") or the
+/// ML-20M CSV variant ("userId,movieId,rating,timestamp", header allowed).
+/// All ratings become implicit "1" feedback per Sec. IV-A1.
+StatusOr<std::vector<Interaction>> LoadMovieLens(const std::string& path);
+
+/// Loads Amazon per-category ratings CSV: "user,item,rating,timestamp".
+/// User/item ids may be arbitrary strings; they are hashed to dense ints.
+StatusOr<std::vector<Interaction>> LoadAmazonRatings(
+    const std::string& path);
+
+/// Applies the paper's preprocessing (5-core, Sec. IV-A1) and builds the
+/// Dataset in one call.
+StatusOr<Dataset> LoadAndPreprocess(const std::string& name,
+                                    const std::string& path,
+                                    size_t core = 5);
+
+}  // namespace sccf::data
+
+#endif  // SCCF_DATA_LOADERS_H_

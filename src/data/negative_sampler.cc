@@ -1,0 +1,59 @@
+#include "data/negative_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sccf::data {
+
+NegativeSampler::NegativeSampler(const LeaveOneOutSplit& split,
+                                 double popularity_smoothing)
+    : split_(&split),
+      num_items_(split.dataset().num_items()),
+      popularity_weighted_(popularity_smoothing >= 0.0) {
+  if (popularity_weighted_) {
+    const auto& counts = split.dataset().item_counts();
+    cumulative_.resize(num_items_);
+    double acc = 0.0;
+    for (size_t i = 0; i < num_items_; ++i) {
+      acc += std::pow(static_cast<double>(counts[i]) + 1.0,
+                      popularity_smoothing);
+      cumulative_[i] = acc;
+    }
+  }
+}
+
+int NegativeSampler::Sample(size_t u, Rng& rng) const {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    int item;
+    if (popularity_weighted_) {
+      const double r = rng.UniformDouble() * cumulative_.back();
+      item = static_cast<int>(
+          std::lower_bound(cumulative_.begin(), cumulative_.end(), r) -
+          cumulative_.begin());
+    } else {
+      item = static_cast<int>(rng.Uniform(num_items_));
+    }
+    if (!split_->InTrainSet(u, item, /*include_valid=*/false)) return item;
+  }
+  // Pathological user covering almost the whole catalog; fall back to a
+  // linear scan for any unseen item.
+  for (size_t i = 0; i < num_items_; ++i) {
+    if (!split_->InTrainSet(u, static_cast<int>(i),
+                            /*include_valid=*/false)) {
+      return static_cast<int>(i);
+    }
+  }
+  SCCF_LOG_WARNING << "user " << u << " has interacted with every item";
+  return static_cast<int>(rng.Uniform(num_items_));
+}
+
+std::vector<int> NegativeSampler::SampleMany(size_t u, size_t n,
+                                             Rng& rng) const {
+  std::vector<int> out(n);
+  for (auto& v : out) v = Sample(u, rng);
+  return out;
+}
+
+}  // namespace sccf::data

@@ -1,0 +1,37 @@
+#ifndef SCCF_DATA_NEGATIVE_SAMPLER_H_
+#define SCCF_DATA_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "util/random.h"
+
+namespace sccf::data {
+
+/// Samples negative items for implicit-feedback training (Sec. III-B2):
+/// "sample negative instances from the remaining unobserved ones". Items
+/// in the user's training set are rejected and resampled.
+class NegativeSampler {
+ public:
+  /// `popularity_smoothing` < 0 selects uniform sampling; otherwise items
+  /// are drawn proportionally to count^smoothing (word2vec-style).
+  NegativeSampler(const LeaveOneOutSplit& split,
+                  double popularity_smoothing = -1.0);
+
+  /// One negative for user `u` (an item outside the training set).
+  int Sample(size_t u, Rng& rng) const;
+
+  /// `n` negatives (independent draws; duplicates possible, as in the
+  /// reference implementations).
+  std::vector<int> SampleMany(size_t u, size_t n, Rng& rng) const;
+
+ private:
+  const LeaveOneOutSplit* split_;
+  size_t num_items_;
+  bool popularity_weighted_;
+  std::vector<double> cumulative_;  // popularity CDF when weighted
+};
+
+}  // namespace sccf::data
+
+#endif  // SCCF_DATA_NEGATIVE_SAMPLER_H_

@@ -1,0 +1,65 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sccf::data {
+
+namespace {
+constexpr size_t kMinSequenceForHoldout = 3;  // >=1 train + valid + test
+
+std::vector<int> SortedUnique(std::span<const int> items) {
+  std::vector<int> s(items.begin(), items.end());
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  return s;
+}
+}  // namespace
+
+LeaveOneOutSplit::LeaveOneOutSplit(const Dataset& dataset)
+    : dataset_(&dataset) {
+  const size_t n = dataset.num_users();
+  evaluable_.resize(n);
+  train_sets_.resize(n);
+  train_valid_sets_.resize(n);
+  for (size_t u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequence(u);
+    evaluable_[u] = seq.size() >= kMinSequenceForHoldout;
+    if (evaluable_[u]) ++num_evaluable_;
+    train_sets_[u] = SortedUnique(TrainSequence(u));
+    train_valid_sets_[u] = SortedUnique(TrainPlusValidSequence(u));
+  }
+}
+
+std::span<const int> LeaveOneOutSplit::TrainSequence(size_t u) const {
+  const auto& seq = dataset_->sequence(u);
+  if (!evaluable_[u]) return {seq.data(), seq.size()};
+  return {seq.data(), seq.size() - 2};
+}
+
+std::span<const int> LeaveOneOutSplit::TrainPlusValidSequence(
+    size_t u) const {
+  const auto& seq = dataset_->sequence(u);
+  if (!evaluable_[u]) return {seq.data(), seq.size()};
+  return {seq.data(), seq.size() - 1};
+}
+
+int LeaveOneOutSplit::ValidItem(size_t u) const {
+  SCCF_CHECK(evaluable_[u]);
+  const auto& seq = dataset_->sequence(u);
+  return seq[seq.size() - 2];
+}
+
+int LeaveOneOutSplit::TestItem(size_t u) const {
+  SCCF_CHECK(evaluable_[u]);
+  return dataset_->sequence(u).back();
+}
+
+bool LeaveOneOutSplit::InTrainSet(size_t u, int item,
+                                  bool include_valid) const {
+  const auto& s = include_valid ? train_valid_sets_[u] : train_sets_[u];
+  return std::binary_search(s.begin(), s.end(), item);
+}
+
+}  // namespace sccf::data

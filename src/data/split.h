@@ -1,0 +1,61 @@
+#ifndef SCCF_DATA_SPLIT_H_
+#define SCCF_DATA_SPLIT_H_
+
+#include <span>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sccf::data {
+
+/// Leave-one-out protocol of Sec. IV-A2: per user, the last interaction is
+/// the test item, the one before it is the validation item, everything
+/// earlier is training history. Users whose sequence is too short to carve
+/// out both holdouts are marked unevaluable (train on full sequence).
+///
+/// `include_validation_in_train` reproduces the paper's final-measurement
+/// setting: "we add all validation items and users back to the training
+/// set" before scoring the test items.
+class LeaveOneOutSplit {
+ public:
+  /// Pre: dataset outlives the split.
+  explicit LeaveOneOutSplit(const Dataset& dataset);
+
+  const Dataset& dataset() const { return *dataset_; }
+  size_t num_users() const { return dataset_->num_users(); }
+
+  /// True when user `u` has a held-out validation and test item.
+  bool evaluable(size_t u) const { return evaluable_[u]; }
+
+  /// Training prefix (excludes validation and test positions).
+  std::span<const int> TrainSequence(size_t u) const;
+
+  /// Training prefix plus the validation item — the history visible when
+  /// scoring the *test* item.
+  std::span<const int> TrainPlusValidSequence(size_t u) const;
+
+  /// Held-out items. Pre: evaluable(u).
+  int ValidItem(size_t u) const;
+  int TestItem(size_t u) const;
+
+  /// True if `item` occurs in the training prefix of `u` (R+_u for
+  /// training-time purposes). `include_valid` also counts the validation
+  /// item, for test-time exclusion per Sec. III-C.
+  bool InTrainSet(size_t u, int item, bool include_valid) const;
+
+  size_t NumEvaluableUsers() const { return num_evaluable_; }
+
+ private:
+  const Dataset* dataset_;
+  std::vector<bool> evaluable_;
+  size_t num_evaluable_ = 0;
+  // Sorted unique items of the training prefix / prefix+valid, per user,
+  // for O(log) membership checks.
+  std::vector<std::vector<int>> train_sets_;
+  std::vector<std::vector<int>> train_valid_sets_;
+};
+
+}  // namespace sccf::data
+
+#endif  // SCCF_DATA_SPLIT_H_

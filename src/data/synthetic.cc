@@ -1,0 +1,232 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sccf::data {
+
+namespace {
+// Cumulative Zipf weights over `n` ranks with exponent `s`.
+std::vector<double> ZipfCumulative(size_t n, double s) {
+  std::vector<double> cum(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    cum[r] = acc;
+  }
+  return cum;
+}
+
+size_t SampleCumulative(const std::vector<double>& cum, Rng& rng) {
+  const double r = rng.UniformDouble() * cum.back();
+  return std::lower_bound(cum.begin(), cum.end(), r) - cum.begin();
+}
+}  // namespace
+
+SyntheticGenerator::SyntheticGenerator(SyntheticConfig config)
+    : config_(std::move(config)) {
+  SCCF_CHECK_GT(config_.num_users, 0u);
+  SCCF_CHECK_GT(config_.num_clusters, 0u);
+  SCCF_CHECK_GE(config_.num_items, config_.num_clusters);
+  SCCF_CHECK_GE(config_.max_actions, config_.min_actions);
+  SCCF_CHECK_GT(config_.days, 0u);
+}
+
+int SyntheticGenerator::SampleClusterItem(int cluster, Rng& rng) const {
+  const auto& items = cluster_items_[cluster];
+  const size_t rank = SampleCumulative(cluster_cumweights_[cluster], rng);
+  return items[rank];
+}
+
+StatusOr<Dataset> SyntheticGenerator::Generate() {
+  Rng rng(config_.seed);
+  const size_t m = config_.num_items;
+  const size_t g = config_.num_clusters;
+
+  // --- Item world: clusters, categories, popularity, successor chains.
+  item_cluster_.resize(m);
+  cluster_items_.assign(g, {});
+  for (size_t i = 0; i < m; ++i) {
+    const int c = static_cast<int>(i % g);  // round-robin keeps sizes even
+    item_cluster_[i] = c;
+    cluster_items_[c].push_back(static_cast<int>(i));
+  }
+  // Shuffle within-cluster order so popularity rank is random per cluster.
+  cluster_cumweights_.resize(g);
+  for (size_t c = 0; c < g; ++c) {
+    rng.Shuffle(cluster_items_[c]);
+    cluster_cumweights_[c] =
+        ZipfCumulative(cluster_items_[c].size(), config_.popularity_exponent);
+  }
+
+  // Successor chain: a cyclic random permutation inside each cluster.
+  successor_.assign(m, 0);
+  for (size_t c = 0; c < g; ++c) {
+    std::vector<int> order = cluster_items_[c];
+    rng.Shuffle(order);
+    for (size_t i = 0; i < order.size(); ++i) {
+      successor_[order[i]] = order[(i + 1) % order.size()];
+    }
+  }
+
+  // Global popularity head.
+  const size_t head_size = std::max<size_t>(
+      1, static_cast<size_t>(m * config_.global_popular_fraction));
+  global_head_.clear();
+  for (uint64_t idx : rng.SampleWithoutReplacement(m, head_size)) {
+    global_head_.push_back(static_cast<int>(idx));
+  }
+  global_cumweights_ = ZipfCumulative(head_size, 1.2);
+
+  // --- Users.
+  user_primary_.resize(config_.num_users);
+  std::vector<Interaction> interactions;
+  const int64_t kSecondsPerDay = 86400;
+
+  for (size_t u = 0; u < config_.num_users; ++u) {
+    const int primary = static_cast<int>(rng.Uniform(g));
+    user_primary_[u] = primary;
+    std::vector<int> secondary;
+    for (size_t s = 0; s < config_.num_secondary_interests; ++s) {
+      secondary.push_back(static_cast<int>(rng.Uniform(g)));
+    }
+
+    const double frac = std::pow(rng.UniformDouble(), config_.length_shape);
+    const size_t total_actions =
+        config_.min_actions +
+        static_cast<size_t>(
+            (config_.max_actions - config_.min_actions) * frac);
+
+    // Spread actions over days (uniform day choice, then sort).
+    std::vector<size_t> action_day(total_actions);
+    for (auto& d : action_day) d = rng.Uniform(config_.days);
+    std::sort(action_day.begin(), action_day.end());
+
+    std::unordered_set<int> seen;
+    int prev_item = -1;
+    size_t current_day = 0;
+    size_t emitted = 0;
+    for (size_t a = 0; a < total_actions; ++a) {
+      // Day rollover: apply interest drift once per elapsed day.
+      while (current_day < action_day[a]) {
+        ++current_day;
+        if (!secondary.empty() && rng.Bernoulli(config_.interest_drift)) {
+          secondary[rng.Uniform(secondary.size())] =
+              static_cast<int>(rng.Uniform(g));
+        }
+      }
+
+      int item = -1;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        if (rng.Bernoulli(config_.global_popular_prob)) {
+          item = global_head_[SampleCumulative(global_cumweights_, rng)];
+        } else if (prev_item >= 0 &&
+                   rng.Bernoulli(config_.sequential_strength)) {
+          item = successor_[prev_item];
+        } else {
+          int cluster = primary;
+          if (!secondary.empty() &&
+              !rng.Bernoulli(config_.primary_affinity)) {
+            cluster = secondary[rng.Uniform(secondary.size())];
+          }
+          item = SampleClusterItem(cluster, rng);
+        }
+        if (!seen.count(item)) break;
+        item = -1;
+      }
+      if (item < 0) {
+        prev_item = -1;  // stuck in seen items; break the chain
+        continue;
+      }
+      seen.insert(item);
+      Interaction it;
+      it.user = static_cast<int>(u);
+      it.item = item;
+      it.timestamp = static_cast<int64_t>(action_day[a]) * kSecondsPerDay +
+                     static_cast<int64_t>(emitted);
+      interactions.push_back(it);
+      prev_item = item;
+      ++emitted;
+    }
+  }
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds,
+      Dataset::FromInteractions(config_.name, std::move(interactions)));
+
+  // Category labels: contiguous cluster groups. Item ids survive
+  // compaction in FromInteractions only via original ids, so map back.
+  std::vector<int> categories(ds.num_items());
+  for (size_t compact = 0; compact < ds.num_items(); ++compact) {
+    const int original = ds.original_item_ids()[compact];
+    categories[compact] = item_cluster_[original] /
+                          static_cast<int>(config_.clusters_per_category);
+  }
+  ds.set_item_categories(std::move(categories));
+  return ds;
+}
+
+SyntheticConfig SynMl1mConfig(double scale) {
+  SyntheticConfig c;
+  c.name = "SynML-1M";
+  c.num_users = static_cast<size_t>(800 * scale);
+  c.num_items = 900;
+  c.num_clusters = 36;
+  c.min_actions = 20;
+  c.max_actions = 160;
+  c.length_shape = 0.8;   // many long histories (dense MovieLens regime)
+  c.sequential_strength = 0.3;
+  c.days = 60;
+  c.seed = 11;
+  return c;
+}
+
+SyntheticConfig SynMl20mConfig(double scale) {
+  SyntheticConfig c;
+  c.name = "SynML-20M";
+  c.num_users = static_cast<size_t>(1600 * scale);
+  c.num_items = 1500;
+  c.num_clusters = 60;
+  c.min_actions = 15;
+  c.max_actions = 120;
+  c.length_shape = 1.0;
+  c.sequential_strength = 0.35;
+  c.days = 90;
+  c.seed = 12;
+  return c;
+}
+
+SyntheticConfig SynGamesConfig(double scale) {
+  SyntheticConfig c;
+  c.name = "SynGames";
+  c.num_users = static_cast<size_t>(1200 * scale);
+  c.num_items = 1000;
+  c.num_clusters = 50;
+  c.min_actions = 6;
+  c.max_actions = 30;
+  c.length_shape = 2.0;   // mostly short histories (Amazon regime)
+  c.sequential_strength = 0.3;
+  c.days = 45;
+  c.seed = 13;
+  return c;
+}
+
+SyntheticConfig SynBeautyConfig(double scale) {
+  SyntheticConfig c;
+  c.name = "SynBeauty";
+  c.num_users = static_cast<size_t>(1500 * scale);
+  c.num_items = 1400;
+  c.num_clusters = 70;
+  c.min_actions = 6;
+  c.max_actions = 24;
+  c.length_shape = 2.2;
+  c.sequential_strength = 0.25;
+  c.days = 45;
+  c.seed = 14;
+  return c;
+}
+
+}  // namespace sccf::data

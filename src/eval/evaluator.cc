@@ -1,0 +1,89 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <mutex>
+
+#include "util/thread_pool.h"
+
+namespace sccf::eval {
+
+namespace {
+constexpr float kMaskedScore = -1e30f;
+
+size_t RankOfTarget(const std::vector<float>& scores, int target) {
+  const float t = scores[target];
+  size_t better = 0;
+  for (float s : scores) {
+    if (s > t) ++better;
+  }
+  return better + 1;
+}
+}  // namespace
+
+double EvalResult::HrAt(size_t k) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return hr[i];
+  }
+  return 0.0;
+}
+
+double EvalResult::NdcgAt(size_t k) const {
+  for (size_t i = 0; i < cutoffs.size(); ++i) {
+    if (cutoffs[i] == k) return ndcg[i];
+  }
+  return 0.0;
+}
+
+StatusOr<EvalResult> Evaluate(const models::Recommender& model,
+                              const data::LeaveOneOutSplit& split,
+                              const EvalOptions& options) {
+  if (options.cutoffs.empty()) {
+    return Status::InvalidArgument("cutoffs must be non-empty");
+  }
+  const size_t n = split.num_users();
+  std::vector<size_t> ranks;
+  if (options.keep_ranks) ranks.assign(n, 0);
+
+  std::mutex mu;
+  MetricAccumulator total(options.cutoffs);
+
+  auto eval_block = [&](size_t lo, size_t hi) {
+    MetricAccumulator local(options.cutoffs);
+    std::vector<float> scores;
+    for (size_t u = lo; u < hi; ++u) {
+      if (!split.evaluable(u)) continue;
+      const std::span<const int> history = options.on_validation
+                                               ? split.TrainSequence(u)
+                                               : split.TrainPlusValidSequence(u);
+      const int target =
+          options.on_validation ? split.ValidItem(u) : split.TestItem(u);
+      model.ScoreAll(u, history, &scores);
+      if (options.exclude_history) {
+        for (int item : history) scores[item] = kMaskedScore;
+      }
+      const size_t rank = RankOfTarget(scores, target);
+      local.AddRank(rank);
+      if (options.keep_ranks) ranks[u] = rank;
+    }
+    std::lock_guard<std::mutex> lock(mu);
+    total.Merge(local);
+  };
+
+  if (options.parallel) {
+    ParallelForBlocked(0, n, eval_block);
+  } else {
+    eval_block(0, n);
+  }
+
+  EvalResult result;
+  result.cutoffs = options.cutoffs;
+  result.num_users = total.num_users();
+  for (size_t i = 0; i < options.cutoffs.size(); ++i) {
+    result.hr.push_back(total.hr(i));
+    result.ndcg.push_back(total.ndcg(i));
+  }
+  result.ranks = std::move(ranks);
+  return result;
+}
+
+}  // namespace sccf::eval

@@ -1,0 +1,48 @@
+#ifndef SCCF_EVAL_EVALUATOR_H_
+#define SCCF_EVAL_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/split.h"
+#include "eval/metrics.h"
+#include "models/recommender.h"
+#include "util/status.h"
+
+namespace sccf::eval {
+
+struct EvalOptions {
+  std::vector<size_t> cutoffs = {20, 50, 100};
+  /// Score the validation item with training-prefix history instead of the
+  /// test item with prefix+validation history.
+  bool on_validation = false;
+  /// Rank over items outside the user's history (the paper never
+  /// recommends R+_u again, Sec. III-C).
+  bool exclude_history = true;
+  /// Evaluate across the thread pool.
+  bool parallel = true;
+  /// Record each user's 1-based rank (0 = not evaluated / not hit).
+  bool keep_ranks = false;
+};
+
+struct EvalResult {
+  std::vector<size_t> cutoffs;
+  std::vector<double> hr;
+  std::vector<double> ndcg;
+  size_t num_users = 0;
+  std::vector<size_t> ranks;  // when keep_ranks
+
+  /// Value of hr/ndcg at a cutoff; 0 if the cutoff was not evaluated.
+  double HrAt(size_t k) const;
+  double NdcgAt(size_t k) const;
+};
+
+/// Full-item-set leave-one-out evaluation (Sec. IV-A2): for each evaluable
+/// user, scores every item, masks the user's history, and ranks the held-
+/// out item by counting strictly-better scores.
+StatusOr<EvalResult> Evaluate(const models::Recommender& model,
+                              const data::LeaveOneOutSplit& split,
+                              const EvalOptions& options = {});
+
+}  // namespace sccf::eval
+
+#endif  // SCCF_EVAL_EVALUATOR_H_

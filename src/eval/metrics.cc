@@ -1,0 +1,95 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sccf::eval {
+
+double HitRate(size_t rank, size_t k) {
+  return rank > 0 && rank <= k ? 1.0 : 0.0;
+}
+
+double Ndcg(size_t rank, size_t k) {
+  if (rank == 0 || rank > k) return 0.0;
+  return 1.0 / std::log2(static_cast<double>(rank) + 1.0);
+}
+
+MetricAccumulator::MetricAccumulator(std::vector<size_t> cutoffs)
+    : cutoffs_(std::move(cutoffs)),
+      hr_sum_(cutoffs_.size(), 0.0),
+      ndcg_sum_(cutoffs_.size(), 0.0) {
+  SCCF_CHECK(!cutoffs_.empty());
+}
+
+void MetricAccumulator::AddRank(size_t rank) {
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    hr_sum_[i] += HitRate(rank, cutoffs_[i]);
+    ndcg_sum_[i] += Ndcg(rank, cutoffs_[i]);
+  }
+  ++num_users_;
+}
+
+void MetricAccumulator::Merge(const MetricAccumulator& other) {
+  SCCF_CHECK(cutoffs_ == other.cutoffs_);
+  for (size_t i = 0; i < cutoffs_.size(); ++i) {
+    hr_sum_[i] += other.hr_sum_[i];
+    ndcg_sum_[i] += other.ndcg_sum_[i];
+  }
+  num_users_ += other.num_users_;
+}
+
+double MetricAccumulator::hr(size_t i) const {
+  return num_users_ == 0 ? 0.0 : hr_sum_[i] / num_users_;
+}
+
+double MetricAccumulator::ndcg(size_t i) const {
+  return num_users_ == 0 ? 0.0 : ndcg_sum_[i] / num_users_;
+}
+
+double Mrr(size_t rank, size_t k) {
+  if (rank == 0 || rank > k) return 0.0;
+  return 1.0 / static_cast<double>(rank);
+}
+
+ListQuality AnalyzeLists(const std::vector<std::vector<int>>& lists,
+                         const std::vector<size_t>& item_counts,
+                         size_t num_items) {
+  ListQuality q;
+  if (lists.empty() || num_items == 0) return q;
+
+  std::vector<size_t> exposure(num_items, 0);
+  double pop_sum = 0.0;
+  size_t non_empty = 0;
+  size_t total_exposures = 0;
+  for (const auto& list : lists) {
+    if (list.empty()) continue;
+    ++non_empty;
+    double list_pop = 0.0;
+    for (int item : list) {
+      SCCF_CHECK_GE(item, 0);
+      SCCF_CHECK_LT(static_cast<size_t>(item), num_items);
+      ++exposure[item];
+      ++total_exposures;
+      list_pop += static_cast<double>(item_counts[item]);
+    }
+    pop_sum += list_pop / list.size();
+  }
+  if (non_empty == 0 || total_exposures == 0) return q;
+
+  size_t covered = 0;
+  double entropy = 0.0;
+  for (size_t i = 0; i < num_items; ++i) {
+    if (exposure[i] == 0) continue;
+    ++covered;
+    const double p =
+        static_cast<double>(exposure[i]) / total_exposures;
+    entropy -= p * std::log(p);
+  }
+  q.catalog_coverage = static_cast<double>(covered) / num_items;
+  q.mean_popularity = pop_sum / non_empty;
+  q.exposure_entropy = entropy;
+  return q;
+}
+
+}  // namespace sccf::eval

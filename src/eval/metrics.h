@@ -1,0 +1,70 @@
+#ifndef SCCF_EVAL_METRICS_H_
+#define SCCF_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace sccf::eval {
+
+/// HR@k contribution of one user (Sec. IV-A2): 1 if the ground-truth item
+/// ranked within the top k, else 0. `rank` is 1-based.
+double HitRate(size_t rank, size_t k);
+
+/// NDCG@k contribution of one user: 1 / log2(rank + 1) within the top k,
+/// else 0 (the paper's single-relevant-item form).
+double Ndcg(size_t rank, size_t k);
+
+/// MRR@k contribution: 1 / rank within the top k, else 0. Not reported in
+/// the paper but standard in candidate-generation evaluations.
+double Mrr(size_t rank, size_t k);
+
+/// Accumulates HR/NDCG over users for a fixed set of cutoffs.
+class MetricAccumulator {
+ public:
+  explicit MetricAccumulator(std::vector<size_t> cutoffs);
+
+  /// Adds one user's 1-based rank of the ground-truth item.
+  void AddRank(size_t rank);
+
+  /// Merges another accumulator (parallel evaluation).
+  void Merge(const MetricAccumulator& other);
+
+  const std::vector<size_t>& cutoffs() const { return cutoffs_; }
+  size_t num_users() const { return num_users_; }
+
+  /// Mean HR@cutoffs[i] over added users.
+  double hr(size_t i) const;
+  double ndcg(size_t i) const;
+
+ private:
+  std::vector<size_t> cutoffs_;
+  std::vector<double> hr_sum_;
+  std::vector<double> ndcg_sum_;
+  size_t num_users_ = 0;
+};
+
+/// List-quality diagnostics for a set of recommendation lists (beyond
+/// accuracy): how much of the catalog the system ever shows, and how
+/// popularity-skewed the shown items are. Useful when comparing the UI
+/// and UU candidate streams — the user-based list typically covers more
+/// of the long tail (the paper's "local information" argument).
+struct ListQuality {
+  /// Fraction of the catalog appearing in at least one list.
+  double catalog_coverage = 0.0;
+  /// Mean over lists of the mean item popularity (training interaction
+  /// count) — lower means deeper into the long tail.
+  double mean_popularity = 0.0;
+  /// Shannon entropy (nats) of the item-exposure distribution; higher
+  /// means exposure is spread over more items.
+  double exposure_entropy = 0.0;
+};
+
+/// Computes ListQuality over per-user top-N lists. `item_counts` is the
+/// training popularity of each item; `num_items` the catalog size.
+ListQuality AnalyzeLists(const std::vector<std::vector<int>>& lists,
+                         const std::vector<size_t>& item_counts,
+                         size_t num_items);
+
+}  // namespace sccf::eval
+
+#endif  // SCCF_EVAL_METRICS_H_

@@ -1,0 +1,82 @@
+#include "index/brute_force_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+#include "tensor/tensor.h"
+#include "util/thread_pool.h"
+
+namespace sccf::index {
+
+namespace {
+void NormalizeCopy(const float* in, float* out, size_t d) {
+  const float norm = tensor_ops::Norm(in, d);
+  const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
+  for (size_t i = 0; i < d; ++i) out[i] = in[i] * inv;
+}
+}  // namespace
+
+BruteForceIndex::BruteForceIndex(size_t dim, Metric metric, bool parallel)
+    : dim_(dim), metric_(metric), parallel_(parallel) {}
+
+Status BruteForceIndex::Add(int id, const float* vec) {
+  if (id < 0) return Status::InvalidArgument("id must be non-negative");
+  auto it = slot_.find(id);
+  size_t s;
+  if (it != slot_.end()) {
+    s = it->second;
+  } else {
+    s = ids_.size();
+    ids_.push_back(id);
+    data_.resize(data_.size() + dim_);
+    slot_[id] = s;
+  }
+  float* dst = data_.data() + s * dim_;
+  if (metric_ == Metric::kCosine) {
+    NormalizeCopy(vec, dst, dim_);
+  } else {
+    std::copy(vec, vec + dim_, dst);
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
+    const float* query, size_t k, int exclude_id) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  std::vector<float> qnorm;
+  const float* q = query;
+  if (metric_ == Metric::kCosine) {
+    qnorm.resize(dim_);
+    NormalizeCopy(query, qnorm.data(), dim_);
+    q = qnorm.data();
+  }
+
+  const size_t n = ids_.size();
+  auto scan = [&](size_t lo, size_t hi, TopKAccumulator* acc) {
+    for (size_t s = lo; s < hi; ++s) {
+      if (ids_[s] == exclude_id) continue;
+      const float score = tensor_ops::Dot(q, data_.data() + s * dim_, dim_);
+      acc->Offer(ids_[s], score);
+    }
+  };
+
+  if (!parallel_ || n < 4096) {
+    TopKAccumulator acc(k);
+    scan(0, n, &acc);
+    return acc.Take();
+  }
+
+  std::mutex mu;
+  TopKAccumulator merged(k);
+  ParallelForBlocked(0, n, [&](size_t lo, size_t hi) {
+    TopKAccumulator local(k);
+    scan(lo, hi, &local);
+    std::vector<Neighbor> part = local.Take();
+    std::lock_guard<std::mutex> lock(mu);
+    for (const Neighbor& nb : part) merged.Offer(nb.id, nb.score);
+  });
+  return merged.Take();
+}
+
+}  // namespace sccf::index

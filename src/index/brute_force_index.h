@@ -1,0 +1,38 @@
+#ifndef SCCF_INDEX_BRUTE_FORCE_INDEX_H_
+#define SCCF_INDEX_BRUTE_FORCE_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace sccf::index {
+
+/// Exact top-k search by exhaustive scan. O(n * d) per query, optionally
+/// parallelised across blocks of the corpus. Serves as the ground truth
+/// for ANN recall tests and as the paper's exact-Faiss stand-in at the
+/// corpus sizes used in the offline experiments.
+class BruteForceIndex : public VectorIndex {
+ public:
+  BruteForceIndex(size_t dim, Metric metric, bool parallel = false);
+
+  Status Add(int id, const float* vec) override;
+  StatusOr<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                         int exclude_id = -1) const override;
+
+  size_t size() const override { return ids_.size(); }
+  size_t dim() const override { return dim_; }
+  Metric metric() const override { return metric_; }
+
+ private:
+  size_t dim_;
+  Metric metric_;
+  bool parallel_;
+  std::vector<float> data_;              // slot-major, normalised if cosine
+  std::vector<int> ids_;                 // slot -> external id
+  std::unordered_map<int, size_t> slot_;  // external id -> slot
+};
+
+}  // namespace sccf::index
+
+#endif  // SCCF_INDEX_BRUTE_FORCE_INDEX_H_

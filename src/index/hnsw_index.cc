@@ -1,0 +1,206 @@
+#include "index/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace sccf::index {
+
+namespace {
+void NormalizeInPlace(float* v, size_t d) {
+  const float norm = tensor_ops::Norm(v, d);
+  if (norm > 0.0f) {
+    const float inv = 1.0f / norm;
+    for (size_t i = 0; i < d; ++i) v[i] *= inv;
+  }
+}
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
+    : dim_(dim), metric_(metric), options_(options), rng_(options.seed) {
+  SCCF_CHECK_GT(options_.m, 1u);
+}
+
+float HnswIndex::Similarity(const float* a, const float* b) const {
+  return tensor_ops::Dot(a, b, dim_);
+}
+
+int HnswIndex::RandomLevel() {
+  const double ml = 1.0 / std::log(static_cast<double>(options_.m));
+  double u = rng_.UniformDouble();
+  if (u < 1e-12) u = 1e-12;
+  return static_cast<int>(-std::log(u) * ml);
+}
+
+int HnswIndex::GreedyClosest(const float* q, int entry, int level) const {
+  int cur = entry;
+  float cur_sim = Similarity(q, nodes_[cur].vec.data());
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int nb : nodes_[cur].neighbors[level]) {
+      const float s = Similarity(q, nodes_[nb].vec.data());
+      if (s > cur_sim) {
+        cur_sim = s;
+        cur = nb;
+        improved = true;
+      }
+    }
+  }
+  return cur;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, int entry,
+                                             size_t ef, int level) const {
+  // Classic dual-heap beam search; `visited` via epoch-free bool vector.
+  std::vector<char> visited(nodes_.size(), 0);
+  auto cmp_best = [](const Neighbor& a, const Neighbor& b) {
+    return a.score < b.score;  // max-heap on similarity
+  };
+  auto cmp_worst = [](const Neighbor& a, const Neighbor& b) {
+    return a.score > b.score;  // min-heap on similarity
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp_best)>
+      candidates(cmp_best);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp_worst)>
+      results(cmp_worst);
+
+  const float entry_sim = Similarity(q, nodes_[entry].vec.data());
+  candidates.push({entry, entry_sim});
+  results.push({entry, entry_sim});
+  visited[entry] = 1;
+
+  while (!candidates.empty()) {
+    const Neighbor c = candidates.top();
+    candidates.pop();
+    if (results.size() >= ef && c.score < results.top().score) break;
+    for (int nb : nodes_[c.id].neighbors[level]) {
+      if (visited[nb]) continue;
+      visited[nb] = 1;
+      const float s = Similarity(q, nodes_[nb].vec.data());
+      if (results.size() < ef || s > results.top().score) {
+        candidates.push({nb, s});
+        results.push({nb, s});
+        if (results.size() > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // descending similarity
+  return out;
+}
+
+void HnswIndex::PruneNeighbors(int n, int level, size_t max_m) {
+  auto& nbs = nodes_[n].neighbors[level];
+  if (nbs.size() <= max_m) return;
+  std::vector<Neighbor> scored;
+  scored.reserve(nbs.size());
+  for (int nb : nbs) {
+    scored.push_back(
+        {nb, Similarity(nodes_[n].vec.data(), nodes_[nb].vec.data())});
+  }
+  std::partial_sort(scored.begin(), scored.begin() + max_m, scored.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.score > b.score;
+                    });
+  nbs.clear();
+  for (size_t i = 0; i < max_m; ++i) nbs.push_back(scored[i].id);
+}
+
+Status HnswIndex::Add(int id, const float* vec) {
+  if (id < 0) return Status::InvalidArgument("id must be non-negative");
+
+  auto it = live_.find(id);
+  if (it != live_.end()) {
+    // Tombstone the previous version; it keeps routing edges.
+    nodes_[it->second].deleted = true;
+    live_.erase(it);
+  }
+
+  GraphNode node;
+  node.external_id = id;
+  node.level = RandomLevel();
+  node.vec.assign(vec, vec + dim_);
+  if (metric_ == Metric::kCosine) NormalizeInPlace(node.vec.data(), dim_);
+  node.neighbors.resize(node.level + 1);
+
+  const int internal = static_cast<int>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  live_[id] = internal;
+
+  if (entry_point_ < 0) {
+    entry_point_ = internal;
+    max_level_ = nodes_[internal].level;
+    return Status::OK();
+  }
+
+  const float* q = nodes_[internal].vec.data();
+  int cur = entry_point_;
+  // Descend through levels above the new node's level greedily.
+  for (int level = max_level_; level > nodes_[internal].level; --level) {
+    cur = GreedyClosest(q, cur, level);
+  }
+  // Connect at each level from min(level, max_level_) down to 0.
+  for (int level = std::min(nodes_[internal].level, max_level_); level >= 0;
+       --level) {
+    std::vector<Neighbor> cands =
+        SearchLayer(q, cur, options_.ef_construction, level);
+    const size_t max_m = level == 0 ? options_.m * 2 : options_.m;
+    size_t linked = 0;
+    for (const Neighbor& c : cands) {
+      if (c.id == internal) continue;
+      if (linked >= max_m) break;
+      nodes_[internal].neighbors[level].push_back(c.id);
+      nodes_[c.id].neighbors[level].push_back(internal);
+      PruneNeighbors(c.id, level, max_m);
+      ++linked;
+    }
+    if (!cands.empty()) cur = cands.front().id;
+  }
+
+  if (nodes_[internal].level > max_level_) {
+    max_level_ = nodes_[internal].level;
+    entry_point_ = internal;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
+                                                  size_t k,
+                                                  int exclude_id) const {
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+  if (entry_point_ < 0) return std::vector<Neighbor>{};
+
+  std::vector<float> qbuf(query, query + dim_);
+  if (metric_ == Metric::kCosine) NormalizeInPlace(qbuf.data(), dim_);
+  const float* q = qbuf.data();
+
+  int cur = entry_point_;
+  for (int level = max_level_; level > 0; --level) {
+    cur = GreedyClosest(q, cur, level);
+  }
+  const size_t ef = std::max(options_.ef_search, k);
+  std::vector<Neighbor> raw = SearchLayer(q, cur, ef + k, 0);
+
+  // Filter tombstones and duplicate external ids (an id can appear once
+  // live and multiple times tombstoned after updates).
+  TopKAccumulator acc(k);
+  for (const Neighbor& nb : raw) {
+    const GraphNode& node = nodes_[nb.id];
+    if (node.deleted) continue;
+    if (node.external_id == exclude_id) continue;
+    acc.Offer(node.external_id, nb.score);
+  }
+  return acc.Take();
+}
+
+}  // namespace sccf::index

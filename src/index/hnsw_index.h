@@ -1,0 +1,76 @@
+#ifndef SCCF_INDEX_HNSW_INDEX_H_
+#define SCCF_INDEX_HNSW_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/random.h"
+
+namespace sccf::index {
+
+/// Hierarchical Navigable Small World graph (Malkov & Yashunin) over
+/// inner-product / cosine similarity. Sub-linear query time makes it the
+/// "identify neighbors in real time" workhorse of the SCCF user-based
+/// component at catalog scale (paper Table III).
+///
+/// Streaming semantics: Add() with an existing id tombstones the old node
+/// (it keeps routing but is filtered from results) and inserts a fresh
+/// node, so recall does not decay under user-embedding updates.
+class HnswIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t m = 16;                ///< max neighbors per node above level 0
+    size_t ef_construction = 100; ///< beam width during insertion
+    size_t ef_search = 64;        ///< beam width during queries
+    uint64_t seed = 42;
+  };
+
+  HnswIndex(size_t dim, Metric metric, Options options);
+
+  Status Add(int id, const float* vec) override;
+  StatusOr<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                         int exclude_id = -1) const override;
+
+  size_t size() const override { return live_.size(); }
+  size_t dim() const override { return dim_; }
+  Metric metric() const override { return metric_; }
+
+  void set_ef_search(size_t ef) { options_.ef_search = ef; }
+
+  /// Internal nodes including tombstones (diagnostics).
+  size_t num_graph_nodes() const { return nodes_.size(); }
+
+ private:
+  struct GraphNode {
+    int external_id;
+    bool deleted = false;
+    int level;
+    std::vector<float> vec;                    // normalised when cosine
+    std::vector<std::vector<int>> neighbors;   // per level
+  };
+
+  float Similarity(const float* a, const float* b) const;
+  int RandomLevel();
+  /// Greedy single-entry descent at `level`, maximising similarity.
+  int GreedyClosest(const float* q, int entry, int level) const;
+  /// Beam search at `level`; returns up to `ef` candidates sorted by
+  /// descending similarity.
+  std::vector<Neighbor> SearchLayer(const float* q, int entry, size_t ef,
+                                    int level) const;
+  /// Keeps the `max_m` most similar neighbors of node `n` at `level`.
+  void PruneNeighbors(int n, int level, size_t max_m);
+
+  size_t dim_;
+  Metric metric_;
+  Options options_;
+  Rng rng_;
+  std::vector<GraphNode> nodes_;
+  std::unordered_map<int, int> live_;  // external id -> internal node
+  int entry_point_ = -1;
+  int max_level_ = -1;
+};
+
+}  // namespace sccf::index
+
+#endif  // SCCF_INDEX_HNSW_INDEX_H_

@@ -1,0 +1,173 @@
+#include "index/ivf_flat_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor.h"
+#include "util/logging.h"
+
+namespace sccf::index {
+
+namespace {
+void NormalizeInPlace(float* v, size_t d) {
+  const float norm = tensor_ops::Norm(v, d);
+  if (norm > 0.0f) {
+    const float inv = 1.0f / norm;
+    for (size_t i = 0; i < d; ++i) v[i] *= inv;
+  }
+}
+
+float SquaredL2(const float* a, const float* b, size_t d) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < d; ++i) {
+    const float t = a[i] - b[i];
+    acc += t * t;
+  }
+  return acc;
+}
+}  // namespace
+
+IvfFlatIndex::IvfFlatIndex(size_t dim, Metric metric, Options options)
+    : dim_(dim), metric_(metric), options_(options) {
+  SCCF_CHECK_GT(options_.nlist, 0u);
+  SCCF_CHECK_GT(options_.nprobe, 0u);
+}
+
+Status IvfFlatIndex::Train(const std::vector<float>& vectors, size_t n) {
+  if (vectors.size() != n * dim_) {
+    return Status::InvalidArgument("training data size mismatch");
+  }
+  if (n < options_.nlist) {
+    return Status::InvalidArgument(
+        "need at least nlist training vectors, got " + std::to_string(n));
+  }
+  // Work on a normalised copy for cosine so centroids live in query space.
+  std::vector<float> train = vectors;
+  if (metric_ == Metric::kCosine) {
+    for (size_t i = 0; i < n; ++i) NormalizeInPlace(&train[i * dim_], dim_);
+  }
+
+  // k-means++ style seeding (random distinct picks) then Lloyd iterations.
+  Rng rng(options_.seed);
+  const size_t nlist = options_.nlist;
+  centroids_.assign(nlist * dim_, 0.0f);
+  std::vector<uint64_t> seeds = rng.SampleWithoutReplacement(n, nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    std::copy(&train[seeds[c] * dim_], &train[(seeds[c] + 1) * dim_],
+              &centroids_[c * dim_]);
+  }
+
+  std::vector<size_t> assign(n, 0);
+  std::vector<size_t> count(nlist, 0);
+  for (size_t iter = 0; iter < options_.kmeans_iters; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = NearestCentroid(&train[i * dim_]);
+      if (best != assign[i]) {
+        assign[i] = best;
+        changed = true;
+      }
+    }
+    std::fill(count.begin(), count.end(), 0u);
+    std::vector<float> sums(nlist * dim_, 0.0f);
+    for (size_t i = 0; i < n; ++i) {
+      ++count[assign[i]];
+      tensor_ops::Axpy(1.0f, &train[i * dim_], &sums[assign[i] * dim_],
+                       dim_);
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (count[c] == 0) {
+        // Re-seed an empty cluster with a random vector to keep all lists
+        // usable.
+        const size_t pick = rng.Uniform(n);
+        std::copy(&train[pick * dim_], &train[(pick + 1) * dim_],
+                  &centroids_[c * dim_]);
+        continue;
+      }
+      const float inv = 1.0f / count[c];
+      for (size_t j = 0; j < dim_; ++j) {
+        centroids_[c * dim_ + j] = sums[c * dim_ + j] * inv;
+      }
+    }
+    if (!changed && iter > 0) break;
+  }
+
+  lists_.assign(nlist, {});
+  assignment_.clear();
+  trained_ = true;
+  return Status::OK();
+}
+
+size_t IvfFlatIndex::NearestCentroid(const float* vec) const {
+  size_t best = 0;
+  float best_d = SquaredL2(vec, &centroids_[0], dim_);
+  for (size_t c = 1; c < options_.nlist; ++c) {
+    const float d = SquaredL2(vec, &centroids_[c * dim_], dim_);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Status IvfFlatIndex::Add(int id, const float* vec) {
+  if (!trained_) {
+    return Status::FailedPrecondition("IvfFlatIndex::Train must run first");
+  }
+  if (id < 0) return Status::InvalidArgument("id must be non-negative");
+
+  std::vector<float> v(vec, vec + dim_);
+  if (metric_ == Metric::kCosine) NormalizeInPlace(v.data(), dim_);
+
+  auto it = assignment_.find(id);
+  if (it != assignment_.end()) {
+    // Streaming update: remove from the old bucket (swap-with-back).
+    auto [list, pos] = it->second;
+    auto& postings = lists_[list];
+    if (pos != postings.size() - 1) {
+      postings[pos] = std::move(postings.back());
+      assignment_[postings[pos].id] = {list, pos};
+    }
+    postings.pop_back();
+    assignment_.erase(it);
+  }
+
+  const size_t list = NearestCentroid(v.data());
+  lists_[list].push_back({id, std::move(v)});
+  assignment_[id] = {list, lists_[list].size() - 1};
+  return Status::OK();
+}
+
+StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
+                                                     size_t k,
+                                                     int exclude_id) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("IvfFlatIndex::Train must run first");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be positive");
+
+  std::vector<float> qbuf(query, query + dim_);
+  if (metric_ == Metric::kCosine) NormalizeInPlace(qbuf.data(), dim_);
+  const float* q = qbuf.data();
+
+  // Rank centroids by distance and scan the nprobe closest lists.
+  const size_t nlist = options_.nlist;
+  std::vector<std::pair<float, size_t>> order(nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    order[c] = {SquaredL2(q, &centroids_[c * dim_], dim_), c};
+  }
+  const size_t nprobe = std::min(options_.nprobe, nlist);
+  std::partial_sort(order.begin(), order.begin() + nprobe, order.end());
+
+  TopKAccumulator acc(k);
+  for (size_t p = 0; p < nprobe; ++p) {
+    for (const Posting& posting : lists_[order[p].second]) {
+      if (posting.id == exclude_id) continue;
+      acc.Offer(posting.id, tensor_ops::Dot(q, posting.vec.data(), dim_));
+    }
+  }
+  return acc.Take();
+}
+
+}  // namespace sccf::index

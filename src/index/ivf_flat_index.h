@@ -1,0 +1,67 @@
+#ifndef SCCF_INDEX_IVF_FLAT_INDEX_H_
+#define SCCF_INDEX_IVF_FLAT_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "index/vector_index.h"
+#include "util/random.h"
+
+namespace sccf::index {
+
+/// Inverted-file index with flat (uncompressed) storage, the classic
+/// Faiss IVF-Flat design: vectors are bucketed by their nearest k-means
+/// centroid; a query scans only the `nprobe` closest buckets.
+///
+/// Usage: construct, call Train() once with a representative sample, then
+/// Add/Search freely. Adding before Train() returns FailedPrecondition.
+/// Re-adding an id reassigns it to the (possibly different) current bucket,
+/// which is the streaming-user-update path.
+class IvfFlatIndex : public VectorIndex {
+ public:
+  struct Options {
+    size_t nlist = 64;   ///< number of coarse centroids
+    size_t nprobe = 8;   ///< buckets scanned per query
+    size_t kmeans_iters = 10;
+    uint64_t seed = 42;
+  };
+
+  IvfFlatIndex(size_t dim, Metric metric, Options options);
+
+  /// Learns the coarse quantizer from `vectors` (n x dim, row-major).
+  /// Pre: n >= nlist.
+  Status Train(const std::vector<float>& vectors, size_t n);
+
+  bool trained() const { return trained_; }
+
+  Status Add(int id, const float* vec) override;
+  StatusOr<std::vector<Neighbor>> Search(const float* query, size_t k,
+                                         int exclude_id = -1) const override;
+
+  size_t size() const override { return assignment_.size(); }
+  size_t dim() const override { return dim_; }
+  Metric metric() const override { return metric_; }
+
+  void set_nprobe(size_t nprobe) { options_.nprobe = nprobe; }
+
+ private:
+  struct Posting {
+    int id;
+    std::vector<float> vec;  // normalised when metric is cosine
+  };
+
+  size_t NearestCentroid(const float* vec) const;
+
+  size_t dim_;
+  Metric metric_;
+  Options options_;
+  bool trained_ = false;
+  std::vector<float> centroids_;              // nlist x dim
+  std::vector<std::vector<Posting>> lists_;   // per-centroid postings
+  // id -> (list, position) for O(1) streaming reassignment.
+  std::unordered_map<int, std::pair<size_t, size_t>> assignment_;
+};
+
+}  // namespace sccf::index
+
+#endif  // SCCF_INDEX_IVF_FLAT_INDEX_H_

@@ -1,0 +1,39 @@
+#include "index/vector_index.h"
+
+#include <algorithm>
+
+namespace sccf::index {
+
+namespace {
+struct MinHeapCmp {
+  bool operator()(const Neighbor& a, const Neighbor& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;  // among equal scores, evict the larger id first
+  }
+};
+}  // namespace
+
+void TopKAccumulator::Offer(int id, float score) {
+  if (k_ == 0) return;
+  if (heap_.size() < k_) {
+    heap_.push_back({id, score});
+    std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp());
+    return;
+  }
+  if (!WouldAccept(score)) return;
+  std::pop_heap(heap_.begin(), heap_.end(), MinHeapCmp());
+  heap_.back() = {id, score};
+  std::push_heap(heap_.begin(), heap_.end(), MinHeapCmp());
+}
+
+std::vector<Neighbor> TopKAccumulator::Take() {
+  std::vector<Neighbor> out = std::move(heap_);
+  heap_.clear();
+  std::sort(out.begin(), out.end(), [](const Neighbor& a, const Neighbor& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  return out;
+}
+
+}  // namespace sccf::index

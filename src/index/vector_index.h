@@ -1,0 +1,73 @@
+#ifndef SCCF_INDEX_VECTOR_INDEX_H_
+#define SCCF_INDEX_VECTOR_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sccf::index {
+
+/// Similarity metric for vector search. Cosine is implemented by storing
+/// L2-normalised copies, after which inner product equals cosine.
+enum class Metric { kInnerProduct, kCosine };
+
+/// One search hit: external id plus similarity score (higher is better).
+struct Neighbor {
+  int id = -1;
+  float score = 0.0f;
+};
+
+/// Dynamic nearest-neighbor index over float vectors, the substrate the
+/// SCCF user-based component queries to identify each user's neighborhood
+/// in real time (paper Sec. III-C; the role Faiss plays in the original
+/// system). `Add` with an existing id replaces the stored vector, which is
+/// the streaming-update path used when a user's embedding is re-inferred
+/// after a new interaction.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Inserts or replaces the vector for `id`. Pre: id >= 0.
+  virtual Status Add(int id, const float* vec) = 0;
+
+  /// Top-k ids by similarity to `query`, descending. `exclude_id` (if >= 0)
+  /// is never returned — the paper excludes the user herself from N_u.
+  /// Returns fewer than k results when the index is smaller.
+  virtual StatusOr<std::vector<Neighbor>> Search(const float* query,
+                                                 size_t k,
+                                                 int exclude_id = -1) const = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t dim() const = 0;
+  virtual Metric metric() const = 0;
+};
+
+/// Bounded accumulator of the k highest-scoring candidates.
+class TopKAccumulator {
+ public:
+  explicit TopKAccumulator(size_t k) : k_(k) { heap_.reserve(k + 1); }
+
+  /// Offers a candidate; kept only if it beats the current k-th best.
+  void Offer(int id, float score);
+
+  /// True if a candidate with `score` would be accepted right now.
+  bool WouldAccept(float score) const {
+    return heap_.size() < k_ || score > heap_.front().score;
+  }
+
+  /// Extracts results sorted by descending score (ties: ascending id).
+  /// The accumulator is emptied.
+  std::vector<Neighbor> Take();
+
+  size_t size() const { return heap_.size(); }
+
+ private:
+  size_t k_;
+  // Min-heap on score so the root is the current worst kept candidate.
+  std::vector<Neighbor> heap_;
+};
+
+}  // namespace sccf::index
+
+#endif  // SCCF_INDEX_VECTOR_INDEX_H_

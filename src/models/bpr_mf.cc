@@ -1,0 +1,61 @@
+#include "models/bpr_mf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/negative_sampler.h"
+
+namespace sccf::models {
+
+Status BprMf::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  num_items_ = split.dataset().num_items();
+  const size_t d = options_.dim;
+  Rng rng(options_.seed);
+  user_factors_ = Tensor::TruncatedNormal({n, d}, 0.01f, rng);
+  item_factors_ = Tensor::TruncatedNormal({num_items_, d}, 0.01f, rng);
+
+  // Flattened (user, positive) pairs over training prefixes.
+  std::vector<std::pair<int, int>> pairs;
+  for (size_t u = 0; u < n; ++u) {
+    for (int item : split.TrainSequence(u)) {
+      pairs.push_back({static_cast<int>(u), item});
+    }
+  }
+  if (pairs.empty()) return Status::FailedPrecondition("no training data");
+  data::NegativeSampler sampler(split);
+
+  const float lr = options_.learning_rate;
+  const float reg = options_.l2;
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(pairs);
+    for (const auto& [u, pos] : pairs) {
+      const int neg = sampler.Sample(u, rng);
+      float* pu = user_factors_.data() + static_cast<size_t>(u) * d;
+      float* qi = item_factors_.data() + static_cast<size_t>(pos) * d;
+      float* qj = item_factors_.data() + static_cast<size_t>(neg) * d;
+      const float x = tensor_ops::Dot(pu, qi, d) - tensor_ops::Dot(pu, qj, d);
+      // d/dx of -ln sigmoid(x) is -sigmoid(-x).
+      const float g = 1.0f / (1.0f + std::exp(x));
+      for (size_t f = 0; f < d; ++f) {
+        const float puf = pu[f];
+        pu[f] += lr * (g * (qi[f] - qj[f]) - reg * puf);
+        qi[f] += lr * (g * puf - reg * qi[f]);
+        qj[f] += lr * (-g * puf - reg * qj[f]);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void BprMf::ScoreAll(size_t u, std::span<const int> /*history*/,
+                     std::vector<float>* scores) const {
+  const size_t d = options_.dim;
+  scores->resize(num_items_);
+  const float* pu = user_factors_.data() + u * d;
+  for (size_t i = 0; i < num_items_; ++i) {
+    (*scores)[i] = tensor_ops::Dot(pu, item_factors_.data() + i * d, d);
+  }
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,46 @@
+#ifndef SCCF_MODELS_BPR_MF_H_
+#define SCCF_MODELS_BPR_MF_H_
+
+#include "models/recommender.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf::models {
+
+/// Matrix factorisation trained with the pairwise Bayesian Personalized
+/// Ranking loss (Rendle et al., UAI'09), the paper's BPR-MF baseline.
+/// Transductive: a per-user-id embedding table is learned, so new
+/// interactions require retraining — the limitation SCCF removes.
+class BprMf : public Recommender {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t epochs = 30;
+    float learning_rate = 0.05f;
+    float l2 = 0.01f;
+    uint64_t seed = 42;
+  };
+
+  BprMf() : BprMf(Options()) {}
+  explicit BprMf(Options options) : options_(options) {}
+
+  std::string name() const override { return "BPR-MF"; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+  const Tensor& user_factors() const { return user_factors_; }
+  const Tensor& item_factors() const { return item_factors_; }
+
+ private:
+  Options options_;
+  size_t num_items_ = 0;
+  Tensor user_factors_;
+  Tensor item_factors_;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_BPR_MF_H_

@@ -1,0 +1,117 @@
+#include "models/fism.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/negative_sampler.h"
+#include "nn/graph.h"
+#include "util/logging.h"
+
+namespace sccf::models {
+
+Status Fism::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  num_items_ = split.dataset().num_items();
+  Rng rng(options_.seed);
+  item_emb_ = std::make_unique<nn::Parameter>(
+      "fism.item_emb",
+      Tensor::TruncatedNormal({num_items_, options_.dim}, 0.01f, rng));
+  item_emb_->row_sparse = true;
+
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = options_.learning_rate;
+  opt.weight_decay = options_.l2;
+  nn::AdamOptimizer adam(opt);
+  data::NegativeSampler sampler(split);
+  std::vector<nn::Parameter*> params = {item_emb_.get()};
+
+  std::vector<size_t> user_order(n);
+  for (size_t u = 0; u < n; ++u) user_order[u] = u;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(user_order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t u : user_order) {
+      std::span<const int> seq = split.TrainSequence(u);
+      std::vector<int> ids(seq.begin(), seq.end());
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      const size_t h = ids.size();
+      if (h < 2) continue;
+
+      // Subsample positives for very long histories.
+      std::vector<int> targets = ids;
+      if (options_.max_targets_per_user > 0 &&
+          targets.size() > options_.max_targets_per_user) {
+        rng.Shuffle(targets);
+        targets.resize(options_.max_targets_per_user);
+      }
+      const size_t np = targets.size();
+      const size_t nn_count = np * options_.num_negatives;
+      std::vector<int> negs = sampler.SampleMany(u, nn_count, rng);
+
+      nn::Graph g(/*training=*/true, &rng);
+      nn::Var hist = g.Gather(item_emb_.get(), ids);
+      nn::Var sum = g.SumRows(hist);  // S = sum_{j in R+} p_j
+
+      // Positives exclude the target from the pool (FISM's no-self-
+      // similarity): m_t = (S - p_t) / (h-1)^alpha.
+      const float c_pos =
+          1.0f / std::pow(static_cast<float>(h - 1), options_.alpha);
+      nn::Var tgt = g.Gather(item_emb_.get(), targets);
+      nn::Var m_pos = g.Scale(g.Sub(tgt, sum), -c_pos);  // c*(S - p_t)
+      nn::Var logits_pos = g.RowsDot(m_pos, tgt);
+
+      // Negatives score against the full pool: m_u = S / h^alpha.
+      const float c_neg =
+          1.0f / std::pow(static_cast<float>(h), options_.alpha);
+      nn::Var m_full = g.Scale(sum, c_neg);
+      nn::Var neg_emb = g.Gather(item_emb_.get(), negs);
+      nn::Var logits_neg = g.MatMul(neg_emb, m_full, false, true);
+
+      nn::Var loss_pos =
+          g.BceWithLogits(logits_pos, Tensor::Full({np, 1}, 1.0f));
+      nn::Var loss_neg =
+          g.BceWithLogits(logits_neg, Tensor::Zeros({nn_count, 1}));
+      const float wp = static_cast<float>(np) / (np + nn_count);
+      nn::Var loss =
+          g.Add(g.Scale(loss_pos, wp), g.Scale(loss_neg, 1.0f - wp));
+
+      g.Backward(loss);
+      adam.Step(params);
+      epoch_loss += g.value(loss).scalar();
+      ++batches;
+    }
+    last_epoch_loss_ =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    if (options_.verbose) {
+      SCCF_LOG_INFO << "FISM epoch " << epoch + 1 << "/" << options_.epochs
+                    << " loss=" << last_epoch_loss_;
+    }
+  }
+  return Status::OK();
+}
+
+void Fism::InferUserEmbedding(std::span<const int> history,
+                              float* out) const {
+  const size_t d = options_.dim;
+  std::fill(out, out + d, 0.0f);
+  std::vector<int> ids(history.begin(), history.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty()) return;
+  for (int i : ids) {
+    tensor_ops::Axpy(1.0f, ItemEmbedding(i), out, d);
+  }
+  const float c =
+      1.0f / std::pow(static_cast<float>(ids.size()), options_.alpha);
+  for (size_t f = 0; f < d; ++f) out[f] *= c;
+}
+
+const float* Fism::ItemEmbedding(int item) const {
+  SCCF_CHECK(item_emb_ != nullptr) << "Fit must be called first";
+  return item_emb_->value.data() + static_cast<size_t>(item) * options_.dim;
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,74 @@
+#ifndef SCCF_MODELS_FISM_H_
+#define SCCF_MODELS_FISM_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace sccf::models {
+
+/// FISM (Kabbur et al., KDD'13) with the paper's adaptations (Sec. III-B):
+/// homogeneous item embeddings (q_i = p_i), user representation pooled
+/// from the interacted-item embeddings with alpha-normalisation (Eq. 1),
+/// and binary cross-entropy training with negative sampling (Eq. 9),
+/// batched by user following He et al. [39].
+///
+/// Being history-pooled, FISM is *inductive*: a new interaction updates
+/// m_u by one embedding lookup and re-pool, which is what lets SCCF use it
+/// in real time.
+class Fism : public InductiveUiModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    /// Pooling exponent of Eq. 1 (0.5 in the paper's experiments).
+    float alpha = 0.5f;
+    size_t epochs = 15;
+    /// Negatives sampled per positive instance.
+    size_t num_negatives = 3;
+    /// Cap on positives per user per epoch (0 = all); long-history users
+    /// are subsampled to keep epochs balanced.
+    size_t max_targets_per_user = 64;
+    float learning_rate = 0.001f;
+    /// L2 weight; the paper trains FISM without regularisation and relies
+    /// on early stopping.
+    float l2 = 0.0f;
+    uint64_t seed = 42;
+    bool verbose = false;
+  };
+
+  Fism() : Fism(Options()) {}
+  explicit Fism(Options options) : options_(options) {}
+
+  std::string name() const override { return "FISM"; }
+  size_t embedding_dim() const override { return options_.dim; }
+  size_t num_items() const override { return num_items_; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Pools the (unique) history items per Eq. 1:
+  /// m_u = |H|^-alpha * sum p_j.
+  void InferUserEmbedding(std::span<const int> history,
+                          float* out) const override;
+
+  const float* ItemEmbedding(int item) const override;
+
+  /// Mean training loss of the last epoch (diagnostics/tests).
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Trainable parameters, for checkpointing (nn::SaveParameters).
+  /// Pre: Fit has been called.
+  std::vector<nn::Parameter*> Parameters() { return {item_emb_.get()}; }
+
+ private:
+  Options options_;
+  size_t num_items_ = 0;
+  std::unique_ptr<nn::Parameter> item_emb_;
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_FISM_H_

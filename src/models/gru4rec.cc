@@ -1,0 +1,174 @@
+#include "models/gru4rec.h"
+
+#include <algorithm>
+
+#include "data/negative_sampler.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace sccf::models {
+
+namespace {
+// ones - x, built from available primitives.
+nn::Var OneMinus(nn::Graph& g, nn::Var x, size_t rows, size_t cols) {
+  return g.Sub(g.Input(Tensor::Full({rows, cols}, 1.0f)), x);
+}
+}  // namespace
+
+nn::Var Gru4Rec::Unroll(nn::Graph& g,
+                        const std::vector<int>& input_ids) const {
+  const size_t len = input_ids.size();
+  const size_t d = options_.dim;
+  SCCF_CHECK_GT(len, 0u);
+
+  nn::Var x_all = g.Gather(item_emb_.get(), input_ids);  // [len, d]
+  nn::Var wxz = g.Param(w_xz_.get()), whz = g.Param(w_hz_.get());
+  nn::Var wxr = g.Param(w_xr_.get()), whr = g.Param(w_hr_.get());
+  nn::Var wxn = g.Param(w_xn_.get()), whn = g.Param(w_hn_.get());
+  nn::Var bz = g.Param(b_z_.get()), br = g.Param(b_r_.get()),
+          bn = g.Param(b_n_.get());
+
+  // Precompute the input-to-gate projections for all positions at once;
+  // only the recurrent part needs the per-step loop.
+  nn::Var xz_all = g.Add(g.MatMul(x_all, wxz), bz);
+  nn::Var xr_all = g.Add(g.MatMul(x_all, wxr), br);
+  nn::Var xn_all = g.Add(g.MatMul(x_all, wxn), bn);
+
+  nn::Var h = g.Input(Tensor::Zeros({1, d}));
+  for (size_t t = 0; t < len; ++t) {
+    nn::Var xz = g.SliceRows(xz_all, t, t + 1);
+    nn::Var xr = g.SliceRows(xr_all, t, t + 1);
+    nn::Var xn = g.SliceRows(xn_all, t, t + 1);
+    nn::Var z = g.Sigmoid(g.Add(xz, g.MatMul(h, whz)));
+    nn::Var r = g.Sigmoid(g.Add(xr, g.MatMul(h, whr)));
+    nn::Var n = g.Tanh(g.Add(xn, g.MatMul(g.Mul(r, h), whn)));
+    // h' = (1 - z) * n + z * h
+    h = g.Add(g.Mul(OneMinus(g, z, 1, d), n), g.Mul(z, h));
+  }
+  return h;
+}
+
+std::vector<nn::Parameter*> Gru4Rec::AllParameters() {
+  return {item_emb_.get(), w_xz_.get(), w_hz_.get(), b_z_.get(),
+          w_xr_.get(),     w_hr_.get(), b_r_.get(),  w_xn_.get(),
+          w_hn_.get(),     b_n_.get()};
+}
+
+Status Gru4Rec::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  const size_t d = options_.dim;
+  num_items_ = split.dataset().num_items();
+  Rng rng(options_.seed);
+  item_emb_ = std::make_unique<nn::Parameter>(
+      "gru.item_emb",
+      Tensor::TruncatedNormal({num_items_, d}, 0.01f, rng));
+  item_emb_->row_sparse = true;
+  auto make = [&](const char* name, size_t r, size_t c, float stddev) {
+    return std::make_unique<nn::Parameter>(
+        name, Tensor::TruncatedNormal({r, c}, stddev, rng));
+  };
+  w_xz_ = make("gru.Wxz", d, d, 0.08f);
+  w_hz_ = make("gru.Whz", d, d, 0.08f);
+  b_z_ = std::make_unique<nn::Parameter>("gru.bz", Tensor::Zeros({1, d}));
+  w_xr_ = make("gru.Wxr", d, d, 0.08f);
+  w_hr_ = make("gru.Whr", d, d, 0.08f);
+  b_r_ = std::make_unique<nn::Parameter>("gru.br", Tensor::Zeros({1, d}));
+  w_xn_ = make("gru.Wxn", d, d, 0.08f);
+  w_hn_ = make("gru.Whn", d, d, 0.08f);
+  b_n_ = std::make_unique<nn::Parameter>("gru.bn", Tensor::Zeros({1, d}));
+
+  std::vector<nn::Parameter*> params = AllParameters();
+  nn::AdamOptimizer adam({.learning_rate = options_.learning_rate});
+  data::NegativeSampler sampler(split);
+
+  std::vector<size_t> user_order(n);
+  for (size_t u = 0; u < n; ++u) user_order[u] = u;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(user_order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t u : user_order) {
+      std::span<const int> seq = split.TrainSequence(u);
+      if (seq.size() < 2) continue;
+      const size_t take = std::min(seq.size(), options_.max_len + 1);
+      std::vector<int> window(seq.end() - take, seq.end());
+      std::vector<int> inputs(window.begin(), window.end() - 1);
+      std::vector<int> targets(window.begin() + 1, window.end());
+      const size_t k = inputs.size();
+      std::vector<int> negs =
+          sampler.SampleMany(u, k * options_.num_negatives, rng);
+
+      // Unroll inline so every position's state feeds the loss.
+      nn::Graph g(/*training=*/true, &rng);
+      nn::Var x_all = g.Gather(item_emb_.get(), inputs);
+      nn::Var wxz = g.Param(w_xz_.get()), whz = g.Param(w_hz_.get());
+      nn::Var wxr = g.Param(w_xr_.get()), whr = g.Param(w_hr_.get());
+      nn::Var wxn = g.Param(w_xn_.get()), whn = g.Param(w_hn_.get());
+      nn::Var xz_all = g.Add(g.MatMul(x_all, wxz), g.Param(b_z_.get()));
+      nn::Var xr_all = g.Add(g.MatMul(x_all, wxr), g.Param(b_r_.get()));
+      nn::Var xn_all = g.Add(g.MatMul(x_all, wxn), g.Param(b_n_.get()));
+
+      nn::Var h = g.Input(Tensor::Zeros({1, d}));
+      nn::Var pos_rows = g.Gather(item_emb_.get(), targets);
+      nn::Var neg_rows = g.Gather(item_emb_.get(), negs);
+      std::vector<nn::Var> pos_logits, neg_logits;
+      for (size_t t = 0; t < k; ++t) {
+        nn::Var z = g.Sigmoid(
+            g.Add(g.SliceRows(xz_all, t, t + 1), g.MatMul(h, whz)));
+        nn::Var r = g.Sigmoid(
+            g.Add(g.SliceRows(xr_all, t, t + 1), g.MatMul(h, whr)));
+        nn::Var cand = g.Tanh(g.Add(g.SliceRows(xn_all, t, t + 1),
+                                    g.MatMul(g.Mul(r, h), whn)));
+        h = g.Add(g.Mul(OneMinus(g, z, 1, d), cand), g.Mul(z, h));
+        pos_logits.push_back(
+            g.RowsDot(h, g.SliceRows(pos_rows, t, t + 1)));
+        neg_logits.push_back(
+            g.RowsDot(h, g.SliceRows(neg_rows, t, t + 1)));
+      }
+      // Sum the per-position scalar losses.
+      nn::Var loss = g.Input(Tensor::Scalar(0.0f));
+      for (size_t t = 0; t < k; ++t) {
+        nn::Var lp =
+            g.BceWithLogits(pos_logits[t], Tensor::Full({1, 1}, 1.0f));
+        nn::Var ln = g.BceWithLogits(neg_logits[t], Tensor::Zeros({1, 1}));
+        loss = g.Add(loss, g.Add(lp, ln));
+      }
+      loss = g.Scale(loss, 1.0f / (2.0f * k));
+
+      g.Backward(loss);
+      adam.Step(params);
+      epoch_loss += g.value(loss).scalar();
+      ++batches;
+    }
+    last_epoch_loss_ =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    if (options_.verbose) {
+      SCCF_LOG_INFO << "GRU4Rec epoch " << epoch + 1 << "/"
+                    << options_.epochs << " loss=" << last_epoch_loss_;
+    }
+  }
+  return Status::OK();
+}
+
+void Gru4Rec::InferUserEmbedding(std::span<const int> history,
+                                 float* out) const {
+  const size_t d = options_.dim;
+  if (history.empty()) {
+    std::fill(out, out + d, 0.0f);
+    return;
+  }
+  const size_t take = std::min(history.size(), options_.max_len);
+  std::vector<int> inputs(history.end() - take, history.end());
+  nn::Graph g(/*training=*/false);
+  nn::Var h = Unroll(g, inputs);
+  const Tensor& hv = g.value(h);
+  std::copy(hv.data(), hv.data() + d, out);
+}
+
+const float* Gru4Rec::ItemEmbedding(int item) const {
+  SCCF_CHECK(item_emb_ != nullptr) << "Fit must be called first";
+  return item_emb_->value.data() + static_cast<size_t>(item) * options_.dim;
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,74 @@
+#ifndef SCCF_MODELS_GRU4REC_H_
+#define SCCF_MODELS_GRU4REC_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/graph.h"
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace sccf::models {
+
+/// GRU4Rec (Hidasi et al., "Session-based recommendations with recurrent
+/// neural networks", cited by the paper's related work): a single-layer
+/// GRU over the interaction sequence, with the final hidden state as the
+/// user representation and homogeneous item embeddings for scoring.
+/// Trained like SASRec here — next-item prediction at every position with
+/// sampled-negative BCE — making it a third sequential, *inductive* base
+/// for SCCF.
+class Gru4Rec : public InductiveUiModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t max_len = 50;
+    size_t epochs = 12;
+    size_t num_negatives = 1;
+    float learning_rate = 0.001f;
+    uint64_t seed = 42;
+    bool verbose = false;
+  };
+
+  Gru4Rec() : Gru4Rec(Options()) {}
+  explicit Gru4Rec(Options options) : options_(options) {}
+
+  std::string name() const override { return "GRU4Rec"; }
+  size_t embedding_dim() const override { return options_.dim; }
+  size_t num_items() const override { return num_items_; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Runs the GRU over the last max_len items; the final hidden state is
+  /// the user embedding.
+  void InferUserEmbedding(std::span<const int> history,
+                          float* out) const override;
+
+  const float* ItemEmbedding(int item) const override;
+
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Trainable parameters, for checkpointing (nn::SaveParameters).
+  /// Pre: Fit has been called.
+  std::vector<nn::Parameter*> Parameters() { return AllParameters(); }
+
+ private:
+  /// Unrolls the GRU over `input_ids`; returns the final hidden state
+  /// ([1, dim]). The training loop in Fit unrolls inline instead so every
+  /// position's state can feed the per-position loss.
+  nn::Var Unroll(nn::Graph& g, const std::vector<int>& input_ids) const;
+
+  std::vector<nn::Parameter*> AllParameters();
+
+  Options options_;
+  size_t num_items_ = 0;
+  std::unique_ptr<nn::Parameter> item_emb_;
+  // Fused gate weights: [z | r | n] stacked as separate parameters.
+  std::unique_ptr<nn::Parameter> w_xz_, w_hz_, b_z_;
+  std::unique_ptr<nn::Parameter> w_xr_, w_hr_, b_r_;
+  std::unique_ptr<nn::Parameter> w_xn_, w_hn_, b_n_;
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_GRU4REC_H_

@@ -1,0 +1,66 @@
+#include "models/item_knn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace sccf::models {
+
+Status ItemKnn::Fit(const data::LeaveOneOutSplit& split) {
+  num_items_ = split.dataset().num_items();
+  // Co-occurrence counting over training item sets: for every user, every
+  // unordered pair of distinct history items co-occurs once.
+  std::vector<size_t> item_freq(num_items_, 0);
+  std::vector<std::unordered_map<int, float>> co(num_items_);
+  for (size_t u = 0; u < split.num_users(); ++u) {
+    std::span<const int> seq = split.TrainSequence(u);
+    std::vector<int> items(seq.begin(), seq.end());
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (int i : items) ++item_freq[i];
+    for (size_t a = 0; a < items.size(); ++a) {
+      for (size_t b = a + 1; b < items.size(); ++b) {
+        co[items[a]][items[b]] += 1.0f;
+      }
+    }
+  }
+
+  neighbors_.assign(num_items_, {});
+  for (size_t i = 0; i < num_items_; ++i) {
+    for (const auto& [j, cnt] : co[i]) {
+      const double denom = std::sqrt(static_cast<double>(item_freq[i]) *
+                                     static_cast<double>(item_freq[j]));
+      if (denom == 0.0) continue;
+      const float sim = static_cast<float>(cnt / denom);
+      neighbors_[i].push_back({j, sim});
+      neighbors_[j].push_back({static_cast<int>(i), sim});
+    }
+  }
+  for (auto& list : neighbors_) {
+    std::sort(list.begin(), list.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (options_.top_k > 0 && list.size() > options_.top_k) {
+      list.resize(options_.top_k);
+    }
+  }
+  return Status::OK();
+}
+
+float ItemKnn::Similarity(int i, int j) const {
+  for (const auto& [other, sim] : neighbors_[i]) {
+    if (other == j) return sim;
+  }
+  return 0.0f;
+}
+
+void ItemKnn::ScoreAll(size_t /*u*/, std::span<const int> history,
+                       std::vector<float>* scores) const {
+  scores->assign(num_items_, 0.0f);
+  for (int h : history) {
+    for (const auto& [j, sim] : neighbors_[h]) {
+      (*scores)[j] += sim;
+    }
+  }
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,43 @@
+#ifndef SCCF_MODELS_ITEM_KNN_H_
+#define SCCF_MODELS_ITEM_KNN_H_
+
+#include "models/recommender.h"
+
+namespace sccf::models {
+
+/// Memory-based item-item collaborative filtering (Sarwar et al., WWW'01),
+/// the paper's ItemKNN baseline. Item similarity is the cosine of the
+/// binary user-incidence vectors, precomputed once at Fit time — the
+/// "stable item-item relations, pre-built offline" property the paper
+/// describes (Sec. II-A). Scoring sums the similarities between a
+/// candidate and every history item.
+class ItemKnn : public Recommender {
+ public:
+  struct Options {
+    /// Keep only the `top_k` most similar items per item (0 = keep all).
+    size_t top_k = 0;
+  };
+
+  ItemKnn() : ItemKnn(Options()) {}
+  explicit ItemKnn(Options options) : options_(options) {}
+
+  std::string name() const override { return "ItemKNN"; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+  /// sim(i, j) after Fit (0 when pruned by top_k).
+  float Similarity(int i, int j) const;
+
+ private:
+  Options options_;
+  size_t num_items_ = 0;
+  // CSR-style top-k similarity lists (all pairs when top_k == 0).
+  std::vector<std::vector<std::pair<int, float>>> neighbors_;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_ITEM_KNN_H_

@@ -1,0 +1,20 @@
+#include "models/pop.h"
+
+namespace sccf::models {
+
+Status PopRecommender::Fit(const data::LeaveOneOutSplit& split) {
+  popularity_.assign(split.dataset().num_items(), 0.0f);
+  for (size_t u = 0; u < split.num_users(); ++u) {
+    for (int item : split.TrainSequence(u)) {
+      popularity_[item] += 1.0f;
+    }
+  }
+  return Status::OK();
+}
+
+void PopRecommender::ScoreAll(size_t /*u*/, std::span<const int> /*history*/,
+                              std::vector<float>* scores) const {
+  *scores = popularity_;
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,25 @@
+#ifndef SCCF_MODELS_POP_H_
+#define SCCF_MODELS_POP_H_
+
+#include "models/recommender.h"
+
+namespace sccf::models {
+
+/// Non-personalised popularity baseline: every user sees items ranked by
+/// training-interaction count (paper Sec. IV-A3).
+class PopRecommender : public Recommender {
+ public:
+  std::string name() const override { return "Pop"; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+ private:
+  std::vector<float> popularity_;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_POP_H_

@@ -1,0 +1,20 @@
+#include "models/recommender.h"
+
+#include "tensor/tensor.h"
+
+namespace sccf::models {
+
+void InductiveUiModel::ScoreAll(size_t /*u*/, std::span<const int> history,
+                                std::vector<float>* scores) const {
+  const size_t d = embedding_dim();
+  const size_t m = num_items();
+  std::vector<float> mu(d, 0.0f);
+  InferUserEmbedding(history, mu.data());
+  scores->resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    (*scores)[i] =
+        tensor_ops::Dot(mu.data(), ItemEmbedding(static_cast<int>(i)), d);
+  }
+}
+
+}  // namespace sccf::models

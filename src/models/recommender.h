@@ -1,0 +1,62 @@
+#ifndef SCCF_MODELS_RECOMMENDER_H_
+#define SCCF_MODELS_RECOMMENDER_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/split.h"
+#include "util/status.h"
+
+namespace sccf::models {
+
+/// A top-N candidate-generation model under the leave-one-out protocol.
+///
+/// `Fit` trains on the split's training prefixes. `ScoreAll` produces a
+/// preference score for every item given a history; the evaluator passes
+/// either the training prefix (validation scoring) or the prefix plus the
+/// validation item (test scoring, the paper's "add validation back"
+/// setting). Transductive baselines may ignore `history` and use the state
+/// learned per user id during Fit.
+class Recommender {
+ public:
+  virtual ~Recommender() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual Status Fit(const data::LeaveOneOutSplit& split) = 0;
+
+  /// Fills scores->at(i) with the preference of user `u` for item i.
+  /// scores is resized to the item count.
+  virtual void ScoreAll(size_t u, std::span<const int> history,
+                        std::vector<float>* scores) const = 0;
+};
+
+/// An inductive user-item model (paper Sec. III-B): user representations
+/// are *inferred* from behavior, never stored per user id, so a fresh
+/// interaction updates the representation with one forward pass. This is
+/// the property SCCF requires of its UI component.
+class InductiveUiModel : public Recommender {
+ public:
+  virtual size_t embedding_dim() const = 0;
+
+  /// Computes m_u from an arbitrary (chronological) history on the fly.
+  /// `out` must hold embedding_dim() floats. This is the real-time path
+  /// benchmarked as "inferring time" in Table III.
+  virtual void InferUserEmbedding(std::span<const int> history,
+                                  float* out) const = 0;
+
+  /// Output embedding q_i of an item (homogeneous embeddings, Sec. III-B3).
+  virtual const float* ItemEmbedding(int item) const = 0;
+
+  /// Default UI scoring: r_ui = m_u . q_i for every item (Eq. 10).
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+  /// Number of items known to the model.
+  virtual size_t num_items() const = 0;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_RECOMMENDER_H_

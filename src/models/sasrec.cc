@@ -1,0 +1,157 @@
+#include "models/sasrec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/negative_sampler.h"
+#include "nn/graph.h"
+#include "util/logging.h"
+
+namespace sccf::models {
+
+nn::Var SasRec::Encode(nn::Graph& g, const std::vector<int>& input_ids) const {
+  const size_t len = input_ids.size();
+  SCCF_CHECK_GT(len, 0u);
+  SCCF_CHECK_LE(len, options_.max_len);
+
+  nn::Var x = g.Gather(item_emb_.get(), input_ids);
+  // Scale embeddings by sqrt(d) before adding position information, as in
+  // the reference implementation.
+  x = g.Scale(x, std::sqrt(static_cast<float>(options_.dim)));
+  std::vector<int> positions(len);
+  for (size_t i = 0; i < len; ++i) positions[i] = static_cast<int>(i);
+  x = g.Add(x, g.Gather(pos_emb_.get(), positions));
+  x = g.Dropout(x, options_.dropout);
+
+  const Tensor mask = nn::CausalMask(len);
+  for (const auto& block : blocks_) {
+    x = block->Apply(g, x, mask);
+  }
+  return final_ln_->Apply(g, x);
+}
+
+std::vector<nn::Parameter*> SasRec::AllParameters() {
+  std::vector<nn::Parameter*> params = {item_emb_.get(), pos_emb_.get()};
+  for (auto& b : blocks_) {
+    for (nn::Parameter* p : b->Parameters()) params.push_back(p);
+  }
+  for (nn::Parameter* p : final_ln_->Parameters()) params.push_back(p);
+  return params;
+}
+
+Status SasRec::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  num_items_ = split.dataset().num_items();
+  Rng rng(options_.seed);
+
+  item_emb_ = std::make_unique<nn::Parameter>(
+      "sasrec.item_emb",
+      Tensor::TruncatedNormal({num_items_, options_.dim}, 0.01f, rng));
+  item_emb_->row_sparse = true;
+  pos_emb_ = std::make_unique<nn::Parameter>(
+      "sasrec.pos_emb",
+      Tensor::TruncatedNormal({options_.max_len, options_.dim}, 0.01f, rng));
+  pos_emb_->row_sparse = true;
+  blocks_.clear();
+  for (size_t b = 0; b < options_.num_blocks; ++b) {
+    blocks_.push_back(std::make_unique<nn::TransformerBlock>(
+        "sasrec.block" + std::to_string(b), options_.dim, options_.num_heads,
+        options_.dropout, rng));
+  }
+  final_ln_ = std::make_unique<nn::LayerNormParams>("sasrec.final_ln",
+                                                    options_.dim);
+
+  std::vector<nn::Parameter*> params = AllParameters();
+  nn::AdamOptimizer::Options opt;
+  opt.learning_rate = options_.learning_rate;
+  nn::AdamOptimizer adam(opt);
+  data::NegativeSampler sampler(split);
+
+  std::vector<size_t> user_order(n);
+  for (size_t u = 0; u < n; ++u) user_order[u] = u;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(user_order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t u : user_order) {
+      std::span<const int> seq = split.TrainSequence(u);
+      if (seq.size() < 2) continue;
+      // Truncate to the last max_len + 1 events: inputs are seq[0..k-1],
+      // targets the shifted-by-one suffix (Sec. III-B2).
+      const size_t take = std::min(seq.size(), options_.max_len + 1);
+      std::vector<int> window(seq.end() - take, seq.end());
+      std::vector<int> inputs(window.begin(), window.end() - 1);
+      std::vector<int> targets(window.begin() + 1, window.end());
+      const size_t k = inputs.size();
+
+      std::vector<int> negs = sampler.SampleMany(u, k * options_.num_negatives,
+                                                 rng);
+
+      nn::Graph g(/*training=*/true, &rng);
+      nn::Var h = Encode(g, inputs);
+      nn::Var pos_emb_rows = g.Gather(item_emb_.get(), targets);
+      nn::Var logits_pos = g.RowsDot(h, pos_emb_rows);
+      nn::Var loss_pos =
+          g.BceWithLogits(logits_pos, Tensor::Full({k, 1}, 1.0f));
+
+      // Each group of `num_negatives` negatives shares position t's state.
+      nn::Var loss = loss_pos;
+      if (options_.num_negatives == 1) {
+        nn::Var neg_rows = g.Gather(item_emb_.get(), negs);
+        nn::Var logits_neg = g.RowsDot(h, neg_rows);
+        nn::Var loss_neg =
+            g.BceWithLogits(logits_neg, Tensor::Zeros({k, 1}));
+        loss = g.Add(g.Scale(loss_pos, 0.5f), g.Scale(loss_neg, 0.5f));
+      } else {
+        std::vector<nn::Var> neg_losses;
+        for (size_t r = 0; r < options_.num_negatives; ++r) {
+          std::vector<int> round(negs.begin() + r * k,
+                                 negs.begin() + (r + 1) * k);
+          nn::Var neg_rows = g.Gather(item_emb_.get(), round);
+          nn::Var logits_neg = g.RowsDot(h, neg_rows);
+          neg_losses.push_back(
+              g.BceWithLogits(logits_neg, Tensor::Zeros({k, 1})));
+        }
+        const float wp = 1.0f / (1.0f + options_.num_negatives);
+        loss = g.Scale(loss_pos, wp);
+        for (nn::Var nl : neg_losses) loss = g.Add(loss, g.Scale(nl, wp));
+      }
+
+      g.Backward(loss);
+      adam.Step(params);
+      epoch_loss += g.value(loss).scalar();
+      ++batches;
+    }
+    last_epoch_loss_ =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    if (options_.verbose) {
+      SCCF_LOG_INFO << "SASRec epoch " << epoch + 1 << "/" << options_.epochs
+                    << " loss=" << last_epoch_loss_;
+    }
+  }
+  return Status::OK();
+}
+
+void SasRec::InferUserEmbedding(std::span<const int> history,
+                                float* out) const {
+  const size_t d = options_.dim;
+  if (history.empty()) {
+    std::fill(out, out + d, 0.0f);
+    return;
+  }
+  const size_t take = std::min(history.size(), options_.max_len);
+  std::vector<int> inputs(history.end() - take, history.end());
+  nn::Graph g(/*training=*/false);
+  nn::Var h = Encode(g, inputs);
+  const Tensor& hv = g.value(h);
+  const size_t last = hv.rows() - 1;
+  std::copy(hv.data() + last * d, hv.data() + (last + 1) * d, out);
+}
+
+const float* SasRec::ItemEmbedding(int item) const {
+  SCCF_CHECK(item_emb_ != nullptr) << "Fit must be called first";
+  return item_emb_->value.data() + static_cast<size_t>(item) * options_.dim;
+}
+
+}  // namespace sccf::models

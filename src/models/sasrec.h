@@ -1,0 +1,78 @@
+#ifndef SCCF_MODELS_SASREC_H_
+#define SCCF_MODELS_SASREC_H_
+
+#include <memory>
+#include <vector>
+
+#include "models/recommender.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "nn/transformer.h"
+#include "util/random.h"
+
+namespace sccf::models {
+
+/// SASRec (Kang & McAuley, ICDM'18), the paper's deep sequential UI
+/// component (Sec. III-B, Fig. 3): learnable position embeddings (Eq. 2),
+/// stacked causal Transformer encoder blocks (Eq. 4-7), and the last
+/// position's output as the user representation (Eq. 8). Trained by
+/// next-item prediction with one sampled negative per position and binary
+/// cross-entropy (Sec. III-B2).
+class SasRec : public InductiveUiModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    /// Maximum sequence length L (Eq. 3 truncation).
+    size_t max_len = 50;
+    size_t num_blocks = 2;
+    size_t num_heads = 1;
+    float dropout = 0.2f;
+    size_t epochs = 20;
+    size_t num_negatives = 1;
+    float learning_rate = 0.001f;
+    uint64_t seed = 42;
+    bool verbose = false;
+  };
+
+  SasRec() : SasRec(Options()) {}
+  explicit SasRec(Options options) : options_(options) {}
+
+  std::string name() const override { return "SASRec"; }
+  size_t embedding_dim() const override { return options_.dim; }
+  size_t num_items() const override { return num_items_; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Runs the encoder over the last L history items and returns the final
+  /// position's hidden state (Eq. 8). Safe to call concurrently once Fit
+  /// has returned.
+  void InferUserEmbedding(std::span<const int> history,
+                          float* out) const override;
+
+  const float* ItemEmbedding(int item) const override;
+
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Trainable parameters, for checkpointing (nn::SaveParameters).
+  /// Pre: Fit has been called.
+  std::vector<nn::Parameter*> Parameters() { return AllParameters(); }
+
+ private:
+  /// Builds the encoder over `input_ids` inside `g`; returns [len, dim].
+  nn::Var Encode(nn::Graph& g, const std::vector<int>& input_ids) const;
+
+  std::vector<nn::Parameter*> AllParameters();
+
+  Options options_;
+  size_t num_items_ = 0;
+  std::unique_ptr<nn::Parameter> item_emb_;
+  std::unique_ptr<nn::Parameter> pos_emb_;
+  std::vector<std::unique_ptr<nn::TransformerBlock>> blocks_;
+  std::unique_ptr<nn::LayerNormParams> final_ln_;
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_SASREC_H_

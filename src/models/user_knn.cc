@@ -1,0 +1,99 @@
+#include "models/user_knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sccf::models {
+
+Status UserKnn::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  num_items_ = split.dataset().num_items();
+  user_sets_.assign(n, {});
+  item_to_users_.assign(num_items_, {});
+  for (size_t u = 0; u < n; ++u) {
+    std::span<const int> seq = split.TrainSequence(u);
+    std::vector<int> items(seq.begin(), seq.end());
+    std::sort(items.begin(), items.end());
+    items.erase(std::unique(items.begin(), items.end()), items.end());
+    for (int i : items) item_to_users_[i].push_back(static_cast<int>(u));
+    user_sets_[u] = std::move(items);
+  }
+  return Status::OK();
+}
+
+namespace {
+// |a ∩ b| for sorted unique vectors.
+size_t SortedIntersectionSize(const std::vector<int>& a,
+                              const std::vector<int>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+}  // namespace
+
+std::vector<index::Neighbor> UserKnn::IdentifyNeighbors(
+    std::span<const int> history, int exclude_user,
+    Strategy strategy) const {
+  std::vector<int> unique(history.begin(), history.end());
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+
+  index::TopKAccumulator acc(options_.num_neighbors);
+  const double qn = std::sqrt(static_cast<double>(unique.size()));
+
+  if (strategy == Strategy::kSparseIntersection) {
+    // The transductive scan of Eq. 13: touch every user's full item set.
+    for (size_t v = 0; v < user_sets_.size(); ++v) {
+      if (static_cast<int>(v) == exclude_user) continue;
+      if (user_sets_[v].empty()) continue;
+      const size_t overlap = SortedIntersectionSize(unique, user_sets_[v]);
+      if (overlap == 0) continue;
+      const double denom =
+          qn * std::sqrt(static_cast<double>(user_sets_[v].size()));
+      acc.Offer(static_cast<int>(v), static_cast<float>(overlap / denom));
+    }
+    return acc.Take();
+  }
+
+  // Inverted-index variant: accumulate overlaps via the query items' lists.
+  std::vector<float> overlap(user_sets_.size(), 0.0f);
+  for (int item : unique) {
+    if (item < 0 || static_cast<size_t>(item) >= num_items_) continue;
+    for (int v : item_to_users_[item]) overlap[v] += 1.0f;
+  }
+  for (size_t v = 0; v < user_sets_.size(); ++v) {
+    if (static_cast<int>(v) == exclude_user || overlap[v] == 0.0f) continue;
+    if (user_sets_[v].empty()) continue;
+    const double denom =
+        qn * std::sqrt(static_cast<double>(user_sets_[v].size()));
+    acc.Offer(static_cast<int>(v),
+              static_cast<float>(overlap[v] / denom));
+  }
+  return acc.Take();
+}
+
+void UserKnn::ScoreAll(size_t u, std::span<const int> history,
+                       std::vector<float>* scores) const {
+  scores->assign(num_items_, 0.0f);
+  const std::vector<index::Neighbor> neighbors =
+      IdentifyNeighbors(history, static_cast<int>(u));
+  // Eq. 12: candidate score = sum of neighbor similarities over neighbors
+  // that interacted with the item.
+  for (const index::Neighbor& nb : neighbors) {
+    for (int item : user_sets_[nb.id]) {
+      (*scores)[item] += nb.score;
+    }
+  }
+}
+
+}  // namespace sccf::models

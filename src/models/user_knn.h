@@ -1,0 +1,66 @@
+#ifndef SCCF_MODELS_USER_KNN_H_
+#define SCCF_MODELS_USER_KNN_H_
+
+#include "index/vector_index.h"
+#include "models/recommender.h"
+
+namespace sccf::models {
+
+/// Memory-based user-user collaborative filtering, the paper's UserKNN
+/// baseline (Sec. IV-A3) and the transductive foil of Table III: every
+/// query computes similarities against all users' high-dimensional
+/// interaction sets (via inverted lists), so identify time grows with the
+/// corpus, and any new interaction changes the similarity structure.
+class UserKnn : public Recommender {
+ public:
+  /// How user-user similarities are computed at query time.
+  ///
+  ///  * kSparseIntersection — the classical transductive formulation the
+  ///    paper benchmarks (Sec. III-C2 / Table III): intersect the query
+  ///    set with every user's sorted item set; cost grows with the total
+  ///    interaction volume.
+  ///  * kInvertedIndex — the standard production optimisation: walk the
+  ///    item -> users inverted lists of the query's items only. Much
+  ///    faster on sparse data; included so Table III can show that even
+  ///    the optimised transductive scan loses to the SCCF index at scale.
+  enum class Strategy { kSparseIntersection, kInvertedIndex };
+
+  struct Options {
+    /// Neighborhood size beta (Sec. III-C).
+    size_t num_neighbors = 100;
+    /// Strategy used by ScoreAll (IdentifyNeighbors also takes an
+    /// explicit override).
+    Strategy strategy = Strategy::kInvertedIndex;
+  };
+
+  UserKnn() : UserKnn(Options()) {}
+  explicit UserKnn(Options options) : options_(options) {}
+
+  std::string name() const override { return "UserKNN"; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Cosine neighbors of the interaction-set `history` among all fitted
+  /// users. `exclude_user` (>=0) removes the querying user. Exposed so the
+  /// real-time benchmark (Table III) can time exactly this step.
+  std::vector<index::Neighbor> IdentifyNeighbors(
+      std::span<const int> history, int exclude_user) const {
+    return IdentifyNeighbors(history, exclude_user, options_.strategy);
+  }
+  std::vector<index::Neighbor> IdentifyNeighbors(std::span<const int> history,
+                                                 int exclude_user,
+                                                 Strategy strategy) const;
+
+  void ScoreAll(size_t u, std::span<const int> history,
+                std::vector<float>* scores) const override;
+
+ private:
+  Options options_;
+  size_t num_items_ = 0;
+  std::vector<std::vector<int>> user_sets_;     // sorted unique train items
+  std::vector<std::vector<int>> item_to_users_;  // inverted lists
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_USER_KNN_H_

@@ -1,0 +1,124 @@
+#include "models/youtube_dnn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/negative_sampler.h"
+#include "nn/graph.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+
+namespace sccf::models {
+
+Status YouTubeDnn::Fit(const data::LeaveOneOutSplit& split) {
+  const size_t n = split.num_users();
+  num_items_ = split.dataset().num_items();
+  Rng rng(options_.seed);
+  item_emb_ = std::make_unique<nn::Parameter>(
+      "ytdnn.item_emb",
+      Tensor::TruncatedNormal({num_items_, options_.dim}, 0.01f, rng));
+  item_emb_->row_sparse = true;
+
+  std::vector<size_t> dims;
+  dims.push_back(options_.dim);
+  for (size_t h : options_.hidden) dims.push_back(h);
+  dims.push_back(options_.dim);
+  tower_ = std::make_unique<nn::Mlp>("ytdnn.tower", dims, rng);
+
+  std::vector<nn::Parameter*> params = {item_emb_.get()};
+  for (nn::Parameter* p : tower_->Parameters()) params.push_back(p);
+  nn::AdamOptimizer adam({.learning_rate = options_.learning_rate});
+  data::NegativeSampler sampler(split);
+
+  std::vector<size_t> user_order(n);
+  for (size_t u = 0; u < n; ++u) user_order[u] = u;
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(user_order);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t u : user_order) {
+      std::span<const int> seq = split.TrainSequence(u);
+      std::vector<int> ids(seq.begin(), seq.end());
+      std::sort(ids.begin(), ids.end());
+      ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+      const size_t h = ids.size();
+      if (h < 2) continue;
+
+      std::vector<int> targets = ids;
+      if (options_.max_targets_per_user > 0 &&
+          targets.size() > options_.max_targets_per_user) {
+        rng.Shuffle(targets);
+        targets.resize(options_.max_targets_per_user);
+      }
+      const size_t np = targets.size();
+      const size_t nneg = np * options_.num_negatives;
+      std::vector<int> negs = sampler.SampleMany(u, nneg, rng);
+
+      nn::Graph g(/*training=*/true, &rng);
+      nn::Var hist = g.Gather(item_emb_.get(), ids);
+      nn::Var sum = g.SumRows(hist);
+
+      // Positives: leave the target out of its own pool, then the tower.
+      const float c_pos = 1.0f / static_cast<float>(h - 1);
+      nn::Var tgt = g.Gather(item_emb_.get(), targets);
+      nn::Var pooled_pos = g.Scale(g.Sub(tgt, sum), -c_pos);
+      nn::Var user_pos = tower_->Apply(g, pooled_pos);  // [np, dim]
+      nn::Var logits_pos = g.RowsDot(user_pos, tgt);
+
+      nn::Var pooled_full = g.Scale(sum, 1.0f / static_cast<float>(h));
+      nn::Var user_full = tower_->Apply(g, pooled_full);  // [1, dim]
+      nn::Var neg_emb = g.Gather(item_emb_.get(), negs);
+      nn::Var logits_neg = g.MatMul(neg_emb, user_full, false, true);
+
+      nn::Var loss_pos =
+          g.BceWithLogits(logits_pos, Tensor::Full({np, 1}, 1.0f));
+      nn::Var loss_neg =
+          g.BceWithLogits(logits_neg, Tensor::Zeros({nneg, 1}));
+      const float wp = static_cast<float>(np) / (np + nneg);
+      nn::Var loss =
+          g.Add(g.Scale(loss_pos, wp), g.Scale(loss_neg, 1.0f - wp));
+
+      g.Backward(loss);
+      adam.Step(params);
+      epoch_loss += g.value(loss).scalar();
+      ++batches;
+    }
+    last_epoch_loss_ =
+        batches == 0 ? 0.0f : static_cast<float>(epoch_loss / batches);
+    if (options_.verbose) {
+      SCCF_LOG_INFO << "YouTubeDNN epoch " << epoch + 1 << "/"
+                    << options_.epochs << " loss=" << last_epoch_loss_;
+    }
+  }
+  return Status::OK();
+}
+
+void YouTubeDnn::InferUserEmbedding(std::span<const int> history,
+                                    float* out) const {
+  const size_t d = options_.dim;
+  std::fill(out, out + d, 0.0f);
+  std::vector<int> ids(history.begin(), history.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.empty()) return;
+
+  Tensor pooled({1, d});
+  for (int i : ids) {
+    tensor_ops::Axpy(1.0f, ItemEmbedding(i), pooled.data(), d);
+  }
+  const float c = 1.0f / static_cast<float>(ids.size());
+  for (size_t f = 0; f < d; ++f) pooled[f] *= c;
+
+  nn::Graph g(/*training=*/false);
+  nn::Var user = tower_->Apply(g, g.Input(std::move(pooled)));
+  const Tensor& v = g.value(user);
+  std::copy(v.data(), v.data() + d, out);
+}
+
+const float* YouTubeDnn::ItemEmbedding(int item) const {
+  SCCF_CHECK(item_emb_ != nullptr) << "Fit must be called first";
+  return item_emb_->value.data() + static_cast<size_t>(item) * options_.dim;
+}
+
+}  // namespace sccf::models

@@ -1,0 +1,71 @@
+#ifndef SCCF_MODELS_YOUTUBE_DNN_H_
+#define SCCF_MODELS_YOUTUBE_DNN_H_
+
+#include <memory>
+
+#include "models/recommender.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace sccf::models {
+
+/// A candidate-generation network in the style of Covington et al.'s
+/// YouTube recommender — the "deep model" the paper deploys as its online
+/// baseline (Sec. IV-F): the user's interacted-item embeddings are
+/// mean-pooled and passed through a small MLP tower; the tower output is
+/// the user representation, scored against item embeddings by dot
+/// product. Trained with sampled-negative binary cross-entropy, batched
+/// by user.
+///
+/// Inductive like FISM/SASRec, so it composes with SCCF as a base model.
+class YouTubeDnn : public InductiveUiModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    /// Hidden widths of the tower (output width is always `dim`).
+    std::vector<size_t> hidden = {64};
+    size_t epochs = 15;
+    size_t num_negatives = 4;
+    size_t max_targets_per_user = 64;
+    float learning_rate = 0.001f;
+    uint64_t seed = 42;
+    bool verbose = false;
+  };
+
+  YouTubeDnn() : YouTubeDnn(Options()) {}
+  explicit YouTubeDnn(Options options) : options_(std::move(options)) {}
+
+  std::string name() const override { return "YouTubeDNN"; }
+  size_t embedding_dim() const override { return options_.dim; }
+  size_t num_items() const override { return num_items_; }
+
+  Status Fit(const data::LeaveOneOutSplit& split) override;
+
+  /// Mean-pools the unique history embeddings and runs the tower.
+  void InferUserEmbedding(std::span<const int> history,
+                          float* out) const override;
+
+  const float* ItemEmbedding(int item) const override;
+
+  float last_epoch_loss() const { return last_epoch_loss_; }
+
+  /// Trainable parameters, for checkpointing (nn::SaveParameters).
+  /// Pre: Fit has been called.
+  std::vector<nn::Parameter*> Parameters() {
+    std::vector<nn::Parameter*> out = {item_emb_.get()};
+    for (nn::Parameter* p : tower_->Parameters()) out.push_back(p);
+    return out;
+  }
+
+ private:
+  Options options_;
+  size_t num_items_ = 0;
+  std::unique_ptr<nn::Parameter> item_emb_;
+  std::unique_ptr<nn::Mlp> tower_;
+  float last_epoch_loss_ = 0.0f;
+};
+
+}  // namespace sccf::models
+
+#endif  // SCCF_MODELS_YOUTUBE_DNN_H_

@@ -1,0 +1,725 @@
+#include "nn/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+namespace sccf::nn {
+
+namespace {
+
+// Whether `small` can broadcast over the rows of `big`: small is [1, d] or
+// [d] and big is [n, d].
+bool RowBroadcastable(const Tensor& big, const Tensor& small) {
+  return small.rows() == 1 && small.cols() == big.cols();
+}
+
+// Reduces an [n, d] delta to the [1, d] (or [d]) shape of `target` by
+// summing over rows, then adds it in.
+void AddRowReduced(const Tensor& delta, Tensor* target) {
+  const size_t n = delta.rows();
+  const size_t d = delta.cols();
+  for (size_t r = 0; r < n; ++r) {
+    tensor_ops::Axpy(1.0f, delta.data() + r * d, target->data(), d);
+  }
+}
+
+}  // namespace
+
+int Graph::NewNode(Tensor value, bool requires_grad) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Tensor& Graph::grad_buffer(int id) {
+  Node& n = nodes_[id];
+  if (n.grad.size() != n.value.size() || n.grad.shape() != n.value.shape()) {
+    n.grad = Tensor::Zeros(n.value.shape());
+  }
+  return n.grad;
+}
+
+void Graph::AccumulateGrad(int id, const Tensor& delta) {
+  Tensor& g = grad_buffer(id);
+  SCCF_CHECK_EQ(g.size(), delta.size());
+  tensor_ops::Axpy(1.0f, delta.data(), g.data(), g.size());
+}
+
+Var Graph::Input(Tensor value) {
+  return {NewNode(std::move(value), /*requires_grad=*/false)};
+}
+
+Var Graph::Param(Parameter* p) {
+  SCCF_CHECK(p != nullptr);
+  int id = NewNode(p->value, /*requires_grad=*/true);
+  nodes_[id].param = p;
+  return {id};
+}
+
+Var Graph::Gather(Parameter* table, const std::vector<int>& ids) {
+  SCCF_CHECK(table != nullptr);
+  SCCF_CHECK_EQ(table->value.rank(), 2u);
+  const size_t d = table->value.cols();
+  Tensor out({ids.size(), d});
+  for (size_t r = 0; r < ids.size(); ++r) {
+    SCCF_CHECK_GE(ids[r], 0);
+    SCCF_CHECK_LT(static_cast<size_t>(ids[r]), table->value.rows());
+    std::copy(table->value.data() + ids[r] * d,
+              table->value.data() + (ids[r] + 1) * d, out.data() + r * d);
+  }
+  int id = NewNode(std::move(out), /*requires_grad=*/true);
+  nodes_[id].gather_table = table;
+  nodes_[id].gather_ids = ids;
+  return {id};
+}
+
+Var Graph::MatMul(Var a, Var b, bool trans_a, bool trans_b) {
+  const Tensor& av = nodes_[a.id].value;
+  const Tensor& bv = nodes_[b.id].value;
+  const size_t m = trans_a ? av.cols() : av.rows();
+  const size_t n = trans_b ? bv.rows() : bv.cols();
+  Tensor out({m, n});
+  tensor_ops::Gemm(av, trans_a, bv, trans_b, 1.0f, 0.0f, &out);
+  bool rg = nodes_[a.id].requires_grad || nodes_[b.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, b, trans_a, trans_b](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& av = g->nodes_[a.id].value;
+      const Tensor& bv = g->nodes_[b.id].value;
+      if (g->nodes_[a.id].requires_grad) {
+        Tensor& da = g->grad_buffer(a.id);
+        if (!trans_a) {
+          // dA += dC @ op(B)^T
+          tensor_ops::Gemm(dc, false, bv, !trans_b, 1.0f, 1.0f, &da);
+        } else {
+          // dA += op(B) @ dC^T
+          tensor_ops::Gemm(bv, trans_b, dc, true, 1.0f, 1.0f, &da);
+        }
+      }
+      if (g->nodes_[b.id].requires_grad) {
+        Tensor& db = g->grad_buffer(b.id);
+        if (!trans_b) {
+          // dB += op(A)^T @ dC
+          tensor_ops::Gemm(av, !trans_a, dc, false, 1.0f, 1.0f, &db);
+        } else {
+          // dB += dC^T @ op(A)
+          tensor_ops::Gemm(dc, true, av, trans_a, 1.0f, 1.0f, &db);
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::RowsDot(Var a, Var b) {
+  const Tensor& av = nodes_[a.id].value;
+  const Tensor& bv = nodes_[b.id].value;
+  SCCF_CHECK(av.shape() == bv.shape());
+  const size_t n = av.rows();
+  const size_t d = av.cols();
+  Tensor out({n, 1});
+  for (size_t r = 0; r < n; ++r) {
+    out[r] = tensor_ops::Dot(av.data() + r * d, bv.data() + r * d, d);
+  }
+  bool rg = nodes_[a.id].requires_grad || nodes_[b.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, b, n, d](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& av = g->nodes_[a.id].value;
+      const Tensor& bv = g->nodes_[b.id].value;
+      if (g->nodes_[a.id].requires_grad) {
+        Tensor& da = g->grad_buffer(a.id);
+        for (size_t r = 0; r < n; ++r) {
+          tensor_ops::Axpy(dc[r], bv.data() + r * d, da.data() + r * d, d);
+        }
+      }
+      if (g->nodes_[b.id].requires_grad) {
+        Tensor& db = g->grad_buffer(b.id);
+        for (size_t r = 0; r < n; ++r) {
+          tensor_ops::Axpy(dc[r], av.data() + r * d, db.data() + r * d, d);
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Add(Var a, Var b) {
+  const Tensor& av = nodes_[a.id].value;
+  const Tensor& bv = nodes_[b.id].value;
+  // Allow either operand to be row-broadcast; normalise so `big` is first.
+  bool b_small = av.shape() != bv.shape() && RowBroadcastable(av, bv);
+  bool a_small = av.shape() != bv.shape() && RowBroadcastable(bv, av);
+  SCCF_CHECK(av.shape() == bv.shape() || b_small || a_small)
+      << "Add shape mismatch: " << av.ShapeString() << " vs "
+      << bv.ShapeString();
+  const Tensor& big = a_small ? bv : av;
+  const Tensor& small = a_small ? av : bv;
+  Tensor out = big;
+  const size_t d = big.cols();
+  if (av.shape() == bv.shape()) {
+    tensor_ops::Axpy(1.0f, small.data(), out.data(), out.size());
+  } else {
+    for (size_t r = 0; r < big.rows(); ++r) {
+      tensor_ops::Axpy(1.0f, small.data(), out.data() + r * d, d);
+    }
+  }
+  bool rg = nodes_[a.id].requires_grad || nodes_[b.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, b](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      for (Var v : {a, b}) {
+        if (!g->nodes_[v.id].requires_grad) continue;
+        Tensor& dv = g->grad_buffer(v.id);
+        if (dv.shape() == dc.shape()) {
+          tensor_ops::Axpy(1.0f, dc.data(), dv.data(), dv.size());
+        } else {
+          AddRowReduced(dc, &dv);
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Sub(Var a, Var b) {
+  const Tensor& av = nodes_[a.id].value;
+  const Tensor& bv = nodes_[b.id].value;
+  bool b_small = av.shape() != bv.shape() && RowBroadcastable(av, bv);
+  SCCF_CHECK(av.shape() == bv.shape() || b_small)
+      << "Sub shape mismatch: " << av.ShapeString() << " vs "
+      << bv.ShapeString();
+  Tensor out = av;
+  const size_t d = av.cols();
+  if (b_small) {
+    for (size_t r = 0; r < av.rows(); ++r) {
+      tensor_ops::Axpy(-1.0f, bv.data(), out.data() + r * d, d);
+    }
+  } else {
+    tensor_ops::Axpy(-1.0f, bv.data(), out.data(), out.size());
+  }
+  bool rg = nodes_[a.id].requires_grad || nodes_[b.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, b](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      if (g->nodes_[a.id].requires_grad) {
+        g->AccumulateGrad(a.id, dc);
+      }
+      if (g->nodes_[b.id].requires_grad) {
+        Tensor& db = g->grad_buffer(b.id);
+        if (db.shape() == dc.shape()) {
+          tensor_ops::Axpy(-1.0f, dc.data(), db.data(), db.size());
+        } else {
+          Tensor neg = dc;
+          for (size_t i = 0; i < neg.size(); ++i) neg[i] = -neg[i];
+          AddRowReduced(neg, &db);
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Mul(Var a, Var b) {
+  const Tensor& av = nodes_[a.id].value;
+  const Tensor& bv = nodes_[b.id].value;
+  SCCF_CHECK(av.shape() == bv.shape())
+      << "Mul shape mismatch: " << av.ShapeString() << " vs "
+      << bv.ShapeString();
+  Tensor out = av;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= bv[i];
+  bool rg = nodes_[a.id].requires_grad || nodes_[b.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, b](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& av = g->nodes_[a.id].value;
+      const Tensor& bv = g->nodes_[b.id].value;
+      if (g->nodes_[a.id].requires_grad) {
+        Tensor& da = g->grad_buffer(a.id);
+        for (size_t i = 0; i < da.size(); ++i) da[i] += dc[i] * bv[i];
+      }
+      if (g->nodes_[b.id].requires_grad) {
+        Tensor& db = g->grad_buffer(b.id);
+        for (size_t i = 0; i < db.size(); ++i) db[i] += dc[i] * av[i];
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Scale(Var a, float s) {
+  Tensor out = nodes_[a.id].value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] *= s;
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, s](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      Tensor& da = g->grad_buffer(a.id);
+      tensor_ops::Axpy(s, dc.data(), da.data(), da.size());
+    };
+  }
+  return {id};
+}
+
+Var Graph::AddScalar(Var a, float s) {
+  Tensor out = nodes_[a.id].value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] += s;
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a](Graph* g, int self) {
+      g->AccumulateGrad(a.id, g->nodes_[self].grad);
+    };
+  }
+  return {id};
+}
+
+Var Graph::Relu(Var a) {
+  Tensor out = nodes_[a.id].value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0f, out[i]);
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& y = g->nodes_[self].value;
+      Tensor& da = g->grad_buffer(a.id);
+      for (size_t i = 0; i < da.size(); ++i) {
+        if (y[i] > 0.0f) da[i] += dc[i];
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Sigmoid(Var a) {
+  Tensor out = nodes_[a.id].value;
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0f / (1.0f + std::exp(-out[i]));
+  }
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& y = g->nodes_[self].value;
+      Tensor& da = g->grad_buffer(a.id);
+      for (size_t i = 0; i < da.size(); ++i) {
+        da[i] += dc[i] * y[i] * (1.0f - y[i]);
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Tanh(Var a) {
+  Tensor out = nodes_[a.id].value;
+  for (size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(out[i]);
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& y = g->nodes_[self].value;
+      Tensor& da = g->grad_buffer(a.id);
+      for (size_t i = 0; i < da.size(); ++i) {
+        da[i] += dc[i] * (1.0f - y[i] * y[i]);
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::SoftmaxRows(Var a, const Tensor* additive_mask) {
+  Tensor out = nodes_[a.id].value;
+  if (additive_mask != nullptr) {
+    SCCF_CHECK(out.shape() == additive_mask->shape());
+    tensor_ops::Axpy(1.0f, additive_mask->data(), out.data(), out.size());
+  }
+  const size_t n = out.rows();
+  const size_t d = out.cols();
+  for (size_t r = 0; r < n; ++r) {
+    tensor_ops::SoftmaxInPlace(out.data() + r * d, d);
+  }
+  bool rg = nodes_[a.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [a, n, d](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      const Tensor& y = g->nodes_[self].value;
+      Tensor& da = g->grad_buffer(a.id);
+      for (size_t r = 0; r < n; ++r) {
+        const float* yr = y.data() + r * d;
+        const float* dr = dc.data() + r * d;
+        float dot = tensor_ops::Dot(yr, dr, d);
+        float* out = da.data() + r * d;
+        for (size_t c = 0; c < d; ++c) {
+          out[c] += yr[c] * (dr[c] - dot);
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::LayerNorm(Var x, Var gamma, Var beta, float eps) {
+  const Tensor& xv = nodes_[x.id].value;
+  const Tensor& gv = nodes_[gamma.id].value;
+  const Tensor& bv = nodes_[beta.id].value;
+  const size_t n = xv.rows();
+  const size_t d = xv.cols();
+  SCCF_CHECK_EQ(gv.size(), d);
+  SCCF_CHECK_EQ(bv.size(), d);
+
+  // Cache xhat and inv_std for the backward pass by storing them in the
+  // closure (shared ownership keeps the lambda copyable).
+  auto xhat = std::make_shared<Tensor>(Tensor::Zeros({n, d}));
+  auto inv_std = std::make_shared<std::vector<float>>(n);
+  Tensor out({n, d});
+  for (size_t r = 0; r < n; ++r) {
+    const float* xr = xv.data() + r * d;
+    float mean = 0.0f;
+    for (size_t c = 0; c < d; ++c) mean += xr[c];
+    mean /= d;
+    float var = 0.0f;
+    for (size_t c = 0; c < d; ++c) {
+      float t = xr[c] - mean;
+      var += t * t;
+    }
+    var /= d;
+    const float is = 1.0f / std::sqrt(var + eps);
+    (*inv_std)[r] = is;
+    float* hr = xhat->data() + r * d;
+    float* orow = out.data() + r * d;
+    for (size_t c = 0; c < d; ++c) {
+      hr[c] = (xr[c] - mean) * is;
+      orow[c] = gv[c] * hr[c] + bv[c];
+    }
+  }
+  bool rg = nodes_[x.id].requires_grad || nodes_[gamma.id].requires_grad ||
+            nodes_[beta.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [x, gamma, beta, xhat, inv_std, n, d](Graph* g,
+                                                                int self) {
+      const Tensor& dy = g->nodes_[self].grad;
+      const Tensor& gv = g->nodes_[gamma.id].value;
+      if (g->nodes_[beta.id].requires_grad) {
+        Tensor& db = g->grad_buffer(beta.id);
+        AddRowReduced(dy, &db);
+      }
+      if (g->nodes_[gamma.id].requires_grad) {
+        Tensor& dg = g->grad_buffer(gamma.id);
+        for (size_t r = 0; r < n; ++r) {
+          const float* dr = dy.data() + r * d;
+          const float* hr = xhat->data() + r * d;
+          for (size_t c = 0; c < d; ++c) dg[c] += dr[c] * hr[c];
+        }
+      }
+      if (g->nodes_[x.id].requires_grad) {
+        Tensor& dx = g->grad_buffer(x.id);
+        for (size_t r = 0; r < n; ++r) {
+          const float* dr = dy.data() + r * d;
+          const float* hr = xhat->data() + r * d;
+          float* xr = dx.data() + r * d;
+          // dxhat = dy * gamma; dx = (dxhat - mean(dxhat)
+          //        - xhat * mean(dxhat * xhat)) * inv_std
+          float mean_dxhat = 0.0f;
+          float mean_dxhat_xhat = 0.0f;
+          for (size_t c = 0; c < d; ++c) {
+            const float dxh = dr[c] * gv[c];
+            mean_dxhat += dxh;
+            mean_dxhat_xhat += dxh * hr[c];
+          }
+          mean_dxhat /= d;
+          mean_dxhat_xhat /= d;
+          const float is = (*inv_std)[r];
+          for (size_t c = 0; c < d; ++c) {
+            const float dxh = dr[c] * gv[c];
+            xr[c] += (dxh - mean_dxhat - hr[c] * mean_dxhat_xhat) * is;
+          }
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::Dropout(Var x, float rate) {
+  if (!training_ || rate <= 0.0f) return x;
+  SCCF_CHECK(rng_ != nullptr) << "Dropout in training mode requires an Rng";
+  SCCF_CHECK_LT(rate, 1.0f);
+  const Tensor& xv = nodes_[x.id].value;
+  const float keep_scale = 1.0f / (1.0f - rate);
+  auto mask = std::make_shared<Tensor>(Tensor::Zeros(xv.shape()));
+  Tensor out = xv;
+  for (size_t i = 0; i < out.size(); ++i) {
+    const float m = rng_->Bernoulli(rate) ? 0.0f : keep_scale;
+    (*mask)[i] = m;
+    out[i] *= m;
+  }
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [x, mask](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      Tensor& dx = g->grad_buffer(x.id);
+      for (size_t i = 0; i < dx.size(); ++i) dx[i] += dc[i] * (*mask)[i];
+    };
+  }
+  return {id};
+}
+
+Var Graph::ConcatCols(const std::vector<Var>& parts) {
+  SCCF_CHECK(!parts.empty());
+  const size_t n = nodes_[parts[0].id].value.rows();
+  size_t total_cols = 0;
+  bool rg = false;
+  for (Var p : parts) {
+    SCCF_CHECK_EQ(nodes_[p.id].value.rows(), n);
+    total_cols += nodes_[p.id].value.cols();
+    rg = rg || nodes_[p.id].requires_grad;
+  }
+  Tensor out({n, total_cols});
+  size_t col = 0;
+  for (Var p : parts) {
+    const Tensor& pv = nodes_[p.id].value;
+    const size_t d = pv.cols();
+    for (size_t r = 0; r < n; ++r) {
+      std::copy(pv.data() + r * d, pv.data() + (r + 1) * d,
+                out.data() + r * total_cols + col);
+    }
+    col += d;
+  }
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    auto parts_copy = parts;
+    nodes_[id].backward = [parts_copy, n, total_cols](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      size_t col = 0;
+      for (Var p : parts_copy) {
+        const size_t d = g->nodes_[p.id].value.cols();
+        if (g->nodes_[p.id].requires_grad) {
+          Tensor& dp = g->grad_buffer(p.id);
+          for (size_t r = 0; r < n; ++r) {
+            tensor_ops::Axpy(1.0f, dc.data() + r * total_cols + col,
+                             dp.data() + r * d, d);
+          }
+        }
+        col += d;
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::SliceCols(Var x, size_t begin, size_t end) {
+  const Tensor& xv = nodes_[x.id].value;
+  SCCF_CHECK_LE(begin, end);
+  SCCF_CHECK_LE(end, xv.cols());
+  const size_t n = xv.rows();
+  const size_t d = xv.cols();
+  const size_t w = end - begin;
+  Tensor out({n, w});
+  for (size_t r = 0; r < n; ++r) {
+    std::copy(xv.data() + r * d + begin, xv.data() + r * d + end,
+              out.data() + r * w);
+  }
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [x, begin, n, d, w](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      Tensor& dx = g->grad_buffer(x.id);
+      for (size_t r = 0; r < n; ++r) {
+        tensor_ops::Axpy(1.0f, dc.data() + r * w,
+                         dx.data() + r * d + begin, w);
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::SliceRows(Var x, size_t begin, size_t end) {
+  const Tensor& xv = nodes_[x.id].value;
+  SCCF_CHECK_LE(begin, end);
+  SCCF_CHECK_LE(end, xv.rows());
+  const size_t d = xv.cols();
+  const size_t n = end - begin;
+  Tensor out({n, d});
+  std::copy(xv.data() + begin * d, xv.data() + end * d, out.data());
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [x, begin, n, d](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      Tensor& dx = g->grad_buffer(x.id);
+      tensor_ops::Axpy(1.0f, dc.data(), dx.data() + begin * d, n * d);
+    };
+  }
+  return {id};
+}
+
+Var Graph::SumRows(Var x) {
+  const Tensor& xv = nodes_[x.id].value;
+  const size_t n = xv.rows();
+  const size_t d = xv.cols();
+  Tensor out({1, d});
+  for (size_t r = 0; r < n; ++r) {
+    tensor_ops::Axpy(1.0f, xv.data() + r * d, out.data(), d);
+  }
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(std::move(out), rg);
+  if (rg) {
+    nodes_[id].backward = [x, n, d](Graph* g, int self) {
+      const Tensor& dc = g->nodes_[self].grad;
+      Tensor& dx = g->grad_buffer(x.id);
+      for (size_t r = 0; r < n; ++r) {
+        tensor_ops::Axpy(1.0f, dc.data(), dx.data() + r * d, d);
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::MeanAll(Var x) {
+  const Tensor& xv = nodes_[x.id].value;
+  const size_t n = xv.size();
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += xv[i];
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(Tensor::Scalar(sum / n), rg);
+  if (rg) {
+    nodes_[id].backward = [x, n](Graph* g, int self) {
+      const float d = g->nodes_[self].grad[0] / n;
+      Tensor& dx = g->grad_buffer(x.id);
+      for (size_t i = 0; i < n; ++i) dx[i] += d;
+    };
+  }
+  return {id};
+}
+
+Var Graph::SumAll(Var x) {
+  const Tensor& xv = nodes_[x.id].value;
+  const size_t n = xv.size();
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) sum += xv[i];
+  bool rg = nodes_[x.id].requires_grad;
+  int id = NewNode(Tensor::Scalar(sum), rg);
+  if (rg) {
+    nodes_[id].backward = [x, n](Graph* g, int self) {
+      const float d = g->nodes_[self].grad[0];
+      Tensor& dx = g->grad_buffer(x.id);
+      for (size_t i = 0; i < n; ++i) dx[i] += d;
+    };
+  }
+  return {id};
+}
+
+Var Graph::BceWithLogits(Var logits, const Tensor& labels) {
+  const Tensor& z = nodes_[logits.id].value;
+  SCCF_CHECK(z.shape() == labels.shape());
+  const size_t n = z.size();
+  SCCF_CHECK_GT(n, 0u);
+  // loss_i = max(z,0) - z*y + log(1 + exp(-|z|)); mean over i.
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float zi = z[i];
+    total += std::max(zi, 0.0f) - zi * labels[i] +
+             std::log1p(std::exp(-std::fabs(zi)));
+  }
+  bool rg = nodes_[logits.id].requires_grad;
+  int id = NewNode(Tensor::Scalar(static_cast<float>(total / n)), rg);
+  if (rg) {
+    auto labels_copy = std::make_shared<Tensor>(labels);
+    nodes_[id].backward = [logits, labels_copy, n](Graph* g, int self) {
+      const float dscale = g->nodes_[self].grad[0] / n;
+      const Tensor& z = g->nodes_[logits.id].value;
+      Tensor& dz = g->grad_buffer(logits.id);
+      for (size_t i = 0; i < n; ++i) {
+        const float p = 1.0f / (1.0f + std::exp(-z[i]));
+        dz[i] += dscale * (p - (*labels_copy)[i]);
+      }
+    };
+  }
+  return {id};
+}
+
+Var Graph::BprLoss(Var pos_logits, Var neg_logits) {
+  const Tensor& p = nodes_[pos_logits.id].value;
+  const Tensor& q = nodes_[neg_logits.id].value;
+  SCCF_CHECK(p.shape() == q.shape());
+  const size_t n = p.size();
+  SCCF_CHECK_GT(n, 0u);
+  // loss = mean softplus(neg - pos), the negative log of Eq. (BPR).
+  double total = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const float x = q[i] - p[i];
+    total += x > 0 ? x + std::log1p(std::exp(-x)) : std::log1p(std::exp(x));
+  }
+  bool rg = nodes_[pos_logits.id].requires_grad ||
+            nodes_[neg_logits.id].requires_grad;
+  int id = NewNode(Tensor::Scalar(static_cast<float>(total / n)), rg);
+  if (rg) {
+    nodes_[id].backward = [pos_logits, neg_logits, n](Graph* g, int self) {
+      const float dscale = g->nodes_[self].grad[0] / n;
+      const Tensor& p = g->nodes_[pos_logits.id].value;
+      const Tensor& q = g->nodes_[neg_logits.id].value;
+      for (size_t i = 0; i < n; ++i) {
+        const float x = q[i] - p[i];
+        const float s = 1.0f / (1.0f + std::exp(-x));  // sigmoid(neg - pos)
+        if (g->nodes_[pos_logits.id].requires_grad) {
+          g->grad_buffer(pos_logits.id)[i] += -dscale * s;
+        }
+        if (g->nodes_[neg_logits.id].requires_grad) {
+          g->grad_buffer(neg_logits.id)[i] += dscale * s;
+        }
+      }
+    };
+  }
+  return {id};
+}
+
+void Graph::Backward(Var loss) {
+  SCCF_CHECK(!backward_done_) << "Backward may be called once per graph";
+  backward_done_ = true;
+  Node& ln = nodes_[loss.id];
+  SCCF_CHECK_EQ(ln.value.size(), 1u) << "loss must be scalar";
+  SCCF_CHECK(ln.requires_grad) << "loss does not depend on any parameter";
+  grad_buffer(loss.id)[0] = 1.0f;
+
+  for (int i = loss.id; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (!n.requires_grad) continue;
+    // Nodes created after the loss cannot contribute to it; nodes with an
+    // empty grad buffer received no gradient (off-path) and are skipped.
+    if (n.grad.shape() != n.value.shape()) continue;
+    if (n.backward) n.backward(this, i);
+    if (n.param != nullptr) {
+      tensor_ops::Axpy(1.0f, n.grad.data(), n.param->grad.data(),
+                       n.grad.size());
+      n.param->MarkDenseTouched();
+    }
+    if (n.gather_table != nullptr) {
+      Parameter* t = n.gather_table;
+      const size_t d = t->value.cols();
+      for (size_t r = 0; r < n.gather_ids.size(); ++r) {
+        const int row = n.gather_ids[r];
+        tensor_ops::Axpy(1.0f, n.grad.data() + r * d,
+                         t->grad.data() + row * d, d);
+        t->MarkRowTouched(row);
+      }
+    }
+  }
+}
+
+}  // namespace sccf::nn

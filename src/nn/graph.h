@@ -1,0 +1,156 @@
+#ifndef SCCF_NN_GRAPH_H_
+#define SCCF_NN_GRAPH_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf::nn {
+
+class Graph;
+
+/// Lightweight handle to a node inside a Graph.
+struct Var {
+  int id = -1;
+  bool valid() const { return id >= 0; }
+};
+
+/// Define-by-run automatic differentiation tape.
+///
+/// Every op evaluates eagerly at construction and records a backward
+/// closure; `Backward(loss)` walks the tape in reverse creation order
+/// (which is a valid topological order) and accumulates gradients into the
+/// referenced Parameters. A Graph is built per training step and discarded.
+///
+/// All ops operate on rank-2 matrices unless stated otherwise; a rank-1
+/// tensor of length d is treated as 1 x d where broadcasting applies.
+class Graph {
+ public:
+  /// `training` enables Dropout; `rng` is required when training with
+  /// dropout and may be null otherwise.
+  explicit Graph(bool training = false, Rng* rng = nullptr)
+      : training_(training), rng_(rng) {}
+
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // ---- Leaves -----------------------------------------------------------
+
+  /// Constant leaf; no gradient flows into it.
+  Var Input(Tensor value);
+
+  /// Trainable leaf. The parameter's dense gradient is accumulated when
+  /// Backward runs.
+  Var Param(Parameter* p);
+
+  /// Gathers rows `ids` of an embedding table as an [ids.size(), d] value.
+  /// Gradients are scattered back into `table->grad` sparsely; `table`
+  /// should have row_sparse = true.
+  Var Gather(Parameter* table, const std::vector<int>& ids);
+
+  // ---- Linear algebra ----------------------------------------------------
+
+  /// op(a) @ op(b) with optional transposes.
+  Var MatMul(Var a, Var b, bool trans_a = false, bool trans_b = false);
+
+  /// Per-row dot product of equal-shape [n, d] inputs -> [n, 1].
+  Var RowsDot(Var a, Var b);
+
+  // ---- Elementwise -------------------------------------------------------
+
+  /// a + b. `b` (or `a`) may be [1, d] and is broadcast over rows.
+  Var Add(Var a, Var b);
+  /// a - b. `b` may be [1, d] broadcast over rows.
+  Var Sub(Var a, Var b);
+  /// Elementwise product; shapes must match exactly.
+  Var Mul(Var a, Var b);
+  Var Scale(Var a, float s);
+  Var AddScalar(Var a, float s);
+
+  Var Relu(Var a);
+  Var Sigmoid(Var a);
+  Var Tanh(Var a);
+
+  // ---- Structured ops ----------------------------------------------------
+
+  /// Row-wise softmax. If `additive_mask` is non-null it is added to the
+  /// pre-softmax values (use -1e9 entries for masking); it must match the
+  /// input shape and is treated as a constant.
+  Var SoftmaxRows(Var a, const Tensor* additive_mask = nullptr);
+
+  /// Row-wise layer normalisation with learned gain/bias ([1, d] vars).
+  Var LayerNorm(Var x, Var gamma, Var beta, float eps = 1e-8f);
+
+  /// Inverted dropout; identity when the graph is not in training mode.
+  Var Dropout(Var x, float rate);
+
+  /// Horizontal concatenation of matrices with equal row counts.
+  Var ConcatCols(const std::vector<Var>& parts);
+
+  /// Columns [begin, end) of x.
+  Var SliceCols(Var x, size_t begin, size_t end);
+
+  /// Rows [begin, end) of x.
+  Var SliceRows(Var x, size_t begin, size_t end);
+
+  // ---- Reductions --------------------------------------------------------
+
+  /// Column-wise sum over rows: [n, d] -> [1, d].
+  Var SumRows(Var x);
+  /// Mean of all entries -> scalar.
+  Var MeanAll(Var x);
+  /// Sum of all entries -> scalar.
+  Var SumAll(Var x);
+
+  // ---- Losses ------------------------------------------------------------
+
+  /// Mean binary cross-entropy with logits; numerically stable fused op.
+  /// `labels` must match the logits shape (entries in {0,1} typically).
+  Var BceWithLogits(Var logits, const Tensor& labels);
+
+  /// BPR pairwise loss: mean softplus(neg - pos); inputs same shape.
+  Var BprLoss(Var pos_logits, Var neg_logits);
+
+  // ---- Execution ---------------------------------------------------------
+
+  /// Runs reverse-mode accumulation from `loss` (must be scalar) and
+  /// flushes parameter gradients. May be called once per graph.
+  void Backward(Var loss);
+
+  const Tensor& value(Var v) const { return nodes_[v.id].value; }
+  /// Valid after Backward for nodes on the differentiated path.
+  const Tensor& grad(Var v) const { return nodes_[v.id].grad; }
+
+  bool training() const { return training_; }
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;
+    bool requires_grad = false;
+    Parameter* param = nullptr;                 // dense parameter leaves
+    Parameter* gather_table = nullptr;          // sparse gather leaves
+    std::vector<int> gather_ids;
+    std::function<void(Graph*, int)> backward;  // null for leaves
+  };
+
+  int NewNode(Tensor value, bool requires_grad);
+  Node& node(int id) { return nodes_[id]; }
+  Tensor& grad_buffer(int id);
+  /// Adds `delta` into the grad buffer of `id` (allocating if needed),
+  /// broadcasting-aware reduction handled by callers.
+  void AccumulateGrad(int id, const Tensor& delta);
+
+  bool training_;
+  Rng* rng_;
+  bool backward_done_ = false;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_GRAPH_H_

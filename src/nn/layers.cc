@@ -1,0 +1,68 @@
+#include "nn/layers.h"
+
+namespace sccf::nn {
+
+Linear::Linear(std::string name, size_t in_dim, size_t out_dim, Rng& rng,
+               float init_stddev)
+    : weight_(std::make_unique<Parameter>(
+          name + ".W",
+          Tensor::TruncatedNormal({in_dim, out_dim}, init_stddev, rng))),
+      bias_(std::make_unique<Parameter>(name + ".b",
+                                        Tensor::Zeros({1, out_dim}))) {}
+
+Var Linear::Apply(Graph& g, Var x) const {
+  Var w = g.Param(weight_.get());
+  Var b = g.Param(bias_.get());
+  return g.Add(g.MatMul(x, w), b);
+}
+
+std::vector<Parameter*> Linear::Parameters() {
+  return {weight_.get(), bias_.get()};
+}
+
+LayerNormParams::LayerNormParams(std::string name, size_t dim)
+    : gamma_(std::make_unique<Parameter>(name + ".gamma",
+                                         Tensor::Full({1, dim}, 1.0f))),
+      beta_(std::make_unique<Parameter>(name + ".beta",
+                                        Tensor::Zeros({1, dim}))) {}
+
+Var LayerNormParams::Apply(Graph& g, Var x, float eps) const {
+  return g.LayerNorm(x, g.Param(gamma_.get()), g.Param(beta_.get()), eps);
+}
+
+std::vector<Parameter*> LayerNormParams::Parameters() {
+  return {gamma_.get(), beta_.get()};
+}
+
+Mlp::Mlp(std::string name, const std::vector<size_t>& dims, Rng& rng,
+         float dropout_rate)
+    : dropout_rate_(dropout_rate) {
+  SCCF_CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(name + ".fc" + std::to_string(i), dims[i],
+                         dims[i + 1], rng,
+                         /*init_stddev=*/0.1f);
+  }
+}
+
+Var Mlp::Apply(Graph& g, Var x) const {
+  Var h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Apply(g, h);
+    if (i + 1 < layers_.size()) {
+      h = g.Relu(h);
+      if (dropout_rate_ > 0.0f) h = g.Dropout(h, dropout_rate_);
+    }
+  }
+  return h;
+}
+
+std::vector<Parameter*> Mlp::Parameters() {
+  std::vector<Parameter*> out;
+  for (auto& l : layers_) {
+    for (Parameter* p : l.Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sccf::nn

@@ -1,0 +1,66 @@
+#ifndef SCCF_NN_LAYERS_H_
+#define SCCF_NN_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace sccf::nn {
+
+/// Fully connected layer: y = x @ W + b, W: [in, out], b: [1, out].
+class Linear {
+ public:
+  Linear(std::string name, size_t in_dim, size_t out_dim, Rng& rng,
+         float init_stddev = 0.01f);
+
+  /// x: [n, in] -> [n, out].
+  Var Apply(Graph& g, Var x) const;
+
+  std::vector<Parameter*> Parameters();
+
+  Parameter& weight() { return *weight_; }
+  Parameter& bias() { return *bias_; }
+
+ private:
+  std::unique_ptr<Parameter> weight_;
+  std::unique_ptr<Parameter> bias_;
+};
+
+/// LayerNorm gain/bias pair (gamma initialised to 1, beta to 0).
+class LayerNormParams {
+ public:
+  LayerNormParams(std::string name, size_t dim);
+
+  Var Apply(Graph& g, Var x, float eps = 1e-8f) const;
+
+  std::vector<Parameter*> Parameters();
+
+ private:
+  std::unique_ptr<Parameter> gamma_;
+  std::unique_ptr<Parameter> beta_;
+};
+
+/// Multi-layer perceptron with ReLU activations between layers and a
+/// linear head. Used by the SCCF integrating component (Eq. 15-17).
+class Mlp {
+ public:
+  /// dims = {in, hidden..., out}. Requires >= 2 entries.
+  Mlp(std::string name, const std::vector<size_t>& dims, Rng& rng,
+      float dropout_rate = 0.0f);
+
+  Var Apply(Graph& g, Var x) const;
+
+  std::vector<Parameter*> Parameters();
+
+ private:
+  std::vector<Linear> layers_;
+  float dropout_rate_;
+};
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_LAYERS_H_

@@ -1,0 +1,74 @@
+#include "nn/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sccf::nn {
+
+float AdamOptimizer::CurrentLearningRate() const {
+  if (options_.decay_steps == 0) return options_.learning_rate;
+  const float frac =
+      1.0f - static_cast<float>(step_) / options_.decay_steps;
+  return options_.learning_rate *
+         std::max(options_.min_lr_fraction, frac);
+}
+
+void AdamOptimizer::EnsureState(Parameter* p) {
+  if (p->adam_m.size() != p->value.size() ||
+      p->adam_m.shape() != p->value.shape()) {
+    p->adam_m = Tensor::Zeros(p->value.shape());
+    p->adam_v = Tensor::Zeros(p->value.shape());
+  }
+}
+
+void AdamOptimizer::UpdateRow(Parameter* p, size_t row_begin, size_t len,
+                              float lr, float bias_c1, float bias_c2) {
+  float* value = p->value.data() + row_begin;
+  float* grad = p->grad.data() + row_begin;
+  float* m = p->adam_m.data() + row_begin;
+  float* v = p->adam_v.data() + row_begin;
+  const float b1 = options_.beta1;
+  const float b2 = options_.beta2;
+  const float wd = options_.weight_decay;
+  for (size_t i = 0; i < len; ++i) {
+    float g = grad[i];
+    if (wd > 0.0f) g += 2.0f * wd * value[i];
+    m[i] = b1 * m[i] + (1.0f - b1) * g;
+    v[i] = b2 * v[i] + (1.0f - b2) * g * g;
+    const float mhat = m[i] * bias_c1;
+    const float vhat = v[i] * bias_c2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + options_.epsilon);
+    grad[i] = 0.0f;
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Parameter*>& params) {
+  const float lr = CurrentLearningRate();
+  ++step_;
+  const float bias_c1 =
+      1.0f / (1.0f - std::pow(options_.beta1, static_cast<float>(step_)));
+  const float bias_c2 =
+      1.0f / (1.0f - std::pow(options_.beta2, static_cast<float>(step_)));
+
+  for (Parameter* p : params) {
+    if (!p->HasGradient()) continue;
+    EnsureState(p);
+    const size_t cols = p->value.rank() == 2 ? p->value.cols() : 1;
+    if (p->row_sparse && !p->dense_touched) {
+      auto& rows = p->touched_rows;
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      for (size_t row : rows) {
+        UpdateRow(p, row * cols, cols, lr, bias_c1, bias_c2);
+      }
+    } else {
+      UpdateRow(p, 0, p->value.size(), lr, bias_c1, bias_c2);
+    }
+    p->dense_touched = false;
+    p->touched_rows.clear();
+  }
+}
+
+}  // namespace sccf::nn

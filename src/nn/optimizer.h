@@ -1,0 +1,55 @@
+#ifndef SCCF_NN_OPTIMIZER_H_
+#define SCCF_NN_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/parameter.h"
+
+namespace sccf::nn {
+
+/// Mini-batch Adam (Kingma & Ba) with the paper's settings: lr = 0.001,
+/// beta1 = 0.9, beta2 = 0.999, optional linear learning-rate decay and L2
+/// regularisation (the lambda * ||Theta||^2 term of Eq. 9 / Eq. 17).
+///
+/// Row-sparse parameters (embedding tables) are updated lazily: only rows
+/// touched since the last step have their moments and values updated, so a
+/// step costs O(batch rows), not O(vocabulary).
+class AdamOptimizer {
+ public:
+  struct Options {
+    float learning_rate = 0.001f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float epsilon = 1e-8f;
+    /// L2 penalty coefficient lambda; 0 disables.
+    float weight_decay = 0.0f;
+    /// When > 0, lr decays linearly from learning_rate to
+    /// learning_rate * min_lr_fraction over `decay_steps` steps.
+    size_t decay_steps = 0;
+    float min_lr_fraction = 0.1f;
+  };
+
+  explicit AdamOptimizer(Options options) : options_(options) {}
+
+  /// Applies one update using the gradients accumulated in `params`,
+  /// then zeroes those gradients. Parameters without gradients are skipped.
+  void Step(const std::vector<Parameter*>& params);
+
+  /// Effective learning rate for the next step (after decay).
+  float CurrentLearningRate() const;
+
+  size_t step_count() const { return step_; }
+
+ private:
+  void EnsureState(Parameter* p);
+  void UpdateRow(Parameter* p, size_t row_begin, size_t len, float lr,
+                 float bias_c1, float bias_c2);
+
+  Options options_;
+  size_t step_ = 0;
+};
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_OPTIMIZER_H_

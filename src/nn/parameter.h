@@ -1,0 +1,46 @@
+#ifndef SCCF_NN_PARAMETER_H_
+#define SCCF_NN_PARAMETER_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace sccf::nn {
+
+/// A trainable tensor with its accumulated gradient.
+///
+/// `grad` always has the same shape as `value` and is zeroed by the
+/// optimizer after each step. Embedding tables set `row_sparse` so that the
+/// optimizer touches only the rows recorded in `touched_rows` (gathered
+/// rows), keeping per-step cost proportional to the mini-batch instead of
+/// the vocabulary.
+struct Parameter {
+  Parameter(std::string name_in, Tensor value_in)
+      : name(std::move(name_in)),
+        value(std::move(value_in)),
+        grad(Tensor::Zeros(value.shape())) {}
+
+  /// Records dense use: every row is considered touched.
+  void MarkDenseTouched() { dense_touched = true; }
+
+  /// Records that `row` of `grad` received sparse contributions.
+  void MarkRowTouched(size_t row) { touched_rows.push_back(row); }
+
+  bool HasGradient() const { return dense_touched || !touched_rows.empty(); }
+
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool row_sparse = false;
+  bool dense_touched = false;
+  std::vector<size_t> touched_rows;
+
+  // Adam state, lazily sized by the optimizer.
+  Tensor adam_m;
+  Tensor adam_v;
+};
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_PARAMETER_H_

@@ -1,0 +1,109 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace sccf::nn {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'C', 'C', 'F', 'C', 'K', 'P', 'T'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WritePod(std::ofstream& f, T v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::ifstream& f, T* v) {
+  f.read(reinterpret_cast<char*>(v), sizeof(T));
+  return static_cast<bool>(f);
+}
+}  // namespace
+
+Status SaveParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return Status::IoError("cannot open " + path + " for writing");
+  f.write(kMagic, sizeof(kMagic));
+  WritePod<uint32_t>(f, kVersion);
+  WritePod<uint32_t>(f, static_cast<uint32_t>(params.size()));
+  for (const Parameter* p : params) {
+    WritePod<uint32_t>(f, static_cast<uint32_t>(p->name.size()));
+    f.write(p->name.data(), p->name.size());
+    WritePod<uint32_t>(f, static_cast<uint32_t>(p->value.rank()));
+    for (size_t dim : p->value.shape()) {
+      WritePod<uint64_t>(f, static_cast<uint64_t>(dim));
+    }
+    f.write(reinterpret_cast<const char*>(p->value.data()),
+            p->value.size() * sizeof(float));
+  }
+  if (!f) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IoError("cannot open " + path);
+  char magic[8];
+  f.read(magic, sizeof(magic));
+  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(path + ": not an SCCF checkpoint");
+  }
+  uint32_t version = 0, count = 0;
+  if (!ReadPod(f, &version) || version != kVersion) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadPod(f, &count)) return Status::IoError("truncated checkpoint");
+
+  std::unordered_map<std::string, Parameter*> by_name;
+  for (Parameter* p : params) {
+    if (!by_name.emplace(p->name, p).second) {
+      return Status::InvalidArgument("duplicate parameter name: " + p->name);
+    }
+  }
+  size_t restored = 0;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadPod(f, &name_len) || name_len > 4096) {
+      return Status::IoError("corrupt checkpoint (name length)");
+    }
+    std::string name(name_len, '\0');
+    f.read(name.data(), name_len);
+    uint32_t rank = 0;
+    if (!f || !ReadPod(f, &rank) || rank > 2) {
+      return Status::IoError("corrupt checkpoint (rank)");
+    }
+    std::vector<size_t> shape(rank);
+    size_t total = 1;
+    for (uint32_t r = 0; r < rank; ++r) {
+      uint64_t dim = 0;
+      if (!ReadPod(f, &dim)) return Status::IoError("corrupt checkpoint");
+      shape[r] = static_cast<size_t>(dim);
+      total *= shape[r];
+    }
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::InvalidArgument("checkpoint parameter '" + name +
+                                     "' not present in target model");
+    }
+    Parameter* p = it->second;
+    if (p->value.shape() != shape) {
+      return Status::InvalidArgument("shape mismatch for '" + name + "'");
+    }
+    f.read(reinterpret_cast<char*>(p->value.data()), total * sizeof(float));
+    if (!f) return Status::IoError("truncated checkpoint payload");
+    ++restored;
+  }
+  if (restored != params.size()) {
+    return Status::InvalidArgument(
+        "checkpoint restored " + std::to_string(restored) + " of " +
+        std::to_string(params.size()) + " parameters");
+  }
+  return Status::OK();
+}
+
+}  // namespace sccf::nn

@@ -1,0 +1,31 @@
+#ifndef SCCF_NN_SERIALIZE_H_
+#define SCCF_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/parameter.h"
+#include "util/status.h"
+
+namespace sccf::nn {
+
+/// Binary checkpointing of parameter values (not optimizer state).
+///
+/// Format: "SCCFCKPT" magic, u32 version, u32 parameter count; then per
+/// parameter: u32 name length + bytes, u32 rank, u64 dims..., float32
+/// payload. Little-endian, as written by the host.
+///
+/// SaveParameters writes the given parameters in order; LoadParameters
+/// restores *by name* into an equally-shaped existing parameter set, so a
+/// model is deserialised by constructing it (same options) and loading
+/// into its parameters. Unknown names in the file or missing names in the
+/// target are errors — checkpoints must match the architecture.
+Status SaveParameters(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+Status LoadParameters(const std::string& path,
+                      const std::vector<Parameter*>& params);
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_SERIALIZE_H_

@@ -1,0 +1,84 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+namespace sccf::nn {
+
+Tensor CausalMask(size_t len) {
+  Tensor mask({len, len});
+  for (size_t r = 0; r < len; ++r) {
+    for (size_t c = r + 1; c < len; ++c) {
+      mask.at(r, c) = -1e9f;
+    }
+  }
+  return mask;
+}
+
+TransformerBlock::TransformerBlock(std::string name, size_t dim,
+                                   size_t num_heads, float dropout_rate,
+                                   Rng& rng)
+    : dim_(dim),
+      num_heads_(num_heads),
+      dropout_rate_(dropout_rate),
+      wq_(std::make_unique<Parameter>(
+          name + ".Wq", Tensor::TruncatedNormal({dim, dim}, 0.01f, rng))),
+      wk_(std::make_unique<Parameter>(
+          name + ".Wk", Tensor::TruncatedNormal({dim, dim}, 0.01f, rng))),
+      wv_(std::make_unique<Parameter>(
+          name + ".Wv", Tensor::TruncatedNormal({dim, dim}, 0.01f, rng))),
+      wo_(std::make_unique<Parameter>(
+          name + ".Wo", Tensor::TruncatedNormal({dim, dim}, 0.01f, rng))),
+      ffn1_(name + ".ffn1", dim, dim, rng),
+      ffn2_(name + ".ffn2", dim, dim, rng),
+      ln1_(name + ".ln1", dim),
+      ln2_(name + ".ln2", dim) {
+  SCCF_CHECK_GT(num_heads, 0u);
+  SCCF_CHECK_EQ(dim % num_heads, 0u);
+}
+
+Var TransformerBlock::SelfAttention(Graph& g, Var x,
+                                    const Tensor& causal_mask) const {
+  Var q = g.MatMul(x, g.Param(wq_.get()));
+  Var k = g.MatMul(x, g.Param(wk_.get()));
+  Var v = g.MatMul(x, g.Param(wv_.get()));
+
+  const size_t head_dim = dim_ / num_heads_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  std::vector<Var> heads;
+  heads.reserve(num_heads_);
+  for (size_t h = 0; h < num_heads_; ++h) {
+    const size_t lo = h * head_dim;
+    const size_t hi = lo + head_dim;
+    Var qh = num_heads_ == 1 ? q : g.SliceCols(q, lo, hi);
+    Var kh = num_heads_ == 1 ? k : g.SliceCols(k, lo, hi);
+    Var vh = num_heads_ == 1 ? v : g.SliceCols(v, lo, hi);
+    Var scores = g.Scale(g.MatMul(qh, kh, false, true), scale);
+    Var attn = g.SoftmaxRows(scores, &causal_mask);
+    attn = g.Dropout(attn, dropout_rate_);
+    heads.push_back(g.MatMul(attn, vh));
+  }
+  Var concat = num_heads_ == 1 ? heads[0] : g.ConcatCols(heads);
+  return g.MatMul(concat, g.Param(wo_.get()));
+}
+
+Var TransformerBlock::Apply(Graph& g, Var x,
+                            const Tensor& causal_mask) const {
+  // Eq. 7: LayerNorm(x + Dropout(sublayer(x))) for both sublayers.
+  Var sa = SelfAttention(g, x, causal_mask);
+  Var h = ln1_.Apply(g, g.Add(x, g.Dropout(sa, dropout_rate_)));
+
+  Var ffn = ffn2_.Apply(g, g.Relu(ffn1_.Apply(g, h)));
+  return ln2_.Apply(g, g.Add(h, g.Dropout(ffn, dropout_rate_)));
+}
+
+std::vector<Parameter*> TransformerBlock::Parameters() {
+  std::vector<Parameter*> out = {wq_.get(), wk_.get(), wv_.get(), wo_.get()};
+  for (Parameter* p : ffn1_.Parameters()) out.push_back(p);
+  for (Parameter* p : ffn2_.Parameters()) out.push_back(p);
+  for (Parameter* p : ln1_.Parameters()) out.push_back(p);
+  for (Parameter* p : ln2_.Parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace sccf::nn

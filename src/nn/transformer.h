@@ -1,0 +1,53 @@
+#ifndef SCCF_NN_TRANSFORMER_H_
+#define SCCF_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf::nn {
+
+/// Builds the [len, len] additive causal mask of Eq. 4-5: position t may
+/// attend to positions <= t; disallowed entries hold -1e9.
+Tensor CausalMask(size_t len);
+
+/// One Transformer encoder block as used by SASRec (paper Fig. 3a, Eq. 4-7):
+/// post-norm residual multi-head self-attention followed by a position-wise
+/// feed-forward network, with dropout on each sublayer output.
+class TransformerBlock {
+ public:
+  /// Pre: dim % num_heads == 0.
+  TransformerBlock(std::string name, size_t dim, size_t num_heads,
+                   float dropout_rate, Rng& rng);
+
+  /// x: [len, dim] -> [len, dim]. `causal_mask` must be CausalMask(len);
+  /// it is passed in so callers can cache it across sequences.
+  Var Apply(Graph& g, Var x, const Tensor& causal_mask) const;
+
+  std::vector<Parameter*> Parameters();
+
+ private:
+  Var SelfAttention(Graph& g, Var x, const Tensor& causal_mask) const;
+
+  size_t dim_;
+  size_t num_heads_;
+  float dropout_rate_;
+  std::unique_ptr<Parameter> wq_;
+  std::unique_ptr<Parameter> wk_;
+  std::unique_ptr<Parameter> wv_;
+  std::unique_ptr<Parameter> wo_;
+  Linear ffn1_;
+  Linear ffn2_;
+  LayerNormParams ln1_;
+  LayerNormParams ln2_;
+};
+
+}  // namespace sccf::nn
+
+#endif  // SCCF_NN_TRANSFORMER_H_

@@ -1,0 +1,121 @@
+#include "online/ab_test.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sccf::online {
+
+AbTestHarness::AbTestHarness(const data::Dataset& dataset,
+                             const data::SyntheticGenerator& world,
+                             AbTestConfig config)
+    : dataset_(&dataset), world_(&world), config_(config) {
+  // Re-index the world's ground truth by compact item id.
+  const size_t m = dataset.num_items();
+  item_cluster_compact_.resize(m);
+  successor_compact_.assign(m, -1);
+  is_popular_head_.assign(m, 0);
+
+  std::unordered_map<int, int> original_to_compact;
+  for (size_t i = 0; i < m; ++i) {
+    original_to_compact[dataset.original_item_ids()[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const int original = dataset.original_item_ids()[i];
+    item_cluster_compact_[i] = world.item_cluster()[original];
+    const int succ_original = world.successor()[original];
+    auto it = original_to_compact.find(succ_original);
+    if (it != original_to_compact.end()) successor_compact_[i] = it->second;
+  }
+  for (int original : world.global_head()) {
+    auto it = original_to_compact.find(original);
+    if (it != original_to_compact.end()) is_popular_head_[it->second] = 1;
+  }
+}
+
+double AbTestHarness::ClickProbability(int user,
+                                       std::span<const int> history,
+                                       int item) const {
+  const int original_user = dataset_->original_user_ids()[user];
+  const int primary = world_->user_primary_cluster()[original_user];
+  const int cluster = item_cluster_compact_[item];
+
+  // Recently active segments: clusters of the last 15 events.
+  const size_t take = std::min<size_t>(history.size(), 15);
+  std::unordered_set<int> recent_clusters;
+  for (size_t i = history.size() - take; i < history.size(); ++i) {
+    recent_clusters.insert(item_cluster_compact_[history[i]]);
+  }
+
+  double weight = config_.other_weight;
+  if (cluster == primary) {
+    weight = config_.primary_cluster_weight;
+  } else if (recent_clusters.count(cluster) > 0) {
+    weight = config_.recent_cluster_weight;
+  } else if (is_popular_head_[item]) {
+    weight = config_.popular_weight;
+  }
+  if (!history.empty() && successor_compact_[history.back()] == item) {
+    weight *= config_.successor_boost;
+  }
+  return std::min(0.9, config_.base_click_prob * weight);
+}
+
+AbTestResult AbTestHarness::Run(const CandidateGenerator& generator_a,
+                                const CandidateGenerator& generator_b,
+                                const SlateRanker& ranker) {
+  Rng rng(config_.seed);
+  AbTestResult result;
+
+  // Live serving histories start from the full offline sequences and grow
+  // with simulated clicks.
+  const size_t n = dataset_->num_users();
+  std::vector<std::vector<int>> live(n);
+  for (size_t u = 0; u < n; ++u) {
+    live[u] = dataset_->sequence(u);
+  }
+
+  for (size_t day = 0; day < config_.days; ++day) {
+    for (size_t u = 0; u < n; ++u) {
+      if (live[u].empty()) continue;
+      const bool bucket_b = (u % 2) == 1;
+      for (size_t s = 0; s < config_.sessions_per_day; ++s) {
+        const auto& gen = bucket_b ? generator_b : generator_a;
+        const core::CandidateList candidates = gen(
+            static_cast<int>(u), live[u], config_.candidate_size);
+        if (candidates.empty()) continue;
+        const std::vector<int> slate = ranker(
+            static_cast<int>(u), live[u], candidates, config_.slate_size);
+
+        for (int item : slate) {
+          if (bucket_b) {
+            ++result.impressions_b;
+          } else {
+            ++result.impressions_a;
+          }
+          const double p =
+              ClickProbability(static_cast<int>(u), live[u], item);
+          if (!rng.Bernoulli(p)) continue;
+          if (bucket_b) {
+            ++result.clicks_b;
+          } else {
+            ++result.clicks_a;
+          }
+          live[u].push_back(item);  // real-time feedback loop
+          if (rng.Bernoulli(config_.trade_given_click)) {
+            if (bucket_b) {
+              ++result.trades_b;
+            } else {
+              ++result.trades_a;
+            }
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sccf::online

@@ -1,0 +1,100 @@
+#ifndef SCCF_ONLINE_AB_TEST_H_
+#define SCCF_ONLINE_AB_TEST_H_
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/candidates.h"
+#include "data/synthetic.h"
+#include "util/random.h"
+
+namespace sccf::online {
+
+/// Configuration of the simulated online bucket test (paper Sec. IV-F):
+/// users are split into two buckets that differ only in the candidate
+/// generation step; a shared downstream ranker picks the shown slate; a
+/// ground-truth behaviour model decides clicks and trades.
+struct AbTestConfig {
+  size_t days = 7;                 ///< the paper's one-week window
+  size_t sessions_per_day = 1;     ///< serving opportunities per user/day
+  size_t slate_size = 10;          ///< items shown per session
+  size_t candidate_size = 100;     ///< paper restricts candidates to 500
+
+  // Ground-truth click model weights.
+  double base_click_prob = 0.05;
+  double trade_given_click = 0.12;
+  double primary_cluster_weight = 6.0;  ///< item in user's home segment
+  double recent_cluster_weight = 4.0;   ///< item in a recently-active segment
+  double popular_weight = 1.5;          ///< item in the global head
+  double other_weight = 0.3;
+  double successor_boost = 3.0;  ///< item continues the user's last chain
+
+  uint64_t seed = 123;
+};
+
+/// A candidate generator under test: given a user and her *current*
+/// serving-time history (which grows as she clicks), produce a ranked
+/// candidate list.
+using CandidateGenerator = std::function<core::CandidateList(
+    int user, std::span<const int> history, size_t num_candidates)>;
+
+/// The fixed downstream ranker shared by both buckets: reorders the
+/// candidate list and returns the item ids to show.
+using SlateRanker = std::function<std::vector<int>(
+    int user, std::span<const int> history, const core::CandidateList&,
+    size_t slate_size)>;
+
+/// Aggregate outcome of the bucket test — the quantities behind Table V.
+struct AbTestResult {
+  size_t impressions_a = 0, impressions_b = 0;
+  size_t clicks_a = 0, clicks_b = 0;
+  size_t trades_a = 0, trades_b = 0;
+
+  double ClickLift() const {
+    return clicks_a == 0 ? 0.0
+                         : (static_cast<double>(clicks_b) - clicks_a) /
+                               clicks_a;
+  }
+  double TradeLift() const {
+    return trades_a == 0 ? 0.0
+                         : (static_cast<double>(trades_b) - trades_a) /
+                               trades_a;
+  }
+};
+
+/// Serving-loop simulator over a synthetic world. Each session: the
+/// bucket's generator proposes candidates, the shared ranker picks the
+/// slate, the ground-truth model (which knows the user's segments, recent
+/// interests, and successor chains) draws clicks/trades, and clicked items
+/// are appended to the user's live history — so a generator that adapts in
+/// real time compounds its advantage, the paper's central claim.
+class AbTestHarness {
+ public:
+  /// `world` must have generated the dataset used to fit the models and
+  /// must outlive the harness.
+  AbTestHarness(const data::Dataset& dataset,
+                const data::SyntheticGenerator& world, AbTestConfig config);
+
+  /// Runs both buckets. Users with even compact id -> bucket A (baseline
+  /// generator), odd -> bucket B (treatment).
+  AbTestResult Run(const CandidateGenerator& generator_a,
+                   const CandidateGenerator& generator_b,
+                   const SlateRanker& ranker);
+
+  /// Ground-truth click probability (exposed for tests).
+  double ClickProbability(int user, std::span<const int> history,
+                          int item) const;
+
+ private:
+  const data::Dataset* dataset_;
+  const data::SyntheticGenerator* world_;
+  AbTestConfig config_;
+  std::vector<int> item_cluster_compact_;  // cluster per compact item id
+  std::vector<int> successor_compact_;     // successor per compact item id
+  std::vector<char> is_popular_head_;
+};
+
+}  // namespace sccf::online
+
+#endif  // SCCF_ONLINE_AB_TEST_H_

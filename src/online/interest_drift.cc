@@ -1,0 +1,71 @@
+#include "online/interest_drift.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace sccf::online {
+
+namespace {
+constexpr int64_t kSecondsPerDay = 86400;
+}  // namespace
+
+std::vector<double> CategoryRecencyDistribution(const data::Dataset& dataset,
+                                                size_t window_days) {
+  SCCF_CHECK(!dataset.item_categories().empty())
+      << "dataset has no category labels";
+  const auto& categories = dataset.item_categories();
+
+  std::vector<double> total(window_days + 1, 0.0);
+  size_t contributing_users = 0;
+
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const auto& seq = dataset.sequence(u);
+    const auto& ts = dataset.timestamps(u);
+    if (seq.empty()) continue;
+
+    const int64_t today = ts.back() / kSecondsPerDay;
+
+    // Earliest in-window click day per category before today.
+    std::unordered_map<int, int64_t> first_day_in_window;
+    std::unordered_set<int> today_categories;
+    for (size_t i = 0; i < seq.size(); ++i) {
+      const int64_t day = ts[i] / kSecondsPerDay;
+      const int cat = categories[seq[i]];
+      if (day == today) {
+        today_categories.insert(cat);
+      } else if (day < today &&
+                 today - day <= static_cast<int64_t>(window_days)) {
+        auto it = first_day_in_window.find(cat);
+        if (it == first_day_in_window.end() || day < it->second) {
+          first_day_in_window[cat] = day;
+        }
+      }
+    }
+    if (today_categories.empty()) continue;
+
+    std::vector<double> user_hist(window_days + 1, 0.0);
+    for (int cat : today_categories) {
+      auto it = first_day_in_window.find(cat);
+      if (it == first_day_in_window.end()) {
+        user_hist[0] += 1.0;  // new category today
+      } else {
+        user_hist[today - it->second] += 1.0;
+      }
+    }
+    const double norm = static_cast<double>(today_categories.size());
+    for (size_t d = 0; d <= window_days; ++d) {
+      total[d] += user_hist[d] / norm;
+    }
+    ++contributing_users;
+  }
+
+  if (contributing_users > 0) {
+    for (double& v : total) v /= contributing_users;
+  }
+  return total;
+}
+
+}  // namespace sccf::online

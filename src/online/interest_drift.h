@@ -1,0 +1,28 @@
+#ifndef SCCF_ONLINE_INTEREST_DRIFT_H_
+#define SCCF_ONLINE_INTEREST_DRIFT_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace sccf::online {
+
+/// Reproduces the Fig.-1 analysis (paper Sec. I): for each user's most
+/// recent active day ("today"), look at every category she clicks today
+/// and find the day she *first* clicked that category within the previous
+/// `window_days`. Returns a distribution over day deltas:
+///
+///   result[0]   = proportion of today's categories never clicked in the
+///                 window (brand-new interests; ~50% on Taobao),
+///   result[x]   = proportion first clicked x days before today,
+///                 for x in [1, window_days].
+///
+/// The dataset must carry item categories and timestamps. The proportions
+/// are averaged per user, then across users, matching the paper's
+/// "average distribution".
+std::vector<double> CategoryRecencyDistribution(const data::Dataset& dataset,
+                                                size_t window_days);
+
+}  // namespace sccf::online
+
+#endif  // SCCF_ONLINE_INTEREST_DRIFT_H_

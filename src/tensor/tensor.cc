@@ -1,0 +1,210 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sccf {
+
+namespace {
+size_t NumElements(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<size_t> shape) : shape_(std::move(shape)) {
+  SCCF_CHECK_LE(shape_.size(), 2u);
+  data_.assign(NumElements(shape_), 0.0f);
+}
+
+Tensor Tensor::Scalar(float v) {
+  Tensor t;
+  t.data_[0] = v;
+  return t;
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, float v) {
+  Tensor t(std::move(shape));
+  t.Fill(v);
+  return t;
+}
+
+Tensor Tensor::TruncatedNormal(std::vector<size_t> shape, float stddev,
+                               Rng& rng) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) {
+    t[i] = rng.TruncatedNormal(0.0f, stddev);
+  }
+  return t;
+}
+
+Tensor Tensor::FromVector(const std::vector<float>& v) {
+  Tensor t({v.size()});
+  std::copy(v.begin(), v.end(), t.data());
+  return t;
+}
+
+Tensor Tensor::FromMatrix(size_t rows, size_t cols,
+                          const std::vector<float>& v) {
+  SCCF_CHECK_EQ(rows * cols, v.size());
+  Tensor t({rows, cols});
+  std::copy(v.begin(), v.end(), t.data());
+  return t;
+}
+
+size_t Tensor::rows() const {
+  if (rank() == 2) return shape_[0];
+  if (rank() == 1) return 1;
+  return 1;
+}
+
+size_t Tensor::cols() const {
+  if (rank() == 2) return shape_[1];
+  if (rank() == 1) return shape_[0];
+  return 1;
+}
+
+void Tensor::Fill(float v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Tensor::Reshape(std::vector<size_t> shape) {
+  SCCF_CHECK_LE(shape.size(), 2u);
+  SCCF_CHECK_EQ(NumElements(shape), data_.size());
+  shape_ = std::move(shape);
+}
+
+double Tensor::SquaredL2Norm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+std::string Tensor::ShapeString() const {
+  std::string s = "f32[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(shape_[i]);
+  }
+  s += "]";
+  return s;
+}
+
+bool Tensor::AllClose(const Tensor& other, float atol) const {
+  if (shape_ != other.shape_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > atol) return false;
+  }
+  return true;
+}
+
+namespace tensor_ops {
+
+float Dot(const float* a, const float* b, size_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, const float* x, float* y, size_t n) {
+  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+float Norm(const float* a, size_t n) {
+  return std::sqrt(std::max(0.0f, Dot(a, a, n)));
+}
+
+float Cosine(const float* a, const float* b, size_t n) {
+  float na = Norm(a, n);
+  float nb = Norm(b, n);
+  if (na == 0.0f || nb == 0.0f) return 0.0f;
+  return Dot(a, b, n) / (na * nb);
+}
+
+void SoftmaxInPlace(float* x, size_t n) {
+  if (n == 0) return;
+  float mx = x[0];
+  for (size_t i = 1; i < n; ++i) mx = std::max(mx, x[i]);
+  float sum = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    x[i] = std::exp(x[i] - mx);
+    sum += x[i];
+  }
+  const float inv = 1.0f / sum;
+  for (size_t i = 0; i < n; ++i) x[i] *= inv;
+}
+
+void Gemv(const Tensor& a, const float* x, float* y) {
+  SCCF_CHECK_EQ(a.rank(), 2u);
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  for (size_t r = 0; r < m; ++r) {
+    y[r] = Dot(a.data() + r * n, x, n);
+  }
+}
+
+void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
+          float alpha, float beta, Tensor* c) {
+  SCCF_CHECK_EQ(a.rank(), 2u);
+  SCCF_CHECK_EQ(b.rank(), 2u);
+  SCCF_CHECK_EQ(c->rank(), 2u);
+  const size_t m = trans_a ? a.cols() : a.rows();
+  const size_t k = trans_a ? a.rows() : a.cols();
+  const size_t kb = trans_b ? b.cols() : b.rows();
+  const size_t n = trans_b ? b.rows() : b.cols();
+  SCCF_CHECK_EQ(k, kb);
+  SCCF_CHECK_EQ(c->rows(), m);
+  SCCF_CHECK_EQ(c->cols(), n);
+
+  if (beta == 0.0f) {
+    c->Zero();
+  } else if (beta != 1.0f) {
+    float* cd = c->data();
+    for (size_t i = 0; i < c->size(); ++i) cd[i] *= beta;
+  }
+
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows of
+  // B and C, which is the cache-friendly layout for row-major data.
+  auto a_at = [&](size_t i, size_t kk) {
+    return trans_a ? a.at(kk, i) : a.at(i, kk);
+  };
+  float* cd = c->data();
+  if (!trans_b) {
+    const float* bd = b.data();
+    for (size_t i = 0; i < m; ++i) {
+      float* crow = cd + i * n;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = alpha * a_at(i, kk);
+        if (av == 0.0f) continue;
+        Axpy(av, bd + kk * n, crow, n);
+      }
+    }
+  } else {
+    // B is n x k stored row-major; op(B) column j is row j of B, so use dot
+    // products instead.
+    for (size_t i = 0; i < m; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) {
+          acc += a_at(i, kk) * b.at(j, kk);
+        }
+        cd[i * n + j] += alpha * acc;
+      }
+    }
+  }
+}
+
+}  // namespace tensor_ops
+}  // namespace sccf

@@ -1,0 +1,63 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+namespace sccf {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(level >= g_level.load()) {
+  if (!enabled_) return;
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_ || fatal_) return;
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line)
+    : LogMessage(LogLevel::kError, file, line) {
+  fatal_ = true;
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::string line = stream_.str();
+  line.push_back('\n');
+  std::fwrite(line.data(), 1, line.size(), stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace sccf

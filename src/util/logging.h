@@ -1,0 +1,73 @@
+#ifndef SCCF_UTIL_LOGGING_H_
+#define SCCF_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace sccf {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  bool fatal_ = false;
+  std::ostringstream stream_;
+
+  friend class FatalLogMessage;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage : public LogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+};
+
+}  // namespace internal
+}  // namespace sccf
+
+#define SCCF_LOG_DEBUG \
+  ::sccf::internal::LogMessage(::sccf::LogLevel::kDebug, __FILE__, __LINE__)
+#define SCCF_LOG_INFO \
+  ::sccf::internal::LogMessage(::sccf::LogLevel::kInfo, __FILE__, __LINE__)
+#define SCCF_LOG_WARNING \
+  ::sccf::internal::LogMessage(::sccf::LogLevel::kWarning, __FILE__, __LINE__)
+#define SCCF_LOG_ERROR \
+  ::sccf::internal::LogMessage(::sccf::LogLevel::kError, __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. For programming errors only;
+/// recoverable failures must return Status instead.
+#define SCCF_CHECK(cond)                                 \
+  if (!(cond))                                           \
+  ::sccf::internal::FatalLogMessage(__FILE__, __LINE__)  \
+      << "Check failed: " #cond " "
+
+#define SCCF_CHECK_EQ(a, b) SCCF_CHECK((a) == (b))
+#define SCCF_CHECK_NE(a, b) SCCF_CHECK((a) != (b))
+#define SCCF_CHECK_LT(a, b) SCCF_CHECK((a) < (b))
+#define SCCF_CHECK_LE(a, b) SCCF_CHECK((a) <= (b))
+#define SCCF_CHECK_GT(a, b) SCCF_CHECK((a) > (b))
+#define SCCF_CHECK_GE(a, b) SCCF_CHECK((a) >= (b))
+
+#endif  // SCCF_UTIL_LOGGING_H_

@@ -1,0 +1,124 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace sccf {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64: expands a single seed into the xoshiro state.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  SCCF_CHECK_GT(bound, 0u);
+  // Rejection sampling to remove modulo bias.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  SCCF_CHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+float Rng::UniformFloat() {
+  return static_cast<float>(Next() >> 40) * 0x1.0p-24f;
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+float Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  float u1 = 0.0f;
+  while (u1 <= 1e-12f) u1 = UniformFloat();
+  float u2 = UniformFloat();
+  float r = std::sqrt(-2.0f * std::log(u1));
+  float theta = 2.0f * static_cast<float>(M_PI) * u2;
+  cached_normal_ = r * std::sin(theta);
+  have_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+float Rng::TruncatedNormal(float mean, float stddev) {
+  for (;;) {
+    float z = Normal();
+    if (std::fabs(z) <= 2.0f) return mean + stddev * z;
+  }
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  SCCF_CHECK(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    SCCF_CHECK_GE(w, 0.0);
+    total += w;
+  }
+  SCCF_CHECK_GT(total, 0.0);
+  double r = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (r < acc) return i;
+  }
+  return weights.size() - 1;
+}
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  SCCF_CHECK_LE(k, n);
+  // Floyd's algorithm: O(k) expected time, no O(n) allocation.
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  for (uint64_t j = n - k; j < n; ++j) {
+    uint64_t t = Uniform(j + 1);
+    bool found = false;
+    for (uint64_t v : out) {
+      if (v == t) {
+        found = true;
+        break;
+      }
+    }
+    out.push_back(found ? j : t);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sccf

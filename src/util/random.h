@@ -1,0 +1,68 @@
+#ifndef SCCF_UTIL_RANDOM_H_
+#define SCCF_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sccf {
+
+/// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
+/// std::mt19937 so experiment results are reproducible across platforms and
+/// standard-library versions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). Pre: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi]. Pre: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform float in [0, 1).
+  float UniformFloat();
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal via Box-Muller.
+  float Normal();
+
+  /// Normal(mean, stddev) resampled until within [mean - 2*stddev,
+  /// mean + 2*stddev] — matches TensorFlow's truncated_normal initializer
+  /// used by the paper (Sec. IV-A4).
+  float TruncatedNormal(float mean, float stddev);
+
+  /// Bernoulli(p).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = Uniform(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Pre: weights non-empty with non-negative entries summing > 0.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// k distinct values from [0, n) in increasing order. Pre: k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_normal_ = false;
+  float cached_normal_ = 0.0f;
+};
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_RANDOM_H_

@@ -1,0 +1,127 @@
+#ifndef SCCF_UTIL_STATUS_H_
+#define SCCF_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sccf {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kInternal = 6,
+  kUnimplemented = 7,
+  kIoError = 8,
+};
+
+/// Returns a human-readable name for `code` (e.g., "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation that can fail without a value payload.
+///
+/// Follows the Arrow/Abseil idiom: functions that can fail return `Status`
+/// (or `StatusOr<T>`), never throw. The zero-cost OK path stores no message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "Code: message" (or "OK").
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`. Never both.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: enables `return value;` in StatusOr functions.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: enables `return Status::...;`.
+  StatusOr(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Pre: ok(). Crashing on misuse is intentional (programming error).
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace sccf
+
+/// Propagates a non-OK Status to the caller.
+#define SCCF_RETURN_NOT_OK(expr)          \
+  do {                                    \
+    ::sccf::Status _st = (expr);          \
+    if (!_st.ok()) return _st;            \
+  } while (false)
+
+/// Assigns the value of a StatusOr expression or propagates its error.
+#define SCCF_ASSIGN_OR_RETURN(lhs, expr)             \
+  SCCF_ASSIGN_OR_RETURN_IMPL_(                       \
+      SCCF_STATUS_CONCAT_(_status_or_, __LINE__), lhs, expr)
+
+#define SCCF_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#define SCCF_STATUS_CONCAT_(a, b) SCCF_STATUS_CONCAT_IMPL_(a, b)
+#define SCCF_STATUS_CONCAT_IMPL_(a, b) a##b
+
+#endif  // SCCF_UTIL_STATUS_H_

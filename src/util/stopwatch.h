@@ -1,0 +1,51 @@
+#ifndef SCCF_UTIL_STOPWATCH_H_
+#define SCCF_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace sccf {
+
+/// Monotonic wall-clock timer. Starts on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Online mean/min/max accumulator for latency samples (milliseconds).
+class LatencyStats {
+ public:
+  void Add(double ms) {
+    ++count_;
+    sum_ += ms;
+    if (ms < min_ || count_ == 1) min_ = ms;
+    if (ms > max_ || count_ == 1) max_ = ms;
+  }
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+ private:
+  size_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_STOPWATCH_H_

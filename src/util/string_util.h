@@ -1,0 +1,28 @@
+#ifndef SCCF_UTIL_STRING_UTIL_H_
+#define SCCF_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sccf {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Fixed-precision float formatting ("0.1234" style used in result tables).
+std::string FormatFloat(double v, int precision);
+
+/// True if `s` parses fully as the given numeric type.
+bool ParseInt64(std::string_view s, int64_t* out);
+bool ParseDouble(std::string_view s, double* out);
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_STRING_UTIL_H_

@@ -1,0 +1,39 @@
+#ifndef SCCF_UTIL_TABLE_PRINTER_H_
+#define SCCF_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace sccf {
+
+/// Renders aligned ASCII tables for benchmark output, mirroring the row and
+/// column layout of the paper's tables so measured results can be compared
+/// against the published ones side by side.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 4);
+
+  /// Renders the table with column alignment and +--+ rules.
+  std::string ToString() const;
+
+  /// Writes ToString() to stdout.
+  void Print() const;
+
+  /// Writes rows as CSV (header first) to `path`. Returns false on IO error.
+  bool WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,95 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace sccf {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  SCCF_CHECK_GE(num_threads, 1u);
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      task_cv_.wait(lock, [this] { return shutdown_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (shutdown_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(
+      std::max(1u, std::thread::hardware_concurrency()));
+  return *pool;
+}
+
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  ParallelForBlocked(begin, end, [&fn](size_t lo, size_t hi) {
+    for (size_t i = lo; i < hi; ++i) fn(i);
+  });
+}
+
+void ParallelForBlocked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  ThreadPool& pool = ThreadPool::Global();
+  const size_t n = end - begin;
+  const size_t num_blocks = std::min(n, pool.num_threads());
+  if (num_blocks <= 1) {
+    fn(begin, end);
+    return;
+  }
+  const size_t block = (n + num_blocks - 1) / num_blocks;
+  for (size_t b = 0; b < num_blocks; ++b) {
+    const size_t lo = begin + b * block;
+    const size_t hi = std::min(end, lo + block);
+    if (lo >= hi) break;
+    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+  }
+  pool.Wait();
+}
+
+}  // namespace sccf

@@ -1,0 +1,64 @@
+#ifndef SCCF_UTIL_THREAD_POOL_H_
+#define SCCF_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace sccf {
+
+/// Fixed-size worker pool. Tasks are void() closures; Wait() blocks until
+/// the queue drains. Intended for data-parallel loops (see ParallelFor),
+/// not for fine-grained task graphs.
+class ThreadPool {
+ public:
+  /// Pre: num_threads >= 1.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Process-wide pool sized to the hardware concurrency.
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_cv_;
+  std::condition_variable done_cv_;
+  std::queue<std::function<void()>> tasks_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for i in [begin, end) across the global pool, splitting the
+/// range into contiguous blocks. Blocks until all iterations complete.
+/// fn must be safe to call concurrently for distinct i. Must not be called
+/// from inside a pool worker (no nesting): the caller would occupy a worker
+/// slot while waiting for its own sub-tasks.
+void ParallelFor(size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+/// Like ParallelFor but hands each worker a [lo, hi) block, which lets the
+/// callee keep per-block scratch state.
+void ParallelForBlocked(size_t begin, size_t end,
+                        const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_THREAD_POOL_H_

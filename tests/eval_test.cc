@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/dataset.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "models/recommender.h"
+#include "util/logging.h"
+
+namespace sccf::eval {
+namespace {
+
+// ------------------------------------------------------------- metrics
+
+TEST(MetricsTest, HitRateFormula) {
+  EXPECT_EQ(HitRate(1, 10), 1.0);
+  EXPECT_EQ(HitRate(10, 10), 1.0);
+  EXPECT_EQ(HitRate(11, 10), 0.0);
+  EXPECT_EQ(HitRate(0, 10), 0.0);  // rank 0 = unevaluated sentinel
+}
+
+TEST(MetricsTest, NdcgFormula) {
+  EXPECT_DOUBLE_EQ(Ndcg(1, 10), 1.0);
+  EXPECT_DOUBLE_EQ(Ndcg(2, 10), 1.0 / std::log2(3.0));
+  EXPECT_DOUBLE_EQ(Ndcg(3, 10), 0.5);  // log2(4) = 2
+  EXPECT_EQ(Ndcg(11, 10), 0.0);
+}
+
+TEST(MetricsTest, NdcgDecreasesWithRank) {
+  for (size_t r = 1; r < 50; ++r) {
+    EXPECT_GT(Ndcg(r, 100), Ndcg(r + 1, 100));
+  }
+}
+
+TEST(MetricsTest, HrAtLeastNdcg) {
+  for (size_t r = 1; r <= 30; ++r) {
+    EXPECT_GE(HitRate(r, 20), Ndcg(r, 20));
+  }
+}
+
+TEST(MetricAccumulatorTest, AveragesOverUsers) {
+  MetricAccumulator acc({2, 5});
+  acc.AddRank(1);  // hits both cutoffs
+  acc.AddRank(3);  // hits only @5
+  acc.AddRank(9);  // misses both
+  EXPECT_EQ(acc.num_users(), 3u);
+  EXPECT_NEAR(acc.hr(0), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(acc.hr(1), 2.0 / 3, 1e-12);
+  EXPECT_NEAR(acc.ndcg(0), 1.0 / 3, 1e-12);
+  EXPECT_NEAR(acc.ndcg(1), (1.0 + 0.5) / 3, 1e-12);
+}
+
+TEST(MetricAccumulatorTest, MergeEqualsSequential) {
+  MetricAccumulator a({10}), b({10}), both({10});
+  for (size_t r : {1u, 4u, 12u}) {
+    a.AddRank(r);
+    both.AddRank(r);
+  }
+  for (size_t r : {2u, 20u}) {
+    b.AddRank(r);
+    both.AddRank(r);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.num_users(), both.num_users());
+  EXPECT_DOUBLE_EQ(a.hr(0), both.hr(0));
+  EXPECT_DOUBLE_EQ(a.ndcg(0), both.ndcg(0));
+}
+
+// ------------------------------------------------------------ evaluator
+
+// Deterministic model: score(item) = -item, so item 0 always ranks first.
+class FixedOrderModel : public models::Recommender {
+ public:
+  explicit FixedOrderModel(size_t num_items) : num_items_(num_items) {}
+  std::string name() const override { return "FixedOrder"; }
+  Status Fit(const data::LeaveOneOutSplit&) override { return Status::OK(); }
+  void ScoreAll(size_t, std::span<const int>,
+                std::vector<float>* scores) const override {
+    scores->resize(num_items_);
+    for (size_t i = 0; i < num_items_; ++i) {
+      (*scores)[i] = -static_cast<float>(i);
+    }
+  }
+
+ private:
+  size_t num_items_;
+};
+
+data::Dataset MakeSequentialDataset(int num_users, int len) {
+  std::vector<data::Interaction> inter;
+  int64_t t = 0;
+  for (int u = 0; u < num_users; ++u) {
+    for (int i = 0; i < len; ++i) {
+      // User u's sequence: u, u+1, ..., u+len-1 (mod pool).
+      inter.push_back({u, (u + i) % (num_users + len), ++t});
+    }
+  }
+  auto ds = data::Dataset::FromInteractions("eval", std::move(inter));
+  SCCF_CHECK(ds.ok());
+  return std::move(ds).value();
+}
+
+TEST(EvaluatorTest, RankMatchesKnownOrder) {
+  // One user with items 0..4; test item is 4 (compact id order = first
+  // appearance order).
+  std::vector<data::Interaction> inter;
+  for (int i = 0; i < 5; ++i) inter.push_back({0, i * 7, i});
+  auto ds = data::Dataset::FromInteractions("one", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  FixedOrderModel model(ds->num_items());
+
+  EvalOptions opts;
+  opts.cutoffs = {1, 2};
+  opts.keep_ranks = true;
+  auto result = Evaluate(model, split, opts);
+  ASSERT_TRUE(result.ok());
+  // History (items 0..3) masked; only item 4 remains with the best score
+  // among unmasked -> rank 1.
+  EXPECT_EQ(result->ranks[0], 1u);
+  EXPECT_EQ(result->HrAt(1), 1.0);
+}
+
+TEST(EvaluatorTest, WithoutHistoryExclusionRankDrops) {
+  std::vector<data::Interaction> inter;
+  for (int i = 0; i < 5; ++i) inter.push_back({0, i, i});
+  auto ds = data::Dataset::FromInteractions("one", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  FixedOrderModel model(ds->num_items());
+
+  EvalOptions opts;
+  opts.cutoffs = {1, 5};
+  opts.exclude_history = false;
+  opts.keep_ranks = true;
+  auto result = Evaluate(model, split, opts);
+  ASSERT_TRUE(result.ok());
+  // Items 0..3 (all in history) outscore item 4 -> rank 5.
+  EXPECT_EQ(result->ranks[0], 5u);
+  EXPECT_EQ(result->HrAt(1), 0.0);
+  EXPECT_EQ(result->HrAt(5), 1.0);
+}
+
+TEST(EvaluatorTest, ValidationModeUsesValidItem) {
+  std::vector<data::Interaction> inter;
+  for (int i = 0; i < 5; ++i) inter.push_back({0, i, i});
+  auto ds = data::Dataset::FromInteractions("one", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  FixedOrderModel model(ds->num_items());
+
+  EvalOptions opts;
+  opts.cutoffs = {2};
+  opts.on_validation = true;
+  opts.keep_ranks = true;
+  auto result = Evaluate(model, split, opts);
+  ASSERT_TRUE(result.ok());
+  // History = train prefix {0,1,2}; valid item = 3; unmasked items {3,4};
+  // item 3 scores above item 4 -> rank 1.
+  EXPECT_EQ(result->ranks[0], 1u);
+}
+
+TEST(EvaluatorTest, ParallelMatchesSerial) {
+  auto ds = MakeSequentialDataset(40, 8);
+  data::LeaveOneOutSplit split(ds);
+  FixedOrderModel model(ds.num_items());
+  EvalOptions serial;
+  serial.parallel = false;
+  EvalOptions parallel;
+  parallel.parallel = true;
+  auto rs = Evaluate(model, split, serial);
+  auto rp = Evaluate(model, split, parallel);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok());
+  EXPECT_EQ(rs->num_users, rp->num_users);
+  for (size_t i = 0; i < rs->hr.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rs->hr[i], rp->hr[i]);
+    EXPECT_DOUBLE_EQ(rs->ndcg[i], rp->ndcg[i]);
+  }
+}
+
+TEST(EvaluatorTest, EmptyCutoffsRejected) {
+  auto ds = MakeSequentialDataset(5, 6);
+  data::LeaveOneOutSplit split(ds);
+  FixedOrderModel model(ds.num_items());
+  EvalOptions opts;
+  opts.cutoffs = {};
+  EXPECT_FALSE(Evaluate(model, split, opts).ok());
+}
+
+TEST(EvaluatorTest, CountsOnlyEvaluableUsers) {
+  std::vector<data::Interaction> inter = {{0, 1, 0}, {0, 2, 1}};  // too short
+  for (int i = 0; i < 6; ++i) inter.push_back({1, i + 10, i + 10});
+  auto ds = data::Dataset::FromInteractions("mix", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  FixedOrderModel model(ds->num_items());
+  auto result = Evaluate(model, split);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_users, 1u);
+}
+
+TEST(EvalResultTest, MissingCutoffReturnsZero) {
+  EvalResult r;
+  r.cutoffs = {20};
+  r.hr = {0.5};
+  r.ndcg = {0.25};
+  EXPECT_EQ(r.HrAt(20), 0.5);
+  EXPECT_EQ(r.HrAt(50), 0.0);
+  EXPECT_EQ(r.NdcgAt(20), 0.25);
+}
+
+}  // namespace
+}  // namespace sccf::eval

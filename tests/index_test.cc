@@ -1,0 +1,396 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
+#include "index/vector_index.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf::index {
+namespace {
+
+std::vector<float> RandomCorpus(size_t n, size_t d, Rng& rng) {
+  std::vector<float> data(n * d);
+  for (auto& v : data) v = rng.Normal();
+  return data;
+}
+
+// Exact reference search by linear scan.
+std::vector<Neighbor> ExactSearch(const std::vector<float>& corpus, size_t n,
+                                  size_t d, const float* q, size_t k,
+                                  Metric metric, int exclude = -1) {
+  TopKAccumulator acc(k);
+  for (size_t i = 0; i < n; ++i) {
+    if (static_cast<int>(i) == exclude) continue;
+    float score;
+    if (metric == Metric::kCosine) {
+      score = tensor_ops::Cosine(q, corpus.data() + i * d, d);
+    } else {
+      score = tensor_ops::Dot(q, corpus.data() + i * d, d);
+    }
+    acc.Offer(static_cast<int>(i), score);
+  }
+  return acc.Take();
+}
+
+double RecallAtK(const std::vector<Neighbor>& got,
+                 const std::vector<Neighbor>& truth) {
+  std::set<int> truth_ids;
+  for (const auto& nb : truth) truth_ids.insert(nb.id);
+  size_t hits = 0;
+  for (const auto& nb : got) hits += truth_ids.count(nb.id);
+  return truth.empty() ? 1.0
+                       : static_cast<double>(hits) / truth.size();
+}
+
+// ------------------------------------------------------ TopKAccumulator
+
+TEST(TopKAccumulatorTest, KeepsBestK) {
+  TopKAccumulator acc(3);
+  for (int i = 0; i < 10; ++i) acc.Offer(i, static_cast<float>(i));
+  auto out = acc.Take();
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].id, 9);
+  EXPECT_EQ(out[1].id, 8);
+  EXPECT_EQ(out[2].id, 7);
+}
+
+TEST(TopKAccumulatorTest, FewerThanK) {
+  TopKAccumulator acc(5);
+  acc.Offer(1, 0.5f);
+  acc.Offer(2, 0.9f);
+  auto out = acc.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 2);
+}
+
+TEST(TopKAccumulatorTest, ZeroKAcceptsNothing) {
+  TopKAccumulator acc(0);
+  acc.Offer(1, 1.0f);
+  EXPECT_TRUE(acc.Take().empty());
+}
+
+TEST(TopKAccumulatorTest, TiesBrokenByAscendingId) {
+  TopKAccumulator acc(2);
+  acc.Offer(5, 1.0f);
+  acc.Offer(3, 1.0f);
+  acc.Offer(9, 1.0f);
+  auto out = acc.Take();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 3);
+  EXPECT_EQ(out[1].id, 5);
+}
+
+TEST(TopKAccumulatorTest, WouldAcceptReflectsThreshold) {
+  TopKAccumulator acc(2);
+  EXPECT_TRUE(acc.WouldAccept(-100.0f));
+  acc.Offer(0, 1.0f);
+  acc.Offer(1, 2.0f);
+  EXPECT_FALSE(acc.WouldAccept(0.5f));
+  EXPECT_TRUE(acc.WouldAccept(1.5f));
+}
+
+// ------------------------------------------------------ BruteForceIndex
+
+class BruteForceParamTest : public testing::TestWithParam<Metric> {};
+
+TEST_P(BruteForceParamTest, MatchesExactReference) {
+  const Metric metric = GetParam();
+  const size_t n = 200, d = 16;
+  Rng rng(5);
+  auto corpus = RandomCorpus(n, d, rng);
+  BruteForceIndex idx(d, metric);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, metric);
+    ASSERT_EQ(got->size(), truth.size());
+    for (size_t i = 0; i < truth.size(); ++i) {
+      EXPECT_EQ((*got)[i].id, truth[i].id);
+      EXPECT_NEAR((*got)[i].score, truth[i].score, 1e-4);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, BruteForceParamTest,
+                         testing::Values(Metric::kInnerProduct,
+                                         Metric::kCosine));
+
+TEST(BruteForceIndexTest, RejectsNegativeIdAndZeroK) {
+  BruteForceIndex idx(4, Metric::kInnerProduct);
+  const float v[4] = {1, 2, 3, 4};
+  EXPECT_FALSE(idx.Add(-1, v).ok());
+  ASSERT_TRUE(idx.Add(0, v).ok());
+  EXPECT_FALSE(idx.Search(v, 0).ok());
+}
+
+TEST(BruteForceIndexTest, UpdateReplacesVector) {
+  BruteForceIndex idx(2, Metric::kInnerProduct);
+  const float a[2] = {1, 0};
+  const float b[2] = {0, 1};
+  ASSERT_TRUE(idx.Add(7, a).ok());
+  ASSERT_TRUE(idx.Add(8, b).ok());
+  const float qa[2] = {1, 0};
+  auto r = idx.Search(qa, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].id, 7);
+  // Streaming update: user 7 now points the other way.
+  const float a2[2] = {-1, 0};
+  ASSERT_TRUE(idx.Add(7, a2).ok());
+  EXPECT_EQ(idx.size(), 2u);
+  r = idx.Search(qa, 1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)[0].id, 8);
+}
+
+TEST(BruteForceIndexTest, ExcludeIdFiltered) {
+  BruteForceIndex idx(2, Metric::kCosine);
+  const float a[2] = {1, 0};
+  const float b[2] = {0.9f, 0.1f};
+  ASSERT_TRUE(idx.Add(0, a).ok());
+  ASSERT_TRUE(idx.Add(1, b).ok());
+  auto r = idx.Search(a, 2, /*exclude_id=*/0);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0].id, 1);
+}
+
+TEST(BruteForceIndexTest, CosineIgnoresMagnitude) {
+  BruteForceIndex idx(2, Metric::kCosine);
+  const float big[2] = {100, 0};
+  const float small_aligned[2] = {0.01f, 0.0001f};
+  ASSERT_TRUE(idx.Add(0, big).ok());
+  ASSERT_TRUE(idx.Add(1, small_aligned).ok());
+  const float q[2] = {1, 0.01f};
+  auto r = idx.Search(q, 2);
+  ASSERT_TRUE(r.ok());
+  // Both nearly parallel to q: scores within a small gap; magnitudes
+  // irrelevant.
+  EXPECT_NEAR((*r)[0].score, 1.0f, 1e-3);
+  EXPECT_NEAR((*r)[1].score, 1.0f, 1e-3);
+}
+
+TEST(BruteForceIndexTest, ParallelSearchMatchesSerial) {
+  const size_t n = 6000, d = 8;
+  Rng rng(7);
+  auto corpus = RandomCorpus(n, d, rng);
+  BruteForceIndex serial(d, Metric::kInnerProduct, /*parallel=*/false);
+  BruteForceIndex parallel(d, Metric::kInnerProduct, /*parallel=*/true);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(serial.Add(i, corpus.data() + i * d).ok());
+    ASSERT_TRUE(parallel.Add(i, corpus.data() + i * d).ok());
+  }
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+  auto rs = serial.Search(q.data(), 25);
+  auto rp = parallel.Search(q.data(), 25);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rp.ok());
+  ASSERT_EQ(rs->size(), rp->size());
+  for (size_t i = 0; i < rs->size(); ++i) {
+    EXPECT_EQ((*rs)[i].id, (*rp)[i].id);
+  }
+}
+
+// --------------------------------------------------------- IvfFlatIndex
+
+TEST(IvfFlatIndexTest, RequiresTraining) {
+  IvfFlatIndex idx(4, Metric::kCosine, {});
+  const float v[4] = {1, 0, 0, 0};
+  EXPECT_EQ(idx.Add(0, v).code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(idx.Search(v, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(IvfFlatIndexTest, TrainRejectsBadInput) {
+  IvfFlatIndex idx(4, Metric::kCosine, {.nlist = 8});
+  std::vector<float> data(4 * 4, 0.0f);
+  EXPECT_FALSE(idx.Train(data, 4).ok());   // fewer than nlist
+  EXPECT_FALSE(idx.Train(data, 100).ok());  // size mismatch
+}
+
+TEST(IvfFlatIndexTest, HighRecallWithEnoughProbes) {
+  const size_t n = 1000, d = 16;
+  Rng rng(11);
+  auto corpus = RandomCorpus(n, d, rng);
+  IvfFlatIndex::Options opts;
+  opts.nlist = 16;
+  opts.nprobe = 8;
+  IvfFlatIndex idx(d, Metric::kCosine, opts);
+  ASSERT_TRUE(idx.Train(corpus, n).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+  }
+  EXPECT_GT(recall / trials, 0.8);
+}
+
+TEST(IvfFlatIndexTest, FullProbeIsExact) {
+  const size_t n = 300, d = 8;
+  Rng rng(13);
+  auto corpus = RandomCorpus(n, d, rng);
+  IvfFlatIndex::Options opts;
+  opts.nlist = 10;
+  opts.nprobe = 10;  // scan everything
+  IvfFlatIndex idx(d, Metric::kInnerProduct, opts);
+  ASSERT_TRUE(idx.Train(corpus, n).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+  auto got = idx.Search(q.data(), 5);
+  ASSERT_TRUE(got.ok());
+  auto truth =
+      ExactSearch(corpus, n, d, q.data(), 5, Metric::kInnerProduct);
+  for (size_t i = 0; i < truth.size(); ++i) {
+    EXPECT_EQ((*got)[i].id, truth[i].id);
+  }
+}
+
+TEST(IvfFlatIndexTest, StreamingReassignment) {
+  const size_t d = 4;
+  Rng rng(15);
+  // Two well-separated blobs so reassignment is unambiguous.
+  std::vector<float> corpus;
+  const size_t n = 64;
+  for (size_t i = 0; i < n; ++i) {
+    const float cx = i < n / 2 ? 10.0f : -10.0f;
+    corpus.push_back(cx + rng.Normal() * 0.1f);
+    for (size_t j = 1; j < d; ++j) corpus.push_back(rng.Normal() * 0.1f);
+  }
+  IvfFlatIndex idx(d, Metric::kInnerProduct, {.nlist = 2, .nprobe = 1});
+  ASSERT_TRUE(idx.Train(corpus, n).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  EXPECT_EQ(idx.size(), n);
+  // Move vector 0 to the other blob; with nprobe=1 it must be findable
+  // from the other side, i.e., it was reassigned.
+  const float moved[d] = {-10.0f, 0, 0, 0};
+  ASSERT_TRUE(idx.Add(0, moved).ok());
+  EXPECT_EQ(idx.size(), n);
+  // Search wide enough to cover the whole target blob (whose members all
+  // score within noise of the moved vector).
+  const float q[d] = {-10.0f, 0, 0, 0};
+  auto r = idx.Search(q, n / 2 + 4);
+  ASSERT_TRUE(r.ok());
+  bool found = false;
+  for (const auto& nb : *r) found = found || nb.id == 0;
+  EXPECT_TRUE(found);
+}
+
+// ------------------------------------------------------------ HnswIndex
+
+TEST(HnswIndexTest, EmptyIndexReturnsNothing) {
+  HnswIndex idx(4, Metric::kCosine, {});
+  const float q[4] = {1, 0, 0, 0};
+  auto r = idx.Search(q, 3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(HnswIndexTest, HighRecallOnRandomCorpus) {
+  const size_t n = 1000, d = 16;
+  Rng rng(17);
+  auto corpus = RandomCorpus(n, d, rng);
+  HnswIndex::Options opts;
+  opts.m = 16;
+  opts.ef_construction = 100;
+  opts.ef_search = 80;
+  HnswIndex idx(d, Metric::kCosine, opts);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+  }
+  EXPECT_GT(recall / trials, 0.9);
+}
+
+TEST(HnswIndexTest, UpdateTombstonesOldVector) {
+  HnswIndex idx(2, Metric::kInnerProduct, {});
+  const float a[2] = {1, 0};
+  const float b[2] = {0, 1};
+  ASSERT_TRUE(idx.Add(0, a).ok());
+  ASSERT_TRUE(idx.Add(1, b).ok());
+  ASSERT_TRUE(idx.Add(0, b).ok());  // update id 0
+  EXPECT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx.num_graph_nodes(), 3u);  // tombstone retained for routing
+  const float q[2] = {1, 0};
+  auto r = idx.Search(q, 2);
+  ASSERT_TRUE(r.ok());
+  // No duplicate external ids in results.
+  std::set<int> ids;
+  for (const auto& nb : *r) {
+    EXPECT_TRUE(ids.insert(nb.id).second);
+  }
+}
+
+TEST(HnswIndexTest, RecallStableUnderManyUpdates) {
+  const size_t n = 300, d = 8;
+  Rng rng(19);
+  auto corpus = RandomCorpus(n, d, rng);
+  HnswIndex idx(d, Metric::kCosine, {.m = 12, .ef_construction = 80,
+                                     .ef_search = 64});
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  // Update every vector once (streaming user-embedding refresh).
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      corpus[i * d + j] += rng.Normal() * 0.05f;
+    }
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 15;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+  }
+  EXPECT_GT(recall / trials, 0.85);
+}
+
+TEST(HnswIndexTest, ExcludeId) {
+  HnswIndex idx(2, Metric::kCosine, {});
+  const float a[2] = {1, 0};
+  ASSERT_TRUE(idx.Add(0, a).ok());
+  ASSERT_TRUE(idx.Add(1, a).ok());
+  auto r = idx.Search(a, 2, /*exclude_id=*/0);
+  ASSERT_TRUE(r.ok());
+  for (const auto& nb : *r) EXPECT_NE(nb.id, 0);
+}
+
+}  // namespace
+}  // namespace sccf::index

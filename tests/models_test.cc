@@ -1,0 +1,385 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/bpr_mf.h"
+#include "models/fism.h"
+#include "models/item_knn.h"
+#include "models/pop.h"
+#include "models/sasrec.h"
+#include "models/user_knn.h"
+#include "tensor/tensor.h"
+
+namespace sccf::models {
+namespace {
+
+// Small clustered dataset shared by the model tests. Built once because
+// training even tiny models is the slow part.
+class ModelsTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig cfg;
+    cfg.name = "models-test";
+    cfg.num_users = 120;
+    cfg.num_items = 150;
+    cfg.num_clusters = 10;
+    cfg.min_actions = 10;
+    cfg.max_actions = 40;
+    cfg.sequential_strength = 0.5;
+    cfg.seed = 42;
+    data::SyntheticGenerator gen(cfg);
+    auto ds = gen.Generate();
+    SCCF_CHECK(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+    split_ = new data::LeaveOneOutSplit(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete split_;
+    delete dataset_;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static data::LeaveOneOutSplit* split_;
+};
+
+data::Dataset* ModelsTest::dataset_ = nullptr;
+data::LeaveOneOutSplit* ModelsTest::split_ = nullptr;
+
+double NdcgAt50(const Recommender& model,
+                const data::LeaveOneOutSplit& split) {
+  eval::EvalOptions opts;
+  opts.cutoffs = {50};
+  auto r = eval::Evaluate(model, split, opts);
+  SCCF_CHECK(r.ok());
+  return r->ndcg[0];
+}
+
+// ------------------------------------------------------------------ Pop
+
+TEST_F(ModelsTest, PopScoresAreTrainCounts) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  std::vector<float> scores;
+  pop.ScoreAll(0, split_->TrainSequence(0), &scores);
+  ASSERT_EQ(scores.size(), dataset_->num_items());
+  // Recount from the split directly.
+  std::vector<float> expected(dataset_->num_items(), 0.0f);
+  for (size_t u = 0; u < split_->num_users(); ++u) {
+    for (int i : split_->TrainSequence(u)) expected[i] += 1.0f;
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_EQ(scores[i], expected[i]);
+  }
+}
+
+TEST_F(ModelsTest, PopIsUserIndependent) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  std::vector<float> s1, s2;
+  pop.ScoreAll(0, split_->TrainSequence(0), &s1);
+  pop.ScoreAll(1, split_->TrainSequence(1), &s2);
+  EXPECT_EQ(s1, s2);
+}
+
+// -------------------------------------------------------------- ItemKNN
+
+TEST(ItemKnnUnitTest, SimilarityFromKnownCooccurrence) {
+  // Users: {0,1}, {0,1}, {0,2} -> co(0,1)=2, freq0=3, freq1=2 => 2/sqrt(6).
+  std::vector<data::Interaction> inter = {
+      {0, 0, 0}, {0, 1, 1}, {1, 0, 2}, {1, 1, 3}, {2, 0, 4}, {2, 2, 5},
+  };
+  // Pad users so the split keeps everything in train (sequences of 2 are
+  // not evaluable, so the full sequence is training data).
+  auto ds = data::Dataset::FromInteractions("knn", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  ItemKnn knn;
+  ASSERT_TRUE(knn.Fit(split).ok());
+  EXPECT_NEAR(knn.Similarity(0, 1), 2.0 / std::sqrt(6.0), 1e-5);
+  EXPECT_NEAR(knn.Similarity(1, 0), knn.Similarity(0, 1), 1e-6);
+  EXPECT_NEAR(knn.Similarity(0, 2), 1.0 / std::sqrt(3.0), 1e-5);
+  EXPECT_EQ(knn.Similarity(1, 2), 0.0f);
+}
+
+TEST_F(ModelsTest, ItemKnnBeatsPop) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  ItemKnn knn;
+  ASSERT_TRUE(knn.Fit(*split_).ok());
+  EXPECT_GT(NdcgAt50(knn, *split_), NdcgAt50(pop, *split_));
+}
+
+TEST_F(ModelsTest, ItemKnnTopKPruningKeepsBestNeighbors) {
+  ItemKnn full;
+  ASSERT_TRUE(full.Fit(*split_).ok());
+  ItemKnn pruned({.top_k = 10});
+  ASSERT_TRUE(pruned.Fit(*split_).ok());
+  // Pruned similarity is either equal to full or zero (pruned away).
+  for (int i = 0; i < 20; ++i) {
+    for (int j = 0; j < 20; ++j) {
+      const float fp = pruned.Similarity(i, j);
+      if (fp != 0.0f) {
+        EXPECT_NEAR(fp, full.Similarity(i, j), 1e-6);
+      }
+    }
+  }
+}
+
+// -------------------------------------------------------------- UserKNN
+
+TEST(UserKnnUnitTest, NeighborsByOverlap) {
+  // u0: {0,1,2,3,4,5}(+2 held out), u1 shares u0's prefix, u2 disjoint.
+  std::vector<data::Interaction> inter;
+  int64_t t = 0;
+  for (int i = 0; i < 8; ++i) inter.push_back({0, i, ++t});
+  for (int i = 0; i < 8; ++i) inter.push_back({1, i, ++t});
+  for (int i = 20; i < 28; ++i) inter.push_back({2, i, ++t});
+  auto ds = data::Dataset::FromInteractions("uknn", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  UserKnn knn({.num_neighbors = 2});
+  ASSERT_TRUE(knn.Fit(split).ok());
+  auto nbrs =
+      knn.IdentifyNeighbors(split.TrainSequence(0), /*exclude_user=*/0);
+  ASSERT_FALSE(nbrs.empty());
+  EXPECT_EQ(nbrs[0].id, 1);  // full overlap beats disjoint
+  for (const auto& nb : nbrs) EXPECT_NE(nb.id, 0);
+}
+
+TEST_F(ModelsTest, UserKnnStrategiesAgree) {
+  // The Eq. 13 sparse-intersection scan and the inverted-index
+  // optimisation must return identical neighborhoods.
+  UserKnn knn({.num_neighbors = 20});
+  ASSERT_TRUE(knn.Fit(*split_).ok());
+  for (size_t u : {0u, 5u, 17u}) {
+    auto naive = knn.IdentifyNeighbors(
+        split_->TrainSequence(u), static_cast<int>(u),
+        UserKnn::Strategy::kSparseIntersection);
+    auto inverted = knn.IdentifyNeighbors(
+        split_->TrainSequence(u), static_cast<int>(u),
+        UserKnn::Strategy::kInvertedIndex);
+    ASSERT_EQ(naive.size(), inverted.size());
+    for (size_t i = 0; i < naive.size(); ++i) {
+      EXPECT_EQ(naive[i].id, inverted[i].id);
+      EXPECT_NEAR(naive[i].score, inverted[i].score, 1e-6);
+    }
+  }
+}
+
+TEST_F(ModelsTest, UserKnnBeatsPop) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  UserKnn knn({.num_neighbors = 30});
+  ASSERT_TRUE(knn.Fit(*split_).ok());
+  EXPECT_GT(NdcgAt50(knn, *split_), NdcgAt50(pop, *split_));
+}
+
+TEST_F(ModelsTest, UserKnnScoresOnlyNeighborItems) {
+  UserKnn knn({.num_neighbors = 5});
+  ASSERT_TRUE(knn.Fit(*split_).ok());
+  std::vector<float> scores;
+  knn.ScoreAll(0, split_->TrainSequence(0), &scores);
+  size_t nonzero = 0;
+  for (float s : scores) nonzero += s > 0.0f;
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_LT(nonzero, dataset_->num_items());
+}
+
+// --------------------------------------------------------------- BPR-MF
+
+TEST_F(ModelsTest, BprMfBeatsPop) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  BprMf::Options opts;
+  opts.dim = 16;
+  opts.epochs = 15;
+  BprMf bpr(opts);
+  ASSERT_TRUE(bpr.Fit(*split_).ok());
+  EXPECT_GT(NdcgAt50(bpr, *split_), NdcgAt50(pop, *split_));
+}
+
+TEST_F(ModelsTest, BprMfFactorsHaveExpectedShapes) {
+  BprMf::Options opts;
+  opts.dim = 8;
+  opts.epochs = 1;
+  BprMf bpr(opts);
+  ASSERT_TRUE(bpr.Fit(*split_).ok());
+  EXPECT_EQ(bpr.user_factors().rows(), dataset_->num_users());
+  EXPECT_EQ(bpr.user_factors().cols(), 8u);
+  EXPECT_EQ(bpr.item_factors().rows(), dataset_->num_items());
+}
+
+// ----------------------------------------------------------------- FISM
+
+TEST(FismUnitTest, InferenceIsAlphaPooling) {
+  // Fit on a minimal corpus just to initialise the table, then verify the
+  // pooling formula against a manual computation.
+  std::vector<data::Interaction> inter;
+  int64_t t = 0;
+  for (int u = 0; u < 10; ++u) {
+    for (int i = 0; i < 6; ++i) inter.push_back({u, (u + i) % 12, ++t});
+  }
+  auto ds = data::Dataset::FromInteractions("fism", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  Fism::Options opts;
+  opts.dim = 4;
+  opts.alpha = 0.5f;
+  opts.epochs = 1;
+  Fism fism(opts);
+  ASSERT_TRUE(fism.Fit(split).ok());
+
+  const std::vector<int> history = {0, 3, 3, 5};  // duplicate 3 deduped
+  std::vector<float> mu(4, 0.0f);
+  fism.InferUserEmbedding(history, mu.data());
+  const float c = 1.0f / std::sqrt(3.0f);
+  for (size_t f = 0; f < 4; ++f) {
+    const float expected = c * (fism.ItemEmbedding(0)[f] +
+                                fism.ItemEmbedding(3)[f] +
+                                fism.ItemEmbedding(5)[f]);
+    EXPECT_NEAR(mu[f], expected, 1e-5);
+  }
+}
+
+TEST(FismUnitTest, EmptyHistoryGivesZeroEmbedding) {
+  std::vector<data::Interaction> inter;
+  int64_t t = 0;
+  for (int u = 0; u < 6; ++u) {
+    for (int i = 0; i < 5; ++i) inter.push_back({u, i, ++t});
+  }
+  auto ds = data::Dataset::FromInteractions("fism0", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  data::LeaveOneOutSplit split(*ds);
+  Fism::Options opts;
+  opts.dim = 4;
+  opts.epochs = 1;
+  Fism fism(opts);
+  ASSERT_TRUE(fism.Fit(split).ok());
+  std::vector<float> mu(4, 1.0f);
+  fism.InferUserEmbedding({}, mu.data());
+  for (float v : mu) EXPECT_EQ(v, 0.0f);
+}
+
+TEST_F(ModelsTest, FismTrainsAndBeatsPop) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  Fism::Options opts;
+  opts.dim = 16;
+  opts.epochs = 8;
+  Fism fism(opts);
+  ASSERT_TRUE(fism.Fit(*split_).ok());
+  EXPECT_GT(fism.last_epoch_loss(), 0.0f);
+  EXPECT_LT(fism.last_epoch_loss(), 0.6f);  // well below ln2 at init
+  EXPECT_GT(NdcgAt50(fism, *split_), NdcgAt50(pop, *split_));
+}
+
+// --------------------------------------------------------------- SASRec
+
+TEST_F(ModelsTest, SasRecTrainsAndBeatsPop) {
+  PopRecommender pop;
+  ASSERT_TRUE(pop.Fit(*split_).ok());
+  SasRec::Options opts;
+  opts.dim = 16;
+  opts.max_len = 20;
+  opts.num_blocks = 1;
+  opts.epochs = 6;
+  opts.dropout = 0.1f;
+  SasRec sasrec(opts);
+  ASSERT_TRUE(sasrec.Fit(*split_).ok());
+  EXPECT_LT(sasrec.last_epoch_loss(), 0.65f);
+  EXPECT_GT(NdcgAt50(sasrec, *split_), NdcgAt50(pop, *split_));
+}
+
+TEST_F(ModelsTest, SasRecEmbeddingDependsOnOrder) {
+  SasRec::Options opts;
+  opts.dim = 8;
+  opts.max_len = 10;
+  opts.num_blocks = 1;
+  opts.epochs = 2;
+  SasRec sasrec(opts);
+  ASSERT_TRUE(sasrec.Fit(*split_).ok());
+  const std::vector<int> fwd = {1, 2, 3, 4, 5};
+  const std::vector<int> rev = {5, 4, 3, 2, 1};
+  std::vector<float> a(8), b(8);
+  sasrec.InferUserEmbedding(fwd, a.data());
+  sasrec.InferUserEmbedding(rev, b.data());
+  float diff = 0.0f;
+  for (size_t i = 0; i < 8; ++i) diff += std::fabs(a[i] - b[i]);
+  EXPECT_GT(diff, 1e-4f);  // sequential model: order matters
+}
+
+TEST_F(ModelsTest, SasRecCausality) {
+  // The user embedding (last position's state) must not change when items
+  // *beyond* the window are altered, and must not depend on "future"
+  // items because there are none after the last position. Verify the
+  // related invariant directly: the hidden state at position t is
+  // unchanged by edits at positions > t.
+  SasRec::Options opts;
+  opts.dim = 8;
+  opts.max_len = 10;
+  opts.num_blocks = 2;
+  opts.epochs = 1;
+  SasRec sasrec(opts);
+  ASSERT_TRUE(sasrec.Fit(*split_).ok());
+
+  const std::vector<int> h1 = {1, 2, 3, 4};
+  const std::vector<int> h2 = {1, 2, 3, 9};  // differs only at the end
+  // Prefix embeddings (inferred from the shared prefix) must agree.
+  std::vector<float> p1(8), p2(8);
+  sasrec.InferUserEmbedding(std::span<const int>(h1.data(), 3), p1.data());
+  sasrec.InferUserEmbedding(std::span<const int>(h2.data(), 3), p2.data());
+  for (size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(p1[i], p2[i]);
+  // Full embeddings must differ (the last item matters).
+  std::vector<float> f1(8), f2(8);
+  sasrec.InferUserEmbedding(h1, f1.data());
+  sasrec.InferUserEmbedding(h2, f2.data());
+  float diff = 0.0f;
+  for (size_t i = 0; i < 8; ++i) diff += std::fabs(f1[i] - f2[i]);
+  EXPECT_GT(diff, 1e-5f);
+}
+
+TEST_F(ModelsTest, SasRecTruncatesToMaxLen) {
+  SasRec::Options opts;
+  opts.dim = 8;
+  opts.max_len = 5;
+  opts.num_blocks = 1;
+  opts.epochs = 1;
+  SasRec sasrec(opts);
+  ASSERT_TRUE(sasrec.Fit(*split_).ok());
+  // A long history and its last-5 suffix must produce identical
+  // embeddings (Eq. 3 truncation).
+  std::vector<int> long_h = {9, 8, 7, 1, 2, 3, 4, 5};
+  std::vector<int> suffix = {1, 2, 3, 4, 5};
+  std::vector<float> a(8), b(8);
+  sasrec.InferUserEmbedding(long_h, a.data());
+  sasrec.InferUserEmbedding(suffix, b.data());
+  for (size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(a[i], b[i]);
+}
+
+// ----------------------------------------------- inductive UI interface
+
+TEST_F(ModelsTest, ScoreAllIsDotProductOfEmbeddings) {
+  Fism::Options opts;
+  opts.dim = 8;
+  opts.epochs = 1;
+  Fism fism(opts);
+  ASSERT_TRUE(fism.Fit(*split_).ok());
+  const auto history = split_->TrainSequence(3);
+  std::vector<float> scores;
+  fism.ScoreAll(3, history, &scores);
+  std::vector<float> mu(8, 0.0f);
+  fism.InferUserEmbedding(history, mu.data());
+  for (int i : {0, 5, 17}) {
+    EXPECT_NEAR(scores[i],
+                tensor_ops::Dot(mu.data(), fism.ItemEmbedding(i), 8), 1e-4);
+  }
+}
+
+}  // namespace
+}  // namespace sccf::models

@@ -1,0 +1,564 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <memory>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/parameter.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf::nn {
+namespace {
+
+Tensor RandomTensor(std::vector<size_t> shape, Rng& rng, float scale = 1.0f) {
+  Tensor t(std::move(shape));
+  for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Normal() * scale;
+  return t;
+}
+
+// Verifies analytic gradients of `build` (fresh graph per call, reading the
+// current parameter values and returning the scalar loss) against central
+// finite differences, for every entry of every parameter.
+void ExpectGradientsMatch(const std::vector<Parameter*>& params,
+                          const std::function<Var(Graph&)>& build,
+                          float rtol = 3e-2f, float atol = 3e-3f) {
+  // Analytic pass.
+  {
+    Graph g(/*training=*/false);
+    Var loss = build(g);
+    ASSERT_EQ(g.value(loss).size(), 1u) << "loss must be scalar";
+    g.Backward(loss);
+  }
+  std::vector<Tensor> analytic;
+  for (Parameter* p : params) {
+    analytic.push_back(p->grad);
+    p->grad.Zero();
+    p->dense_touched = false;
+    p->touched_rows.clear();
+  }
+
+  auto forward = [&]() -> double {
+    Graph g(/*training=*/false);
+    Var loss = build(g);
+    return g.value(loss).scalar();
+  };
+
+  const float eps = 1e-2f;
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float orig = p->value[i];
+      p->value[i] = orig + eps;
+      const double lp = forward();
+      p->value[i] = orig - eps;
+      const double lm = forward();
+      p->value[i] = orig;
+      const double numeric = (lp - lm) / (2.0 * eps);
+      const double ana = analytic[pi][i];
+      const double tol =
+          atol + rtol * std::max(std::fabs(numeric), std::fabs(ana));
+      EXPECT_NEAR(ana, numeric, tol)
+          << "param " << p->name << " entry " << i;
+    }
+  }
+  // Clean up accumulated gradients from the analytic pass above.
+  for (Parameter* p : params) {
+    p->grad.Zero();
+    p->dense_touched = false;
+    p->touched_rows.clear();
+  }
+}
+
+// ------------------------------------------------------- forward values
+
+TEST(GraphForwardTest, InputHoldsValue) {
+  Graph g;
+  Var x = g.Input(Tensor::FromVector({1, 2, 3}));
+  EXPECT_EQ(g.value(x).size(), 3u);
+  EXPECT_EQ(g.value(x)[1], 2.0f);
+}
+
+TEST(GraphForwardTest, MatMulValues) {
+  Graph g;
+  Var a = g.Input(Tensor::FromMatrix(2, 2, {1, 2, 3, 4}));
+  Var b = g.Input(Tensor::FromMatrix(2, 2, {5, 6, 7, 8}));
+  Var c = g.MatMul(a, b);
+  EXPECT_FLOAT_EQ(g.value(c).at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(g.value(c).at(1, 1), 50.0f);
+}
+
+TEST(GraphForwardTest, MatMulTransposeShapes) {
+  Graph g;
+  Var a = g.Input(Tensor::Zeros({3, 2}));
+  Var b = g.Input(Tensor::Zeros({3, 4}));
+  Var c = g.MatMul(a, b, /*trans_a=*/true, /*trans_b=*/false);
+  EXPECT_EQ(g.value(c).rows(), 2u);
+  EXPECT_EQ(g.value(c).cols(), 4u);
+}
+
+TEST(GraphForwardTest, AddBroadcastsRowVector) {
+  Graph g;
+  Var x = g.Input(Tensor::FromMatrix(2, 2, {1, 2, 3, 4}));
+  Var b = g.Input(Tensor::FromMatrix(1, 2, {10, 20}));
+  Var y = g.Add(x, b);
+  EXPECT_FLOAT_EQ(g.value(y).at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(g.value(y).at(1, 1), 24.0f);
+  // Broadcast also allowed on the left operand.
+  Var y2 = g.Add(b, x);
+  EXPECT_FLOAT_EQ(g.value(y2).at(1, 0), 13.0f);
+}
+
+TEST(GraphForwardTest, SubBroadcast) {
+  Graph g;
+  Var x = g.Input(Tensor::FromMatrix(2, 2, {1, 2, 3, 4}));
+  Var b = g.Input(Tensor::FromMatrix(1, 2, {1, 1}));
+  Var y = g.Sub(x, b);
+  EXPECT_FLOAT_EQ(g.value(y).at(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(g.value(y).at(1, 1), 3.0f);
+}
+
+TEST(GraphForwardTest, ActivationValues) {
+  Graph g;
+  Var x = g.Input(Tensor::FromVector({-1.0f, 0.0f, 2.0f}));
+  const Tensor& r = g.value(g.Relu(x));
+  EXPECT_FLOAT_EQ(r[0], 0.0f);
+  EXPECT_FLOAT_EQ(r[2], 2.0f);
+  const Tensor& s = g.value(g.Sigmoid(x));
+  EXPECT_NEAR(s[1], 0.5f, 1e-6);
+  const Tensor& t = g.value(g.Tanh(x));
+  EXPECT_NEAR(t[2], std::tanh(2.0f), 1e-6);
+}
+
+TEST(GraphForwardTest, SoftmaxRowsSumToOne) {
+  Graph g;
+  Var x = g.Input(Tensor::FromMatrix(2, 3, {1, 2, 3, 0, 0, 0}));
+  const Tensor& y = g.value(g.SoftmaxRows(x));
+  EXPECT_NEAR(y.at(0, 0) + y.at(0, 1) + y.at(0, 2), 1.0f, 1e-6);
+  EXPECT_NEAR(y.at(1, 0), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(GraphForwardTest, SoftmaxWithCausalMask) {
+  Graph g;
+  Var x = g.Input(Tensor::Zeros({3, 3}));
+  Tensor mask = CausalMask(3);
+  const Tensor& y = g.value(g.SoftmaxRows(x, &mask));
+  // Row 0 can only attend to position 0.
+  EXPECT_NEAR(y.at(0, 0), 1.0f, 1e-6);
+  EXPECT_NEAR(y.at(0, 1), 0.0f, 1e-9);
+  EXPECT_NEAR(y.at(0, 2), 0.0f, 1e-9);
+  // Row 1 attends to 0 and 1 equally.
+  EXPECT_NEAR(y.at(1, 0), 0.5f, 1e-6);
+  EXPECT_NEAR(y.at(2, 2), 1.0f / 3.0f, 1e-6);
+}
+
+TEST(GraphForwardTest, LayerNormNormalizesRows) {
+  Graph g;
+  Var x = g.Input(Tensor::FromMatrix(1, 4, {1, 2, 3, 4}));
+  Var gamma = g.Input(Tensor::Full({1, 4}, 1.0f));
+  Var beta = g.Input(Tensor::Zeros({1, 4}));
+  const Tensor& y = g.value(g.LayerNorm(x, gamma, beta));
+  float mean = 0.0f, var = 0.0f;
+  for (size_t i = 0; i < 4; ++i) mean += y[i];
+  mean /= 4;
+  for (size_t i = 0; i < 4; ++i) var += (y[i] - mean) * (y[i] - mean);
+  var /= 4;
+  EXPECT_NEAR(mean, 0.0f, 1e-5);
+  EXPECT_NEAR(var, 1.0f, 1e-3);
+}
+
+TEST(GraphForwardTest, GatherPicksRows) {
+  Parameter table("t", Tensor::FromMatrix(3, 2, {1, 2, 3, 4, 5, 6}));
+  Graph g;
+  Var x = g.Gather(&table, {2, 0, 2});
+  EXPECT_EQ(g.value(x).rows(), 3u);
+  EXPECT_FLOAT_EQ(g.value(x).at(0, 0), 5.0f);
+  EXPECT_FLOAT_EQ(g.value(x).at(1, 1), 2.0f);
+  EXPECT_FLOAT_EQ(g.value(x).at(2, 1), 6.0f);
+}
+
+TEST(GraphForwardTest, ConcatAndSlice) {
+  Graph g;
+  Var a = g.Input(Tensor::FromMatrix(2, 1, {1, 2}));
+  Var b = g.Input(Tensor::FromMatrix(2, 2, {3, 4, 5, 6}));
+  Var c = g.ConcatCols({a, b});
+  EXPECT_EQ(g.value(c).cols(), 3u);
+  EXPECT_FLOAT_EQ(g.value(c).at(1, 2), 6.0f);
+  Var s = g.SliceCols(c, 1, 3);
+  EXPECT_TRUE(g.value(s).AllClose(g.value(b)));
+  Var r = g.SliceRows(c, 1, 2);
+  EXPECT_EQ(g.value(r).rows(), 1u);
+  EXPECT_FLOAT_EQ(g.value(r).at(0, 0), 2.0f);
+}
+
+TEST(GraphForwardTest, Reductions) {
+  Graph g;
+  Var x = g.Input(Tensor::FromMatrix(2, 2, {1, 2, 3, 4}));
+  EXPECT_FLOAT_EQ(g.value(g.SumAll(x)).scalar(), 10.0f);
+  EXPECT_FLOAT_EQ(g.value(g.MeanAll(x)).scalar(), 2.5f);
+  const Tensor& sr = g.value(g.SumRows(x));
+  EXPECT_EQ(sr.rows(), 1u);
+  EXPECT_FLOAT_EQ(sr.at(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sr.at(0, 1), 6.0f);
+}
+
+TEST(GraphForwardTest, RowsDot) {
+  Graph g;
+  Var a = g.Input(Tensor::FromMatrix(2, 2, {1, 2, 3, 4}));
+  Var b = g.Input(Tensor::FromMatrix(2, 2, {5, 6, 7, 8}));
+  const Tensor& y = g.value(g.RowsDot(a, b));
+  EXPECT_EQ(y.rows(), 2u);
+  EXPECT_FLOAT_EQ(y[0], 17.0f);
+  EXPECT_FLOAT_EQ(y[1], 53.0f);
+}
+
+TEST(GraphForwardTest, BceMatchesComposedReference) {
+  Graph g;
+  Tensor logits_t = Tensor::FromVector({0.5f, -1.2f, 3.0f});
+  Tensor labels = Tensor::FromVector({1.0f, 0.0f, 1.0f});
+  Var logits = g.Input(logits_t);
+  const float loss = g.value(g.BceWithLogits(logits, labels)).scalar();
+  double ref = 0.0;
+  for (size_t i = 0; i < 3; ++i) {
+    const double p = 1.0 / (1.0 + std::exp(-logits_t[i]));
+    ref += labels[i] > 0.5 ? -std::log(p) : -std::log(1.0 - p);
+  }
+  EXPECT_NEAR(loss, ref / 3.0, 1e-5);
+}
+
+TEST(GraphForwardTest, BprLossValue) {
+  Graph g;
+  Var pos = g.Input(Tensor::FromVector({2.0f}));
+  Var neg = g.Input(Tensor::FromVector({0.0f}));
+  const float loss = g.value(g.BprLoss(pos, neg)).scalar();
+  EXPECT_NEAR(loss, std::log1p(std::exp(-2.0)), 1e-6);
+}
+
+TEST(GraphForwardTest, DropoutIdentityWhenNotTraining) {
+  Graph g(/*training=*/false);
+  Tensor x = Tensor::Full({4, 4}, 2.0f);
+  Var v = g.Input(x);
+  Var d = g.Dropout(v, 0.5f);
+  EXPECT_TRUE(g.value(d).AllClose(x));
+}
+
+TEST(GraphForwardTest, DropoutMasksAndRescalesInTraining) {
+  Rng rng(3);
+  Graph g(/*training=*/true, &rng);
+  Var v = g.Input(Tensor::Full({100, 10}, 1.0f));
+  Var d = g.Dropout(v, 0.5f);
+  const Tensor& y = g.value(d);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    if (y[i] == 0.0f) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(y[i], 2.0f);  // 1 / (1 - 0.5)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / y.size(), 0.5, 0.05);
+}
+
+// ------------------------------------------------------ gradient checks
+
+TEST(GraphGradTest, MatMulAllTransposeCombos) {
+  Rng rng(7);
+  for (bool ta : {false, true}) {
+    for (bool tb : {false, true}) {
+      Parameter a("a", RandomTensor(ta ? std::vector<size_t>{4, 2}
+                                       : std::vector<size_t>{2, 4},
+                                    rng));
+      Parameter b("b", RandomTensor(tb ? std::vector<size_t>{3, 4}
+                                       : std::vector<size_t>{4, 3},
+                                    rng));
+      const Tensor w = RandomTensor({2, 3}, rng);
+      ExpectGradientsMatch({&a, &b}, [&](Graph& g) {
+        Var c = g.MatMul(g.Param(&a), g.Param(&b), ta, tb);
+        return g.SumAll(g.Mul(c, g.Input(w)));
+      });
+    }
+  }
+}
+
+TEST(GraphGradTest, AddSubMulScale) {
+  Rng rng(9);
+  Parameter a("a", RandomTensor({3, 4}, rng));
+  Parameter b("b", RandomTensor({3, 4}, rng));
+  const Tensor w = RandomTensor({3, 4}, rng);
+  ExpectGradientsMatch({&a, &b}, [&](Graph& g) {
+    Var x = g.Add(g.Param(&a), g.Param(&b));
+    Var y = g.Sub(x, g.Param(&b));
+    Var z = g.Mul(y, g.Param(&a));
+    return g.SumAll(g.Mul(g.Scale(z, 0.7f), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, BroadcastAddGrad) {
+  Rng rng(11);
+  Parameter big("big", RandomTensor({4, 3}, rng));
+  Parameter small("small", RandomTensor({1, 3}, rng));
+  const Tensor w = RandomTensor({4, 3}, rng);
+  ExpectGradientsMatch({&big, &small}, [&](Graph& g) {
+    return g.SumAll(
+        g.Mul(g.Add(g.Param(&big), g.Param(&small)), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, BroadcastSubGrad) {
+  Rng rng(13);
+  Parameter big("big", RandomTensor({4, 3}, rng));
+  Parameter small("small", RandomTensor({1, 3}, rng));
+  const Tensor w = RandomTensor({4, 3}, rng);
+  ExpectGradientsMatch({&big, &small}, [&](Graph& g) {
+    return g.SumAll(
+        g.Mul(g.Sub(g.Param(&big), g.Param(&small)), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, Activations) {
+  Rng rng(15);
+  // Keep values away from ReLU's kink for stable finite differences.
+  Parameter a("a", RandomTensor({3, 3}, rng));
+  for (size_t i = 0; i < a.value.size(); ++i) {
+    if (std::fabs(a.value[i]) < 0.1f) a.value[i] = 0.3f;
+  }
+  const Tensor w = RandomTensor({3, 3}, rng);
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    Var x = g.Relu(g.Param(&a));
+    x = g.Sigmoid(x);
+    x = g.Tanh(x);
+    return g.SumAll(g.Mul(x, g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, SoftmaxRowsGrad) {
+  Rng rng(17);
+  Parameter a("a", RandomTensor({3, 5}, rng));
+  const Tensor w = RandomTensor({3, 5}, rng);
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    return g.SumAll(g.Mul(g.SoftmaxRows(g.Param(&a)), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, SoftmaxMaskedGrad) {
+  Rng rng(19);
+  Parameter a("a", RandomTensor({4, 4}, rng));
+  const Tensor mask = CausalMask(4);
+  const Tensor w = RandomTensor({4, 4}, rng);
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    return g.SumAll(g.Mul(g.SoftmaxRows(g.Param(&a), &mask), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, LayerNormGrad) {
+  Rng rng(21);
+  Parameter x("x", RandomTensor({3, 6}, rng));
+  Parameter gamma("gamma", RandomTensor({1, 6}, rng, 0.5f));
+  Parameter beta("beta", RandomTensor({1, 6}, rng, 0.5f));
+  const Tensor w = RandomTensor({3, 6}, rng);
+  ExpectGradientsMatch(
+      {&x, &gamma, &beta},
+      [&](Graph& g) {
+        return g.SumAll(g.Mul(
+            g.LayerNorm(g.Param(&x), g.Param(&gamma), g.Param(&beta)),
+            g.Input(w)));
+      },
+      /*rtol=*/5e-2f, /*atol=*/5e-3f);
+}
+
+TEST(GraphGradTest, GatherScattersWithDuplicates) {
+  Rng rng(23);
+  Parameter table("table", RandomTensor({5, 3}, rng));
+  table.row_sparse = true;
+  const Tensor w = RandomTensor({4, 3}, rng);
+  const std::vector<int> ids = {1, 3, 1, 0};  // duplicate id 1
+  ExpectGradientsMatch({&table}, [&](Graph& g) {
+    return g.SumAll(g.Mul(g.Gather(&table, ids), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, GatherMarksTouchedRows) {
+  Rng rng(24);
+  Parameter table("table", RandomTensor({5, 3}, rng));
+  table.row_sparse = true;
+  Graph g;
+  Var x = g.Gather(&table, {2, 4});
+  g.Backward(g.SumAll(x));
+  std::vector<size_t> rows = table.touched_rows;
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<size_t>{2, 4}));
+  // Untouched rows keep zero gradient.
+  for (size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(table.grad.at(0, c), 0.0f);
+    EXPECT_EQ(table.grad.at(2, c), 1.0f);
+  }
+}
+
+TEST(GraphGradTest, ConcatSliceGrad) {
+  Rng rng(25);
+  Parameter a("a", RandomTensor({2, 2}, rng));
+  Parameter b("b", RandomTensor({2, 3}, rng));
+  const Tensor w = RandomTensor({2, 4}, rng);
+  ExpectGradientsMatch({&a, &b}, [&](Graph& g) {
+    Var c = g.ConcatCols({g.Param(&a), g.Param(&b)});
+    Var s = g.SliceCols(c, 1, 5);
+    return g.SumAll(g.Mul(s, g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, SliceRowsGrad) {
+  Rng rng(26);
+  Parameter a("a", RandomTensor({4, 3}, rng));
+  const Tensor w = RandomTensor({2, 3}, rng);
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    return g.SumAll(g.Mul(g.SliceRows(g.Param(&a), 1, 3), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, ReductionGrads) {
+  Rng rng(27);
+  Parameter a("a", RandomTensor({3, 4}, rng));
+  const Tensor w = RandomTensor({1, 4}, rng);
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    Var sr = g.SumRows(g.Param(&a));
+    return g.MeanAll(g.Mul(sr, g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, RowsDotGrad) {
+  Rng rng(29);
+  Parameter a("a", RandomTensor({3, 4}, rng));
+  Parameter b("b", RandomTensor({3, 4}, rng));
+  const Tensor w = RandomTensor({3, 1}, rng);
+  ExpectGradientsMatch({&a, &b}, [&](Graph& g) {
+    return g.SumAll(
+        g.Mul(g.RowsDot(g.Param(&a), g.Param(&b)), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, BceWithLogitsGrad) {
+  Rng rng(31);
+  Parameter a("a", RandomTensor({5, 1}, rng));
+  Tensor labels = Tensor::Zeros({5, 1});
+  labels[0] = 1.0f;
+  labels[3] = 1.0f;
+  ExpectGradientsMatch({&a}, [&](Graph& g) {
+    return g.BceWithLogits(g.Param(&a), labels);
+  });
+}
+
+TEST(GraphGradTest, BprLossGrad) {
+  Rng rng(33);
+  Parameter pos("pos", RandomTensor({4, 1}, rng));
+  Parameter neg("neg", RandomTensor({4, 1}, rng));
+  ExpectGradientsMatch({&pos, &neg}, [&](Graph& g) {
+    return g.BprLoss(g.Param(&pos), g.Param(&neg));
+  });
+}
+
+TEST(GraphGradTest, LinearLayerGrad) {
+  Rng rng(35);
+  Linear lin("lin", 3, 2, rng, /*init_stddev=*/0.5f);
+  const Tensor x = RandomTensor({4, 3}, rng);
+  const Tensor w = RandomTensor({4, 2}, rng);
+  std::vector<Parameter*> params = lin.Parameters();
+  ExpectGradientsMatch(params, [&](Graph& g) {
+    return g.SumAll(g.Mul(lin.Apply(g, g.Input(x)), g.Input(w)));
+  });
+}
+
+TEST(GraphGradTest, MlpGrad) {
+  Rng rng(37);
+  Mlp mlp("mlp", {4, 6, 1}, rng);
+  std::vector<Parameter*> params = mlp.Parameters();
+  // Push the hidden layer's pre-activations well above zero so finite
+  // differences never cross the ReLU kink (where the true gradient is
+  // discontinuous and central differences are meaningless).
+  for (size_t i = 0; i < params[1]->value.size(); ++i) {
+    params[1]->value[i] = 2.0f;  // fc0 bias
+  }
+  const Tensor x = RandomTensor({3, 4}, rng);
+  ExpectGradientsMatch(
+      params,
+      [&](Graph& g) { return g.SumAll(mlp.Apply(g, g.Input(x))); },
+      /*rtol=*/5e-2f, /*atol=*/5e-3f);
+}
+
+TEST(GraphGradTest, TransformerBlockGrad) {
+  Rng rng(39);
+  TransformerBlock block("blk", 4, 2, /*dropout_rate=*/0.0f, rng);
+  // Use a larger init so gradients are well above finite-difference noise.
+  for (Parameter* p : block.Parameters()) {
+    if (p->name.find("ln") == std::string::npos) {
+      for (size_t i = 0; i < p->value.size(); ++i) {
+        p->value[i] = rng.Normal() * 0.3f;
+      }
+    }
+  }
+  const Tensor x = RandomTensor({3, 4}, rng, 0.5f);
+  const Tensor mask = CausalMask(3);
+  const Tensor w = RandomTensor({3, 4}, rng);
+  std::vector<Parameter*> params = block.Parameters();
+  ExpectGradientsMatch(
+      params,
+      [&](Graph& g) {
+        return g.SumAll(
+            g.Mul(block.Apply(g, g.Input(x), mask), g.Input(w)));
+      },
+      /*rtol=*/8e-2f, /*atol=*/8e-3f);
+}
+
+// --------------------------------------------------------- housekeeping
+
+TEST(GraphTest, ParamGradAccumulatesAcrossGraphs) {
+  Rng rng(41);
+  Parameter a("a", RandomTensor({2, 2}, rng));
+  for (int pass = 0; pass < 2; ++pass) {
+    Graph g;
+    g.Backward(g.SumAll(g.Param(&a)));
+  }
+  for (size_t i = 0; i < a.grad.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.grad[i], 2.0f);
+  }
+}
+
+TEST(GraphTest, NoGradThroughInputs) {
+  Graph g;
+  Var x = g.Input(Tensor::FromVector({1, 2}));
+  Parameter a("a", Tensor::FromVector({3, 4}));
+  Var y = g.Add(x, g.Param(&a));
+  g.Backward(g.SumAll(y));
+  EXPECT_FLOAT_EQ(a.grad[0], 1.0f);  // param got its gradient
+}
+
+TEST(GraphTest, DropoutGradMatchesMask) {
+  Rng rng(43);
+  Parameter a("a", Tensor::Full({10, 10}, 1.0f));
+  Graph g(/*training=*/true, &rng);
+  Var d = g.Dropout(g.Param(&a), 0.3f);
+  const Tensor y = g.value(d);
+  g.Backward(g.SumAll(d));
+  for (size_t i = 0; i < y.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.grad[i], y[i]);  // grad == mask*scale == output here
+  }
+}
+
+TEST(GraphTest, CausalMaskShape) {
+  const Tensor m = CausalMask(4);
+  EXPECT_EQ(m.rows(), 4u);
+  for (size_t r = 0; r < 4; ++r) {
+    for (size_t c = 0; c < 4; ++c) {
+      if (c > r) {
+        EXPECT_LT(m.at(r, c), -1e8f);
+      } else {
+        EXPECT_EQ(m.at(r, c), 0.0f);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sccf::nn

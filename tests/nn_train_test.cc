@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/graph.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/parameter.h"
+#include "util/random.h"
+
+namespace sccf::nn {
+namespace {
+
+// --------------------------------------------------------------- Adam
+
+TEST(AdamTest, StepMovesAgainstGradient) {
+  Parameter p("p", Tensor::FromVector({1.0f, -1.0f}));
+  p.grad = Tensor::FromVector({1.0f, -1.0f});
+  p.MarkDenseTouched();
+  AdamOptimizer adam({.learning_rate = 0.1f});
+  adam.Step({&p});
+  EXPECT_LT(p.value[0], 1.0f);
+  EXPECT_GT(p.value[1], -1.0f);
+  // Gradients were zeroed.
+  EXPECT_EQ(p.grad[0], 0.0f);
+  EXPECT_FALSE(p.HasGradient());
+}
+
+TEST(AdamTest, SkipsParamsWithoutGradients) {
+  Parameter p("p", Tensor::FromVector({2.0f}));
+  AdamOptimizer adam({.learning_rate = 0.1f});
+  adam.Step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 2.0f);
+}
+
+TEST(AdamTest, SparseUpdateTouchesOnlyMarkedRows) {
+  Parameter p("emb", Tensor::Full({4, 2}, 1.0f));
+  p.row_sparse = true;
+  p.grad.at(1, 0) = 1.0f;
+  p.grad.at(1, 1) = 1.0f;
+  p.MarkRowTouched(1);
+  p.MarkRowTouched(1);  // duplicates must be tolerated
+  AdamOptimizer adam({.learning_rate = 0.1f});
+  adam.Step({&p});
+  EXPECT_FLOAT_EQ(p.value.at(0, 0), 1.0f);  // untouched rows unchanged
+  EXPECT_FLOAT_EQ(p.value.at(2, 0), 1.0f);
+  EXPECT_LT(p.value.at(1, 0), 1.0f);
+  EXPECT_TRUE(p.touched_rows.empty());
+}
+
+TEST(AdamTest, SparseAndDenseConverge) {
+  // The same gradient stream applied sparsely vs densely must produce the
+  // same values on the touched row.
+  Rng rng(3);
+  Parameter sparse("s", Tensor::Full({3, 2}, 0.5f));
+  sparse.row_sparse = true;
+  Parameter dense("d", Tensor::Full({1, 2}, 0.5f));
+  AdamOptimizer adam_s({.learning_rate = 0.01f});
+  AdamOptimizer adam_d({.learning_rate = 0.01f});
+  for (int step = 0; step < 20; ++step) {
+    const float g0 = rng.Normal();
+    const float g1 = rng.Normal();
+    sparse.grad.at(1, 0) = g0;
+    sparse.grad.at(1, 1) = g1;
+    sparse.MarkRowTouched(1);
+    dense.grad[0] = g0;
+    dense.grad[1] = g1;
+    dense.MarkDenseTouched();
+    adam_s.Step({&sparse});
+    adam_d.Step({&dense});
+  }
+  EXPECT_NEAR(sparse.value.at(1, 0), dense.value[0], 1e-6);
+  EXPECT_NEAR(sparse.value.at(1, 1), dense.value[1], 1e-6);
+}
+
+TEST(AdamTest, LinearDecaySchedule) {
+  AdamOptimizer::Options opt;
+  opt.learning_rate = 1.0f;
+  opt.decay_steps = 10;
+  opt.min_lr_fraction = 0.1f;
+  AdamOptimizer adam(opt);
+  EXPECT_FLOAT_EQ(adam.CurrentLearningRate(), 1.0f);
+  Parameter p("p", Tensor::FromVector({1.0f}));
+  for (int i = 0; i < 5; ++i) {
+    p.grad[0] = 1.0f;
+    p.MarkDenseTouched();
+    adam.Step({&p});
+  }
+  EXPECT_FLOAT_EQ(adam.CurrentLearningRate(), 0.5f);
+  for (int i = 0; i < 20; ++i) {
+    p.grad[0] = 1.0f;
+    p.MarkDenseTouched();
+    adam.Step({&p});
+  }
+  EXPECT_FLOAT_EQ(adam.CurrentLearningRate(), 0.1f);  // floor
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter p("p", Tensor::FromVector({10.0f}));
+  AdamOptimizer::Options opt;
+  opt.learning_rate = 0.1f;
+  opt.weight_decay = 0.1f;
+  AdamOptimizer adam(opt);
+  for (int i = 0; i < 50; ++i) {
+    // Zero task gradient: only the L2 term drives the update.
+    p.grad[0] = 0.0f;
+    p.MarkDenseTouched();
+    adam.Step({&p});
+  }
+  EXPECT_LT(p.value[0], 10.0f);
+}
+
+// ----------------------------------------------------- toy convergence
+
+// Logistic regression on a linearly separable toy problem must converge.
+TEST(TrainingTest, LogisticRegressionSeparable) {
+  Rng rng(7);
+  Linear lin("lr", 2, 1, rng, 0.1f);
+  AdamOptimizer adam({.learning_rate = 0.05f});
+  std::vector<Parameter*> params = lin.Parameters();
+
+  // y = 1 iff x0 + x1 > 0.
+  Tensor x({64, 2});
+  Tensor labels({64, 1});
+  for (size_t i = 0; i < 64; ++i) {
+    const float a = rng.Normal();
+    const float b = rng.Normal();
+    x.at(i, 0) = a;
+    x.at(i, 1) = b;
+    labels[i] = a + b > 0 ? 1.0f : 0.0f;
+  }
+
+  float first_loss = 0.0f, last_loss = 0.0f;
+  for (int step = 0; step < 300; ++step) {
+    Graph g(/*training=*/true, &rng);
+    Var logits = lin.Apply(g, g.Input(x));
+    Var loss = g.BceWithLogits(logits, labels);
+    g.Backward(loss);
+    adam.Step(params);
+    if (step == 0) first_loss = g.value(loss).scalar();
+    last_loss = g.value(loss).scalar();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3f);
+  EXPECT_LT(last_loss, 0.3f);
+}
+
+// A 2-layer MLP must solve XOR, which a linear model cannot.
+TEST(TrainingTest, MlpLearnsXor) {
+  Rng rng(9);
+  Mlp mlp("xor", {2, 16, 1}, rng);
+  // Break the symmetry of the tiny init: XOR needs hidden units on both
+  // sides of the decision surface.
+  for (Parameter* p : mlp.Parameters()) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] += rng.Normal() * 0.5f;
+    }
+  }
+  AdamOptimizer adam({.learning_rate = 0.05f});
+  std::vector<Parameter*> params = mlp.Parameters();
+
+  Tensor x = Tensor::FromMatrix(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  Tensor labels = Tensor::FromMatrix(4, 1, {0, 1, 1, 0});
+
+  for (int step = 0; step < 2000; ++step) {
+    Graph g(/*training=*/true, &rng);
+    Var loss = g.BceWithLogits(mlp.Apply(g, g.Input(x)), labels);
+    g.Backward(loss);
+    adam.Step(params);
+  }
+  Graph g;
+  const Tensor& out = g.value(mlp.Apply(g, g.Input(x)));
+  EXPECT_LT(out[0], 0.0f);  // logit < 0 => predicted 0
+  EXPECT_GT(out[1], 0.0f);
+  EXPECT_GT(out[2], 0.0f);
+  EXPECT_LT(out[3], 0.0f);
+}
+
+// Embedding-gather training: items must move toward their co-occurring
+// "context" representation (a miniature matrix-factorisation task).
+TEST(TrainingTest, EmbeddingGatherLearnsAssociations) {
+  Rng rng(11);
+  Parameter emb("emb", Tensor::TruncatedNormal({6, 4}, 0.1f, rng));
+  emb.row_sparse = true;
+  AdamOptimizer adam({.learning_rate = 0.05f});
+
+  // Pairs (0,1), (2,3), (4,5) are positives; cross pairs negatives.
+  const std::vector<std::pair<int, int>> pos = {{0, 1}, {2, 3}, {4, 5}};
+  const std::vector<std::pair<int, int>> neg = {{0, 3}, {2, 5}, {4, 1}};
+  for (int step = 0; step < 400; ++step) {
+    Graph g(/*training=*/true, &rng);
+    std::vector<int> left, right;
+    Tensor labels({6, 1});
+    int row = 0;
+    for (auto [a, b] : pos) {
+      left.push_back(a);
+      right.push_back(b);
+      labels[row++] = 1.0f;
+    }
+    for (auto [a, b] : neg) {
+      left.push_back(a);
+      right.push_back(b);
+      labels[row++] = 0.0f;
+    }
+    Var l = g.Gather(&emb, left);
+    Var r = g.Gather(&emb, right);
+    Var loss = g.BceWithLogits(g.RowsDot(l, r), labels);
+    g.Backward(loss);
+    adam.Step({&emb});
+  }
+  auto dot = [&](int a, int b) {
+    return tensor_ops::Dot(emb.value.data() + a * 4, emb.value.data() + b * 4,
+                           4);
+  };
+  EXPECT_GT(dot(0, 1), dot(0, 3));
+  EXPECT_GT(dot(2, 3), dot(2, 5));
+  EXPECT_GT(dot(4, 5), dot(4, 1));
+}
+
+}  // namespace
+}  // namespace sccf::nn

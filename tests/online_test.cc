@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/candidates.h"
+#include "data/dataset.h"
+#include "data/synthetic.h"
+#include "online/ab_test.h"
+#include "online/interest_drift.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace sccf::online {
+namespace {
+
+constexpr int64_t kDay = 86400;
+
+// ---------------------------------------------------- interest drift
+
+TEST(InterestDriftTest, HandComputedDistribution) {
+  // One user, categories: item0 -> cat0, item1 -> cat1, item2 -> cat2.
+  // Day 10 ("today"): clicks cat0 and cat1 and cat2.
+  // cat0 first clicked day 7 (delta 3), cat1 never before, cat2 on day 10
+  // only.
+  std::vector<data::Interaction> inter = {
+      {0, 100, 7 * kDay},       // cat0, day 7
+      {0, 100, 8 * kDay},       // cat0 again day 8 (first = day 7)
+      {0, 100, 10 * kDay},      // cat0 today
+      {0, 101, 10 * kDay + 1},  // cat1 today only
+      {0, 102, 10 * kDay + 2},  // cat2 today only
+  };
+  auto ds = data::Dataset::FromInteractions("drift", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  // Compact item ids follow first appearance: 100->0, 101->1, 102->2.
+  ds->set_item_categories({0, 1, 2});
+
+  auto dist = CategoryRecencyDistribution(*ds, 14);
+  ASSERT_EQ(dist.size(), 15u);
+  EXPECT_NEAR(dist[0], 2.0 / 3.0, 1e-9);  // cat1, cat2 new today
+  EXPECT_NEAR(dist[3], 1.0 / 3.0, 1e-9);  // cat0 first seen 3 days ago
+  for (size_t d = 1; d < 15; ++d) {
+    if (d != 3) {
+      EXPECT_EQ(dist[d], 0.0);
+    }
+  }
+}
+
+TEST(InterestDriftTest, DistributionSumsToOne) {
+  data::SyntheticConfig cfg;
+  cfg.num_users = 150;
+  cfg.num_items = 300;
+  cfg.num_clusters = 30;
+  cfg.clusters_per_category = 2;
+  cfg.days = 30;
+  cfg.interest_drift = 0.3;
+  cfg.min_actions = 20;
+  cfg.max_actions = 60;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  ASSERT_TRUE(ds.ok());
+  auto dist = CategoryRecencyDistribution(*ds, 14);
+  const double total = std::accumulate(dist.begin(), dist.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(InterestDriftTest, DriftProducesNewCategories) {
+  // With drifting interests a substantial share of "today's" categories
+  // must be new — the paper's Fig.-1 observation (~50% on Taobao).
+  data::SyntheticConfig cfg;
+  cfg.num_users = 200;
+  cfg.num_items = 600;
+  cfg.num_clusters = 60;
+  cfg.clusters_per_category = 1;  // category == cluster: max granularity
+  cfg.days = 40;
+  cfg.interest_drift = 0.4;
+  cfg.num_secondary_interests = 3;
+  cfg.primary_affinity = 0.4;
+  cfg.min_actions = 25;
+  cfg.max_actions = 70;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  ASSERT_TRUE(ds.ok());
+  auto dist = CategoryRecencyDistribution(*ds, 14);
+  EXPECT_GT(dist[0], 0.25);
+  // And the tail decays: day-1 recency outweighs day-14.
+  EXPECT_GT(dist[1], dist[14]);
+}
+
+TEST(InterestDriftTest, RequiresCategories) {
+  std::vector<data::Interaction> inter = {{0, 0, 0}, {0, 1, kDay}};
+  auto ds = data::Dataset::FromInteractions("nocat", std::move(inter));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_DEATH(CategoryRecencyDistribution(*ds, 14), "category");
+}
+
+// ----------------------------------------------------------- A/B test
+
+class AbTestFixture : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig cfg;
+    cfg.name = "ab-test";
+    cfg.num_users = 100;
+    cfg.num_items = 200;
+    cfg.num_clusters = 10;
+    cfg.min_actions = 10;
+    cfg.max_actions = 30;
+    cfg.seed = 55;
+    gen_ = new data::SyntheticGenerator(cfg);
+    auto ds = gen_->Generate();
+    SCCF_CHECK(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete gen_;
+    dataset_ = nullptr;
+    gen_ = nullptr;
+  }
+
+  static data::SyntheticGenerator* gen_;
+  static data::Dataset* dataset_;
+};
+
+data::SyntheticGenerator* AbTestFixture::gen_ = nullptr;
+data::Dataset* AbTestFixture::dataset_ = nullptr;
+
+// Random-candidates generator: ignores the user entirely.
+core::CandidateList RandomCandidates(size_t num_items, uint64_t seed,
+                                     size_t n) {
+  Rng rng(seed);
+  core::CandidateList out;
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back({static_cast<int>(rng.Uniform(num_items)),
+                   1.0f - static_cast<float>(i) * 0.001f});
+  }
+  return out;
+}
+
+TEST_F(AbTestFixture, ClickProbabilityPrefersPrimaryCluster) {
+  AbTestHarness harness(*dataset_, *gen_, {});
+  // Find, for user 0, an item in the primary cluster and one in no
+  // related cluster.
+  const int orig_user = dataset_->original_user_ids()[0];
+  const int primary = gen_->user_primary_cluster()[orig_user];
+  int in_primary = -1, outside = -1;
+  for (size_t i = 0; i < dataset_->num_items(); ++i) {
+    const int orig = dataset_->original_item_ids()[i];
+    if (gen_->item_cluster()[orig] == primary && in_primary < 0) {
+      in_primary = static_cast<int>(i);
+    }
+  }
+  // An item outside primary and outside the recent history clusters: use
+  // empty history so only primary matters.
+  for (size_t i = 0; i < dataset_->num_items(); ++i) {
+    const int orig = dataset_->original_item_ids()[i];
+    if (gen_->item_cluster()[orig] != primary) {
+      outside = static_cast<int>(i);
+      break;
+    }
+  }
+  ASSERT_GE(in_primary, 0);
+  ASSERT_GE(outside, 0);
+  const std::vector<int> empty_history;
+  EXPECT_GT(harness.ClickProbability(0, empty_history, in_primary),
+            harness.ClickProbability(0, empty_history, outside));
+}
+
+TEST_F(AbTestFixture, SuccessorBoostRaisesProbability) {
+  AbTestHarness harness(*dataset_, *gen_, {});
+  // History ending in item x; successor(x) gets boosted.
+  int x = dataset_->sequence(0).back();
+  const int orig_x = dataset_->original_item_ids()[x];
+  const int succ_orig = gen_->successor()[orig_x];
+  int succ = -1;
+  for (size_t i = 0; i < dataset_->num_items(); ++i) {
+    if (dataset_->original_item_ids()[i] == succ_orig) {
+      succ = static_cast<int>(i);
+    }
+  }
+  if (succ < 0) GTEST_SKIP() << "successor not in compacted corpus";
+  std::vector<int> history = {x};
+  // Compare against the same item's probability when the chain is broken.
+  std::vector<int> other_history = {succ};  // succ(succ) != succ normally
+  const double with_boost = harness.ClickProbability(0, history, succ);
+  const double without = harness.ClickProbability(0, other_history, succ);
+  EXPECT_GE(with_boost, without);
+}
+
+TEST_F(AbTestFixture, OracleBeatsRandomGenerator) {
+  AbTestConfig cfg;
+  cfg.days = 3;
+  cfg.candidate_size = 30;
+  cfg.slate_size = 8;
+  AbTestHarness harness(*dataset_, *gen_, cfg);
+
+  // Oracle: propose items from the user's primary cluster (the harness's
+  // own ground-truth preference).
+  auto oracle = [&](int user, std::span<const int> /*history*/,
+                    size_t n) -> core::CandidateList {
+    const int orig_user = dataset_->original_user_ids()[user];
+    const int primary = gen_->user_primary_cluster()[orig_user];
+    core::CandidateList out;
+    for (size_t i = 0; i < dataset_->num_items() && out.size() < n; ++i) {
+      const int orig = dataset_->original_item_ids()[i];
+      if (gen_->item_cluster()[orig] == primary) {
+        out.push_back({static_cast<int>(i), 1.0f});
+      }
+    }
+    return out;
+  };
+  auto random_gen = [&](int user, std::span<const int>,
+                        size_t n) -> core::CandidateList {
+    return RandomCandidates(dataset_->num_items(), 1000 + user, n);
+  };
+  auto ranker = [](int, std::span<const int>,
+                   const core::CandidateList& cands,
+                   size_t slate) -> std::vector<int> {
+    std::vector<int> out;
+    for (size_t i = 0; i < cands.size() && out.size() < slate; ++i) {
+      out.push_back(cands[i].id);
+    }
+    return out;
+  };
+
+  // Bucket A random, bucket B oracle -> strong positive lift.
+  auto result = harness.Run(random_gen, oracle, ranker);
+  EXPECT_GT(result.impressions_a, 0u);
+  EXPECT_GT(result.impressions_b, 0u);
+  EXPECT_GT(result.ClickLift(), 0.5);
+}
+
+TEST_F(AbTestFixture, DeterministicForSeed) {
+  AbTestConfig cfg;
+  cfg.days = 2;
+  cfg.candidate_size = 20;
+  cfg.slate_size = 5;
+  auto gen_fn = [&](int user, std::span<const int>,
+                    size_t n) -> core::CandidateList {
+    return RandomCandidates(dataset_->num_items(), 7 + user, n);
+  };
+  auto ranker = [](int, std::span<const int>,
+                   const core::CandidateList& cands,
+                   size_t slate) -> std::vector<int> {
+    std::vector<int> out;
+    for (size_t i = 0; i < cands.size() && out.size() < slate; ++i) {
+      out.push_back(cands[i].id);
+    }
+    return out;
+  };
+  AbTestHarness h1(*dataset_, *gen_, cfg);
+  AbTestHarness h2(*dataset_, *gen_, cfg);
+  auto r1 = h1.Run(gen_fn, gen_fn, ranker);
+  auto r2 = h2.Run(gen_fn, gen_fn, ranker);
+  EXPECT_EQ(r1.clicks_a, r2.clicks_a);
+  EXPECT_EQ(r1.clicks_b, r2.clicks_b);
+  EXPECT_EQ(r1.trades_a, r2.trades_a);
+}
+
+TEST_F(AbTestFixture, LiftComputation) {
+  AbTestResult r;
+  r.clicks_a = 100;
+  r.clicks_b = 103;
+  r.trades_a = 50;
+  r.trades_b = 49;
+  EXPECT_NEAR(r.ClickLift(), 0.03, 1e-9);
+  EXPECT_NEAR(r.TradeLift(), -0.02, 1e-9);
+  AbTestResult zero;
+  EXPECT_EQ(zero.ClickLift(), 0.0);
+}
+
+}  // namespace
+}  // namespace sccf::online

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/realtime.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/fism.h"
+
+namespace sccf::core {
+namespace {
+
+class RealTimeTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig cfg;
+    cfg.name = "rt-test";
+    cfg.num_users = 120;
+    cfg.num_items = 160;
+    cfg.num_clusters = 8;
+    cfg.min_actions = 10;
+    cfg.max_actions = 30;
+    cfg.seed = 31;
+    data::SyntheticGenerator gen(cfg);
+    auto ds = gen.Generate();
+    SCCF_CHECK(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+    split_ = new data::LeaveOneOutSplit(*dataset_);
+
+    models::Fism::Options fopts;
+    fopts.dim = 16;
+    fopts.epochs = 6;
+    fism_ = new models::Fism(fopts);
+    SCCF_CHECK(fism_->Fit(*split_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete fism_;
+    delete split_;
+    delete dataset_;
+    fism_ = nullptr;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static data::LeaveOneOutSplit* split_;
+  static models::Fism* fism_;
+};
+
+data::Dataset* RealTimeTest::dataset_ = nullptr;
+data::LeaveOneOutSplit* RealTimeTest::split_ = nullptr;
+models::Fism* RealTimeTest::fism_ = nullptr;
+
+TEST_F(RealTimeTest, RequiresBootstrap) {
+  RealTimeService svc(*fism_, {});
+  EXPECT_EQ(svc.OnInteraction(0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(svc.Neighbors(0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RealTimeTest, BootstrapOnlyOnce) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  EXPECT_EQ(svc.Bootstrap({}).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(RealTimeTest, OnInteractionReportsTimingsAndGrowsHistory) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  const size_t before = svc.History(3).size();
+  auto timing = svc.OnInteraction(3, 42);
+  ASSERT_TRUE(timing.ok());
+  EXPECT_GE(timing->infer_ms, 0.0);
+  EXPECT_GE(timing->identify_ms, 0.0);
+  EXPECT_GT(timing->total_ms(), 0.0);
+  EXPECT_EQ(svc.History(3).size(), before + 1);
+  EXPECT_EQ(svc.History(3).back(), 42);
+}
+
+TEST_F(RealTimeTest, RejectsUnknownItem) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  EXPECT_EQ(svc.OnInteraction(0, -1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      svc.OnInteraction(0, static_cast<int>(dataset_->num_items()) + 5)
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(RealTimeTest, ColdStartUserCreatedOnFly) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  const int new_user = 100000;
+  ASSERT_TRUE(svc.OnInteraction(new_user, 7).ok());
+  ASSERT_TRUE(svc.OnInteraction(new_user, 8).ok());
+  EXPECT_EQ(svc.History(new_user).size(), 2u);
+  auto nbrs = svc.Neighbors(new_user);
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_FALSE(nbrs->empty());
+}
+
+TEST_F(RealTimeTest, NeighborhoodAdaptsToAdoptedTaste) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  // Feed user 0 the full recent history of user 70; with a window of 15
+  // the inferred embedding converges to user 70's, so 70 must appear in
+  // the fresh neighborhood.
+  const auto target = split_->TrainSequence(70);
+  const size_t take = std::min<size_t>(target.size(), 15);
+  for (size_t i = target.size() - take; i < target.size(); ++i) {
+    ASSERT_TRUE(svc.OnInteraction(0, target[i]).ok());
+  }
+  auto nbrs = svc.Neighbors(0);
+  ASSERT_TRUE(nbrs.ok());
+  bool found = false;
+  for (const auto& nb : *nbrs) found = found || nb.id == 70;
+  EXPECT_TRUE(found);
+}
+
+TEST_F(RealTimeTest, RecommendUserBasedExcludesOwnHistory) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  auto recs = svc.RecommendUserBased(5, 20);
+  ASSERT_TRUE(recs.ok());
+  ASSERT_FALSE(recs->empty());
+  const auto& history = svc.History(5);
+  for (const auto& rec : *recs) {
+    EXPECT_EQ(std::count(history.begin(), history.end(), rec.id), 0)
+        << "item " << rec.id << " is in user 5's history";
+  }
+  // Sorted descending by vote score.
+  for (size_t i = 1; i < recs->size(); ++i) {
+    EXPECT_GE((*recs)[i - 1].score, (*recs)[i].score);
+  }
+}
+
+TEST_F(RealTimeTest, UnknownUserNeighborsIsNotFound) {
+  RealTimeService svc(*fism_, {});
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  EXPECT_EQ(svc.Neighbors(999999).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(RealTimeTest, WorksWithHnswBackend) {
+  RealTimeService::Options opts;
+  opts.index_kind = IndexKind::kHnsw;
+  RealTimeService svc(*fism_, opts);
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  ASSERT_TRUE(svc.OnInteraction(1, 3).ok());
+  auto nbrs = svc.Neighbors(1);
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_FALSE(nbrs->empty());
+}
+
+TEST_F(RealTimeTest, WorksWithIvfBackend) {
+  RealTimeService::Options opts;
+  opts.index_kind = IndexKind::kIvfFlat;
+  opts.ivf.nlist = 8;
+  opts.ivf.nprobe = 4;
+  RealTimeService svc(*fism_, opts);
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  ASSERT_TRUE(svc.OnInteraction(1, 3).ok());
+  auto nbrs = svc.Neighbors(1);
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_FALSE(nbrs->empty());
+}
+
+}  // namespace
+}  // namespace sccf::core

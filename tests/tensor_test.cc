@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "tensor/tensor.h"
+#include "util/random.h"
+
+namespace sccf {
+namespace {
+
+using tensor_ops::Axpy;
+using tensor_ops::Cosine;
+using tensor_ops::Dot;
+using tensor_ops::Gemm;
+using tensor_ops::Gemv;
+using tensor_ops::Norm;
+using tensor_ops::SoftmaxInPlace;
+
+TEST(TensorTest, DefaultIsScalarZero) {
+  Tensor t;
+  EXPECT_EQ(t.rank(), 0u);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.scalar(), 0.0f);
+}
+
+TEST(TensorTest, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({2, 2}, 3.5f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], 3.5f);
+  t.Fill(-1.0f);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(t[i], -1.0f);
+}
+
+TEST(TensorTest, FromMatrixRowMajorAccess) {
+  Tensor t = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(TensorTest, VectorRowsCols) {
+  Tensor v = Tensor::FromVector({1, 2, 3});
+  EXPECT_EQ(v.rank(), 1u);
+  EXPECT_EQ(v.rows(), 1u);
+  EXPECT_EQ(v.cols(), 3u);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.rows(), 3u);
+}
+
+TEST(TensorTest, TruncatedNormalBounded) {
+  Rng rng(3);
+  Tensor t = Tensor::TruncatedNormal({50, 50}, 0.01f, rng);
+  for (size_t i = 0; i < t.size(); ++i) {
+    EXPECT_LE(std::fabs(t[i]), 0.02f);
+  }
+}
+
+TEST(TensorTest, SquaredL2Norm) {
+  Tensor t = Tensor::FromVector({3, 4});
+  EXPECT_DOUBLE_EQ(t.SquaredL2Norm(), 25.0);
+}
+
+TEST(TensorTest, AllClose) {
+  Tensor a = Tensor::FromVector({1, 2});
+  Tensor b = Tensor::FromVector({1, 2.000001f});
+  Tensor c = Tensor::FromVector({1, 2.1f});
+  EXPECT_TRUE(a.AllClose(b));
+  EXPECT_FALSE(a.AllClose(c));
+  Tensor d = Tensor::FromMatrix(1, 2, {1, 2});
+  EXPECT_FALSE(a.AllClose(d));  // shape differs (rank 1 vs 2)
+}
+
+TEST(TensorTest, ShapeString) {
+  EXPECT_EQ(Tensor::Zeros({2, 3}).ShapeString(), "f32[2, 3]");
+  EXPECT_EQ(Tensor().ShapeString(), "f32[]");
+}
+
+// -------------------------------------------------------------- raw ops
+
+TEST(TensorOpsTest, DotBasic) {
+  const float a[] = {1, 2, 3, 4, 5};
+  const float b[] = {5, 4, 3, 2, 1};
+  EXPECT_FLOAT_EQ(Dot(a, b, 5), 35.0f);
+  EXPECT_FLOAT_EQ(Dot(a, b, 0), 0.0f);
+}
+
+TEST(TensorOpsTest, AxpyAccumulates) {
+  const float x[] = {1, 2, 3};
+  float y[] = {10, 10, 10};
+  Axpy(2.0f, x, y, 3);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[2], 16.0f);
+}
+
+TEST(TensorOpsTest, NormAndCosine) {
+  const float a[] = {3, 4};
+  const float b[] = {4, 3};
+  EXPECT_FLOAT_EQ(Norm(a, 2), 5.0f);
+  EXPECT_NEAR(Cosine(a, b, 2), 24.0f / 25.0f, 1e-6);
+  const float z[] = {0, 0};
+  EXPECT_EQ(Cosine(a, z, 2), 0.0f);
+}
+
+TEST(TensorOpsTest, CosineSelfIsOne) {
+  Rng rng(5);
+  std::vector<float> v(16);
+  for (auto& x : v) x = rng.Normal();
+  EXPECT_NEAR(Cosine(v.data(), v.data(), v.size()), 1.0f, 1e-5);
+}
+
+TEST(TensorOpsTest, SoftmaxSumsToOneAndOrders) {
+  float x[] = {1.0f, 2.0f, 3.0f};
+  SoftmaxInPlace(x, 3);
+  EXPECT_NEAR(x[0] + x[1] + x[2], 1.0f, 1e-6);
+  EXPECT_LT(x[0], x[1]);
+  EXPECT_LT(x[1], x[2]);
+}
+
+TEST(TensorOpsTest, SoftmaxStableForLargeInputs) {
+  float x[] = {1000.0f, 1000.0f};
+  SoftmaxInPlace(x, 2);
+  EXPECT_NEAR(x[0], 0.5f, 1e-6);
+  EXPECT_NEAR(x[1], 0.5f, 1e-6);
+}
+
+TEST(TensorOpsTest, SoftmaxMaskedEntryGoesToZero) {
+  float x[] = {0.0f, -1e9f, 1.0f};
+  SoftmaxInPlace(x, 3);
+  EXPECT_NEAR(x[1], 0.0f, 1e-12);
+  EXPECT_NEAR(x[0] + x[2], 1.0f, 1e-6);
+}
+
+TEST(TensorOpsTest, GemvMatchesManual) {
+  Tensor a = Tensor::FromMatrix(2, 3, {1, 2, 3, 4, 5, 6});
+  const float x[] = {1, 0, -1};
+  float y[2];
+  Gemv(a, x, y);
+  EXPECT_FLOAT_EQ(y[0], -2.0f);
+  EXPECT_FLOAT_EQ(y[1], -2.0f);
+}
+
+// Naive reference for GEMM correctness.
+Tensor NaiveGemm(const Tensor& a, bool ta, const Tensor& b, bool tb,
+                 float alpha) {
+  const size_t m = ta ? a.cols() : a.rows();
+  const size_t k = ta ? a.rows() : a.cols();
+  const size_t n = tb ? b.rows() : b.cols();
+  Tensor c({m, n});
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float av = ta ? a.at(kk, i) : a.at(i, kk);
+        const float bv = tb ? b.at(j, kk) : b.at(kk, j);
+        acc += av * bv;
+      }
+      c.at(i, j) = alpha * acc;
+    }
+  }
+  return c;
+}
+
+class GemmParamTest
+    : public testing::TestWithParam<std::tuple<bool, bool, int, int, int>> {};
+
+TEST_P(GemmParamTest, MatchesNaiveReference) {
+  const auto [ta, tb, m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n + (ta ? 1000 : 0) + (tb ? 2000 : 0));
+  auto rand_mat = [&](size_t r, size_t c) {
+    Tensor t({r, c});
+    for (size_t i = 0; i < t.size(); ++i) t[i] = rng.Normal();
+    return t;
+  };
+  Tensor a = ta ? rand_mat(k, m) : rand_mat(m, k);
+  Tensor b = tb ? rand_mat(n, k) : rand_mat(k, n);
+  Tensor c({static_cast<size_t>(m), static_cast<size_t>(n)});
+  Gemm(a, ta, b, tb, 1.5f, 0.0f, &c);
+  Tensor ref = NaiveGemm(a, ta, b, tb, 1.5f);
+  EXPECT_TRUE(c.AllClose(ref, 1e-3f))
+      << "ta=" << ta << " tb=" << tb << " m=" << m << " k=" << k
+      << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTransposesAndShapes, GemmParamTest,
+    testing::Combine(testing::Bool(), testing::Bool(),
+                     testing::Values(1, 3, 7), testing::Values(1, 4, 9),
+                     testing::Values(1, 5, 8)));
+
+TEST(TensorOpsTest, GemmBetaAccumulates) {
+  Tensor a = Tensor::FromMatrix(2, 2, {1, 0, 0, 1});
+  Tensor b = Tensor::FromMatrix(2, 2, {1, 2, 3, 4});
+  Tensor c = Tensor::Full({2, 2}, 10.0f);
+  Gemm(a, false, b, false, 1.0f, 1.0f, &c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 11.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 14.0f);
+}
+
+TEST(TensorOpsTest, GemmBetaScales) {
+  Tensor a = Tensor::FromMatrix(1, 1, {0});
+  Tensor b = Tensor::FromMatrix(1, 1, {0});
+  Tensor c = Tensor::Full({1, 1}, 8.0f);
+  Gemm(a, false, b, false, 1.0f, 0.5f, &c);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 4.0f);
+}
+
+}  // namespace
+}  // namespace sccf
