@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a benchmark smoke test. This is exactly what CI runs;
+# run it locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+# Tier-1 verify (ROADMAP.md): configure, build everything, run the
+# tier1-labeled suites. Suites registered SLOW stay out of this gate;
+# run them locally with `ctest --preset release -L slow`.
+cmake --preset release
+cmake --build --preset release -j "${JOBS}"
+ctest --preset release -L tier1
+
+# Benchmark smoke: the micro-kernel suite at minimal iteration budget,
+# to catch crashes/regressions in bench-only code paths. The target is
+# skipped at configure time when Google Benchmark is unavailable.
+MICRO=build/release/bench/micro_kernels
+if [[ -x "${MICRO}" ]]; then
+  # benchmark >= 1.8 wants a "0.01s" suffix, older versions a bare double.
+  # Keep the first attempt's stderr so a genuine crash is not masked by
+  # the retry's flag-parse error.
+  SMOKE_ERR="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR}"' EXIT
+  if ! "${MICRO}" --benchmark_min_time=0.01 >/dev/null 2>"${SMOKE_ERR}" &&
+     ! "${MICRO}" --benchmark_min_time=0.01s >/dev/null; then
+    echo "micro_kernels smoke: FAILED; first attempt stderr:" >&2
+    cat "${SMOKE_ERR}" >&2
+    exit 1
+  fi
+  echo "micro_kernels smoke: OK"
+else
+  echo "micro_kernels smoke: SKIPPED (Google Benchmark not found)"
+fi
+
+echo "ci.sh: all green"

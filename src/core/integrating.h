@@ -68,7 +68,7 @@ class IntegratingMlp {
   nn::Var Forward(nn::Graph& g, nn::Var x) const;
   float BatchLoss(const UserBatch& batch) const;
 
-  size_t feature_dim_;
+  size_t feature_dim_ = 0;
   Options options_;
   Rng rng_;
   std::unique_ptr<nn::Mlp> mlp_;

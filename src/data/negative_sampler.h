@@ -27,8 +27,8 @@ class NegativeSampler {
 
  private:
   const LeaveOneOutSplit* split_;
-  size_t num_items_;
-  bool popularity_weighted_;
+  size_t num_items_ = 0;
+  bool popularity_weighted_ = false;
   std::vector<double> cumulative_;  // popularity CDF when weighted
 };
 

@@ -25,9 +25,9 @@ class BruteForceIndex : public VectorIndex {
   Metric metric() const override { return metric_; }
 
  private:
-  size_t dim_;
+  size_t dim_ = 0;
   Metric metric_;
-  bool parallel_;
+  bool parallel_ = false;
   std::vector<float> data_;              // slot-major, normalised if cosine
   std::vector<int> ids_;                 // slot -> external id
   std::unordered_map<int, size_t> slot_;  // external id -> slot

@@ -43,9 +43,9 @@ class HnswIndex : public VectorIndex {
 
  private:
   struct GraphNode {
-    int external_id;
+    int external_id = -1;
     bool deleted = false;
-    int level;
+    int level = 0;
     std::vector<float> vec;                    // normalised when cosine
     std::vector<std::vector<int>> neighbors;   // per level
   };
@@ -61,7 +61,7 @@ class HnswIndex : public VectorIndex {
   /// Keeps the `max_m` most similar neighbors of node `n` at `level`.
   void PruneNeighbors(int n, int level, size_t max_m);
 
-  size_t dim_;
+  size_t dim_ = 0;
   Metric metric_;
   Options options_;
   Rng rng_;

@@ -46,13 +46,13 @@ class IvfFlatIndex : public VectorIndex {
 
  private:
   struct Posting {
-    int id;
+    int id = -1;
     std::vector<float> vec;  // normalised when metric is cosine
   };
 
   size_t NearestCentroid(const float* vec) const;
 
-  size_t dim_;
+  size_t dim_ = 0;
   Metric metric_;
   Options options_;
   bool trained_ = false;

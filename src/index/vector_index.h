@@ -63,7 +63,7 @@ class TopKAccumulator {
   size_t size() const { return heap_.size(); }
 
  private:
-  size_t k_;
+  size_t k_ = 0;
   // Min-heap on score so the root is the current worst kept candidate.
   std::vector<Neighbor> heap_;
 };

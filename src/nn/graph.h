@@ -145,7 +145,7 @@ class Graph {
   /// broadcasting-aware reduction handled by callers.
   void AccumulateGrad(int id, const Tensor& delta);
 
-  bool training_;
+  bool training_ = false;
   Rng* rng_;
   bool backward_done_ = false;
   std::vector<Node> nodes_;

@@ -58,7 +58,7 @@ class Mlp {
 
  private:
   std::vector<Linear> layers_;
-  float dropout_rate_;
+  float dropout_rate_ = 0.0f;
 };
 
 }  // namespace sccf::nn

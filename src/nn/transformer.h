@@ -35,9 +35,9 @@ class TransformerBlock {
  private:
   Var SelfAttention(Graph& g, Var x, const Tensor& causal_mask) const;
 
-  size_t dim_;
-  size_t num_heads_;
-  float dropout_rate_;
+  size_t dim_ = 0;
+  size_t num_heads_ = 1;
+  float dropout_rate_ = 0.0f;
   std::unique_ptr<Parameter> wq_;
   std::unique_ptr<Parameter> wk_;
   std::unique_ptr<Parameter> wv_;

@@ -30,7 +30,7 @@ class LogMessage {
   }
 
  private:
-  bool enabled_;
+  bool enabled_ = false;
   bool fatal_ = false;
   std::ostringstream stream_;
 

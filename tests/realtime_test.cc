@@ -167,5 +167,70 @@ TEST_F(RealTimeTest, WorksWithIvfBackend) {
   EXPECT_FALSE(nbrs->empty());
 }
 
+// Streaming-vs-batch equivalence (deterministic): feeding a cold-start
+// user through OnInteraction must create state, refresh the index, and
+// land in exactly the neighborhood a from-scratch Bootstrap of the same
+// histories produces. IVF probes every list and HNSW gets a generous beam
+// so both backends are exhaustive at this scale; any divergence between
+// the incremental and batch paths is then a real bug, not ANN noise.
+TEST_F(RealTimeTest, ColdStartMatchesFromScratchBootstrap) {
+  constexpr int kColdUser = 500;
+  constexpr size_t kBeta = 10;
+  const std::vector<int> cold_history = {7, 8, 9, 42, 43};
+
+  const auto options_for = [](IndexKind kind) {
+    RealTimeService::Options opts;
+    opts.beta = kBeta;
+    opts.index_kind = kind;
+    opts.ivf.nlist = 4;
+    opts.ivf.nprobe = 4;  // scan every list: exhaustive
+    opts.hnsw.ef_search = 256;
+    return opts;
+  };
+
+  std::vector<int> top1_per_backend;
+  for (IndexKind kind :
+       {IndexKind::kBruteForce, IndexKind::kHnsw, IndexKind::kIvfFlat}) {
+    // Incremental: bootstrap the corpus, then stream the cold user in.
+    RealTimeService streamed(*fism_, options_for(kind));
+    ASSERT_TRUE(streamed.BootstrapFromSplit(*split_).ok());
+    const size_t users_before = streamed.num_users();
+    for (int item : cold_history) {
+      ASSERT_TRUE(streamed.OnInteraction(kColdUser, item).ok());
+    }
+    EXPECT_EQ(streamed.num_users(), users_before + 1);
+    EXPECT_EQ(streamed.History(kColdUser).size(), cold_history.size());
+
+    // Batch: one Bootstrap over the identical final histories.
+    std::vector<RealTimeService::UserState> states(split_->num_users());
+    for (size_t u = 0; u < split_->num_users(); ++u) {
+      states[u].user = static_cast<int>(u);
+      const auto h = split_->TrainSequence(u);
+      states[u].history.assign(h.begin(), h.end());
+    }
+    states.push_back({kColdUser, cold_history});
+    RealTimeService batch(*fism_, options_for(kind));
+    ASSERT_TRUE(batch.Bootstrap(states).ok());
+
+    auto streamed_nbrs = streamed.Neighbors(kColdUser);
+    auto batch_nbrs = batch.Neighbors(kColdUser);
+    ASSERT_TRUE(streamed_nbrs.ok());
+    ASSERT_TRUE(batch_nbrs.ok());
+    ASSERT_EQ(streamed_nbrs->size(), batch_nbrs->size());
+    for (size_t i = 0; i < streamed_nbrs->size(); ++i) {
+      EXPECT_EQ((*streamed_nbrs)[i].id, (*batch_nbrs)[i].id)
+          << "backend " << static_cast<int>(kind) << " rank " << i;
+      EXPECT_FLOAT_EQ((*streamed_nbrs)[i].score, (*batch_nbrs)[i].score);
+    }
+    ASSERT_FALSE(streamed_nbrs->empty());
+    top1_per_backend.push_back((*streamed_nbrs)[0].id);
+  }
+
+  // Brute force vs HNSW vs IVF agree on the nearest neighbor.
+  ASSERT_EQ(top1_per_backend.size(), 3u);
+  EXPECT_EQ(top1_per_backend[0], top1_per_backend[1]);
+  EXPECT_EQ(top1_per_backend[0], top1_per_backend[2]);
+}
+
 }  // namespace
 }  // namespace sccf::core

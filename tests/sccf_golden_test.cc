@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/sccf.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "models/fism.h"
+
+namespace sccf::core {
+namespace {
+
+// End-to-end regression tripwire: SCCF over FISM on a fixed seeded
+// synthetic corpus must reproduce the recorded Recall@10 / NDCG@10 within
+// a tolerance band. Any future optimization PR that silently changes
+// similarity, normalization, candidate generation, or merger training
+// lands outside the band and fails here.
+//
+// Golden values recorded from the first green build (g++ 12, Release).
+// The band is deliberately loose enough to absorb FP reassociation across
+// compilers/flags but tight enough to catch algorithmic drift.
+constexpr double kGoldenRecallAt10 = 0.2350;
+constexpr double kGoldenNdcgAt10 = 0.1259;
+constexpr double kTolerance = 0.03;
+
+class SccfGoldenTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig cfg;
+    cfg.name = "golden";
+    cfg.num_users = 200;
+    cfg.num_items = 220;
+    cfg.num_clusters = 12;
+    cfg.min_actions = 12;
+    cfg.max_actions = 40;
+    cfg.seed = 20210419;  // arbitrary, fixed
+    data::SyntheticGenerator gen(cfg);
+    auto ds = gen.Generate();
+    SCCF_CHECK(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+    split_ = new data::LeaveOneOutSplit(*dataset_);
+
+    models::Fism::Options fopts;
+    fopts.dim = 16;
+    fopts.epochs = 8;
+    fism_ = new models::Fism(fopts);
+    SCCF_CHECK(fism_->Fit(*split_).ok());
+
+    Sccf::Options sopts;
+    sopts.num_candidates = 50;
+    sccf_ = new Sccf(*fism_, sopts);
+    SCCF_CHECK(sccf_->Fit(*split_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete sccf_;
+    delete fism_;
+    delete split_;
+    delete dataset_;
+    sccf_ = nullptr;
+    fism_ = nullptr;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static eval::EvalResult EvaluateAt10(const models::Recommender& model) {
+    eval::EvalOptions eopts;
+    eopts.cutoffs = {10};
+    auto result = eval::Evaluate(model, *split_, eopts);
+    SCCF_CHECK(result.ok()) << result.status().ToString();
+    return *std::move(result);
+  }
+
+  static data::Dataset* dataset_;
+  static data::LeaveOneOutSplit* split_;
+  static models::Fism* fism_;
+  static Sccf* sccf_;
+};
+
+data::Dataset* SccfGoldenTest::dataset_ = nullptr;
+data::LeaveOneOutSplit* SccfGoldenTest::split_ = nullptr;
+models::Fism* SccfGoldenTest::fism_ = nullptr;
+Sccf* SccfGoldenTest::sccf_ = nullptr;
+
+TEST_F(SccfGoldenTest, RecallAndNdcgWithinGoldenBand) {
+  const eval::EvalResult result = EvaluateAt10(*sccf_);
+  EXPECT_EQ(result.num_users, dataset_->num_users());
+  EXPECT_NEAR(result.HrAt(10), kGoldenRecallAt10, kTolerance)
+      << "Recall@10 drifted out of the golden band";
+  EXPECT_NEAR(result.NdcgAt(10), kGoldenNdcgAt10, kTolerance)
+      << "NDCG@10 drifted out of the golden band";
+}
+
+TEST_F(SccfGoldenTest, ImprovesOverBaseModel) {
+  // The paper's headline claim in miniature: fusing the user-based local
+  // view with the UI global view must not lose to the UI model alone.
+  const eval::EvalResult base = EvaluateAt10(*fism_);
+  const eval::EvalResult merged = EvaluateAt10(*sccf_);
+  EXPECT_GE(merged.NdcgAt(10), base.NdcgAt(10) * 0.95);
+  EXPECT_GT(merged.HrAt(10), 0.0);
+}
+
+TEST_F(SccfGoldenTest, EvaluationIsDeterministic) {
+  // Parallel evaluation must not perturb metrics: rank-by-counting is
+  // order-independent, so serial and parallel paths agree exactly.
+  eval::EvalOptions serial;
+  serial.cutoffs = {10};
+  serial.parallel = false;
+  auto serial_result = eval::Evaluate(*sccf_, *split_, serial);
+  ASSERT_TRUE(serial_result.ok());
+  const eval::EvalResult parallel_result = EvaluateAt10(*sccf_);
+  EXPECT_DOUBLE_EQ(serial_result->HrAt(10), parallel_result.HrAt(10));
+  EXPECT_DOUBLE_EQ(serial_result->NdcgAt(10), parallel_result.NdcgAt(10));
+}
+
+}  // namespace
+}  // namespace sccf::core
