@@ -1,9 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels underneath the
-// experiment harness: GEMM, dot products, top-k selection, ANN search,
-// and the inductive inference paths (FISM pooling, SASRec forward) whose
-// latency Table III depends on.
+// experiment harness: the runtime-dispatched SIMD similarity kernels
+// (every supported variant side by side), GEMM, dot products, top-k
+// selection, ANN search, and the inductive inference paths (FISM pooling,
+// SASRec forward) whose latency Table III depends on.
+//
+// Two modes:
+//   ./micro_kernels [gbench flags]      google-benchmark console run
+//   ./micro_kernels --simd_json=PATH    self-timed SIMD kernel report,
+//                                       written as JSON (BENCH_simd.json);
+//                                       see docs/PERFORMANCE.md
 
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -14,6 +26,7 @@
 #include "models/sasrec.h"
 #include "nn/graph.h"
 #include "nn/transformer.h"
+#include "simd/kernels.h"
 #include "tensor/tensor.h"
 #include "util/random.h"
 
@@ -173,6 +186,230 @@ void BM_SasRecInference(benchmark::State& state) {
 }
 BENCHMARK(BM_SasRecInference);
 
+// ---------------------------------------------------------------------------
+// SIMD kernel suite: every supported variant side by side at the embedding
+// dims SCCF actually serves (16..256). Registered dynamically because the
+// variant set depends on the build + CPU.
+
+constexpr size_t kSimdDims[] = {16, 64, 128, 256};
+constexpr size_t kBatchRows = 1024;
+
+std::vector<simd::Variant> SupportedVariants() {
+  std::vector<simd::Variant> out;
+  for (simd::Variant v : {simd::Variant::kScalar, simd::Variant::kAvx2,
+                          simd::Variant::kAvx512}) {
+    if (simd::VariantSupported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+void RegisterSimdBenchmarks() {
+  for (simd::Variant v : SupportedVariants()) {
+    for (size_t dim : kSimdDims) {
+      const std::string suffix =
+          std::string(simd::VariantName(v)) + "/" + std::to_string(dim);
+      benchmark::RegisterBenchmark(
+          ("BM_SimdDot/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(17);
+            std::vector<float> a(dim), b(dim);
+            for (size_t i = 0; i < dim; ++i) {
+              a[i] = rng.Normal();
+              b[i] = rng.Normal();
+            }
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(simd::Dot(a.data(), b.data(), dim));
+            }
+            state.SetItemsProcessed(state.iterations() * dim);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdCosine/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(19);
+            std::vector<float> a(dim), b(dim);
+            for (size_t i = 0; i < dim; ++i) {
+              a[i] = rng.Normal();
+              b[i] = rng.Normal();
+            }
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  simd::Cosine(a.data(), b.data(), dim));
+            }
+            state.SetItemsProcessed(state.iterations() * dim);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdSquaredL2/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(23);
+            std::vector<float> a(dim), b(dim);
+            for (size_t i = 0; i < dim; ++i) {
+              a[i] = rng.Normal();
+              b[i] = rng.Normal();
+            }
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(
+                  simd::SquaredL2(a.data(), b.data(), dim));
+            }
+            state.SetItemsProcessed(state.iterations() * dim);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdDotBatch/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(29);
+            std::vector<float> q(dim);
+            std::vector<float> base(kBatchRows * dim);
+            std::vector<float> out(kBatchRows);
+            for (auto& x : q) x = rng.Normal();
+            for (auto& x : base) x = rng.Normal();
+            for (auto _ : state) {
+              simd::DotBatch(q.data(), base.data(), kBatchRows, dim,
+                             out.data());
+              benchmark::DoNotOptimize(out.data());
+            }
+            state.SetItemsProcessed(state.iterations() * kBatchRows * dim);
+          });
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// --simd_json self-timed report (no google-benchmark involvement, so the
+// output schema is ours and stable): ns/call for every supported variant,
+// kernel, and dim, plus the active (env-resolved) variant for CI gating.
+
+template <typename F>
+double MeasureNsPerCall(F&& fn) {
+  using Clock = std::chrono::steady_clock;
+  auto elapsed_ns = [](Clock::time_point t0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             t0)
+            .count());
+  };
+  // Grow the iteration count until one rep runs >= 10 ms, then report the
+  // fastest of three reps at that count.
+  size_t iters = 1;
+  for (;;) {
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    if (elapsed_ns(t0) >= 1e7) break;
+    iters *= 4;
+  }
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = Clock::now();
+    for (size_t i = 0; i < iters; ++i) fn();
+    best = std::min(best, elapsed_ns(t0) / static_cast<double>(iters));
+  }
+  return best;
+}
+
+struct SimdResult {
+  const char* kernel;
+  const char* variant;
+  size_t dim;
+  size_t rows;  // 1 for single-pair kernels
+  double ns_per_call;
+};
+
+int WriteSimdJson(const char* path) {
+  const simd::Variant active = simd::ActiveVariant();  // env-resolved
+  std::vector<SimdResult> results;
+  Rng rng(31);
+  for (simd::Variant v : SupportedVariants()) {
+    SCCF_CHECK(simd::ForceVariant(v).ok());
+    for (size_t dim : kSimdDims) {
+      std::vector<float> a(dim), b(dim);
+      for (size_t i = 0; i < dim; ++i) {
+        a[i] = rng.Normal();
+        b[i] = rng.Normal();
+      }
+      std::vector<float> base(kBatchRows * dim);
+      std::vector<float> out(kBatchRows);
+      for (auto& x : base) x = rng.Normal();
+
+      results.push_back({"dot", simd::VariantName(v), dim, 1,
+                         MeasureNsPerCall([&] {
+                           benchmark::DoNotOptimize(
+                               simd::Dot(a.data(), b.data(), dim));
+                         })});
+      results.push_back({"cosine", simd::VariantName(v), dim, 1,
+                         MeasureNsPerCall([&] {
+                           benchmark::DoNotOptimize(
+                               simd::Cosine(a.data(), b.data(), dim));
+                         })});
+      results.push_back({"squared_l2", simd::VariantName(v), dim, 1,
+                         MeasureNsPerCall([&] {
+                           benchmark::DoNotOptimize(
+                               simd::SquaredL2(a.data(), b.data(), dim));
+                         })});
+      results.push_back({"dot_batch", simd::VariantName(v), dim,
+                         kBatchRows, MeasureNsPerCall([&] {
+                           simd::DotBatch(a.data(), base.data(), kBatchRows,
+                                          dim, out.data());
+                           benchmark::DoNotOptimize(out.data());
+                         })});
+    }
+  }
+  SCCF_CHECK(simd::ForceVariant(active).ok());
+
+  double active_dot128 = 0.0;
+  for (const SimdResult& r : results) {
+    if (std::strcmp(r.kernel, "dot") == 0 && r.dim == 128 &&
+        std::strcmp(r.variant, simd::VariantName(active)) == 0) {
+      active_dot128 = r.ns_per_call;
+    }
+  }
+
+  FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"simd_kernels\",\n");
+  std::fprintf(f, "  \"generated_by\": \"bench/micro_kernels --simd_json\",\n");
+  std::fprintf(f, "  \"batch_rows\": %zu,\n", kBatchRows);
+  std::fprintf(f, "  \"cpu\": {\"avx2\": %s, \"avx512\": %s},\n",
+               simd::VariantSupported(simd::Variant::kAvx2) ? "true"
+                                                            : "false",
+               simd::VariantSupported(simd::Variant::kAvx512) ? "true"
+                                                              : "false");
+  std::fprintf(f, "  \"active_variant\": \"%s\",\n",
+               simd::VariantName(active));
+  std::fprintf(f, "  \"active_dot_dim128_ns\": %.3f,\n", active_dot128);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const SimdResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"variant\": \"%s\", \"dim\": "
+                 "%zu, \"rows\": %zu, \"ns_per_call\": %.3f}%s\n",
+                 r.kernel, r.variant, r.dim, r.rows, r.ns_per_call,
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (active variant: %s)\n", path,
+              simd::VariantName(active));
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--simd_json=", 12) == 0) {
+      return WriteSimdJson(argv[i] + 12);
+    }
+  }
+  RegisterSimdBenchmarks();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

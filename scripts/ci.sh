@@ -30,6 +30,36 @@ if [[ -x "${MICRO}" ]]; then
     exit 1
   fi
   echo "micro_kernels smoke: OK"
+
+  # SIMD dispatch sanity (docs/PERFORMANCE.md): run the kernel report once
+  # forced to scalar and once auto-dispatched; the dispatched dot kernel at
+  # dim 128 must not be slower than the scalar one. Smoke-level only — the
+  # real margin is ~3-4x — so a genuine dispatch regression (e.g. always
+  # falling back to scalar-through-the-table overhead) trips it, noise
+  # does not. Skipped when the CPU has no SIMD variant to dispatch to.
+  SIMD_SCALAR_JSON="$(mktemp)"
+  SIMD_AUTO_JSON="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR}" "${SIMD_SCALAR_JSON}" "${SIMD_AUTO_JSON}"' EXIT
+  SCCF_SIMD=scalar "${MICRO}" --simd_json="${SIMD_SCALAR_JSON}" >/dev/null
+  # env -u: a stray exported SCCF_SIMD must not turn the "auto" run into a
+  # forced one (which would silently skip the comparison below).
+  env -u SCCF_SIMD "${MICRO}" --simd_json="${SIMD_AUTO_JSON}" >/dev/null
+  scalar_ns="$(sed -n 's/.*"active_dot_dim128_ns": \([0-9.]*\).*/\1/p' \
+    "${SIMD_SCALAR_JSON}")"
+  auto_ns="$(sed -n 's/.*"active_dot_dim128_ns": \([0-9.]*\).*/\1/p' \
+    "${SIMD_AUTO_JSON}")"
+  auto_variant="$(sed -n 's/.*"active_variant": "\([a-z0-9]*\)".*/\1/p' \
+    "${SIMD_AUTO_JSON}")"
+  if [[ "${auto_variant}" == "scalar" ]]; then
+    echo "simd dispatch check: SKIPPED (no SIMD variant on this CPU)"
+  elif awk -v a="${auto_ns}" -v s="${scalar_ns}" 'BEGIN{exit !(a <= s)}'; then
+    echo "simd dispatch check: OK (${auto_variant} dot@128 ${auto_ns}ns" \
+         "<= scalar ${scalar_ns}ns)"
+  else
+    echo "simd dispatch check: FAILED — dispatched ${auto_variant} dot@128" \
+         "(${auto_ns}ns) slower than scalar (${scalar_ns}ns)" >&2
+    exit 1
+  fi
 else
   echo "micro_kernels smoke: SKIPPED (Google Benchmark not found)"
 fi

@@ -4,7 +4,7 @@
 #include <cmath>
 
 #include "core/candidates.h"
-#include "tensor/tensor.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace sccf::core {
@@ -24,11 +24,12 @@ StatusOr<std::vector<index::Neighbor>> SccfRankStage::Rerank(
   std::vector<float> user_emb(d, 0.0f);
   base_->InferUserEmbedding(history, user_emb.data());
 
-  // UI scores restricted to the candidates.
+  // UI scores restricted to the candidates (arbitrary item subset, so no
+  // batched scan — per-candidate dispatched dots).
   std::vector<float> ui(candidates.size());
   for (size_t i = 0; i < candidates.size(); ++i) {
-    ui[i] = tensor_ops::Dot(user_emb.data(),
-                            base_->ItemEmbedding(candidates[i]), d);
+    ui[i] = simd::Dot(user_emb.data(), base_->ItemEmbedding(candidates[i]),
+                      d);
   }
   // UU vote mass over the full catalog, then restricted.
   std::vector<float> uu_all;

@@ -27,10 +27,7 @@ Sccf::UnionFeatures Sccf::BuildFeatures(size_t u,
   std::vector<float> user_emb(d, 0.0f);
   base_->InferUserEmbedding(history, user_emb.data());
   std::vector<float> ui_scores(base_->num_items());
-  for (size_t i = 0; i < ui_scores.size(); ++i) {
-    ui_scores[i] = tensor_ops::Dot(
-        user_emb.data(), base_->ItemEmbedding(static_cast<int>(i)), d);
-  }
+  base_->ScoreItems(user_emb.data(), ui_scores.data());
   for (int item : history) ui_scores[item] = kMaskedScore;
 
   std::vector<float> uu_scores;

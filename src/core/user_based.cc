@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace sccf::core {
@@ -96,11 +97,13 @@ void UserBasedComponent::ScoreAll(size_t u, std::span<const int> history,
   const std::vector<index::Neighbor> neighborhood =
       Neighbors(query.data(), options_.beta, static_cast<int>(u));
 
-  // Eq. 12: r^UU_ui = sum_{v in N_u} delta_vi * sim(u, v).
+  // Eq. 12: r^UU_ui = sum_{v in N_u} delta_vi * sim(u, v). Each
+  // neighbor's vote list is sorted+unique (built in Fit/UpdateUser), which
+  // is exactly the precondition simd::ScatterAddConstant needs.
   for (const index::Neighbor& nb : neighborhood) {
-    for (int item : vote_items_[nb.id]) {
-      (*scores)[item] += nb.score;
-    }
+    const std::vector<int>& votes = vote_items_[nb.id];
+    simd::ScatterAddConstant(scores->data(), votes.data(), votes.size(),
+                             nb.score);
   }
   // Never recommend the user's own history (Sec. III-C).
   for (int item : history) (*scores)[item] = 0.0f;

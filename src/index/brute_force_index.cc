@@ -4,18 +4,10 @@
 #include <cmath>
 #include <mutex>
 
-#include "tensor/tensor.h"
+#include "simd/kernels.h"
 #include "util/thread_pool.h"
 
 namespace sccf::index {
-
-namespace {
-void NormalizeCopy(const float* in, float* out, size_t d) {
-  const float norm = tensor_ops::Norm(in, d);
-  const float inv = norm > 0.0f ? 1.0f / norm : 0.0f;
-  for (size_t i = 0; i < d; ++i) out[i] = in[i] * inv;
-}
-}  // namespace
 
 BruteForceIndex::BruteForceIndex(size_t dim, Metric metric, bool parallel)
     : dim_(dim), metric_(metric), parallel_(parallel) {}
@@ -28,13 +20,14 @@ Status BruteForceIndex::Add(int id, const float* vec) {
     s = it->second;
   } else {
     s = ids_.size();
+    if (id != static_cast<int>(s)) ids_are_slots_ = false;
     ids_.push_back(id);
     data_.resize(data_.size() + dim_);
     slot_[id] = s;
   }
   float* dst = data_.data() + s * dim_;
   if (metric_ == Metric::kCosine) {
-    NormalizeCopy(vec, dst, dim_);
+    simd::NormalizeCopy(vec, dst, dim_);
   } else {
     std::copy(vec, vec + dim_, dst);
   }
@@ -48,22 +41,32 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
   const float* q = query;
   if (metric_ == Metric::kCosine) {
     qnorm.resize(dim_);
-    NormalizeCopy(query, qnorm.data(), dim_);
+    simd::NormalizeCopy(query, qnorm.data(), dim_);
     q = qnorm.data();
   }
 
   const size_t n = ids_.size();
-  auto scan = [&](size_t lo, size_t hi, TopKAccumulator* acc) {
-    for (size_t s = lo; s < hi; ++s) {
-      if (ids_[s] == exclude_id) continue;
-      const float score = tensor_ops::Dot(q, data_.data() + s * dim_, dim_);
-      acc->Offer(ids_[s], score);
-    }
-  };
 
+  // Fast path: ids equal slots (the common case — SCCF inserts users
+  // 0..n-1 in order), so TopKDot's row-order tie handling matches
+  // TopKAccumulator's id-order tie handling exactly and the whole scan
+  // stays inside the batched kernel.
   if (!parallel_ || n < 4096) {
+    if (ids_are_slots_) {
+      ptrdiff_t exclude_row = -1;
+      if (exclude_id >= 0) {
+        auto it = slot_.find(exclude_id);
+        if (it != slot_.end()) exclude_row = it->second;
+      }
+      std::vector<std::pair<int, float>> top;
+      simd::TopKDot(q, data_.data(), n, dim_, k, exclude_row, &top);
+      std::vector<Neighbor> out;
+      out.reserve(top.size());
+      for (const auto& [row, score] : top) out.push_back({row, score});
+      return out;
+    }
     TopKAccumulator acc(k);
-    scan(0, n, &acc);
+    ScanRange(q, 0, n, exclude_id, &acc);
     return acc.Take();
   }
 
@@ -71,12 +74,29 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
   TopKAccumulator merged(k);
   ParallelForBlocked(0, n, [&](size_t lo, size_t hi) {
     TopKAccumulator local(k);
-    scan(lo, hi, &local);
+    ScanRange(q, lo, hi, exclude_id, &local);
     std::vector<Neighbor> part = local.Take();
     std::lock_guard<std::mutex> lock(mu);
     for (const Neighbor& nb : part) merged.Offer(nb.id, nb.score);
   });
   return merged.Take();
+}
+
+void BruteForceIndex::ScanRange(const float* q, size_t lo, size_t hi,
+                                int exclude_id, TopKAccumulator* acc) const {
+  // Score a block of rows at a time through the batched kernel, then offer
+  // sequentially — identical offer order (and therefore identical tie
+  // handling) to the old one-dot-per-row loop.
+  constexpr size_t kBlock = 256;
+  float scores[kBlock];
+  for (size_t s = lo; s < hi; s += kBlock) {
+    const size_t len = std::min(kBlock, hi - s);
+    simd::DotBatch(q, data_.data() + s * dim_, len, dim_, scores);
+    for (size_t j = 0; j < len; ++j) {
+      if (ids_[s + j] == exclude_id) continue;
+      acc->Offer(ids_[s + j], scores[j]);
+    }
+  }
 }
 
 }  // namespace sccf::index

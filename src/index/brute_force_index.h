@@ -25,9 +25,15 @@ class BruteForceIndex : public VectorIndex {
   Metric metric() const override { return metric_; }
 
  private:
+  /// Scores rows [lo, hi) against q via simd::DotBatch and offers them to
+  /// the accumulator in slot order, skipping exclude_id.
+  void ScanRange(const float* q, size_t lo, size_t hi, int exclude_id,
+                 TopKAccumulator* acc) const;
+
   size_t dim_ = 0;
   Metric metric_;
   bool parallel_ = false;
+  bool ids_are_slots_ = true;            // every id equals its slot so far
   std::vector<float> data_;              // slot-major, normalised if cosine
   std::vector<int> ids_;                 // slot -> external id
   std::unordered_map<int, size_t> slot_;  // external id -> slot

@@ -4,20 +4,10 @@
 #include <cmath>
 #include <queue>
 
-#include "tensor/tensor.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace sccf::index {
-
-namespace {
-void NormalizeInPlace(float* v, size_t d) {
-  const float norm = tensor_ops::Norm(v, d);
-  if (norm > 0.0f) {
-    const float inv = 1.0f / norm;
-    for (size_t i = 0; i < d; ++i) v[i] *= inv;
-  }
-}
-}  // namespace
 
 HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
     : dim_(dim), metric_(metric), options_(options), rng_(options.seed) {
@@ -25,7 +15,7 @@ HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
 }
 
 float HnswIndex::Similarity(const float* a, const float* b) const {
-  return tensor_ops::Dot(a, b, dim_);
+  return simd::Dot(a, b, dim_);
 }
 
 int HnswIndex::RandomLevel() {
@@ -130,7 +120,9 @@ Status HnswIndex::Add(int id, const float* vec) {
   node.external_id = id;
   node.level = RandomLevel();
   node.vec.assign(vec, vec + dim_);
-  if (metric_ == Metric::kCosine) NormalizeInPlace(node.vec.data(), dim_);
+  if (metric_ == Metric::kCosine) {
+    simd::NormalizeInPlace(node.vec.data(), dim_);
+  }
   node.neighbors.resize(node.level + 1);
 
   const int internal = static_cast<int>(nodes_.size());
@@ -181,7 +173,7 @@ StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
   if (entry_point_ < 0) return std::vector<Neighbor>{};
 
   std::vector<float> qbuf(query, query + dim_);
-  if (metric_ == Metric::kCosine) NormalizeInPlace(qbuf.data(), dim_);
+  if (metric_ == Metric::kCosine) simd::NormalizeInPlace(qbuf.data(), dim_);
   const float* q = qbuf.data();
 
   int cur = entry_point_;

@@ -3,29 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
-#include "tensor/tensor.h"
+#include "simd/kernels.h"
 #include "util/logging.h"
 
 namespace sccf::index {
-
-namespace {
-void NormalizeInPlace(float* v, size_t d) {
-  const float norm = tensor_ops::Norm(v, d);
-  if (norm > 0.0f) {
-    const float inv = 1.0f / norm;
-    for (size_t i = 0; i < d; ++i) v[i] *= inv;
-  }
-}
-
-float SquaredL2(const float* a, const float* b, size_t d) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < d; ++i) {
-    const float t = a[i] - b[i];
-    acc += t * t;
-  }
-  return acc;
-}
-}  // namespace
 
 IvfFlatIndex::IvfFlatIndex(size_t dim, Metric metric, Options options)
     : dim_(dim), metric_(metric), options_(options) {
@@ -44,7 +25,9 @@ Status IvfFlatIndex::Train(const std::vector<float>& vectors, size_t n) {
   // Work on a normalised copy for cosine so centroids live in query space.
   std::vector<float> train = vectors;
   if (metric_ == Metric::kCosine) {
-    for (size_t i = 0; i < n; ++i) NormalizeInPlace(&train[i * dim_], dim_);
+    for (size_t i = 0; i < n; ++i) {
+      simd::NormalizeInPlace(&train[i * dim_], dim_);
+    }
   }
 
   // k-means++ style seeding (random distinct picks) then Lloyd iterations.
@@ -72,8 +55,7 @@ Status IvfFlatIndex::Train(const std::vector<float>& vectors, size_t n) {
     std::vector<float> sums(nlist * dim_, 0.0f);
     for (size_t i = 0; i < n; ++i) {
       ++count[assign[i]];
-      tensor_ops::Axpy(1.0f, &train[i * dim_], &sums[assign[i] * dim_],
-                       dim_);
+      simd::Axpy(1.0f, &train[i * dim_], &sums[assign[i] * dim_], dim_);
     }
     for (size_t c = 0; c < nlist; ++c) {
       if (count[c] == 0) {
@@ -100,9 +82,9 @@ Status IvfFlatIndex::Train(const std::vector<float>& vectors, size_t n) {
 
 size_t IvfFlatIndex::NearestCentroid(const float* vec) const {
   size_t best = 0;
-  float best_d = SquaredL2(vec, &centroids_[0], dim_);
+  float best_d = simd::SquaredL2(vec, &centroids_[0], dim_);
   for (size_t c = 1; c < options_.nlist; ++c) {
-    const float d = SquaredL2(vec, &centroids_[c * dim_], dim_);
+    const float d = simd::SquaredL2(vec, &centroids_[c * dim_], dim_);
     if (d < best_d) {
       best_d = d;
       best = c;
@@ -118,7 +100,7 @@ Status IvfFlatIndex::Add(int id, const float* vec) {
   if (id < 0) return Status::InvalidArgument("id must be non-negative");
 
   std::vector<float> v(vec, vec + dim_);
-  if (metric_ == Metric::kCosine) NormalizeInPlace(v.data(), dim_);
+  if (metric_ == Metric::kCosine) simd::NormalizeInPlace(v.data(), dim_);
 
   auto it = assignment_.find(id);
   if (it != assignment_.end()) {
@@ -148,14 +130,14 @@ StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
   if (k == 0) return Status::InvalidArgument("k must be positive");
 
   std::vector<float> qbuf(query, query + dim_);
-  if (metric_ == Metric::kCosine) NormalizeInPlace(qbuf.data(), dim_);
+  if (metric_ == Metric::kCosine) simd::NormalizeInPlace(qbuf.data(), dim_);
   const float* q = qbuf.data();
 
   // Rank centroids by distance and scan the nprobe closest lists.
   const size_t nlist = options_.nlist;
   std::vector<std::pair<float, size_t>> order(nlist);
   for (size_t c = 0; c < nlist; ++c) {
-    order[c] = {SquaredL2(q, &centroids_[c * dim_], dim_), c};
+    order[c] = {simd::SquaredL2(q, &centroids_[c * dim_], dim_), c};
   }
   const size_t nprobe = std::min(options_.nprobe, nlist);
   std::partial_sort(order.begin(), order.begin() + nprobe, order.end());
@@ -164,7 +146,7 @@ StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
   for (size_t p = 0; p < nprobe; ++p) {
     for (const Posting& posting : lists_[order[p].second]) {
       if (posting.id == exclude_id) continue;
-      acc.Offer(posting.id, tensor_ops::Dot(q, posting.vec.data(), dim_));
+      acc.Offer(posting.id, simd::Dot(q, posting.vec.data(), dim_));
     }
   }
   return acc.Take();

@@ -1,19 +1,39 @@
 #include "models/recommender.h"
 
-#include "tensor/tensor.h"
+#include "simd/kernels.h"
 
 namespace sccf::models {
 
 void InductiveUiModel::ScoreAll(size_t /*u*/, std::span<const int> history,
                                 std::vector<float>* scores) const {
   const size_t d = embedding_dim();
-  const size_t m = num_items();
   std::vector<float> mu(d, 0.0f);
   InferUserEmbedding(history, mu.data());
-  scores->resize(m);
+  scores->resize(num_items());
+  ScoreItems(mu.data(), scores->data());
+}
+
+void InductiveUiModel::ScoreItems(const float* user_emb, float* out) const {
+  const size_t d = embedding_dim();
+  const size_t m = num_items();
+  if (m == 0) return;
+  // Most models store item embeddings as one row-major tensor, but the
+  // interface only promises per-item pointers — probe before batching.
+  // The probe is m pointer compares against m length-d dot products.
+  const float* base = ItemEmbedding(0);
+  bool contiguous = true;
+  for (size_t i = 1; i < m; ++i) {
+    if (ItemEmbedding(static_cast<int>(i)) != base + i * d) {
+      contiguous = false;
+      break;
+    }
+  }
+  if (contiguous) {
+    simd::DotBatch(user_emb, base, m, d, out);
+    return;
+  }
   for (size_t i = 0; i < m; ++i) {
-    (*scores)[i] =
-        tensor_ops::Dot(mu.data(), ItemEmbedding(static_cast<int>(i)), d);
+    out[i] = simd::Dot(user_emb, ItemEmbedding(static_cast<int>(i)), d);
   }
 }
 

@@ -53,6 +53,13 @@ class InductiveUiModel : public Recommender {
   void ScoreAll(size_t u, std::span<const int> history,
                 std::vector<float>* scores) const override;
 
+  /// Fills out[i] = user_emb . q_i for all num_items() items. When the
+  /// item embedding table is one contiguous row-major block (probed at
+  /// runtime), the scan runs through the batched SIMD kernel; otherwise it
+  /// falls back to per-item dispatched dots. `out` must hold num_items()
+  /// floats.
+  void ScoreItems(const float* user_emb, float* out) const;
+
   /// Number of items known to the model.
   virtual size_t num_items() const = 0;
 };

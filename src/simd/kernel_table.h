@@ -1,0 +1,53 @@
+#ifndef SCCF_SIMD_KERNEL_TABLE_H_
+#define SCCF_SIMD_KERNEL_TABLE_H_
+
+#include <cstddef>
+
+namespace sccf::simd::internal {
+
+/// Function-pointer table for one SIMD variant. The dispatcher in
+/// kernels.cc resolves exactly one table at startup (or on SCCF_SIMD /
+/// ForceVariant override) and every public kernel routes through it.
+///
+/// Only the primitives that differ per ISA live here; derived kernels
+/// (Cosine, Norm, NormalizeCopy/InPlace, TopKDot) are built on top of
+/// these in kernels.cc so policy — e.g. the zero-norm guard — has exactly
+/// one definition regardless of variant.
+struct KernelTable {
+  /// Inner product of two length-n arrays.
+  float (*dot)(const float* a, const float* b, size_t n);
+  /// sum_i (a[i] - b[i])^2.
+  float (*squared_l2)(const float* a, const float* b, size_t n);
+  /// y += alpha * x, length n.
+  void (*axpy)(float alpha, const float* x, float* y, size_t n);
+  /// out[r] = dot(q, base + r*dim) for r in [0, count). Rows are
+  /// register-blocked so the query vector is loaded once per block.
+  void (*dot_batch)(const float* q, const float* base, size_t count,
+                    size_t dim, float* out);
+  /// dst[idx[i]] += v for i in [0, n). Pre: idx values are unique within
+  /// one call (the AVX-512 gather/add/scatter path loses increments on
+  /// duplicates inside a 16-lane batch).
+  void (*scatter_add_constant)(float* dst, const int* idx, size_t n,
+                               float v);
+};
+
+/// Always available; the reference implementation every variant must match.
+const KernelTable* ScalarTable();
+/// Return the variant's table, or nullptr when the compiler could not
+/// target the ISA (table presence says nothing about the running CPU —
+/// the dispatcher checks CPUID separately).
+const KernelTable* Avx2Table();
+const KernelTable* Avx512Table();
+
+/// Scalar building blocks reused by variant tables for ops an ISA does not
+/// accelerate (e.g. AVX2 has gathers but no scatters).
+float DotScalar(const float* a, const float* b, size_t n);
+float SquaredL2Scalar(const float* a, const float* b, size_t n);
+void AxpyScalar(float alpha, const float* x, float* y, size_t n);
+void DotBatchScalar(const float* q, const float* base, size_t count,
+                    size_t dim, float* out);
+void ScatterAddConstantScalar(float* dst, const int* idx, size_t n, float v);
+
+}  // namespace sccf::simd::internal
+
+#endif  // SCCF_SIMD_KERNEL_TABLE_H_

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "simd/kernels.h"
+
 namespace sccf {
 
 namespace {
@@ -104,33 +106,22 @@ bool Tensor::AllClose(const Tensor& other, float atol) const {
 
 namespace tensor_ops {
 
+// The BLAS-1 primitives forward to the runtime-dispatched SIMD layer
+// (src/simd/kernels.h); the scalar variant there is bit-identical to the
+// loops that used to live here.
+
 float Dot(const float* a, const float* b, size_t n) {
-  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-  size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += a[i] * b[i];
-    acc1 += a[i + 1] * b[i + 1];
-    acc2 += a[i + 2] * b[i + 2];
-    acc3 += a[i + 3] * b[i + 3];
-  }
-  float acc = acc0 + acc1 + acc2 + acc3;
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return simd::Dot(a, b, n);
 }
 
 void Axpy(float alpha, const float* x, float* y, size_t n) {
-  for (size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  simd::Axpy(alpha, x, y, n);
 }
 
-float Norm(const float* a, size_t n) {
-  return std::sqrt(std::max(0.0f, Dot(a, a, n)));
-}
+float Norm(const float* a, size_t n) { return simd::Norm(a, n); }
 
 float Cosine(const float* a, const float* b, size_t n) {
-  float na = Norm(a, n);
-  float nb = Norm(b, n);
-  if (na == 0.0f || nb == 0.0f) return 0.0f;
-  return Dot(a, b, n) / (na * nb);
+  return simd::Cosine(a, b, n);
 }
 
 void SoftmaxInPlace(float* x, size_t n) {

@@ -98,7 +98,10 @@ void Gemm(const Tensor& a, bool trans_a, const Tensor& b, bool trans_b,
 /// y = A @ x (A: m x n, x: n, y: m).
 void Gemv(const Tensor& a, const float* x, float* y);
 
-/// Dot product of two length-n float arrays.
+/// Dot product of two length-n float arrays. Forwards to the
+/// runtime-dispatched SIMD kernels layer (simd/kernels.h), as do Axpy,
+/// Norm, and Cosine below; batch-oriented callers should use
+/// simd::DotBatch / simd::TopKDot directly.
 float Dot(const float* a, const float* b, size_t n);
 
 /// y += alpha * x for length-n arrays.

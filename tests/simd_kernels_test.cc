@@ -1,0 +1,246 @@
+// Parity and dispatch tests for the runtime-dispatched SIMD kernels
+// (src/simd). Every variant the build+CPU supports must match the scalar
+// reference within 1e-5 across odd/even/remainder lengths, the zero-norm
+// cosine guard must hold for every variant, and the SCCF_SIMD override
+// must actually steer dispatch.
+
+#include "simd/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sccf::simd {
+namespace {
+
+std::vector<Variant> SupportedVariants() {
+  std::vector<Variant> out;
+  for (Variant v : {Variant::kScalar, Variant::kAvx2, Variant::kAvx512}) {
+    if (VariantSupported(v)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<float> RandomVector(Rng& rng, size_t n) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = 2.0f * rng.UniformFloat() - 1.0f;
+  return v;
+}
+
+// |got - want| <= 1e-5, relaxed to relative 1e-5 for magnitudes above 1
+// (a length-257 dot product legitimately accumulates ~1e-5 of
+// reassociation noise in float32).
+void ExpectWithin(float got, float want, const char* what, size_t n,
+                  Variant v) {
+  const float tol = 1e-5f * std::max(1.0f, std::fabs(want));
+  EXPECT_NEAR(got, want, tol) << what << " n=" << n << " variant="
+                              << VariantName(v);
+}
+
+// Restores the pre-test dispatch state however a test mutates it.
+class SimdKernelsTest : public testing::Test {
+ protected:
+  void SetUp() override { before_ = ActiveVariant(); }
+  void TearDown() override {
+    unsetenv("SCCF_SIMD");
+    ASSERT_TRUE(ForceVariant(before_).ok());
+  }
+  Variant before_;
+};
+
+TEST_F(SimdKernelsTest, ScalarIsAlwaysSupported) {
+  EXPECT_TRUE(VariantSupported(Variant::kScalar));
+  EXPECT_TRUE(ForceVariant(Variant::kScalar).ok());
+  EXPECT_EQ(ActiveVariant(), Variant::kScalar);
+}
+
+// Lengths 1..257 cover: sub-width vectors, every remainder class of the
+// 8/16/32-wide loops, and the 256->257 boundary that exercises both the
+// unrolled body and a 1-element tail.
+TEST_F(SimdKernelsTest, AllVariantsMatchScalarReference) {
+  Rng rng(2024);
+  for (size_t n = 1; n <= 257; ++n) {
+    const std::vector<float> a = RandomVector(rng, n);
+    const std::vector<float> b = RandomVector(rng, n);
+
+    ASSERT_TRUE(ForceVariant(Variant::kScalar).ok());
+    const float dot_ref = Dot(a.data(), b.data(), n);
+    const float l2_ref = SquaredL2(a.data(), b.data(), n);
+    const float cos_ref = Cosine(a.data(), b.data(), n);
+    const float norm_ref = Norm(a.data(), n);
+    std::vector<float> axpy_ref = b;
+    Axpy(0.75f, a.data(), axpy_ref.data(), n);
+
+    for (Variant v : SupportedVariants()) {
+      if (v == Variant::kScalar) continue;
+      ASSERT_TRUE(ForceVariant(v).ok());
+      ExpectWithin(Dot(a.data(), b.data(), n), dot_ref, "Dot", n, v);
+      ExpectWithin(SquaredL2(a.data(), b.data(), n), l2_ref, "SquaredL2",
+                   n, v);
+      ExpectWithin(Cosine(a.data(), b.data(), n), cos_ref, "Cosine", n, v);
+      ExpectWithin(Norm(a.data(), n), norm_ref, "Norm", n, v);
+      std::vector<float> y = b;
+      Axpy(0.75f, a.data(), y.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(y[i], axpy_ref[i], 1e-5f)
+            << "Axpy n=" << n << " i=" << i << " " << VariantName(v);
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, DotBatchMatchesPerRowDot) {
+  Rng rng(7);
+  // 37 rows: exercises the 4-row blocking plus a 1-row tail.
+  const size_t count = 37;
+  for (size_t dim : {1u, 3u, 16u, 64u, 100u, 128u, 257u}) {
+    const std::vector<float> q = RandomVector(rng, dim);
+    const std::vector<float> base = RandomVector(rng, count * dim);
+    for (Variant v : SupportedVariants()) {
+      ASSERT_TRUE(ForceVariant(v).ok());
+      std::vector<float> out(count, 0.0f);
+      DotBatch(q.data(), base.data(), count, dim, out.data());
+      for (size_t r = 0; r < count; ++r) {
+        const float want = Dot(q.data(), base.data() + r * dim, dim);
+        ExpectWithin(out[r], want, "DotBatch", dim, v);
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, TopKDotMatchesOfferLoopAndHandlesTies) {
+  Rng rng(11);
+  const size_t count = 300, dim = 24, k = 10;
+  std::vector<float> base = RandomVector(rng, count * dim);
+  // Force exact score ties: rows 50 and 51 identical, rows 100/101/102
+  // identical.
+  std::copy_n(base.begin() + 50 * dim, dim, base.begin() + 51 * dim);
+  std::copy_n(base.begin() + 100 * dim, dim, base.begin() + 101 * dim);
+  std::copy_n(base.begin() + 100 * dim, dim, base.begin() + 102 * dim);
+  const std::vector<float> q = RandomVector(rng, dim);
+
+  for (Variant v : SupportedVariants()) {
+    ASSERT_TRUE(ForceVariant(v).ok());
+    for (ptrdiff_t exclude : {-1, 50, 299}) {
+      // Reference: the same variant's scores through a plain offer loop
+      // with TopKAccumulator-identical semantics.
+      std::vector<float> scores(count);
+      DotBatch(q.data(), base.data(), count, dim, scores.data());
+      std::vector<std::pair<int, float>> want;
+      for (size_t r = 0; r < count; ++r) {
+        if (static_cast<ptrdiff_t>(r) == exclude) continue;
+        want.emplace_back(static_cast<int>(r), scores[r]);
+      }
+      std::stable_sort(want.begin(), want.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.second != b.second) return a.second > b.second;
+                         return a.first < b.first;
+                       });
+      want.resize(std::min(want.size(), k));
+
+      std::vector<std::pair<int, float>> got;
+      TopKDot(q.data(), base.data(), count, dim, k, exclude, &got);
+      ASSERT_EQ(got.size(), want.size())
+          << VariantName(v) << " exclude=" << exclude;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].first, want[i].first)
+            << VariantName(v) << " exclude=" << exclude << " rank=" << i;
+        EXPECT_EQ(got[i].second, want[i].second)
+            << VariantName(v) << " exclude=" << exclude << " rank=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, ScatterAddConstantMatchesScalarLoop) {
+  Rng rng(13);
+  const size_t size = 500;
+  for (size_t n : {1u, 15u, 16u, 17u, 48u, 100u}) {
+    // Unique indices (the documented precondition): a shuffled id range.
+    std::vector<int> ids(size);
+    for (size_t i = 0; i < size; ++i) ids[i] = static_cast<int>(i);
+    rng.Shuffle(ids);
+    ids.resize(n);
+
+    std::vector<float> want(size, 0.5f);
+    for (int id : ids) want[id] += 1.25f;
+
+    for (Variant v : SupportedVariants()) {
+      ASSERT_TRUE(ForceVariant(v).ok());
+      std::vector<float> dst(size, 0.5f);
+      ScatterAddConstant(dst.data(), ids.data(), n, 1.25f);
+      for (size_t i = 0; i < size; ++i) {
+        ASSERT_EQ(dst[i], want[i])
+            << "ScatterAdd n=" << n << " i=" << i << " " << VariantName(v);
+      }
+    }
+  }
+}
+
+// The zero-norm policy has exactly one definition (the satellite fix):
+// every variant must agree that zero vectors produce 0 cosine and that
+// normalization leaves/writes zeros instead of NaN.
+TEST_F(SimdKernelsTest, ZeroNormGuardIsCentralized) {
+  const std::vector<float> zeros(33, 0.0f);
+  std::vector<float> x(33, 0.0f);
+  for (size_t i = 0; i < x.size(); ++i) x[i] = 0.1f * (i + 1);
+
+  for (Variant v : SupportedVariants()) {
+    ASSERT_TRUE(ForceVariant(v).ok());
+    EXPECT_EQ(Cosine(zeros.data(), x.data(), x.size()), 0.0f);
+    EXPECT_EQ(Cosine(x.data(), zeros.data(), x.size()), 0.0f);
+    EXPECT_EQ(Cosine(zeros.data(), zeros.data(), x.size()), 0.0f);
+
+    std::vector<float> out(x.size(), 42.0f);
+    NormalizeCopy(zeros.data(), out.data(), x.size());
+    for (float o : out) EXPECT_EQ(o, 0.0f) << VariantName(v);
+
+    std::vector<float> z = zeros;
+    NormalizeInPlace(z.data(), z.size());
+    for (float o : z) EXPECT_EQ(o, 0.0f) << VariantName(v);
+
+    std::vector<float> unit = x;
+    NormalizeInPlace(unit.data(), unit.size());
+    EXPECT_NEAR(Norm(unit.data(), unit.size()), 1.0f, 1e-5f)
+        << VariantName(v);
+  }
+}
+
+TEST_F(SimdKernelsTest, EnvOverrideForcesEachSupportedVariant) {
+  for (Variant v : SupportedVariants()) {
+    ASSERT_EQ(setenv("SCCF_SIMD", VariantName(v), 1), 0);
+    ResetVariantFromEnv();
+    EXPECT_EQ(ActiveVariant(), v) << "SCCF_SIMD=" << VariantName(v);
+  }
+}
+
+TEST_F(SimdKernelsTest, EnvOverrideFallsBackOnBadValues) {
+  // Auto-dispatch baseline: no override set.
+  unsetenv("SCCF_SIMD");
+  ResetVariantFromEnv();
+  const Variant best = ActiveVariant();
+
+  ASSERT_EQ(setenv("SCCF_SIMD", "sse9000", 1), 0);
+  ResetVariantFromEnv();
+  EXPECT_EQ(ActiveVariant(), best) << "unknown value must fall back";
+
+  ASSERT_EQ(setenv("SCCF_SIMD", "", 1), 0);
+  ResetVariantFromEnv();
+  EXPECT_EQ(ActiveVariant(), best) << "empty value must fall back";
+}
+
+TEST_F(SimdKernelsTest, ForceVariantRejectsUnsupported) {
+  for (Variant v : {Variant::kAvx2, Variant::kAvx512}) {
+    if (VariantSupported(v)) continue;
+    const Status s = ForceVariant(v);
+    EXPECT_FALSE(s.ok()) << VariantName(v);
+    EXPECT_EQ(ActiveVariant(), before_) << "failed force must not switch";
+  }
+}
+
+}  // namespace
+}  // namespace sccf::simd
