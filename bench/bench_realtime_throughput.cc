@@ -1,0 +1,269 @@
+// Concurrent-ingest throughput of the sharded RealTimeService: T producer
+// threads stream interactions through OnInteraction; we report updates/sec
+// plus p50/p99 per-interaction latency at each thread count. This is the
+// scaling companion to table3_realtime (which measures single-stream
+// latency): the sharded service's claim is that ingest scales with cores
+// because each OnInteraction takes only its user's shard write lock.
+//
+// Self-timed, no Google Benchmark dependency. Flags:
+//   --threads=1,2,4,8    thread counts to sweep
+//   --interactions=N     interactions per sweep point (default 10000)
+//   --users=N --items=N  corpus size (default 2000 x 1500)
+//   --dim=N              embedding dim (default 32)
+//   --shards=N           0 = hardware concurrency (the service default)
+//   --json=PATH          write a machine-readable report (BENCH_realtime.json)
+//   --quick              small workload for CI smoke
+//
+// Methodology notes (also in docs/PERFORMANCE.md): the model is an
+// untrained FISM — inference cost is identical to a converged model and
+// latency does not depend on weight values. Users are drawn round-robin
+// from the full population so every shard sees traffic; each thread owns a
+// contiguous chunk of one pre-generated interaction stream. Wall-clock
+// spans from a common start signal to the last thread finishing;
+// updates/sec = interactions / wall. Latencies are per-OnInteraction,
+// merged across threads for the percentiles.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/realtime.h"
+#include "models/fism.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sccf;
+
+struct Config {
+  std::vector<int> threads = {1, 2, 4, 8};
+  size_t interactions = 10000;
+  size_t users = 2000;
+  size_t items = 1500;
+  size_t dim = 32;
+  size_t shards = 0;  // 0 = hardware concurrency
+  std::string json_path;
+};
+
+struct SweepPoint {
+  int threads = 0;
+  double updates_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+};
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[idx];
+}
+
+SweepPoint RunSweepPoint(const models::Fism& model,
+                         const data::LeaveOneOutSplit& split,
+                         const Config& cfg, int num_threads) {
+  core::RealTimeService::Options opts;
+  opts.beta = 100;
+  opts.num_shards = cfg.shards;
+  opts.index_kind = core::IndexKind::kBruteForce;
+  core::RealTimeService service(model, opts);
+  SCCF_CHECK(service.BootstrapFromSplit(split).ok());
+
+  // One pre-generated stream, chunked contiguously per thread.
+  std::vector<std::pair<int, int>> stream(cfg.interactions);
+  for (size_t i = 0; i < cfg.interactions; ++i) {
+    stream[i] = {static_cast<int>((i * 2654435761u) % cfg.users),
+                 static_cast<int>((i * 40503u) % cfg.items)};
+  }
+
+  std::vector<std::vector<double>> latencies(num_threads);
+  std::atomic<bool> start{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  const size_t chunk = (cfg.interactions + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const size_t lo = t * chunk;
+    const size_t hi = std::min(cfg.interactions, lo + chunk);
+    latencies[t].reserve(hi > lo ? hi - lo : 0);
+    workers.emplace_back([&, t, lo, hi] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      for (size_t i = lo; i < hi; ++i) {
+        Stopwatch clock;
+        auto timing = service.OnInteraction(stream[i].first,
+                                            stream[i].second);
+        latencies[t].push_back(clock.ElapsedMillis());
+        if (!timing.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+
+  Stopwatch wall;
+  start.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double wall_s = wall.ElapsedSeconds();
+  SCCF_CHECK(failures.load() == 0) << failures.load() << " failed updates";
+
+  std::vector<double> all;
+  all.reserve(cfg.interactions);
+  for (auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+
+  SweepPoint point;
+  point.threads = num_threads;
+  point.updates_per_sec =
+      wall_s > 0.0 ? static_cast<double>(cfg.interactions) / wall_s : 0.0;
+  point.p50_ms = Percentile(all, 0.50);
+  point.p99_ms = Percentile(all, 0.99);
+  double sum = 0.0;
+  for (double ms : all) sum += ms;
+  point.mean_ms = all.empty() ? 0.0 : sum / static_cast<double>(all.size());
+  return point;
+}
+
+void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
+               double speedup_4t) {
+  std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+  SCCF_CHECK(f != nullptr) << "cannot open " << cfg.json_path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_realtime_throughput\",\n");
+  std::fprintf(f, "  \"host\": { \"hardware_concurrency\": %u },\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"config\": { \"interactions\": %zu, \"users\": %zu, "
+               "\"items\": %zu, \"dim\": %zu, \"shards\": %zu, "
+               "\"index\": \"brute_force\", \"beta\": 100 },\n",
+               cfg.interactions, cfg.users, cfg.items, cfg.dim, cfg.shards);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(f,
+                 "    { \"threads\": %d, \"updates_per_sec\": %.1f, "
+                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f }%s\n",
+                 p.threads, p.updates_per_sec, p.p50_ms, p.p99_ms, p.mean_ms,
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f\n", speedup_4t);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", cfg.json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--threads=", 0) == 0) {
+      cfg.threads.clear();
+      for (const std::string& part : Split(val("--threads="), ',')) {
+        int64_t t = 0;
+        SCCF_CHECK(ParseInt64(part, &t) && t >= 1) << "bad --threads";
+        cfg.threads.push_back(static_cast<int>(t));
+      }
+    } else if (arg.rfind("--interactions=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--interactions="), &v) && v > 0);
+      cfg.interactions = static_cast<size_t>(v);
+    } else if (arg.rfind("--users=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--users="), &v) && v > 0);
+      cfg.users = static_cast<size_t>(v);
+    } else if (arg.rfind("--items=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--items="), &v) && v > 0);
+      cfg.items = static_cast<size_t>(v);
+    } else if (arg.rfind("--dim=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--dim="), &v) && v > 0);
+      cfg.dim = static_cast<size_t>(v);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--shards="), &v) && v >= 0);
+      cfg.shards = static_cast<size_t>(v);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cfg.json_path = val("--json=");
+    } else if (arg == "--quick") {
+      cfg.interactions = 2000;
+      cfg.users = 600;
+      cfg.items = 800;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "Real-time ingest throughput — sharded RealTimeService",
+      "T producer threads x concurrent OnInteraction; updates/sec and "
+      "p50/p99 latency per thread count");
+  std::printf("host hardware_concurrency=%u  corpus %zu users x %zu items, "
+              "dim %zu, shards=%zu (0 = hw)\n\n",
+              std::thread::hardware_concurrency(), cfg.users, cfg.items,
+              cfg.dim, cfg.shards);
+
+  data::SyntheticConfig syn;
+  syn.name = "rt-throughput";
+  syn.num_users = cfg.users;
+  syn.num_items = cfg.items;
+  syn.num_clusters = 20;
+  syn.min_actions = 10;
+  syn.max_actions = 30;
+  syn.seed = 97;
+  data::Dataset dataset = bench::BuildDataset(syn);
+  data::LeaveOneOutSplit split(dataset);
+  // BuildDataset 5-core-filters, so the live corpus can be smaller than
+  // the flags; the stream must draw from the post-filter id spaces.
+  cfg.users = split.num_users();
+  cfg.items = dataset.num_items();
+
+  // Untrained FISM: identical inference cost to a converged model.
+  models::Fism::Options fopts;
+  fopts.dim = cfg.dim;
+  fopts.epochs = 0;
+  models::Fism fism(fopts);
+  SCCF_CHECK(fism.Fit(split).ok());
+
+  std::vector<SweepPoint> points;
+  TablePrinter table({"threads", "updates/sec", "p50 (ms)", "p99 (ms)",
+                      "mean (ms)"});
+  for (int t : cfg.threads) {
+    const SweepPoint p = RunSweepPoint(fism, split, cfg, t);
+    points.push_back(p);
+    table.AddRow({std::to_string(p.threads),
+                  FormatFloat(p.updates_per_sec, 1),
+                  FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
+                  FormatFloat(p.mean_ms, 4)});
+  }
+  table.Print();
+
+  double ups1 = 0.0, ups4 = 0.0;
+  for (const SweepPoint& p : points) {
+    if (p.threads == 1) ups1 = p.updates_per_sec;
+    if (p.threads == 4) ups4 = p.updates_per_sec;
+  }
+  const double speedup = ups1 > 0.0 ? ups4 / ups1 : 0.0;
+  if (ups1 > 0.0 && ups4 > 0.0) {
+    std::printf("\nspeedup 4 threads vs 1: %.2fx (host has %u hardware "
+                "threads)\n",
+                speedup, std::thread::hardware_concurrency());
+  }
+  if (!cfg.json_path.empty()) WriteJson(cfg, points, speedup);
+  return 0;
+}

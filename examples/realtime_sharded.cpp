@@ -1,0 +1,140 @@
+// Sharded real-time serving demo: concurrent ingest from multiple
+// producer threads.
+//
+// The RealTimeService hash-partitions users across shards, each with its
+// own vector index and shared_mutex, so OnInteraction calls for users in
+// different shards run in parallel. Four producer threads stream
+// interactions below; afterwards we print the Table III-style latency
+// breakdown (infer / index / identify) aggregated *per shard*, plus each
+// shard's population — the per-shard view of the paper's headline
+// "milliseconds per interaction" claim.
+//
+// Run: ./build/release/examples/realtime_sharded
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/realtime.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/fism.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+int main() {
+  using namespace sccf;
+
+  data::SyntheticConfig cfg;
+  cfg.name = "sharded";
+  cfg.num_users = 600;
+  cfg.num_items = 800;
+  cfg.num_clusters = 12;
+  cfg.min_actions = 12;
+  cfg.max_actions = 40;
+  data::SyntheticGenerator gen(cfg);
+  auto ds = gen.Generate();
+  if (!ds.ok()) return 1;
+  data::Dataset dataset = std::move(ds).value();
+  data::LeaveOneOutSplit split(dataset);
+
+  models::Fism::Options fism_opts;
+  fism_opts.dim = 32;
+  fism_opts.epochs = 4;
+  models::Fism fism(fism_opts);
+  if (!fism.Fit(split).ok()) return 1;
+
+  constexpr int kProducers = 4;
+
+  core::RealTimeService::Options rt_opts;
+  rt_opts.beta = 20;
+  rt_opts.num_shards = 4;  // explicit so the demo shards on any host
+  core::RealTimeService service(fism, rt_opts);
+  if (!service.BootstrapFromSplit(split).ok()) return 1;
+
+  const std::vector<size_t> sizes = service.ShardSizes();
+  std::printf("bootstrapped %zu users into %zu shards:", service.num_users(),
+              service.num_shards());
+  for (size_t s = 0; s < sizes.size(); ++s) {
+    std::printf(" shard%zu=%zu", s, sizes[s]);
+  }
+  std::printf("\n\n");
+
+  // Per-shard timing accumulators, one mutex per shard (contended only by
+  // producers that happen to hit the same shard back to back).
+  struct ShardTimings {
+    std::mutex mu;
+    LatencyStats infer, index, identify;
+    size_t interactions = 0;
+  };
+  std::vector<ShardTimings> per_shard(service.num_shards());
+  std::atomic<int> failures{0};
+
+  // Each producer owns the users {u : u % kProducers == t} and streams 8
+  // fresh interactions per user — the multi-threaded version of the
+  // realtime_stream demo's single loop.
+  Stopwatch wall;
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      const int num_users = static_cast<int>(split.num_users());
+      const int num_items = static_cast<int>(dataset.num_items());
+      for (int step = 0; step < 8; ++step) {
+        for (int u = t; u < num_users; u += kProducers) {
+          const int item = (u * 31 + step * 17) % num_items;
+          auto timing = service.OnInteraction(u, item);
+          if (!timing.ok()) {
+            failures.fetch_add(1);
+            continue;
+          }
+          ShardTimings& st = per_shard[service.ShardOf(u)];
+          std::lock_guard<std::mutex> lock(st.mu);
+          st.infer.Add(timing->infer_ms);
+          st.index.Add(timing->index_ms);
+          st.identify.Add(timing->identify_ms);
+          ++st.interactions;
+        }
+      }
+    });
+  }
+  for (auto& p : producers) p.join();
+  const double wall_s = wall.ElapsedSeconds();
+
+  if (failures.load() != 0) {
+    std::fprintf(stderr, "%d interactions failed\n", failures.load());
+    return 1;
+  }
+
+  size_t total = 0;
+  for (const auto& st : per_shard) total += st.interactions;
+  std::printf("%d producer threads streamed %zu interactions in %.2fs "
+              "(%.0f updates/sec)\n\n",
+              kProducers, total, wall_s, total / wall_s);
+
+  // Table III columns, per shard.
+  TablePrinter table({"shard", "users", "interactions", "infer (ms)",
+                      "index (ms)", "identify (ms)", "total (ms)"});
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    const auto& st = per_shard[s];
+    table.AddRow({std::to_string(s), std::to_string(sizes[s]),
+                  std::to_string(st.interactions),
+                  FormatFloat(st.infer.mean(), 3),
+                  FormatFloat(st.index.mean(), 3),
+                  FormatFloat(st.identify.mean(), 3),
+                  FormatFloat(st.infer.mean() + st.index.mean() +
+                                  st.identify.mean(),
+                              3)});
+  }
+  table.Print();
+
+  std::printf(
+      "\nEach interaction held only its own shard's write lock for the "
+      "infer+index step; the identify step fanned a top-%zu search out "
+      "across all %zu shards under read locks and k-way-merged the "
+      "results.\n",
+      static_cast<size_t>(rt_opts.beta), service.num_shards());
+  return 0;
+}

@@ -64,4 +64,48 @@ else
   echo "micro_kernels smoke: SKIPPED (Google Benchmark not found)"
 fi
 
+# Realtime ingest-throughput smoke (sharded RealTimeService, see
+# docs/PERFORMANCE.md): a quick 1-vs-4-thread sweep. On hosts with >= 4
+# hardware threads, gate on 4-thread updates/sec not dropping below
+# 1-thread updates/sec — a sanity check that shard locking actually lets
+# ingest run concurrently, not a tuned threshold. Hosts with fewer cores
+# cannot scale by construction, so they run the smoke but skip the gate.
+RT_BENCH=build/release/bench/bench_realtime_throughput
+RT_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+  "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}"' EXIT
+"${RT_BENCH}" --quick --threads=1,4 --json="${RT_JSON}" >/dev/null
+ups1="$(sed -n 's/.*"threads": 1, "updates_per_sec": \([0-9.]*\).*/\1/p' \
+  "${RT_JSON}")"
+ups4="$(sed -n 's/.*"threads": 4, "updates_per_sec": \([0-9.]*\).*/\1/p' \
+  "${RT_JSON}")"
+if [[ -z "${ups1}" || -z "${ups4}" ]]; then
+  echo "realtime throughput smoke: FAILED (no updates/sec in report)" >&2
+  exit 1
+elif [[ "$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null \
+           || echo 1)" -lt 4 ]]; then
+  echo "realtime throughput smoke: OK; scaling gate SKIPPED" \
+       "(host has < 4 cores; 1t=${ups1} 4t=${ups4} updates/sec)"
+elif awk -v a="${ups4}" -v b="${ups1}" 'BEGIN{exit !(a >= b)}'; then
+  echo "realtime throughput gate: OK (4t ${ups4} >= 1t ${ups1} updates/sec)"
+else
+  echo "realtime throughput gate: FAILED — 4-thread ingest (${ups4}/s)" \
+       "slower than 1-thread (${ups1}/s)" >&2
+  exit 1
+fi
+
+# Shard stress under ThreadSanitizer: the per-shard shared_mutex
+# discipline is only really exercised with race detection on. Skip
+# gracefully where the toolchain has no -fsanitize=thread.
+if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=thread -x c++ - \
+     -o /dev/null 2>/dev/null; then
+  cmake --preset tsan >/dev/null
+  cmake --build --preset tsan -j "${JOBS}" \
+    --target realtime_shard_stress_test
+  ./build/tsan/tests/realtime_shard_stress_test
+  echo "tsan shard stress: OK"
+else
+  echo "tsan shard stress: SKIPPED (-fsanitize=thread unavailable)"
+fi
+
 echo "ci.sh: all green"

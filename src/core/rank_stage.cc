@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/candidates.h"
+#include "core/topk_merge.h"
 #include "simd/kernels.h"
 #include "util/logging.h"
 
@@ -56,11 +57,7 @@ StatusOr<std::vector<index::Neighbor>> SccfRankStage::Rerank(
   for (size_t i = 0; i < candidates.size(); ++i) {
     out[i] = {candidates[i], ui[i] + options_.uu_weight * uu[i]};
   }
-  std::sort(out.begin(), out.end(),
-            [](const index::Neighbor& a, const index::Neighbor& b) {
-              if (a.score != b.score) return a.score > b.score;
-              return a.id < b.id;
-            });
+  SortNeighborsDescending(&out);
   return out;
 }
 

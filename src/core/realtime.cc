@@ -1,11 +1,33 @@
 #include "core/realtime.h"
 
 #include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
 
+#include "core/topk_merge.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace sccf::core {
+
+namespace {
+
+/// splitmix64 finalizer: a fixed, platform-independent user -> shard map
+/// (std::hash<int> is identity on libstdc++, which would turn "users 0..T
+/// round-robin" workloads into a single hot shard under modulo).
+size_t ShardIndex(int user, size_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(user));
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
+}
+
+}  // namespace
 
 RealTimeService::RealTimeService(const models::InductiveUiModel& model,
                                  Options options)
@@ -34,43 +56,87 @@ std::vector<int> RealTimeService::VoteItems(
   return votes;
 }
 
+std::unique_ptr<index::VectorIndex> RealTimeService::MakeShardIndex(
+    size_t shard_population) const {
+  const size_t d = model_->embedding_dim();
+  switch (options_.index_kind) {
+    case IndexKind::kBruteForce:
+      return std::make_unique<index::BruteForceIndex>(d, options_.metric);
+    case IndexKind::kIvfFlat: {
+      index::IvfFlatIndex::Options ivf = options_.ivf;
+      ivf.nlist = std::min(ivf.nlist, std::max<size_t>(1, shard_population));
+      return std::make_unique<index::IvfFlatIndex>(d, options_.metric, ivf);
+    }
+    case IndexKind::kHnsw:
+      return std::make_unique<index::HnswIndex>(d, options_.metric,
+                                                options_.hnsw);
+  }
+  return nullptr;  // unreachable
+}
+
+Status RealTimeService::BuildShard(
+    Shard* shard, const std::vector<const UserState*>& users) const {
+  const size_t d = model_->embedding_dim();
+  shard->index = MakeShardIndex(users.size());
+
+  std::vector<float> embeddings(users.size() * d, 0.0f);
+  for (size_t i = 0; i < users.size(); ++i) {
+    const UserState& s = *users[i];
+    if (!s.history.empty()) {
+      InferWindowEmbedding(s.history, embeddings.data() + i * d);
+      shard->vote_items[s.user] = VoteItems(s.history);
+    }
+    shard->histories[s.user] = s.history;
+  }
+  if (options_.index_kind == IndexKind::kIvfFlat) {
+    auto* ivf = static_cast<index::IvfFlatIndex*>(shard->index.get());
+    if (users.empty()) {
+      // Train a one-centroid quantizer on the origin so cold-start users
+      // landing in this shard can still be added and searched.
+      std::vector<float> zero(d, 0.0f);
+      SCCF_RETURN_NOT_OK(ivf->Train(zero, 1));
+    } else {
+      SCCF_RETURN_NOT_OK(ivf->Train(embeddings, users.size()));
+    }
+  }
+  for (size_t i = 0; i < users.size(); ++i) {
+    SCCF_RETURN_NOT_OK(
+        shard->index->Add(users[i]->user, embeddings.data() + i * d));
+  }
+  return Status::OK();
+}
+
 Status RealTimeService::Bootstrap(const std::vector<UserState>& users) {
   if (bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap may be called once");
   }
-  const size_t d = model_->embedding_dim();
-  switch (options_.index_kind) {
-    case IndexKind::kBruteForce:
-      index_ =
-          std::make_unique<index::BruteForceIndex>(d, options_.metric);
-      break;
-    case IndexKind::kIvfFlat:
-      index_ = std::make_unique<index::IvfFlatIndex>(d, options_.metric,
-                                                     options_.ivf);
-      break;
-    case IndexKind::kHnsw:
-      index_ = std::make_unique<index::HnswIndex>(d, options_.metric,
-                                                  options_.hnsw);
-      break;
+  for (const UserState& s : users) {
+    if (s.user < 0) return Status::InvalidArgument("negative user id");
   }
 
-  std::vector<float> embeddings(users.size() * d, 0.0f);
-  for (size_t i = 0; i < users.size(); ++i) {
-    const UserState& s = users[i];
-    if (s.user < 0) return Status::InvalidArgument("negative user id");
-    if (!s.history.empty()) {
-      InferWindowEmbedding(s.history, embeddings.data() + i * d);
-      vote_items_[s.user] = VoteItems(s.history);
-    }
-    histories_[s.user] = s.history;
+  size_t num_shards = options_.num_shards;
+  if (num_shards == 0) {
+    num_shards = std::max(1u, std::thread::hardware_concurrency());
   }
-  if (options_.index_kind == IndexKind::kIvfFlat) {
-    auto* ivf = static_cast<index::IvfFlatIndex*>(index_.get());
-    SCCF_RETURN_NOT_OK(ivf->Train(embeddings, users.size()));
+  shards_.clear();
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
   }
-  for (size_t i = 0; i < users.size(); ++i) {
-    SCCF_RETURN_NOT_OK(
-        index_->Add(users[i].user, embeddings.data() + i * d));
+
+  // Partition preserving input order, so per-shard insertion order (and
+  // therefore index state) is deterministic for a given input.
+  std::vector<std::vector<const UserState*>> partition(num_shards);
+  for (const UserState& s : users) {
+    partition[ShardIndex(s.user, num_shards)].push_back(&s);
+  }
+
+  std::vector<Status> shard_status(num_shards);
+  ParallelFor(0, num_shards, [&](size_t s) {
+    shard_status[s] = BuildShard(shards_[s].get(), partition[s]);
+  });
+  for (const Status& st : shard_status) {
+    if (!st.ok()) return st;
   }
   bootstrapped_ = true;
   return Status::OK();
@@ -87,6 +153,23 @@ Status RealTimeService::BootstrapFromSplit(
   return Bootstrap(users);
 }
 
+StatusOr<std::vector<index::Neighbor>> RealTimeService::SearchAllShards(
+    const float* query, size_t k, int exclude_user) const {
+  if (shards_.size() == 1) {  // single-shard fast path: no merge layer
+    const Shard& shard = *shards_[0];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    return shard.index->Search(query, k, exclude_user);
+  }
+  std::vector<std::vector<index::Neighbor>> per_shard(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    SCCF_ASSIGN_OR_RETURN(per_shard[s],
+                          shard.index->Search(query, k, exclude_user));
+  }
+  return MergeTopK(std::move(per_shard), k);
+}
+
 StatusOr<RealTimeService::UpdateTiming> RealTimeService::OnInteraction(
     int user, int item) {
   if (!bootstrapped_) {
@@ -95,25 +178,34 @@ StatusOr<RealTimeService::UpdateTiming> RealTimeService::OnInteraction(
   if (item < 0 || static_cast<size_t>(item) >= model_->num_items()) {
     return Status::InvalidArgument("unknown item " + std::to_string(item));
   }
-  std::vector<int>& history = histories_[user];  // creates on cold start
-  history.push_back(item);
 
   UpdateTiming timing;
   const size_t d = model_->embedding_dim();
   std::vector<float> emb(d, 0.0f);
 
-  Stopwatch infer_clock;
-  InferWindowEmbedding(history, emb.data());
-  timing.infer_ms = infer_clock.ElapsedMillis();
+  Shard& shard = *shards_[ShardIndex(user, shards_.size())];
+  {
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    std::vector<int>& history = shard.histories[user];  // cold start: creates
+    history.push_back(item);
 
-  Stopwatch index_clock;
-  SCCF_RETURN_NOT_OK(index_->Add(user, emb.data()));
-  timing.index_ms = index_clock.ElapsedMillis();
-  vote_items_[user] = VoteItems(history);
+    Stopwatch infer_clock;
+    InferWindowEmbedding(history, emb.data());
+    timing.infer_ms = infer_clock.ElapsedMillis();
 
+    Stopwatch index_clock;
+    SCCF_RETURN_NOT_OK(shard.index->Add(user, emb.data()));
+    timing.index_ms = index_clock.ElapsedMillis();
+    shard.vote_items[user] = VoteItems(history);
+  }
+
+  // Identify outside the write lock: the fresh neighborhood spans every
+  // shard, and holding a write lock while taking other shards' read locks
+  // would serialize ingest (and risk deadlock by lock-order inversion).
   Stopwatch identify_clock;
-  SCCF_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
-                        index_->Search(emb.data(), options_.beta, user));
+  SCCF_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      SearchAllShards(emb.data(), options_.beta, user));
   (void)neighbors;
   timing.identify_ms = identify_clock.ElapsedMillis();
   return timing;
@@ -124,14 +216,18 @@ StatusOr<std::vector<index::Neighbor>> RealTimeService::Neighbors(
   if (!bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap must run first");
   }
-  auto it = histories_.find(user);
-  if (it == histories_.end() || it->second.empty()) {
-    return Status::NotFound("user " + std::to_string(user) +
-                            " has no history");
-  }
   std::vector<float> emb(model_->embedding_dim(), 0.0f);
-  InferWindowEmbedding(it->second, emb.data());
-  return index_->Search(emb.data(), options_.beta, user);
+  {
+    const Shard& shard = *shards_[ShardIndex(user, shards_.size())];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto it = shard.histories.find(user);
+    if (it == shard.histories.end() || it->second.empty()) {
+      return Status::NotFound("user " + std::to_string(user) +
+                              " has no history");
+    }
+    InferWindowEmbedding(it->second, emb.data());
+  }
+  return SearchAllShards(emb.data(), options_.beta, user);
 }
 
 StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
@@ -139,22 +235,61 @@ StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
   SCCF_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
                         Neighbors(user));
   std::vector<float> scores(model_->num_items(), 0.0f);
+  // Accumulate in merged-neighbor order (identical float addition order
+  // to the single-index implementation), taking the owning shard's read
+  // lock per neighbor.
   for (const index::Neighbor& nb : neighbors) {
-    auto vi = vote_items_.find(nb.id);
-    if (vi == vote_items_.end()) continue;
+    const Shard& shard = *shards_[ShardIndex(nb.id, shards_.size())];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto vi = shard.vote_items.find(nb.id);
+    if (vi == shard.vote_items.end()) continue;
     for (int item : vi->second) scores[item] += nb.score;
   }
-  const auto hist = histories_.find(user);
-  if (hist != histories_.end()) {
-    for (int item : hist->second) scores[item] = 0.0f;
+  {
+    const Shard& shard = *shards_[ShardIndex(user, shards_.size())];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    auto hist = shard.histories.find(user);
+    if (hist != shard.histories.end()) {
+      for (int item : hist->second) scores[item] = 0.0f;
+    }
   }
   return TopNFromScores(scores, n, 0.0f);
 }
 
-const std::vector<int>& RealTimeService::History(int user) const {
-  static const std::vector<int>* empty = new std::vector<int>();
-  auto it = histories_.find(user);
-  return it == histories_.end() ? *empty : it->second;
+StatusOr<std::vector<int>> RealTimeService::History(int user) const {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  const Shard& shard = *shards_[ShardIndex(user, shards_.size())];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.histories.find(user);
+  if (it == shard.histories.end()) {
+    return Status::NotFound("user " + std::to_string(user) + " is unknown");
+  }
+  return it->second;  // copies under the lock
+}
+
+size_t RealTimeService::num_users() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->histories.size();
+  }
+  return total;
+}
+
+size_t RealTimeService::ShardOf(int user) const {
+  SCCF_CHECK(!shards_.empty()) << "Bootstrap must run first";
+  return ShardIndex(user, shards_.size());
+}
+
+std::vector<size_t> RealTimeService::ShardSizes() const {
+  std::vector<size_t> sizes(shards_.size(), 0);
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::shared_lock<std::shared_mutex> lock(shards_[s]->mu);
+    sizes[s] = shards_[s]->histories.size();
+  }
+  return sizes;
 }
 
 }  // namespace sccf::core

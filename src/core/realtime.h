@@ -2,6 +2,7 @@
 #define SCCF_CORE_REALTIME_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -19,6 +20,26 @@ namespace sccf::core {
 /// the inductive UI model, refreshes the vector index, and can immediately
 /// identify the new neighborhood — no retraining, unlike transductive
 /// user-based baselines.
+///
+/// Scale-out design: users are hash-partitioned across `num_shards`
+/// shards. Each shard owns its own VectorIndex, history/vote maps, and a
+/// std::shared_mutex, so concurrent OnInteraction calls for users in
+/// different shards never contend. Queries (Neighbors /
+/// RecommendUserBased) fan a per-shard top-k search out under shared
+/// (read) locks — one shard at a time, never holding two locks — and
+/// merge the per-shard lists with the k-way merger in core/topk_merge.h.
+///
+/// Thread-safety contract:
+///  - Bootstrap must be called exactly once and must complete (its return
+///    establishes the happens-before edge) before any concurrent use.
+///  - After that, any mix of OnInteraction / Neighbors /
+///    RecommendUserBased / History / num_users calls from any threads is
+///    safe. Per-user interaction order is serialized by the user's shard
+///    lock; cross-shard reads see each shard's latest committed state
+///    (per-query snapshot, not a global one).
+///  - With num_shards = 1 the service reproduces the pre-sharding
+///    single-index implementation bit-identically (pinned by
+///    RealTimeTest.ShardedMatchesSingleShardExactly).
 class RealTimeService {
  public:
   struct Options {
@@ -27,8 +48,16 @@ class RealTimeService {
     size_t infer_window = 15;
     /// Recent items each user contributes as votes (15 in the paper).
     size_t vote_window = 15;
+    /// User partitions, each with its own index and lock. 0 resolves to
+    /// std::thread::hardware_concurrency() at Bootstrap; 1 reproduces the
+    /// pre-sharding single-index service exactly.
+    size_t num_shards = 0;
     IndexKind index_kind = IndexKind::kBruteForce;
     index::Metric metric = index::Metric::kCosine;
+    /// Per-shard IVF options. nlist is clamped to the shard's bootstrap
+    /// population (hash partitioning makes shard sizes data-dependent, so
+    /// a fixed nlist could exceed a small shard); empty shards train a
+    /// one-centroid quantizer so cold-start users can still be added.
     index::IvfFlatIndex::Options ivf;
     index::HnswIndex::Options hnsw;
   };
@@ -44,45 +73,82 @@ class RealTimeService {
   struct UpdateTiming {
     double infer_ms = 0.0;     // user-representation inference
     double index_ms = 0.0;     // vector-index refresh
-    double identify_ms = 0.0;  // neighborhood search
+    double identify_ms = 0.0;  // neighborhood search (all-shard fan-out)
     double total_ms() const { return infer_ms + index_ms + identify_ms; }
   };
 
-  /// `model` must be fitted and outlive the service.
+  /// `model` must be fitted and outlive the service. Its const inference
+  /// methods are called concurrently from every serving thread.
   RealTimeService(const models::InductiveUiModel& model, Options options);
 
-  /// Loads initial user states and builds the index (training the coarse
-  /// quantizer first for IVF). Must be called exactly once.
+  /// Loads initial user states and builds the per-shard indexes in
+  /// parallel on ThreadPool::Global() (training each shard's coarse
+  /// quantizer first for IVF). Must be called exactly once, from one
+  /// thread, before any concurrent use; must not be called from inside a
+  /// pool worker (it uses ParallelFor).
   Status Bootstrap(const std::vector<UserState>& users);
 
   /// Convenience: bootstrap from every user's training-prefix history.
   Status BootstrapFromSplit(const data::LeaveOneOutSplit& split);
 
   /// Ingests one interaction: appends to the user's history, re-infers the
-  /// embedding, updates the index, and identifies the fresh neighborhood.
-  /// Unknown users are created on the fly (cold start).
+  /// embedding, updates the shard index (all under the shard's write
+  /// lock), and identifies the fresh neighborhood via the all-shard
+  /// fan-out. Unknown users are created on the fly (cold start).
+  /// Thread-safe; concurrent callers on different shards run in parallel.
   StatusOr<UpdateTiming> OnInteraction(int user, int item);
 
-  /// Current neighborhood of `user` (Eq. 11).
+  /// Current neighborhood of `user` (Eq. 11): per-shard top-beta searches
+  /// merged into the global top-beta. Thread-safe (read locks only).
   StatusOr<std::vector<index::Neighbor>> Neighbors(int user) const;
 
   /// Eq. 12 user-based candidate list from the current snapshot.
+  /// Thread-safe (read locks only).
   StatusOr<CandidateList> RecommendUserBased(int user, size_t n) const;
 
-  const std::vector<int>& History(int user) const;
-  size_t num_users() const { return histories_.size(); }
+  /// Snapshot copy of the user's history. NotFound for unknown users,
+  /// FailedPrecondition before Bootstrap. (Returning by value is the
+  /// point: a reference into shard state would dangle on rehash and race
+  /// with concurrent ingest.)
+  StatusOr<std::vector<int>> History(int user) const;
+
+  size_t num_users() const;
+
+  /// Shard topology (0 shards before Bootstrap).
+  size_t num_shards() const { return shards_.size(); }
+  /// Which shard owns `user` — a fixed hash partition, stable across
+  /// platforms and process runs. Pre: Bootstrap has run.
+  size_t ShardOf(int user) const;
+  /// Per-shard user counts (diagnostics / examples).
+  std::vector<size_t> ShardSizes() const;
 
  private:
+  struct Shard {
+    mutable std::shared_mutex mu;
+    std::unique_ptr<index::VectorIndex> index;
+    std::unordered_map<int, std::vector<int>> histories;
+    std::unordered_map<int, std::vector<int>> vote_items;
+  };
+
   void InferWindowEmbedding(const std::vector<int>& history,
                             float* out) const;
   std::vector<int> VoteItems(const std::vector<int>& history) const;
+  std::unique_ptr<index::VectorIndex> MakeShardIndex(
+      size_t shard_population) const;
+  /// Builds one shard's maps and index from its bootstrap users. Runs on
+  /// the global pool; touches only `shard` (no locking needed before the
+  /// service is published).
+  Status BuildShard(Shard* shard,
+                    const std::vector<const UserState*>& users) const;
+  /// Per-shard top-k fan-out (shared lock per shard, one at a time) +
+  /// k-way merge. `exclude_user` only matches in its own shard.
+  StatusOr<std::vector<index::Neighbor>> SearchAllShards(
+      const float* query, size_t k, int exclude_user) const;
 
   const models::InductiveUiModel* model_;
   Options options_;
   bool bootstrapped_ = false;
-  std::unique_ptr<index::VectorIndex> index_;
-  std::unordered_map<int, std::vector<int>> histories_;
-  std::unordered_map<int, std::vector<int>> vote_items_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace sccf::core

@@ -1,0 +1,50 @@
+#include "core/topk_merge.h"
+
+#include <algorithm>
+
+namespace sccf::core {
+
+void SortNeighborsDescending(std::vector<index::Neighbor>* neighbors) {
+  std::sort(neighbors->begin(), neighbors->end(), NeighborBefore);
+}
+
+std::vector<index::Neighbor> MergeTopK(
+    std::vector<std::vector<index::Neighbor>> lists, size_t k) {
+  std::vector<index::Neighbor> out;
+  if (k == 0) return out;
+
+  // Cursor per non-empty list; a binary heap on the cursors' current
+  // heads keeps the merge O(total * log(#lists)).
+  struct Cursor {
+    const std::vector<index::Neighbor>* list = nullptr;
+    size_t pos = 0;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(lists.size());
+  size_t total = 0;
+  for (const auto& list : lists) {
+    if (!list.empty()) heap.push_back({&list, 0});
+    total += list.size();
+  }
+  // std::push_heap keeps the *largest* element (by cmp) at front; we want
+  // the best head there, so "less" means "worse head".
+  const auto worse_head = [](const Cursor& a, const Cursor& b) {
+    return NeighborBefore((*b.list)[b.pos], (*a.list)[a.pos]);
+  };
+  std::make_heap(heap.begin(), heap.end(), worse_head);
+
+  out.reserve(std::min(k, total));
+  while (!heap.empty() && out.size() < k) {
+    std::pop_heap(heap.begin(), heap.end(), worse_head);
+    Cursor& top = heap.back();
+    out.push_back((*top.list)[top.pos]);
+    if (++top.pos < top.list->size()) {
+      std::push_heap(heap.begin(), heap.end(), worse_head);
+    } else {
+      heap.pop_back();
+    }
+  }
+  return out;
+}
+
+}  // namespace sccf::core

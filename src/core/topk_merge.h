@@ -1,0 +1,41 @@
+#ifndef SCCF_CORE_TOPK_MERGE_H_
+#define SCCF_CORE_TOPK_MERGE_H_
+
+#include <vector>
+
+#include "index/vector_index.h"
+
+namespace sccf::core {
+
+/// The one neighbor ordering used by every top-k producer in core:
+/// descending score, ties broken by ascending id. Matches the orders
+/// emitted by index::TopKAccumulator::Take and simd::TopKDot, so lists
+/// from any backend can be merged without re-sorting.
+inline bool NeighborBefore(const index::Neighbor& a,
+                           const index::Neighbor& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.id < b.id;
+}
+
+/// Sorts `neighbors` by NeighborBefore (descending score, id tiebreak).
+void SortNeighborsDescending(std::vector<index::Neighbor>* neighbors);
+
+/// K-way merge of per-source top-k lists into one global top-k.
+///
+/// Each input list must already be sorted by NeighborBefore (which every
+/// VectorIndex::Search result is). Ids must be disjoint across lists —
+/// the sharded RealTimeService guarantees this because users are
+/// hash-partitioned. The result is the k globally best neighbors sorted
+/// by NeighborBefore — what a single exact index over the union returns,
+/// with one caveat: on *exactly* equal scores at the k boundary this
+/// merge keeps the lower id, while a single index's TopKAccumulator
+/// keeps whichever was offered first (insertion order). Both are valid
+/// top-k sets; they coincide whenever insertion order is ascending-id
+/// (the Bootstrap path) or boundary scores are distinct.
+/// Returns fewer than k when the lists run out.
+std::vector<index::Neighbor> MergeTopK(
+    std::vector<std::vector<index::Neighbor>> lists, size_t k);
+
+}  // namespace sccf::core
+
+#endif  // SCCF_CORE_TOPK_MERGE_H_

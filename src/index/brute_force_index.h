@@ -12,6 +12,12 @@ namespace sccf::index {
 /// parallelised across blocks of the corpus. Serves as the ground truth
 /// for ANN recall tests and as the paper's exact-Faiss stand-in at the
 /// corpus sizes used in the offline experiments.
+///
+/// Thread-safety: concurrent Search calls are safe (query scratch is
+/// local); Add requires exclusive access (it may grow/rehash data_, ids_,
+/// and slot_, invalidating a concurrent scan). See the contract in
+/// vector_index.h. With `parallel = true`, Search uses the global
+/// ThreadPool and must not be called from a pool worker.
 class BruteForceIndex : public VectorIndex {
  public:
   BruteForceIndex(size_t dim, Metric metric, bool parallel = false);

@@ -17,6 +17,11 @@ namespace sccf::index {
 /// Streaming semantics: Add() with an existing id tombstones the old node
 /// (it keeps routing but is filtered from results) and inserts a fresh
 /// node, so recall does not decay under user-embedding updates.
+///
+/// Thread-safety: concurrent Search calls are safe (the visited set and
+/// both beam heaps are locals); Add and set_ef_search require exclusive
+/// access — Add rewires neighbor lists, grows nodes_, and consumes the
+/// member Rng. See the contract in vector_index.h.
 class HnswIndex : public VectorIndex {
  public:
   struct Options {

@@ -17,6 +17,11 @@ namespace sccf::index {
 /// Add/Search freely. Adding before Train() returns FailedPrecondition.
 /// Re-adding an id reassigns it to the (possibly different) current bucket,
 /// which is the streaming-user-update path.
+///
+/// Thread-safety: concurrent Search calls are safe after Train (query
+/// scratch is local); Train, Add, and set_nprobe require exclusive access
+/// — Add swap-removes postings and rewrites assignment_ entries that a
+/// concurrent scan could be reading. See the contract in vector_index.h.
 class IvfFlatIndex : public VectorIndex {
  public:
   struct Options {

@@ -24,6 +24,26 @@ struct Neighbor {
 /// system). `Add` with an existing id replaces the stored vector, which is
 /// the streaming-update path used when a user's embedding is re-inferred
 /// after a new interaction.
+///
+/// Concurrency contract (audited for all three backends — BruteForce,
+/// HNSW, IVF-Flat): implementations are NOT internally synchronized.
+///
+///  - Concurrent const calls (`Search`, `size`, `dim`, `metric`) are
+///    safe with each other: every backend keeps its query scratch
+///    (normalised query copies, visited sets, accumulators) in locals,
+///    with no `mutable` members.
+///  - Mutations — `Add`, `IvfFlatIndex::Train`, and the non-const tuning
+///    setters (`HnswIndex::set_ef_search`, `IvfFlatIndex::set_nprobe`) —
+///    require exclusive access: no other call, const or not, may run
+///    concurrently with them. HNSW's `Add` additionally draws from the
+///    index's own Rng, so even "independent" inserts must be serialized.
+///  - Callers own the synchronization. The sharded
+///    `core::RealTimeService` wraps each shard's index in a
+///    `std::shared_mutex` (shared for Search, exclusive for Add), which
+///    is the intended usage pattern.
+///  - `BruteForceIndex` built with `parallel = true` fans `Search` out on
+///    the global `ThreadPool`; never call that from inside a pool worker
+///    (`ParallelFor` nesting is forbidden, see util/thread_pool.h).
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;

@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <exception>
 
 #include "util/logging.h"
 
@@ -83,13 +84,23 @@ void ParallelForBlocked(size_t begin, size_t end,
     return;
   }
   const size_t block = (n + num_blocks - 1) / num_blocks;
+  std::mutex error_mu;
+  std::exception_ptr first_error;
   for (size_t b = 0; b < num_blocks; ++b) {
     const size_t lo = begin + b * block;
     const size_t hi = std::min(end, lo + block);
     if (lo >= hi) break;
-    pool.Submit([&fn, lo, hi] { fn(lo, hi); });
+    pool.Submit([&fn, lo, hi, &error_mu, &first_error] {
+      try {
+        fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    });
   }
   pool.Wait();
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace sccf

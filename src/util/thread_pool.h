@@ -23,7 +23,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
+  /// Enqueues a task for execution on some worker. Safe to call from
+  /// inside a running task (nested submit): the task is queued like any
+  /// other and Wait() keeps blocking until it too has finished. Tasks
+  /// must not throw — an escaping exception terminates the process; use
+  /// ParallelFor/ParallelForBlocked for exception propagation.
   void Submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished.
@@ -51,11 +55,16 @@ class ThreadPool {
 /// fn must be safe to call concurrently for distinct i. Must not be called
 /// from inside a pool worker (no nesting): the caller would occupy a worker
 /// slot while waiting for its own sub-tasks.
+///
+/// If fn throws, the throwing block stops at the exception but all other
+/// queued blocks still run; the first observed exception is rethrown in
+/// the caller once the range has drained (additional exceptions are
+/// dropped). An empty range is a no-op.
 void ParallelFor(size_t begin, size_t end,
                  const std::function<void(size_t)>& fn);
 
 /// Like ParallelFor but hands each worker a [lo, hi) block, which lets the
-/// callee keep per-block scratch state.
+/// callee keep per-block scratch state. Same exception semantics.
 void ParallelForBlocked(size_t begin, size_t end,
                         const std::function<void(size_t, size_t)>& fn);
 

@@ -68,14 +68,14 @@ TEST_F(RealTimeTest, BootstrapOnlyOnce) {
 TEST_F(RealTimeTest, OnInteractionReportsTimingsAndGrowsHistory) {
   RealTimeService svc(*fism_, {});
   ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
-  const size_t before = svc.History(3).size();
+  const size_t before = svc.History(3)->size();
   auto timing = svc.OnInteraction(3, 42);
   ASSERT_TRUE(timing.ok());
   EXPECT_GE(timing->infer_ms, 0.0);
   EXPECT_GE(timing->identify_ms, 0.0);
   EXPECT_GT(timing->total_ms(), 0.0);
-  EXPECT_EQ(svc.History(3).size(), before + 1);
-  EXPECT_EQ(svc.History(3).back(), 42);
+  EXPECT_EQ(svc.History(3)->size(), before + 1);
+  EXPECT_EQ(svc.History(3)->back(), 42);
 }
 
 TEST_F(RealTimeTest, RejectsUnknownItem) {
@@ -96,7 +96,7 @@ TEST_F(RealTimeTest, ColdStartUserCreatedOnFly) {
   const int new_user = 100000;
   ASSERT_TRUE(svc.OnInteraction(new_user, 7).ok());
   ASSERT_TRUE(svc.OnInteraction(new_user, 8).ok());
-  EXPECT_EQ(svc.History(new_user).size(), 2u);
+  EXPECT_EQ(svc.History(new_user)->size(), 2u);
   auto nbrs = svc.Neighbors(new_user);
   ASSERT_TRUE(nbrs.ok());
   EXPECT_FALSE(nbrs->empty());
@@ -126,7 +126,7 @@ TEST_F(RealTimeTest, RecommendUserBasedExcludesOwnHistory) {
   auto recs = svc.RecommendUserBased(5, 20);
   ASSERT_TRUE(recs.ok());
   ASSERT_FALSE(recs->empty());
-  const auto& history = svc.History(5);
+  const std::vector<int> history = svc.History(5).value();
   for (const auto& rec : *recs) {
     EXPECT_EQ(std::count(history.begin(), history.end(), rec.id), 0)
         << "item " << rec.id << " is in user 5's history";
@@ -135,6 +135,76 @@ TEST_F(RealTimeTest, RecommendUserBasedExcludesOwnHistory) {
   for (size_t i = 1; i < recs->size(); ++i) {
     EXPECT_GE((*recs)[i - 1].score, (*recs)[i].score);
   }
+}
+
+TEST_F(RealTimeTest, HistoryIsStatusOrSnapshot) {
+  RealTimeService svc(*fism_, {});
+  // Before Bootstrap there is no shard state to read.
+  EXPECT_EQ(svc.History(0).status().code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(svc.BootstrapFromSplit(*split_).ok());
+  EXPECT_EQ(svc.History(999999).status().code(), StatusCode::kNotFound);
+  // The returned history is a snapshot copy: mutating the service after
+  // the call must not affect it (the old API returned a reference into
+  // the map, which rehash or concurrent ingest would invalidate).
+  auto snapshot = svc.History(3);
+  ASSERT_TRUE(snapshot.ok());
+  const std::vector<int> before = *snapshot;
+  ASSERT_TRUE(svc.OnInteraction(3, 42).ok());
+  EXPECT_EQ(*snapshot, before);
+  EXPECT_EQ(svc.History(3)->size(), before.size() + 1);
+}
+
+// Pins the sharded refactor to the pre-sharding behavior: with the exact
+// brute-force backend, a hash-partitioned service (any shard count) must
+// produce byte-identical neighborhoods and recommendations to the
+// single-shard service, whose code path is the pre-refactor one. Covers
+// both the bootstrap state and the state after streaming updates.
+TEST_F(RealTimeTest, ShardedMatchesSingleShardExactly) {
+  RealTimeService::Options single_opts;
+  single_opts.beta = 10;
+  single_opts.num_shards = 1;
+  RealTimeService::Options sharded_opts = single_opts;
+  sharded_opts.num_shards = 7;
+
+  RealTimeService single(*fism_, single_opts);
+  RealTimeService sharded(*fism_, sharded_opts);
+  ASSERT_TRUE(single.BootstrapFromSplit(*split_).ok());
+  ASSERT_TRUE(sharded.BootstrapFromSplit(*split_).ok());
+  ASSERT_EQ(single.num_shards(), 1u);
+  ASSERT_EQ(sharded.num_shards(), 7u);
+  EXPECT_EQ(single.num_users(), sharded.num_users());
+
+  const auto expect_equal_views = [&](int user) {
+    auto n1 = single.Neighbors(user);
+    auto n7 = sharded.Neighbors(user);
+    ASSERT_TRUE(n1.ok());
+    ASSERT_TRUE(n7.ok());
+    ASSERT_EQ(n1->size(), n7->size()) << "user " << user;
+    for (size_t i = 0; i < n1->size(); ++i) {
+      EXPECT_EQ((*n1)[i].id, (*n7)[i].id) << "user " << user << " rank " << i;
+      EXPECT_FLOAT_EQ((*n1)[i].score, (*n7)[i].score);
+    }
+    auto r1 = single.RecommendUserBased(user, 20);
+    auto r7 = sharded.RecommendUserBased(user, 20);
+    ASSERT_TRUE(r1.ok());
+    ASSERT_TRUE(r7.ok());
+    ASSERT_EQ(r1->size(), r7->size()) << "user " << user;
+    for (size_t i = 0; i < r1->size(); ++i) {
+      EXPECT_EQ((*r1)[i].id, (*r7)[i].id) << "user " << user << " rank " << i;
+      EXPECT_FLOAT_EQ((*r1)[i].score, (*r7)[i].score);
+    }
+  };
+
+  for (int user = 0; user < 25; ++user) expect_equal_views(user);
+
+  // Stream the same interactions (incl. a cold-start user) through both.
+  const std::vector<std::pair<int, int>> stream = {
+      {0, 7}, {1, 8}, {70, 9}, {3000, 11}, {3000, 12}, {5, 13}, {0, 14}};
+  for (const auto& [user, item] : stream) {
+    ASSERT_TRUE(single.OnInteraction(user, item).ok());
+    ASSERT_TRUE(sharded.OnInteraction(user, item).ok());
+  }
+  for (int user : {0, 1, 5, 70, 3000}) expect_equal_views(user);
 }
 
 TEST_F(RealTimeTest, UnknownUserNeighborsIsNotFound) {
@@ -199,7 +269,7 @@ TEST_F(RealTimeTest, ColdStartMatchesFromScratchBootstrap) {
       ASSERT_TRUE(streamed.OnInteraction(kColdUser, item).ok());
     }
     EXPECT_EQ(streamed.num_users(), users_before + 1);
-    EXPECT_EQ(streamed.History(kColdUser).size(), cold_history.size());
+    EXPECT_EQ(streamed.History(kColdUser)->size(), cold_history.size());
 
     // Batch: one Bootstrap over the identical final histories.
     std::vector<RealTimeService::UserState> states(split_->num_users());

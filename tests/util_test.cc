@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdio>
 #include <set>
+#include <stdexcept>
 
 #include "util/random.h"
 #include "util/status.h"
@@ -261,6 +262,69 @@ TEST(ParallelForTest, CoversRangeExactlyOnce) {
 
 TEST(ParallelForTest, EmptyRangeIsNoop) {
   ParallelFor(5, 5, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, NestedSubmitFromWorkerCompletesBeforeWait) {
+  ThreadPool pool(2);
+  std::atomic<int> outer{0};
+  std::atomic<int> inner{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &outer, &inner] {
+      // Submitting from inside a running task must enqueue (not deadlock),
+      // and Wait() must cover the nested task too: in_flight_ is bumped
+      // before the outer task finishes.
+      pool.Submit([&inner] { inner.fetch_add(1); });
+      outer.fetch_add(1);
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(outer.load(), 8);
+  EXPECT_EQ(inner.load(), 8);
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      ParallelFor(0, 64,
+                  [&](size_t i) {
+                    visited.fetch_add(1);
+                    if (i == 13) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // The throwing block stops at the exception; everything before it (and
+  // every other queued block) still ran. How much of the range that is
+  // depends on the pool's block split, but iterations 0..13 are always in
+  // or before the throwing block.
+  EXPECT_GE(visited.load(), 14);
+  EXPECT_LE(visited.load(), 64);
+}
+
+TEST(ParallelForBlockedTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(ParallelForBlocked(0, 128,
+                                  [](size_t lo, size_t) {
+                                    if (lo == 0) {
+                                      throw std::runtime_error("first block");
+                                    }
+                                  }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, PoolIsReusableAfterException) {
+  try {
+    ParallelFor(0, 32, [](size_t) { throw std::runtime_error("boom"); });
+    FAIL() << "must throw";
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int> count{0};
+  ParallelFor(0, 100, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ParallelForBlockedTest, EmptyRangeIsNoop) {
+  ParallelForBlocked(7, 7,
+                     [](size_t, size_t) { FAIL() << "must not be called"; });
+  ParallelForBlocked(9, 3,
+                     [](size_t, size_t) { FAIL() << "must not be called"; });
 }
 
 TEST(ParallelForBlockedTest, BlocksPartitionRange) {
