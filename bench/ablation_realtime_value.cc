@@ -11,7 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "core/streaming_eval.h"
+#include "online/streaming_eval.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
 
@@ -40,10 +40,10 @@ int main() {
   models::Fism fism(bench::FismOptions());
   SCCF_CHECK(fism.Fit(split).ok());
 
-  core::StreamingEvalOptions opts;
+  online::StreamingEvalOptions opts;
   opts.tail_events = 20;
   opts.cutoffs = {20, 50};
-  auto result = core::EvaluateStreamingUserBased(fism, dataset, opts);
+  auto result = online::EvaluateStreamingUserBased(fism, dataset, opts);
   SCCF_CHECK(result.ok()) << result.status().ToString();
 
   TablePrinter table({"Regime", "HR@20", "NDCG@20", "HR@50", "NDCG@50"});

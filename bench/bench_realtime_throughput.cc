@@ -1,27 +1,38 @@
-// Concurrent-ingest throughput of the sharded RealTimeService: T producer
-// threads stream interactions through OnInteraction; we report updates/sec
-// plus p50/p99 per-interaction latency at each thread count. This is the
-// scaling companion to table3_realtime (which measures single-stream
-// latency): the sharded service's claim is that ingest scales with cores
-// because each OnInteraction takes only its user's shard write lock.
+// Ingest throughput of the batch-first serving Engine: T producer
+// threads stream interactions through Engine::Ingest in batches of B
+// events; we report updates/sec plus p50/p99 per-request latency at each
+// (threads, batch_size) sweep point. This is the scaling companion to
+// table3_realtime (single-stream per-event latency): the sharded
+// service's claim is that ingest scales with cores because a batch takes
+// only its touched shards' write locks, and the batch-first claim is
+// that grouped events amortize locks, re-inference, and index refreshes
+// (one per touched *user*, staged through the per-shard write buffer).
 //
 // Self-timed, no Google Benchmark dependency. Flags:
-//   --threads=1,2,4,8    thread counts to sweep
-//   --interactions=N     interactions per sweep point (default 10000)
-//   --users=N --items=N  corpus size (default 2000 x 1500)
-//   --dim=N              embedding dim (default 32)
-//   --shards=N           0 = hardware concurrency (the service default)
-//   --json=PATH          write a machine-readable report (BENCH_realtime.json)
-//   --quick              small workload for CI smoke
+//   --threads=1,2,4,8     thread counts to sweep
+//   --batch_sizes=1,32    events per IngestRequest to sweep
+//   --interactions=N      interactions per sweep point (default 10000)
+//   --users=N --items=N   corpus size (default 2000 x 1500)
+//   --dim=N               embedding dim (default 32)
+//   --shards=N            0 = hardware concurrency (the service default)
+//   --compaction=N        write-buffer flush threshold (default 32)
+//   --run_length=N        consecutive events per user in the stream
+//                         (default 4 — e-commerce sessions are bursty;
+//                         1 = adversarial all-distinct worst case)
+//   --json=PATH           machine-readable report (BENCH_engine.json)
+//   --quick               small workload for CI smoke
 //
 // Methodology notes (also in docs/PERFORMANCE.md): the model is an
 // untrained FISM — inference cost is identical to a converged model and
 // latency does not depend on weight values. Users are drawn round-robin
-// from the full population so every shard sees traffic; each thread owns a
-// contiguous chunk of one pre-generated interaction stream. Wall-clock
-// spans from a common start signal to the last thread finishing;
-// updates/sec = interactions / wall. Latencies are per-OnInteraction,
-// merged across threads for the percentiles.
+// in runs of --run_length from the full population so every shard sees
+// traffic and batches contain realistic per-user bursts (a batch
+// coalesces a user's burst into ONE re-inference + refresh + identify).
+// Each thread owns a contiguous chunk of one pre-generated stream.
+// Wall-clock spans from a common start signal to the last thread
+// finishing; updates/sec = interactions / wall. Latencies are
+// per-IngestRequest (request-level serving latency), merged across
+// threads for the percentiles.
 
 #include <algorithm>
 #include <atomic>
@@ -32,8 +43,8 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "core/realtime.h"
 #include "models/fism.h"
+#include "online/engine.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -44,16 +55,20 @@ using namespace sccf;
 
 struct Config {
   std::vector<int> threads = {1, 2, 4, 8};
+  std::vector<size_t> batch_sizes = {1, 32};
   size_t interactions = 10000;
   size_t users = 2000;
   size_t items = 1500;
   size_t dim = 32;
   size_t shards = 0;  // 0 = hardware concurrency
+  size_t compaction = 32;
+  size_t run_length = 4;
   std::string json_path;
 };
 
 struct SweepPoint {
   int threads = 0;
+  size_t batch_size = 0;
   double updates_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
@@ -70,19 +85,24 @@ double Percentile(std::vector<double>& sorted_ms, double q) {
 
 SweepPoint RunSweepPoint(const models::Fism& model,
                          const data::LeaveOneOutSplit& split,
-                         const Config& cfg, int num_threads) {
-  core::RealTimeService::Options opts;
+                         const Config& cfg, int num_threads,
+                         size_t batch_size) {
+  online::Engine::Options opts;
   opts.beta = 100;
   opts.num_shards = cfg.shards;
+  opts.compaction_threshold = cfg.compaction;
   opts.index_kind = core::IndexKind::kBruteForce;
-  core::RealTimeService service(model, opts);
-  SCCF_CHECK(service.BootstrapFromSplit(split).ok());
+  online::Engine engine(model, opts);
+  SCCF_CHECK(engine.BootstrapFromSplit(split).ok());
 
-  // One pre-generated stream, chunked contiguously per thread.
-  std::vector<std::pair<int, int>> stream(cfg.interactions);
+  // One pre-generated stream, chunked contiguously per thread. Users
+  // arrive in runs of cfg.run_length (bursty sessions).
+  std::vector<online::Engine::Event> stream(cfg.interactions);
   for (size_t i = 0; i < cfg.interactions; ++i) {
-    stream[i] = {static_cast<int>((i * 2654435761u) % cfg.users),
-                 static_cast<int>((i * 40503u) % cfg.items)};
+    const size_t run = i / cfg.run_length;
+    stream[i] = {static_cast<int>((run * 2654435761u) % cfg.users),
+                 static_cast<int>((i * 40503u) % cfg.items),
+                 static_cast<int64_t>(i)};
   }
 
   std::vector<std::vector<double>> latencies(num_threads);
@@ -93,16 +113,19 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   for (int t = 0; t < num_threads; ++t) {
     const size_t lo = t * chunk;
     const size_t hi = std::min(cfg.interactions, lo + chunk);
-    latencies[t].reserve(hi > lo ? hi - lo : 0);
+    latencies[t].reserve(hi > lo ? (hi - lo) / batch_size + 1 : 0);
     workers.emplace_back([&, t, lo, hi] {
       while (!start.load(std::memory_order_acquire)) {
       }
-      for (size_t i = lo; i < hi; ++i) {
+      online::Engine::IngestRequest req;
+      req.events.reserve(batch_size);
+      for (size_t i = lo; i < hi; i += batch_size) {
+        const size_t end = std::min(hi, i + batch_size);
+        req.events.assign(stream.begin() + i, stream.begin() + end);
         Stopwatch clock;
-        auto timing = service.OnInteraction(stream[i].first,
-                                            stream[i].second);
+        auto resp = engine.Ingest(req);
         latencies[t].push_back(clock.ElapsedMillis());
-        if (!timing.ok()) failures.fetch_add(1);
+        if (!resp.ok()) failures.fetch_add(1);
       }
     });
   }
@@ -111,10 +134,10 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   start.store(true, std::memory_order_release);
   for (auto& w : workers) w.join();
   const double wall_s = wall.ElapsedSeconds();
-  SCCF_CHECK(failures.load() == 0) << failures.load() << " failed updates";
+  SCCF_CHECK(failures.load() == 0) << failures.load() << " failed batches";
+  SCCF_CHECK(engine.Compact().ok());
 
   std::vector<double> all;
-  all.reserve(cfg.interactions);
   for (auto& per_thread : latencies) {
     all.insert(all.end(), per_thread.begin(), per_thread.end());
   }
@@ -122,6 +145,7 @@ SweepPoint RunSweepPoint(const models::Fism& model,
 
   SweepPoint point;
   point.threads = num_threads;
+  point.batch_size = batch_size;
   point.updates_per_sec =
       wall_s > 0.0 ? static_cast<double>(cfg.interactions) / wall_s : 0.0;
   point.p50_ms = Percentile(all, 0.50);
@@ -133,7 +157,8 @@ SweepPoint RunSweepPoint(const models::Fism& model,
 }
 
 void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
-               double speedup_4t) {
+               double speedup_4t, size_t b_max, size_t b_min,
+               double speedup_batch) {
   std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
   SCCF_CHECK(f != nullptr) << "cannot open " << cfg.json_path;
   std::fprintf(f, "{\n");
@@ -143,19 +168,27 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
   std::fprintf(f,
                "  \"config\": { \"interactions\": %zu, \"users\": %zu, "
                "\"items\": %zu, \"dim\": %zu, \"shards\": %zu, "
+               "\"compaction_threshold\": %zu, \"run_length\": %zu, "
                "\"index\": \"brute_force\", \"beta\": 100 },\n",
-               cfg.interactions, cfg.users, cfg.items, cfg.dim, cfg.shards);
+               cfg.interactions, cfg.users, cfg.items, cfg.dim, cfg.shards,
+               cfg.compaction, cfg.run_length);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
-    std::fprintf(f,
-                 "    { \"threads\": %d, \"updates_per_sec\": %.1f, "
-                 "\"p50_ms\": %.4f, \"p99_ms\": %.4f, \"mean_ms\": %.4f }%s\n",
-                 p.threads, p.updates_per_sec, p.p50_ms, p.p99_ms, p.mean_ms,
-                 i + 1 < points.size() ? "," : "");
+    std::fprintf(
+        f,
+        "    { \"threads\": %d, \"batch_size\": %zu, "
+        "\"updates_per_sec\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+        "\"mean_ms\": %.4f }%s\n",
+        p.threads, p.batch_size, p.updates_per_sec, p.p50_ms, p.p99_ms,
+        p.mean_ms, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f\n", speedup_4t);
+  std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f,\n", speedup_4t);
+  std::fprintf(f,
+               "  \"batch_speedup\": { \"max\": %zu, \"min\": %zu, "
+               "\"updates_per_sec_ratio\": %.3f }\n",
+               b_max, b_min, speedup_batch);
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", cfg.json_path.c_str());
@@ -177,6 +210,13 @@ int main(int argc, char** argv) {
         SCCF_CHECK(ParseInt64(part, &t) && t >= 1) << "bad --threads";
         cfg.threads.push_back(static_cast<int>(t));
       }
+    } else if (arg.rfind("--batch_sizes=", 0) == 0) {
+      cfg.batch_sizes.clear();
+      for (const std::string& part : Split(val("--batch_sizes="), ',')) {
+        int64_t b = 0;
+        SCCF_CHECK(ParseInt64(part, &b) && b >= 1) << "bad --batch_sizes";
+        cfg.batch_sizes.push_back(static_cast<size_t>(b));
+      }
     } else if (arg.rfind("--interactions=", 0) == 0) {
       int64_t v = 0;
       SCCF_CHECK(ParseInt64(val("--interactions="), &v) && v > 0);
@@ -197,6 +237,14 @@ int main(int argc, char** argv) {
       int64_t v = 0;
       SCCF_CHECK(ParseInt64(val("--shards="), &v) && v >= 0);
       cfg.shards = static_cast<size_t>(v);
+    } else if (arg.rfind("--compaction=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--compaction="), &v) && v >= 0);
+      cfg.compaction = static_cast<size_t>(v);
+    } else if (arg.rfind("--run_length=", 0) == 0) {
+      int64_t v = 0;
+      SCCF_CHECK(ParseInt64(val("--run_length="), &v) && v >= 1);
+      cfg.run_length = static_cast<size_t>(v);
     } else if (arg.rfind("--json=", 0) == 0) {
       cfg.json_path = val("--json=");
     } else if (arg == "--quick") {
@@ -210,13 +258,14 @@ int main(int argc, char** argv) {
   }
 
   bench::PrintHeader(
-      "Real-time ingest throughput — sharded RealTimeService",
-      "T producer threads x concurrent OnInteraction; updates/sec and "
-      "p50/p99 latency per thread count");
-  std::printf("host hardware_concurrency=%u  corpus %zu users x %zu items, "
-              "dim %zu, shards=%zu (0 = hw)\n\n",
-              std::thread::hardware_concurrency(), cfg.users, cfg.items,
-              cfg.dim, cfg.shards);
+      "Real-time ingest throughput — batch-first Engine",
+      "T producer threads x Engine::Ingest batches of B events; "
+      "updates/sec and p50/p99 request latency per sweep point");
+  std::printf(
+      "host hardware_concurrency=%u  corpus %zu users x %zu items, dim "
+      "%zu, shards=%zu (0 = hw), compaction=%zu, run_length=%zu\n\n",
+      std::thread::hardware_concurrency(), cfg.users, cfg.items, cfg.dim,
+      cfg.shards, cfg.compaction, cfg.run_length);
 
   data::SyntheticConfig syn;
   syn.name = "rt-throughput";
@@ -241,29 +290,54 @@ int main(int argc, char** argv) {
   SCCF_CHECK(fism.Fit(split).ok());
 
   std::vector<SweepPoint> points;
-  TablePrinter table({"threads", "updates/sec", "p50 (ms)", "p99 (ms)",
-                      "mean (ms)"});
+  TablePrinter table({"threads", "batch", "updates/sec", "p50 (ms)",
+                      "p99 (ms)", "mean (ms)"});
   for (int t : cfg.threads) {
-    const SweepPoint p = RunSweepPoint(fism, split, cfg, t);
-    points.push_back(p);
-    table.AddRow({std::to_string(p.threads),
-                  FormatFloat(p.updates_per_sec, 1),
-                  FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
-                  FormatFloat(p.mean_ms, 4)});
+    for (size_t b : cfg.batch_sizes) {
+      const SweepPoint p = RunSweepPoint(fism, split, cfg, t, b);
+      points.push_back(p);
+      table.AddRow({std::to_string(p.threads), std::to_string(p.batch_size),
+                    FormatFloat(p.updates_per_sec, 1),
+                    FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
+                    FormatFloat(p.mean_ms, 4)});
+    }
   }
   table.Print();
 
-  double ups1 = 0.0, ups4 = 0.0;
+  // Scaling headlines, derived from what was actually swept: threads at
+  // the smallest batch size (4 vs 1 thread when both ran), and the
+  // largest vs smallest batch size at the lowest thread count.
+  const size_t b_min =
+      *std::min_element(cfg.batch_sizes.begin(), cfg.batch_sizes.end());
+  const size_t b_max =
+      *std::max_element(cfg.batch_sizes.begin(), cfg.batch_sizes.end());
+  const int t_min = *std::min_element(cfg.threads.begin(),
+                                      cfg.threads.end());
+  double ups_1t = 0.0, ups_4t = 0.0, ups_bmin = 0.0, ups_bmax = 0.0;
   for (const SweepPoint& p : points) {
-    if (p.threads == 1) ups1 = p.updates_per_sec;
-    if (p.threads == 4) ups4 = p.updates_per_sec;
+    if (p.batch_size == b_min && p.threads == 1) ups_1t = p.updates_per_sec;
+    if (p.batch_size == b_min && p.threads == 4) ups_4t = p.updates_per_sec;
+    if (p.threads == t_min && p.batch_size == b_min) {
+      ups_bmin = p.updates_per_sec;
+    }
+    if (p.threads == t_min && p.batch_size == b_max) {
+      ups_bmax = p.updates_per_sec;
+    }
   }
-  const double speedup = ups1 > 0.0 ? ups4 / ups1 : 0.0;
-  if (ups1 > 0.0 && ups4 > 0.0) {
-    std::printf("\nspeedup 4 threads vs 1: %.2fx (host has %u hardware "
-                "threads)\n",
-                speedup, std::thread::hardware_concurrency());
+  const double speedup_4t = ups_1t > 0.0 ? ups_4t / ups_1t : 0.0;
+  const double speedup_batch =
+      b_max > b_min && ups_bmin > 0.0 ? ups_bmax / ups_bmin : 0.0;
+  if (ups_1t > 0.0 && ups_4t > 0.0) {
+    std::printf("\nspeedup 4 threads vs 1 (batch %zu): %.2fx (host has %u "
+                "hardware threads)\n",
+                b_min, speedup_4t, std::thread::hardware_concurrency());
   }
-  if (!cfg.json_path.empty()) WriteJson(cfg, points, speedup);
+  if (speedup_batch > 0.0) {
+    std::printf("speedup batch %zu vs %zu (%d thread%s): %.2fx\n", b_max,
+                b_min, t_min, t_min == 1 ? "" : "s", speedup_batch);
+  }
+  if (!cfg.json_path.empty()) {
+    WriteJson(cfg, points, speedup_4t, b_max, b_min, speedup_batch);
+  }
   return 0;
 }

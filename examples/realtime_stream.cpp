@@ -1,24 +1,28 @@
-// Real-time streaming demo: the paper's headline capability.
+// Real-time streaming demo: the paper's headline capability, driven
+// through the batch-first serving Engine.
 //
-// A RealTimeService holds the fitted inductive model, a dynamic vector
-// index of user embeddings, and live histories. Each new interaction
-// re-infers the user's representation with one forward pass and refreshes
-// the index — so the neighborhood (and therefore the user-based candidate
-// list) adapts *immediately*, with no retraining.
+// The Engine wraps the sharded RealTimeService behind typed
+// request/response structs — IngestRequest/IngestResponse for the write
+// path, RecommendRequest/NeighborsRequest/HistoryRequest for reads. Each
+// ingested interaction re-infers the user's representation with one
+// forward pass and refreshes the index, so the neighborhood (and the
+// user-based candidate list) adapts *immediately*, with no retraining.
 //
 // The demo streams one user through a taste change (she starts consuming
-// another segment's items) and prints how her neighborhood and
-// recommendations shift, with the per-interaction latency breakdown of
-// paper Table III.
+// another segment's items) in two phases:
+//   1. per-event ingest (batch of 1) with the Table III latency breakdown,
+//   2. one *batched* IngestRequest routed through the write buffer
+//      (compaction deferred), showing that queries merge staged upserts —
+//      results stay fresh before Compact() ever runs.
 //
-// Run: ./build/examples/realtime_stream
+// Run: ./build/release/examples/realtime_stream
 
 #include <cstdio>
 
-#include "core/realtime.h"
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/fism.h"
+#include "online/engine.h"
 
 int main() {
   using namespace sccf;
@@ -42,28 +46,29 @@ int main() {
   models::Fism fism(fism_opts);
   if (!fism.Fit(split).ok()) return 1;
 
-  core::RealTimeService::Options rt_opts;
-  rt_opts.beta = 20;
-  rt_opts.index_kind = core::IndexKind::kHnsw;  // sub-linear identify
-  core::RealTimeService service(fism, rt_opts);
-  if (!service.BootstrapFromSplit(split).ok()) return 1;
+  online::Engine::Options opts;
+  opts.beta = 20;
+  opts.index_kind = core::IndexKind::kHnsw;  // sub-linear identify
+  opts.compaction_threshold = 64;  // stage upserts; flush every 64 users
+  online::Engine engine(fism, opts);
+  if (!engine.BootstrapFromSplit(split).ok()) return 1;
   std::printf("bootstrapped %zu users into the HNSW index\n",
-              service.num_users());
+              engine.num_users());
 
   const int user = 0;
   const int donor = 123;  // we stream the donor's taste into `user`
 
   auto print_state = [&](const char* label) {
-    auto nbrs = service.Neighbors(user);
-    auto recs = service.RecommendUserBased(user, 5);
+    auto nbrs = engine.Neighbors({user, std::nullopt});
+    auto recs = engine.Recommend({user, 5, {}});
     std::printf("\n%s\n  neighbors:", label);
     size_t shown = 0;
-    for (const auto& nb : nbrs.value()) {
+    for (const auto& nb : nbrs->neighbors) {
       if (shown++ == 5) break;
       std::printf(" %d(%.2f)", nb.id, nb.score);
     }
     std::printf("\n  user-based recs:");
-    for (const auto& r : recs.value()) {
+    for (const auto& r : recs->candidates) {
       std::printf(" %d(%.2f)", r.id, r.score);
     }
     std::printf("\n");
@@ -71,36 +76,63 @@ int main() {
 
   print_state("BEFORE drift (original taste)");
 
-  // Stream 15 of the donor's recent items as new interactions.
+  // Phase 1: stream 8 of the donor's recent items one event at a time —
+  // the classic serving loop, with per-event Table III timings.
   const auto donor_history = split.TrainSequence(donor);
   const size_t take = donor_history.size() < 15 ? donor_history.size() : 15;
+  const size_t first = donor_history.size() - take;
+  const size_t phase1 = take / 2;
   double total_ms = 0.0;
-  for (size_t i = donor_history.size() - take; i < donor_history.size();
-       ++i) {
-    auto timing = service.OnInteraction(user, donor_history[i]);
-    if (!timing.ok()) return 1;
-    total_ms += timing->total_ms();
-    if (i + 3 >= donor_history.size()) {
+  for (size_t i = first; i < first + phase1; ++i) {
+    online::Engine::IngestRequest req;
+    req.events.push_back({user, donor_history[i], static_cast<int64_t>(i)});
+    auto resp = engine.Ingest(req);
+    if (!resp.ok()) return 1;
+    total_ms += resp->wall_ms;
+    if (i + 3 >= first + phase1) {
+      const auto& t = resp->timings[0];
       std::printf(
-          "  interaction item=%4d  infer %.3fms  index %.3fms  identify "
-          "%.3fms\n",
-          donor_history[i], timing->infer_ms, timing->index_ms,
-          timing->identify_ms);
+          "  event item=%4d  infer %.3fms  index %.3fms  identify %.3fms\n",
+          donor_history[i], t.infer_ms, t.index_ms, t.identify_ms);
     }
   }
-  std::printf("streamed %zu interactions, mean %.3f ms each\n", take,
-              total_ms / take);
+  std::printf("phase 1: %zu single-event requests, mean %.3f ms each\n",
+              phase1, total_ms / phase1);
 
-  print_state("AFTER drift (adopted the donor's taste)");
-  auto nbrs = service.Neighbors(user);
-  for (const auto& nb : nbrs.value()) {
+  // Phase 2: the rest of the drift as ONE batched request. The user is
+  // re-inferred once (from the final history), the refresh is staged in
+  // the shard's write buffer, and the neighborhood query below still
+  // sees the fresh state — the buffer is merged into every search.
+  online::Engine::IngestRequest batch;
+  for (size_t i = first + phase1; i < donor_history.size(); ++i) {
+    batch.events.push_back({user, donor_history[i],
+                            static_cast<int64_t>(i)});
+  }
+  auto batch_resp = engine.Ingest(batch);
+  if (!batch_resp.ok()) return 1;
+  std::printf(
+      "phase 2: 1 batched request, %zu events -> %zu user re-inferred, "
+      "%.3f ms wall, %zu upserts staged (not yet compacted)\n",
+      batch_resp->num_events, batch_resp->users_touched,
+      batch_resp->wall_ms, batch_resp->pending_upserts);
+
+  print_state("AFTER drift (adopted the donor's taste, pre-compaction)");
+
+  auto nbrs = engine.Neighbors({user, std::nullopt});
+  for (const auto& nb : nbrs->neighbors) {
     if (nb.id == donor) {
       std::printf(
           "\nthe donor (user %d) now appears in user %d's neighborhood — "
-          "picked up in real time, no retraining.\n",
+          "picked up in real time through the staged write buffer, no "
+          "retraining and no index churn.\n",
           donor, user);
       break;
     }
   }
+
+  if (!engine.Compact().ok()) return 1;
+  std::printf("after Compact(): %zu pending upserts, history length %zu\n",
+              engine.pending_upserts(),
+              engine.History({user})->items.size());
   return 0;
 }

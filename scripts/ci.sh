@@ -64,33 +64,55 @@ else
   echo "micro_kernels smoke: SKIPPED (Google Benchmark not found)"
 fi
 
-# Realtime ingest-throughput smoke (sharded RealTimeService, see
-# docs/PERFORMANCE.md): a quick 1-vs-4-thread sweep. On hosts with >= 4
-# hardware threads, gate on 4-thread updates/sec not dropping below
-# 1-thread updates/sec — a sanity check that shard locking actually lets
-# ingest run concurrently, not a tuned threshold. Hosts with fewer cores
-# cannot scale by construction, so they run the smoke but skip the gate.
+# Realtime ingest-throughput smoke (batch-first Engine over the sharded
+# RealTimeService, see docs/PERFORMANCE.md): one quick sweep over
+# {1,4} threads x {1,32}-event batches. Two sanity gates, neither a
+# tuned threshold:
+#   * threads: 4-thread updates/sec >= 1-thread (shard locking actually
+#     lets ingest run concurrently) — needs >= 4 hardware threads;
+#   * batching: batch_size=32 updates/sec >= batch_size=1 at one thread
+#     (grouped events amortize locks/re-inference/index refreshes, so
+#     batching must never lose) — skipped on single-core hosts, where
+#     timer noise on the tiny --quick workload dominates.
 RT_BENCH=build/release/bench/bench_realtime_throughput
 RT_JSON="$(mktemp)"
 trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
   "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}"' EXIT
-"${RT_BENCH}" --quick --threads=1,4 --json="${RT_JSON}" >/dev/null
-ups1="$(sed -n 's/.*"threads": 1, "updates_per_sec": \([0-9.]*\).*/\1/p' \
-  "${RT_JSON}")"
-ups4="$(sed -n 's/.*"threads": 4, "updates_per_sec": \([0-9.]*\).*/\1/p' \
-  "${RT_JSON}")"
-if [[ -z "${ups1}" || -z "${ups4}" ]]; then
+"${RT_BENCH}" --quick --threads=1,4 --batch_sizes=1,32 \
+  --json="${RT_JSON}" >/dev/null
+rt_ups() {  # rt_ups <threads> <batch_size>
+  sed -n "s/.*\"threads\": $1, \"batch_size\": $2, \"updates_per_sec\": \([0-9.]*\).*/\1/p" \
+    "${RT_JSON}"
+}
+ups_1t="$(rt_ups 1 1)"
+ups_4t="$(rt_ups 4 1)"
+ups_b32="$(rt_ups 1 32)"
+CORES="$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null \
+         || echo 1)"
+if [[ -z "${ups_1t}" || -z "${ups_4t}" || -z "${ups_b32}" ]]; then
   echo "realtime throughput smoke: FAILED (no updates/sec in report)" >&2
   exit 1
-elif [[ "$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null \
-           || echo 1)" -lt 4 ]]; then
-  echo "realtime throughput smoke: OK; scaling gate SKIPPED" \
-       "(host has < 4 cores; 1t=${ups1} 4t=${ups4} updates/sec)"
-elif awk -v a="${ups4}" -v b="${ups1}" 'BEGIN{exit !(a >= b)}'; then
-  echo "realtime throughput gate: OK (4t ${ups4} >= 1t ${ups1} updates/sec)"
+fi
+if [[ "${CORES}" -lt 4 ]]; then
+  echo "realtime thread gate: SKIPPED (host has < 4 cores;" \
+       "1t=${ups_1t} 4t=${ups_4t} updates/sec)"
+elif awk -v a="${ups_4t}" -v b="${ups_1t}" 'BEGIN{exit !(a >= b)}'; then
+  echo "realtime thread gate: OK (4t ${ups_4t} >= 1t ${ups_1t}" \
+       "updates/sec)"
 else
-  echo "realtime throughput gate: FAILED — 4-thread ingest (${ups4}/s)" \
-       "slower than 1-thread (${ups1}/s)" >&2
+  echo "realtime thread gate: FAILED — 4-thread ingest (${ups_4t}/s)" \
+       "slower than 1-thread (${ups_1t}/s)" >&2
+  exit 1
+fi
+if [[ "${CORES}" -lt 2 ]]; then
+  echo "realtime batching gate: SKIPPED (single-core host;" \
+       "b1=${ups_1t} b32=${ups_b32} updates/sec)"
+elif awk -v a="${ups_b32}" -v b="${ups_1t}" 'BEGIN{exit !(a >= b)}'; then
+  echo "realtime batching gate: OK (batch32 ${ups_b32} >= batch1" \
+       "${ups_1t} updates/sec)"
+else
+  echo "realtime batching gate: FAILED — batched ingest (${ups_b32}/s)" \
+       "slower than per-event (${ups_1t}/s)" >&2
   exit 1
 fi
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_CORE_CANDIDATES_H_
 #define SCCF_CORE_CANDIDATES_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "index/vector_index.h"

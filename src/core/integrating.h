@@ -1,6 +1,8 @@
 #ifndef SCCF_CORE_INTEGRATING_H_
 #define SCCF_CORE_INTEGRATING_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 

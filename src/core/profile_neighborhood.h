@@ -1,6 +1,7 @@
 #ifndef SCCF_CORE_PROFILE_NEIGHBORHOOD_H_
 #define SCCF_CORE_PROFILE_NEIGHBORHOOD_H_
 
+#include <cstddef>
 #include <memory>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_CORE_RANK_STAGE_H_
 #define SCCF_CORE_RANK_STAGE_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

@@ -78,6 +78,7 @@ Status RealTimeService::BuildShard(
     Shard* shard, const std::vector<const UserState*>& users) const {
   const size_t d = model_->embedding_dim();
   shard->index = MakeShardIndex(users.size());
+  shard->pending = std::make_unique<index::UpsertBuffer>(d, options_.metric);
 
   std::vector<float> embeddings(users.size() * d, 0.0f);
   for (size_t i = 0; i < users.size(); ++i) {
@@ -109,6 +110,9 @@ Status RealTimeService::BuildShard(
 Status RealTimeService::Bootstrap(const std::vector<UserState>& users) {
   if (bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap may be called once");
+  }
+  if (options_.beta == 0) {
+    return Status::InvalidArgument("options.beta must be positive");
   }
   for (const UserState& s : users) {
     if (s.user < 0) return Status::InvalidArgument("negative user id");
@@ -153,68 +157,222 @@ Status RealTimeService::BootstrapFromSplit(
   return Bootstrap(users);
 }
 
+StatusOr<std::vector<index::Neighbor>> RealTimeService::SearchShard(
+    const Shard& shard, const float* query, size_t k,
+    int exclude_user) const {
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  if (shard.pending == nullptr || shard.pending->empty()) {
+    return shard.index->Search(query, k, exclude_user);
+  }
+  // Staged ids shadow their stale indexed rows, so ask the index for up
+  // to `staged` extra hits — dropping the shadowed ones can then never
+  // starve the merge below k results.
+  SCCF_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> hits,
+      shard.index->Search(query, k + shard.pending->size(), exclude_user));
+  index::TopKAccumulator acc(k);
+  for (const index::Neighbor& nb : hits) {
+    if (!shard.pending->contains(nb.id)) acc.Offer(nb.id, nb.score);
+  }
+  shard.pending->OfferTo(query, exclude_user, &acc);
+  return acc.Take();
+}
+
 StatusOr<std::vector<index::Neighbor>> RealTimeService::SearchAllShards(
     const float* query, size_t k, int exclude_user) const {
   if (shards_.size() == 1) {  // single-shard fast path: no merge layer
-    const Shard& shard = *shards_[0];
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
-    return shard.index->Search(query, k, exclude_user);
+    return SearchShard(*shards_[0], query, k, exclude_user);
   }
   std::vector<std::vector<index::Neighbor>> per_shard(shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    const Shard& shard = *shards_[s];
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
     SCCF_ASSIGN_OR_RETURN(per_shard[s],
-                          shard.index->Search(query, k, exclude_user));
+                          SearchShard(*shards_[s], query, k, exclude_user));
   }
   return MergeTopK(std::move(per_shard), k);
 }
 
 StatusOr<RealTimeService::UpdateTiming> RealTimeService::OnInteraction(
     int user, int item) {
+  const Event event{user, item, 0};
+  SCCF_ASSIGN_OR_RETURN(BatchResult result,
+                        OnInteractionBatch(std::span<const Event>(&event, 1)));
+  return result.timings[0];
+}
+
+StatusOr<RealTimeService::BatchResult> RealTimeService::OnInteractionBatch(
+    std::span<const Event> events, bool identify) {
   if (!bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap must run first");
   }
-  if (item < 0 || static_cast<size_t>(item) >= model_->num_items()) {
-    return Status::InvalidArgument("unknown item " + std::to_string(item));
+  // Validate the whole batch before touching any shard: a rejected batch
+  // must leave no partial state behind.
+  for (const Event& e : events) {
+    if (e.user < 0) {
+      return Status::InvalidArgument("negative user id " +
+                                     std::to_string(e.user));
+    }
+    if (e.item < 0 || static_cast<size_t>(e.item) >= model_->num_items()) {
+      return Status::InvalidArgument("unknown item " + std::to_string(e.item));
+    }
   }
+  BatchResult result;
+  result.timings.assign(events.size(), UpdateTiming{});
+  if (events.empty()) return result;
 
-  UpdateTiming timing;
   const size_t d = model_->embedding_dim();
-  std::vector<float> emb(d, 0.0f);
 
-  Shard& shard = *shards_[ShardIndex(user, shards_.size())];
-  {
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
-    std::vector<int>& history = shard.histories[user];  // cold start: creates
-    history.push_back(item);
-
-    Stopwatch infer_clock;
-    InferWindowEmbedding(history, emb.data());
-    timing.infer_ms = infer_clock.ElapsedMillis();
-
-    Stopwatch index_clock;
-    SCCF_RETURN_NOT_OK(shard.index->Add(user, emb.data()));
-    timing.index_ms = index_clock.ElapsedMillis();
-    shard.vote_items[user] = VoteItems(history);
+  // Single-event fast path (what OnInteraction delegates to): skip the
+  // grouping scaffolding — per-event serving latency must not pay for
+  // O(num_shards) scratch it cannot use.
+  if (events.size() == 1) {
+    const Event& e = events[0];
+    std::vector<float> emb(d, 0.0f);
+    Shard& shard = *shards_[ShardIndex(e.user, shards_.size())];
+    {
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      auto [hist_it, created] = shard.histories.try_emplace(e.user);
+      hist_it->second.push_back(e.item);  // cold start: creates
+      result.cold_start_users = created ? 1 : 0;
+      SCCF_RETURN_NOT_OK(
+          RefreshTouchedUser(shard, e.user, emb.data(),
+                             &result.timings[0]));
+      result.pending_upserts = shard.pending->size();
+    }
+    result.users_touched = 1;
+    if (identify) {
+      Stopwatch identify_clock;
+      SCCF_ASSIGN_OR_RETURN(
+          std::vector<index::Neighbor> neighbors,
+          SearchAllShards(emb.data(), options_.beta, e.user));
+      (void)neighbors;
+      result.timings[0].identify_ms = identify_clock.ElapsedMillis();
+    }
+    return result;
   }
 
-  // Identify outside the write lock: the fresh neighborhood spans every
-  // shard, and holding a write lock while taking other shards' read locks
-  // would serialize ingest (and risk deadlock by lock-order inversion).
-  Stopwatch identify_clock;
-  SCCF_ASSIGN_OR_RETURN(
-      std::vector<index::Neighbor> neighbors,
-      SearchAllShards(emb.data(), options_.beta, user));
-  (void)neighbors;
-  timing.identify_ms = identify_clock.ElapsedMillis();
-  return timing;
+  // Group event positions by owning shard, preserving batch order (which
+  // is each user's chronological order by contract).
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    by_shard[ShardIndex(events[i].user, shards_.size())].push_back(i);
+  }
+
+  // Users touched by this batch, in deterministic (shard, first-touch)
+  // order, with each user's final embedding kept for the identify pass.
+  struct TouchedUser {
+    int user = -1;
+    size_t last_event = 0;  // batch position carrying this user's costs
+  };
+  std::vector<TouchedUser> touched;
+  std::vector<float> final_embs;
+
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& shard = *shards_[s];
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+
+    // Pass 1: append every event to its user's history (cold start
+    // creates the user), recording who was touched.
+    const size_t shard_first = touched.size();
+    std::unordered_map<int, size_t> touched_pos;  // user -> touched index
+    for (size_t i : by_shard[s]) {
+      const Event& e = events[i];
+      auto [hist_it, created] = shard.histories.try_emplace(e.user);
+      hist_it->second.push_back(e.item);
+      result.cold_start_users += created ? 1 : 0;
+      auto [it, inserted] = touched_pos.try_emplace(e.user, touched.size());
+      if (inserted) {
+        touched.push_back({e.user, i});
+        final_embs.resize(final_embs.size() + d, 0.0f);
+      } else {
+        touched[it->second].last_event = i;
+      }
+    }
+
+    // Pass 2: re-infer each touched user once, from the final history,
+    // and push the embedding toward the index — directly when writing
+    // through, via the shard's write buffer when batching compactions.
+    for (size_t t = shard_first; t < touched.size(); ++t) {
+      SCCF_RETURN_NOT_OK(RefreshTouchedUser(
+          shard, touched[t].user, final_embs.data() + t * d,
+          &result.timings[touched[t].last_event]));
+    }
+    result.pending_upserts += shard.pending->size();
+  }
+  result.users_touched = touched.size();
+
+  if (!identify) return result;
+
+  // Identify outside every write lock: the fresh neighborhood spans all
+  // shards, and holding a write lock while taking other shards' read
+  // locks would serialize ingest (and risk lock-order deadlock).
+  for (size_t t = 0; t < touched.size(); ++t) {
+    Stopwatch identify_clock;
+    SCCF_ASSIGN_OR_RETURN(
+        std::vector<index::Neighbor> neighbors,
+        SearchAllShards(final_embs.data() + t * d, options_.beta,
+                        touched[t].user));
+    (void)neighbors;
+    result.timings[touched[t].last_event].identify_ms =
+        identify_clock.ElapsedMillis();
+  }
+  return result;
+}
+
+Status RealTimeService::RefreshTouchedUser(Shard& shard, int user,
+                                           float* emb,
+                                           UpdateTiming* timing) {
+  const std::vector<int>& history = shard.histories[user];
+
+  Stopwatch infer_clock;
+  InferWindowEmbedding(history, emb);
+  timing->infer_ms = infer_clock.ElapsedMillis();
+
+  Stopwatch index_clock;
+  if (options_.compaction_threshold <= 1) {
+    SCCF_RETURN_NOT_OK(shard.index->Add(user, emb));
+  } else {
+    shard.pending->Put(user, emb);
+    if (shard.pending->size() >= options_.compaction_threshold) {
+      SCCF_RETURN_NOT_OK(shard.pending->DrainTo(shard.index.get()));
+    }
+  }
+  timing->index_ms = index_clock.ElapsedMillis();
+  shard.vote_items[user] = VoteItems(history);
+  return Status::OK();
+}
+
+Status RealTimeService::Compact() {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  for (const auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.pending != nullptr && !shard.pending->empty()) {
+      SCCF_RETURN_NOT_OK(shard.pending->DrainTo(shard.index.get()));
+    }
+  }
+  return Status::OK();
+}
+
+size_t RealTimeService::pending_upserts() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    if (shard->pending != nullptr) total += shard->pending->size();
+  }
+  return total;
 }
 
 StatusOr<std::vector<index::Neighbor>> RealTimeService::Neighbors(
-    int user) const {
+    int user, size_t beta) const {
   if (!bootstrapped_) {
     return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  const size_t effective_beta = beta == 0 ? options_.beta : beta;
+  if (effective_beta == 0) {
+    return Status::InvalidArgument("beta must be positive");
   }
   std::vector<float> emb(model_->embedding_dim(), 0.0f);
   {
@@ -227,13 +385,16 @@ StatusOr<std::vector<index::Neighbor>> RealTimeService::Neighbors(
     }
     InferWindowEmbedding(it->second, emb.data());
   }
-  return SearchAllShards(emb.data(), options_.beta, user);
+  return SearchAllShards(emb.data(), effective_beta, user);
 }
 
-StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
-                                                            size_t n) const {
+StatusOr<CandidateList> RealTimeService::RecommendUserBased(
+    int user, size_t n, size_t beta, bool exclude_seen) const {
+  if (n == 0) {
+    return Status::InvalidArgument("n must be positive");
+  }
   SCCF_ASSIGN_OR_RETURN(std::vector<index::Neighbor> neighbors,
-                        Neighbors(user));
+                        Neighbors(user, beta));
   std::vector<float> scores(model_->num_items(), 0.0f);
   // Accumulate in merged-neighbor order (identical float addition order
   // to the single-index implementation), taking the owning shard's read
@@ -245,7 +406,7 @@ StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
     if (vi == shard.vote_items.end()) continue;
     for (int item : vi->second) scores[item] += nb.score;
   }
-  {
+  if (exclude_seen) {
     const Shard& shard = *shards_[ShardIndex(user, shards_.size())];
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     auto hist = shard.histories.find(user);
@@ -254,6 +415,20 @@ StatusOr<CandidateList> RealTimeService::RecommendUserBased(int user,
     }
   }
   return TopNFromScores(scores, n, 0.0f);
+}
+
+StatusOr<std::vector<int>> RealTimeService::VoteItems(int user) const {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  const Shard& shard = *shards_[ShardIndex(user, shards_.size())];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  auto it = shard.vote_items.find(user);
+  if (it == shard.vote_items.end()) {
+    return Status::NotFound("user " + std::to_string(user) +
+                            " has no votes");
+  }
+  return it->second;  // copies under the lock
 }
 
 StatusOr<std::vector<int>> RealTimeService::History(int user) const {

@@ -1,8 +1,11 @@
 #ifndef SCCF_CORE_REALTIME_H_
 #define SCCF_CORE_REALTIME_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <shared_mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +55,17 @@ class RealTimeService {
     /// std::thread::hardware_concurrency() at Bootstrap; 1 reproduces the
     /// pre-sharding single-index service exactly.
     size_t num_shards = 0;
+    /// Index-refresh batching (the buffered-upsert contract in
+    /// index/vector_index.h): re-inferred embeddings are staged in a
+    /// per-shard write buffer and flushed to the backend index only once
+    /// the buffer holds this many users — so a hot user re-updated k
+    /// times between flushes costs one Add (one HNSW tombstone/reinsert,
+    /// one IVF reassignment) instead of k. Queries merge the buffer with
+    /// index results, so freshness is unaffected; the trade-off is a
+    /// linear scan of <= compaction_threshold staged rows per shard per
+    /// query. <= 1 writes through on every update (the pre-buffering
+    /// behavior, bit-identical to it).
+    size_t compaction_threshold = 1;
     IndexKind index_kind = IndexKind::kBruteForce;
     index::Metric metric = index::Metric::kCosine;
     /// Per-shard IVF options. nlist is clamped to the shard's bootstrap
@@ -66,6 +80,15 @@ class RealTimeService {
   struct UserState {
     int user = -1;
     std::vector<int> history;  // chronological
+  };
+
+  /// One interaction in an ingest batch. `ts` is carried for callers that
+  /// batch by wall-clock window (the service itself orders events by
+  /// batch position, which the caller must keep chronological per user).
+  struct Event {
+    int user = -1;
+    int item = -1;
+    int64_t ts = 0;
   };
 
   /// Per-interaction latency breakdown reported by OnInteraction — the
@@ -92,19 +115,74 @@ class RealTimeService {
   Status BootstrapFromSplit(const data::LeaveOneOutSplit& split);
 
   /// Ingests one interaction: appends to the user's history, re-infers the
-  /// embedding, updates the shard index (all under the shard's write
+  /// embedding, refreshes the shard index (all under the shard's write
   /// lock), and identifies the fresh neighborhood via the all-shard
   /// fan-out. Unknown users are created on the fly (cold start).
   /// Thread-safe; concurrent callers on different shards run in parallel.
+  /// Implemented as OnInteractionBatch over a single event — pinned
+  /// bit-identical to the historical per-event path by
+  /// EngineTest.SingleEventBatchMatchesOnInteraction.
   StatusOr<UpdateTiming> OnInteraction(int user, int item);
 
+  /// What one ingest batch did, observed under the locks the batch
+  /// already held (so callers don't re-sweep shards for bookkeeping).
+  struct BatchResult {
+    /// One entry per event; a user updated several times in the batch
+    /// carries the infer/index/identify cost on its *last* event
+    /// (earlier ones read 0).
+    std::vector<UpdateTiming> timings;
+    size_t users_touched = 0;     ///< distinct users in the batch
+    size_t cold_start_users = 0;  ///< users created by the batch
+    /// Upserts still staged in the shards this batch touched, after
+    /// the batch (always 0 when compaction_threshold <= 1).
+    size_t pending_upserts = 0;
+  };
+
+  /// Batched ingest, the amortized write path: events are grouped by
+  /// shard, each shard's write lock is taken once per batch, histories
+  /// and vote lists absorb every event, and only each touched user's
+  /// *final* embedding is re-inferred and pushed toward the index —
+  /// staged through the shard's write buffer when
+  /// Options::compaction_threshold > 1. With `identify` false the
+  /// post-update neighborhood search is skipped (pure ingest, e.g.
+  /// offline replay).
+  ///
+  /// The whole batch is validated before any mutation, so an
+  /// InvalidArgument return means no state changed. Events must be
+  /// chronological per user within the batch. Thread-safe; concurrent
+  /// batches contend only on the shards they touch, one at a time (no
+  /// deadlock: at most one lock is held at any moment).
+  StatusOr<BatchResult> OnInteractionBatch(std::span<const Event> events,
+                                           bool identify = true);
+
+  /// Flushes every shard's write buffer into its backend index (one
+  /// shard write lock at a time). After Compact, pending_upserts() == 0
+  /// and query results are bit-identical to a write-through service that
+  /// applied each user's final embedding. Thread-safe.
+  Status Compact();
+
+  /// Total embeddings currently staged across all shard write buffers.
+  size_t pending_upserts() const;
+
   /// Current neighborhood of `user` (Eq. 11): per-shard top-beta searches
-  /// merged into the global top-beta. Thread-safe (read locks only).
-  StatusOr<std::vector<index::Neighbor>> Neighbors(int user) const;
+  /// (each merging the shard's staged upserts) merged into the global
+  /// top-beta. `beta` 0 uses Options::beta; an effective beta of 0 is
+  /// InvalidArgument. Thread-safe (read locks only).
+  StatusOr<std::vector<index::Neighbor>> Neighbors(int user,
+                                                   size_t beta = 0) const;
 
   /// Eq. 12 user-based candidate list from the current snapshot.
-  /// Thread-safe (read locks only).
-  StatusOr<CandidateList> RecommendUserBased(int user, size_t n) const;
+  /// `n` must be positive (InvalidArgument otherwise); `beta` 0 uses
+  /// Options::beta. With `exclude_seen` false the user's own history is
+  /// not masked out of the list. Thread-safe (read locks only).
+  StatusOr<CandidateList> RecommendUserBased(int user, size_t n,
+                                             size_t beta = 0,
+                                             bool exclude_seen = true) const;
+
+  /// Snapshot copy of the items user `user` currently contributes as
+  /// votes (the vote_window tail of their history, deduplicated).
+  /// NotFound for users with no votes yet. Thread-safe.
+  StatusOr<std::vector<int>> VoteItems(int user) const;
 
   /// Snapshot copy of the user's history. NotFound for unknown users,
   /// FailedPrecondition before Bootstrap. (Returning by value is the
@@ -126,6 +204,9 @@ class RealTimeService {
   struct Shard {
     mutable std::shared_mutex mu;
     std::unique_ptr<index::VectorIndex> index;
+    /// Staged upserts awaiting compaction (see Options::
+    /// compaction_threshold); guarded by `mu` like the index it shadows.
+    std::unique_ptr<index::UpsertBuffer> pending;
     std::unordered_map<int, std::vector<int>> histories;
     std::unordered_map<int, std::vector<int>> vote_items;
   };
@@ -140,6 +221,18 @@ class RealTimeService {
   /// service is published).
   Status BuildShard(Shard* shard,
                     const std::vector<const UserState*>& users) const;
+  /// One touched user's refresh, under `shard`'s already-held write
+  /// lock: re-infers the final embedding (into `emb`, d floats), stages
+  /// or applies the index update per compaction_threshold, snapshots
+  /// the vote list, and records infer/index timings.
+  Status RefreshTouchedUser(Shard& shard, int user, float* emb,
+                            UpdateTiming* timing);
+  /// One shard's top-k under its shared lock: backend Search results
+  /// (staged ids shadowed) merged with the shard's write buffer.
+  StatusOr<std::vector<index::Neighbor>> SearchShard(const Shard& shard,
+                                                     const float* query,
+                                                     size_t k,
+                                                     int exclude_user) const;
   /// Per-shard top-k fan-out (shared lock per shard, one at a time) +
   /// k-way merge. `exclude_user` only matches in its own shard.
   StatusOr<std::vector<index::Neighbor>> SearchAllShards(

@@ -1,7 +1,10 @@
 #ifndef SCCF_CORE_SCCF_H_
 #define SCCF_CORE_SCCF_H_
 
+#include <cstddef>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "core/candidates.h"

@@ -1,6 +1,7 @@
 #ifndef SCCF_CORE_TOPK_MERGE_H_
 #define SCCF_CORE_TOPK_MERGE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "index/vector_index.h"

@@ -1,7 +1,9 @@
 #ifndef SCCF_CORE_USER_BASED_H_
 #define SCCF_CORE_USER_BASED_H_
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 

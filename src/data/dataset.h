@@ -1,6 +1,7 @@
 #ifndef SCCF_DATA_DATASET_H_
 #define SCCF_DATA_DATASET_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,7 +1,9 @@
 #ifndef SCCF_DATA_LOADERS_H_
 #define SCCF_DATA_LOADERS_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "data/dataset.h"
 #include "util/status.h"

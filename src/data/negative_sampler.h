@@ -1,6 +1,7 @@
 #ifndef SCCF_DATA_NEGATIVE_SAMPLER_H_
 #define SCCF_DATA_NEGATIVE_SAMPLER_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/split.h"

@@ -1,6 +1,7 @@
 #ifndef SCCF_DATA_SPLIT_H_
 #define SCCF_DATA_SPLIT_H_
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

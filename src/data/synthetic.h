@@ -1,6 +1,8 @@
 #ifndef SCCF_DATA_SYNTHETIC_H_
 #define SCCF_DATA_SYNTHETIC_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_EVAL_EVALUATOR_H_
 #define SCCF_EVAL_EVALUATOR_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/split.h"

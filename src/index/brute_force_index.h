@@ -1,6 +1,7 @@
 #ifndef SCCF_INDEX_BRUTE_FORCE_INDEX_H_
 #define SCCF_INDEX_BRUTE_FORCE_INDEX_H_
 
+#include <cstddef>
 #include <unordered_map>
 #include <vector>
 

@@ -1,6 +1,8 @@
 #ifndef SCCF_INDEX_HNSW_INDEX_H_
 #define SCCF_INDEX_HNSW_INDEX_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
+
 namespace sccf::index {
 
 namespace {
@@ -34,6 +36,56 @@ std::vector<Neighbor> TopKAccumulator::Take() {
     return a.id < b.id;
   });
   return out;
+}
+
+void UpsertBuffer::Put(int id, const float* vec) {
+  auto it = pos_.find(id);
+  size_t row;
+  if (it != pos_.end()) {
+    row = it->second;
+  } else {
+    row = ids_.size();
+    ids_.push_back(id);
+    data_.resize(data_.size() + dim_);
+    inv_norms_.push_back(0.0f);
+    pos_[id] = row;
+  }
+  std::copy(vec, vec + dim_, data_.data() + row * dim_);
+  if (metric_ == Metric::kCosine) {
+    const float norm = simd::Norm(vec, dim_);
+    inv_norms_[row] = norm > 0.0f ? 1.0f / norm : 0.0f;
+  }
+}
+
+void UpsertBuffer::OfferTo(const float* query, int exclude_id,
+                           TopKAccumulator* acc) const {
+  if (ids_.empty()) return;
+  std::vector<float> qnorm;
+  const float* q = query;
+  if (metric_ == Metric::kCosine) {
+    qnorm.resize(dim_);
+    simd::NormalizeCopy(query, qnorm.data(), dim_);
+    q = qnorm.data();
+  }
+  for (size_t row = 0; row < ids_.size(); ++row) {
+    if (ids_[row] == exclude_id) continue;
+    float score = simd::Dot(q, data_.data() + row * dim_, dim_);
+    if (metric_ == Metric::kCosine) score *= inv_norms_[row];
+    acc->Offer(ids_[row], score);
+  }
+}
+
+Status UpsertBuffer::DrainTo(VectorIndex* index) {
+  Status first_error;
+  for (size_t row = 0; row < ids_.size(); ++row) {
+    Status st = index->Add(ids_[row], data_.data() + row * dim_);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  ids_.clear();
+  data_.clear();
+  inv_norms_.clear();
+  pos_.clear();
+  return first_error;
 }
 
 }  // namespace sccf::index

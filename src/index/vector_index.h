@@ -2,6 +2,7 @@
 #define SCCF_INDEX_VECTOR_INDEX_H_
 
 #include <cstddef>
+#include <unordered_map>
 #include <vector>
 
 #include "util/status.h"
@@ -44,6 +45,19 @@ struct Neighbor {
 ///  - `BruteForceIndex` built with `parallel = true` fans `Search` out on
 ///    the global `ThreadPool`; never call that from inside a pool worker
 ///    (`ParallelFor` nesting is forbidden, see util/thread_pool.h).
+///
+/// Buffered-upsert contract: because `Add` with an existing id replaces
+/// the stored vector, a caller may defer a burst of upserts in a side
+/// buffer and apply only each id's *final* vector at a compaction point —
+/// the index state after the deferred `Add`s is identical to applying
+/// every intermediate `Add`, minus the per-call structural churn (HNSW
+/// tombstone + reinsert, IVF posting reassignment, brute-force row
+/// rewrites). Queries issued between compactions must merge the buffer's
+/// contents with `Search` results themselves (staged ids shadow their
+/// stale indexed entry; staged-but-never-indexed ids are cold-start
+/// inserts). `UpsertBuffer` below implements exactly this staging
+/// discipline; `core::RealTimeService` applies it per shard behind
+/// `Options::compaction_threshold`.
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;
@@ -86,6 +100,63 @@ class TopKAccumulator {
   size_t k_ = 0;
   // Min-heap on score so the root is the current worst kept candidate.
   std::vector<Neighbor> heap_;
+};
+
+/// Insertion-ordered staging area for deferred index upserts — the write
+/// half of the buffered-upsert contract documented on VectorIndex. Callers
+/// stage (id, vector) pairs with Put (re-staging an id overwrites its row
+/// in place, so only the final vector survives to the flush), answer
+/// queries by combining OfferTo with the backend's Search results, and
+/// flush with DrainTo at their compaction point.
+///
+/// Vectors are stored raw: DrainTo hands the backend exactly the bytes a
+/// direct Add would have received, so a drain is bit-identical to having
+/// called Add with each id's final vector. Cosine scoring in OfferTo
+/// normalises on the fly instead (score = <q/|q|, v> / |v|, zero norms
+/// score 0), matching the backends' normalised-copy semantics to within
+/// rounding.
+///
+/// Not internally synchronized — same contract as VectorIndex; the owner
+/// guards it with the same lock as the index it stages for.
+class UpsertBuffer {
+ public:
+  UpsertBuffer(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+
+  /// Stages a copy of `vec` (dim floats) for `id`. Pre: id >= 0.
+  void Put(int id, const float* vec);
+
+  /// True if `id` has a staged (not yet drained) vector. A staged id's
+  /// indexed entry, if any, is stale and must be shadowed at query time.
+  bool contains(int id) const { return pos_.find(id) != pos_.end(); }
+
+  size_t size() const { return ids_.size(); }
+  bool empty() const { return ids_.empty(); }
+  size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+  /// Staged ids in first-Put order (diagnostics / tests).
+  const std::vector<int>& ids() const { return ids_; }
+
+  /// Scores every staged vector against `query` under the buffer's metric
+  /// and offers (id, score) to `acc`, skipping `exclude_id`. Together with
+  /// offering the backend's Search hits (minus ids `contains` shadows)
+  /// into the same accumulator, this yields the fresh merged top-k.
+  void OfferTo(const float* query, int exclude_id,
+               TopKAccumulator* acc) const;
+
+  /// Flushes staged vectors into `index` via Add in first-Put order (so
+  /// downstream slot / graph-insertion order is deterministic) and clears
+  /// the buffer. Returns the first Add error, if any; the buffer is
+  /// cleared regardless (staged ids are validated by the caller up front,
+  /// so a failed Add is a programming error, not recoverable input).
+  Status DrainTo(VectorIndex* index);
+
+ private:
+  size_t dim_ = 0;
+  Metric metric_;
+  std::vector<int> ids_;                   // row -> external id
+  std::vector<float> data_;                // ids_.size() x dim_, raw rows
+  std::vector<float> inv_norms_;           // 1/|row| (0 for zero rows)
+  std::unordered_map<int, size_t> pos_;    // external id -> row
 };
 
 }  // namespace sccf::index

@@ -1,6 +1,12 @@
 #ifndef SCCF_MODELS_BPR_MF_H_
 #define SCCF_MODELS_BPR_MF_H_
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "models/recommender.h"
 #include "tensor/tensor.h"
 #include "util/random.h"

@@ -1,7 +1,12 @@
 #ifndef SCCF_MODELS_GRU4REC_H_
 #define SCCF_MODELS_GRU4REC_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "models/recommender.h"
 #include "nn/graph.h"

@@ -1,6 +1,11 @@
 #ifndef SCCF_MODELS_POP_H_
 #define SCCF_MODELS_POP_H_
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "models/recommender.h"
 
 namespace sccf::models {

@@ -1,6 +1,7 @@
 #ifndef SCCF_MODELS_RECOMMENDER_H_
 #define SCCF_MODELS_RECOMMENDER_H_
 
+#include <cstddef>
 #include <span>
 #include <string>
 #include <vector>

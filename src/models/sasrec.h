@@ -1,7 +1,11 @@
 #ifndef SCCF_MODELS_SASREC_H_
 #define SCCF_MODELS_SASREC_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <span>
+#include <string>
 #include <vector>
 
 #include "models/recommender.h"

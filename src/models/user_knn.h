@@ -1,6 +1,11 @@
 #ifndef SCCF_MODELS_USER_KNN_H_
 #define SCCF_MODELS_USER_KNN_H_
 
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
 #include "index/vector_index.h"
 #include "models/recommender.h"
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_NN_GRAPH_H_
 #define SCCF_NN_GRAPH_H_
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_NN_PARAMETER_H_
 #define SCCF_NN_PARAMETER_H_
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_NN_TRANSFORMER_H_
 #define SCCF_NN_TRANSFORMER_H_
 
+#include <cstddef>
 #include <memory>
 #include <string>
 #include <vector>

@@ -1,6 +1,8 @@
 #ifndef SCCF_ONLINE_AB_TEST_H_
 #define SCCF_ONLINE_AB_TEST_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <span>
 #include <vector>

@@ -1,0 +1,93 @@
+#include "online/engine.h"
+
+#include <span>
+#include <utility>
+
+#include "util/stopwatch.h"
+
+namespace sccf::online {
+
+Engine::Engine(const models::InductiveUiModel& model, Options options)
+    : service_(model, options) {}
+
+Status Engine::Bootstrap(const std::vector<UserState>& users) {
+  return service_.Bootstrap(users);
+}
+
+Status Engine::BootstrapFromSplit(const data::LeaveOneOutSplit& split) {
+  return service_.BootstrapFromSplit(split);
+}
+
+StatusOr<Engine::IngestResponse> Engine::Ingest(const IngestRequest& request) {
+  Stopwatch wall;
+  SCCF_ASSIGN_OR_RETURN(
+      core::RealTimeService::BatchResult result,
+      service_.OnInteractionBatch(
+          std::span<const Event>(request.events.data(),
+                                 request.events.size()),
+          request.identify));
+
+  IngestResponse response;
+  response.num_events = request.events.size();
+  // The counters come from the batch itself (observed under the locks
+  // it held) — no extra all-shard sweeps on the serving hot path.
+  response.users_touched = result.users_touched;
+  response.cold_start_users = result.cold_start_users;
+  response.pending_upserts = result.pending_upserts;
+  for (const UpdateTiming& t : result.timings) {
+    response.infer_ms += t.infer_ms;
+    response.index_ms += t.index_ms;
+    response.identify_ms += t.identify_ms;
+  }
+  response.timings = std::move(result.timings);
+  response.wall_ms = wall.ElapsedMillis();
+  return response;
+}
+
+StatusOr<Engine::RecommendResponse> Engine::Recommend(
+    const RecommendRequest& request) const {
+  if (request.user < 0) {
+    return Status::InvalidArgument("user must be non-negative");
+  }
+  if (request.n == 0) {
+    return Status::InvalidArgument("n must be positive");
+  }
+  if (request.opts.beta_override.has_value() &&
+      *request.opts.beta_override == 0) {
+    return Status::InvalidArgument("beta_override must be positive");
+  }
+  SCCF_ASSIGN_OR_RETURN(
+      core::CandidateList candidates,
+      service_.RecommendUserBased(request.user, request.n,
+                                  request.opts.beta_override.value_or(0),
+                                  request.opts.exclude_seen));
+  return RecommendResponse{std::move(candidates)};
+}
+
+StatusOr<Engine::NeighborsResponse> Engine::Neighbors(
+    const NeighborsRequest& request) const {
+  if (request.user < 0) {
+    return Status::InvalidArgument("user must be non-negative");
+  }
+  if (request.beta_override.has_value() && *request.beta_override == 0) {
+    return Status::InvalidArgument("beta_override must be positive");
+  }
+  SCCF_ASSIGN_OR_RETURN(
+      std::vector<index::Neighbor> neighbors,
+      service_.Neighbors(request.user, request.beta_override.value_or(0)));
+  return NeighborsResponse{std::move(neighbors)};
+}
+
+StatusOr<Engine::HistoryResponse> Engine::History(
+    const HistoryRequest& request) const {
+  if (request.user < 0) {
+    return Status::InvalidArgument("user must be non-negative");
+  }
+  SCCF_ASSIGN_OR_RETURN(std::vector<int> items,
+                        service_.History(request.user));
+  return HistoryResponse{std::move(items)};
+}
+
+Status Engine::Compact() { return service_.Compact(); }
+
+}  // namespace sccf::online

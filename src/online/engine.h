@@ -1,0 +1,154 @@
+#ifndef SCCF_ONLINE_ENGINE_H_
+#define SCCF_ONLINE_ENGINE_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/candidates.h"
+#include "core/realtime.h"
+#include "data/split.h"
+#include "models/recommender.h"
+#include "util/status.h"
+
+namespace sccf::online {
+
+/// The unified serving facade of the SCCF deployment loop (paper
+/// Sec. III-C2, Table III): every interaction with the system goes
+/// through one of four typed request/response pairs —
+///
+///   IngestRequest     -> IngestResponse      (batched write path)
+///   RecommendRequest  -> RecommendResponse   (Eq. 12 candidate list)
+///   NeighborsRequest  -> NeighborsResponse   (Eq. 11 neighborhood)
+///   HistoryRequest    -> HistoryResponse     (user history snapshot)
+///
+/// The facade wraps the sharded core::RealTimeService and is the single
+/// public serving entry point: examples, the streaming evaluator, and
+/// the throughput benches all drive it. The batch-first ingest path is
+/// where the amortization lives — a batch takes each touched shard's
+/// write lock once, re-infers only each touched user's *final*
+/// embedding, and (with Options::compaction_threshold > 1) defers index
+/// refreshes through per-shard write buffers that queries transparently
+/// merge, so results stay fresh between compactions.
+///
+/// Thread-safety: Bootstrap once from one thread, then any mix of
+/// Ingest / Recommend / Neighbors / History / Compact calls from any
+/// threads is safe (the service's per-shard lock discipline; see
+/// core/realtime.h).
+class Engine {
+ public:
+  using Options = core::RealTimeService::Options;
+  using Event = core::RealTimeService::Event;
+  using UpdateTiming = core::RealTimeService::UpdateTiming;
+  using UserState = core::RealTimeService::UserState;
+
+  /// A batch of interactions to absorb. Events must be chronological per
+  /// user within the batch; cold-start users are created on the fly.
+  struct IngestRequest {
+    std::vector<Event> events;
+    /// Run the post-update neighborhood identification for every touched
+    /// user (the full Table III loop: infer + index + identify). Disable
+    /// for pure ingest (offline replay, warm-up), which skips the
+    /// all-shard fan-out search.
+    bool identify = true;
+  };
+
+  /// Per-event timings plus batch totals. A user updated several times
+  /// in one batch carries its (single) infer/index/identify cost on its
+  /// last event; earlier events read 0 — sum over the batch for totals,
+  /// which the aggregate fields below pre-compute.
+  struct IngestResponse {
+    std::vector<UpdateTiming> timings;  ///< one entry per request event
+    size_t num_events = 0;
+    size_t users_touched = 0;     ///< distinct users in the batch
+    size_t cold_start_users = 0;  ///< users created by this batch
+    double infer_ms = 0.0;        ///< sum of per-user inference cost
+    double index_ms = 0.0;        ///< sum of index-refresh/staging cost
+    double identify_ms = 0.0;     ///< sum of neighborhood-search cost
+    double wall_ms = 0.0;         ///< end-to-end batch wall time
+    /// Embeddings staged (not yet compacted) in the shards this batch
+    /// touched, observed as the batch released each shard — 0 whenever
+    /// compaction_threshold <= 1. For the all-shard total at any later
+    /// point, use Engine::pending_upserts().
+    size_t pending_upserts = 0;
+  };
+
+  struct RecommendOptions {
+    /// Neighborhood size for this request; unset uses Options::beta.
+    /// An explicit 0 is InvalidArgument.
+    std::optional<size_t> beta_override;
+    /// Mask the user's own history out of the candidate list (the
+    /// paper's protocol). Disable to score already-seen items too.
+    bool exclude_seen = true;
+  };
+
+  struct RecommendRequest {
+    int user = -1;
+    size_t n = 0;  ///< list length; must be positive
+    RecommendOptions opts;
+  };
+
+  struct RecommendResponse {
+    core::CandidateList candidates;  ///< descending score
+  };
+
+  struct NeighborsRequest {
+    int user = -1;
+    /// Neighborhood size for this request; unset uses Options::beta.
+    /// An explicit 0 is InvalidArgument.
+    std::optional<size_t> beta_override;
+  };
+
+  struct NeighborsResponse {
+    std::vector<index::Neighbor> neighbors;  ///< descending similarity
+  };
+
+  struct HistoryRequest {
+    int user = -1;
+  };
+
+  struct HistoryResponse {
+    std::vector<int> items;  ///< chronological snapshot copy
+  };
+
+  /// `model` must be fitted and outlive the engine.
+  Engine(const models::InductiveUiModel& model, Options options);
+
+  /// Loads initial user states / the split's training prefixes and
+  /// builds the shard indexes. Exactly once, before any serving call.
+  Status Bootstrap(const std::vector<UserState>& users);
+  Status BootstrapFromSplit(const data::LeaveOneOutSplit& split);
+
+  /// Absorbs a batch of interactions (see IngestRequest). The whole
+  /// batch is validated first — an InvalidArgument response means no
+  /// state changed. An empty batch is a no-op OK.
+  StatusOr<IngestResponse> Ingest(const IngestRequest& request);
+
+  /// Eq. 12 similarity-weighted candidate list for one user.
+  StatusOr<RecommendResponse> Recommend(const RecommendRequest& request) const;
+
+  /// Eq. 11 neighborhood of one user, freshest state (staged upserts
+  /// included).
+  StatusOr<NeighborsResponse> Neighbors(const NeighborsRequest& request) const;
+
+  /// Snapshot copy of one user's history (NotFound for unknown users).
+  StatusOr<HistoryResponse> History(const HistoryRequest& request) const;
+
+  /// Flushes every shard's staged upserts into its backend index.
+  Status Compact();
+
+  size_t pending_upserts() const { return service_.pending_upserts(); }
+  size_t num_users() const { return service_.num_users(); }
+
+  /// The wrapped service, for diagnostics (shard topology, vote lists)
+  /// and tests. Serving traffic should use the typed API above.
+  const core::RealTimeService& service() const { return service_; }
+  core::RealTimeService& service() { return service_; }
+
+ private:
+  core::RealTimeService service_;
+};
+
+}  // namespace sccf::online
+
+#endif  // SCCF_ONLINE_ENGINE_H_

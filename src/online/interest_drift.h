@@ -1,6 +1,7 @@
 #ifndef SCCF_ONLINE_INTEREST_DRIFT_H_
 #define SCCF_ONLINE_INTEREST_DRIFT_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "data/dataset.h"

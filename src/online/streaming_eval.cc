@@ -1,4 +1,4 @@
-#include "core/streaming_eval.h"
+#include "online/streaming_eval.h"
 
 #include <algorithm>
 #include <cmath>
@@ -7,21 +7,23 @@
 #include "index/brute_force_index.h"
 #include "index/hnsw_index.h"
 #include "index/ivf_flat_index.h"
+#include "online/engine.h"
 #include "util/logging.h"
 
-namespace sccf::core {
+namespace sccf::online {
 
 namespace {
 
-std::unique_ptr<index::VectorIndex> MakeIndex(IndexKind kind, size_t dim) {
+std::unique_ptr<index::VectorIndex> MakeIndex(core::IndexKind kind,
+                                              size_t dim) {
   switch (kind) {
-    case IndexKind::kBruteForce:
+    case core::IndexKind::kBruteForce:
       return std::make_unique<index::BruteForceIndex>(
           dim, index::Metric::kCosine);
-    case IndexKind::kIvfFlat:
+    case core::IndexKind::kIvfFlat:
       return std::make_unique<index::IvfFlatIndex>(
           dim, index::Metric::kCosine, index::IvfFlatIndex::Options{});
-    case IndexKind::kHnsw:
+    case core::IndexKind::kHnsw:
       return std::make_unique<index::HnswIndex>(
           dim, index::Metric::kCosine, index::HnswIndex::Options{});
   }
@@ -36,6 +38,25 @@ size_t RankByVotes(const std::vector<index::Neighbor>& neighbors,
   std::vector<float> scores(num_items, 0.0f);
   for (const auto& nb : neighbors) {
     for (int item : vote_items[nb.id]) scores[item] += nb.score;
+  }
+  for (int item : history) scores[item] = 0.0f;
+  const float t = scores[target];
+  size_t better = 0;
+  for (float s : scores) better += s > t;
+  return better + 1;
+}
+
+// Live-regime variant: neighbors' current vote lists come from the
+// serving engine's state instead of a local snapshot.
+size_t RankByVotesLive(const std::vector<index::Neighbor>& neighbors,
+                       const core::RealTimeService& service,
+                       std::span<const int> history, int target,
+                       size_t num_items) {
+  std::vector<float> scores(num_items, 0.0f);
+  for (const auto& nb : neighbors) {
+    auto votes = service.VoteItems(nb.id);
+    if (!votes.ok()) continue;  // neighbor with no votes contributes none
+    for (int item : *votes) scores[item] += nb.score;
   }
   for (int item : history) scores[item] = 0.0f;
   const float t = scores[target];
@@ -93,31 +114,76 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
         history.subspan(history.size() - take, take), out);
   };
 
-  std::unique_ptr<index::VectorIndex> frozen =
-      MakeIndex(options.index_kind, d);
-  std::unique_ptr<index::VectorIndex> live =
-      MakeIndex(options.index_kind, d);
+  // The live regime IS the deployment loop, so it runs through the
+  // serving Engine: one shard (bit-identical to a single index, same
+  // insertion order), per-event batched ingest, and the write-buffered
+  // index refresh when compaction_threshold > 1.
+  Engine::Options live_opts;
+  live_opts.beta = options.beta;
+  live_opts.infer_window = options.infer_window;
+  live_opts.vote_window = options.vote_window;
+  live_opts.num_shards = 1;
+  live_opts.index_kind = options.index_kind;
+  live_opts.compaction_threshold = options.compaction_threshold;
+  Engine engine(model, live_opts);
+  {
+    std::vector<Engine::UserState> states(n);
+    for (size_t u = 0; u < n; ++u) {
+      states[u].user = static_cast<int>(u);
+      const auto& seq = dataset.sequence(u);
+      states[u].history.assign(seq.begin(), seq.begin() + prefix_len(u));
+    }
+    SCCF_RETURN_NOT_OK(engine.Bootstrap(states));
+  }
+
+  // The frozen/stale baselines keep an explicit pre-stream snapshot —
+  // they model systems that are *not* the deployment loop, so they stay
+  // on a hand-managed index + vote copy.
   std::vector<std::vector<int>> vote_items(n);
   std::vector<float> bootstrap_emb(n * d, 0.0f);
-  {
-    std::vector<float> emb(d);
-    for (size_t u = 0; u < n; ++u) {
-      const auto& seq = dataset.sequence(u);
-      const size_t p = prefix_len(u);
-      if (p == 0) continue;
-      std::span<const int> prefix(seq.data(), p);
-      infer_tail(prefix, emb.data());
-      std::copy(emb.begin(), emb.end(), bootstrap_emb.begin() + u * d);
-      SCCF_RETURN_NOT_OK(frozen->Add(static_cast<int>(u), emb.data()));
-      SCCF_RETURN_NOT_OK(live->Add(static_cast<int>(u), emb.data()));
-      const size_t vt = options.vote_window == 0
-                            ? p
-                            : std::min(p, options.vote_window);
-      std::vector<int> votes(prefix.end() - vt, prefix.end());
-      std::sort(votes.begin(), votes.end());
-      votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
-      vote_items[u] = std::move(votes);
+  std::vector<int> populated;  // users with a non-empty prefix
+  for (size_t u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequence(u);
+    const size_t p = prefix_len(u);
+    if (p == 0) continue;
+    std::span<const int> prefix(seq.data(), p);
+    infer_tail(prefix, bootstrap_emb.data() + u * d);
+    populated.push_back(static_cast<int>(u));
+    const size_t vt = options.vote_window == 0
+                          ? p
+                          : std::min(p, options.vote_window);
+    std::vector<int> votes(prefix.end() - vt, prefix.end());
+    std::sort(votes.begin(), votes.end());
+    votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+    vote_items[u] = std::move(votes);
+  }
+  std::unique_ptr<index::VectorIndex> frozen;
+  if (options.index_kind == core::IndexKind::kIvfFlat) {
+    // IVF needs a trained coarse quantizer before Add; clamp nlist to
+    // the snapshot population like the serving shards do.
+    index::IvfFlatIndex::Options ivf_opts;
+    ivf_opts.nlist =
+        std::min(ivf_opts.nlist, std::max<size_t>(1, populated.size()));
+    auto ivf = std::make_unique<index::IvfFlatIndex>(
+        d, index::Metric::kCosine, ivf_opts);
+    std::vector<float> train_set;
+    train_set.reserve(populated.size() * d);
+    for (int u : populated) {
+      train_set.insert(train_set.end(), bootstrap_emb.begin() + u * d,
+                       bootstrap_emb.begin() + (u + 1) * d);
     }
+    if (populated.empty()) {
+      train_set.assign(d, 0.0f);  // one-centroid quantizer on the origin
+      SCCF_RETURN_NOT_OK(ivf->Train(train_set, 1));
+    } else {
+      SCCF_RETURN_NOT_OK(ivf->Train(train_set, populated.size()));
+    }
+    frozen = std::move(ivf);
+  } else {
+    frozen = MakeIndex(options.index_kind, d);
+  }
+  for (int u : populated) {
+    SCCF_RETURN_NOT_OK(frozen->Add(u, bootstrap_emb.data() + u * d));
   }
 
   StreamingEvalResult result;
@@ -132,12 +198,12 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
   // Interleave every user's tail events in global timestamp order, so a
   // prediction for user u sees the *other* users' already-revealed events
   // in the live regime — neighborhood freshness is exactly what differs.
-  struct Event {
+  struct TailEvent {
     int64_t ts;
     size_t user;
     size_t pos;  // index into the user's sequence
   };
-  std::vector<Event> events;
+  std::vector<TailEvent> events;
   for (size_t u = 0; u < n; ++u) {
     const auto& seq = dataset.sequence(u);
     if (seq.size() < 2 * options.tail_events) continue;
@@ -145,14 +211,12 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
       events.push_back({dataset.timestamps(u)[t], u, t});
     }
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const Event& a, const Event& b) { return a.ts < b.ts; });
-
-  // The live regime maintains its own (fresh) vote snapshots.
-  std::vector<std::vector<int>> vote_items_live = vote_items;
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const TailEvent& a, const TailEvent& b) { return a.ts < b.ts; });
 
   std::vector<float> emb(d);
-  for (const Event& e : events) {
+  for (const TailEvent& e : events) {
     const auto& seq = dataset.sequence(e.user);
     const int target = seq[e.pos];
     const std::span<const int> history(seq.data(), e.pos);
@@ -160,10 +224,13 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
     // Predict under both regimes. The query embedding is always fresh
     // (the query side is inductive either way); what differs is the
     // staleness of the indexed corpus and of the neighbors' vote lists.
+    // The live neighborhood comes straight from the Engine (its stored
+    // history for e.user is exactly `history` at this point, and staged
+    // upserts are merged into the search).
+    auto live_resp =
+        engine.Neighbors({static_cast<int>(e.user), std::nullopt});
+    SCCF_RETURN_NOT_OK(live_resp.status());
     infer_tail(history, emb.data());
-    auto live_nbrs =
-        live->Search(emb.data(), options.beta, static_cast<int>(e.user));
-    SCCF_RETURN_NOT_OK(live_nbrs.status());
     auto frozen_nbrs =
         frozen->Search(emb.data(), options.beta, static_cast<int>(e.user));
     SCCF_RETURN_NOT_OK(frozen_nbrs.status());
@@ -172,8 +239,8 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
                                      static_cast<int>(e.user));
     SCCF_RETURN_NOT_OK(stale_nbrs.status());
 
-    const size_t live_rank =
-        RankByVotes(*live_nbrs, vote_items_live, history, target, m);
+    const size_t live_rank = RankByVotesLive(
+        live_resp->neighbors, engine.service(), history, target, m);
     const size_t frozen_rank =
         RankByVotes(*frozen_nbrs, vote_items, history, target, m);
     const size_t stale_rank =
@@ -192,18 +259,15 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
     }
     ++result.num_predictions;
 
-    // Reveal: the live regime absorbs the interaction (embedding, index
-    // entry, vote list); the frozen regime serves the stale snapshot.
-    std::span<const int> revealed(seq.data(), e.pos + 1);
-    infer_tail(revealed, emb.data());
-    SCCF_RETURN_NOT_OK(live->Add(static_cast<int>(e.user), emb.data()));
-    const size_t vt = options.vote_window == 0
-                          ? revealed.size()
-                          : std::min(revealed.size(), options.vote_window);
-    std::vector<int> votes(revealed.end() - vt, revealed.end());
-    std::sort(votes.begin(), votes.end());
-    votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
-    vote_items_live[e.user] = std::move(votes);
+    // Reveal: the live Engine absorbs the interaction (history, vote
+    // list, embedding re-inference, buffered index refresh); the frozen
+    // regime keeps serving the stale snapshot. `identify` is off — the
+    // next prediction does its own neighborhood search.
+    Engine::IngestRequest reveal;
+    reveal.events.push_back(
+        {static_cast<int>(e.user), target, e.ts});
+    reveal.identify = false;
+    SCCF_RETURN_NOT_OK(engine.Ingest(reveal).status());
   }
 
   if (result.num_predictions > 0) {
@@ -219,4 +283,4 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
   return result;
 }
 
-}  // namespace sccf::core
+}  // namespace sccf::online

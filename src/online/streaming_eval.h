@@ -1,5 +1,5 @@
-#ifndef SCCF_CORE_STREAMING_EVAL_H_
-#define SCCF_CORE_STREAMING_EVAL_H_
+#ifndef SCCF_ONLINE_STREAMING_EVAL_H_
+#define SCCF_ONLINE_STREAMING_EVAL_H_
 
 #include <cstddef>
 #include <vector>
@@ -9,7 +9,7 @@
 #include "models/recommender.h"
 #include "util/status.h"
 
-namespace sccf::core {
+namespace sccf::online {
 
 /// Prequential ("predict, then reveal") evaluation of the user-based
 /// component under streaming updates.
@@ -21,9 +21,11 @@ namespace sccf::core {
 /// each event the held-out item is ranked by the similarity-weighted
 /// neighbor votes (Eq. 12) under two regimes —
 ///
-///   * live:        the corpus (index entries + vote lists) absorbs every
-///                  revealed event and the query embedding is re-inferred
-///                  per event (the SCCF deployment mode),
+///   * live:        the serving Engine absorbs every revealed event
+///                  (batched ingest, write-buffered index refresh when
+///                  compaction_threshold > 1) and the query embedding is
+///                  re-inferred per event — the SCCF deployment mode,
+///                  driven through the exact production path,
 ///   * frozen:      fresh query embedding, but the corpus keeps the stale
 ///                  pre-stream snapshot (a periodically-retrained system
 ///                  between retrains) — isolates corpus freshness,
@@ -39,7 +41,14 @@ struct StreamingEvalOptions {
   size_t beta = 100;
   size_t infer_window = 15;
   size_t vote_window = 15;
-  IndexKind index_kind = IndexKind::kBruteForce;
+  core::IndexKind index_kind = core::IndexKind::kBruteForce;
+  /// Engine write-buffer flush threshold for the live regime (see
+  /// core::RealTimeService::Options::compaction_threshold). 1 writes
+  /// every refresh through; > 1 exercises the buffered-upsert path,
+  /// measuring the recall-vs-compaction-cadence trade-off for the ANN
+  /// backends (queries merge the buffer, so brute force is exact at any
+  /// threshold).
+  size_t compaction_threshold = 1;
 };
 
 struct StreamingEvalResult {
@@ -57,12 +66,13 @@ struct StreamingEvalResult {
   double StaleQueryNdcgAt(size_t k) const;
 };
 
-/// Runs the prequential comparison. `model` must be fitted on the same
+/// Runs the prequential comparison, driving the live regime through the
+/// serving Engine (online/engine.h). `model` must be fitted on the same
 /// corpus. Deterministic.
 StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
     const models::InductiveUiModel& model, const data::Dataset& dataset,
     const StreamingEvalOptions& options = {});
 
-}  // namespace sccf::core
+}  // namespace sccf::online
 
-#endif  // SCCF_CORE_STREAMING_EVAL_H_
+#endif  // SCCF_ONLINE_STREAMING_EVAL_H_

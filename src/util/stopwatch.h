@@ -2,6 +2,7 @@
 #define SCCF_UTIL_STOPWATCH_H_
 
 #include <chrono>
+#include <cstddef>
 
 namespace sccf {
 

@@ -1,6 +1,7 @@
 #ifndef SCCF_UTIL_STRING_UTIL_H_
 #define SCCF_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>

@@ -11,7 +11,7 @@
 #include "core/candidates.h"
 #include "core/profile_neighborhood.h"
 #include "core/rank_stage.h"
-#include "core/streaming_eval.h"
+#include "online/streaming_eval.h"
 #include "core/user_based.h"
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -246,10 +246,10 @@ TEST_F(ExtensionsTest, StreamingEvalRunsAndLiveIsCompetitive) {
   models::Fism fism(fopts);
   ASSERT_TRUE(fism.Fit(*split_).ok());
 
-  core::StreamingEvalOptions opts;
+  online::StreamingEvalOptions opts;
   opts.tail_events = 3;
   opts.cutoffs = {50};
-  auto result = core::EvaluateStreamingUserBased(fism, *dataset_, opts);
+  auto result = online::EvaluateStreamingUserBased(fism, *dataset_, opts);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_GT(result->num_predictions, 0u);
   // The live regime must not be materially worse than the frozen one; in
@@ -263,7 +263,7 @@ TEST_F(ExtensionsTest, StreamingEvalRunsAndLiveIsCompetitive) {
 TEST_F(ExtensionsTest, StreamingEvalValidatesInputs) {
   models::Fism unfitted;
   EXPECT_EQ(
-      core::EvaluateStreamingUserBased(unfitted, *dataset_, {}).status().code(),
+      online::EvaluateStreamingUserBased(unfitted, *dataset_, {}).status().code(),
       StatusCode::kFailedPrecondition);
 
   models::Fism::Options fopts;
@@ -271,9 +271,9 @@ TEST_F(ExtensionsTest, StreamingEvalValidatesInputs) {
   fopts.epochs = 1;
   models::Fism fism(fopts);
   ASSERT_TRUE(fism.Fit(*split_).ok());
-  core::StreamingEvalOptions bad;
+  online::StreamingEvalOptions bad;
   bad.tail_events = 0;
-  EXPECT_EQ(core::EvaluateStreamingUserBased(fism, *dataset_, bad)
+  EXPECT_EQ(online::EvaluateStreamingUserBased(fism, *dataset_, bad)
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);

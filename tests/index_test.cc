@@ -392,5 +392,70 @@ TEST(HnswIndexTest, ExcludeId) {
   for (const auto& nb : *r) EXPECT_NE(nb.id, 0);
 }
 
+// ------------------------------------------------------- UpsertBuffer
+
+TEST(UpsertBufferTest, PutOverwritesInPlaceAndKeepsFirstPutOrder) {
+  UpsertBuffer buf(2, Metric::kInnerProduct);
+  EXPECT_TRUE(buf.empty());
+  const float v1[2] = {1, 0}, v2[2] = {0, 1}, v3[2] = {2, 2};
+  buf.Put(7, v1);
+  buf.Put(3, v2);
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_TRUE(buf.contains(7));
+  EXPECT_FALSE(buf.contains(4));
+  buf.Put(7, v3);  // overwrite: no new row, order unchanged
+  EXPECT_EQ(buf.size(), 2u);
+  EXPECT_EQ(buf.ids(), (std::vector<int>{7, 3}));
+}
+
+TEST(UpsertBufferTest, DrainToFlushesFinalVectorsInFirstPutOrder) {
+  UpsertBuffer buf(2, Metric::kInnerProduct);
+  BruteForceIndex idx(2, Metric::kInnerProduct);
+  const float v1[2] = {1, 0}, v2[2] = {0, 1}, v3[2] = {3, 0};
+  buf.Put(7, v1);
+  buf.Put(3, v2);
+  buf.Put(7, v3);  // only the final vector for id 7 reaches the index
+  ASSERT_TRUE(buf.DrainTo(&idx).ok());
+  EXPECT_TRUE(buf.empty());
+  EXPECT_FALSE(buf.contains(7));
+  EXPECT_EQ(idx.size(), 2u);
+  const float q[2] = {1, 0};
+  auto r = idx.Search(q, 2);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 2u);
+  EXPECT_EQ((*r)[0].id, 7);
+  EXPECT_FLOAT_EQ((*r)[0].score, 3.0f);  // v3, not v1
+}
+
+TEST(UpsertBufferTest, OfferToMatchesIndexScoringForCosine) {
+  // Staged scores must agree with what the backend would report after a
+  // drain (normalised-copy semantics), including the zero-vector guard
+  // and exclude_id handling.
+  const size_t d = 8;
+  Rng rng(99);
+  UpsertBuffer buf(d, Metric::kCosine);
+  BruteForceIndex direct(d, Metric::kCosine);
+  std::vector<float> corpus = RandomCorpus(5, d, rng);
+  std::fill(corpus.begin() + 4 * d, corpus.end(), 0.0f);  // zero row
+  for (int i = 0; i < 5; ++i) {
+    buf.Put(i, corpus.data() + i * d);
+    ASSERT_TRUE(direct.Add(i, corpus.data() + i * d).ok());
+  }
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+
+  TopKAccumulator acc(5);
+  buf.OfferTo(q.data(), /*exclude_id=*/2, &acc);
+  std::vector<Neighbor> staged = acc.Take();
+  auto indexed = direct.Search(q.data(), 5, /*exclude_id=*/2);
+  ASSERT_TRUE(indexed.ok());
+  ASSERT_EQ(staged.size(), indexed->size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    EXPECT_EQ(staged[i].id, (*indexed)[i].id) << "rank " << i;
+    EXPECT_NEAR(staged[i].score, (*indexed)[i].score, 1e-5) << "rank " << i;
+    EXPECT_NE(staged[i].id, 2);
+  }
+}
+
 }  // namespace
 }  // namespace sccf::index

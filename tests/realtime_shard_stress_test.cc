@@ -1,9 +1,11 @@
 // Concurrency stress for the sharded RealTimeService: N producer threads
-// hammer OnInteraction concurrently, then the full service state is
-// checked for equivalence against a serial replay of the same
-// interactions. Runs under ASan in the asan preset and under TSan via
-// scripts/ci.sh (tsan preset), where the per-shard shared_mutex
-// discipline is what is actually on trial.
+// hammer OnInteraction (and batched Engine::Ingest with write-buffered
+// compaction) concurrently, then the full service state is checked for
+// equivalence against a serial replay of the same interactions. Runs
+// under ASan in the asan preset and under TSan via scripts/ci.sh (tsan
+// preset), where the per-shard shared_mutex discipline — including the
+// buffer-merging query path racing staged ingest — is what is actually
+// on trial.
 
 #include <gtest/gtest.h>
 
@@ -15,6 +17,7 @@
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/fism.h"
+#include "online/engine.h"
 
 namespace sccf::core {
 namespace {
@@ -167,6 +170,96 @@ TEST_F(RealTimeShardStressTest, ConcurrentIngestMatchesSerialReplay) {
     ASSERT_EQ(r_conc->size(), r_ser->size()) << "user " << user;
     for (size_t i = 0; i < r_conc->size(); ++i) {
       EXPECT_EQ((*r_conc)[i].id, (*r_ser)[i].id)
+          << "user " << user << " rank " << i;
+    }
+  }
+}
+
+// Concurrent *batched* producers through the Engine facade: each thread
+// packs its per-user-disjoint plan into IngestRequest batches routed
+// through the per-shard write buffer (compaction_threshold > 1), with
+// neighborhood reads racing the staged state. After a final Compact, the
+// full state must match a serial per-event OnInteraction replay — the
+// batched write path, the buffer, and the buffer-merging query path all
+// under concurrency (the TSan run exercises the staged rows racing
+// readers).
+TEST_F(RealTimeShardStressTest, ConcurrentBatchedIngestMatchesSerialReplay) {
+  online::Engine::Options opts = ShardedOptions(IndexKind::kBruteForce);
+  opts.compaction_threshold = 16;
+  online::Engine engine(*fism_, opts);
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+
+  std::vector<std::vector<std::pair<int, int>>> plans;
+  for (int t = 0; t < kThreads; ++t) plans.push_back(PlanForThread(t));
+
+  constexpr size_t kBatchSize = 13;  // deliberately not a threshold divisor
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      online::Engine::IngestRequest req;
+      for (size_t i = 0; i < plans[t].size(); ++i) {
+        const auto& [user, item] = plans[t][i];
+        req.events.push_back({user, item, static_cast<int64_t>(i)});
+        if (req.events.size() == kBatchSize || i + 1 == plans[t].size()) {
+          auto resp = engine.Ingest(req);
+          if (!resp.ok() || resp->num_events != req.events.size()) {
+            failures.fetch_add(1);
+          }
+          req.events.clear();
+          // Interleave reads so the buffer-merging fan-out races other
+          // threads' staged ingest.
+          auto nbrs = engine.Neighbors({user, std::nullopt});
+          if (!nbrs.ok() || nbrs->neighbors.empty()) failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  ASSERT_EQ(failures.load(), 0);
+  ASSERT_TRUE(engine.Compact().ok());
+  ASSERT_EQ(engine.pending_upserts(), 0u);
+
+  RealTimeService serial(*fism_, ShardedOptions(IndexKind::kBruteForce));
+  ASSERT_TRUE(serial.BootstrapFromSplit(*split_).ok());
+  for (const auto& plan : plans) {
+    for (const auto& [user, item] : plan) {
+      ASSERT_TRUE(serial.OnInteraction(user, item).ok());
+    }
+  }
+
+  ASSERT_EQ(engine.num_users(), serial.num_users());
+  std::vector<int> all_users;
+  for (int u = 0; u < static_cast<int>(split_->num_users()); ++u) {
+    all_users.push_back(u);
+  }
+  for (int t = 0; t < kThreads; ++t) all_users.push_back(2000 + t);
+
+  for (int user : all_users) {
+    auto h_conc = engine.History({user});
+    auto h_ser = serial.History(user);
+    ASSERT_TRUE(h_conc.ok()) << "user " << user;
+    ASSERT_TRUE(h_ser.ok()) << "user " << user;
+    EXPECT_EQ(h_conc->items, *h_ser) << "history diverged for user " << user;
+
+    auto n_conc = engine.Neighbors({user, std::nullopt});
+    auto n_ser = serial.Neighbors(user);
+    ASSERT_TRUE(n_conc.ok()) << "user " << user;
+    ASSERT_TRUE(n_ser.ok()) << "user " << user;
+    ASSERT_EQ(n_conc->neighbors.size(), n_ser->size()) << "user " << user;
+    for (size_t i = 0; i < n_ser->size(); ++i) {
+      EXPECT_EQ(n_conc->neighbors[i].id, (*n_ser)[i].id)
+          << "user " << user << " rank " << i;
+      EXPECT_FLOAT_EQ(n_conc->neighbors[i].score, (*n_ser)[i].score);
+    }
+
+    auto r_conc = engine.Recommend({user, 10, {}});
+    auto r_ser = serial.RecommendUserBased(user, 10);
+    ASSERT_TRUE(r_conc.ok()) << "user " << user;
+    ASSERT_TRUE(r_ser.ok()) << "user " << user;
+    ASSERT_EQ(r_conc->candidates.size(), r_ser->size()) << "user " << user;
+    for (size_t i = 0; i < r_ser->size(); ++i) {
+      EXPECT_EQ(r_conc->candidates[i].id, (*r_ser)[i].id)
           << "user " << user << " rank " << i;
     }
   }
