@@ -16,6 +16,12 @@
 //   --dim=N               embedding dim (default 32)
 //   --shards=N            0 = hardware concurrency (the service default)
 //   --compaction=N        write-buffer flush threshold (default 32)
+//   --compaction_interval=0,20,100
+//                         wall-clock compaction intervals (ms) to sweep;
+//                         0 = count-threshold-only (the PR 4 behavior)
+//   --background          enable the background compaction thread at
+//                         every sweep point (default off: deterministic
+//                         staged counts for the query-phase numbers)
 //   --run_length=N        consecutive events per user in the stream
 //                         (default 4 — e-commerce sessions are bursty;
 //                         1 = adversarial all-distinct worst case)
@@ -33,6 +39,15 @@
 // finishing; updates/sec = interactions / wall. Latencies are
 // per-IngestRequest (request-level serving latency), merged across
 // threads for the percentiles.
+//
+// Query-side buffer-scan cost: after the ingest phase (before Compact)
+// each sweep point runs a fixed block of Neighbors queries against
+// whatever is still staged and reports the mean latency plus the staged
+// row count it saw, then Compacts and re-runs the same block — the
+// staged-vs-compacted delta is the per-query price of the write buffer
+// at that (threshold, interval) operating point. With an interval > 0
+// the first query touching an overdue shard pays its drain (the
+// query-path age policy is part of what is measured).
 
 #include <algorithm>
 #include <atomic>
@@ -56,12 +71,14 @@ using namespace sccf;
 struct Config {
   std::vector<int> threads = {1, 2, 4, 8};
   std::vector<size_t> batch_sizes = {1, 32};
+  std::vector<int64_t> intervals = {0};  // --compaction_interval sweep (ms)
   size_t interactions = 10000;
   size_t users = 2000;
   size_t items = 1500;
   size_t dim = 32;
   size_t shards = 0;  // 0 = hardware concurrency
   size_t compaction = 32;
+  bool background = false;
   size_t run_length = 4;
   std::string json_path;
 };
@@ -69,11 +86,29 @@ struct Config {
 struct SweepPoint {
   int threads = 0;
   size_t batch_size = 0;
+  int64_t interval_ms = 0;
   double updates_per_sec = 0.0;
   double p50_ms = 0.0;
   double p99_ms = 0.0;
   double mean_ms = 0.0;
+  size_t staged_rows = 0;            // pending upserts entering the query phase
+  double query_staged_mean_ms = 0.0;    // Neighbors mean, buffers staged
+  double query_compacted_mean_ms = 0.0;  // Neighbors mean, after Compact
 };
+
+/// Fixed query block for the buffer-scan-cost phase: kQueryProbes
+/// Neighbors calls round-robin over the bootstrap population.
+constexpr size_t kQueryProbes = 256;
+
+double MeanNeighborsMs(online::Engine& engine, size_t users) {
+  Stopwatch clock;
+  for (size_t i = 0; i < kQueryProbes; ++i) {
+    const int user = static_cast<int>((i * 2654435761u) % users);
+    auto nbrs = engine.Neighbors({user, std::nullopt});
+    SCCF_CHECK(nbrs.ok()) << "query probe failed for user " << user;
+  }
+  return clock.ElapsedMillis() / static_cast<double>(kQueryProbes);
+}
 
 double Percentile(std::vector<double>& sorted_ms, double q) {
   if (sorted_ms.empty()) return 0.0;
@@ -86,11 +121,13 @@ double Percentile(std::vector<double>& sorted_ms, double q) {
 SweepPoint RunSweepPoint(const models::Fism& model,
                          const data::LeaveOneOutSplit& split,
                          const Config& cfg, int num_threads,
-                         size_t batch_size) {
+                         size_t batch_size, int64_t interval_ms) {
   online::Engine::Options opts;
   opts.beta = 100;
   opts.num_shards = cfg.shards;
   opts.compaction_threshold = cfg.compaction;
+  opts.compaction_interval_ms = interval_ms;
+  opts.background_compaction = cfg.background;
   opts.index_kind = core::IndexKind::kBruteForce;
   online::Engine engine(model, opts);
   SCCF_CHECK(engine.BootstrapFromSplit(split).ok());
@@ -135,7 +172,19 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   for (auto& w : workers) w.join();
   const double wall_s = wall.ElapsedSeconds();
   SCCF_CHECK(failures.load() == 0) << failures.load() << " failed batches";
+
+  SweepPoint point;
+  point.threads = num_threads;
+  point.batch_size = batch_size;
+  point.interval_ms = interval_ms;
+
+  // Query phase: staged first (whatever the ingest run left in the
+  // buffers — with background compaction or an elapsed interval this can
+  // legitimately be 0), then compacted, same probe block both times.
+  point.staged_rows = engine.pending_upserts();
+  point.query_staged_mean_ms = MeanNeighborsMs(engine, cfg.users);
   SCCF_CHECK(engine.Compact().ok());
+  point.query_compacted_mean_ms = MeanNeighborsMs(engine, cfg.users);
 
   std::vector<double> all;
   for (auto& per_thread : latencies) {
@@ -143,9 +192,6 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   }
   std::sort(all.begin(), all.end());
 
-  SweepPoint point;
-  point.threads = num_threads;
-  point.batch_size = batch_size;
   point.updates_per_sec =
       wall_s > 0.0 ? static_cast<double>(cfg.interactions) / wall_s : 0.0;
   point.p50_ms = Percentile(all, 0.50);
@@ -168,20 +214,28 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
   std::fprintf(f,
                "  \"config\": { \"interactions\": %zu, \"users\": %zu, "
                "\"items\": %zu, \"dim\": %zu, \"shards\": %zu, "
-               "\"compaction_threshold\": %zu, \"run_length\": %zu, "
+               "\"compaction_threshold\": %zu, \"background\": %s, "
+               "\"query_probes\": %zu, \"run_length\": %zu, "
                "\"index\": \"brute_force\", \"beta\": 100 },\n",
                cfg.interactions, cfg.users, cfg.items, cfg.dim, cfg.shards,
-               cfg.compaction, cfg.run_length);
+               cfg.compaction, cfg.background ? "true" : "false",
+               kQueryProbes, cfg.run_length);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
+    // scripts/ci.sh greps the "threads"/"batch_size"/"updates_per_sec"
+    // prefix of each row; new fields must stay appended after it.
     std::fprintf(
         f,
         "    { \"threads\": %d, \"batch_size\": %zu, "
         "\"updates_per_sec\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
-        "\"mean_ms\": %.4f }%s\n",
+        "\"mean_ms\": %.4f, \"interval_ms\": %lld, \"staged_rows\": %zu, "
+        "\"query_staged_mean_ms\": %.4f, "
+        "\"query_compacted_mean_ms\": %.4f }%s\n",
         p.threads, p.batch_size, p.updates_per_sec, p.p50_ms, p.p99_ms,
-        p.mean_ms, i + 1 < points.size() ? "," : "");
+        p.mean_ms, static_cast<long long>(p.interval_ms), p.staged_rows,
+        p.query_staged_mean_ms, p.query_compacted_mean_ms,
+        i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f,\n", speedup_4t);
@@ -241,6 +295,17 @@ int main(int argc, char** argv) {
       int64_t v = 0;
       SCCF_CHECK(ParseInt64(val("--compaction="), &v) && v >= 0);
       cfg.compaction = static_cast<size_t>(v);
+    } else if (arg.rfind("--compaction_interval=", 0) == 0) {
+      cfg.intervals.clear();
+      for (const std::string& part :
+           Split(val("--compaction_interval="), ',')) {
+        int64_t ms = 0;
+        SCCF_CHECK(ParseInt64(part, &ms) && ms >= 0)
+            << "bad --compaction_interval";
+        cfg.intervals.push_back(ms);
+      }
+    } else if (arg == "--background") {
+      cfg.background = true;
     } else if (arg.rfind("--run_length=", 0) == 0) {
       int64_t v = 0;
       SCCF_CHECK(ParseInt64(val("--run_length="), &v) && v >= 1);
@@ -263,9 +328,11 @@ int main(int argc, char** argv) {
       "updates/sec and p50/p99 request latency per sweep point");
   std::printf(
       "host hardware_concurrency=%u  corpus %zu users x %zu items, dim "
-      "%zu, shards=%zu (0 = hw), compaction=%zu, run_length=%zu\n\n",
+      "%zu, shards=%zu (0 = hw), compaction=%zu, background=%s, "
+      "run_length=%zu\n\n",
       std::thread::hardware_concurrency(), cfg.users, cfg.items, cfg.dim,
-      cfg.shards, cfg.compaction, cfg.run_length);
+      cfg.shards, cfg.compaction, cfg.background ? "on" : "off",
+      cfg.run_length);
 
   data::SyntheticConfig syn;
   syn.name = "rt-throughput";
@@ -290,16 +357,23 @@ int main(int argc, char** argv) {
   SCCF_CHECK(fism.Fit(split).ok());
 
   std::vector<SweepPoint> points;
-  TablePrinter table({"threads", "batch", "updates/sec", "p50 (ms)",
-                      "p99 (ms)", "mean (ms)"});
+  TablePrinter table({"threads", "batch", "intvl(ms)", "updates/sec",
+                      "p50 (ms)", "p99 (ms)", "staged", "q-staged(ms)",
+                      "q-compact(ms)"});
   for (int t : cfg.threads) {
     for (size_t b : cfg.batch_sizes) {
-      const SweepPoint p = RunSweepPoint(fism, split, cfg, t, b);
-      points.push_back(p);
-      table.AddRow({std::to_string(p.threads), std::to_string(p.batch_size),
-                    FormatFloat(p.updates_per_sec, 1),
-                    FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
-                    FormatFloat(p.mean_ms, 4)});
+      for (int64_t interval : cfg.intervals) {
+        const SweepPoint p = RunSweepPoint(fism, split, cfg, t, b, interval);
+        points.push_back(p);
+        table.AddRow({std::to_string(p.threads),
+                      std::to_string(p.batch_size),
+                      std::to_string(p.interval_ms),
+                      FormatFloat(p.updates_per_sec, 1),
+                      FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
+                      std::to_string(p.staged_rows),
+                      FormatFloat(p.query_staged_mean_ms, 4),
+                      FormatFloat(p.query_compacted_mean_ms, 4)});
+      }
     }
   }
   table.Print();
@@ -315,6 +389,9 @@ int main(int argc, char** argv) {
                                       cfg.threads.end());
   double ups_1t = 0.0, ups_4t = 0.0, ups_bmin = 0.0, ups_bmax = 0.0;
   for (const SweepPoint& p : points) {
+    // Headlines come from the first swept interval (0 unless overridden)
+    // so the interval dimension never skews the thread/batch ratios.
+    if (p.interval_ms != cfg.intervals.front()) continue;
     if (p.batch_size == b_min && p.threads == 1) ups_1t = p.updates_per_sec;
     if (p.batch_size == b_min && p.threads == 4) ups_4t = p.updates_per_sec;
     if (p.threads == t_min && p.batch_size == b_min) {

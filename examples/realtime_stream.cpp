@@ -13,11 +13,16 @@
 //   1. per-event ingest (batch of 1) with the Table III latency breakdown,
 //   2. one *batched* IngestRequest routed through the write buffer
 //      (compaction deferred), showing that queries merge staged upserts —
-//      results stay fresh before Compact() ever runs.
+//      results stay fresh before Compact() ever runs,
+//   3. the wall-clock compaction policy: once the staged rows age past
+//      Options::compaction_interval_ms, the next query drains them into
+//      the index on its own — no explicit Compact() needed.
 //
 // Run: ./build/release/examples/realtime_stream
 
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -50,6 +55,7 @@ int main() {
   opts.beta = 20;
   opts.index_kind = core::IndexKind::kHnsw;  // sub-linear identify
   opts.compaction_threshold = 64;  // stage upserts; flush every 64 users
+  opts.compaction_interval_ms = 250;  // ...or once staged rows age 250ms
   online::Engine engine(fism, opts);
   if (!engine.BootstrapFromSplit(split).ok()) return 1;
   std::printf("bootstrapped %zu users into the HNSW index\n",
@@ -130,9 +136,21 @@ int main() {
     }
   }
 
-  if (!engine.Compact().ok()) return 1;
-  std::printf("after Compact(): %zu pending upserts, history length %zu\n",
-              engine.pending_upserts(),
-              engine.History({user})->items.size());
+  // Phase 3: instead of calling Compact(), let the age policy do it.
+  // After the interval elapses, the first query touching the shard
+  // try-locks its write lock, drains the staged rows into the HNSW
+  // index (bit-exact — same path Compact() takes), and then serves.
+  std::printf(
+      "\nwaiting out compaction_interval_ms (%lld ms) with %zu upserts "
+      "staged...\n",
+      static_cast<long long>(opts.compaction_interval_ms),
+      engine.pending_upserts());
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(opts.compaction_interval_ms + 100));
+  if (!engine.Neighbors({user, std::nullopt}).ok()) return 1;
+  std::printf(
+      "after one query past the interval: %zu pending upserts (the query "
+      "path flushed the aged buffer; history length %zu)\n",
+      engine.pending_upserts(), engine.History({user})->items.size());
   return 0;
 }

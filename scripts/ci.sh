@@ -6,6 +6,33 @@ cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
+# Markdown link check: every relative link in README.md and docs/ must
+# resolve to an existing file (anchors and external URLs are skipped).
+# Docs that point at moved/renamed files fail CI before anything builds.
+link_fail=0
+for doc in README.md docs/*.md; do
+  doc_dir="$(dirname "${doc}")"
+  while IFS= read -r target; do
+    target="${target%%#*}"          # strip in-page anchor
+    target="${target%% *}"          # strip optional "title" suffix
+    [[ -z "${target}" ]] && continue
+    case "${target}" in
+      http://*|https://*|mailto:*) continue ;;
+      /*) resolved="${target}" ;;    # repo treats absolute as fs path
+      *) resolved="${doc_dir}/${target}" ;;
+    esac
+    if [[ ! -e "${resolved}" ]]; then
+      echo "markdown link check: dead link in ${doc}: ${target}" >&2
+      link_fail=1
+    fi
+  done < <(awk '/^[[:space:]]*```/{fence=!fence; next} !fence' "${doc}" \
+             | grep -oE '\]\([^)]+\)' | sed 's/^](\(.*\))$/\1/')
+done
+if [[ "${link_fail}" -ne 0 ]]; then
+  exit 1
+fi
+echo "markdown link check: OK"
+
 # Tier-1 verify (ROADMAP.md): configure, build everything, run the
 # tier1-labeled suites. Suites registered SLOW stay out of this gate;
 # run them locally with `ctest --preset release -L slow`.
@@ -113,6 +140,29 @@ elif awk -v a="${ups_b32}" -v b="${ups_1t}" 'BEGIN{exit !(a >= b)}'; then
 else
   echo "realtime batching gate: FAILED — batched ingest (${ups_b32}/s)" \
        "slower than per-event (${ups_1t}/s)" >&2
+  exit 1
+fi
+
+# Cold-shard compaction smoke: with background compaction on, a shard
+# that receives staged upserts and then goes COLD (no ingest, no
+# queries) must see pending_upserts() reach 0 within the compaction
+# interval's sweep budget. The release-built stress test pins exactly
+# this liveness property (the test polls with a generous deadline so a
+# loaded CI host does not flake the gate).
+COLD_OUT="$(mktemp)"
+trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+  "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}"' EXIT
+# The grep guards against a renamed test making the filter match
+# nothing (gtest exits 0 on an empty filter match).
+if ./build/release/tests/realtime_shard_stress_test \
+     --gtest_filter='*ColdShardBackgroundCompactionDrains*' \
+     >"${COLD_OUT}" 2>&1 &&
+   grep -q '\[  PASSED  \] 1 test' "${COLD_OUT}"; then
+  echo "cold-shard compaction smoke: OK"
+else
+  echo "cold-shard compaction smoke: FAILED — staged rows did not drain" \
+       "from a cold shard (background compaction liveness):" >&2
+  tail -20 "${COLD_OUT}" >&2
   exit 1
 fi
 

@@ -1,6 +1,7 @@
 #include "core/realtime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <thread>
@@ -13,6 +14,22 @@
 namespace sccf::core {
 
 namespace {
+
+/// Monotonic clock for buffer-age stamps (same clock as Stopwatch).
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Background sweep cadence: half the compaction interval (clamped to
+/// [1ms, interval]) so an overdue shard is drained within ~1.5 intervals
+/// of its oldest row; with no interval the thread polls every 10ms and
+/// drains anything non-empty.
+int64_t SweepPeriodMs(int64_t interval_ms) {
+  if (interval_ms <= 0) return 10;
+  return std::max<int64_t>(1, interval_ms / 2);
+}
 
 /// splitmix64 finalizer: a fixed, platform-independent user -> shard map
 /// (std::hash<int> is identity on libstdc++, which would turn "users 0..T
@@ -34,6 +51,8 @@ RealTimeService::RealTimeService(const models::InductiveUiModel& model,
     : model_(&model), options_(options) {
   SCCF_CHECK_GT(model_->num_items(), 0u) << "model must be fitted";
 }
+
+RealTimeService::~RealTimeService() { StopBackgroundCompaction(); }
 
 void RealTimeService::InferWindowEmbedding(const std::vector<int>& history,
                                            float* out) const {
@@ -114,6 +133,10 @@ Status RealTimeService::Bootstrap(const std::vector<UserState>& users) {
   if (options_.beta == 0) {
     return Status::InvalidArgument("options.beta must be positive");
   }
+  if (options_.compaction_interval_ms < 0) {
+    return Status::InvalidArgument(
+        "options.compaction_interval_ms must be >= 0");
+  }
   for (const UserState& s : users) {
     if (s.user < 0) return Status::InvalidArgument("negative user id");
   }
@@ -143,6 +166,9 @@ Status RealTimeService::Bootstrap(const std::vector<UserState>& users) {
     if (!st.ok()) return st;
   }
   bootstrapped_ = true;
+  if (options_.background_compaction) {
+    SCCF_RETURN_NOT_OK(StartBackgroundCompaction());
+  }
   return Status::OK();
 }
 
@@ -160,6 +186,25 @@ Status RealTimeService::BootstrapFromSplit(
 StatusOr<std::vector<index::Neighbor>> RealTimeService::SearchShard(
     const Shard& shard, const float* query, size_t k,
     int exclude_user) const {
+  // Age policy, query side: an overdue buffer is drained before the
+  // search, under an opportunistically-acquired write lock. try_to_lock
+  // keeps a herd of concurrent readers from queueing on the exclusive
+  // lock the instant a shard turns overdue (a failed try means some
+  // other thread holds the lock — a competing drainer or an ingest
+  // writer that runs the same age check — so this query just serves the
+  // merged staged view and lets that thread, the next toucher, or the
+  // background sweep do the drain). The lock-free overdue probe keeps
+  // the common case (nothing staged, or staged but fresh) on the pure
+  // shared-lock path; the post-acquisition re-check handles a drain that
+  // already won. Draining is bit-exact, so this only moves rows from the
+  // linear buffer scan into the backend index.
+  if (ShardOverdue(shard)) {
+    std::unique_lock<std::shared_mutex> wlock(shard.mu, std::try_to_lock);
+    if (wlock.owns_lock() && shard.pending != nullptr &&
+        !shard.pending->empty() && ShardOverdue(shard)) {
+      SCCF_RETURN_NOT_OK(DrainShardLocked(shard));
+    }
+  }
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   if (shard.pending == nullptr || shard.pending->empty()) {
     return shard.index->Search(query, k, exclude_user);
@@ -332,9 +377,16 @@ Status RealTimeService::RefreshTouchedUser(Shard& shard, int user,
   if (options_.compaction_threshold <= 1) {
     SCCF_RETURN_NOT_OK(shard.index->Add(user, emb));
   } else {
+    const bool was_empty = shard.pending->empty();
     shard.pending->Put(user, emb);
-    if (shard.pending->size() >= options_.compaction_threshold) {
-      SCCF_RETURN_NOT_OK(shard.pending->DrainTo(shard.index.get()));
+    if (was_empty) {
+      shard.staged_since_ns.store(NowNs(), std::memory_order_release);
+    }
+    // Count threshold or age bound, whichever trips first — both drain
+    // through the same bit-exact path while this write lock is held.
+    if (shard.pending->size() >= options_.compaction_threshold ||
+        ShardOverdue(shard)) {
+      SCCF_RETURN_NOT_OK(DrainShardLocked(shard));
     }
   }
   timing->index_ms = index_clock.ElapsedMillis();
@@ -350,10 +402,90 @@ Status RealTimeService::Compact() {
     Shard& shard = *shard_ptr;
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     if (shard.pending != nullptr && !shard.pending->empty()) {
-      SCCF_RETURN_NOT_OK(shard.pending->DrainTo(shard.index.get()));
+      SCCF_RETURN_NOT_OK(DrainShardLocked(shard));
     }
   }
   return Status::OK();
+}
+
+Status RealTimeService::DrainShardLocked(const Shard& shard) const {
+  const Status st = shard.pending->DrainTo(shard.index.get());
+  // Cleared even on error: DrainTo empties the buffer regardless (a
+  // failed Add there is a programming error, not recoverable input).
+  shard.staged_since_ns.store(0, std::memory_order_release);
+  return st;
+}
+
+bool RealTimeService::ShardOverdue(const Shard& shard) const {
+  if (options_.compaction_interval_ms <= 0) return false;
+  const int64_t since =
+      shard.staged_since_ns.load(std::memory_order_acquire);
+  if (since == 0) return false;
+  return NowNs() - since >= options_.compaction_interval_ms * 1'000'000;
+}
+
+Status RealTimeService::StartBackgroundCompaction() {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  if (bg_running_.load(std::memory_order_acquire)) return Status::OK();
+  {
+    std::lock_guard<std::mutex> guard(bg_mu_);
+    bg_stop_ = false;
+  }
+  bg_running_.store(true, std::memory_order_release);
+  bg_thread_ = std::thread([this] { BackgroundCompactionLoop(); });
+  return Status::OK();
+}
+
+void RealTimeService::StopBackgroundCompaction() {
+  if (!bg_running_.load(std::memory_order_acquire)) return;
+  {
+    std::lock_guard<std::mutex> guard(bg_mu_);
+    bg_stop_ = true;
+  }
+  bg_cv_.notify_all();
+  if (bg_thread_.joinable()) bg_thread_.join();
+  bg_running_.store(false, std::memory_order_release);
+}
+
+bool RealTimeService::background_compaction_running() const {
+  return bg_running_.load(std::memory_order_acquire);
+}
+
+void RealTimeService::BackgroundCompactionLoop() {
+  const auto period = std::chrono::milliseconds(
+      SweepPeriodMs(options_.compaction_interval_ms));
+  std::unique_lock<std::mutex> lock(bg_mu_);
+  while (true) {
+    // Wakes early on stop; otherwise sweeps once per period. Spurious
+    // wakeups just sweep early, which is harmless (drains are no-ops on
+    // fresh or empty buffers).
+    bg_cv_.wait_for(lock, period, [this] { return bg_stop_; });
+    if (bg_stop_) return;
+    lock.unlock();  // never hold bg_mu_ while taking a shard lock
+    SweepShardsOnce();
+    lock.lock();
+  }
+}
+
+void RealTimeService::SweepShardsOnce() const {
+  const bool age_gated = options_.compaction_interval_ms > 0;
+  for (const auto& shard_ptr : shards_) {
+    const Shard& shard = *shard_ptr;
+    // Lock-free probe first: the sweep must not write-lock (and so
+    // stall) shards with nothing to drain.
+    const int64_t since =
+        shard.staged_since_ns.load(std::memory_order_acquire);
+    if (since == 0) continue;
+    if (age_gated && !ShardOverdue(shard)) continue;
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.pending == nullptr || shard.pending->empty()) continue;
+    if (age_gated && !ShardOverdue(shard)) continue;
+    const Status st = DrainShardLocked(shard);
+    SCCF_CHECK(st.ok()) << "background compaction drain failed: "
+                        << st.message();
+  }
 }
 
 size_t RealTimeService::pending_upserts() const {

@@ -1,11 +1,15 @@
 #ifndef SCCF_CORE_REALTIME_H_
 #define SCCF_CORE_REALTIME_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -43,6 +47,26 @@ namespace sccf::core {
 ///  - With num_shards = 1 the service reproduces the pre-sharding
 ///    single-index implementation bit-identically (pinned by
 ///    RealTimeTest.ShardedMatchesSingleShardExactly).
+///
+/// Lock-ordering contract (holds with the background compaction thread
+/// and concurrent OnInteractionBatch callers):
+///  - Every thread — ingest, query, Compact, and the background sweep —
+///    holds AT MOST ONE shard lock at any moment, so there is no
+///    shard-lock ordering to violate and no deadlock by construction.
+///  - The background thread's control mutex (`bg_mu_`, guarding stop
+///    flag + condition variable) is never held while a shard lock is
+///    held: the sweep releases it before touching any shard, and
+///    re-acquires it only after the last shard lock is released.
+///  - Start/StopBackgroundCompaction and the destructor take `bg_mu_`
+///    (and Stop joins the thread) while holding no shard lock; they must
+///    be called from one thread at a time, like Bootstrap.
+///  - Buffer drains triggered by age (write path, query path, background
+///    sweep) all run under the owning shard's exclusive lock through the
+///    same UpsertBuffer::DrainTo path as Compact(), so any interleaving
+///    of them with concurrent ingest/queries is bit-exact for the
+///    brute-force backend (pinned by
+///    EngineTest.BackgroundCompactionIsBitExact and the TSan stress
+///    suite).
 class RealTimeService {
  public:
   struct Options {
@@ -64,8 +88,35 @@ class RealTimeService {
     /// index results, so freshness is unaffected; the trade-off is a
     /// linear scan of <= compaction_threshold staged rows per shard per
     /// query. <= 1 writes through on every update (the pre-buffering
-    /// behavior, bit-identical to it).
+    /// behavior, bit-identical to it). The count threshold is one of
+    /// several compaction triggers — see compaction_interval_ms and
+    /// background_compaction below for the wall-clock ones.
     size_t compaction_threshold = 1;
+    /// Wall-clock bound on how long a staged embedding may sit in a
+    /// shard's write buffer (milliseconds; 0 disables the age policy).
+    /// When > 0, any write or query touching a shard whose oldest staged
+    /// row is older than this drains that shard's buffer first — the
+    /// write path drains under the write lock it already holds, the
+    /// query path try-locks the write lock before searching (and on
+    /// contention serves the merged staged view, leaving the drain to
+    /// whoever holds the lock, the next toucher, or the background
+    /// sweep — no reader herd on the exclusive lock). Draining
+    /// is the same bit-exact path Compact() uses, so results are
+    /// unaffected; the policy only bounds the query-side buffer scan and
+    /// the age of deferred index churn. A shard nobody writes to or
+    /// queries still holds its rows — enable background_compaction to
+    /// bound that case too.
+    int64_t compaction_interval_ms = 0;
+    /// Owns a background compaction thread: started when Bootstrap
+    /// returns, stopped by StopBackgroundCompaction() or the destructor.
+    /// The thread sweeps the shards on a cadence (compaction_interval_ms
+    /// / 2, clamped to [1ms, interval]; 10ms when the interval is 0),
+    /// takes a shard's write lock only when its buffer is non-empty and
+    /// overdue (any non-empty buffer when the interval is 0), and drains
+    /// via the bit-exact Compact() path — so a cold shard's staged rows
+    /// reach the backend index within ~1.5 intervals without any further
+    /// ingest or queries. See the lock-ordering contract on the class.
+    bool background_compaction = false;
     IndexKind index_kind = IndexKind::kBruteForce;
     index::Metric metric = index::Metric::kCosine;
     /// Per-shard IVF options. nlist is clamped to the shard's bootstrap
@@ -103,6 +154,14 @@ class RealTimeService {
   /// `model` must be fitted and outlive the service. Its const inference
   /// methods are called concurrently from every serving thread.
   RealTimeService(const models::InductiveUiModel& model, Options options);
+
+  /// Stops the background compaction thread (if running). Callers must
+  /// ensure no other thread is still inside a serving call, per the
+  /// usual destruction rules.
+  ~RealTimeService();
+
+  RealTimeService(const RealTimeService&) = delete;
+  RealTimeService& operator=(const RealTimeService&) = delete;
 
   /// Loads initial user states and builds the per-shard indexes in
   /// parallel on ThreadPool::Global() (training each shard's coarse
@@ -158,8 +217,25 @@ class RealTimeService {
   /// Flushes every shard's write buffer into its backend index (one
   /// shard write lock at a time). After Compact, pending_upserts() == 0
   /// and query results are bit-identical to a write-through service that
-  /// applied each user's final embedding. Thread-safe.
+  /// applied each user's final embedding. Thread-safe; safe to call
+  /// concurrently with the background compaction thread (both drain
+  /// under the shard's exclusive lock).
   Status Compact();
+
+  /// Starts the background compaction thread (see
+  /// Options::background_compaction — Bootstrap calls this when that
+  /// flag is set). FailedPrecondition before Bootstrap; OK and a no-op
+  /// if the thread is already running. Call from one thread at a time.
+  Status StartBackgroundCompaction();
+
+  /// Stops and joins the background compaction thread; no-op if it is
+  /// not running. Safe to call concurrently with serving traffic (it
+  /// touches no shard lock while joining); call from one thread at a
+  /// time. The destructor calls this.
+  void StopBackgroundCompaction();
+
+  /// True while the background compaction thread is running.
+  bool background_compaction_running() const;
 
   /// Total embeddings currently staged across all shard write buffers.
   size_t pending_upserts() const;
@@ -207,6 +283,13 @@ class RealTimeService {
     /// Staged upserts awaiting compaction (see Options::
     /// compaction_threshold); guarded by `mu` like the index it shadows.
     std::unique_ptr<index::UpsertBuffer> pending;
+    /// steady_clock nanoseconds when the *oldest* currently-staged row
+    /// entered `pending`; 0 when the buffer is empty. Written only under
+    /// an exclusive hold of `mu` (stage-into-empty sets it, every drain
+    /// clears it); read lock-free by the query path and the background
+    /// sweep to decide whether taking the write lock is worth it, so it
+    /// is atomic (a stale read only defers or wastes one drain attempt).
+    mutable std::atomic<int64_t> staged_since_ns{0};
     std::unordered_map<int, std::vector<int>> histories;
     std::unordered_map<int, std::vector<int>> vote_items;
   };
@@ -237,11 +320,37 @@ class RealTimeService {
   /// k-way merge. `exclude_user` only matches in its own shard.
   StatusOr<std::vector<index::Neighbor>> SearchAllShards(
       const float* query, size_t k, int exclude_user) const;
+  /// Drains `shard.pending` into its index and clears the age stamp.
+  /// Pre: `shard.mu` is held exclusively by the caller. Const because
+  /// the age policy must be able to compact from logically-const query
+  /// paths (the drain is a physical, result-preserving mutation).
+  Status DrainShardLocked(const Shard& shard) const;
+  /// True if the shard has staged rows older than the compaction
+  /// interval (always false when the interval is 0). Lock-free; reads
+  /// the clock only after the interval/empty early-outs, so disabled or
+  /// clean shards cost no clock_gettime on the hot paths.
+  bool ShardOverdue(const Shard& shard) const;
+  /// The background sweep body: wait-on-cv-with-timeout loop around
+  /// SweepShardsOnce until StopBackgroundCompaction flips bg_stop_.
+  void BackgroundCompactionLoop();
+  /// One background pass over every shard: drain the non-empty buffers
+  /// that are overdue (any non-empty buffer when the interval is 0),
+  /// one shard write lock at a time, never while holding bg_mu_.
+  void SweepShardsOnce() const;
 
   const models::InductiveUiModel* model_;
   Options options_;
   bool bootstrapped_ = false;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Background compaction thread state. `bg_mu_` guards `bg_stop_` and
+  /// pairs with `bg_cv_` for the sweep cadence; it is never held while a
+  /// shard lock is held (see the lock-ordering contract above).
+  std::thread bg_thread_;
+  mutable std::mutex bg_mu_;
+  std::condition_variable bg_cv_;
+  bool bg_stop_ = false;
+  std::atomic<bool> bg_running_{false};
 };
 
 }  // namespace sccf::core

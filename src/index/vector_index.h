@@ -55,9 +55,16 @@ struct Neighbor {
 /// rewrites). Queries issued between compactions must merge the buffer's
 /// contents with `Search` results themselves (staged ids shadow their
 /// stale indexed entry; staged-but-never-indexed ids are cold-start
-/// inserts). `UpsertBuffer` below implements exactly this staging
-/// discipline; `core::RealTimeService` applies it per shard behind
-/// `Options::compaction_threshold`.
+/// inserts). When a compaction point fires is the *caller's* policy, not
+/// this contract's: `core::RealTimeService` applies the discipline per
+/// shard and drains on any of a count threshold
+/// (`Options::compaction_threshold`), a wall-clock age bound
+/// (`Options::compaction_interval_ms`, checked on its ingest and query
+/// paths), a background compaction sweep
+/// (`Options::background_compaction`), or an explicit `Compact()` — all
+/// equivalent by this contract, because a drain applies the same final
+/// vectors regardless of what triggered it. `UpsertBuffer` below
+/// implements exactly this staging discipline.
 class VectorIndex {
  public:
   virtual ~VectorIndex() = default;

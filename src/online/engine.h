@@ -31,10 +31,26 @@ namespace sccf::online {
 /// refreshes through per-shard write buffers that queries transparently
 /// merge, so results stay fresh between compactions.
 ///
+/// Compaction policy: staged refreshes leave the buffers through any of
+/// four routes, all bit-exact for the brute-force backend — the count
+/// threshold (Options::compaction_threshold), the wall-clock age bound
+/// (Options::compaction_interval_ms, enforced on the ingest and query
+/// paths), the background compaction thread
+/// (Options::background_compaction, which also drains shards nobody
+/// touches), and explicit Compact().
+///
+/// Lifecycle: construct, Bootstrap exactly once (this starts the
+/// background compaction thread when Options::background_compaction is
+/// set), serve, then destroy — the destructor stops and joins the
+/// thread. Stop/StartBackgroundCompaction are exposed for explicit
+/// control (e.g. quiescing before a checkpoint); both are safe while
+/// serving traffic is in flight but must be called from one thread at a
+/// time.
+///
 /// Thread-safety: Bootstrap once from one thread, then any mix of
 /// Ingest / Recommend / Neighbors / History / Compact calls from any
-/// threads is safe (the service's per-shard lock discipline; see
-/// core/realtime.h).
+/// threads is safe (the service's per-shard lock discipline and the
+/// lock-ordering contract; see core/realtime.h).
 class Engine {
  public:
   using Options = core::RealTimeService::Options;
@@ -68,8 +84,10 @@ class Engine {
     double wall_ms = 0.0;         ///< end-to-end batch wall time
     /// Embeddings staged (not yet compacted) in the shards this batch
     /// touched, observed as the batch released each shard — 0 whenever
-    /// compaction_threshold <= 1. For the all-shard total at any later
-    /// point, use Engine::pending_upserts().
+    /// compaction_threshold <= 1, and a point-in-time reading when the
+    /// age/background compaction policies are on (a drain may land the
+    /// moment the shard lock is released). For the all-shard total at
+    /// any later point, use Engine::pending_upserts().
     size_t pending_upserts = 0;
   };
 
@@ -134,8 +152,21 @@ class Engine {
   /// Snapshot copy of one user's history (NotFound for unknown users).
   StatusOr<HistoryResponse> History(const HistoryRequest& request) const;
 
-  /// Flushes every shard's staged upserts into its backend index.
+  /// Flushes every shard's staged upserts into its backend index. With
+  /// the interval/background policies enabled this is still useful as a
+  /// synchronous "drain everything now" barrier (tests, checkpoints).
   Status Compact();
+
+  /// Explicit background-compaction lifecycle (Bootstrap starts the
+  /// thread when Options::background_compaction is set; the destructor
+  /// stops it). Start is a no-op when running, Stop when not.
+  Status StartBackgroundCompaction() {
+    return service_.StartBackgroundCompaction();
+  }
+  void StopBackgroundCompaction() { service_.StopBackgroundCompaction(); }
+  bool background_compaction_running() const {
+    return service_.background_compaction_running();
+  }
 
   size_t pending_upserts() const { return service_.pending_upserts(); }
   size_t num_users() const { return service_.num_users(); }

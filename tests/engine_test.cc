@@ -6,13 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <random>
+#include <thread>
 #include <vector>
 
 #include "data/split.h"
 #include "data/synthetic.h"
 #include "models/fism.h"
 #include "online/engine.h"
+#include "util/stopwatch.h"
 
 namespace sccf::online {
 namespace {
@@ -399,6 +402,134 @@ TEST_F(EngineTest, StagedUpdateShadowsStaleIndexedRow) {
   for (size_t i = 0; i < fresh->size(); ++i) {
     EXPECT_EQ(staged->neighbors[i].id, (*fresh)[i].id) << "rank " << i;
   }
+}
+
+// ------------------------------------------- wall-clock compaction
+
+// The age policy on the query path: rows staged behind an unreachable
+// count threshold must drain once they are older than
+// compaction_interval_ms and any query touches their shard — without
+// changing the query's results (drains are bit-exact for brute force).
+TEST_F(EngineTest, ColdShardAgeFlushOnQueryPath) {
+  Engine::Options opts = BaseOptions();
+  opts.compaction_threshold = 1000000;  // count trigger never fires
+  opts.compaction_interval_ms = 150;
+  Engine engine(*fism_, opts);
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+
+  Stopwatch since_ingest;
+  Engine::IngestRequest req;
+  req.identify = false;  // pure ingest: no query may drain early
+  for (int u = 0; u < 10; ++u) {
+    req.events.push_back({u, (u * 3 + 1) % 100, 0});
+  }
+  ASSERT_TRUE(engine.Ingest(req).ok());
+  // Nothing drains without a serving call (no background thread), so
+  // this holds no matter how slowly the machine got here.
+  ASSERT_GT(engine.pending_upserts(), 0u);
+
+  // Query before the interval elapses: staged rows must survive (the
+  // whole point of buffering) and still be merged into the results.
+  auto fresh = engine.Neighbors({0, std::nullopt});
+  ASSERT_TRUE(fresh.ok());
+  if (since_ingest.ElapsedMillis() < opts.compaction_interval_ms) {
+    // Only assert survival when the query provably ran pre-interval — a
+    // loaded CI host can stall us past it, making the query itself the
+    // (correct) age flush.
+    EXPECT_GT(engine.pending_upserts(), 0u);
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  auto aged = engine.Neighbors({0, std::nullopt});
+  ASSERT_TRUE(aged.ok());
+  // The fan-out visited every shard, so every overdue buffer drained.
+  EXPECT_EQ(engine.pending_upserts(), 0u);
+  // Bit-exact across the drain: same neighborhood before and after.
+  ASSERT_EQ(fresh->neighbors.size(), aged->neighbors.size());
+  for (size_t i = 0; i < fresh->neighbors.size(); ++i) {
+    EXPECT_EQ(fresh->neighbors[i].id, aged->neighbors[i].id) << "rank " << i;
+    EXPECT_FLOAT_EQ(fresh->neighbors[i].score, aged->neighbors[i].score);
+  }
+}
+
+// The age policy on the ingest path: a shard whose oldest staged row has
+// aged past the interval drains on the next write that touches it, even
+// though the count threshold is still far away.
+TEST_F(EngineTest, AgedBufferDrainsOnNextIngest) {
+  Engine::Options opts = BaseOptions();
+  opts.num_shards = 1;  // one shard so both ingests hit the same buffer
+  opts.compaction_threshold = 1000000;
+  opts.compaction_interval_ms = 150;
+  Engine engine(*fism_, opts);
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+
+  ASSERT_TRUE(engine.Ingest({{{1, 5, 0}}, false}).ok());
+  ASSERT_EQ(engine.pending_upserts(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  ASSERT_TRUE(engine.Ingest({{{2, 6, 1}}, false}).ok());
+  EXPECT_EQ(engine.pending_upserts(), 0u);
+}
+
+// Background compaction enabled end to end: a stream batched through
+// the buffer with the thread racing drains underneath must land on the
+// exact state of a write-through per-event replay (brute force), and
+// stopping the thread must be clean (Engine lifecycle).
+TEST_F(EngineTest, BackgroundCompactionIsBitExact) {
+  Engine::Options opts = BaseOptions();
+  opts.compaction_threshold = 16;
+  opts.compaction_interval_ms = 1;  // aggressive: drains race the batches
+  opts.background_compaction = true;
+  Engine engine(*fism_, opts);
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+  EXPECT_TRUE(engine.background_compaction_running());
+
+  RealTimeService sequential(*fism_, BaseOptions());
+  ASSERT_TRUE(sequential.BootstrapFromSplit(*split_).ok());
+
+  const std::vector<Engine::Event> events = ShuffledEventLog();
+  for (size_t lo = 0; lo < events.size(); lo += 17) {
+    Engine::IngestRequest req;
+    req.events.assign(events.begin() + lo,
+                      events.begin() + std::min(events.size(), lo + 17));
+    req.identify = false;
+    ASSERT_TRUE(engine.Ingest(req).ok());
+  }
+  for (const Engine::Event& e : events) {
+    ASSERT_TRUE(sequential.OnInteraction(e.user, e.item).ok());
+  }
+
+  engine.StopBackgroundCompaction();
+  EXPECT_FALSE(engine.background_compaction_running());
+  ASSERT_TRUE(engine.Compact().ok());  // whatever the thread left staged
+  EXPECT_EQ(engine.pending_upserts(), 0u);
+
+  std::vector<int> users;
+  for (int u = 0; u < 30; ++u) users.push_back(u);
+  users.push_back(5000);
+  users.push_back(5001);
+  ExpectSameState(engine.service(), sequential, users);
+
+  // Restart is part of the lifecycle contract (both directions no-op
+  // when redundant).
+  ASSERT_TRUE(engine.StartBackgroundCompaction().ok());
+  ASSERT_TRUE(engine.StartBackgroundCompaction().ok());
+  EXPECT_TRUE(engine.background_compaction_running());
+  engine.StopBackgroundCompaction();
+  engine.StopBackgroundCompaction();
+  EXPECT_FALSE(engine.background_compaction_running());
+}
+
+TEST_F(EngineTest, CompactionOptionValidation) {
+  Engine::Options negative = BaseOptions();
+  negative.compaction_interval_ms = -5;
+  Engine engine(*fism_, negative);
+  EXPECT_EQ(engine.BootstrapFromSplit(*split_).code(),
+            StatusCode::kInvalidArgument);
+  // Background compaction before Bootstrap is FailedPrecondition.
+  Engine cold(*fism_, BaseOptions());
+  EXPECT_EQ(cold.StartBackgroundCompaction().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(cold.background_compaction_running());
 }
 
 // ---------------------------------------------------- response totals
