@@ -1,0 +1,425 @@
+// Multi-connection load client for the sccf_server daemon: N concurrent
+// pingpong connections (one outstanding request each, next sent the
+// moment the reply completes) driven from a single epoll loop, sweeping
+// connection counts x ingest/query mixes against an already-running
+// server. Reports QPS and p50/p99 request latency per sweep point.
+//
+// Pingpong (not deep pipelining) is the deliberate load shape: each
+// request's latency includes the full server turnaround, so p50/p99 are
+// honest serving latencies and QPS measures the reactor's
+// connection-multiplexing overhead rather than batched parser
+// throughput.
+//
+// Flags:
+//   --host=ADDR --port=N    server address (default 127.0.0.1:7700)
+//   --connections=1,64,1024 connection counts to sweep
+//   --ingest_ratios=0,0.2   fraction of requests that are INGEST (each
+//                           a single-event batch); the rest are queries
+//                           (50% RECOMMEND, 40% NEIGHBORS, 10% HISTORY)
+//   --duration=SECS         measured seconds per sweep point (default 3)
+//   --users=N --items=N     live corpus bounds — use the values the
+//                           server printed at startup (default 2000x1500
+//                           pre-filter flags overestimate them)
+//   --topn=N                RECOMMEND list length (default 10)
+//   --json=PATH             machine-readable report (BENCH_server.json)
+//   --quick                 1s points, connections=8 only (CI smoke)
+//
+// Error accounting: replies beginning '-' count as request errors and
+// a nonzero total fails the run (the corpus bounds make every id
+// valid, so any error is a server or protocol bug).
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace {
+
+using namespace sccf;
+
+struct Config {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7700;
+  std::vector<int> connections = {1, 64, 1024};
+  std::vector<double> ingest_ratios = {0.0, 0.2};
+  double duration_s = 3.0;
+  int users = 2000;
+  int items = 1500;
+  int topn = 10;
+  std::string json_path;
+};
+
+struct SweepPoint {
+  int connections = 0;
+  double ingest_ratio = 0.0;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+double Percentile(std::vector<double>& sorted_ms, double q) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted_ms.size() - 1)));
+  return sorted_ms[idx];
+}
+
+/// One pingpong connection: owns its socket, request generator, and
+/// reply scanner.
+struct Conn {
+  int fd = -1;
+  std::mt19937 rng;
+  server::ReplyParser replies;
+  std::string out;        // request bytes not yet written
+  size_t out_offset = 0;
+  double sent_at = 0.0;   // steady seconds of the in-flight request
+  int64_t next_ts = 0;
+};
+
+class LoadClient {
+ public:
+  LoadClient(const Config& cfg, int num_connections, double ingest_ratio)
+      : cfg_(cfg), num_connections_(num_connections),
+        ingest_ratio_(ingest_ratio) {}
+
+  SweepPoint Run() {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    SCCF_CHECK(epoll_fd_ >= 0);
+    conns_.resize(static_cast<size_t>(num_connections_));
+    for (int i = 0; i < num_connections_; ++i) {
+      Connect(i);
+    }
+    latencies_.reserve(1 << 16);
+
+    // Everyone connected: fire the first request on every connection
+    // and run the loop for the measured window.
+    const double start = NowSeconds();
+    const double deadline = start + cfg_.duration_s;
+    for (Conn& conn : conns_) SendNext(conn);
+    std::vector<epoll_event> events(256);
+    while (true) {
+      const double now = NowSeconds();
+      if (now >= deadline) break;
+      const int timeout_ms =
+          std::max(1, static_cast<int>((deadline - now) * 1000.0));
+      const int n = ::epoll_wait(epoll_fd_, events.data(),
+                                 static_cast<int>(events.size()),
+                                 timeout_ms);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        SCCF_CHECK(false) << "epoll_wait: " << std::strerror(errno);
+      }
+      for (int i = 0; i < n; ++i) {
+        const int idx = events[i].data.u32;
+        Conn& conn = conns_[static_cast<size_t>(idx)];
+        if (conn.fd < 0) continue;
+        if ((events[i].events & (EPOLLIN | EPOLLERR | EPOLLHUP)) != 0) {
+          Readable(conn);
+        }
+        if (conn.fd >= 0 && (events[i].events & EPOLLOUT) != 0) {
+          Flush(conn);
+        }
+      }
+    }
+    const double elapsed = NowSeconds() - start;
+
+    for (Conn& conn : conns_) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    ::close(epoll_fd_);
+
+    SweepPoint point;
+    point.connections = num_connections_;
+    point.ingest_ratio = ingest_ratio_;
+    point.requests = static_cast<uint64_t>(latencies_.size());
+    point.errors = errors_;
+    point.qps = elapsed > 0.0
+                    ? static_cast<double>(latencies_.size()) / elapsed
+                    : 0.0;
+    std::sort(latencies_.begin(), latencies_.end());
+    point.p50_ms = Percentile(latencies_, 0.50);
+    point.p99_ms = Percentile(latencies_, 0.99);
+    return point;
+  }
+
+ private:
+  void Connect(int idx) {
+    Conn& conn = conns_[static_cast<size_t>(idx)];
+    conn.rng.seed(static_cast<uint32_t>(1000003 * (idx + 1)));
+    conn.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    SCCF_CHECK(conn.fd >= 0) << "socket: " << std::strerror(errno);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    SCCF_CHECK(::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) == 1);
+    SCCF_CHECK(::connect(conn.fd, reinterpret_cast<sockaddr*>(&addr),
+                         sizeof(addr)) == 0)
+        << "connect " << cfg_.host << ":" << cfg_.port << " (conn " << idx
+        << "): " << std::strerror(errno);
+    const int one = 1;
+    ::setsockopt(conn.fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // Non-blocking after the (fast, loopback) blocking connect.
+    SCCF_CHECK(::fcntl(conn.fd, F_SETFL, O_NONBLOCK) == 0);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u32 = static_cast<uint32_t>(idx);
+    SCCF_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, conn.fd, &ev) == 0);
+  }
+
+  std::string NextRequest(Conn& conn) {
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::uniform_int_distribution<int> user(0, cfg_.users - 1);
+    std::uniform_int_distribution<int> item(0, cfg_.items - 1);
+    if (coin(conn.rng) < ingest_ratio_) {
+      return "INGEST " + std::to_string(user(conn.rng)) + " " +
+             std::to_string(item(conn.rng)) + " " +
+             std::to_string(conn.next_ts++) + "\r\n";
+    }
+    const double kind = coin(conn.rng);
+    if (kind < 0.5) {
+      return "RECOMMEND " + std::to_string(user(conn.rng)) + " " +
+             std::to_string(cfg_.topn) + "\r\n";
+    }
+    if (kind < 0.9) {
+      return "NEIGHBORS " + std::to_string(user(conn.rng)) + "\r\n";
+    }
+    return "HISTORY " + std::to_string(user(conn.rng)) + "\r\n";
+  }
+
+  void SendNext(Conn& conn) {
+    conn.out = NextRequest(conn);
+    conn.out_offset = 0;
+    conn.sent_at = NowSeconds();
+    Flush(conn);
+  }
+
+  void Flush(Conn& conn) {
+    bool want_out = false;
+    while (conn.out_offset < conn.out.size()) {
+      const ssize_t w =
+          ::write(conn.fd, conn.out.data() + conn.out_offset,
+                  conn.out.size() - conn.out_offset);
+      if (w > 0) {
+        conn.out_offset += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_out = true;
+        break;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      Dead(conn, "write");
+      return;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_out ? EPOLLOUT : 0u);
+    ev.data.u32 = static_cast<uint32_t>(&conn - conns_.data());
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+  }
+
+  void Readable(Conn& conn) {
+    char buf[16384];
+    while (true) {
+      const ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+      if (r > 0) {
+        conn.replies.Feed(std::string_view(buf, static_cast<size_t>(r)));
+        continue;
+      }
+      if (r == 0) {
+        Dead(conn, "EOF");
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      Dead(conn, "read");
+      return;
+    }
+    std::string reply;
+    while (true) {
+      const server::ReplyParser::Result result = conn.replies.Next(&reply);
+      if (result == server::ReplyParser::Result::kNeedMore) break;
+      SCCF_CHECK(result == server::ReplyParser::Result::kReply)
+          << "reply stream desynchronized";
+      latencies_.push_back((NowSeconds() - conn.sent_at) * 1000.0);
+      if (!reply.empty() && reply.front() == '-') ++errors_;
+      SendNext(conn);
+      if (conn.fd < 0) return;
+    }
+  }
+
+  void Dead(Conn& conn, const char* why) {
+    // A dying connection mid-measurement invalidates the point.
+    SCCF_CHECK(false) << "connection died (" << why
+                      << "): " << std::strerror(errno);
+    ::close(conn.fd);
+    conn.fd = -1;
+  }
+
+  const Config& cfg_;
+  const int num_connections_;
+  const double ingest_ratio_;
+  int epoll_fd_ = -1;
+  std::vector<Conn> conns_;
+  std::vector<double> latencies_;
+  uint64_t errors_ = 0;
+};
+
+void RaiseFdLimit(int needed) {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return;
+  const rlim_t want = static_cast<rlim_t>(needed) + 64;
+  if (lim.rlim_cur >= want) return;
+  lim.rlim_cur = std::min<rlim_t>(want, lim.rlim_max);
+  ::setrlimit(RLIMIT_NOFILE, &lim);
+}
+
+void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points) {
+  std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
+  SCCF_CHECK(f != nullptr) << "cannot open " << cfg.json_path;
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"bench_server\",\n");
+  std::fprintf(f, "  \"host\": { \"hardware_concurrency\": %u },\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f,
+               "  \"config\": { \"duration_s\": %.1f, \"users\": %d, "
+               "\"items\": %d, \"topn\": %d, \"protocol\": \"inline\", "
+               "\"load_shape\": \"pingpong\" },\n",
+               cfg.duration_s, cfg.users, cfg.items, cfg.topn);
+  std::fprintf(f, "  \"results\": [\n");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    // scripts/ci.sh greps the "connections"/"qps" prefix of each row;
+    // new fields must stay appended after it.
+    std::fprintf(f,
+                 "    { \"connections\": %d, \"ingest_ratio\": %.2f, "
+                 "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                 "\"requests\": %llu, \"errors\": %llu }%s\n",
+                 p.connections, p.ingest_ratio, p.qps, p.p50_ms, p.p99_ms,
+                 static_cast<unsigned long long>(p.requests),
+                 static_cast<unsigned long long>(p.errors),
+                 i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", cfg.json_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    int64_t v = 0;
+    if (arg.rfind("--host=", 0) == 0) {
+      cfg.host = val("--host=");
+    } else if (arg.rfind("--port=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--port="), &v) && v > 0 && v <= 65535)
+          << "bad --port";
+      cfg.port = static_cast<uint16_t>(v);
+    } else if (arg.rfind("--connections=", 0) == 0) {
+      cfg.connections.clear();
+      for (const std::string& part : Split(val("--connections="), ',')) {
+        SCCF_CHECK(ParseInt64(part, &v) && v >= 1) << "bad --connections";
+        cfg.connections.push_back(static_cast<int>(v));
+      }
+    } else if (arg.rfind("--ingest_ratios=", 0) == 0) {
+      cfg.ingest_ratios.clear();
+      for (const std::string& part : Split(val("--ingest_ratios="), ',')) {
+        const double r = std::stod(part);
+        SCCF_CHECK(r >= 0.0 && r <= 1.0) << "bad --ingest_ratios";
+        cfg.ingest_ratios.push_back(r);
+      }
+    } else if (arg.rfind("--duration=", 0) == 0) {
+      cfg.duration_s = std::stod(val("--duration="));
+      SCCF_CHECK(cfg.duration_s > 0.0) << "bad --duration";
+    } else if (arg.rfind("--users=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--users="), &v) && v > 0) << "bad --users";
+      cfg.users = static_cast<int>(v);
+    } else if (arg.rfind("--items=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--items="), &v) && v > 0) << "bad --items";
+      cfg.items = static_cast<int>(v);
+    } else if (arg.rfind("--topn=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--topn="), &v) && v > 0) << "bad --topn";
+      cfg.topn = static_cast<int>(v);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      cfg.json_path = val("--json=");
+    } else if (arg == "--quick") {
+      cfg.connections = {8};
+      cfg.ingest_ratios = {0.2};
+      cfg.duration_s = 1.0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::PrintHeader(
+      "Server front-end throughput — epoll reactor",
+      "N pingpong connections x ingest/query mixes against a running "
+      "sccf_server; QPS and p50/p99 request latency per sweep point");
+  std::printf("target %s:%u  corpus bounds %d users x %d items\n\n",
+              cfg.host.c_str(), static_cast<unsigned>(cfg.port), cfg.users,
+              cfg.items);
+
+  RaiseFdLimit(*std::max_element(cfg.connections.begin(),
+                                 cfg.connections.end()));
+
+  std::vector<SweepPoint> points;
+  TablePrinter table({"connections", "ingest", "qps", "p50 (ms)",
+                      "p99 (ms)", "requests", "errors"});
+  for (int conns : cfg.connections) {
+    for (double ratio : cfg.ingest_ratios) {
+      LoadClient client(cfg, conns, ratio);
+      const SweepPoint p = client.Run();
+      points.push_back(p);
+      table.AddRow({std::to_string(p.connections), FormatFloat(p.ingest_ratio, 2),
+                    FormatFloat(p.qps, 1), FormatFloat(p.p50_ms, 4),
+                    FormatFloat(p.p99_ms, 4), std::to_string(p.requests),
+                    std::to_string(p.errors)});
+    }
+  }
+  table.Print();
+
+  uint64_t total_errors = 0;
+  for (const SweepPoint& p : points) total_errors += p.errors;
+  if (total_errors > 0) {
+    std::fprintf(stderr, "%llu request errors — failing\n",
+                 static_cast<unsigned long long>(total_errors));
+    return 1;
+  }
+  if (!cfg.json_path.empty()) WriteJson(cfg, points);
+  return 0;
+}

@@ -180,4 +180,65 @@ else
   echo "tsan shard stress: SKIPPED (-fsanitize=thread unavailable)"
 fi
 
+# Server front-end smoke: start the sccf_server daemon on an ephemeral
+# port, drive ~2s of mixed load at 8 pingpong connections with
+# bench_server --quick, require a nonzero QPS and zero request errors,
+# then SIGTERM and require a clean graceful-drain exit 0. The binaries
+# are Linux-only (epoll); skip gracefully elsewhere.
+SRV=build/release/sccf_server
+SRV_BENCH=build/release/bench/bench_server
+if [[ -x "${SRV}" && -x "${SRV_BENCH}" ]]; then
+  SRV_OUT="$(mktemp)"
+  SRV_JSON="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+    "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}"' EXIT
+  "${SRV}" --port=0 --users=800 --items=600 >"${SRV_OUT}" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 1 150); do
+    grep -q 'listening on' "${SRV_OUT}" && break
+    if ! kill -0 "${SRV_PID}" 2>/dev/null; then break; fi
+    sleep 0.2
+  done
+  srv_port="$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "${SRV_OUT}")"
+  srv_users="$(sed -n 's/^corpus users=\([0-9]*\).*/\1/p' "${SRV_OUT}")"
+  srv_items="$(sed -n 's/^corpus users=[0-9]* items=\([0-9]*\)$/\1/p' \
+    "${SRV_OUT}")"
+  if [[ -z "${srv_port}" ]]; then
+    echo "server smoke: FAILED — sccf_server never started listening:" >&2
+    cat "${SRV_OUT}" >&2
+    exit 1
+  fi
+  # --quick: 8 connections, 1s point, 20% ingest. Exits nonzero on any
+  # request error, so the gate below only needs the QPS floor.
+  # --quick first: flags apply in order, and the 2s duration must win
+  # over --quick's 1s default.
+  if ! "${SRV_BENCH}" --quick --port="${srv_port}" --users="${srv_users}" \
+       --items="${srv_items}" --duration=2 \
+       --json="${SRV_JSON}" >/dev/null; then
+    echo "server smoke: FAILED — bench_server reported errors" >&2
+    kill -TERM "${SRV_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  srv_qps="$(sed -n 's/.*"connections": 8, .*"qps": \([0-9.]*\).*/\1/p' \
+    "${SRV_JSON}")"
+  if [[ -z "${srv_qps}" ]] ||
+     ! awk -v q="${srv_qps}" 'BEGIN{exit !(q > 0)}'; then
+    echo "server smoke: FAILED — no throughput (qps='${srv_qps}')" >&2
+    kill -TERM "${SRV_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "${SRV_PID}"
+  srv_exit=0
+  wait "${SRV_PID}" || srv_exit=$?
+  if [[ "${srv_exit}" -ne 0 ]]; then
+    echo "server smoke: FAILED — SIGTERM drain exited ${srv_exit}:" >&2
+    cat "${SRV_OUT}" >&2
+    exit 1
+  fi
+  echo "server smoke: OK (${srv_qps} qps at 8 connections, clean drain)"
+else
+  echo "server smoke: SKIPPED (sccf_server not built on this platform)"
+fi
+
 echo "ci.sh: all green"

@@ -259,6 +259,10 @@ StatusOr<RealTimeService::BatchResult> RealTimeService::OnInteractionBatch(
     if (e.item < 0 || static_cast<size_t>(e.item) >= model_->num_items()) {
       return Status::InvalidArgument("unknown item " + std::to_string(e.item));
     }
+    if (e.ts < 0) {
+      return Status::InvalidArgument("negative timestamp " +
+                                     std::to_string(e.ts));
+    }
   }
   BatchResult result;
   result.timings.assign(events.size(), UpdateTiming{});

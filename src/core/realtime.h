@@ -136,6 +136,9 @@ class RealTimeService {
   /// One interaction in an ingest batch. `ts` is carried for callers that
   /// batch by wall-clock window (the service itself orders events by
   /// batch position, which the caller must keep chronological per user).
+  /// All three fields must be non-negative — OnInteractionBatch rejects
+  /// the whole batch atomically (no partial state) otherwise, so negative
+  /// ids from untrusted sources can never reach the shard hash.
   struct Event {
     int user = -1;
     int item = -1;

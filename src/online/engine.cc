@@ -49,18 +49,23 @@ StatusOr<Engine::RecommendResponse> Engine::Recommend(
   if (request.user < 0) {
     return Status::InvalidArgument("user must be non-negative");
   }
-  if (request.n == 0) {
+  // <= 0, not == 0: the fields are signed so untrusted callers (the
+  // network protocol layer) can hand us a parsed "-5" — it must be
+  // rejected here, exactly as the error text has always promised, not
+  // wrapped into a huge unsigned count downstream.
+  if (request.n <= 0) {
     return Status::InvalidArgument("n must be positive");
   }
   if (request.opts.beta_override.has_value() &&
-      *request.opts.beta_override == 0) {
+      *request.opts.beta_override <= 0) {
     return Status::InvalidArgument("beta_override must be positive");
   }
   SCCF_ASSIGN_OR_RETURN(
       core::CandidateList candidates,
-      service_.RecommendUserBased(request.user, request.n,
-                                  request.opts.beta_override.value_or(0),
-                                  request.opts.exclude_seen));
+      service_.RecommendUserBased(
+          request.user, static_cast<size_t>(request.n),
+          static_cast<size_t>(request.opts.beta_override.value_or(0)),
+          request.opts.exclude_seen));
   return RecommendResponse{std::move(candidates)};
 }
 
@@ -69,12 +74,14 @@ StatusOr<Engine::NeighborsResponse> Engine::Neighbors(
   if (request.user < 0) {
     return Status::InvalidArgument("user must be non-negative");
   }
-  if (request.beta_override.has_value() && *request.beta_override == 0) {
+  if (request.beta_override.has_value() && *request.beta_override <= 0) {
     return Status::InvalidArgument("beta_override must be positive");
   }
   SCCF_ASSIGN_OR_RETURN(
       std::vector<index::Neighbor> neighbors,
-      service_.Neighbors(request.user, request.beta_override.value_or(0)));
+      service_.Neighbors(
+          request.user,
+          static_cast<size_t>(request.beta_override.value_or(0))));
   return NeighborsResponse{std::move(neighbors)};
 }
 

@@ -93,8 +93,11 @@ class Engine {
 
   struct RecommendOptions {
     /// Neighborhood size for this request; unset uses Options::beta.
-    /// An explicit 0 is InvalidArgument.
-    std::optional<size_t> beta_override;
+    /// Signed on purpose: requests increasingly arrive from untrusted
+    /// sources (the network protocol layer), and an unsigned field would
+    /// silently wrap a parsed "-5" into a huge neighborhood instead of
+    /// letting validation reject it. Any value <= 0 is InvalidArgument.
+    std::optional<int64_t> beta_override;
     /// Mask the user's own history out of the candidate list (the
     /// paper's protocol). Disable to score already-seen items too.
     bool exclude_seen = true;
@@ -102,7 +105,10 @@ class Engine {
 
   struct RecommendRequest {
     int user = -1;
-    size_t n = 0;  ///< list length; must be positive
+    /// List length; must be positive. Signed for the same reason as
+    /// RecommendOptions::beta_override — a negative n must be rejected,
+    /// not wrapped into a near-2^64 allocation request.
+    int64_t n = 0;
     RecommendOptions opts;
   };
 
@@ -113,8 +119,9 @@ class Engine {
   struct NeighborsRequest {
     int user = -1;
     /// Neighborhood size for this request; unset uses Options::beta.
-    /// An explicit 0 is InvalidArgument.
-    std::optional<size_t> beta_override;
+    /// Any explicit value <= 0 is InvalidArgument (signed so negatives
+    /// from untrusted callers are rejectable, not wrapped).
+    std::optional<int64_t> beta_override;
   };
 
   struct NeighborsResponse {
@@ -170,6 +177,23 @@ class Engine {
 
   size_t pending_upserts() const { return service_.pending_upserts(); }
   size_t num_users() const { return service_.num_users(); }
+
+  /// Point-in-time operational counters, cheap enough to poll (one
+  /// shared lock per shard for the staged count). This is what the
+  /// network server's STATS command surfaces; later scale items
+  /// (persistence, memory accounting) extend this snapshot rather than
+  /// adding ad-hoc getters.
+  struct StatsSnapshot {
+    size_t num_users = 0;
+    size_t num_shards = 0;
+    size_t pending_upserts = 0;
+    bool background_compaction = false;
+  };
+  StatsSnapshot Stats() const {
+    return StatsSnapshot{service_.num_users(), service_.num_shards(),
+                         service_.pending_upserts(),
+                         service_.background_compaction_running()};
+  }
 
   /// The wrapped service, for diagnostics (shard topology, vote lists)
   /// and tests. Serving traffic should use the typed API above.

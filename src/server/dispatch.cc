@@ -1,0 +1,233 @@
+#include "server/dispatch.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sccf::server {
+
+namespace {
+
+/// Strict full-string signed integer parse (what untrusted request
+/// arguments go through). "-5" parses to -5 so the Engine's non-positive
+/// validation actually sees the sign instead of an unsigned wraparound.
+bool ParseI64(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+/// int32 range check for user/item ids carried as `int` in the Engine
+/// API: an id like 2^40 must be rejected at the protocol boundary, not
+/// truncated into a different (valid-looking) id.
+bool ParseId(std::string_view s, int* out) {
+  int64_t v = 0;
+  if (!ParseI64(s, &v)) return false;
+  if (v < std::numeric_limits<int>::min() ||
+      v > std::numeric_limits<int>::max()) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::toupper(static_cast<unsigned char>(x)) ==
+                  std::toupper(static_cast<unsigned char>(y));
+         });
+}
+
+void AppendStatusError(std::string* out, const Status& status) {
+  std::string code(StatusCodeToString(status.code()));
+  std::transform(code.begin(), code.end(), code.begin(),
+                 [](unsigned char c) {
+                   return static_cast<char>(std::toupper(c));
+                 });
+  AppendError(out, code, status.message());
+}
+
+void AppendArgError(std::string* out, std::string_view message) {
+  AppendError(out, "ERR", message);
+}
+
+void ExecutePing(std::string* out) { AppendSimpleString(out, "PONG"); }
+
+void ExecuteIngest(online::Engine& engine, const Command& cmd,
+                   std::string* out) {
+  size_t n = cmd.args.size();
+  online::Engine::IngestRequest request;
+  if (n > 0 && EqualsIgnoreCase(cmd.args[n - 1], "NOIDENTIFY")) {
+    request.identify = false;
+    --n;
+  }
+  if (n == 0 || n % 3 != 0) {
+    AppendArgError(out,
+                   "INGEST expects (user item ts) triples, optionally "
+                   "followed by NOIDENTIFY");
+    return;
+  }
+  request.events.reserve(n / 3);
+  for (size_t i = 0; i < n; i += 3) {
+    online::Engine::Event event;
+    if (!ParseId(cmd.args[i], &event.user) ||
+        !ParseId(cmd.args[i + 1], &event.item) ||
+        !ParseI64(cmd.args[i + 2], &event.ts)) {
+      AppendArgError(out, "INGEST: malformed integer in triple " +
+                              std::to_string(i / 3));
+      return;
+    }
+    request.events.push_back(event);
+  }
+  auto response = engine.Ingest(request);
+  if (!response.ok()) {
+    AppendStatusError(out, response.status());
+    return;
+  }
+  AppendArrayHeader(out, 3);
+  AppendInteger(out, static_cast<int64_t>(response->num_events));
+  AppendInteger(out, static_cast<int64_t>(response->users_touched));
+  AppendInteger(out, static_cast<int64_t>(response->cold_start_users));
+}
+
+void ExecuteRecommend(online::Engine& engine, const Command& cmd,
+                      std::string* out) {
+  if (cmd.args.size() < 2) {
+    AppendArgError(out, "RECOMMEND expects: user n [BETA b] [WITHSEEN]");
+    return;
+  }
+  online::Engine::RecommendRequest request;
+  if (!ParseId(cmd.args[0], &request.user) ||
+      !ParseI64(cmd.args[1], &request.n)) {
+    AppendArgError(out, "RECOMMEND: user and n must be integers");
+    return;
+  }
+  for (size_t i = 2; i < cmd.args.size(); ++i) {
+    if (EqualsIgnoreCase(cmd.args[i], "BETA") && i + 1 < cmd.args.size()) {
+      int64_t beta = 0;
+      if (!ParseI64(cmd.args[++i], &beta)) {
+        AppendArgError(out, "RECOMMEND: BETA must be an integer");
+        return;
+      }
+      request.opts.beta_override = beta;
+    } else if (EqualsIgnoreCase(cmd.args[i], "WITHSEEN")) {
+      request.opts.exclude_seen = false;
+    } else {
+      AppendArgError(out, "RECOMMEND: unknown option '" + cmd.args[i] + "'");
+      return;
+    }
+  }
+  auto response = engine.Recommend(request);
+  if (!response.ok()) {
+    AppendStatusError(out, response.status());
+    return;
+  }
+  AppendArrayHeader(out, response->candidates.size() * 2);
+  for (const auto& candidate : response->candidates) {
+    AppendInteger(out, candidate.id);
+    AppendFloatBulk(out, candidate.score);
+  }
+}
+
+void ExecuteNeighbors(online::Engine& engine, const Command& cmd,
+                      std::string* out) {
+  if (cmd.args.empty()) {
+    AppendArgError(out, "NEIGHBORS expects: user [BETA b]");
+    return;
+  }
+  online::Engine::NeighborsRequest request;
+  if (!ParseId(cmd.args[0], &request.user)) {
+    AppendArgError(out, "NEIGHBORS: user must be an integer");
+    return;
+  }
+  if (cmd.args.size() >= 2) {
+    if (cmd.args.size() != 3 || !EqualsIgnoreCase(cmd.args[1], "BETA")) {
+      AppendArgError(out, "NEIGHBORS expects: user [BETA b]");
+      return;
+    }
+    int64_t beta = 0;
+    if (!ParseI64(cmd.args[2], &beta)) {
+      AppendArgError(out, "NEIGHBORS: BETA must be an integer");
+      return;
+    }
+    request.beta_override = beta;
+  }
+  auto response = engine.Neighbors(request);
+  if (!response.ok()) {
+    AppendStatusError(out, response.status());
+    return;
+  }
+  AppendArrayHeader(out, response->neighbors.size() * 2);
+  for (const auto& neighbor : response->neighbors) {
+    AppendInteger(out, neighbor.id);
+    AppendFloatBulk(out, neighbor.score);
+  }
+}
+
+void ExecuteHistory(online::Engine& engine, const Command& cmd,
+                    std::string* out) {
+  if (cmd.args.size() != 1) {
+    AppendArgError(out, "HISTORY expects: user");
+    return;
+  }
+  online::Engine::HistoryRequest request;
+  if (!ParseId(cmd.args[0], &request.user)) {
+    AppendArgError(out, "HISTORY: user must be an integer");
+    return;
+  }
+  auto response = engine.History(request);
+  if (!response.ok()) {
+    AppendStatusError(out, response.status());
+    return;
+  }
+  AppendArrayHeader(out, response->items.size());
+  for (int item : response->items) AppendInteger(out, item);
+}
+
+void ExecuteStats(online::Engine& engine, std::string* out) {
+  const online::Engine::StatsSnapshot stats = engine.Stats();
+  AppendArrayHeader(out, 8);
+  AppendBulkString(out, "num_users");
+  AppendInteger(out, static_cast<int64_t>(stats.num_users));
+  AppendBulkString(out, "num_shards");
+  AppendInteger(out, static_cast<int64_t>(stats.num_shards));
+  AppendBulkString(out, "pending_upserts");
+  AppendInteger(out, static_cast<int64_t>(stats.pending_upserts));
+  AppendBulkString(out, "background_compaction");
+  AppendInteger(out, stats.background_compaction ? 1 : 0);
+}
+
+}  // namespace
+
+bool Execute(online::Engine& engine, const Command& command,
+             std::string* out) {
+  if (command.name == "PING") {
+    ExecutePing(out);
+  } else if (command.name == "INGEST") {
+    ExecuteIngest(engine, command, out);
+  } else if (command.name == "RECOMMEND") {
+    ExecuteRecommend(engine, command, out);
+  } else if (command.name == "NEIGHBORS") {
+    ExecuteNeighbors(engine, command, out);
+  } else if (command.name == "HISTORY") {
+    ExecuteHistory(engine, command, out);
+  } else if (command.name == "STATS") {
+    ExecuteStats(engine, out);
+  } else if (command.name == "QUIT") {
+    AppendSimpleString(out, "OK");
+    return true;
+  } else {
+    AppendArgError(out, "unknown command '" + command.name + "'");
+  }
+  return false;
+}
+
+}  // namespace sccf::server

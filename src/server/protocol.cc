@@ -1,0 +1,364 @@
+#include "server/protocol.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <utility>
+
+namespace sccf::server {
+
+namespace {
+
+constexpr std::string_view kCrlf = "\r\n";
+
+/// Strict non-negative integer parse over a header field (lengths,
+/// counts). Rejects signs, leading zeros are fine, overflow is not.
+bool ParseHeaderCount(std::string_view s, int64_t* out) {
+  if (s.empty()) return false;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), *out);
+  return ec == std::errc() && ptr == s.data() + s.size() && *out >= 0;
+}
+
+std::string Uppercased(std::string_view s) {
+  std::string up(s);
+  std::transform(up.begin(), up.end(), up.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return up;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- replies
+
+void AppendSimpleString(std::string* out, std::string_view s) {
+  out->push_back('+');
+  out->append(s);
+  out->append(kCrlf);
+}
+
+void AppendError(std::string* out, std::string_view code,
+                 std::string_view message) {
+  out->push_back('-');
+  out->append(code);
+  out->push_back(' ');
+  const size_t start = out->size();
+  out->append(message);
+  std::replace_if(
+      out->begin() + static_cast<std::ptrdiff_t>(start), out->end(),
+      [](char c) { return c == '\r' || c == '\n'; }, ' ');
+  out->append(kCrlf);
+}
+
+void AppendInteger(std::string* out, int64_t v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  out->push_back(':');
+  out->append(buf, ptr);
+  out->append(kCrlf);
+}
+
+void AppendBulkString(std::string* out, std::string_view s) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                       static_cast<int64_t>(s.size()));
+  (void)ec;
+  out->push_back('$');
+  out->append(buf, ptr);
+  out->append(kCrlf);
+  out->append(s);
+  out->append(kCrlf);
+}
+
+void AppendArrayHeader(std::string* out, size_t n) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                       static_cast<int64_t>(n));
+  (void)ec;
+  out->push_back('*');
+  out->append(buf, ptr);
+  out->append(kCrlf);
+}
+
+void AppendFloatBulk(std::string* out, float v) {
+  char buf[48];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  AppendBulkString(out, std::string_view(buf, ptr - buf));
+}
+
+// ---------------------------------------------------- request parsing
+
+void RequestParser::Feed(std::string_view bytes) {
+  if (fatal_) return;
+  buf_.append(bytes);
+}
+
+void RequestParser::Consume(size_t n) {
+  pos_ += n;
+  // Reclaim the consumed prefix once it dominates the buffer, so a
+  // long-lived pipelining connection doesn't grow its buffer without
+  // bound while staying O(1) amortized.
+  if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+}
+
+RequestParser::Result RequestParser::Fatal(std::string* error,
+                                           std::string message) {
+  fatal_ = true;
+  buf_.clear();
+  pos_ = 0;
+  if (error != nullptr) *error = std::move(message);
+  return Result::kFatal;
+}
+
+RequestParser::Result RequestParser::Next(Command* command,
+                                          std::string* error) {
+  if (fatal_) {
+    if (error != nullptr) *error = "connection already in protocol error";
+    return Result::kFatal;
+  }
+  while (true) {
+    const std::string_view rest =
+        std::string_view(buf_).substr(pos_);
+    if (rest.empty()) return Result::kNeedMore;
+    if (rest.front() == '*') return ParseMultibulk(command, error);
+    // Skip bare newlines between inline commands (telnet convenience).
+    if (rest.front() == '\r' || rest.front() == '\n') {
+      size_t skip = 0;
+      while (skip < rest.size() &&
+             (rest[skip] == '\r' || rest[skip] == '\n')) {
+        ++skip;
+      }
+      Consume(skip);
+      continue;
+    }
+    return ParseInline(command, error);
+  }
+}
+
+RequestParser::Result RequestParser::ParseInline(Command* command,
+                                                 std::string* error) {
+  const std::string_view rest = std::string_view(buf_).substr(pos_);
+  const size_t nl = rest.find('\n');
+  if (nl == std::string_view::npos) {
+    if (rest.size() > limits_.max_frame_bytes) {
+      return Fatal(error, "inline request exceeds " +
+                              std::to_string(limits_.max_frame_bytes) +
+                              " bytes");
+    }
+    return Result::kNeedMore;
+  }
+  if (nl > limits_.max_frame_bytes) {
+    return Fatal(error, "inline request exceeds " +
+                            std::to_string(limits_.max_frame_bytes) +
+                            " bytes");
+  }
+  std::string_view line = rest.substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+
+  command->name.clear();
+  command->args.clear();
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    const size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t') ++i;
+    if (i == start) break;
+    const std::string_view token = line.substr(start, i - start);
+    if (command->name.empty() && command->args.empty()) {
+      command->name = Uppercased(token);
+    } else {
+      command->args.emplace_back(token);
+    }
+  }
+  Consume(nl + 1);
+  if (command->name.empty()) {
+    // Whitespace-only line: skip it like an empty one.
+    return Next(command, error);
+  }
+  return Result::kCommand;
+}
+
+RequestParser::Result RequestParser::ParseMultibulk(Command* command,
+                                                    std::string* error) {
+  const std::string_view rest = std::string_view(buf_).substr(pos_);
+  size_t cursor = 0;  // offset into rest
+
+  // Reads one "<type><digits>\r\n" header at `cursor`; advances cursor
+  // past it. Returns false with need_more/fatal handled by the caller
+  // via the out-params.
+  bool need_more = false;
+  std::string fatal_reason;
+  const auto read_header = [&](char type, int64_t* value) -> bool {
+    if (cursor >= rest.size()) {
+      need_more = true;
+      return false;
+    }
+    if (rest[cursor] != type) {
+      fatal_reason = std::string("expected '") + type +
+                     "' in multibulk frame, got '" + rest[cursor] + "'";
+      return false;
+    }
+    const size_t line_end = rest.find(kCrlf, cursor);
+    if (line_end == std::string_view::npos) {
+      if (rest.size() - cursor > 32) {
+        fatal_reason = "unterminated multibulk header";
+      } else {
+        need_more = true;
+      }
+      return false;
+    }
+    if (!ParseHeaderCount(rest.substr(cursor + 1, line_end - cursor - 1),
+                          value)) {
+      fatal_reason = "bad count in multibulk header";
+      return false;
+    }
+    cursor = line_end + 2;
+    return true;
+  };
+
+  int64_t argc = 0;
+  if (!read_header('*', &argc)) {
+    if (need_more) {
+      if (rest.size() > limits_.max_frame_bytes) {
+        return Fatal(error, "oversized multibulk frame");
+      }
+      return Result::kNeedMore;
+    }
+    return Fatal(error, std::move(fatal_reason));
+  }
+  if (static_cast<size_t>(argc) > limits_.max_args) {
+    return Fatal(error, "multibulk frame exceeds " +
+                            std::to_string(limits_.max_args) + " elements");
+  }
+
+  std::vector<std::string> elements;
+  elements.reserve(static_cast<size_t>(argc));
+  for (int64_t i = 0; i < argc; ++i) {
+    int64_t len = 0;
+    if (!read_header('$', &len)) {
+      if (need_more) {
+        if (rest.size() > limits_.max_frame_bytes) {
+          return Fatal(error, "oversized multibulk frame");
+        }
+        return Result::kNeedMore;
+      }
+      return Fatal(error, std::move(fatal_reason));
+    }
+    if (static_cast<size_t>(len) > limits_.max_frame_bytes ||
+        cursor + static_cast<size_t>(len) + 2 >
+            limits_.max_frame_bytes + 64) {
+      return Fatal(error, "oversized bulk argument");
+    }
+    if (cursor + static_cast<size_t>(len) + 2 > rest.size()) {
+      return Result::kNeedMore;
+    }
+    if (rest.substr(cursor + static_cast<size_t>(len), 2) != kCrlf) {
+      return Fatal(error, "bulk argument not CRLF-terminated");
+    }
+    elements.emplace_back(rest.substr(cursor, static_cast<size_t>(len)));
+    cursor += static_cast<size_t>(len) + 2;
+  }
+
+  Consume(cursor);
+  if (elements.empty()) {
+    // `*0\r\n` frames cleanly but names no command: recoverable error.
+    if (error != nullptr) *error = "empty command";
+    return Result::kError;
+  }
+  command->name = Uppercased(elements.front());
+  command->args.assign(std::make_move_iterator(elements.begin() + 1),
+                       std::make_move_iterator(elements.end()));
+  return Result::kCommand;
+}
+
+// ------------------------------------------------------ reply parsing
+
+void ReplyParser::Feed(std::string_view bytes) { buf_.append(bytes); }
+
+ReplyParser::Result ReplyParser::Next(std::string* reply) {
+  if (bad_) return Result::kError;
+  const std::string_view rest = std::string_view(buf_).substr(pos_);
+  size_t cursor = 0;
+  // A reply is `frames` outstanding frames; arrays add their element
+  // count. Iterative equivalent of recursive descent.
+  int64_t frames = 1;
+  while (frames > 0) {
+    if (cursor >= rest.size()) return Result::kNeedMore;
+    const char type = rest[cursor];
+    const size_t line_end = rest.find("\r\n", cursor);
+    if (line_end == std::string_view::npos) return Result::kNeedMore;
+    const std::string_view body =
+        rest.substr(cursor + 1, line_end - cursor - 1);
+    switch (type) {
+      case '+':
+      case '-':
+        cursor = line_end + 2;
+        break;
+      case ':': {
+        int64_t v = 0;
+        std::string_view digits = body;
+        if (!digits.empty() && digits.front() == '-') {
+          digits.remove_prefix(1);
+        }
+        if (!ParseHeaderCount(digits, &v)) {
+          bad_ = true;
+          return Result::kError;
+        }
+        cursor = line_end + 2;
+        break;
+      }
+      case '$': {
+        int64_t len = 0;
+        if (body == "-1") {  // null bulk
+          cursor = line_end + 2;
+          break;
+        }
+        if (!ParseHeaderCount(body, &len)) {
+          bad_ = true;
+          return Result::kError;
+        }
+        const size_t end = line_end + 2 + static_cast<size_t>(len) + 2;
+        if (end > rest.size()) return Result::kNeedMore;
+        if (rest.substr(end - 2, 2) != "\r\n") {
+          bad_ = true;
+          return Result::kError;
+        }
+        cursor = end;
+        break;
+      }
+      case '*': {
+        int64_t count = 0;
+        if (body == "-1") {  // null array
+          cursor = line_end + 2;
+          break;
+        }
+        if (!ParseHeaderCount(body, &count)) {
+          bad_ = true;
+          return Result::kError;
+        }
+        cursor = line_end + 2;
+        frames += count;
+        break;
+      }
+      default:
+        bad_ = true;
+        return Result::kError;
+    }
+    --frames;
+  }
+  if (reply != nullptr) reply->assign(rest.substr(0, cursor));
+  pos_ += cursor;
+  if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return Result::kReply;
+}
+
+}  // namespace sccf::server

@@ -1,0 +1,146 @@
+#ifndef SCCF_SERVER_PROTOCOL_H_
+#define SCCF_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sccf::server {
+
+/// The SCCF wire protocol: a small pipelined RESP-style text protocol
+/// (Redis serialization framing) over TCP. This header is the pure
+/// parsing/serialization layer — no sockets, no Engine — so it can be
+/// unit-tested byte by byte and reused by the server, the load client,
+/// and the integration tests.
+///
+/// Requests are commands with string arguments, in either framing:
+///
+///  * inline:     `NEIGHBORS 5 BETA 10\r\n`   (nc/telnet friendly; a
+///                bare `\n` terminator is accepted too)
+///  * multibulk:  `*2\r\n$7\r\nHISTORY\r\n$1\r\n5\r\n`   (binary safe;
+///                what the load client speaks)
+///
+/// Replies use the standard RESP data types:
+///
+///  * simple string  `+PONG\r\n`
+///  * error          `-INVALIDARGUMENT beta_override must be positive\r\n`
+///                   (first token is the upper-cased StatusCode, or ERR
+///                   for protocol-level errors)
+///  * integer        `:42\r\n`
+///  * bulk string    `$5\r\nhello\r\n`
+///  * array          `*2\r\n:7\r\n$8\r\n0.514706\r\n`
+///
+/// The command set and reply shapes live in dispatch.h; this file only
+/// knows about frames.
+
+/// One parsed request frame. `name` is upper-cased (commands are
+/// case-insensitive); `args` keep their original bytes.
+struct Command {
+  std::string name;
+  std::vector<std::string> args;
+};
+
+// ------------------------------------------------------------- replies
+
+void AppendSimpleString(std::string* out, std::string_view s);
+/// `-<code> <message>\r\n`. CR/LF inside `message` are replaced with
+/// spaces (an embedded newline would desynchronize the stream).
+void AppendError(std::string* out, std::string_view code,
+                 std::string_view message);
+void AppendInteger(std::string* out, int64_t v);
+void AppendBulkString(std::string* out, std::string_view s);
+void AppendArrayHeader(std::string* out, size_t n);
+/// Shortest round-trip decimal form of `v` (std::to_chars), as a bulk
+/// string — deterministic across runs, which is what lets the
+/// integration tests compare server replies bit-for-bit against
+/// locally serialized Engine responses.
+void AppendFloatBulk(std::string* out, float v);
+
+// ---------------------------------------------------- request parsing
+
+/// Incremental request parser: feed raw bytes as they arrive from the
+/// socket, then drain complete frames with Next(). Handles pipelining
+/// (many frames per Feed) and fragmentation (one frame across many
+/// Feeds) by construction.
+///
+/// Error discipline mirrors the reactor's needs:
+///  * kError   — the frame was malformed but the stream is still framed
+///               (e.g. an empty `*0` command): reply with an error and
+///               keep parsing.
+///  * kFatal   — framing is lost or a limit was exceeded (garbage where
+///               a type byte should be, oversized frame): reply with an
+///               error and close *this* connection. Other connections
+///               are unaffected; the parser refuses to produce further
+///               frames.
+class RequestParser {
+ public:
+  struct Limits {
+    /// Cap on one frame's total encoded size (inline line or multibulk
+    /// including headers). Exceeding it is kFatal — a client streaming
+    /// an unbounded frame must not grow the connection buffer forever.
+    size_t max_frame_bytes = 1 << 20;
+    /// Cap on elements per multibulk frame.
+    size_t max_args = 1024;
+  };
+
+  enum class Result { kCommand, kNeedMore, kError, kFatal };
+
+  RequestParser() = default;
+  explicit RequestParser(Limits limits) : limits_(limits) {}
+
+  /// Appends raw bytes to the internal buffer. No-op after a kFatal.
+  void Feed(std::string_view bytes);
+
+  /// Extracts the next complete frame. On kCommand fills `*command`; on
+  /// kError/kFatal fills `*error` with a human-readable reason. Empty
+  /// inline lines are skipped silently (telnet convenience, as in
+  /// Redis). After kFatal every subsequent call returns kFatal.
+  Result Next(Command* command, std::string* error);
+
+  /// Bytes currently buffered but not yet consumed by Next().
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+  bool fatal() const { return fatal_; }
+
+ private:
+  Result ParseInline(Command* command, std::string* error);
+  Result ParseMultibulk(Command* command, std::string* error);
+  Result Fatal(std::string* error, std::string message);
+  void Consume(size_t n);
+
+  Limits limits_;
+  std::string buf_;
+  size_t pos_ = 0;  // consumed prefix of buf_
+  bool fatal_ = false;
+};
+
+// ------------------------------------------------------ reply parsing
+
+/// Incremental reply-frame scanner for clients (the load client, the
+/// loopback tests): detects where one complete reply ends without
+/// interpreting it, handling nested arrays and pipelined replies, and
+/// hands back the raw bytes so callers can compare or decode them.
+class ReplyParser {
+ public:
+  enum class Result { kReply, kNeedMore, kError };
+
+  void Feed(std::string_view bytes);
+
+  /// On kReply, `*reply` receives the raw bytes of exactly one complete
+  /// reply (e.g. a whole array including all elements). kError means
+  /// the byte stream is not valid RESP; the parser is then stuck.
+  Result Next(std::string* reply);
+
+  size_t buffered_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  size_t pos_ = 0;
+  bool bad_ = false;
+};
+
+}  // namespace sccf::server
+
+#endif  // SCCF_SERVER_PROTOCOL_H_

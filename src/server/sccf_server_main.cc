@@ -1,0 +1,184 @@
+// sccf_server: the SCCF serving daemon. Bootstraps an Engine over a
+// synthetic corpus (deterministic for a fixed seed — there is no model
+// checkpoint format yet; scale item "persistence" on the roadmap) and
+// serves the wire protocol (src/server/protocol.h) until SIGTERM/SIGINT,
+// which triggers the graceful drain and a clean exit 0.
+//
+// Flags:
+//   --host=ADDR            bind address       (default 127.0.0.1)
+//   --port=N               TCP port, 0 = kernel-assigned (default 7700)
+//   --max_connections=N    concurrent-connection cap (default 1024)
+//   --read_buffer=BYTES    per-connection request-frame cap (default 1 MiB)
+//   --drain_timeout=MS     graceful-drain bound (default 5000)
+//   --users=N --items=N    synthetic corpus size (pre-filter; the actual
+//                          post-filter sizes are printed at startup)
+//   --dim=N                embedding dim (default 32)
+//   --shards=N             0 = hardware concurrency (default)
+//   --compaction=N         write-buffer flush threshold (default 32)
+//   --compaction_interval=MS  wall-clock compaction bound (default 0)
+//   --background           enable the background compaction thread
+//   --seed=N               corpus seed (default 7)
+//
+// Startup prints two machine-parsable lines (scripts/ci.sh and
+// bench/bench_server consume them):
+//   corpus users=<post-filter users> items=<post-filter items>
+//   listening on <host>:<port>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/fism.h"
+#include "online/engine.h"
+#include "server/server.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace sccf;
+
+server::Server* g_server = nullptr;
+
+// Shutdown() is async-signal-safe by contract (one write(2) to an
+// eventfd), so this handler is too.
+void HandleSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->Shutdown();
+}
+
+struct Config {
+  server::ServerOptions server;
+  size_t users = 2000;
+  size_t items = 1500;
+  size_t dim = 32;
+  size_t shards = 0;
+  size_t compaction = 32;
+  int64_t compaction_interval_ms = 0;
+  bool background = false;
+  uint64_t seed = 7;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto val = [&arg](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    int64_t v = 0;
+    if (arg.rfind("--host=", 0) == 0) {
+      cfg.server.bind_address = val("--host=");
+    } else if (arg.rfind("--port=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--port="), &v) && v >= 0 && v <= 65535)
+          << "bad --port";
+      cfg.server.port = static_cast<uint16_t>(v);
+    } else if (arg.rfind("--max_connections=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--max_connections="), &v) && v >= 1)
+          << "bad --max_connections";
+      cfg.server.max_connections = static_cast<int>(v);
+    } else if (arg.rfind("--read_buffer=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--read_buffer="), &v) && v >= 64)
+          << "bad --read_buffer";
+      cfg.server.read_buffer_limit = static_cast<size_t>(v);
+    } else if (arg.rfind("--drain_timeout=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--drain_timeout="), &v))
+          << "bad --drain_timeout";
+      cfg.server.drain_timeout_ms = v;
+    } else if (arg.rfind("--users=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--users="), &v) && v > 0) << "bad --users";
+      cfg.users = static_cast<size_t>(v);
+    } else if (arg.rfind("--items=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--items="), &v) && v > 0) << "bad --items";
+      cfg.items = static_cast<size_t>(v);
+    } else if (arg.rfind("--dim=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--dim="), &v) && v > 0) << "bad --dim";
+      cfg.dim = static_cast<size_t>(v);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--shards="), &v) && v >= 0)
+          << "bad --shards";
+      cfg.shards = static_cast<size_t>(v);
+    } else if (arg.rfind("--compaction=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--compaction="), &v) && v >= 0)
+          << "bad --compaction";
+      cfg.compaction = static_cast<size_t>(v);
+    } else if (arg.rfind("--compaction_interval=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--compaction_interval="), &v) && v >= 0)
+          << "bad --compaction_interval";
+      cfg.compaction_interval_ms = v;
+    } else if (arg == "--background") {
+      cfg.background = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--seed="), &v) && v >= 0) << "bad --seed";
+      cfg.seed = static_cast<uint64_t>(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  data::SyntheticConfig syn;
+  syn.name = "server-corpus";
+  syn.num_users = cfg.users;
+  syn.num_items = cfg.items;
+  syn.num_clusters = 20;
+  syn.min_actions = 10;
+  syn.max_actions = 30;
+  syn.seed = cfg.seed;
+  data::SyntheticGenerator gen(syn);
+  auto dataset = gen.Generate();
+  SCCF_CHECK(dataset.ok()) << dataset.status().ToString();
+  data::LeaveOneOutSplit split(*dataset);
+
+  // Untrained FISM: real inference path, deterministic weights. A
+  // trained checkpoint slots in here once persistence lands.
+  models::Fism::Options fopts;
+  fopts.dim = cfg.dim;
+  fopts.epochs = 0;
+  models::Fism fism(fopts);
+  SCCF_CHECK(fism.Fit(split).ok());
+
+  online::Engine::Options eopts;
+  eopts.num_shards = cfg.shards;
+  eopts.compaction_threshold = cfg.compaction;
+  eopts.compaction_interval_ms = cfg.compaction_interval_ms;
+  eopts.background_compaction = cfg.background;
+  online::Engine engine(fism, eopts);
+  SCCF_CHECK(engine.BootstrapFromSplit(split).ok());
+
+  server::Server srv(engine, cfg.server);
+  const Status started = srv.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "failed to start: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  g_server = &srv;
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // writes to dead peers report EPIPE instead
+
+  // Generation may compact ids; clients need the live corpus bounds.
+  std::printf("corpus users=%zu items=%zu\n", split.num_users(),
+              dataset->num_items());
+  std::printf("listening on %s:%u\n", cfg.server.bind_address.c_str(),
+              static_cast<unsigned>(srv.port()));
+  std::fflush(stdout);
+
+  srv.Wait();
+  const server::Server::Stats stats = srv.stats();
+  std::printf(
+      "drained: accepted=%llu refused=%llu commands=%llu "
+      "protocol_errors=%llu\n",
+      static_cast<unsigned long long>(stats.connections_accepted),
+      static_cast<unsigned long long>(stats.connections_refused),
+      static_cast<unsigned long long>(stats.commands_executed),
+      static_cast<unsigned long long>(stats.protocol_errors));
+  return 0;
+}

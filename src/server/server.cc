@@ -1,0 +1,378 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "server/dispatch.h"
+#include "util/logging.h"
+
+namespace sccf::server {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Status Errno(const std::string& what) {
+  return Status::IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Server::Server(online::Engine& engine, ServerOptions options)
+    : engine_(&engine), options_(std::move(options)) {}
+
+Server::~Server() {
+  Shutdown();
+  Wait();
+}
+
+Status Server::Start() {
+  if (started_) {
+    return Status::FailedPrecondition("Start may be called once");
+  }
+  if (options_.max_connections < 1) {
+    return Status::InvalidArgument("max_connections must be positive");
+  }
+  if (options_.read_buffer_limit == 0) {
+    return Status::InvalidArgument("read_buffer_limit must be positive");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind_address " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind " + options_.bind_address + ":" +
+                            std::to_string(options_.port));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  if (::listen(listen_fd_, 511) != 0) {
+    const Status st = Errno("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    const Status st = Errno("getsockname");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wakeup_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wakeup_fd_ < 0) {
+    const Status st = Errno("epoll_create1/eventfd");
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wakeup_fd_ >= 0) ::close(wakeup_fd_);
+    ::close(listen_fd_);
+    listen_fd_ = epoll_fd_ = wakeup_fd_ = -1;
+    return st;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  SCCF_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) == 0);
+  ev.data.fd = wakeup_fd_;
+  SCCF_CHECK(::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wakeup_fd_, &ev) == 0);
+
+  started_ = true;
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (wakeup_fd_ < 0) return;
+  const uint64_t one = 1;
+  // Async-signal-safe by design: a single write(2); EAGAIN (counter
+  // saturated by an earlier Shutdown) is as good as success.
+  [[maybe_unused]] const ssize_t n =
+      ::write(wakeup_fd_, &one, sizeof(one));
+}
+
+void Server::Wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+}
+
+Server::Stats Server::stats() const {
+  Stats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_refused = refused_.load(std::memory_order_relaxed);
+  s.commands_executed = commands_.load(std::memory_order_relaxed);
+  s.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void Server::Loop() {
+  std::vector<epoll_event> events(256);
+  while (true) {
+    const int timeout_ms = draining_ ? 20 : -1;
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      SCCF_LOG_ERROR << "epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      const uint32_t mask = events[i].events;
+      if (fd == wakeup_fd_) {
+        uint64_t drained = 0;
+        while (::read(wakeup_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        if (!draining_) BeginDrain();
+        continue;
+      }
+      if (fd == listen_fd_) {
+        AcceptReady();
+        continue;
+      }
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) continue;  // closed earlier this batch
+      Connection& conn = *it->second;
+      if ((mask & (EPOLLERR | EPOLLHUP)) != 0 && (mask & EPOLLIN) == 0) {
+        CloseConnection(fd);
+        continue;
+      }
+      if ((mask & EPOLLIN) != 0) ConnectionReadable(conn);
+      // Readable handling may have closed the connection; re-look-up.
+      auto again = connections_.find(fd);
+      if (again == connections_.end()) continue;
+      if ((mask & EPOLLOUT) != 0) ConnectionWritable(*again->second);
+    }
+    if (draining_) {
+      if (connections_.empty()) break;
+      if (options_.drain_timeout_ms > 0 && NowNs() >= drain_deadline_ns_) {
+        SCCF_LOG_WARNING << "drain timeout: force-closing "
+                         << connections_.size() << " connection(s)";
+        std::vector<int> fds;
+        fds.reserve(connections_.size());
+        for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+        for (int fd : fds) CloseConnection(fd);
+        break;
+      }
+    }
+  }
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) CloseConnection(fd);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::close(epoll_fd_);
+  epoll_fd_ = -1;
+  // wakeup_fd_ is closed last and left readable until here so that
+  // Shutdown() racing the loop exit stays a harmless write.
+  ::close(wakeup_fd_);
+  wakeup_fd_ = -1;
+  // Drain sequence, final step: quiesce the Engine's background thread
+  // so process exit after Wait() is clean (no sweeps against a world
+  // that is being torn down).
+  engine_->StopBackgroundCompaction();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::BeginDrain() {
+  draining_ = true;
+  drain_deadline_ns_ =
+      NowNs() + options_.drain_timeout_ms * 1'000'000;
+  // 1. Stop accepting.
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Final read sweep per connection — everything the kernel already
+  // has is executed — then half-close reads: bytes sent after this
+  // point are not served. 3. happens as buffers flush (each connection
+  // closes the moment its pending replies are on the wire).
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) fds.push_back(fd);
+  for (int fd : fds) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;
+    Connection& conn = *it->second;
+    ConnectionReadable(conn);
+    auto again = connections_.find(fd);
+    if (again == connections_.end()) continue;
+    ::shutdown(fd, SHUT_RD);
+    again->second->read_closed = true;
+    ConnectionWritable(*again->second);
+  }
+}
+
+void Server::AcceptReady() {
+  while (listen_fd_ >= 0) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      if (errno == EMFILE || errno == ENFILE) {
+        SCCF_LOG_WARNING << "accept: out of file descriptors";
+        return;
+      }
+      // Transient per-connection errors (ECONNABORTED etc.): keep going.
+      continue;
+    }
+    if (static_cast<int>(connections_.size()) >= options_.max_connections) {
+      static constexpr char kRefusal[] = "-ERR max connections reached\r\n";
+      [[maybe_unused]] const ssize_t n =
+          ::write(fd, kRefusal, sizeof(kRefusal) - 1);
+      ::close(fd);
+      refused_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    RequestParser::Limits limits;
+    limits.max_frame_bytes = options_.read_buffer_limit;
+    conn->parser = RequestParser(limits);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    connections_.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Server::ConnectionReadable(Connection& conn) {
+  if (!conn.read_closed) {
+    char buf[16384];
+    while (true) {
+      const ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+      if (r > 0) {
+        conn.parser.Feed(std::string_view(buf, static_cast<size_t>(r)));
+        continue;
+      }
+      if (r == 0) {
+        // Peer half-closed its write side. Keep the connection until
+        // every reply to what it already sent is flushed (nc-style
+        // `echo ... | nc` clients depend on this).
+        conn.read_closed = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      CloseConnection(conn.fd);
+      return;
+    }
+  }
+  ExecuteParsed(conn);
+  ConnectionWritable(conn);
+}
+
+void Server::ExecuteParsed(Connection& conn) {
+  Command command;
+  std::string error;
+  while (!conn.close_after_flush) {
+    const RequestParser::Result result = conn.parser.Next(&command, &error);
+    if (result == RequestParser::Result::kNeedMore) break;
+    if (result == RequestParser::Result::kCommand) {
+      if (Execute(*engine_, command, &conn.out)) {
+        conn.close_after_flush = true;  // QUIT
+      }
+      commands_.fetch_add(1, std::memory_order_relaxed);
+    } else if (result == RequestParser::Result::kError) {
+      AppendError(&conn.out, "ERR", error);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else {  // kFatal: reply, then drop only this connection
+      AppendError(&conn.out, "ERR", error);
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      conn.close_after_flush = true;
+    }
+    if (conn.out.size() - conn.out_offset > options_.write_buffer_limit) {
+      // Slow consumer: pipelines faster than it reads. Cut it loose
+      // before its backlog eats the process.
+      CloseConnection(conn.fd);
+      return;
+    }
+  }
+}
+
+void Server::ConnectionWritable(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t w = ::write(conn.fd, conn.out.data() + conn.out_offset,
+                              conn.out.size() - conn.out_offset);
+    if (w > 0) {
+      conn.out_offset += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (w < 0 && errno == EINTR) continue;
+    CloseConnection(conn.fd);  // EPIPE/ECONNRESET/...
+    return;
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    if (conn.close_after_flush || conn.read_closed) {
+      CloseConnection(conn.fd);
+      return;
+    }
+  }
+  UpdateInterest(conn);
+}
+
+void Server::UpdateInterest(Connection& conn) {
+  const bool want_writable = conn.out_offset < conn.out.size();
+  if (want_writable == conn.want_writable) return;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_writable ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
+    conn.want_writable = want_writable;
+  }
+}
+
+void Server::CloseConnection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections_.erase(it);
+}
+
+}  // namespace sccf::server

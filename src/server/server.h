@@ -1,0 +1,150 @@
+#ifndef SCCF_SERVER_SERVER_H_
+#define SCCF_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "online/engine.h"
+#include "server/protocol.h"
+#include "util/status.h"
+
+namespace sccf::server {
+
+struct ServerOptions {
+  /// IPv4 address to bind; "0.0.0.0" serves all interfaces.
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 lets the kernel pick one (see Server::port(), used by
+  /// the loopback tests to avoid collisions).
+  uint16_t port = 7700;
+  /// Concurrent-connection cap. Excess accepts are answered with a
+  /// best-effort `-ERR max connections reached` and closed immediately,
+  /// so a flood degrades loudly instead of starving the event loop.
+  int max_connections = 1024;
+  /// Per-connection cap on one request frame's encoded size (fed to the
+  /// protocol parser). A client streaming an unbounded frame is cut off
+  /// with a protocol error instead of growing the read buffer forever.
+  size_t read_buffer_limit = 1 << 20;
+  /// Per-connection cap on buffered unsent reply bytes. A consumer that
+  /// pipelines heavy queries but never reads is disconnected when its
+  /// backlog passes this (slow-consumer protection for the other
+  /// connections sharing the loop).
+  size_t write_buffer_limit = 64u << 20;
+  /// Upper bound on the graceful drain: connections still unflushed
+  /// this long after Shutdown() are force-closed so SIGTERM always
+  /// terminates. <= 0 waits forever.
+  int64_t drain_timeout_ms = 5000;
+};
+
+/// Single-threaded epoll reactor serving the SCCF wire protocol
+/// (server/protocol.h) over `online::Engine` (the engine outlives the
+/// server; the server never owns it).
+///
+/// Threading model: Start() binds/listens, then spawns ONE loop thread
+/// that does everything — level-triggered epoll over the listen socket,
+/// an eventfd (shutdown wakeup), and every connection; non-blocking
+/// accept/read/write; command execution inline on the loop thread.
+/// There is deliberately no worker pool at this layer: the Engine is
+/// already internally sharded and thread-safe, so the scaling story is
+/// "run the loop, let the Engine's shards do the parallel work" — and a
+/// one-thread reactor makes the reply order per connection trivially
+/// the request order (pipelining correctness by construction).
+///
+/// Graceful drain (what SIGTERM maps to in sccf_server): Shutdown() is
+/// async-signal-safe (a single eventfd write). The loop then
+///   1. stops accepting (listen socket closed),
+///   2. does a final read sweep per connection and half-closes reads —
+///      requests already received are executed, later bytes are not,
+///   3. flushes every pending reply byte, closing each connection as
+///      its buffer empties (in-flight responses complete),
+///   4. stops the Engine's background compaction thread and returns,
+/// bounded by ServerOptions::drain_timeout_ms. Wait() joins the loop
+/// thread; the destructor does Shutdown() + Wait() if still running.
+///
+/// Error isolation: a malformed frame answers `-ERR ...`; a fatally
+/// desynchronized or oversized frame additionally closes that one
+/// connection. Other connections never observe it.
+class Server {
+ public:
+  Server(online::Engine& engine, ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and spawns the loop thread. Once per Server.
+  Status Start();
+
+  /// The bound port (resolves ServerOptions::port == 0). Valid after
+  /// Start() succeeds.
+  uint16_t port() const { return port_; }
+
+  /// Begins the graceful drain. Async-signal-safe (one write(2) to an
+  /// eventfd) and idempotent; safe from any thread or signal handler.
+  void Shutdown();
+
+  /// Joins the loop thread (returns immediately if never started).
+  void Wait();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Loop-thread counters, readable from any thread.
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_refused = 0;
+    uint64_t commands_executed = 0;
+    uint64_t protocol_errors = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    RequestParser parser;
+    std::string out;       // serialized replies not yet written
+    size_t out_offset = 0; // flushed prefix of `out`
+    bool close_after_flush = false;
+    bool read_closed = false;  // EOF seen or reads half-closed by drain
+    bool want_writable = false;  // EPOLLOUT currently registered
+  };
+
+  void Loop();
+  void AcceptReady();
+  /// Reads until EAGAIN/EOF and executes every complete frame.
+  void ConnectionReadable(Connection& conn);
+  /// Writes until EAGAIN or the buffer empties; updates EPOLLOUT
+  /// interest; closes when flushed and the connection is finished.
+  void ConnectionWritable(Connection& conn);
+  void ExecuteParsed(Connection& conn);
+  void UpdateInterest(Connection& conn);
+  void CloseConnection(int fd);
+  void BeginDrain();
+
+  online::Engine* engine_;
+  ServerOptions options_;
+  uint16_t port_ = 0;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wakeup_fd_ = -1;  // eventfd: Shutdown() -> loop wakeup
+
+  std::thread loop_thread_;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+  bool draining_ = false;
+  int64_t drain_deadline_ns_ = 0;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> commands_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+};
+
+}  // namespace sccf::server
+
+#endif  // SCCF_SERVER_SERVER_H_

@@ -161,10 +161,21 @@ TEST_F(EngineTest, RecommendValidatesRequest) {
   // n = 0 must be rejected, not silently produce an empty list.
   EXPECT_EQ(engine.Recommend({5, 0, {}}).status().code(),
             StatusCode::kInvalidArgument);
+  // n < 0 must be InvalidArgument too — the field is signed precisely so
+  // a parsed "-7" is rejected instead of wrapping into a huge count.
+  EXPECT_EQ(engine.Recommend({5, -7, {}}).status().code(),
+            StatusCode::kInvalidArgument);
   // An explicit zero beta is a degenerate neighborhood, also rejected.
   Engine::RecommendOptions zero_beta;
   zero_beta.beta_override = 0;
   EXPECT_EQ(engine.Recommend({5, 10, zero_beta}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Negative overrides are non-positive: same rejection, same message
+  // ("must be positive") — previously only == 0 was caught and -3 flowed
+  // into scoring as a wrapped unsigned beta.
+  Engine::RecommendOptions negative_beta;
+  negative_beta.beta_override = -3;
+  EXPECT_EQ(engine.Recommend({5, 10, negative_beta}).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Recommend({-3, 10, {}}).status().code(),
             StatusCode::kInvalidArgument);
@@ -178,6 +189,8 @@ TEST_F(EngineTest, NeighborsValidatesRequestAndOverridesBeta) {
   Engine engine(*fism_, BaseOptions());
   ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
   EXPECT_EQ(engine.Neighbors({5, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Neighbors({5, -4}).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Neighbors({-1, std::nullopt}).status().code(),
             StatusCode::kInvalidArgument);
@@ -220,6 +233,16 @@ TEST_F(EngineTest, IngestValidatesWholeBatchBeforeMutating) {
   Engine::IngestRequest negative_user;
   negative_user.events = {{-4, 7, 0}};
   EXPECT_EQ(engine.Ingest(negative_user).status().code(),
+            StatusCode::kInvalidArgument);
+  Engine::IngestRequest negative_item;
+  negative_item.events = {{3, -2, 0}};
+  EXPECT_EQ(engine.Ingest(negative_item).status().code(),
+            StatusCode::kInvalidArgument);
+  // Negative timestamps are rejected atomically too, even when a valid
+  // event precedes them in the batch (no partial state may leak).
+  Engine::IngestRequest negative_ts;
+  negative_ts.events = {{3, 7, 0}, {3, 8, -12}};
+  EXPECT_EQ(engine.Ingest(negative_ts).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.History({3})->items, before->items);
   // Empty batches are a no-op OK.

@@ -1,0 +1,292 @@
+// Pure wire-protocol tests: serialization and the incremental parsers,
+// no sockets anywhere. The reactor-level behaviors (isolation, drain)
+// live in server_test.cc.
+
+#include "server/protocol.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace sccf::server {
+namespace {
+
+using Result = RequestParser::Result;
+
+Command MustNext(RequestParser& parser) {
+  Command command;
+  std::string error;
+  EXPECT_EQ(parser.Next(&command, &error), Result::kCommand) << error;
+  return command;
+}
+
+// ------------------------------------------------------- serialization
+
+TEST(ReplySerialization, CoreTypes) {
+  std::string out;
+  AppendSimpleString(&out, "PONG");
+  EXPECT_EQ(out, "+PONG\r\n");
+
+  out.clear();
+  AppendInteger(&out, -42);
+  EXPECT_EQ(out, ":-42\r\n");
+
+  out.clear();
+  AppendBulkString(&out, "hello");
+  EXPECT_EQ(out, "$5\r\nhello\r\n");
+
+  out.clear();
+  AppendArrayHeader(&out, 3);
+  EXPECT_EQ(out, "*3\r\n");
+}
+
+TEST(ReplySerialization, ErrorsNeverEmbedNewlines) {
+  std::string out;
+  AppendError(&out, "ERR", "line one\r\nline two");
+  // An embedded CRLF would terminate the error early and desynchronize
+  // every reply after it; it must be flattened.
+  EXPECT_EQ(out, "-ERR line one  line two\r\n");
+}
+
+TEST(ReplySerialization, FloatBulkIsShortestRoundTrip) {
+  std::string out;
+  AppendFloatBulk(&out, 0.5f);
+  EXPECT_EQ(out, "$3\r\n0.5\r\n");
+  out.clear();
+  AppendFloatBulk(&out, 1.0f / 3.0f);
+  // std::to_chars shortest form for 1/3 in float.
+  EXPECT_EQ(out, "$10\r\n0.33333334\r\n");
+}
+
+// ----------------------------------------------------- inline requests
+
+TEST(RequestParser, InlineCommand) {
+  RequestParser parser;
+  parser.Feed("NEIGHBORS 5 BETA 10\r\n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "NEIGHBORS");
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"5", "BETA", "10"}));
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+TEST(RequestParser, InlineNameIsUppercasedArgsAreNot) {
+  RequestParser parser;
+  parser.Feed("recommend 7 Abc\n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "RECOMMEND");
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"7", "Abc"}));
+}
+
+TEST(RequestParser, InlineBareNewlineAndExtraWhitespace) {
+  RequestParser parser;
+  parser.Feed("  PING \t \n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "PING");
+  EXPECT_TRUE(cmd.args.empty());
+}
+
+TEST(RequestParser, EmptyAndWhitespaceLinesAreSkipped) {
+  RequestParser parser;
+  parser.Feed("\r\n\n   \r\nPING\r\n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "PING");
+  Command next;
+  std::string error;
+  EXPECT_EQ(parser.Next(&next, &error), Result::kNeedMore);
+}
+
+TEST(RequestParser, SplitAcrossFeeds) {
+  // One frame fragmented byte-wise across many reads must come out as
+  // exactly one command.
+  RequestParser parser;
+  const std::string frame = "HISTORY 123\r\n";
+  Command cmd;
+  std::string error;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    parser.Feed(std::string_view(&frame[i], 1));
+    EXPECT_EQ(parser.Next(&cmd, &error), Result::kNeedMore);
+  }
+  parser.Feed(std::string_view(&frame[frame.size() - 1], 1));
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kCommand);
+  EXPECT_EQ(cmd.name, "HISTORY");
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"123"}));
+}
+
+TEST(RequestParser, PipelinedCommandsInOneFeed) {
+  RequestParser parser;
+  parser.Feed("PING\r\nHISTORY 4\r\n*1\r\n$5\r\nSTATS\r\nPING\r\n");
+  EXPECT_EQ(MustNext(parser).name, "PING");
+  const Command second = MustNext(parser);
+  EXPECT_EQ(second.name, "HISTORY");
+  EXPECT_EQ(second.args, (std::vector<std::string>{"4"}));
+  EXPECT_EQ(MustNext(parser).name, "STATS");
+  EXPECT_EQ(MustNext(parser).name, "PING");
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kNeedMore);
+}
+
+TEST(RequestParser, OversizedInlineLineIsFatal) {
+  RequestParser::Limits limits;
+  limits.max_frame_bytes = 64;
+  RequestParser parser(limits);
+  parser.Feed("PING " + std::string(200, 'x'));  // no newline yet
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+  EXPECT_TRUE(parser.fatal());
+  // Fatal is sticky: further bytes are ignored, further Nexts fatal.
+  parser.Feed("\r\nPING\r\n");
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+}
+
+// -------------------------------------------------- multibulk requests
+
+TEST(RequestParser, MultibulkCommand) {
+  RequestParser parser;
+  parser.Feed("*3\r\n$6\r\ningest\r\n$1\r\n5\r\n$2\r\n77\r\n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "INGEST");
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"5", "77"}));
+}
+
+TEST(RequestParser, MultibulkBinarySafeArgs) {
+  RequestParser parser;
+  // Bulk payloads may contain spaces and CR/LF bytes.
+  parser.Feed("*2\r\n$4\r\nPING\r\n$5\r\na\r\nb \r\n");
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"a\r\nb "}));
+}
+
+TEST(RequestParser, MultibulkSplitAcrossFeeds) {
+  RequestParser parser;
+  const std::string frame = "*2\r\n$7\r\nHISTORY\r\n$3\r\n105\r\n";
+  Command cmd;
+  std::string error;
+  for (size_t i = 0; i + 1 < frame.size(); ++i) {
+    parser.Feed(std::string_view(&frame[i], 1));
+    EXPECT_EQ(parser.Next(&cmd, &error), Result::kNeedMore) << "byte " << i;
+  }
+  parser.Feed(std::string_view(&frame[frame.size() - 1], 1));
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kCommand);
+  EXPECT_EQ(cmd.name, "HISTORY");
+  EXPECT_EQ(cmd.args, (std::vector<std::string>{"105"}));
+}
+
+TEST(RequestParser, EmptyMultibulkIsRecoverableError) {
+  // `*0\r\n` frames cleanly but names no command: the stream is intact,
+  // so the connection gets an error reply and keeps going.
+  RequestParser parser;
+  parser.Feed("*0\r\nPING\r\n");
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kError);
+  EXPECT_FALSE(parser.fatal());
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kCommand);
+  EXPECT_EQ(cmd.name, "PING");
+}
+
+TEST(RequestParser, GarbageWhereBulkHeaderExpectedIsFatal) {
+  RequestParser parser;
+  parser.Feed("*1\r\nWHAT\r\n");  // '$' expected
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+}
+
+TEST(RequestParser, BadCountsAreFatal) {
+  for (const char* frame :
+       {"*x\r\n", "*-2\r\n", "*1\r\n$abc\r\n", "*1\r\n$-5\r\n"}) {
+    RequestParser parser;
+    parser.Feed(frame);
+    Command cmd;
+    std::string error;
+    EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal) << frame;
+  }
+}
+
+TEST(RequestParser, BulkPayloadMustBeCrlfTerminated) {
+  RequestParser parser;
+  parser.Feed("*1\r\n$4\r\nPINGxxTRAILING\r\n");
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+}
+
+TEST(RequestParser, TooManyArgsIsFatal) {
+  RequestParser::Limits limits;
+  limits.max_args = 4;
+  RequestParser parser(limits);
+  parser.Feed("*5\r\n");
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+}
+
+TEST(RequestParser, OversizedBulkArgumentIsFatal) {
+  RequestParser::Limits limits;
+  limits.max_frame_bytes = 128;
+  RequestParser parser(limits);
+  parser.Feed("*1\r\n$100000\r\n");
+  Command cmd;
+  std::string error;
+  EXPECT_EQ(parser.Next(&cmd, &error), Result::kFatal);
+}
+
+TEST(RequestParser, LongPipelineBufferIsReclaimed) {
+  // The consumed prefix must be compacted away, not accumulated: after
+  // many frames the buffered remainder stays bounded.
+  RequestParser parser;
+  for (int round = 0; round < 1000; ++round) {
+    parser.Feed("HISTORY 42\r\n");
+    const Command cmd = MustNext(parser);
+    EXPECT_EQ(cmd.name, "HISTORY");
+  }
+  EXPECT_EQ(parser.buffered_bytes(), 0u);
+}
+
+// --------------------------------------------------------- ReplyParser
+
+TEST(ReplyParser, ScalarsAndErrors) {
+  ReplyParser parser;
+  parser.Feed("+PONG\r\n:42\r\n-ERR nope\r\n$2\r\nhi\r\n");
+  std::string reply;
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, "+PONG\r\n");
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, ":42\r\n");
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, "-ERR nope\r\n");
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, "$2\r\nhi\r\n");
+  EXPECT_EQ(parser.Next(&reply), ReplyParser::Result::kNeedMore);
+}
+
+TEST(ReplyParser, ArrayIsOneReply) {
+  ReplyParser parser;
+  const std::string array = "*4\r\n:7\r\n$3\r\n0.5\r\n:9\r\n$4\r\n0.25\r\n";
+  parser.Feed(array);
+  std::string reply;
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, array);
+}
+
+TEST(ReplyParser, IncompleteArrayNeedsMore) {
+  ReplyParser parser;
+  parser.Feed("*2\r\n:1\r\n");  // one of two elements
+  std::string reply;
+  EXPECT_EQ(parser.Next(&reply), ReplyParser::Result::kNeedMore);
+  parser.Feed(":2\r\n");
+  ASSERT_EQ(parser.Next(&reply), ReplyParser::Result::kReply);
+  EXPECT_EQ(reply, "*2\r\n:1\r\n:2\r\n");
+}
+
+TEST(ReplyParser, GarbageIsError) {
+  ReplyParser parser;
+  parser.Feed("?what\r\n");
+  EXPECT_EQ(parser.Next(nullptr), ReplyParser::Result::kError);
+}
+
+}  // namespace
+}  // namespace sccf::server

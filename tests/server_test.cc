@@ -1,0 +1,421 @@
+// The network front end, two layers deep:
+//
+//  * dispatch (no sockets): command execution against a live Engine,
+//    including the wire-visible pins of the Engine validation contract
+//    (negative n / BETA / ids answer -INVALIDARGUMENT, never crash).
+//  * reactor (loopback sockets): server replies bit-identical to the
+//    same commands executed directly against a twin Engine; malformed
+//    frames poison only their own connection; graceful drain completes
+//    in-flight pipelines; the connection cap refuses loudly.
+
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "models/fism.h"
+#include "online/engine.h"
+#include "server/dispatch.h"
+#include "server/protocol.h"
+#include "util/logging.h"
+
+namespace sccf::server {
+namespace {
+
+class ServerTest : public testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::SyntheticConfig cfg;
+    cfg.name = "server-test";
+    cfg.num_users = 120;
+    cfg.num_items = 160;
+    cfg.num_clusters = 8;
+    cfg.min_actions = 10;
+    cfg.max_actions = 30;
+    cfg.seed = 53;
+    data::SyntheticGenerator gen(cfg);
+    auto ds = gen.Generate();
+    SCCF_CHECK(ds.ok());
+    dataset_ = new data::Dataset(std::move(ds).value());
+    split_ = new data::LeaveOneOutSplit(*dataset_);
+
+    models::Fism::Options fopts;
+    fopts.dim = 16;
+    fopts.epochs = 2;
+    fism_ = new models::Fism(fopts);
+    SCCF_CHECK(fism_->Fit(*split_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete fism_;
+    delete split_;
+    delete dataset_;
+    fism_ = nullptr;
+    split_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  /// A freshly bootstrapped engine over the shared corpus. Each call
+  /// returns an identical twin (same model, same bootstrap state).
+  static std::unique_ptr<online::Engine> MakeEngine() {
+    online::Engine::Options opts;
+    opts.beta = 10;
+    opts.num_shards = 4;
+    auto engine = std::make_unique<online::Engine>(*fism_, opts);
+    SCCF_CHECK(engine->BootstrapFromSplit(*split_).ok());
+    return engine;
+  }
+
+  static data::Dataset* dataset_;
+  static data::LeaveOneOutSplit* split_;
+  static models::Fism* fism_;
+};
+
+data::Dataset* ServerTest::dataset_ = nullptr;
+data::LeaveOneOutSplit* ServerTest::split_ = nullptr;
+models::Fism* ServerTest::fism_ = nullptr;
+
+std::string Dispatch(online::Engine& engine, const Command& cmd) {
+  std::string out;
+  Execute(engine, cmd, &out);
+  return out;
+}
+
+// ------------------------------------------------------------ dispatch
+
+TEST_F(ServerTest, DispatchPingAndQuit) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(Dispatch(*engine, {"PING", {}}), "+PONG\r\n");
+  std::string out;
+  EXPECT_TRUE(Execute(*engine, {"QUIT", {}}, &out));
+  EXPECT_EQ(out, "+OK\r\n");
+  EXPECT_FALSE(Execute(*engine, {"PING", {}}, &out));
+}
+
+TEST_F(ServerTest, DispatchUnknownCommand) {
+  auto engine = MakeEngine();
+  const std::string reply = Dispatch(*engine, {"FROBNICATE", {"1"}});
+  EXPECT_EQ(reply.rfind("-ERR ", 0), 0u) << reply;
+}
+
+// The satellite bugfix, pinned at the wire: a negative BETA / n / id
+// must surface the Engine's InvalidArgument as an error reply. Before
+// the signed-field fix a parsed "-5" wrapped into a huge size_t and
+// sailed through validation.
+TEST_F(ServerTest, DispatchNegativeKnobsAreInvalidArgument) {
+  auto engine = MakeEngine();
+  for (const Command& cmd : std::vector<Command>{
+           {"RECOMMEND", {"5", "-7"}},
+           {"RECOMMEND", {"5", "0"}},
+           {"RECOMMEND", {"5", "10", "BETA", "-3"}},
+           {"RECOMMEND", {"5", "10", "BETA", "0"}},
+           {"NEIGHBORS", {"5", "BETA", "-4"}},
+           {"NEIGHBORS", {"5", "BETA", "0"}},
+       }) {
+    const std::string reply = Dispatch(*engine, cmd);
+    EXPECT_EQ(reply.rfind("-INVALIDARGUMENT ", 0), 0u)
+        << cmd.name << " replied: " << reply;
+  }
+  // Negative ids in INGEST reject the whole batch atomically.
+  const std::string reply =
+      Dispatch(*engine, {"INGEST", {"3", "7", "0", "3", "8", "-12"}});
+  EXPECT_EQ(reply.rfind("-INVALIDARGUMENT ", 0), 0u) << reply;
+  auto history = engine->History({3});
+  ASSERT_TRUE(history.ok());
+  auto twin = MakeEngine();
+  auto twin_history = twin->History({3});
+  ASSERT_TRUE(twin_history.ok());
+  EXPECT_EQ(history->items, twin_history->items)
+      << "rejected batch must not mutate state";
+}
+
+TEST_F(ServerTest, DispatchMalformedArguments) {
+  auto engine = MakeEngine();
+  for (const Command& cmd : std::vector<Command>{
+           {"RECOMMEND", {}},
+           {"RECOMMEND", {"abc", "10"}},
+           {"RECOMMEND", {"5", "10", "BOGUS"}},
+           {"NEIGHBORS", {}},
+           {"NEIGHBORS", {"5", "WAT", "3"}},
+           {"HISTORY", {}},
+           {"HISTORY", {"1", "2"}},
+           {"HISTORY", {"99999999999999999999"}},  // > int32: reject
+           {"INGEST", {"1", "2"}},                 // not triples
+           {"INGEST", {"1", "2", "x"}},
+       }) {
+    const std::string reply = Dispatch(*engine, cmd);
+    EXPECT_EQ(reply.rfind("-ERR ", 0), 0u)
+        << cmd.name << " replied: " << reply;
+  }
+}
+
+TEST_F(ServerTest, DispatchHistoryRoundTrip) {
+  auto engine = MakeEngine();
+  ASSERT_EQ(Dispatch(*engine, {"INGEST", {"0", "5", "100", "0", "9", "101"}})
+                .rfind("*3\r\n", 0),
+            0u);
+  auto direct = engine->History({0});
+  ASSERT_TRUE(direct.ok());
+  std::string expected;
+  AppendArrayHeader(&expected, direct->items.size());
+  for (int item : direct->items) AppendInteger(&expected, item);
+  EXPECT_EQ(Dispatch(*engine, {"HISTORY", {"0"}}), expected);
+}
+
+TEST_F(ServerTest, DispatchStatsShape) {
+  auto engine = MakeEngine();
+  const std::string reply = Dispatch(*engine, {"STATS", {}});
+  EXPECT_EQ(reply.rfind("*8\r\n", 0), 0u) << reply;
+  EXPECT_NE(reply.find("num_users"), std::string::npos);
+  EXPECT_NE(reply.find("pending_upserts"), std::string::npos);
+}
+
+// ---------------------------------------------------- loopback helpers
+
+/// Blocking loopback client with a receive timeout (so a server bug
+/// fails the test instead of hanging it).
+class Client {
+ public:
+  explicit Client(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    SCCF_CHECK(fd_ >= 0);
+    timeval tv{};
+    tv.tv_sec = 10;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return connected_; }
+
+  void Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t w =
+          ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+      ASSERT_GT(w, 0) << "send failed: " << std::strerror(errno);
+      sent += static_cast<size_t>(w);
+    }
+  }
+
+  /// Reads exactly one complete reply (raw bytes). Empty on EOF/timeout.
+  std::string ReadReply() {
+    std::string reply;
+    while (true) {
+      switch (parser_.Next(&reply)) {
+        case ReplyParser::Result::kReply:
+          return reply;
+        case ReplyParser::Result::kError:
+          ADD_FAILURE() << "reply stream desynchronized";
+          return "";
+        case ReplyParser::Result::kNeedMore:
+          break;
+      }
+      char buf[4096];
+      const ssize_t r = ::read(fd_, buf, sizeof(buf));
+      if (r <= 0) return "";  // EOF or timeout
+      parser_.Feed(std::string_view(buf, static_cast<size_t>(r)));
+    }
+  }
+
+  /// True when the peer has closed (read returns EOF after pending
+  /// replies are drained).
+  bool ReadEof() {
+    char buf[4096];
+    const ssize_t r = ::read(fd_, buf, sizeof(buf));
+    return r == 0;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  ReplyParser parser_;
+};
+
+std::string EncodeMultibulk(const Command& cmd) {
+  std::string out;
+  AppendArrayHeader(&out, cmd.args.size() + 1);
+  AppendBulkString(&out, cmd.name);
+  for (const std::string& arg : cmd.args) AppendBulkString(&out, arg);
+  return out;
+}
+
+// ----------------------------------------------------- loopback server
+
+TEST_F(ServerTest, LoopbackBitIdenticalToDirectDispatch) {
+  auto served = MakeEngine();
+  auto twin = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  Server server(*served, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // All four Engine commands plus STATS and error paths, mutations
+  // included — the twin executes the identical sequence locally, and
+  // every reply must match byte for byte (deterministic float
+  // serialization is what makes this possible).
+  const std::vector<Command> script = {
+      {"PING", {}},
+      {"INGEST", {"0", "5", "100", "1", "9", "100", "0", "7", "101"}},
+      {"RECOMMEND", {"0", "10"}},
+      {"RECOMMEND", {"1", "5", "BETA", "8"}},
+      {"RECOMMEND", {"1", "5", "WITHSEEN"}},
+      {"NEIGHBORS", {"0"}},
+      {"NEIGHBORS", {"1", "BETA", "4"}},
+      {"HISTORY", {"0"}},
+      {"HISTORY", {"424242"}},  // NotFound, identically serialized
+      {"RECOMMEND", {"0", "10", "BETA", "-5"}},  // InvalidArgument
+      {"STATS", {}},
+  };
+
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  for (const Command& cmd : script) {
+    client.Send(EncodeMultibulk(cmd));
+    EXPECT_EQ(client.ReadReply(), Dispatch(*twin, cmd)) << cmd.name;
+  }
+
+  // Same script again, pipelined in one write and framed inline, to pin
+  // framing-independence of the replies.
+  std::string pipeline;
+  std::vector<std::string> expected;
+  for (const Command& cmd : script) {
+    pipeline += cmd.name;
+    for (const std::string& arg : cmd.args) pipeline += " " + arg;
+    pipeline += "\r\n";
+    expected.push_back(Dispatch(*twin, cmd));
+  }
+  client.Send(pipeline);
+  for (size_t i = 0; i < script.size(); ++i) {
+    EXPECT_EQ(client.ReadReply(), expected[i]) << script[i].name;
+  }
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ServerTest, MalformedFramePoisonsOnlyItsConnection) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client healthy(server.port());
+  Client broken(server.port());
+  ASSERT_TRUE(healthy.connected());
+  ASSERT_TRUE(broken.connected());
+
+  // Recoverable error first: the connection survives `*0`.
+  broken.Send("*0\r\n");
+  EXPECT_EQ(broken.ReadReply().rfind("-ERR ", 0), 0u);
+  broken.Send("PING\r\n");
+  EXPECT_EQ(broken.ReadReply(), "+PONG\r\n");
+
+  // Fatal garbage: an error reply, then the connection is closed —
+  // and the other connection never notices.
+  broken.Send("*1\r\nGARBAGE\r\n");
+  EXPECT_EQ(broken.ReadReply().rfind("-ERR ", 0), 0u);
+  EXPECT_TRUE(broken.ReadEof());
+
+  healthy.Send("PING\r\n");
+  EXPECT_EQ(healthy.ReadReply(), "+PONG\r\n");
+
+  server.Shutdown();
+  server.Wait();
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 2u);
+  EXPECT_GE(stats.protocol_errors, 2u);
+}
+
+TEST_F(ServerTest, GracefulDrainCompletesInFlightPipeline) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // A deep pipeline in one write; read one reply to guarantee the
+  // server has the rest buffered, then begin the drain mid-stream.
+  constexpr int kPipeline = 64;
+  std::string batch;
+  for (int i = 0; i < kPipeline; ++i) {
+    batch += "RECOMMEND " + std::to_string(i % 50) + " 10\r\n";
+  }
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+  client.Send(batch);
+  const std::string first = client.ReadReply();
+  EXPECT_EQ(first.rfind("*", 0), 0u) << first;
+
+  server.Shutdown();
+
+  // Every remaining in-flight reply still arrives, then clean EOF.
+  int received = 1;
+  while (true) {
+    const std::string reply = client.ReadReply();
+    if (reply.empty()) break;
+    EXPECT_EQ(reply.rfind("*", 0), 0u) << "reply " << received;
+    ++received;
+  }
+  EXPECT_EQ(received, kPipeline);
+
+  server.Wait();
+  EXPECT_FALSE(server.running());
+  EXPECT_FALSE(engine->background_compaction_running());
+}
+
+TEST_F(ServerTest, ConnectionCapRefusesLoudly) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  opts.max_connections = 1;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client first(server.port());
+  ASSERT_TRUE(first.connected());
+  first.Send("PING\r\n");
+  EXPECT_EQ(first.ReadReply(), "+PONG\r\n");  // ensures accept happened
+
+  Client second(server.port());
+  ASSERT_TRUE(second.connected());  // kernel accepts; server refuses
+  const std::string refusal = second.ReadReply();
+  EXPECT_EQ(refusal, "-ERR max connections reached\r\n");
+  EXPECT_TRUE(second.ReadEof());
+
+  // The surviving connection is unaffected, and a slot freed by QUIT
+  // can be reused.
+  first.Send("QUIT\r\n");
+  EXPECT_EQ(first.ReadReply(), "+OK\r\n");
+  EXPECT_TRUE(first.ReadEof());
+  Client third(server.port());
+  ASSERT_TRUE(third.connected());
+  third.Send("PING\r\n");
+  EXPECT_EQ(third.ReadReply(), "+PONG\r\n");
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_GE(server.stats().connections_refused, 1u);
+}
+
+}  // namespace
+}  // namespace sccf::server
