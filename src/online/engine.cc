@@ -1,6 +1,7 @@
 #include "online/engine.h"
 
 #include <span>
+#include <string>
 #include <utility>
 
 #include "util/stopwatch.h"
@@ -56,9 +57,21 @@ StatusOr<Engine::RecommendResponse> Engine::Recommend(
   if (request.n <= 0) {
     return Status::InvalidArgument("n must be positive");
   }
+  // The upper bound is as much a part of the untrusted-input contract
+  // as the sign: a huge-but-valid count must not reach the top-k
+  // accumulator as a near-2^62 allocation.
+  if (request.n > kMaxRequestLimit) {
+    return Status::InvalidArgument("n must be at most " +
+                                   std::to_string(kMaxRequestLimit));
+  }
   if (request.opts.beta_override.has_value() &&
       *request.opts.beta_override <= 0) {
     return Status::InvalidArgument("beta_override must be positive");
+  }
+  if (request.opts.beta_override.has_value() &&
+      *request.opts.beta_override > kMaxRequestLimit) {
+    return Status::InvalidArgument("beta_override must be at most " +
+                                   std::to_string(kMaxRequestLimit));
   }
   SCCF_ASSIGN_OR_RETURN(
       core::CandidateList candidates,
@@ -76,6 +89,11 @@ StatusOr<Engine::NeighborsResponse> Engine::Neighbors(
   }
   if (request.beta_override.has_value() && *request.beta_override <= 0) {
     return Status::InvalidArgument("beta_override must be positive");
+  }
+  if (request.beta_override.has_value() &&
+      *request.beta_override > kMaxRequestLimit) {
+    return Status::InvalidArgument("beta_override must be at most " +
+                                   std::to_string(kMaxRequestLimit));
   }
   SCCF_ASSIGN_OR_RETURN(
       std::vector<index::Neighbor> neighbors,

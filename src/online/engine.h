@@ -53,6 +53,15 @@ namespace sccf::online {
 /// lock-ordering contract; see core/realtime.h).
 class Engine {
  public:
+  /// Upper bound accepted for RecommendRequest::n and for every
+  /// beta_override. Requests arrive from untrusted bytes (the network
+  /// protocol layer), and a syntactically valid "RECOMMEND 1 2^62"
+  /// would otherwise reach the top-k accumulator as a near-2^62
+  /// reserve() — std::length_error on the serving thread. Values above
+  /// the cap are InvalidArgument, exactly like non-positive ones; the
+  /// cap is far beyond any useful list or neighborhood size.
+  static constexpr int64_t kMaxRequestLimit = int64_t{1} << 20;
+
   using Options = core::RealTimeService::Options;
   using Event = core::RealTimeService::Event;
   using UpdateTiming = core::RealTimeService::UpdateTiming;
@@ -96,7 +105,8 @@ class Engine {
     /// Signed on purpose: requests increasingly arrive from untrusted
     /// sources (the network protocol layer), and an unsigned field would
     /// silently wrap a parsed "-5" into a huge neighborhood instead of
-    /// letting validation reject it. Any value <= 0 is InvalidArgument.
+    /// letting validation reject it. Any value <= 0 or above
+    /// kMaxRequestLimit is InvalidArgument.
     std::optional<int64_t> beta_override;
     /// Mask the user's own history out of the candidate list (the
     /// paper's protocol). Disable to score already-seen items too.
@@ -105,9 +115,10 @@ class Engine {
 
   struct RecommendRequest {
     int user = -1;
-    /// List length; must be positive. Signed for the same reason as
-    /// RecommendOptions::beta_override — a negative n must be rejected,
-    /// not wrapped into a near-2^64 allocation request.
+    /// List length; must be in [1, kMaxRequestLimit]. Signed for the
+    /// same reason as RecommendOptions::beta_override — a negative n
+    /// must be rejected, not wrapped into a near-2^64 allocation
+    /// request; the upper cap rejects huge-but-valid counts too.
     int64_t n = 0;
     RecommendOptions opts;
   };
@@ -119,8 +130,9 @@ class Engine {
   struct NeighborsRequest {
     int user = -1;
     /// Neighborhood size for this request; unset uses Options::beta.
-    /// Any explicit value <= 0 is InvalidArgument (signed so negatives
-    /// from untrusted callers are rejectable, not wrapped).
+    /// Any explicit value <= 0 or above kMaxRequestLimit is
+    /// InvalidArgument (signed so negatives from untrusted callers are
+    /// rejectable, not wrapped).
     std::optional<int64_t> beta_override;
   };
 

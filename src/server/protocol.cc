@@ -11,6 +11,14 @@ namespace {
 
 constexpr std::string_view kCrlf = "\r\n";
 
+/// Sanity caps for reply frames (client side: the load client and the
+/// loopback tests). A near-INT64_MAX bulk length would wrap the
+/// end-of-payload arithmetic in ReplyParser::Next past the size_t
+/// range; anything this large is a desynchronized stream, not a reply
+/// the server would ever produce.
+constexpr int64_t kMaxReplyBulkBytes = int64_t{1} << 30;
+constexpr int64_t kMaxReplyArrayElements = int64_t{1} << 24;
+
 /// Strict non-negative integer parse over a header field (lengths,
 /// counts). Rejects signs, leading zeros are fine, overflow is not.
 bool ParseHeaderCount(std::string_view s, int64_t* out) {
@@ -137,7 +145,13 @@ RequestParser::Result RequestParser::Next(Command* command,
       Consume(skip);
       continue;
     }
-    return ParseInline(command, error);
+    const Result result = ParseInline(command, error);
+    // A whitespace-only line comes back as kCommand with an empty name
+    // (the line is consumed): keep scanning here, iteratively — a
+    // recursive skip would burn one stack frame per 2-byte line, and a
+    // pipelined flood of them is attacker-controlled recursion depth.
+    if (result == Result::kCommand && command->name.empty()) continue;
+    return result;
   }
 }
 
@@ -177,10 +191,8 @@ RequestParser::Result RequestParser::ParseInline(Command* command,
     }
   }
   Consume(nl + 1);
-  if (command->name.empty()) {
-    // Whitespace-only line: skip it like an empty one.
-    return Next(command, error);
-  }
+  // An empty name means the line was whitespace-only; Next() skips it
+  // (iteratively — never recurse back into Next from here).
   return Result::kCommand;
 }
 
@@ -319,7 +331,7 @@ ReplyParser::Result ReplyParser::Next(std::string* reply) {
           cursor = line_end + 2;
           break;
         }
-        if (!ParseHeaderCount(body, &len)) {
+        if (!ParseHeaderCount(body, &len) || len > kMaxReplyBulkBytes) {
           bad_ = true;
           return Result::kError;
         }
@@ -338,7 +350,8 @@ ReplyParser::Result ReplyParser::Next(std::string* reply) {
           cursor = line_end + 2;
           break;
         }
-        if (!ParseHeaderCount(body, &count)) {
+        if (!ParseHeaderCount(body, &count) ||
+            count > kMaxReplyArrayElements) {
           bad_ = true;
           return Result::kError;
         }

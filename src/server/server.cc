@@ -273,6 +273,7 @@ void Server::AcceptReady() {
       ::close(fd);
       continue;
     }
+    conn->registered_events = EPOLLIN;
     connections_.emplace(fd, std::move(conn));
     accepted_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -300,11 +301,13 @@ void Server::ConnectionReadable(Connection& conn) {
       return;
     }
   }
-  ExecuteParsed(conn);
+  // ExecuteParsed may close (and free) the connection on the
+  // slow-consumer path; only touch it again if it survived.
+  if (!ExecuteParsed(conn)) return;
   ConnectionWritable(conn);
 }
 
-void Server::ExecuteParsed(Connection& conn) {
+bool Server::ExecuteParsed(Connection& conn) {
   Command command;
   std::string error;
   while (!conn.close_after_flush) {
@@ -327,9 +330,10 @@ void Server::ExecuteParsed(Connection& conn) {
       // Slow consumer: pipelines faster than it reads. Cut it loose
       // before its backlog eats the process.
       CloseConnection(conn.fd);
-      return;
+      return false;
     }
   }
+  return true;
 }
 
 void Server::ConnectionWritable(Connection& conn) {
@@ -357,13 +361,20 @@ void Server::ConnectionWritable(Connection& conn) {
 }
 
 void Server::UpdateInterest(Connection& conn) {
-  const bool want_writable = conn.out_offset < conn.out.size();
-  if (want_writable == conn.want_writable) return;
+  // Once reads are closed, EOF keeps a level-triggered EPOLLIN
+  // permanently hot — dropping it is what lets a connection that is
+  // only flushing its tail wait quietly on EPOLLOUT instead of
+  // spinning the loop until the buffer drains.
+  const uint32_t want =
+      (conn.read_closed ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+      (conn.out_offset < conn.out.size() ? static_cast<uint32_t>(EPOLLOUT)
+                                         : 0u);
+  if (want == conn.registered_events) return;
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_writable ? EPOLLOUT : 0u);
+  ev.events = want;
   ev.data.fd = conn.fd;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev) == 0) {
-    conn.want_writable = want_writable;
+    conn.registered_events = want;
   }
 }
 

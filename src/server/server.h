@@ -108,7 +108,7 @@ class Server {
     size_t out_offset = 0; // flushed prefix of `out`
     bool close_after_flush = false;
     bool read_closed = false;  // EOF seen or reads half-closed by drain
-    bool want_writable = false;  // EPOLLOUT currently registered
+    uint32_t registered_events = 0;  // epoll interest currently installed
   };
 
   void Loop();
@@ -118,7 +118,10 @@ class Server {
   /// Writes until EAGAIN or the buffer empties; updates EPOLLOUT
   /// interest; closes when flushed and the connection is finished.
   void ConnectionWritable(Connection& conn);
-  void ExecuteParsed(Connection& conn);
+  /// Drains the parser and executes every complete frame. Returns false
+  /// if it closed (and thereby destroyed) `conn` — the slow-consumer
+  /// cut — in which case the caller must not touch `conn` again.
+  bool ExecuteParsed(Connection& conn);
   void UpdateInterest(Connection& conn);
   void CloseConnection(int fd);
   void BeginDrain();

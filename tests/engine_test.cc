@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <random>
 #include <thread>
 #include <vector>
@@ -179,6 +180,18 @@ TEST_F(EngineTest, RecommendValidatesRequest) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Recommend({-3, 10, {}}).status().code(),
             StatusCode::kInvalidArgument);
+  // Huge-but-positive counts are rejected too: a near-2^62 n would
+  // otherwise reach the top-k accumulator as an absurd reserve() and
+  // take the serving thread down with std::length_error.
+  EXPECT_EQ(engine.Recommend({5, int64_t{1} << 62, {}}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      engine.Recommend({5, Engine::kMaxRequestLimit + 1, {}}).status().code(),
+      StatusCode::kInvalidArgument);
+  Engine::RecommendOptions huge_beta;
+  huge_beta.beta_override = int64_t{1} << 62;
+  EXPECT_EQ(engine.Recommend({5, 10, huge_beta}).status().code(),
+            StatusCode::kInvalidArgument);
   // A valid request against the same state succeeds.
   auto ok = engine.Recommend({5, 10, {}});
   ASSERT_TRUE(ok.ok());
@@ -191,6 +204,10 @@ TEST_F(EngineTest, NeighborsValidatesRequestAndOverridesBeta) {
   EXPECT_EQ(engine.Neighbors({5, 0}).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Neighbors({5, -4}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(engine.Neighbors({5, Engine::kMaxRequestLimit + 1})
+                .status()
+                .code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(engine.Neighbors({-1, std::nullopt}).status().code(),
             StatusCode::kInvalidArgument);

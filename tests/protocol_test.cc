@@ -96,6 +96,23 @@ TEST(RequestParser, EmptyAndWhitespaceLinesAreSkipped) {
   EXPECT_EQ(parser.Next(&next, &error), Result::kNeedMore);
 }
 
+TEST(RequestParser, WhitespaceOnlyLineFloodStaysIterative) {
+  // 100k two-byte whitespace-only lines buffered in one sweep: skipping
+  // them used to recurse one frame per line (a remote stack-overflow
+  // vector); it must be a loop.
+  RequestParser parser;
+  std::string flood;
+  flood.reserve(200006);
+  for (int i = 0; i < 100000; ++i) flood += " \n";
+  flood += "PING\r\n";
+  parser.Feed(flood);
+  const Command cmd = MustNext(parser);
+  EXPECT_EQ(cmd.name, "PING");
+  Command next;
+  std::string error;
+  EXPECT_EQ(parser.Next(&next, &error), Result::kNeedMore);
+}
+
 TEST(RequestParser, SplitAcrossFeeds) {
   // One frame fragmented byte-wise across many reads must come out as
   // exactly one command.
@@ -285,6 +302,21 @@ TEST(ReplyParser, IncompleteArrayNeedsMore) {
 TEST(ReplyParser, GarbageIsError) {
   ReplyParser parser;
   parser.Feed("?what\r\n");
+  EXPECT_EQ(parser.Next(nullptr), ReplyParser::Result::kError);
+}
+
+TEST(ReplyParser, AbsurdBulkLengthIsError) {
+  // A near-INT64_MAX length used to wrap the end-of-payload arithmetic
+  // past size_t and could throw out of substr; it must be a clean
+  // kError, like any other desynchronized stream.
+  ReplyParser parser;
+  parser.Feed("$9223372036854775800\r\nxx\r\n");
+  EXPECT_EQ(parser.Next(nullptr), ReplyParser::Result::kError);
+}
+
+TEST(ReplyParser, AbsurdArrayCountIsError) {
+  ReplyParser parser;
+  parser.Feed("*9223372036854775800\r\n");
   EXPECT_EQ(parser.Next(nullptr), ReplyParser::Result::kError);
 }
 

@@ -121,6 +121,13 @@ TEST_F(ServerTest, DispatchNegativeKnobsAreInvalidArgument) {
            {"RECOMMEND", {"5", "10", "BETA", "0"}},
            {"NEIGHBORS", {"5", "BETA", "-4"}},
            {"NEIGHBORS", {"5", "BETA", "0"}},
+           // Huge-but-positive knobs parse fine and must be rejected by
+           // the Engine cap — before it, this n reached the top-k
+           // accumulator as a near-2^62 reserve() and terminated the
+           // process from the epoll thread.
+           {"RECOMMEND", {"5", "4611686018427387904"}},
+           {"RECOMMEND", {"5", "10", "BETA", "4611686018427387904"}},
+           {"NEIGHBORS", {"5", "BETA", "4611686018427387904"}},
        }) {
     const std::string reply = Dispatch(*engine, cmd);
     EXPECT_EQ(reply.rfind("-INVALIDARGUMENT ", 0), 0u)
@@ -381,6 +388,41 @@ TEST_F(ServerTest, GracefulDrainCompletesInFlightPipeline) {
   server.Wait();
   EXPECT_FALSE(server.running());
   EXPECT_FALSE(engine->background_compaction_running());
+}
+
+TEST_F(ServerTest, SlowConsumerBacklogClosesOnlyItsConnection) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  opts.write_buffer_limit = 2048;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client greedy(server.port());
+  Client healthy(server.port());
+  ASSERT_TRUE(greedy.connected());
+  ASSERT_TRUE(healthy.connected());
+
+  // Pipeline far more reply bytes than the cap in one write, reading
+  // nothing back: the whole batch lands in one read sweep, so the
+  // slow-consumer cut fires *inside* the readable handler — the
+  // regression here was the handler then touching the freed
+  // connection. The stream must simply end (no reply desync, no
+  // crash), and the other connection must never notice.
+  std::string batch;
+  for (int i = 0; i < 256; ++i) {
+    batch += "RECOMMEND " + std::to_string(i % 50) + " 50\r\n";
+  }
+  greedy.Send(batch);
+  while (!greedy.ReadReply().empty()) {
+  }
+
+  healthy.Send("PING\r\n");
+  EXPECT_EQ(healthy.ReadReply(), "+PONG\r\n");
+
+  server.Shutdown();
+  server.Wait();
+  EXPECT_FALSE(server.running());
 }
 
 TEST_F(ServerTest, ConnectionCapRefusesLoudly) {
