@@ -241,4 +241,108 @@ else
   echo "server smoke: SKIPPED (sccf_server not built on this platform)"
 fi
 
+# Crash-recovery smoke: the end-to-end durability claim, against the
+# real daemon. Start sccf_server with --data_dir, ingest over the wire,
+# pin the byte-exact replies to a read-only command block, SIGKILL the
+# server (no drain, no destructors), restart it on the same directory,
+# and require the same block to produce the same bytes — bootstrap is
+# seed-deterministic and the journal replays the ingest, so any
+# divergence is a recovery bug. Uses bash's /dev/tcp; QUIT makes the
+# server close the connection, which terminates each capture.
+if [[ -x "${SRV}" ]]; then
+  CR_DIR="$(mktemp -d)"
+  CR_OUT="$(mktemp)"
+  CR_PRE="$(mktemp)"
+  CR_POST="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+    "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
+    "${CR_POST:-}"; rm -rf "${CR_DIR:-}"' EXIT
+  start_crash_server() {
+    "${SRV}" --port=0 --users=800 --items=600 --data_dir="${CR_DIR}" \
+      >"${CR_OUT}" 2>&1 &
+    CR_PID=$!
+    for _ in $(seq 1 150); do
+      grep -q 'listening on' "${CR_OUT}" && break
+      if ! kill -0 "${CR_PID}" 2>/dev/null; then break; fi
+      sleep 0.2
+    done
+    CR_PORT="$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "${CR_OUT}")"
+    if [[ -z "${CR_PORT}" ]]; then
+      echo "crash-recovery smoke: FAILED — server never listened:" >&2
+      cat "${CR_OUT}" >&2
+      exit 1
+    fi
+  }
+  crash_client() {  # reads commands on stdin, prints the reply stream
+    exec 9<>"/dev/tcp/127.0.0.1/${CR_PORT}"
+    cat >&9
+    cat <&9
+    exec 9<&- 9>&-
+  }
+  # The read-only block whose replies get pinned (CRLF line endings, as
+  # the inline protocol expects). LASTSAVE stays out: we never SAVE, and
+  # STATS stays out only for stylistic parity — staged counts replay
+  # bit-identically too.
+  read_block() {
+    printf 'RECOMMEND 1 10\r\n'
+    printf 'NEIGHBORS 1\r\n'
+    printf 'HISTORY 1\r\n'
+    printf 'HISTORY 9000\r\n'
+    printf 'QUIT\r\n'
+  }
+  start_crash_server
+  {
+    printf 'INGEST 1 10 1 1 11 2 2 12 3 5 13 4\r\n'
+    printf 'INGEST 9000 14 5 9000 15 6 1 16 7\r\n'
+    printf 'QUIT\r\n'
+  } | crash_client >/dev/null
+  read_block | crash_client >"${CR_PRE}"
+  if ! grep -q '^:' "${CR_PRE}"; then
+    echo "crash-recovery smoke: FAILED — no data in pinned replies:" >&2
+    cat "${CR_PRE}" >&2
+    exit 1
+  fi
+  kill -KILL "${CR_PID}"
+  wait "${CR_PID}" 2>/dev/null || true
+  start_crash_server
+  read_block | crash_client >"${CR_POST}"
+  if ! cmp -s "${CR_PRE}" "${CR_POST}"; then
+    echo "crash-recovery smoke: FAILED — post-restart replies diverge" \
+         "from pre-crash replies:" >&2
+    diff "${CR_PRE}" "${CR_POST}" >&2 || true
+    exit 1
+  fi
+  kill -TERM "${CR_PID}"
+  cr_exit=0
+  wait "${CR_PID}" || cr_exit=$?
+  if [[ "${cr_exit}" -ne 0 ]]; then
+    echo "crash-recovery smoke: FAILED — restarted server's SIGTERM" \
+         "drain exited ${cr_exit}:" >&2
+    cat "${CR_OUT}" >&2
+    exit 1
+  fi
+  echo "crash-recovery smoke: OK (SIGKILL + restart is byte-identical)"
+else
+  echo "crash-recovery smoke: SKIPPED (sccf_server not built)"
+fi
+
+# Recovery suites under AddressSanitizer: the fault-injection tests feed
+# corrupted bytes through every decoder, which is exactly where an
+# out-of-bounds read would hide. `-L crash` is the fork/SIGKILL suite;
+# persist_test (plain tier1) carries the decoder fault matrices, so it
+# runs explicitly alongside. Skip gracefully where the toolchain has no
+# -fsanitize=address.
+if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=address -x c++ - \
+     -o /dev/null 2>/dev/null; then
+  cmake --preset asan >/dev/null
+  cmake --build --preset asan -j "${JOBS}" \
+    --target persist_test recovery_test
+  ./build/asan/tests/persist_test >/dev/null
+  ctest --preset asan -L crash
+  echo "asan recovery gate: OK"
+else
+  echo "asan recovery gate: SKIPPED (-fsanitize=address unavailable)"
+fi
+
 echo "ci.sh: all green"

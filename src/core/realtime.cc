@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "core/topk_merge.h"
+#include "util/coding.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -276,9 +277,11 @@ StatusOr<RealTimeService::BatchResult> RealTimeService::OnInteractionBatch(
   if (events.size() == 1) {
     const Event& e = events[0];
     std::vector<float> emb(d, 0.0f);
-    Shard& shard = *shards_[ShardIndex(e.user, shards_.size())];
+    const size_t shard_idx = ShardIndex(e.user, shards_.size());
+    Shard& shard = *shards_[shard_idx];
     {
       std::unique_lock<std::shared_mutex> lock(shard.mu);
+      SCCF_RETURN_NOT_OK(JournalShardGroupLocked(shard_idx, shard, events));
       auto [hist_it, created] = shard.histories.try_emplace(e.user);
       hist_it->second.push_back(e.item);  // cold start: creates
       result.cold_start_users = created ? 1 : 0;
@@ -319,6 +322,18 @@ StatusOr<RealTimeService::BatchResult> RealTimeService::OnInteractionBatch(
     if (by_shard[s].empty()) continue;
     Shard& shard = *shards_[s];
     std::unique_lock<std::shared_mutex> lock(shard.mu);
+
+    // Write-ahead: journal this shard group (the events in batch order,
+    // which replay re-groups identically) before any mutation below. The
+    // grouped positions aren't contiguous in `events`, hence the copy.
+    if (sink_ != nullptr) {
+      std::vector<Event> group;
+      group.reserve(by_shard[s].size());
+      for (size_t i : by_shard[s]) group.push_back(events[i]);
+      SCCF_RETURN_NOT_OK(JournalShardGroupLocked(s, shard, group));
+    } else {
+      ++shard.journal_seq;
+    }
 
     // Pass 1: append every event to its user's history (cold start
     // creates the user), recording who was touched.
@@ -366,6 +381,18 @@ StatusOr<RealTimeService::BatchResult> RealTimeService::OnInteractionBatch(
         identify_clock.ElapsedMillis();
   }
   return result;
+}
+
+Status RealTimeService::JournalShardGroupLocked(
+    size_t shard_idx, Shard& shard, std::span<const Event> events) {
+  const uint64_t seq = shard.journal_seq + 1;
+  if (sink_ != nullptr) {
+    SCCF_RETURN_NOT_OK(sink_->Append(shard_idx, seq, events));
+  }
+  // Bumped only after the sink accepted the record: a failed append must
+  // leave no sequence gap for later records to trip over at replay.
+  shard.journal_seq = seq;
+  return Status::OK();
 }
 
 Status RealTimeService::RefreshTouchedUser(Shard& shard, int user,
@@ -592,6 +619,209 @@ size_t RealTimeService::num_users() const {
 size_t RealTimeService::ShardOf(int user) const {
   SCCF_CHECK(!shards_.empty()) << "Bootstrap must run first";
   return ShardIndex(user, shards_.size());
+}
+
+namespace {
+
+/// Shard payload framing shared by ExportShard/RestoreShard:
+///   u64 journal_seq
+///   u64 num_history_users | per user: i32 user | u64 len | i32 item x len
+///   u64 num_vote_users    | per user: i32 user | u64 len | i32 item x len
+///   u64-length-prefixed index blob (VectorIndex::SerializeTo)
+///   u64 num_pending       | per row: i32 user | f32 x dim
+void PutIntListMap(std::string* out,
+                   const std::unordered_map<int, std::vector<int>>& map) {
+  PutFixed64(out, static_cast<uint64_t>(map.size()));
+  for (const auto& [user, items] : map) {
+    PutI32(out, user);
+    PutFixed64(out, static_cast<uint64_t>(items.size()));
+    for (int item : items) PutI32(out, item);
+  }
+}
+
+Status ReadIntListMap(ByteReader* reader, size_t shard_idx,
+                      size_t num_shards, size_t max_item,
+                      std::unordered_map<int, std::vector<int>>* map) {
+  uint64_t count = 0;
+  SCCF_RETURN_NOT_OK(reader->ReadFixed64(&count));
+  if (count > reader->remaining() / 12) {  // >= 12 bytes per entry
+    return Status::IoError("truncated shard payload (map size)");
+  }
+  map->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t user = 0;
+    uint64_t len = 0;
+    SCCF_RETURN_NOT_OK(reader->ReadI32(&user));
+    if (user < 0 || ShardIndex(user, num_shards) != shard_idx) {
+      return Status::InvalidArgument("shard payload user in wrong shard");
+    }
+    SCCF_RETURN_NOT_OK(reader->ReadFixed64(&len));
+    if (len > reader->remaining() / 4) {
+      return Status::IoError("truncated shard payload (item list)");
+    }
+    std::vector<int> items;
+    items.reserve(static_cast<size_t>(len));
+    for (uint64_t j = 0; j < len; ++j) {
+      int32_t item = 0;
+      SCCF_RETURN_NOT_OK(reader->ReadI32(&item));
+      if (item < 0 || static_cast<size_t>(item) >= max_item) {
+        return Status::InvalidArgument("shard payload item out of range");
+      }
+      items.push_back(item);
+    }
+    if (!map->emplace(user, std::move(items)).second) {
+      return Status::InvalidArgument("duplicate user in shard payload");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RealTimeService::ExportShard(size_t s, std::string* out) const {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  const Shard& shard = *shards_[s];
+  const size_t d = model_->embedding_dim();
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  PutFixed64(out, shard.journal_seq);
+  PutIntListMap(out, shard.histories);
+  PutIntListMap(out, shard.vote_items);
+  std::string index_blob;
+  shard.index->SerializeTo(&index_blob);
+  PutLengthPrefixed(out, index_blob);
+  const index::UpsertBuffer& pending = *shard.pending;
+  PutFixed64(out, static_cast<uint64_t>(pending.size()));
+  for (size_t i = 0; i < pending.size(); ++i) {
+    PutI32(out, pending.ids()[i]);
+    PutFloats(out, pending.row(i), d);
+  }
+  return Status::OK();
+}
+
+Status RealTimeService::RestoreShard(size_t s, std::string_view payload) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  const size_t d = model_->embedding_dim();
+  ByteReader reader(payload);
+
+  uint64_t journal_seq = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&journal_seq));
+  std::unordered_map<int, std::vector<int>> histories;
+  std::unordered_map<int, std::vector<int>> vote_items;
+  SCCF_RETURN_NOT_OK(ReadIntListMap(&reader, s, shards_.size(),
+                                    model_->num_items(), &histories));
+  SCCF_RETURN_NOT_OK(ReadIntListMap(&reader, s, shards_.size(),
+                                    model_->num_items(), &vote_items));
+
+  std::string_view index_blob;
+  SCCF_RETURN_NOT_OK(reader.ReadLengthPrefixed(&index_blob));
+  // Shard population is irrelevant here: the blob carries the serializing
+  // index's own geometry (e.g. its bootstrap-clamped IVF nlist).
+  std::unique_ptr<index::VectorIndex> index = MakeShardIndex(1);
+  SCCF_RETURN_NOT_OK(index->DeserializeFrom(index_blob));
+
+  uint64_t pending_count = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&pending_count));
+  auto pending =
+      std::make_unique<index::UpsertBuffer>(d, options_.metric);
+  std::vector<float> row;
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    int32_t user = 0;
+    SCCF_RETURN_NOT_OK(reader.ReadI32(&user));
+    if (user < 0 || ShardIndex(user, shards_.size()) != s) {
+      return Status::InvalidArgument("staged row user in wrong shard");
+    }
+    SCCF_RETURN_NOT_OK(reader.ReadFloats(d, &row));
+    // Put in serialized (= first-Put) order, so a later drain hands the
+    // backend the identical Add sequence an uninterrupted run would.
+    pending->Put(user, row.data());
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in shard payload");
+  }
+
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.histories = std::move(histories);
+  shard.vote_items = std::move(vote_items);
+  shard.index = std::move(index);
+  const bool has_pending = !pending->empty();
+  shard.pending = std::move(pending);
+  // Restored staged rows restart their age clock at "now": their original
+  // stamps are meaningless on this boot's monotonic clock, and a zero
+  // stamp on a non-empty buffer would hide it from the sweep forever.
+  shard.staged_since_ns.store(has_pending ? NowNs() : 0,
+                              std::memory_order_release);
+  shard.journal_seq = journal_seq;
+  return Status::OK();
+}
+
+Status RealTimeService::ApplyJournalRecord(size_t s, uint64_t seq,
+                                           std::span<const Event> events) {
+  if (!bootstrapped_) {
+    return Status::FailedPrecondition("Bootstrap must run first");
+  }
+  if (s >= shards_.size()) {
+    return Status::InvalidArgument("shard index out of range");
+  }
+  // A journal record passed CRC framing but its contents are still
+  // untrusted bytes from disk; range errors are corruption (IoError),
+  // mirroring OnInteractionBatch's validate-before-mutate discipline.
+  for (const Event& e : events) {
+    if (e.user < 0 || ShardIndex(e.user, shards_.size()) != s) {
+      return Status::IoError("journal record user in wrong shard");
+    }
+    if (e.item < 0 || static_cast<size_t>(e.item) >= model_->num_items()) {
+      return Status::IoError("journal record item out of range");
+    }
+  }
+
+  Shard& shard = *shards_[s];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  if (seq <= shard.journal_seq) {
+    return Status::OK();  // already covered by the restored snapshot
+  }
+  if (seq != shard.journal_seq + 1) {
+    return Status::IoError("journal sequence gap: shard expects " +
+                           std::to_string(shard.journal_seq + 1) +
+                           ", record carries " + std::to_string(seq));
+  }
+  shard.journal_seq = seq;
+
+  // Same two passes as OnInteractionBatch's per-shard section — append
+  // all events, then refresh each touched user once from their final
+  // history — so replayed state is bit-identical to the original apply.
+  const size_t d = model_->embedding_dim();
+  std::vector<int> touched;
+  std::unordered_map<int, bool> seen;
+  for (const Event& e : events) {
+    auto [hist_it, created] = shard.histories.try_emplace(e.user);
+    hist_it->second.push_back(e.item);
+    (void)created;
+    if (seen.emplace(e.user, true).second) touched.push_back(e.user);
+  }
+  std::vector<float> emb(d, 0.0f);
+  UpdateTiming timing;
+  for (int user : touched) {
+    SCCF_RETURN_NOT_OK(RefreshTouchedUser(shard, user, emb.data(), &timing));
+  }
+  return Status::OK();
+}
+
+uint64_t RealTimeService::ShardJournalSeq(size_t s) const {
+  SCCF_CHECK_LT(s, shards_.size()) << "shard index out of range";
+  const Shard& shard = *shards_[s];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.journal_seq;
 }
 
 std::vector<size_t> RealTimeService::ShardSizes() const {

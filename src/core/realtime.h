@@ -9,6 +9,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <span>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -20,6 +21,8 @@
 #include "util/status.h"
 
 namespace sccf::core {
+
+class IngestSink;
 
 /// The streaming serving loop of the SCCF user-based component
 /// (paper Sec. III-C2 and Table III): when a user interacts with a new
@@ -125,6 +128,18 @@ class RealTimeService {
     /// one-centroid quantizer so cold-start users can still be added.
     index::IvfFlatIndex::Options ivf;
     index::HnswIndex::Options hnsw;
+    /// Durability knobs, carried here because Engine::Options aliases
+    /// this struct; the service itself never reads them — the online
+    /// engine hands them to the persist layer (which sits ABOVE core in
+    /// the DAG). Non-empty `recover_dir` makes Engine::Bootstrap recover
+    /// from that directory (snapshot + journal tail, created if absent)
+    /// and journal every subsequent ingest into it.
+    std::string recover_dir;
+    /// fsync the journal after every appended record. Off, a SIGKILL'd
+    /// *process* loses nothing (the kernel already has the bytes) but a
+    /// machine crash can lose the un-synced tail; on, every ingest batch
+    /// pays a disk flush per touched shard. See docs/OPERATIONS.md.
+    bool journal_fsync = false;
   };
 
   /// One user's state snapshot to load at startup.
@@ -210,7 +225,11 @@ class RealTimeService {
   /// offline replay).
   ///
   /// The whole batch is validated before any mutation, so an
-  /// InvalidArgument return means no state changed. Events must be
+  /// InvalidArgument return means no state changed. (With an IngestSink
+  /// attached, an IoError from the sink aborts the failing shard group
+  /// before it mutates anything, but shard groups the batch already
+  /// committed stay applied — journal and memory never disagree, the
+  /// batch is just cut short.) Events must be
   /// chronological per user within the batch. Thread-safe; concurrent
   /// batches contend only on the shards they touch, one at a time (no
   /// deadlock: at most one lock is held at any moment).
@@ -271,6 +290,59 @@ class RealTimeService {
 
   size_t num_users() const;
 
+  // ---------------------------------------------------------- persistence
+  // The hooks the persist layer builds on. The service stays ignorant of
+  // files and formats: it write-ahead-logs through an abstract IngestSink,
+  // serializes/restores one shard's state as opaque bytes, and replays
+  // journal records. src/persist owns framing, checksums, and recovery
+  // orchestration (DAG: core <- persist, never the reverse).
+
+  /// Attaches (nullptr detaches) the write-ahead ingest sink. Every
+  /// subsequent ingest appends each shard group to the sink — under that
+  /// shard's exclusive lock, BEFORE any mutation — tagged with the
+  /// shard's next sequence number. Must be called while no concurrent
+  /// ingest runs (same external-sync rule as Bootstrap); the sink must
+  /// outlive its attachment.
+  void set_ingest_sink(IngestSink* sink) { sink_ = sink; }
+
+  /// Appends shard `s`'s complete serialized state to `*out` — histories,
+  /// vote lists, the backend index blob (bit-exact, see
+  /// VectorIndex::SerializeTo), staged-but-undrained upserts, and the
+  /// shard's journal sequence number — all read under one shared-lock
+  /// hold, so the payload is a consistent point-in-time cut: it reflects
+  /// exactly the ingest batches with seq <= the embedded sequence number.
+  /// Takes only that one shard lock (per the lock-ordering contract), so
+  /// serving traffic on other shards is unaffected.
+  Status ExportShard(size_t s, std::string* out) const;
+
+  /// Replaces shard `s`'s state with an ExportShard payload (produced by
+  /// a service with identical Options and shard count). Validates the
+  /// whole payload before committing — on error the shard is unchanged.
+  /// Pre: Bootstrap has run; no concurrent use (recovery-time only).
+  Status RestoreShard(size_t s, std::string_view payload);
+
+  /// Replays one journaled ingest record against shard `s`. Records with
+  /// seq <= the shard's current sequence number are skipped (already
+  /// covered by the restored snapshot); the next expected record must
+  /// carry exactly seq+1 (a gap means journal corruption -> IoError).
+  /// Applies the same mutations OnInteractionBatch's per-shard pass
+  /// applies — histories, vote lists, embedding refresh, index staging —
+  /// without re-journaling and without the identify fan-out (identify
+  /// never mutates state), so a snapshot + replayed tail is bit-identical
+  /// to the uninterrupted run. Pre: Bootstrap has run; no concurrent use.
+  Status ApplyJournalRecord(size_t s, uint64_t seq,
+                            std::span<const Event> events);
+
+  /// Shard `s`'s journal sequence number: the seq of the last ingest
+  /// batch group applied to it (0 if none since Bootstrap/restore).
+  uint64_t ShardJournalSeq(size_t s) const;
+
+  /// The options the service was constructed with (the persist layer
+  /// stamps index kind / metric into snapshot metadata from here).
+  const Options& options() const { return options_; }
+  /// The model's embedding dimension (the width of every indexed row).
+  size_t embedding_dim() const { return model_->embedding_dim(); }
+
   /// Shard topology (0 shards before Bootstrap).
   size_t num_shards() const { return shards_.size(); }
   /// Which shard owns `user` — a fixed hash partition, stable across
@@ -295,6 +367,11 @@ class RealTimeService {
     mutable std::atomic<int64_t> staged_since_ns{0};
     std::unordered_map<int, std::vector<int>> histories;
     std::unordered_map<int, std::vector<int>> vote_items;
+    /// Monotonic per-shard ingest sequence number, guarded by `mu`.
+    /// Incremented once per applied batch group (after a successful sink
+    /// append, when a sink is attached); snapshots embed it and journal
+    /// replay filters on it.
+    uint64_t journal_seq = 0;
   };
 
   void InferWindowEmbedding(const std::vector<int>& history,
@@ -341,9 +418,17 @@ class RealTimeService {
   /// one shard write lock at a time, never while holding bg_mu_.
   void SweepShardsOnce() const;
 
+  /// Journals one shard group's events before applying them (see
+  /// set_ingest_sink). Called with `shard.mu` held exclusively; bumps
+  /// `shard.journal_seq` only after the sink accepts the record, so a
+  /// failed append leaves both the shard and the sequence untouched.
+  Status JournalShardGroupLocked(size_t shard_idx, Shard& shard,
+                                 std::span<const Event> events);
+
   const models::InductiveUiModel* model_;
   Options options_;
   bool bootstrapped_ = false;
+  IngestSink* sink_ = nullptr;
   std::vector<std::unique_ptr<Shard>> shards_;
 
   /// Background compaction thread state. `bg_mu_` guards `bg_stop_` and
@@ -354,6 +439,22 @@ class RealTimeService {
   std::condition_variable bg_cv_;
   bool bg_stop_ = false;
   std::atomic<bool> bg_running_{false};
+};
+
+/// Write-ahead sink for ingest events — the seam between the service and
+/// the persistence journal. OnInteractionBatch calls Append once per
+/// (batch, shard) group, under that shard's exclusive lock and BEFORE any
+/// mutation, with the shard's next sequence number; an Append error
+/// aborts the group with no state change, so the journal can never lag
+/// the in-memory state. Implementations must tolerate concurrent Append
+/// calls for different shards (the service holds at most one shard lock,
+/// so a sink-internal mutex nests strictly inside shard locks) and must
+/// never call back into the service.
+class IngestSink {
+ public:
+  virtual ~IngestSink() = default;
+  virtual Status Append(size_t shard, uint64_t seq,
+                        std::span<const RealTimeService::Event> events) = 0;
 };
 
 }  // namespace sccf::core

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <mutex>
+#include <utility>
 
 #include "simd/kernels.h"
+#include "util/coding.h"
 #include "util/thread_pool.h"
 
 namespace sccf::index {
@@ -97,6 +99,65 @@ void BruteForceIndex::ScanRange(const float* q, size_t lo, size_t hi,
       acc->Offer(ids_[s + j], scores[j]);
     }
   }
+}
+
+// Payload layout (inside the persist layer's checksummed framing):
+//   u8 tag 'B' | u8 ids_are_slots | u64 dim | u64 count
+//   i32 id x count | f32 row x (count * dim)
+// Rows are stored exactly as held in memory (already normalised when the
+// metric is cosine), so restore is a memcpy, not a re-normalisation —
+// that is what makes recovery bit-exact.
+void BruteForceIndex::SerializeTo(std::string* out) const {
+  PutU8(out, 'B');
+  PutU8(out, ids_are_slots_ ? 1 : 0);
+  PutFixed64(out, static_cast<uint64_t>(dim_));
+  PutFixed64(out, static_cast<uint64_t>(ids_.size()));
+  for (int id : ids_) PutI32(out, id);
+  PutFloats(out, data_.data(), data_.size());
+}
+
+Status BruteForceIndex::DeserializeFrom(std::string_view in) {
+  ByteReader reader(in);
+  uint8_t tag = 0, ids_are_slots = 0;
+  uint64_t dim = 0, count = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
+  if (tag != 'B') {
+    return Status::InvalidArgument("not a brute-force index blob");
+  }
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&ids_are_slots));
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
+  if (dim != dim_) {
+    return Status::InvalidArgument("index blob dim mismatch");
+  }
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&count));
+
+  std::vector<int> ids;
+  std::unordered_map<int, size_t> slot;
+  if (count > reader.remaining() / 4) {
+    return Status::IoError("truncated index blob (ids)");
+  }
+  ids.reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    int32_t id = 0;
+    SCCF_RETURN_NOT_OK(reader.ReadI32(&id));
+    if (id < 0) return Status::InvalidArgument("negative id in index blob");
+    if (!slot.emplace(id, static_cast<size_t>(i)).second) {
+      return Status::InvalidArgument("duplicate id in index blob");
+    }
+    ids.push_back(id);
+  }
+  std::vector<float> data;
+  SCCF_RETURN_NOT_OK(
+      reader.ReadFloats(static_cast<size_t>(count) * dim_, &data));
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in index blob");
+  }
+
+  ids_are_slots_ = ids_are_slots != 0;
+  ids_ = std::move(ids);
+  slot_ = std::move(slot);
+  data_ = std::move(data);
+  return Status::OK();
 }
 
 }  // namespace sccf::index

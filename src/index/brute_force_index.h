@@ -31,6 +31,9 @@ class BruteForceIndex : public VectorIndex {
   size_t dim() const override { return dim_; }
   Metric metric() const override { return metric_; }
 
+  void SerializeTo(std::string* out) const override;
+  Status DeserializeFrom(std::string_view in) override;
+
  private:
   /// Scores rows [lo, hi) against q via simd::DotBatch and offers them to
   /// the accumulator in slot order, skipping exclude_id.

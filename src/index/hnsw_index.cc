@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <queue>
+#include <utility>
 
 #include "simd/kernels.h"
+#include "util/coding.h"
 #include "util/logging.h"
 
 namespace sccf::index {
@@ -193,6 +195,121 @@ StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
     acc.Offer(node.external_id, nb.score);
   }
   return acc.Take();
+}
+
+// Payload layout:
+//   u8 tag 'H' | u64 dim | i32 entry_point | i32 max_level
+//   u64 rng.s[0..3] | u8 have_cached_normal | f32 cached_normal
+//   u64 node_count
+//   per node: i32 external_id | u8 deleted | i32 level
+//             f32 vec x dim
+//             per level 0..level: u64 n | i32 neighbor x n
+// The graph is persisted whole — tombstones, exact neighbor lists, entry
+// point, and the RNG — because a rebuilt-from-vectors graph would draw a
+// different level sequence and diverge from an uninterrupted run on the
+// very next Add. live_ is derived (non-deleted nodes), not stored.
+void HnswIndex::SerializeTo(std::string* out) const {
+  PutU8(out, 'H');
+  PutFixed64(out, static_cast<uint64_t>(dim_));
+  PutI32(out, entry_point_);
+  PutI32(out, max_level_);
+  const Rng::State rng = rng_.state();
+  for (int i = 0; i < 4; ++i) PutFixed64(out, rng.s[i]);
+  PutU8(out, rng.have_cached_normal ? 1 : 0);
+  PutF32(out, rng.cached_normal);
+  PutFixed64(out, static_cast<uint64_t>(nodes_.size()));
+  for (const GraphNode& node : nodes_) {
+    PutI32(out, node.external_id);
+    PutU8(out, node.deleted ? 1 : 0);
+    PutI32(out, node.level);
+    PutFloats(out, node.vec.data(), node.vec.size());
+    for (const std::vector<int>& nbs : node.neighbors) {
+      PutFixed64(out, static_cast<uint64_t>(nbs.size()));
+      for (int nb : nbs) PutI32(out, nb);
+    }
+  }
+}
+
+Status HnswIndex::DeserializeFrom(std::string_view in) {
+  ByteReader reader(in);
+  uint8_t tag = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
+  if (tag != 'H') return Status::InvalidArgument("not an HNSW index blob");
+  uint64_t dim = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
+  if (dim != dim_) {
+    return Status::InvalidArgument("index blob dim mismatch");
+  }
+  int32_t entry_point = 0, max_level = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadI32(&entry_point));
+  SCCF_RETURN_NOT_OK(reader.ReadI32(&max_level));
+  Rng::State rng;
+  for (int i = 0; i < 4; ++i) {
+    SCCF_RETURN_NOT_OK(reader.ReadFixed64(&rng.s[i]));
+  }
+  uint8_t have_cached = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&have_cached));
+  rng.have_cached_normal = have_cached != 0;
+  SCCF_RETURN_NOT_OK(reader.ReadF32(&rng.cached_normal));
+
+  uint64_t node_count = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&node_count));
+  // Each node costs at least 13 header bytes; cheap bound against an
+  // adversarial count before reserving anything.
+  if (node_count > reader.remaining() / 13) {
+    return Status::IoError("truncated index blob (node count)");
+  }
+  const int n = static_cast<int>(node_count);
+  if ((entry_point < 0) != (node_count == 0) || entry_point >= n) {
+    return Status::InvalidArgument("index blob entry point out of range");
+  }
+
+  std::vector<GraphNode> nodes;
+  std::unordered_map<int, int> live;
+  nodes.reserve(static_cast<size_t>(node_count));
+  for (int i = 0; i < n; ++i) {
+    GraphNode node;
+    uint8_t deleted = 0;
+    SCCF_RETURN_NOT_OK(reader.ReadI32(&node.external_id));
+    SCCF_RETURN_NOT_OK(reader.ReadU8(&deleted));
+    node.deleted = deleted != 0;
+    SCCF_RETURN_NOT_OK(reader.ReadI32(&node.level));
+    if (node.external_id < 0 || node.level < 0 || node.level > max_level) {
+      return Status::InvalidArgument("index blob node header out of range");
+    }
+    SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &node.vec));
+    node.neighbors.resize(static_cast<size_t>(node.level) + 1);
+    for (std::vector<int>& nbs : node.neighbors) {
+      uint64_t len = 0;
+      SCCF_RETURN_NOT_OK(reader.ReadFixed64(&len));
+      if (len > reader.remaining() / 4) {
+        return Status::IoError("truncated index blob (neighbor list)");
+      }
+      nbs.reserve(static_cast<size_t>(len));
+      for (uint64_t j = 0; j < len; ++j) {
+        int32_t nb = 0;
+        SCCF_RETURN_NOT_OK(reader.ReadI32(&nb));
+        if (nb < 0 || nb >= n) {
+          return Status::InvalidArgument("index blob neighbor out of range");
+        }
+        nbs.push_back(nb);
+      }
+    }
+    if (!node.deleted && !live.emplace(node.external_id, i).second) {
+      return Status::InvalidArgument("duplicate live id in index blob");
+    }
+    nodes.push_back(std::move(node));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in index blob");
+  }
+
+  entry_point_ = entry_point;
+  max_level_ = max_level;
+  rng_.set_state(rng);
+  nodes_ = std::move(nodes);
+  live_ = std::move(live);
+  return Status::OK();
 }
 
 }  // namespace sccf::index

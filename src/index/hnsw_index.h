@@ -45,6 +45,9 @@ class HnswIndex : public VectorIndex {
 
   void set_ef_search(size_t ef) { options_.ef_search = ef; }
 
+  void SerializeTo(std::string* out) const override;
+  Status DeserializeFrom(std::string_view in) override;
+
   /// Internal nodes including tombstones (diagnostics).
   size_t num_graph_nodes() const { return nodes_.size(); }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "simd/kernels.h"
+#include "util/coding.h"
 #include "util/logging.h"
 
 namespace sccf::index {
@@ -150,6 +152,96 @@ StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
     }
   }
   return acc.Take();
+}
+
+// Payload layout:
+//   u8 tag 'I' | u64 dim | u8 trained | u64 nlist
+//   f32 centroid x (nlist * dim)
+//   per list: u64 count | per posting: i32 id | f32 vec x dim
+// Centroids are persisted rather than re-trained: Train() re-seeds empty
+// clusters from its own RNG, so a re-run could place centroids (and thus
+// postings) differently from the serialized run. assignment_ is derived
+// from lists_ and not stored.
+void IvfFlatIndex::SerializeTo(std::string* out) const {
+  PutU8(out, 'I');
+  PutFixed64(out, static_cast<uint64_t>(dim_));
+  PutU8(out, trained_ ? 1 : 0);
+  PutFixed64(out, static_cast<uint64_t>(lists_.size()));
+  PutFloats(out, centroids_.data(), centroids_.size());
+  for (const std::vector<Posting>& postings : lists_) {
+    PutFixed64(out, static_cast<uint64_t>(postings.size()));
+    for (const Posting& posting : postings) {
+      PutI32(out, posting.id);
+      PutFloats(out, posting.vec.data(), posting.vec.size());
+    }
+  }
+}
+
+Status IvfFlatIndex::DeserializeFrom(std::string_view in) {
+  ByteReader reader(in);
+  uint8_t tag = 0, trained = 0;
+  uint64_t dim = 0, nlist = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
+  if (tag != 'I') return Status::InvalidArgument("not an IVF index blob");
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
+  if (dim != dim_) {
+    return Status::InvalidArgument("index blob dim mismatch");
+  }
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&trained));
+  SCCF_RETURN_NOT_OK(reader.ReadFixed64(&nlist));
+  // The serializing index's nlist was clamped to its *bootstrap*
+  // population (see core::RealTimeService::MakeShardIndex), which a
+  // restoring index constructed later cannot re-derive — so the blob's
+  // nlist is authoritative and options_.nlist is adopted from it below.
+  // Bound it only against the buffer so an adversarial count cannot
+  // drive the centroid read into a huge allocation.
+  if (trained != 0 &&
+      (nlist == 0 || (dim_ != 0 && nlist > in.size() / (4 * dim_) + 1))) {
+    return Status::InvalidArgument("index blob nlist out of range");
+  }
+  if (trained == 0 && nlist != 0) {
+    return Status::InvalidArgument("untrained index blob with lists");
+  }
+
+  std::vector<float> centroids;
+  SCCF_RETURN_NOT_OK(
+      reader.ReadFloats(static_cast<size_t>(nlist) * dim_, &centroids));
+  std::vector<std::vector<Posting>> lists(static_cast<size_t>(nlist));
+  std::unordered_map<int, std::pair<size_t, size_t>> assignment;
+  for (size_t list = 0; list < lists.size(); ++list) {
+    uint64_t count = 0;
+    SCCF_RETURN_NOT_OK(reader.ReadFixed64(&count));
+    // Each posting costs at least 4 + 4 * dim bytes.
+    if (count > reader.remaining() / (4 + 4 * dim_)) {
+      return Status::IoError("truncated index blob (posting list)");
+    }
+    lists[list].reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+      Posting posting;
+      SCCF_RETURN_NOT_OK(reader.ReadI32(&posting.id));
+      if (posting.id < 0) {
+        return Status::InvalidArgument("negative id in index blob");
+      }
+      SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &posting.vec));
+      if (!assignment
+               .emplace(posting.id,
+                        std::make_pair(list, static_cast<size_t>(i)))
+               .second) {
+        return Status::InvalidArgument("duplicate id in index blob");
+      }
+      lists[list].push_back(std::move(posting));
+    }
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("trailing bytes in index blob");
+  }
+
+  trained_ = trained != 0;
+  if (trained_) options_.nlist = static_cast<size_t>(nlist);
+  centroids_ = std::move(centroids);
+  lists_ = std::move(lists);
+  assignment_ = std::move(assignment);
+  return Status::OK();
 }
 
 }  // namespace sccf::index

@@ -51,6 +51,9 @@ class IvfFlatIndex : public VectorIndex {
 
   void set_nprobe(size_t nprobe) { options_.nprobe = nprobe; }
 
+  void SerializeTo(std::string* out) const override;
+  Status DeserializeFrom(std::string_view in) override;
+
  private:
   struct Posting {
     int id = -1;

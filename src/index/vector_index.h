@@ -82,6 +82,22 @@ class VectorIndex {
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
   virtual Metric metric() const = 0;
+
+  /// Appends the backend's complete internal state to `*out` — stored
+  /// rows, graph topology including tombstones, centroids, and any
+  /// internal RNG — so that DeserializeFrom on a freshly constructed
+  /// index with identical options reproduces it *bit-exactly*: every
+  /// subsequent Add and Search behaves as if the index had never been
+  /// serialized. The persistence layer owns outer framing and checksums;
+  /// this payload still self-describes enough (backend tag, dim) to
+  /// reject a blob from the wrong backend or geometry.
+  virtual void SerializeTo(std::string* out) const = 0;
+
+  /// Restores state written by SerializeTo into this index. The index
+  /// must have been constructed with the same backend, dim, metric, and
+  /// options as the serializing one. Structure is validated before any
+  /// member is mutated: on error the index is unchanged.
+  virtual Status DeserializeFrom(std::string_view in) = 0;
 };
 
 /// Bounded accumulator of the k highest-scoring candidates.
@@ -140,8 +156,13 @@ class UpsertBuffer {
   bool empty() const { return ids_.empty(); }
   size_t dim() const { return dim_; }
   Metric metric() const { return metric_; }
-  /// Staged ids in first-Put order (diagnostics / tests).
+  /// Staged ids in first-Put order (diagnostics / tests / snapshots).
   const std::vector<int>& ids() const { return ids_; }
+
+  /// Raw staged row for ids()[i] — exactly the dim() floats a future
+  /// DrainTo would hand the backend. Exposed so shard snapshots can
+  /// persist staged-but-undrained upserts verbatim.
+  const float* row(size_t i) const { return data_.data() + i * dim_; }
 
   /// Scores every staged vector against `query` under the buffer's metric
   /// and offers (id, score) to `acc`, skipping `exclude_id`. Together with

@@ -1,46 +1,73 @@
 #include "nn/serialize.h"
 
+#include <unistd.h>
+
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
+#include <sstream>
 #include <unordered_map>
+#include <vector>
+
+#include "util/coding.h"
 
 namespace sccf::nn {
 
 namespace {
 constexpr char kMagic[8] = {'S', 'C', 'C', 'F', 'C', 'K', 'P', 'T'};
 constexpr uint32_t kVersion = 1;
+constexpr uint32_t kMaxNameLen = 4096;
+constexpr uint32_t kMaxRank = 2;
 
-template <typename T>
-void WritePod(std::ofstream& f, T v) {
-  f.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+/// One parsed-and-validated record, staged until the whole checkpoint has
+/// been accepted. Loading must be all-or-nothing: a checkpoint that fails
+/// validation halfway may not leave the target model half-mutated.
+struct StagedRecord {
+  Parameter* target = nullptr;
+  std::vector<float> payload;
+};
 
-template <typename T>
-bool ReadPod(std::ifstream& f, T* v) {
-  f.read(reinterpret_cast<char*>(v), sizeof(T));
-  return static_cast<bool>(f);
-}
 }  // namespace
 
 Status SaveParameters(const std::string& path,
                       const std::vector<Parameter*>& params) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) return Status::IoError("cannot open " + path + " for writing");
-  f.write(kMagic, sizeof(kMagic));
-  WritePod<uint32_t>(f, kVersion);
-  WritePod<uint32_t>(f, static_cast<uint32_t>(params.size()));
+  // Serialize fully in memory first; nothing touches the filesystem until
+  // the byte string is complete.
+  std::string blob;
+  blob.append(kMagic, sizeof(kMagic));
+  PutFixed32(&blob, kVersion);
+  PutFixed32(&blob, static_cast<uint32_t>(params.size()));
   for (const Parameter* p : params) {
-    WritePod<uint32_t>(f, static_cast<uint32_t>(p->name.size()));
-    f.write(p->name.data(), p->name.size());
-    WritePod<uint32_t>(f, static_cast<uint32_t>(p->value.rank()));
+    PutFixed32(&blob, static_cast<uint32_t>(p->name.size()));
+    blob.append(p->name.data(), p->name.size());
+    PutFixed32(&blob, static_cast<uint32_t>(p->value.rank()));
     for (size_t dim : p->value.shape()) {
-      WritePod<uint64_t>(f, static_cast<uint64_t>(dim));
+      PutFixed64(&blob, static_cast<uint64_t>(dim));
     }
-    f.write(reinterpret_cast<const char*>(p->value.data()),
-            p->value.size() * sizeof(float));
+    PutFloats(&blob, p->value.data(), p->value.size());
   }
-  if (!f) return Status::IoError("write failed: " + path);
+
+  // Crash-safe commit: write <path>.tmp, fsync it, then rename over the
+  // target. A crash at any point leaves either the old complete file or
+  // the new complete file — never a torn checkpoint at `path`.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open " + tmp + " for writing");
+  }
+  const bool wrote =
+      std::fwrite(blob.data(), 1, blob.size(), f) == blob.size() &&
+      std::fflush(f) == 0 && ::fsync(fileno(f)) == 0;
+  if (std::fclose(f) != 0 || !wrote) {
+    std::remove(tmp.c_str());
+    return Status::IoError("write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IoError("rename failed: " + tmp + " -> " + path);
+  }
   return Status::OK();
 }
 
@@ -48,16 +75,24 @@ Status LoadParameters(const std::string& path,
                       const std::vector<Parameter*>& params) {
   std::ifstream f(path, std::ios::binary);
   if (!f) return Status::IoError("cannot open " + path);
-  char magic[8];
-  f.read(magic, sizeof(magic));
-  if (!f || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (!f && !f.eof()) return Status::IoError("read failed: " + path);
+  const std::string bytes = std::move(buf).str();
+
+  ByteReader reader(bytes);
+  std::string_view magic;
+  if (!reader.ReadView(sizeof(kMagic), &magic).ok() ||
+      std::memcmp(magic.data(), kMagic, sizeof(kMagic)) != 0) {
     return Status::InvalidArgument(path + ": not an SCCF checkpoint");
   }
   uint32_t version = 0, count = 0;
-  if (!ReadPod(f, &version) || version != kVersion) {
+  if (!reader.ReadFixed32(&version).ok() || version != kVersion) {
     return Status::InvalidArgument("unsupported checkpoint version");
   }
-  if (!ReadPod(f, &count)) return Status::IoError("truncated checkpoint");
+  if (!reader.ReadFixed32(&count).ok()) {
+    return Status::IoError("truncated checkpoint");
+  }
 
   std::unordered_map<std::string, Parameter*> by_name;
   for (Parameter* p : params) {
@@ -65,25 +100,47 @@ Status LoadParameters(const std::string& path,
       return Status::InvalidArgument("duplicate parameter name: " + p->name);
     }
   }
-  size_t restored = 0;
+
+  // Parse + validate every record into staging buffers. No live tensor is
+  // touched in this loop, so any error below returns with the targets
+  // bit-identical to their pre-call values.
+  std::vector<StagedRecord> staged;
+  staged.reserve(params.size());
+  std::unordered_map<std::string, bool> seen_names;
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0;
-    if (!ReadPod(f, &name_len) || name_len > 4096) {
+    if (!reader.ReadFixed32(&name_len).ok() || name_len > kMaxNameLen) {
       return Status::IoError("corrupt checkpoint (name length)");
     }
-    std::string name(name_len, '\0');
-    f.read(name.data(), name_len);
+    std::string name;
+    if (!reader.ReadBytes(name_len, &name).ok()) {
+      return Status::IoError("truncated checkpoint (name)");
+    }
     uint32_t rank = 0;
-    if (!f || !ReadPod(f, &rank) || rank > 2) {
+    if (!reader.ReadFixed32(&rank).ok() || rank > kMaxRank) {
       return Status::IoError("corrupt checkpoint (rank)");
     }
     std::vector<size_t> shape(rank);
     size_t total = 1;
     for (uint32_t r = 0; r < rank; ++r) {
       uint64_t dim = 0;
-      if (!ReadPod(f, &dim)) return Status::IoError("corrupt checkpoint");
+      if (!reader.ReadFixed64(&dim).ok()) {
+        return Status::IoError("corrupt checkpoint");
+      }
+      // Adversarial u64 dims could wrap `total` into a small, plausible
+      // element count; guard the multiplication explicitly.
+      if (dim > std::numeric_limits<size_t>::max() / sizeof(float) ||
+          (dim != 0 &&
+           total > std::numeric_limits<size_t>::max() / sizeof(float) /
+                       static_cast<size_t>(dim))) {
+        return Status::IoError("corrupt checkpoint (dimension overflow)");
+      }
       shape[r] = static_cast<size_t>(dim);
       total *= shape[r];
+    }
+    if (!seen_names.emplace(name, true).second) {
+      return Status::InvalidArgument("checkpoint contains parameter '" +
+                                     name + "' twice");
     }
     auto it = by_name.find(name);
     if (it == by_name.end()) {
@@ -94,14 +151,23 @@ Status LoadParameters(const std::string& path,
     if (p->value.shape() != shape) {
       return Status::InvalidArgument("shape mismatch for '" + name + "'");
     }
-    f.read(reinterpret_cast<char*>(p->value.data()), total * sizeof(float));
-    if (!f) return Status::IoError("truncated checkpoint payload");
-    ++restored;
+    StagedRecord record;
+    record.target = p;
+    if (!reader.ReadFloats(total, &record.payload).ok()) {
+      return Status::IoError("truncated checkpoint payload");
+    }
+    staged.push_back(std::move(record));
   }
-  if (restored != params.size()) {
+  if (staged.size() != params.size()) {
     return Status::InvalidArgument(
-        "checkpoint restored " + std::to_string(restored) + " of " +
+        "checkpoint restored " + std::to_string(staged.size()) + " of " +
         std::to_string(params.size()) + " parameters");
+  }
+
+  // Commit: only now, with the full checkpoint validated, mutate targets.
+  for (StagedRecord& record : staged) {
+    std::memcpy(record.target->value.data(), record.payload.data(),
+                record.payload.size() * sizeof(float));
   }
   return Status::OK();
 }

@@ -1,5 +1,6 @@
 #include "online/engine.h"
 
+#include <chrono>
 #include <span>
 #include <string>
 #include <utility>
@@ -12,11 +13,49 @@ Engine::Engine(const models::InductiveUiModel& model, Options options)
     : service_(model, options) {}
 
 Status Engine::Bootstrap(const std::vector<UserState>& users) {
-  return service_.Bootstrap(users);
+  SCCF_RETURN_NOT_OK(service_.Bootstrap(users));
+  if (!service_.options().recover_dir.empty()) {
+    SCCF_RETURN_NOT_OK(RecoverFromDir(service_.options().recover_dir,
+                                      service_.options().journal_fsync));
+  }
+  return Status::OK();
 }
 
 Status Engine::BootstrapFromSplit(const data::LeaveOneOutSplit& split) {
-  return service_.BootstrapFromSplit(split);
+  SCCF_RETURN_NOT_OK(service_.BootstrapFromSplit(split));
+  if (!service_.options().recover_dir.empty()) {
+    SCCF_RETURN_NOT_OK(RecoverFromDir(service_.options().recover_dir,
+                                      service_.options().journal_fsync));
+  }
+  return Status::OK();
+}
+
+Status Engine::RecoverFromDir(const std::string& dir, bool journal_fsync) {
+  // Recovery replays through the normal ingest path, which must not race
+  // the background compaction sweep: drain timing is part of HNSW/IVF
+  // index state, so the sweep stays parked until replay is done.
+  const bool bg = service_.background_compaction_running();
+  if (bg) service_.StopBackgroundCompaction();
+  SCCF_ASSIGN_OR_RETURN(persistence_,
+                        persist::PersistenceManager::Open(dir, journal_fsync));
+  SCCF_RETURN_NOT_OK(persistence_->Recover(&service_));
+  service_.set_ingest_sink(persistence_.get());
+  if (bg) SCCF_RETURN_NOT_OK(service_.StartBackgroundCompaction());
+  return Status::OK();
+}
+
+Status Engine::Save() {
+  if (persistence_ == nullptr) {
+    return Status::FailedPrecondition(
+        "persistence not configured (Options::recover_dir is empty)");
+  }
+  SCCF_RETURN_NOT_OK(persistence_->Save(service_));
+  last_save_unix_s_.store(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count(),
+      std::memory_order_release);
+  return Status::OK();
 }
 
 StatusOr<Engine::IngestResponse> Engine::Ingest(const IngestRequest& request) {

@@ -1,14 +1,19 @@
 #ifndef SCCF_ONLINE_ENGINE_H_
 #define SCCF_ONLINE_ENGINE_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/candidates.h"
 #include "core/realtime.h"
 #include "data/split.h"
 #include "models/recommender.h"
+#include "persist/recovery.h"
 #include "util/status.h"
 
 namespace sccf::online {
@@ -153,6 +158,15 @@ class Engine {
 
   /// Loads initial user states / the split's training prefixes and
   /// builds the shard indexes. Exactly once, before any serving call.
+  ///
+  /// With Options::recover_dir set, Bootstrap additionally recovers
+  /// durable state from that directory after the in-memory build: the
+  /// last snapshot (if one exists) replaces each shard's state, the
+  /// journal tail replays through the normal ingest path, and every
+  /// subsequent ingest is write-ahead journaled there — so a process
+  /// killed at any instant restarts bit-identical to one that never
+  /// died. A fresh directory is created and degenerates to plain
+  /// bootstrap + journaling.
   Status Bootstrap(const std::vector<UserState>& users);
   Status BootstrapFromSplit(const data::LeaveOneOutSplit& split);
 
@@ -175,6 +189,22 @@ class Engine {
   /// the interval/background policies enabled this is still useful as a
   /// synchronous "drain everything now" barrier (tests, checkpoints).
   Status Compact();
+
+  /// Writes a full snapshot to Options::recover_dir and rotates the
+  /// journal (see persist::PersistenceManager::Save) — the SAVE server
+  /// command. FailedPrecondition when no recover_dir was configured.
+  /// Safe while serving traffic is in flight; one caller at a time.
+  Status Save();
+
+  /// Unix seconds of the last successful Save() (0 if none yet this
+  /// process) — the LASTSAVE server command. Recovery does not count: it
+  /// reads snapshots, it doesn't write one.
+  int64_t last_save_unix_s() const {
+    return last_save_unix_s_.load(std::memory_order_acquire);
+  }
+
+  /// True when Options::recover_dir was configured (SAVE will work).
+  bool persistence_enabled() const { return persistence_ != nullptr; }
 
   /// Explicit background-compaction lifecycle (Bootstrap starts the
   /// thread when Options::background_compaction is set; the destructor
@@ -213,7 +243,13 @@ class Engine {
   core::RealTimeService& service() { return service_; }
 
  private:
+  /// Recovery + journal attachment, run by both Bootstrap overloads
+  /// after the in-memory build when Options::recover_dir is set.
+  Status RecoverFromDir(const std::string& dir, bool journal_fsync);
+
   core::RealTimeService service_;
+  std::unique_ptr<persist::PersistenceManager> persistence_;
+  std::atomic<int64_t> last_save_unix_s_{0};
 };
 
 }  // namespace sccf::online

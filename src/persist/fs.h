@@ -1,0 +1,45 @@
+#ifndef SCCF_PERSIST_FS_H_
+#define SCCF_PERSIST_FS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sccf::persist {
+
+/// POSIX file helpers underpinning the persistence layer's crash-safety
+/// story. Every durable artifact goes through WriteFileAtomic, so a
+/// SIGKILL (or power cut, with `sync`) at any instant leaves either the
+/// previous complete file or the new complete file at the target path —
+/// never a torn one.
+
+/// Creates `dir` (one level) if it does not exist. OK if it already does.
+Status EnsureDir(const std::string& dir);
+
+/// True iff `path` exists (any file type).
+bool PathExists(const std::string& path);
+
+/// Reads the whole file. IoError (not NotFound) when missing/unreadable —
+/// callers that treat absence as normal should PathExists first.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `contents` to `<path>.tmp`, optionally fsyncs it, renames over
+/// `path`, then (with `sync`) fsyncs the parent directory so the rename
+/// itself is durable. The temp file is unlinked on any failure.
+Status WriteFileAtomic(const std::string& path, std::string_view contents,
+                       bool sync);
+
+/// Unlinks `path`. OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// Names (not paths) of regular files in `dir`, unsorted.
+StatusOr<std::vector<std::string>> ListDirFiles(const std::string& dir);
+
+/// fsyncs the directory itself (making renames/unlinks in it durable).
+Status SyncDir(const std::string& dir);
+
+}  // namespace sccf::persist
+
+#endif  // SCCF_PERSIST_FS_H_

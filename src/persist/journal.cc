@@ -1,0 +1,170 @@
+#include "persist/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace sccf::persist {
+
+namespace {
+// Sanity bound on one record's payload. The largest legitimate record is
+// one ingest batch's events for one shard; 1 GiB of 16-byte events is
+// ~67M events in one batch — far beyond anything the serving path
+// accepts — so a bigger length field can only be corruption.
+constexpr uint32_t kMaxRecordPayload = 1u << 30;
+}  // namespace
+
+std::string EncodeJournalRecord(
+    size_t shard, uint64_t seq,
+    std::span<const core::RealTimeService::Event> events) {
+  std::string payload;
+  payload.reserve(16 + events.size() * 16);
+  PutFixed32(&payload, static_cast<uint32_t>(shard));
+  PutFixed64(&payload, seq);
+  PutFixed32(&payload, static_cast<uint32_t>(events.size()));
+  for (const core::RealTimeService::Event& e : events) {
+    PutI32(&payload, e.user);
+    PutI32(&payload, e.item);
+    PutI64(&payload, e.ts);
+  }
+  std::string record;
+  record.reserve(8 + payload.size());
+  PutFixed32(&record, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&record, Crc32(payload));
+  record += payload;
+  return record;
+}
+
+Status DecodeJournal(std::string_view bytes, bool allow_torn_tail,
+                     std::vector<JournalRecord>* out, size_t* valid_prefix) {
+  out->clear();
+  size_t pos = 0;
+  if (valid_prefix != nullptr) *valid_prefix = 0;
+
+  const auto tear = [&](const char* what) -> Status {
+    if (allow_torn_tail) return Status::OK();
+    return Status::IoError(std::string("journal corruption (") + what +
+                           ") at byte " + std::to_string(pos));
+  };
+
+  while (pos < bytes.size()) {
+    ByteReader header(bytes.substr(pos));
+    uint32_t len = 0, crc = 0;
+    if (!header.ReadFixed32(&len).ok() || !header.ReadFixed32(&crc).ok()) {
+      return tear("torn header");
+    }
+    if (len > kMaxRecordPayload || len > bytes.size() - pos - 8) {
+      return tear("torn payload");
+    }
+    const std::string_view payload = bytes.substr(pos + 8, len);
+    if (Crc32(payload) != crc) {
+      return tear("crc mismatch");
+    }
+
+    // The payload passed its checksum; structural errors past this point
+    // are real corruption (a bad writer, not a torn append) and fail the
+    // file even in torn-tail mode.
+    ByteReader reader(payload);
+    JournalRecord record;
+    uint32_t shard = 0, count = 0;
+    SCCF_RETURN_NOT_OK(reader.ReadFixed32(&shard));
+    SCCF_RETURN_NOT_OK(reader.ReadFixed64(&record.seq));
+    SCCF_RETURN_NOT_OK(reader.ReadFixed32(&count));
+    if (static_cast<uint64_t>(count) * 16 != reader.remaining()) {
+      return Status::IoError("journal record count/size mismatch at byte " +
+                             std::to_string(pos));
+    }
+    record.shard = shard;
+    record.events.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      core::RealTimeService::Event& e = record.events[i];
+      SCCF_RETURN_NOT_OK(reader.ReadI32(&e.user));
+      SCCF_RETURN_NOT_OK(reader.ReadI32(&e.item));
+      SCCF_RETURN_NOT_OK(reader.ReadI64(&e.ts));
+    }
+    out->push_back(std::move(record));
+    pos += 8 + len;
+    if (valid_prefix != nullptr) *valid_prefix = pos;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<JournalWriter>> JournalWriter::Open(
+    const std::string& path, bool fsync_each) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError("cannot open journal " + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<JournalWriter>(
+      new JournalWriter(path, fd, fsync_each));
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status JournalWriter::Append(
+    size_t shard, uint64_t seq,
+    std::span<const core::RealTimeService::Event> events) {
+  const std::string record = EncodeJournalRecord(shard, seq, events);
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t written = 0;
+  while (written < record.size()) {
+    const ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A partially written record is exactly what the reader's
+      // torn-tail scan exists for; report the failure and let recovery
+      // discard the fragment.
+      return Status::IoError("journal append failed: " + path_ + ": " +
+                             std::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (fsync_each_ && ::fsync(fd_) != 0) {
+    return Status::IoError("journal fsync failed: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status JournalWriter::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::fsync(fd_) != 0) {
+    return Status::IoError("journal fsync failed: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+std::string JournalFileName(uint64_t gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "journal-%06llu",
+                static_cast<unsigned long long>(gen));
+  return buf;
+}
+
+bool ParseJournalFileName(const std::string& name, uint64_t* gen) {
+  constexpr char kPrefix[] = "journal-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() <= kPrefixLen || name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *gen = value;
+  return true;
+}
+
+}  // namespace sccf::persist

@@ -1,0 +1,93 @@
+#ifndef SCCF_PERSIST_JOURNAL_H_
+#define SCCF_PERSIST_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/realtime.h"
+#include "util/status.h"
+
+namespace sccf::persist {
+
+/// Append-only ingest journal: the write-ahead log behind the shard
+/// snapshots. One file per generation (`journal-<gen>`); every record is
+/// one (batch, shard) ingest group, framed as
+///
+///   u32 payload_len | u32 crc32(payload) | payload
+///   payload: u32 shard | u64 seq | u32 num_events
+///            per event: i32 user | i32 item | i64 ts
+///
+/// so a reader can walk the file front to back, verify each record
+/// independently, and — in the newest generation only — treat the first
+/// torn or corrupt record as the clean end of history (a crash mid-append
+/// legitimately leaves a partial record at the tail; anything after it is
+/// unreachable and discarded).
+
+/// One decoded journal record.
+struct JournalRecord {
+  size_t shard = 0;
+  uint64_t seq = 0;
+  std::vector<core::RealTimeService::Event> events;
+};
+
+/// Serializes one record into its on-disk framing (exposed for tests).
+std::string EncodeJournalRecord(size_t shard, uint64_t seq,
+                                std::span<const core::RealTimeService::Event> events);
+
+/// Decodes every record in `bytes` (one journal file's contents) into
+/// `*out`. With `allow_torn_tail`, decoding stops cleanly at the first
+/// bad record and reports how many bytes were accepted via
+/// `*valid_prefix`; without it any bad record is an IoError. `*out`
+/// always holds exactly the records of the accepted prefix.
+Status DecodeJournal(std::string_view bytes, bool allow_torn_tail,
+                     std::vector<JournalRecord>* out, size_t* valid_prefix);
+
+/// Appender for one journal generation file — the core::IngestSink the
+/// engine attaches to the service. Appends are serialized by an internal
+/// mutex; callers hold at most one shard lock when appending (see the
+/// service's lock-ordering contract), so the nesting is always
+/// shard lock -> journal mutex and never the reverse. Each record is
+/// written with a single write(2) on an O_APPEND descriptor: once Append
+/// returns, the kernel owns the bytes, so a SIGKILL'd process loses
+/// nothing (machine-crash durability additionally needs `fsync_each`).
+class JournalWriter : public core::IngestSink {
+ public:
+  /// Opens (creating or appending to) the file at `path`.
+  static StatusOr<std::unique_ptr<JournalWriter>> Open(
+      const std::string& path, bool fsync_each);
+
+  ~JournalWriter() override;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  Status Append(size_t shard, uint64_t seq,
+                std::span<const core::RealTimeService::Event> events) override;
+
+  /// fsyncs the file regardless of `fsync_each` (e.g. before a snapshot).
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JournalWriter(std::string path, int fd, bool fsync_each)
+      : path_(std::move(path)), fd_(fd), fsync_each_(fsync_each) {}
+
+  std::string path_;
+  int fd_ = -1;
+  bool fsync_each_ = false;
+  std::mutex mu_;
+};
+
+/// `journal-<gen>` for the given generation number.
+std::string JournalFileName(uint64_t gen);
+
+/// Parses a `journal-<gen>` file name; returns false for anything else.
+bool ParseJournalFileName(const std::string& name, uint64_t* gen);
+
+}  // namespace sccf::persist
+
+#endif  // SCCF_PERSIST_JOURNAL_H_

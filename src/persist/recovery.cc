@@ -1,0 +1,127 @@
+#include "persist/recovery.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "persist/fs.h"
+#include "persist/snapshot.h"
+#include "util/logging.h"
+
+namespace sccf::persist {
+
+StatusOr<std::unique_ptr<PersistenceManager>> PersistenceManager::Open(
+    const std::string& dir, bool journal_fsync) {
+  SCCF_RETURN_NOT_OK(EnsureDir(dir));
+  return std::unique_ptr<PersistenceManager>(
+      new PersistenceManager(dir, journal_fsync));
+}
+
+Status PersistenceManager::Recover(core::RealTimeService* service) {
+  if (PathExists(snapshot_path())) {
+    SCCF_RETURN_NOT_OK(LoadSnapshotFile(snapshot_path(), service));
+  }
+  uint64_t max_gen = 0;
+  SCCF_RETURN_NOT_OK(ReplayJournals(service, &max_gen));
+  // Always start a fresh generation: the previous one may end in a torn
+  // record, and appending after a tear would leave unreachable garbage
+  // in the middle of a file.
+  return OpenGeneration(max_gen + 1);
+}
+
+Status PersistenceManager::ReplayJournals(core::RealTimeService* service,
+                                          uint64_t* max_gen) const {
+  SCCF_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDirFiles(dir_));
+  std::vector<uint64_t> gens;
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseJournalFileName(name, &gen)) gens.push_back(gen);
+  }
+  std::sort(gens.begin(), gens.end());
+  *max_gen = gens.empty() ? 0 : gens.back();
+
+  for (size_t g = 0; g < gens.size(); ++g) {
+    const std::string path = dir_ + "/" + JournalFileName(gens[g]);
+    SCCF_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+    // Only the newest generation can legitimately end mid-record (the
+    // crash interrupted an append there); a bad record in an older,
+    // rotated-out generation means real data loss and fails recovery.
+    const bool last = g + 1 == gens.size();
+    std::vector<JournalRecord> records;
+    size_t valid_prefix = 0;
+    SCCF_RETURN_NOT_OK(
+        DecodeJournal(bytes, /*allow_torn_tail=*/last, &records,
+                      &valid_prefix));
+    if (last && valid_prefix < bytes.size()) {
+      SCCF_LOG_INFO << "journal " << path << ": discarding torn tail ("
+                    << bytes.size() - valid_prefix << " bytes)";
+    }
+    for (const JournalRecord& record : records) {
+      SCCF_RETURN_NOT_OK(service->ApplyJournalRecord(
+          record.shard, record.seq, record.events));
+    }
+  }
+  return Status::OK();
+}
+
+Status PersistenceManager::OpenGeneration(uint64_t gen) {
+  const std::string path = dir_ + "/" + JournalFileName(gen);
+  SCCF_ASSIGN_OR_RETURN(std::unique_ptr<JournalWriter> writer,
+                        JournalWriter::Open(path, journal_fsync_));
+  // Make the new file name durable before anything is appended to it.
+  SCCF_RETURN_NOT_OK(SyncDir(dir_));
+  std::lock_guard<std::mutex> lock(mu_);
+  writer_ = std::move(writer);
+  gen_ = gen;
+  return Status::OK();
+}
+
+Status PersistenceManager::Save(const core::RealTimeService& service) {
+  uint64_t gen_at_start = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (writer_ == nullptr) {
+      return Status::FailedPrecondition("Recover must run before Save");
+    }
+    gen_at_start = gen_;
+    // Flush the current generation before exporting: every record the
+    // snapshot will supersede must be on disk first, or a crash between
+    // the snapshot rename and the next append could lose acknowledged
+    // (journaled-but-unsynced) events while claiming a newer snapshot.
+    SCCF_RETURN_NOT_OK(writer_->Sync());
+  }
+
+  // Export + atomic replace. Shard locks are taken one at a time inside
+  // EncodeSnapshot; mu_ is NOT held here (lock order: shard -> mu_).
+  SCCF_RETURN_NOT_OK(WriteSnapshotFile(service, snapshot_path()));
+
+  // GC: generations older than the one current at export start are fully
+  // covered by the snapshot (their records all predate every shard's
+  // exported seq). The current generation may hold post-export records,
+  // so it survives until the next Save.
+  SCCF_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDirFiles(dir_));
+  for (const std::string& name : names) {
+    uint64_t gen = 0;
+    if (ParseJournalFileName(name, &gen) && gen < gen_at_start) {
+      SCCF_RETURN_NOT_OK(RemoveFileIfExists(dir_ + "/" + name));
+    }
+  }
+  SCCF_RETURN_NOT_OK(SyncDir(dir_));
+  return OpenGeneration(gen_at_start + 1);
+}
+
+Status PersistenceManager::Append(
+    size_t shard, uint64_t seq,
+    std::span<const core::RealTimeService::Event> events) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (writer_ == nullptr) {
+    return Status::FailedPrecondition("journal not open (Recover first)");
+  }
+  return writer_->Append(shard, seq, events);
+}
+
+uint64_t PersistenceManager::journal_gen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gen_;
+}
+
+}  // namespace sccf::persist

@@ -1,0 +1,98 @@
+#ifndef SCCF_PERSIST_RECOVERY_H_
+#define SCCF_PERSIST_RECOVERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+
+#include "core/realtime.h"
+#include "persist/journal.h"
+#include "util/status.h"
+
+namespace sccf::persist {
+
+/// Orchestrates the durability loop for one data directory:
+///
+///   <dir>/snapshot        last complete snapshot (atomically replaced)
+///   <dir>/journal-<gen>   append-only ingest journal generations
+///
+/// Lifecycle (driven by online::Engine):
+///   1. Open(dir)                  — create/validate the directory
+///   2. Recover(service)           — load snapshot (if any), replay every
+///                                   journal generation in order (the
+///                                   newest may be torn at the tail —
+///                                   that tail is cleanly discarded),
+///                                   then open a fresh journal generation
+///   3. service->set_ingest_sink(manager) — write-ahead from here on
+///   4. Save(service) at will      — snapshot + journal rotation/GC
+///
+/// Why recovered state is bit-identical to an uninterrupted run: appends
+/// happen under the owning shard's exclusive lock BEFORE the mutation
+/// they describe, each shard section of the snapshot embeds the shard's
+/// journal seq read under that same lock, and replay applies exactly the
+/// records with seq > the shard's snapshot seq through the same code
+/// path OnInteractionBatch uses. Journal GC at Save relies on the same
+/// invariant: any generation rotated out before a snapshot's export
+/// began holds only records with seq <= that snapshot's seqs, so it can
+/// be deleted once the snapshot rename is durable.
+///
+/// Thread-safety: Append (the IngestSink face) may be called from any
+/// ingest thread — callers hold one shard lock, this class's mutex nests
+/// inside it, and Save acquires that mutex only while holding no shard
+/// lock, so the lock order shard -> manager is never reversed. Recover
+/// must run before concurrent use; Save may run concurrently with
+/// serving traffic but from one thread at a time.
+class PersistenceManager : public core::IngestSink {
+ public:
+  /// Creates the directory if needed. No recovery happens yet.
+  static StatusOr<std::unique_ptr<PersistenceManager>> Open(
+      const std::string& dir, bool journal_fsync);
+
+  /// Restores `service` from the directory (no-op on a fresh one) and
+  /// opens a new journal generation for subsequent appends. Pre: the
+  /// service is bootstrapped; no concurrent use during recovery.
+  Status Recover(core::RealTimeService* service);
+
+  /// Snapshots every shard (one shared lock at a time), atomically
+  /// replaces <dir>/snapshot, deletes journal generations older than the
+  /// current one, and rotates to a fresh generation. The current
+  /// generation survives one more Save: appends racing this snapshot may
+  /// land in it with newer seqs than the exported shards.
+  Status Save(const core::RealTimeService& service);
+
+  /// core::IngestSink — forwards to the current journal generation.
+  Status Append(size_t shard, uint64_t seq,
+                std::span<const core::RealTimeService::Event> events) override;
+
+  const std::string& dir() const { return dir_; }
+  std::string snapshot_path() const { return dir_ + "/snapshot"; }
+  /// Current journal generation (0 before Recover).
+  uint64_t journal_gen() const;
+
+ private:
+  PersistenceManager(std::string dir, bool journal_fsync)
+      : dir_(std::move(dir)), journal_fsync_(journal_fsync) {}
+
+  /// Replays every journal generation in ascending order against
+  /// `service`; only the newest may end in a torn record.
+  Status ReplayJournals(core::RealTimeService* service,
+                        uint64_t* max_gen) const;
+
+  /// Opens `gen` as the active journal file (under mu_).
+  Status OpenGeneration(uint64_t gen);
+
+  const std::string dir_;
+  const bool journal_fsync_;
+
+  /// Guards writer_/gen_ against the Append/rotation race. Nests inside
+  /// shard locks; never held while acquiring one.
+  mutable std::mutex mu_;
+  std::unique_ptr<JournalWriter> writer_;
+  uint64_t gen_ = 0;
+};
+
+}  // namespace sccf::persist
+
+#endif  // SCCF_PERSIST_RECOVERY_H_

@@ -1,0 +1,63 @@
+#ifndef SCCF_PERSIST_SNAPSHOT_H_
+#define SCCF_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/realtime.h"
+#include "util/status.h"
+
+namespace sccf::persist {
+
+/// Versioned full-service snapshot file. Layout:
+///
+///   magic "SCCFSNAP" | u32 version
+///   section*: u8 tag | u64 payload_len | u32 crc32(payload) | payload
+///
+/// with one 'M' (meta) section, one 'S' section per shard (u64 shard
+/// index + the opaque RealTimeService::ExportShard payload), and a
+/// closing 'E' section whose presence proves the writer reached the end.
+/// Every byte after the version lives inside a CRC-covered section, so
+/// any bit flip or truncation surfaces as a clean Status error — the
+/// fault-injection suite sweeps exactly this property.
+///
+/// Consistency: each shard's section is a point-in-time cut taken under
+/// that shard's lock, embedding its journal sequence number. There is no
+/// global barrier — cross-shard skew is resolved at recovery by replaying
+/// each journal record iff its seq is newer than its shard's snapshot.
+
+/// Parsed 'M' section, validated against the recovering service.
+struct SnapshotMeta {
+  uint64_t num_shards = 0;
+  uint64_t dim = 0;
+  uint32_t index_kind = 0;
+  uint32_t metric = 0;
+};
+
+/// Serializes the whole service (meta + every shard, one shard lock at a
+/// time) into snapshot bytes.
+StatusOr<std::string> EncodeSnapshot(const core::RealTimeService& service);
+
+/// Verifies framing + checksums and splits `bytes` into meta and one
+/// payload view per shard (`(*shards)[i]` borrows `bytes`). Rejects
+/// missing/duplicate shard sections, a missing end marker, and trailing
+/// bytes.
+Status DecodeSnapshot(std::string_view bytes, SnapshotMeta* meta,
+                      std::vector<std::string_view>* shards);
+
+/// EncodeSnapshot + atomic write (tmp, fsync, rename, dir fsync).
+Status WriteSnapshotFile(const core::RealTimeService& service,
+                         const std::string& path);
+
+/// Reads + decodes `path`, validates meta against `service` (shard
+/// count, dim, index kind, metric), and restores every shard. On any
+/// error the service may have some shards restored and others not —
+/// callers treat a failed recovery as fatal, not partial.
+Status LoadSnapshotFile(const std::string& path,
+                        core::RealTimeService* service);
+
+}  // namespace sccf::persist
+
+#endif  // SCCF_PERSIST_SNAPSHOT_H_

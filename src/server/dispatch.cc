@@ -205,6 +205,19 @@ void ExecuteStats(online::Engine& engine, std::string* out) {
   AppendInteger(out, stats.background_compaction ? 1 : 0);
 }
 
+void ExecuteSave(online::Engine& engine, std::string* out) {
+  const Status status = engine.Save();
+  if (!status.ok()) {
+    AppendStatusError(out, status);
+    return;
+  }
+  AppendSimpleString(out, "OK");
+}
+
+void ExecuteLastSave(online::Engine& engine, std::string* out) {
+  AppendInteger(out, engine.last_save_unix_s());
+}
+
 }  // namespace
 
 bool Execute(online::Engine& engine, const Command& command,
@@ -221,6 +234,10 @@ bool Execute(online::Engine& engine, const Command& command,
     ExecuteHistory(engine, command, out);
   } else if (command.name == "STATS") {
     ExecuteStats(engine, out);
+  } else if (command.name == "SAVE") {
+    ExecuteSave(engine, out);
+  } else if (command.name == "LASTSAVE") {
+    ExecuteLastSave(engine, out);
   } else if (command.name == "QUIT") {
     AppendSimpleString(out, "OK");
     return true;

@@ -38,6 +38,14 @@ namespace sccf::server {
 ///   STATS
 ///     -> *8 alternating  $name  :value   for num_users, num_shards,
 ///        pending_upserts, background_compaction (0/1)
+///   SAVE
+///     Writes a full snapshot to the configured data directory and
+///     rotates the ingest journal (Engine::Save). Synchronous: +OK means
+///     the snapshot is durably on disk.
+///     -> +OK, or -FAILEDPRECONDITION when the server runs without
+///        --data_dir
+///   LASTSAVE
+///     -> :unix_seconds of the last successful SAVE (0 if none yet)
 ///   QUIT
 ///     -> +OK, and Execute returns true (close after the reply flushes)
 ///

@@ -1,8 +1,9 @@
 // sccf_server: the SCCF serving daemon. Bootstraps an Engine over a
-// synthetic corpus (deterministic for a fixed seed — there is no model
-// checkpoint format yet; scale item "persistence" on the roadmap) and
-// serves the wire protocol (src/server/protocol.h) until SIGTERM/SIGINT,
-// which triggers the graceful drain and a clean exit 0.
+// synthetic corpus (deterministic for a fixed seed), optionally recovers
+// ingested state from --data_dir (snapshot + journal replay, journaling
+// every ingest from then on), and serves the wire protocol
+// (src/server/protocol.h) until SIGTERM/SIGINT, which triggers the
+// graceful drain and a clean exit 0.
 //
 // Flags:
 //   --host=ADDR            bind address       (default 127.0.0.1)
@@ -18,6 +19,13 @@
 //   --compaction_interval=MS  wall-clock compaction bound (default 0)
 //   --background           enable the background compaction thread
 //   --seed=N               corpus seed (default 7)
+//   --data_dir=DIR         persistence directory: recover on start
+//                          (snapshot + journal replay), journal every
+//                          ingest, honor SAVE/LASTSAVE (default: off,
+//                          fully in-memory)
+//   --journal_fsync        fsync the journal after every appended record
+//                          (machine-crash durability; see
+//                          docs/OPERATIONS.md for the tradeoff)
 //
 // Startup prints two machine-parsable lines (scripts/ci.sh and
 // bench/bench_server consume them):
@@ -59,6 +67,8 @@ struct Config {
   int64_t compaction_interval_ms = 0;
   bool background = false;
   uint64_t seed = 7;
+  std::string data_dir;
+  bool journal_fsync = false;
 };
 
 }  // namespace
@@ -112,6 +122,11 @@ int main(int argc, char** argv) {
       cfg.compaction_interval_ms = v;
     } else if (arg == "--background") {
       cfg.background = true;
+    } else if (arg.rfind("--data_dir=", 0) == 0) {
+      cfg.data_dir = val("--data_dir=");
+      SCCF_CHECK(!cfg.data_dir.empty()) << "bad --data_dir";
+    } else if (arg == "--journal_fsync") {
+      cfg.journal_fsync = true;
     } else if (arg.rfind("--seed=", 0) == 0) {
       SCCF_CHECK(ParseInt64(val("--seed="), &v) && v >= 0) << "bad --seed";
       cfg.seed = static_cast<uint64_t>(v);
@@ -147,8 +162,15 @@ int main(int argc, char** argv) {
   eopts.compaction_threshold = cfg.compaction;
   eopts.compaction_interval_ms = cfg.compaction_interval_ms;
   eopts.background_compaction = cfg.background;
+  eopts.recover_dir = cfg.data_dir;
+  eopts.journal_fsync = cfg.journal_fsync;
   online::Engine engine(fism, eopts);
-  SCCF_CHECK(engine.BootstrapFromSplit(split).ok());
+  // The corpus bootstrap is deterministic for a fixed seed, so recovery
+  // only has to restore what ingest changed since: Bootstrap rebuilds
+  // the corpus state, then (with --data_dir) loads the snapshot and
+  // replays the journal tail on top.
+  const Status booted = engine.BootstrapFromSplit(split);
+  SCCF_CHECK(booted.ok()) << booted.ToString();
 
   server::Server srv(engine, cfg.server);
   const Status started = srv.Start();

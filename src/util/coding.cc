@@ -1,0 +1,125 @@
+#include "util/coding.h"
+
+#include <array>
+
+namespace sccf {
+
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  return table;
+}
+
+}  // namespace
+
+Status ByteReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return Status::IoError("truncated input (u8)");
+  *v = static_cast<uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return Status::OK();
+}
+
+Status ByteReader::ReadFixed32(uint32_t* v) {
+  if (remaining() < 4) return Status::IoError("truncated input (u32)");
+  const unsigned char* p =
+      reinterpret_cast<const unsigned char*>(data_.data() + pos_);
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  pos_ += 4;
+  return Status::OK();
+}
+
+Status ByteReader::ReadFixed64(uint64_t* v) {
+  if (remaining() < 8) return Status::IoError("truncated input (u64)");
+  uint32_t lo = 0, hi = 0;
+  SCCF_RETURN_NOT_OK(ReadFixed32(&lo));
+  SCCF_RETURN_NOT_OK(ReadFixed32(&hi));
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return Status::OK();
+}
+
+Status ByteReader::ReadI32(int32_t* v) {
+  uint32_t u = 0;
+  SCCF_RETURN_NOT_OK(ReadFixed32(&u));
+  *v = static_cast<int32_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::ReadI64(int64_t* v) {
+  uint64_t u = 0;
+  SCCF_RETURN_NOT_OK(ReadFixed64(&u));
+  *v = static_cast<int64_t>(u);
+  return Status::OK();
+}
+
+Status ByteReader::ReadF32(float* v) {
+  uint32_t bits = 0;
+  SCCF_RETURN_NOT_OK(ReadFixed32(&bits));
+  std::memcpy(v, &bits, sizeof(*v));
+  return Status::OK();
+}
+
+Status ByteReader::ReadBytes(size_t n, std::string* out) {
+  if (remaining() < n) return Status::IoError("truncated input (bytes)");
+  out->assign(data_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadView(size_t n, std::string_view* out) {
+  if (remaining() < n) return Status::IoError("truncated input (view)");
+  *out = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status ByteReader::ReadLengthPrefixed(std::string_view* out) {
+  const size_t saved = pos_;
+  uint64_t len = 0;
+  SCCF_RETURN_NOT_OK(ReadFixed64(&len));
+  if (len > remaining()) {
+    pos_ = saved;
+    return Status::IoError("corrupt length prefix exceeds buffer");
+  }
+  *out = data_.substr(pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return Status::OK();
+}
+
+Status ByteReader::ReadFloats(size_t n, std::vector<float>* out) {
+  if (n > remaining() / 4) {
+    return Status::IoError("truncated input (float array)");
+  }
+  out->resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    SCCF_RETURN_NOT_OK(ReadF32(&(*out)[i]));
+  }
+  return Status::OK();
+}
+
+uint32_t Crc32Extend(uint32_t crc, std::string_view data) {
+  const auto& table = CrcTable();
+  uint32_t c = crc ^ 0xffffffffu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Extend(0, data); }
+
+}  // namespace sccf

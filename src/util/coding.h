@@ -1,0 +1,117 @@
+#ifndef SCCF_UTIL_CODING_H_
+#define SCCF_UTIL_CODING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace sccf {
+
+/// Little-endian binary encoding helpers shared by every on-disk format
+/// (nn checkpoints, index blobs, shard snapshots, the ingest journal).
+/// The writer appends to a std::string; the reader is a bounded cursor
+/// over immutable bytes that returns Status instead of reading past the
+/// end — corrupt or truncated input must surface as a clean error, never
+/// as an out-of-bounds read (the persistence fault-injection suite pins
+/// exactly that).
+
+// ------------------------------------------------------------- writing
+
+inline void PutU8(std::string* dst, uint8_t v) {
+  dst->push_back(static_cast<char>(v));
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  buf[0] = static_cast<char>(v & 0xff);
+  buf[1] = static_cast<char>((v >> 8) & 0xff);
+  buf[2] = static_cast<char>((v >> 16) & 0xff);
+  buf[3] = static_cast<char>((v >> 24) & 0xff);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xffffffffu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+inline void PutI32(std::string* dst, int32_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v));
+}
+
+inline void PutI64(std::string* dst, int64_t v) {
+  PutFixed64(dst, static_cast<uint64_t>(v));
+}
+
+inline void PutF32(std::string* dst, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed32(dst, bits);
+}
+
+/// Length-prefixed byte string (u64 length + raw bytes).
+inline void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed64(dst, s.size());
+  dst->append(s.data(), s.size());
+}
+
+/// Raw float array, no length prefix (the caller frames the count).
+inline void PutFloats(std::string* dst, const float* v, size_t n) {
+  for (size_t i = 0; i < n; ++i) PutF32(dst, v[i]);
+}
+
+// ------------------------------------------------------------- reading
+
+/// Bounded little-endian cursor. Every read validates the remaining
+/// length first; a short buffer yields IoError and leaves the cursor
+/// usable (position unchanged on failure).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  size_t position() const { return pos_; }
+  bool exhausted() const { return pos_ == data_.size(); }
+
+  Status ReadU8(uint8_t* v);
+  Status ReadFixed32(uint32_t* v);
+  Status ReadFixed64(uint64_t* v);
+  Status ReadI32(int32_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadF32(float* v);
+  /// Reads `n` raw bytes into `out` (resized).
+  Status ReadBytes(size_t n, std::string* out);
+  /// Returns a view of `n` raw bytes without copying; the view borrows
+  /// the reader's underlying buffer.
+  Status ReadView(size_t n, std::string_view* out);
+  /// u64 length + that many bytes. The length is validated against the
+  /// remaining buffer BEFORE any allocation, so an adversarial huge
+  /// length is a clean error, not an allocation bomb.
+  Status ReadLengthPrefixed(std::string_view* out);
+  /// Reads `n` floats into `out` (resized). Validates n * 4 bytes remain
+  /// before allocating.
+  Status ReadFloats(size_t n, std::vector<float>* out);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------- crc
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `data`. Software
+/// table implementation — snapshot/journal sections are small relative
+/// to the fsyncs around them, so portability beats hardware CRC here.
+uint32_t Crc32(std::string_view data);
+
+/// Incremental form: crc of (a ++ b) == Crc32Extend(Crc32(a), b).
+uint32_t Crc32Extend(uint32_t crc, std::string_view data);
+
+}  // namespace sccf
+
+#endif  // SCCF_UTIL_CODING_H_

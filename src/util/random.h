@@ -57,6 +57,27 @@ class Rng {
   /// k distinct values from [0, n) in increasing order. Pre: k <= n.
   std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
 
+  /// Complete generator state, exposed so stateful consumers (the HNSW
+  /// index) can serialize and restore their RNG bit-exactly: a recovered
+  /// index must draw the same level sequence a never-restarted one would.
+  struct State {
+    uint64_t s[4] = {0, 0, 0, 0};
+    bool have_cached_normal = false;
+    float cached_normal = 0.0f;
+  };
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+    st.have_cached_normal = have_cached_normal_;
+    st.cached_normal = cached_normal_;
+    return st;
+  }
+  void set_state(const State& st) {
+    for (int i = 0; i < 4; ++i) s_[i] = st.s[i];
+    have_cached_normal_ = st.have_cached_normal;
+    cached_normal_ = st.cached_normal;
+  }
+
  private:
   uint64_t s_[4];
   bool have_cached_normal_ = false;

@@ -1,0 +1,55 @@
+#ifndef SCCF_TESTS_TESTING_TEMP_DIR_H_
+#define SCCF_TESTS_TESTING_TEMP_DIR_H_
+
+#include <ftw.h>
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "util/logging.h"
+
+namespace sccf::testing {
+
+/// RAII scratch directory under /tmp, recursively deleted on scope
+/// exit. Crash-recovery tests point Options::recover_dir at one of
+/// these; the destructor runs in the *parent* test process, so files a
+/// SIGKILL'd child left behind (snapshots, torn journals) are cleaned
+/// up even though the child never got to.
+class TempDir {
+ public:
+  TempDir() {
+    char templ[] = "/tmp/sccf_test_XXXXXX";
+    char* made = ::mkdtemp(templ);
+    SCCF_CHECK(made != nullptr) << "mkdtemp failed";
+    path_ = made;
+  }
+
+  ~TempDir() {
+    // FTW_DEPTH visits children before their directory; FTW_PHYS does
+    // not follow symlinks out of the tree.
+    ::nftw(
+        path_.c_str(),
+        [](const char* p, const struct stat*, int, struct FTW*) {
+          return ::remove(p);
+        },
+        8, FTW_DEPTH | FTW_PHYS);
+  }
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// `<dir>/<name>` convenience join.
+  std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace sccf::testing
+
+#endif  // SCCF_TESTS_TESTING_TEMP_DIR_H_
