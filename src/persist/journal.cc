@@ -17,6 +17,38 @@ namespace {
 // ~67M events in one batch — far beyond anything the serving path
 // accepts — so a bigger length field can only be corruption.
 constexpr uint32_t kMaxRecordPayload = 1u << 30;
+
+// Minimum payload: u32 shard + u64 seq + u32 event count.
+constexpr uint32_t kMinRecordPayload = 16;
+
+// True iff `bytes` begins with a complete, CRC-valid, structurally
+// consistent record. This is the probe the torn-tail scan runs over the
+// region it is about to discard: a hit there means the damage cannot be
+// a torn append. The cheap structural checks run before the CRC so a
+// scan over garbage rarely hashes anything, and a zero-filled page
+// (len = 0, crc = 0 = Crc32("")) is rejected by the length floor rather
+// than mistaken for a record.
+bool StartsWithValidRecord(std::string_view bytes) {
+  uint32_t len = 0, crc = 0;
+  ByteReader header(bytes);
+  if (!header.ReadFixed32(&len).ok() || !header.ReadFixed32(&crc).ok()) {
+    return false;
+  }
+  if (len < kMinRecordPayload || len > kMaxRecordPayload ||
+      len > bytes.size() - 8) {
+    return false;
+  }
+  const std::string_view payload = bytes.substr(8, len);
+  uint32_t shard = 0, count = 0;
+  uint64_t seq = 0;
+  ByteReader reader(payload);
+  if (!reader.ReadFixed32(&shard).ok() || !reader.ReadFixed64(&seq).ok() ||
+      !reader.ReadFixed32(&count).ok()) {
+    return false;
+  }
+  if (static_cast<uint64_t>(count) * 16 != reader.remaining()) return false;
+  return Crc32(payload) == crc;
+}
 }  // namespace
 
 std::string EncodeJournalRecord(
@@ -47,9 +79,29 @@ Status DecodeJournal(std::string_view bytes, bool allow_torn_tail,
   if (valid_prefix != nullptr) *valid_prefix = 0;
 
   const auto tear = [&](const char* what) -> Status {
-    if (allow_torn_tail) return Status::OK();
-    return Status::IoError(std::string("journal corruption (") + what +
-                           ") at byte " + std::to_string(pos));
+    if (!allow_torn_tail) {
+      return Status::IoError(std::string("journal corruption (") + what +
+                             ") at byte " + std::to_string(pos));
+    }
+    // A torn append can only be the LAST thing in the file: records go
+    // down back to back with one write(2) each, and a writer that hits
+    // an error seals its generation. So if a complete valid record
+    // exists anywhere past the damage, this is mid-file corruption (a
+    // flipped bit, an overwritten region) and truncating here would
+    // silently drop acknowledged records — fail recovery instead. The
+    // structural pre-checks inside the probe make the scan ~O(tail)
+    // with almost no CRC work on garbage.
+    for (size_t probe = pos + 1;
+         probe + 8 + kMinRecordPayload <= bytes.size(); ++probe) {
+      if (StartsWithValidRecord(bytes.substr(probe))) {
+        return Status::IoError(
+            std::string("journal corruption (") + what + ") at byte " +
+            std::to_string(pos) + ": intact record at byte " +
+            std::to_string(probe) + " past the damage, so this is not a "
+            "torn tail");
+      }
+    }
+    return Status::OK();
   };
 
   while (pos < bytes.size()) {
@@ -58,7 +110,12 @@ Status DecodeJournal(std::string_view bytes, bool allow_torn_tail,
     if (!header.ReadFixed32(&len).ok() || !header.ReadFixed32(&crc).ok()) {
       return tear("torn header");
     }
-    if (len > kMaxRecordPayload || len > bytes.size() - pos - 8) {
+    // The length floor matters for zero-filled tails (delayed
+    // allocation + power loss): an all-zero header reads as len=0 crc=0
+    // and Crc32("") is 0, so without the floor a zero page would pass
+    // the CRC and get misclassified as structural (non-torn) corruption.
+    if (len < kMinRecordPayload || len > kMaxRecordPayload ||
+        len > bytes.size() - pos - 8) {
       return tear("torn payload");
     }
     const std::string_view payload = bytes.substr(pos + 8, len);
@@ -115,25 +172,50 @@ Status JournalWriter::Append(
     std::span<const core::RealTimeService::Event> events) {
   const std::string record = EncodeJournalRecord(shard, seq, events);
   std::lock_guard<std::mutex> lock(mu_);
+  if (failed_.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition(
+        "journal " + path_ +
+        " was sealed by an earlier failed append; rotate the generation "
+        "(SAVE) to resume journaling");
+  }
+  // Where this record will start: with O_APPEND every write lands at
+  // end-of-file, so end-of-file is the offset a failed append must be
+  // truncated back to. -1 (e.g. an unseekable test fd) skips that.
+  const off_t record_start = ::lseek(fd_, 0, SEEK_END);
   size_t written = 0;
   while (written < record.size()) {
     const ssize_t n =
         ::write(fd_, record.data() + written, record.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
-      // A partially written record is exactly what the reader's
-      // torn-tail scan exists for; report the failure and let recovery
-      // discard the fragment.
-      return Status::IoError("journal append failed: " + path_ + ": " +
-                             std::strerror(errno));
+      return Poison("journal append failed: " + path_ + ": " +
+                        std::strerror(errno),
+                    record_start);
     }
     written += static_cast<size_t>(n);
   }
   if (fsync_each_ && ::fsync(fd_) != 0) {
-    return Status::IoError("journal fsync failed: " + path_ + ": " +
-                           std::strerror(errno));
+    // The record may be fully on disk even though the caller will treat
+    // it as failed (and never bump the shard seq) — sealing below is
+    // what keeps that seq from being reused with different events.
+    return Poison("journal fsync failed: " + path_ + ": " +
+                      std::strerror(errno),
+                  record_start);
   }
   return Status::OK();
+}
+
+Status JournalWriter::Poison(std::string msg, int64_t record_start) {
+  failed_.store(true, std::memory_order_release);
+  // Best effort: cut the damaged record back out so the generation ends
+  // at the last acknowledged record. If this fails too (or the fsync
+  // failure left the page cache in an unknown state), the seal plus the
+  // manager's GC of sealed generations keeps the damage from ever being
+  // replayed ahead of acknowledged records.
+  if (record_start >= 0) {
+    (void)::ftruncate(fd_, static_cast<off_t>(record_start));
+  }
+  return Status::IoError(std::move(msg));
 }
 
 Status JournalWriter::Sync() {
@@ -161,7 +243,12 @@ bool ParseJournalFileName(const std::string& name, uint64_t* gen) {
   uint64_t value = 0;
   for (size_t i = kPrefixLen; i < name.size(); ++i) {
     if (name[i] < '0' || name[i] > '9') return false;
-    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+    const uint64_t digit = static_cast<uint64_t>(name[i] - '0');
+    // A numeric part that overflows u64 is not a generation we could
+    // ever have written; wrapping here would mis-order generations in
+    // replay and misclassify which file is the torn-tail-tolerant one.
+    if (value > (UINT64_MAX - digit) / 10) return false;
+    value = value * 10 + digit;
   }
   *gen = value;
   return true;

@@ -1,6 +1,7 @@
 #ifndef SCCF_PERSIST_JOURNAL_H_
 #define SCCF_PERSIST_JOURNAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -54,6 +55,17 @@ Status DecodeJournal(std::string_view bytes, bool allow_torn_tail,
 /// written with a single write(2) on an O_APPEND descriptor: once Append
 /// returns, the kernel owns the bytes, so a SIGKILL'd process loses
 /// nothing (machine-crash durability additionally needs `fsync_each`).
+///
+/// A failed append SEALS the writer: the failure may have left the
+/// record fully on disk (fsync failed after a complete write) or as a
+/// CRC-invalid fragment (short write), and in either case the service
+/// did not bump the shard's seq — so a later append would reuse the
+/// same seq (replay would then apply the never-acknowledged record and
+/// silently skip the acknowledged one) or land unreachable bytes after
+/// the fragment (replay's torn-tail scan would discard them). The
+/// writer first tries to ftruncate the damage back out, then refuses
+/// every subsequent Append with FailedPrecondition until the manager
+/// rotates to a fresh generation (a successful Save).
 class JournalWriter : public core::IngestSink {
  public:
   /// Opens (creating or appending to) the file at `path`.
@@ -72,13 +84,28 @@ class JournalWriter : public core::IngestSink {
 
   const std::string& path() const { return path_; }
 
+  /// True once an append has failed; every further Append is refused.
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+
+  /// Seals the writer as if an append had just failed (fault injection
+  /// for the rotation/GC tests; production code never calls this).
+  void PoisonForTesting() {
+    failed_.store(true, std::memory_order_release);
+  }
+
  private:
   JournalWriter(std::string path, int fd, bool fsync_each)
       : path_(std::move(path)), fd_(fd), fsync_each_(fsync_each) {}
 
+  /// Marks the generation damaged after a failed write/fsync, trying
+  /// first to cut the damaged record back out of the file. Returns an
+  /// IoError carrying `msg`. Called with mu_ held.
+  Status Poison(std::string msg, int64_t record_start);
+
   std::string path_;
   int fd_ = -1;
   bool fsync_each_ = false;
+  std::atomic<bool> failed_{false};
   std::mutex mu_;
 };
 

@@ -77,17 +77,26 @@ Status PersistenceManager::OpenGeneration(uint64_t gen) {
 
 Status PersistenceManager::Save(const core::RealTimeService& service) {
   uint64_t gen_at_start = 0;
+  bool sealed_at_start = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (writer_ == nullptr) {
       return Status::FailedPrecondition("Recover must run before Save");
     }
     gen_at_start = gen_;
+    sealed_at_start = writer_->failed();
     // Flush the current generation before exporting: every record the
     // snapshot will supersede must be on disk first, or a crash between
     // the snapshot rename and the next append could lose acknowledged
     // (journaled-but-unsynced) events while claiming a newer snapshot.
-    SCCF_RETURN_NOT_OK(writer_->Sync());
+    // A sealed generation is exempt: it is deleted below (everything it
+    // acknowledged is in the snapshot this Save writes), and its fd may
+    // be stuck in a post-error state where fsync can never succeed —
+    // requiring the sync would make rotation, the only remedy for a
+    // sealed journal, impossible.
+    if (!sealed_at_start) {
+      SCCF_RETURN_NOT_OK(writer_->Sync());
+    }
   }
 
   // Export + atomic replace. Shard locks are taken one at a time inside
@@ -97,11 +106,20 @@ Status PersistenceManager::Save(const core::RealTimeService& service) {
   // GC: generations older than the one current at export start are fully
   // covered by the snapshot (their records all predate every shard's
   // exported seq). The current generation may hold post-export records,
-  // so it survives until the next Save.
+  // so it survives until the next Save — unless it was already sealed
+  // when this Save began: a sealed generation accepted nothing after
+  // its failed append, so every record it acknowledged is in the
+  // snapshot, and its damaged tail may hold a fully-written record the
+  // service never acknowledged (and whose seq the first post-rotation
+  // append will reuse). Deleting it is the only way replay can never
+  // apply that record ahead of the acknowledged one. (A seal that lands
+  // *during* the export keeps its generation one more Save; the
+  // append-time ftruncate has normally removed the damage by then.)
+  const uint64_t gc_below = gen_at_start + (sealed_at_start ? 1 : 0);
   SCCF_ASSIGN_OR_RETURN(std::vector<std::string> names, ListDirFiles(dir_));
   for (const std::string& name : names) {
     uint64_t gen = 0;
-    if (ParseJournalFileName(name, &gen) && gen < gen_at_start) {
+    if (ParseJournalFileName(name, &gen) && gen < gc_below) {
       SCCF_RETURN_NOT_OK(RemoveFileIfExists(dir_ + "/" + name));
     }
   }

@@ -59,7 +59,11 @@ class PersistenceManager : public core::IngestSink {
   /// replaces <dir>/snapshot, deletes journal generations older than the
   /// current one, and rotates to a fresh generation. The current
   /// generation survives one more Save: appends racing this snapshot may
-  /// land in it with newer seqs than the exported shards.
+  /// land in it with newer seqs than the exported shards. Exception: a
+  /// generation sealed by a failed append (see JournalWriter) is deleted
+  /// by the Save that rotates it out — it cannot hold post-export
+  /// records, and its damaged tail must never be replayed. Save is thus
+  /// also the operator remedy that un-wedges ingest after a disk error.
   Status Save(const core::RealTimeService& service);
 
   /// core::IngestSink — forwards to the current journal generation.
@@ -70,6 +74,14 @@ class PersistenceManager : public core::IngestSink {
   std::string snapshot_path() const { return dir_ + "/snapshot"; }
   /// Current journal generation (0 before Recover).
   uint64_t journal_gen() const;
+
+  /// The active generation's writer (null before Recover). Fault
+  /// injection for the sealed-generation tests; production code never
+  /// touches it.
+  JournalWriter* journal_for_testing() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writer_.get();
+  }
 
  private:
   PersistenceManager(std::string dir, bool journal_fsync)

@@ -206,6 +206,12 @@ void ExecuteStats(online::Engine& engine, std::string* out) {
 }
 
 void ExecuteSave(online::Engine& engine, std::string* out) {
+  // Runs inline on the single reactor thread: every connection stalls
+  // for the full snapshot (serialize all shards + several fsyncs),
+  // which grows with corpus size. Deliberate for now — SAVE is an
+  // operator command issued off-peak — and called out in
+  // docs/OPERATIONS.md; a background BGSAVE needs reply plumbing back
+  // into the reactor and is tracked in ROADMAP.md.
   const Status status = engine.Save();
   if (!status.ok()) {
     AppendStatusError(out, status);

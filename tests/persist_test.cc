@@ -204,7 +204,7 @@ TEST(JournalTest, TruncationSweepTornVsStrict) {
   }
 }
 
-TEST(JournalTest, BitFlipSweepNeverCrashesAndKeepsValidPrefix) {
+TEST(JournalTest, BitFlipSweepTearsOnlyAtTheTail) {
   const auto recs = TwoRecords();
   const size_t len1 =
       EncodeJournalRecord(recs[0].shard, recs[0].seq,
@@ -216,17 +216,20 @@ TEST(JournalTest, BitFlipSweepNeverCrashesAndKeepsValidPrefix) {
     std::string mutated = bytes;
     mutated[i] = static_cast<char>(mutated[i] ^ 0xff);
 
-    // Torn mode: the flip ends history at that record, cleanly. A flip
-    // in record 2 must not damage record 1. (CRC-32 detects any burst
-    // error shorter than 32 bits, so a single flipped byte in a payload
-    // is always caught.)
+    // Torn mode: a flip in the LAST record is indistinguishable from a
+    // torn append and ends history cleanly after record 1. A flip in
+    // record 1 leaves an intact record 2 beyond the damage — that can
+    // never be a tear, so it must fail loudly instead of silently
+    // truncating acknowledged history. (CRC-32 detects any burst error
+    // shorter than 32 bits, so a single flipped byte is always caught.)
     std::vector<JournalRecord> out;
     size_t valid = 0;
     const Status torn = DecodeJournal(mutated, true, &out, &valid);
-    ASSERT_TRUE(torn.ok()) << "flip@" << i << ": " << torn.ToString();
-    ASSERT_LE(out.size(), 2u) << "flip@" << i;
-    if (i >= len1) {
-      ASSERT_GE(out.size(), 1u) << "flip@" << i;
+    if (i < len1) {
+      EXPECT_EQ(torn.code(), StatusCode::kIoError) << "flip@" << i;
+    } else {
+      ASSERT_TRUE(torn.ok()) << "flip@" << i << ": " << torn.ToString();
+      ASSERT_EQ(out.size(), 1u) << "flip@" << i;
       ExpectRecordsEqual({out[0]}, recs, 1);
     }
 
@@ -236,6 +239,46 @@ TEST(JournalTest, BitFlipSweepNeverCrashesAndKeepsValidPrefix) {
     EXPECT_FALSE(DecodeJournal(mutated, false, &out2, &valid2).ok())
         << "flip@" << i;
   }
+}
+
+TEST(JournalTest, ZeroFilledTailIsATornTailNotMidFileCorruption) {
+  // Some filesystems (delayed allocation + power loss) leave a
+  // zero-filled region where the torn append would be. An 8-byte zero
+  // header decodes as len=0 crc=0, and Crc32("")==0 — the forward scan
+  // must not mistake that for an intact record and fail recovery.
+  const auto recs = TwoRecords();
+  const std::string bytes = EncodeAll(recs) + std::string(4096, '\0');
+
+  std::vector<JournalRecord> out;
+  size_t valid = 0;
+  const Status torn = DecodeJournal(bytes, true, &out, &valid);
+  ASSERT_TRUE(torn.ok()) << torn.ToString();
+  ExpectRecordsEqual(out, recs, 2);
+  EXPECT_EQ(valid, bytes.size() - 4096);
+
+  std::vector<JournalRecord> out2;
+  size_t valid2 = 0;
+  EXPECT_FALSE(DecodeJournal(bytes, false, &out2, &valid2).ok());
+}
+
+TEST(JournalTest, IntactRecordBeyondDamageFailsEvenInTornMode) {
+  // Surgical version of the bit-flip sweep's property: damage in
+  // record 1 of 3 (torn mode) is reported as corruption because
+  // records 2 and 3 are intact past it — truncating there would drop
+  // two acknowledged records, not a torn append.
+  auto recs = TwoRecords();
+  recs.push_back(recs[0]);
+  recs[2].seq = 11;
+  const std::string r1 = EncodeJournalRecord(
+      recs[0].shard, recs[0].seq, std::span<const Event>(recs[0].events));
+  const std::string bytes = EncodeAll(recs);
+
+  std::string mid = bytes;
+  mid[r1.size() / 2] = static_cast<char>(mid[r1.size() / 2] ^ 0x01);
+  std::vector<JournalRecord> out;
+  size_t valid = 0;
+  EXPECT_EQ(DecodeJournal(mid, true, &out, &valid).code(),
+            StatusCode::kIoError);
 }
 
 TEST(JournalTest, StructuralErrorInsideValidCrcIsAlwaysIoError) {
@@ -272,6 +315,67 @@ TEST(JournalTest, FileNameRoundTrip) {
   EXPECT_FALSE(ParseJournalFileName("journal-12x", &gen));
   EXPECT_FALSE(ParseJournalFileName("snapshot", &gen));
   EXPECT_FALSE(ParseJournalFileName("journal-000007.tmp", &gen));
+
+  // Overflowing numeric parts must be rejected, not wrapped: a wrapped
+  // generation could mis-order replay and misclassify which file gets
+  // torn-tail tolerance.
+  EXPECT_TRUE(
+      ParseJournalFileName("journal-18446744073709551615", &gen));  // 2^64-1
+  EXPECT_EQ(gen, UINT64_MAX);
+  EXPECT_FALSE(
+      ParseJournalFileName("journal-18446744073709551616", &gen));  // 2^64
+  EXPECT_FALSE(ParseJournalFileName("journal-99999999999999999999", &gen));
+  EXPECT_FALSE(
+      ParseJournalFileName("journal-00018446744073709551616", &gen));
+}
+
+TEST(JournalTest, FailedAppendSealsTheWriter) {
+  // /dev/full accepts the open but fails every write with ENOSPC — the
+  // same shape as a disk-full episode in production.
+  if (::access("/dev/full", W_OK) != 0) {
+    GTEST_SKIP() << "/dev/full not available";
+  }
+  auto writer = JournalWriter::Open("/dev/full", /*fsync_each=*/false);
+  ASSERT_TRUE(writer.ok()) << writer.status().ToString();
+  const auto recs = TwoRecords();
+
+  const Status first = (*writer)->Append(
+      recs[0].shard, recs[0].seq, std::span<const Event>(recs[0].events));
+  EXPECT_EQ(first.code(), StatusCode::kIoError) << first.ToString();
+  EXPECT_TRUE((*writer)->failed());
+
+  // Sealed: the damaged generation must never accept another record,
+  // or replay could order it against the failed one.
+  const Status second = (*writer)->Append(
+      recs[1].shard, recs[1].seq, std::span<const Event>(recs[1].events));
+  EXPECT_EQ(second.code(), StatusCode::kFailedPrecondition)
+      << second.ToString();
+}
+
+TEST(JournalTest, PoisonForTestingMatchesRealSealBehavior) {
+  TempDir dir;
+  const std::string path = dir.file("journal-000001");
+  auto recs = TwoRecords();
+  auto writer = JournalWriter::Open(path, /*fsync_each=*/false);
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE((*writer)
+                  ->Append(recs[0].shard, recs[0].seq,
+                           std::span<const Event>(recs[0].events))
+                  .ok());
+  (*writer)->PoisonForTesting();
+  EXPECT_TRUE((*writer)->failed());
+  EXPECT_EQ((*writer)
+                ->Append(recs[1].shard, recs[1].seq,
+                         std::span<const Event>(recs[1].events))
+                .code(),
+            StatusCode::kFailedPrecondition);
+  // The record accepted before the seal is still intact on disk.
+  auto bytes = ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  std::vector<JournalRecord> out;
+  size_t valid = 0;
+  ASSERT_TRUE(DecodeJournal(*bytes, false, &out, &valid).ok());
+  ExpectRecordsEqual(out, recs, 1);
 }
 
 TEST(JournalTest, WriterAppendsReadableRecordsAcrossReopen) {

@@ -5,9 +5,12 @@
 // engine that never crashed (histories, vote lists, neighborhoods,
 // recommendation scores, across every index backend). The suite also
 // pins the failure-policy half of the contract: torn journal tails are
-// cleanly discarded, while corruption anywhere else (older generations,
-// the snapshot) fails Bootstrap with a clean Status — never a crash,
-// never silently wrong state.
+// cleanly discarded (and only genuine tails — an intact record beyond
+// the damage proves mid-file corruption), while corruption anywhere
+// else (older generations, mid-file in the newest one, the snapshot)
+// fails Bootstrap with a clean Status — never a crash, never silently
+// wrong state. A failed append seals its journal generation; the Save
+// that rotates it out deletes it, which is also pinned here.
 //
 // Forking rules (see tests/testing/subprocess.h): Engine::Bootstrap
 // uses the global thread pool, whose workers do not survive a fork, so
@@ -29,6 +32,7 @@
 #include "online/engine.h"
 #include "persist/fs.h"
 #include "persist/journal.h"
+#include "persist/recovery.h"
 #include "testing/subprocess.h"
 #include "testing/temp_dir.h"
 
@@ -390,6 +394,84 @@ TEST_F(RecoveryTest, TrailingGarbageAfterValidRecordsIsDiscarded) {
   Engine witness(*fism_, MakeOptions(IndexKind::kBruteForce, 1, ""));
   ASSERT_TRUE(witness.BootstrapFromSplit(*split_).ok());
   IngestRange(witness, events, 0, n, 1);  // every intact record replays
+  ExpectSameState(recovered.service(), witness.service(), ProbeUsers());
+}
+
+TEST_F(RecoveryTest, MidFileCorruptionInNewestGenerationFailsBootstrap) {
+  // The torn-tail allowance covers only the FINAL record of the newest
+  // generation: a flipped bit mid-file leaves intact, acknowledged
+  // records beyond the damage, and recovery must refuse to start
+  // rather than silently truncate them away.
+  TempDir dir;
+  const std::vector<Engine::Event> events = EventLog();
+  const size_t n = 30;
+  {
+    Engine engine(*fism_,
+                  MakeOptions(IndexKind::kBruteForce, 1, dir.path()));
+    ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+    IngestRange(engine, events, 0, n, 1);
+  }
+  const std::string journal = dir.file("journal-000001");
+  auto bytes = persist::ReadFileToString(journal);
+  ASSERT_TRUE(bytes.ok());
+  const size_t at = bytes->size() / 3;  // ~record 10 of 30
+  (*bytes)[at] = static_cast<char>((*bytes)[at] ^ 0xff);
+  ASSERT_TRUE(persist::WriteFileAtomic(journal, *bytes, false).ok());
+
+  Engine recovered(*fism_,
+                   MakeOptions(IndexKind::kBruteForce, 1, dir.path()));
+  const Status booted = recovered.BootstrapFromSplit(*split_);
+  EXPECT_EQ(booted.code(), StatusCode::kIoError) << booted.ToString();
+}
+
+TEST_F(RecoveryTest, SealedGenerationIsDeletedBySaveAndIngestResumes) {
+  // A failed append seals its journal generation (journal.h): ingest
+  // refuses until a Save rotates it — and that Save must DELETE the
+  // sealed file rather than retain it like a healthy current
+  // generation, because its damaged tail may hold a fully-written
+  // record the service never acknowledged, whose seq the first
+  // post-rotation record reuses; replayed, the stale record would win
+  // and the acknowledged one would be silently skipped.
+  TempDir dir;
+  const std::vector<Engine::Event> events = EventLog();
+  Engine engine(*fism_, MakeOptions(IndexKind::kBruteForce, 1, ""));
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+  auto manager = persist::PersistenceManager::Open(dir.path(), false);
+  ASSERT_TRUE(manager.ok()) << manager.status().ToString();
+  persist::PersistenceManager& mgr = **manager;
+  ASSERT_TRUE(mgr.Recover(&engine.service()).ok());
+  engine.service().set_ingest_sink(&mgr);
+
+  IngestRange(engine, events, 0, 20, 4);
+
+  // Disk error strikes: the generation seals; ingest is refused with
+  // FailedPrecondition and the batch leaves no trace in memory.
+  mgr.journal_for_testing()->PoisonForTesting();
+  const size_t users_before = engine.service().num_users();
+  Engine::IngestRequest refused_batch;
+  refused_batch.identify = false;
+  refused_batch.events = {events[20]};  // a cold-start user
+  const auto refused = engine.Ingest(refused_batch);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition)
+      << refused.status().ToString();
+  EXPECT_EQ(engine.service().num_users(), users_before);
+
+  // SAVE is the operator remedy: sealed gen 1 deleted (not retained),
+  // fresh gen 2 opened, ingest resumes.
+  ASSERT_TRUE(mgr.Save(engine.service()).ok());
+  EXPECT_FALSE(persist::PathExists(dir.file("journal-000001")));
+  EXPECT_TRUE(persist::PathExists(dir.file("journal-000002")));
+  IngestRange(engine, events, 20, 40, 4);
+  engine.service().set_ingest_sink(nullptr);
+
+  // Recovery reproduces exactly the acknowledged events.
+  Engine recovered(*fism_,
+                   MakeOptions(IndexKind::kBruteForce, 1, dir.path()));
+  ASSERT_TRUE(recovered.BootstrapFromSplit(*split_).ok());
+  Engine witness(*fism_, MakeOptions(IndexKind::kBruteForce, 1, ""));
+  ASSERT_TRUE(witness.BootstrapFromSplit(*split_).ok());
+  IngestRange(witness, events, 0, 40, 4);
   ExpectSameState(recovered.service(), witness.service(), ProbeUsers());
 }
 
