@@ -23,10 +23,27 @@
 //   --topn=N                RECOMMEND list length (default 10)
 //   --json=PATH             machine-readable report (BENCH_server.json)
 //   --quick                 1s points, connections=8 only (CI smoke)
+//   --save_during_load=M,.. extra sweep dimension: at the halfway point
+//                           of each measured window a dedicated control
+//                           connection issues a snapshot and its reply
+//                           latency is recorded. Modes: none (default),
+//                           save (synchronous SAVE — stalls the
+//                           reactor), bgsave (helper-thread BGSAVE).
+//                           Comparing p99 across modes is the
+//                           non-blocking-BGSAVE evidence; the server
+//                           needs --data_dir or the save fails the run.
+//   --expect_refusals       overload mode: -OVERLOADED replies and
+//                           server-closed connections are counted in
+//                           the `refused` column instead of failing the
+//                           run (drive more connections than the
+//                           server's --max_connections to exercise it)
 //
 // Error accounting: replies beginning '-' count as request errors and
 // a nonzero total fails the run (the corpus bounds make every id
-// valid, so any error is a server or protocol bug).
+// valid, so any error is a server or protocol bug). Under
+// --expect_refusals, -OVERLOADED is admission control doing its job:
+// counted as refused, never as an error, and never in the latency
+// distribution.
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -39,6 +56,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <random>
@@ -66,6 +84,8 @@ struct Config {
   int items = 1500;
   int topn = 10;
   std::string json_path;
+  std::vector<std::string> save_modes = {"none"};
+  bool expect_refusals = false;
 };
 
 struct SweepPoint {
@@ -76,6 +96,12 @@ struct SweepPoint {
   double p99_ms = 0.0;
   uint64_t requests = 0;
   uint64_t errors = 0;
+  /// -OVERLOADED replies + server-closed connections (--expect_refusals).
+  uint64_t refused = 0;
+  std::string save_mode = "none";
+  /// Wire latency of the mid-load SAVE/BGSAVE reply; -1 when none ran.
+  double save_ms = -1.0;
+  std::string save_reply;  // raw reply bytes ("+OK\r\n" on success)
 };
 
 double NowSeconds() {
@@ -106,13 +132,36 @@ struct Conn {
 
 class LoadClient {
  public:
-  LoadClient(const Config& cfg, int num_connections, double ingest_ratio)
+  LoadClient(const Config& cfg, int num_connections, double ingest_ratio,
+             std::string save_mode)
       : cfg_(cfg), num_connections_(num_connections),
-        ingest_ratio_(ingest_ratio) {}
+        ingest_ratio_(ingest_ratio), save_mode_(std::move(save_mode)) {}
 
   SweepPoint Run() {
     epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
     SCCF_CHECK(epoll_fd_ >= 0);
+
+    // Mid-load snapshot: a dedicated blocking control connection fires
+    // SAVE/BGSAVE at the halfway mark, off-thread so the pingpong fleet
+    // keeps hammering while the control reply is pending. Its reply
+    // latency is the headline: synchronous SAVE holds the reactor (and
+    // every in-flight request) for the full snapshot export; BGSAVE
+    // returns only the deferred +OK while the export runs beside the
+    // loop. Connected BEFORE the fleet so it holds a connection slot —
+    // an operator's admin session predates the flood, and under
+    // --expect_refusals the flood alone fills max_connections.
+    std::string save_reply;
+    double save_ms = -1.0;
+    std::thread saver;
+    if (save_mode_ != "none") {
+      const int control_fd = ControlConnect();
+      saver = std::thread([this, control_fd, &save_reply, &save_ms] {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(cfg_.duration_s / 2));
+        RunControlSave(control_fd, &save_reply, &save_ms);
+      });
+    }
+
     conns_.resize(static_cast<size_t>(num_connections_));
     for (int i = 0; i < num_connections_; ++i) {
       Connect(i);
@@ -150,6 +199,7 @@ class LoadClient {
       }
     }
     const double elapsed = NowSeconds() - start;
+    if (saver.joinable()) saver.join();
 
     for (Conn& conn : conns_) {
       if (conn.fd >= 0) ::close(conn.fd);
@@ -161,6 +211,10 @@ class LoadClient {
     point.ingest_ratio = ingest_ratio_;
     point.requests = static_cast<uint64_t>(latencies_.size());
     point.errors = errors_;
+    point.refused = refused_;
+    point.save_mode = save_mode_;
+    point.save_ms = save_ms;
+    point.save_reply = save_reply;
     point.qps = elapsed > 0.0
                     ? static_cast<double>(latencies_.size()) / elapsed
                     : 0.0;
@@ -246,6 +300,11 @@ class LoadClient {
   }
 
   void Readable(Conn& conn) {
+    // Drain the socket before parsing: a refused connection's last
+    // batch carries the -OVERLOADED reply AND the EOF, and the reply
+    // must be counted before the death is handled.
+    bool closed = false;
+    const char* why = "EOF";
     char buf[16384];
     while (true) {
       const ssize_t r = ::read(conn.fd, buf, sizeof(buf));
@@ -254,28 +313,47 @@ class LoadClient {
         continue;
       }
       if (r == 0) {
-        Dead(conn, "EOF");
-        return;
+        closed = true;
+        break;
       }
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
       if (errno == EINTR) continue;
-      Dead(conn, "read");
-      return;
+      closed = true;
+      why = "read";
+      break;
     }
     std::string reply;
-    while (true) {
+    while (conn.fd >= 0) {
       const server::ReplyParser::Result result = conn.replies.Next(&reply);
       if (result == server::ReplyParser::Result::kNeedMore) break;
       SCCF_CHECK(result == server::ReplyParser::Result::kReply)
           << "reply stream desynchronized";
-      latencies_.push_back((NowSeconds() - conn.sent_at) * 1000.0);
-      if (!reply.empty() && reply.front() == '-') ++errors_;
+      if (cfg_.expect_refusals && reply.rfind("-OVERLOADED", 0) == 0) {
+        // Admission control at work, not a failure: the connection-cap
+        // refusal closes the connection right after (the next read sees
+        // EOF), the byte-budget shed leaves it serving. Refusals stay
+        // out of the latency distribution — they measure the admission
+        // path, not request service.
+        ++refused_;
+      } else {
+        latencies_.push_back((NowSeconds() - conn.sent_at) * 1000.0);
+        if (!reply.empty() && reply.front() == '-') ++errors_;
+      }
       SendNext(conn);
-      if (conn.fd < 0) return;
     }
+    if (closed && conn.fd >= 0) Dead(conn, why);
   }
 
   void Dead(Conn& conn, const char* why) {
+    if (cfg_.expect_refusals) {
+      // Server-closed connections are the expected fate of refused
+      // ones; the point keeps measuring with the admitted survivors.
+      (void)why;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+      ::close(conn.fd);
+      conn.fd = -1;
+      return;
+    }
     // A dying connection mid-measurement invalidates the point.
     SCCF_CHECK(false) << "connection died (" << why
                       << "): " << std::strerror(errno);
@@ -283,13 +361,74 @@ class LoadClient {
     conn.fd = -1;
   }
 
+  /// Opens the blocking control connection (before the load fleet, so
+  /// it owns a connection slot even when the fleet overflows the cap).
+  int ControlConnect() {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    timeval tv{};
+    tv.tv_sec = 60;  // a snapshot should never take this long
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    ::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+
+  /// Blocking SAVE/BGSAVE over the pre-opened control connection;
+  /// records the raw reply and its wire latency. Empty reply =
+  /// connect/read failure.
+  void RunControlSave(int fd, std::string* reply_out, double* ms_out) {
+    if (fd < 0) return;
+    const std::string cmd =
+        save_mode_ == "save" ? "SAVE\r\n" : "BGSAVE\r\n";
+    const double t0 = NowSeconds();
+    size_t sent = 0;
+    while (sent < cmd.size()) {
+      const ssize_t w = ::write(fd, cmd.data() + sent, cmd.size() - sent);
+      if (w <= 0) {
+        ::close(fd);
+        return;
+      }
+      sent += static_cast<size_t>(w);
+    }
+    server::ReplyParser parser;
+    std::string reply;
+    while (true) {
+      const server::ReplyParser::Result result = parser.Next(&reply);
+      if (result == server::ReplyParser::Result::kReply) break;
+      if (result == server::ReplyParser::Result::kError) {
+        ::close(fd);
+        return;
+      }
+      char buf[4096];
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r <= 0) {
+        ::close(fd);
+        return;
+      }
+      parser.Feed(std::string_view(buf, static_cast<size_t>(r)));
+    }
+    *ms_out = (NowSeconds() - t0) * 1000.0;
+    *reply_out = reply;
+    ::close(fd);
+  }
+
   const Config& cfg_;
   const int num_connections_;
   const double ingest_ratio_;
+  const std::string save_mode_;
   int epoll_fd_ = -1;
   std::vector<Conn> conns_;
   std::vector<double> latencies_;
   uint64_t errors_ = 0;
+  uint64_t refused_ = 0;
 };
 
 void RaiseFdLimit(int needed) {
@@ -321,10 +460,14 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points) {
     std::fprintf(f,
                  "    { \"connections\": %d, \"ingest_ratio\": %.2f, "
                  "\"qps\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
-                 "\"requests\": %llu, \"errors\": %llu }%s\n",
+                 "\"requests\": %llu, \"errors\": %llu, "
+                 "\"refused\": %llu, \"save_mode\": \"%s\", "
+                 "\"save_ms\": %.3f }%s\n",
                  p.connections, p.ingest_ratio, p.qps, p.p50_ms, p.p99_ms,
                  static_cast<unsigned long long>(p.requests),
                  static_cast<unsigned long long>(p.errors),
+                 static_cast<unsigned long long>(p.refused),
+                 p.save_mode.c_str(), p.save_ms,
                  i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");
@@ -336,6 +479,9 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Refused connections close server-side mid-write; the write must
+  // surface as EPIPE, not kill the bench.
+  std::signal(SIGPIPE, SIG_IGN);
   Config cfg;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -376,6 +522,16 @@ int main(int argc, char** argv) {
       cfg.topn = static_cast<int>(v);
     } else if (arg.rfind("--json=", 0) == 0) {
       cfg.json_path = val("--json=");
+    } else if (arg.rfind("--save_during_load=", 0) == 0) {
+      cfg.save_modes.clear();
+      for (const std::string& part : Split(val("--save_during_load="), ',')) {
+        SCCF_CHECK(part == "none" || part == "save" || part == "bgsave")
+            << "bad --save_during_load mode: " << part;
+        cfg.save_modes.push_back(part);
+      }
+      SCCF_CHECK(!cfg.save_modes.empty()) << "bad --save_during_load";
+    } else if (arg == "--expect_refusals") {
+      cfg.expect_refusals = true;
     } else if (arg == "--quick") {
       cfg.connections = {8};
       cfg.ingest_ratios = {0.2};
@@ -398,28 +554,46 @@ int main(int argc, char** argv) {
                                  cfg.connections.end()));
 
   std::vector<SweepPoint> points;
-  TablePrinter table({"connections", "ingest", "qps", "p50 (ms)",
-                      "p99 (ms)", "requests", "errors"});
+  TablePrinter table({"connections", "ingest", "save", "qps", "p50 (ms)",
+                      "p99 (ms)", "requests", "errors", "refused",
+                      "save (ms)"});
   for (int conns : cfg.connections) {
     for (double ratio : cfg.ingest_ratios) {
-      LoadClient client(cfg, conns, ratio);
-      const SweepPoint p = client.Run();
-      points.push_back(p);
-      table.AddRow({std::to_string(p.connections), FormatFloat(p.ingest_ratio, 2),
-                    FormatFloat(p.qps, 1), FormatFloat(p.p50_ms, 4),
-                    FormatFloat(p.p99_ms, 4), std::to_string(p.requests),
-                    std::to_string(p.errors)});
+      for (const std::string& mode : cfg.save_modes) {
+        LoadClient client(cfg, conns, ratio, mode);
+        const SweepPoint p = client.Run();
+        points.push_back(p);
+        table.AddRow({std::to_string(p.connections),
+                      FormatFloat(p.ingest_ratio, 2), p.save_mode,
+                      FormatFloat(p.qps, 1), FormatFloat(p.p50_ms, 4),
+                      FormatFloat(p.p99_ms, 4), std::to_string(p.requests),
+                      std::to_string(p.errors), std::to_string(p.refused),
+                      p.save_mode == "none" ? std::string("-")
+                                            : FormatFloat(p.save_ms, 3)});
+      }
     }
   }
   table.Print();
 
   uint64_t total_errors = 0;
-  for (const SweepPoint& p : points) total_errors += p.errors;
+  bool save_failed = false;
+  for (const SweepPoint& p : points) {
+    total_errors += p.errors;
+    if (p.save_mode != "none" && p.save_reply != "+OK\r\n") {
+      save_failed = true;
+      std::fprintf(stderr,
+                   "mid-load %s did not succeed (reply: %s) — does the "
+                   "server have --data_dir?\n",
+                   p.save_mode.c_str(),
+                   p.save_reply.empty() ? "<none>" : p.save_reply.c_str());
+    }
+  }
   if (total_errors > 0) {
     std::fprintf(stderr, "%llu request errors — failing\n",
                  static_cast<unsigned long long>(total_errors));
     return 1;
   }
+  if (save_failed) return 1;
   if (!cfg.json_path.empty()) WriteJson(cfg, points);
   return 0;
 }

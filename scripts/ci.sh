@@ -327,6 +327,113 @@ else
   echo "crash-recovery smoke: SKIPPED (sccf_server not built)"
 fi
 
+# Overload smoke: the availability claim under pressure, end to end.
+# Cap the daemon at 48 connections, then drive 96 pingpong connections
+# (plus bench_server's control connection, which connects first and
+# holds a slot like an operator session) with 20% ingest and a BGSAVE
+# fired mid-flood. Required: bench exits 0 (--expect_refusals makes
+# connection-cap refusals non-fatal; request errors and a failed BGSAVE
+# still are), nonzero QPS from the admitted fleet, a nonzero refused
+# count (the cap actually sheds instead of silently queueing), and a
+# clean SIGTERM drain. Then restart on the same data dir: the snapshot
+# the BGSAVE wrote mid-flood must recover (a probe must answer with
+# data), i.e. saving under overload corrupts nothing.
+if [[ -x "${SRV}" && -x "${SRV_BENCH}" ]]; then
+  OL_DIR="$(mktemp -d)"
+  OL_OUT="$(mktemp)"
+  OL_JSON="$(mktemp)"
+  OL_PROBE="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+    "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
+    "${CR_POST:-}" "${OL_OUT:-}" "${OL_JSON:-}" "${OL_PROBE:-}"; \
+    rm -rf "${CR_DIR:-}" "${OL_DIR:-}"' EXIT
+  start_overload_server() {
+    "${SRV}" --port=0 --users=800 --items=600 --data_dir="${OL_DIR}" \
+      --max_connections=48 >"${OL_OUT}" 2>&1 &
+    OL_PID=$!
+    for _ in $(seq 1 150); do
+      grep -q 'listening on' "${OL_OUT}" && break
+      if ! kill -0 "${OL_PID}" 2>/dev/null; then break; fi
+      sleep 0.2
+    done
+    OL_PORT="$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "${OL_OUT}")"
+    if [[ -z "${OL_PORT}" ]]; then
+      echo "overload smoke: FAILED — server never started listening:" >&2
+      cat "${OL_OUT}" >&2
+      exit 1
+    fi
+  }
+  start_overload_server
+  ol_users="$(sed -n 's/^corpus users=\([0-9]*\).*/\1/p' "${OL_OUT}")"
+  ol_items="$(sed -n 's/^corpus users=[0-9]* items=\([0-9]*\)$/\1/p' \
+    "${OL_OUT}")"
+  if ! "${SRV_BENCH}" --port="${OL_PORT}" --users="${ol_users}" \
+       --items="${ol_items}" --duration=2 --connections=96 \
+       --ingest_ratios=0.2 --save_during_load=bgsave --expect_refusals \
+       --json="${OL_JSON}" >/dev/null; then
+    echo "overload smoke: FAILED — bench_server reported request" \
+         "errors or a failed BGSAVE" >&2
+    kill -TERM "${OL_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  ol_qps="$(sed -n 's/.*"connections": 96, .*"qps": \([0-9.]*\).*/\1/p' \
+    "${OL_JSON}")"
+  ol_refused="$(sed -n 's/.*"refused": \([0-9]*\).*/\1/p' "${OL_JSON}")"
+  if [[ -z "${ol_qps}" ]] ||
+     ! awk -v q="${ol_qps}" 'BEGIN{exit !(q > 0)}'; then
+    echo "overload smoke: FAILED — admitted fleet made no progress" \
+         "(qps='${ol_qps}')" >&2
+    kill -TERM "${OL_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  if [[ -z "${ol_refused}" || "${ol_refused}" -eq 0 ]]; then
+    echo "overload smoke: FAILED — 96 connections against a cap of 48" \
+         "produced no refusals (refused='${ol_refused}')" >&2
+    kill -TERM "${OL_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "${OL_PID}"
+  ol_exit=0
+  wait "${OL_PID}" || ol_exit=$?
+  if [[ "${ol_exit}" -ne 0 ]]; then
+    echo "overload smoke: FAILED — SIGTERM drain under overload exited" \
+         "${ol_exit}:" >&2
+    cat "${OL_OUT}" >&2
+    exit 1
+  fi
+  start_overload_server
+  {
+    printf 'RECOMMEND 1 10\r\n'
+    printf 'QUIT\r\n'
+  } | {
+    exec 9<>"/dev/tcp/127.0.0.1/${OL_PORT}"
+    cat >&9
+    cat <&9
+    exec 9<&- 9>&-
+  } >"${OL_PROBE}"
+  if ! grep -q '^:' "${OL_PROBE}"; then
+    echo "overload smoke: FAILED — restart on the mid-flood BGSAVE" \
+         "snapshot returned no data:" >&2
+    cat "${OL_PROBE}" >&2
+    kill -TERM "${OL_PID}" 2>/dev/null || true
+    exit 1
+  fi
+  kill -TERM "${OL_PID}"
+  ol_exit=0
+  wait "${OL_PID}" || ol_exit=$?
+  if [[ "${ol_exit}" -ne 0 ]]; then
+    echo "overload smoke: FAILED — restarted server's SIGTERM drain" \
+         "exited ${ol_exit}:" >&2
+    cat "${OL_OUT}" >&2
+    exit 1
+  fi
+  echo "overload smoke: OK (${ol_qps} qps past a 48-conn cap," \
+       "${ol_refused} refused, mid-flood BGSAVE recovered)"
+else
+  echo "overload smoke: SKIPPED (sccf_server not built on this platform)"
+fi
+
 # Recovery suites under AddressSanitizer: the fault-injection tests feed
 # corrupted bytes through every decoder, which is exactly where an
 # out-of-bounds read would hide. `-L crash` is the fork/SIGKILL suite;
@@ -336,8 +443,15 @@ fi
 if echo 'int main(){}' | "${CXX:-c++}" -fsanitize=address -x c++ - \
      -o /dev/null 2>/dev/null; then
   cmake --preset asan >/dev/null
-  cmake --build --preset asan -j "${JOBS}" \
-    --target persist_test recovery_test
+  ASAN_TARGETS=(persist_test recovery_test)
+  # The syscall fault-injection server suite (EINTR storms, short
+  # writes, EMFILE, ENOSPC through the reactor) is crash-labeled so the
+  # ctest below picks it up, but it is Linux-only — build it where the
+  # server itself built.
+  if [[ -x "${SRV}" ]]; then
+    ASAN_TARGETS+=(server_fault_test)
+  fi
+  cmake --build --preset asan -j "${JOBS}" --target "${ASAN_TARGETS[@]}"
   ./build/asan/tests/persist_test >/dev/null
   ctest --preset asan -L crash
   echo "asan recovery gate: OK"

@@ -12,6 +12,8 @@ namespace sccf::online {
 Engine::Engine(const models::InductiveUiModel& model, Options options)
     : service_(model, options) {}
 
+Engine::~Engine() { WaitForSave(); }
+
 Status Engine::Bootstrap(const std::vector<UserState>& users) {
   SCCF_RETURN_NOT_OK(service_.Bootstrap(users));
   if (!service_.options().recover_dir.empty()) {
@@ -44,18 +46,70 @@ Status Engine::RecoverFromDir(const std::string& dir, bool journal_fsync) {
   return Status::OK();
 }
 
+Status Engine::DoSave() {
+  Stopwatch save_timer;
+  const Status st = persistence_->Save(service_);
+  // Duration is recorded win or lose — a failed save that took 40s is
+  // exactly the kind of thing STATS should surface.
+  last_save_duration_ms_.store(static_cast<int64_t>(save_timer.ElapsedMillis()),
+                               std::memory_order_release);
+  if (st.ok()) {
+    last_save_unix_s_.store(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count(),
+        std::memory_order_release);
+  }
+  return st;
+}
+
 Status Engine::Save() {
   if (persistence_ == nullptr) {
     return Status::FailedPrecondition(
         "persistence not configured (Options::recover_dir is empty)");
   }
-  SCCF_RETURN_NOT_OK(persistence_->Save(service_));
-  last_save_unix_s_.store(
-      std::chrono::duration_cast<std::chrono::seconds>(
-          std::chrono::system_clock::now().time_since_epoch())
-          .count(),
-      std::memory_order_release);
+  bool expected = false;
+  if (!save_in_progress_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+    return Status::AlreadyExists("save already in progress");
+  }
+  // A finished BgSave thread may still be un-joined (its last act was
+  // releasing the flag we just took); reap it so the slot is clean.
+  {
+    std::lock_guard<std::mutex> lock(save_mu_);
+    if (bgsave_thread_.joinable()) bgsave_thread_.join();
+  }
+  const Status st = DoSave();
+  save_in_progress_.store(false, std::memory_order_release);
+  return st;
+}
+
+Status Engine::BgSave(std::function<void(const Status&)> on_done) {
+  if (persistence_ == nullptr) {
+    return Status::FailedPrecondition(
+        "persistence not configured (Options::recover_dir is empty)");
+  }
+  bool expected = false;
+  if (!save_in_progress_.compare_exchange_strong(expected, true,
+                                                 std::memory_order_acq_rel)) {
+    return Status::AlreadyExists("save already in progress");
+  }
+  std::lock_guard<std::mutex> lock(save_mu_);
+  if (bgsave_thread_.joinable()) bgsave_thread_.join();
+  bgsave_thread_ = std::thread([this, cb = std::move(on_done)] {
+    const Status st = DoSave();
+    // Release the flag before the callback: a callback that re-enters
+    // the save paths (e.g. an event loop that immediately schedules the
+    // next save) must observe the slot as free.
+    save_in_progress_.store(false, std::memory_order_release);
+    if (cb) cb(st);
+  });
   return Status::OK();
+}
+
+void Engine::WaitForSave() {
+  std::lock_guard<std::mutex> lock(save_mu_);
+  if (bgsave_thread_.joinable()) bgsave_thread_.join();
 }
 
 StatusOr<Engine::IngestResponse> Engine::Ingest(const IngestRequest& request) {

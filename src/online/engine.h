@@ -4,9 +4,12 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/candidates.h"
@@ -156,6 +159,10 @@ class Engine {
   /// `model` must be fitted and outlive the engine.
   Engine(const models::InductiveUiModel& model, Options options);
 
+  /// Joins any in-flight background save (WaitForSave) before members
+  /// are torn down.
+  ~Engine();
+
   /// Loads initial user states / the split's training prefixes and
   /// builds the shard indexes. Exactly once, before any serving call.
   ///
@@ -193,14 +200,51 @@ class Engine {
   /// Writes a full snapshot to Options::recover_dir and rotates the
   /// journal (see persist::PersistenceManager::Save) — the SAVE server
   /// command. FailedPrecondition when no recover_dir was configured.
-  /// Safe while serving traffic is in flight; one caller at a time.
+  /// Safe while serving traffic is in flight. Saves are single-flight:
+  /// if another Save/BgSave is currently running, returns AlreadyExists
+  /// ("save already in progress") without touching any state.
   Status Save();
 
-  /// Unix seconds of the last successful Save() (0 if none yet this
-  /// process) — the LASTSAVE server command. Recovery does not count: it
-  /// reads snapshots, it doesn't write one.
+  /// Non-blocking counterpart to Save() — the BGSAVE server command.
+  /// Runs the identical snapshot + journal rotation on a dedicated
+  /// helper thread (the export takes one shard lock at a time, so
+  /// serving traffic keeps flowing) and invokes `on_done` with the
+  /// result from that thread once finished. Returns immediately:
+  /// OK means the save was started, AlreadyExists means another
+  /// Save/BgSave is in flight (single-flight guard), FailedPrecondition
+  /// means persistence is not configured.
+  ///
+  /// `on_done` runs on the helper thread after the in-progress flag has
+  /// been released; it must be thread-safe and must not call BgSave /
+  /// Save / WaitForSave itself (it would deadlock joining its own
+  /// thread). Typical use hands the status back to an event loop (e.g.
+  /// enqueue + eventfd wakeup).
+  Status BgSave(std::function<void(const Status&)> on_done);
+
+  /// Blocks until any in-flight background save has finished and its
+  /// thread is joined. Safe to call with none running. Call before
+  /// closing resources the BgSave completion callback touches.
+  void WaitForSave();
+
+  /// True while a Save/BgSave is running — the STATS save_in_progress
+  /// field.
+  bool save_in_progress() const {
+    return save_in_progress_.load(std::memory_order_acquire);
+  }
+
+  /// Unix seconds of the last successful Save/BgSave (-1 if none yet
+  /// this process — distinguishable from a save that landed at epoch 0)
+  /// — the LASTSAVE server command. Recovery does not count: it reads
+  /// snapshots, it doesn't write one.
   int64_t last_save_unix_s() const {
     return last_save_unix_s_.load(std::memory_order_acquire);
+  }
+
+  /// Wall-clock duration of the most recently *completed* Save/BgSave,
+  /// successful or not (-1 if none yet) — the STATS
+  /// last_save_duration_ms field.
+  int64_t last_save_duration_ms() const {
+    return last_save_duration_ms_.load(std::memory_order_acquire);
   }
 
   /// True when Options::recover_dir was configured (SAVE will work).
@@ -230,11 +274,16 @@ class Engine {
     size_t num_shards = 0;
     size_t pending_upserts = 0;
     bool background_compaction = false;
+    bool save_in_progress = false;
+    int64_t last_save_duration_ms = -1;  ///< -1 until a save completes
   };
   StatsSnapshot Stats() const {
-    return StatsSnapshot{service_.num_users(), service_.num_shards(),
+    return StatsSnapshot{service_.num_users(),
+                         service_.num_shards(),
                          service_.pending_upserts(),
-                         service_.background_compaction_running()};
+                         service_.background_compaction_running(),
+                         save_in_progress(),
+                         last_save_duration_ms()};
   }
 
   /// The wrapped service, for diagnostics (shard topology, vote lists)
@@ -247,9 +296,22 @@ class Engine {
   /// after the in-memory build when Options::recover_dir is set.
   Status RecoverFromDir(const std::string& dir, bool journal_fsync);
 
+  /// The shared save body (Save and the BgSave helper thread both run
+  /// it): snapshot + rotate, then record duration and — on success —
+  /// the save timestamp. Caller owns the single-flight guard.
+  Status DoSave();
+
   core::RealTimeService service_;
   std::unique_ptr<persist::PersistenceManager> persistence_;
-  std::atomic<int64_t> last_save_unix_s_{0};
+  std::atomic<int64_t> last_save_unix_s_{-1};
+  std::atomic<int64_t> last_save_duration_ms_{-1};
+  /// Single-flight guard over Save/BgSave; acquired by CAS, released by
+  /// whichever thread ran DoSave (before the BgSave callback fires, so
+  /// the callback observes save_in_progress() == false).
+  std::atomic<bool> save_in_progress_{false};
+  /// Guards bgsave_thread_ (spawn/join); never held while saving.
+  std::mutex save_mu_;
+  std::thread bgsave_thread_;
 };
 
 }  // namespace sccf::online

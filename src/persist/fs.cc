@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "util/syscall_shim.h"
+
 namespace sccf::persist {
 
 namespace {
@@ -38,7 +40,7 @@ StatusOr<std::string> ReadFileToString(const std::string& path) {
   std::string out;
   char buf[1 << 16];
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    const ssize_t n = sys::Read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status st = Status::IoError(Errno("read", path));
@@ -61,7 +63,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents,
   size_t written = 0;
   while (written < contents.size()) {
     const ssize_t n =
-        ::write(fd, contents.data() + written, contents.size() - written);
+        sys::Write(fd, contents.data() + written, contents.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       const Status st = Status::IoError(Errno("write", tmp));
@@ -71,7 +73,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents,
     }
     written += static_cast<size_t>(n);
   }
-  if (sync && ::fsync(fd) != 0) {
+  if (sync && sys::Fsync(fd) != 0) {
     const Status st = Status::IoError(Errno("fsync", tmp));
     ::close(fd);
     ::unlink(tmp.c_str());
@@ -81,7 +83,7 @@ Status WriteFileAtomic(const std::string& path, std::string_view contents,
     ::unlink(tmp.c_str());
     return Status::IoError(Errno("close", tmp));
   }
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (sys::Rename(tmp.c_str(), path.c_str()) != 0) {
     const Status st = Status::IoError(Errno("rename", tmp));
     ::unlink(tmp.c_str());
     return st;
@@ -121,7 +123,7 @@ StatusOr<std::vector<std::string>> ListDirFiles(const std::string& dir) {
 Status SyncDir(const std::string& dir) {
   const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return Status::IoError(Errno("open dir", dir));
-  const int rc = ::fsync(fd);
+  const int rc = sys::Fsync(fd);
   ::close(fd);
   if (rc != 0) return Status::IoError(Errno("fsync dir", dir));
   return Status::OK();

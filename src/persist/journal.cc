@@ -8,6 +8,7 @@
 #include <cstring>
 
 #include "util/coding.h"
+#include "util/syscall_shim.h"
 
 namespace sccf::persist {
 
@@ -185,7 +186,7 @@ Status JournalWriter::Append(
   size_t written = 0;
   while (written < record.size()) {
     const ssize_t n =
-        ::write(fd_, record.data() + written, record.size() - written);
+        sys::Write(fd_, record.data() + written, record.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Poison("journal append failed: " + path_ + ": " +
@@ -194,7 +195,7 @@ Status JournalWriter::Append(
     }
     written += static_cast<size_t>(n);
   }
-  if (fsync_each_ && ::fsync(fd_) != 0) {
+  if (fsync_each_ && sys::Fsync(fd_) != 0) {
     // The record may be fully on disk even though the caller will treat
     // it as failed (and never bump the shard seq) — sealing below is
     // what keeps that seq from being reused with different events.
@@ -220,7 +221,7 @@ Status JournalWriter::Poison(std::string msg, int64_t record_start) {
 
 Status JournalWriter::Sync() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (::fsync(fd_) != 0) {
+  if (sys::Fsync(fd_) != 0) {
     return Status::IoError("journal fsync failed: " + path_ + ": " +
                            std::strerror(errno));
   }

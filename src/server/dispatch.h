@@ -36,16 +36,32 @@ namespace sccf::server {
 ///   HISTORY user
 ///     -> *k of  :item   (chronological)
 ///   STATS
-///     -> *8 alternating  $name  :value   for num_users, num_shards,
-///        pending_upserts, background_compaction (0/1)
+///     -> *12 alternating  $name  :value   for num_users, num_shards,
+///        pending_upserts, background_compaction (0/1),
+///        save_in_progress (0/1), last_save_duration_ms (-1 until a
+///        save completes)
 ///   SAVE
 ///     Writes a full snapshot to the configured data directory and
 ///     rotates the ingest journal (Engine::Save). Synchronous: +OK means
 ///     the snapshot is durably on disk.
-///     -> +OK, or -FAILEDPRECONDITION when the server runs without
+///     -> +OK; -BUSY while another SAVE/BGSAVE is running;
+///        -FAILEDPRECONDITION when the server runs without --data_dir
+///   BGSAVE
+///     Same snapshot + rotation, but off the serving thread: the epoll
+///     reactor intercepts this name before dispatch, runs
+///     Engine::BgSave on a helper thread, and defers the reply until
+///     the completion wakeup — other connections keep being served the
+///     whole time. This dispatch entry is the synchronous fallback for
+///     transports without deferred-reply plumbing (the loopback test
+///     harness); both paths emit the identical bytes (AppendSaveReply).
+///     -> +OK on durable completion; -BUSY while another SAVE/BGSAVE is
+///        running; -IOERROR if the save failed (previous snapshot
+///        generation stays intact); -FAILEDPRECONDITION without
 ///        --data_dir
 ///   LASTSAVE
-///     -> :unix_seconds of the last successful SAVE (0 if none yet)
+///     -> :unix_seconds of the last successful SAVE/BGSAVE, or :-1 if
+///        none yet this process (distinguishes "never saved" from a
+///        save at epoch 0)
 ///   QUIT
 ///     -> +OK, and Execute returns true (close after the reply flushes)
 ///
@@ -58,6 +74,13 @@ namespace sccf::server {
 /// been flushed (QUIT). Never throws, never crashes on malformed args.
 bool Execute(online::Engine& engine, const Command& command,
              std::string* out);
+
+/// Serializes a SAVE/BGSAVE outcome: +OK on success, -BUSY for the
+/// single-flight guard (Engine reports it as AlreadyExists), otherwise
+/// the usual -<CODE> status error. Shared between ExecuteSave/-BgSave
+/// and the reactor's deferred BGSAVE completion path so every save
+/// reply is byte-identical regardless of which thread produced it.
+void AppendSaveReply(std::string* out, const Status& status);
 
 }  // namespace sccf::server
 

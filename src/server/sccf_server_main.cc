@@ -11,6 +11,12 @@
 //   --max_connections=N    concurrent-connection cap (default 1024)
 //   --read_buffer=BYTES    per-connection request-frame cap (default 1 MiB)
 //   --drain_timeout=MS     graceful-drain bound (default 5000)
+//   --idle_timeout=MS      reap connections idle this long with -TIMEOUT
+//                          (default 0 = off)
+//   --write_stall_timeout=MS  force-close connections whose reply backlog
+//                          makes no progress this long (default 0 = off)
+//   --max_inflight=BYTES   global unflushed-reply budget; over it, new
+//                          commands get -OVERLOADED (default 0 = off)
 //   --users=N --items=N    synthetic corpus size (pre-filter; the actual
 //                          post-filter sizes are printed at startup)
 //   --dim=N                embedding dim (default 32)
@@ -33,6 +39,8 @@
 //   listening on <host>:<port>
 
 #include <csignal>
+
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -49,12 +57,22 @@ namespace {
 
 using namespace sccf;
 
-server::Server* g_server = nullptr;
+// The handlers are installed *before* the (multi-second, corpus-sized)
+// bootstrap so a Ctrl-C during startup is never the default
+// terminate-without-drain action: until the server exists the handler
+// just records the signal, and main checks the flag right after
+// Start() — a signal in the window drains immediately instead of being
+// lost. Both are atomics because the handler can run on any thread at
+// any instant.
+std::atomic<server::Server*> g_server{nullptr};
+std::atomic<bool> g_signal_pending{false};
 
 // Shutdown() is async-signal-safe by contract (one write(2) to an
 // eventfd), so this handler is too.
 void HandleSignal(int /*signum*/) {
-  if (g_server != nullptr) g_server->Shutdown();
+  g_signal_pending.store(true, std::memory_order_release);
+  server::Server* srv = g_server.load(std::memory_order_acquire);
+  if (srv != nullptr) srv->Shutdown();
 }
 
 struct Config {
@@ -99,6 +117,18 @@ int main(int argc, char** argv) {
       SCCF_CHECK(ParseInt64(val("--drain_timeout="), &v))
           << "bad --drain_timeout";
       cfg.server.drain_timeout_ms = v;
+    } else if (arg.rfind("--idle_timeout=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--idle_timeout="), &v) && v >= 0)
+          << "bad --idle_timeout";
+      cfg.server.idle_timeout_ms = v;
+    } else if (arg.rfind("--write_stall_timeout=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--write_stall_timeout="), &v) && v >= 0)
+          << "bad --write_stall_timeout";
+      cfg.server.write_stall_timeout_ms = v;
+    } else if (arg.rfind("--max_inflight=", 0) == 0) {
+      SCCF_CHECK(ParseInt64(val("--max_inflight="), &v) && v >= 0)
+          << "bad --max_inflight";
+      cfg.server.max_inflight_bytes = static_cast<size_t>(v);
     } else if (arg.rfind("--users=", 0) == 0) {
       SCCF_CHECK(ParseInt64(val("--users="), &v) && v > 0) << "bad --users";
       cfg.users = static_cast<size_t>(v);
@@ -135,6 +165,15 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Install the handlers before the expensive bootstrap: SIGINT and
+  // SIGTERM both mean "drain gracefully" from the very first instant,
+  // including the startup window where there is no server yet.
+  struct sigaction sa {};
+  sa.sa_handler = HandleSignal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // writes to dead peers report EPIPE instead
 
   data::SyntheticConfig syn;
   syn.name = "server-corpus";
@@ -179,12 +218,10 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  g_server = &srv;
-  struct sigaction sa {};
-  sa.sa_handler = HandleSignal;
-  sigaction(SIGTERM, &sa, nullptr);
-  sigaction(SIGINT, &sa, nullptr);
-  signal(SIGPIPE, SIG_IGN);  // writes to dead peers report EPIPE instead
+  g_server.store(&srv, std::memory_order_release);
+  // A signal that landed between handler installation and here saw a
+  // null g_server and could only set the flag — honor it now.
+  if (g_signal_pending.load(std::memory_order_acquire)) srv.Shutdown();
 
   // Generation may compact ids; clients need the live corpus bounds.
   std::printf("corpus users=%zu items=%zu\n", split.num_users(),
@@ -197,10 +234,12 @@ int main(int argc, char** argv) {
   const server::Server::Stats stats = srv.stats();
   std::printf(
       "drained: accepted=%llu refused=%llu commands=%llu "
-      "protocol_errors=%llu\n",
+      "protocol_errors=%llu shed=%llu timed_out=%llu\n",
       static_cast<unsigned long long>(stats.connections_accepted),
       static_cast<unsigned long long>(stats.connections_refused),
       static_cast<unsigned long long>(stats.commands_executed),
-      static_cast<unsigned long long>(stats.protocol_errors));
+      static_cast<unsigned long long>(stats.protocol_errors),
+      static_cast<unsigned long long>(stats.commands_shed),
+      static_cast<unsigned long long>(stats.connections_timed_out));
   return 0;
 }

@@ -4,12 +4,16 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "online/engine.h"
 #include "server/protocol.h"
+#include "server/timer_wheel.h"
 #include "util/status.h"
 
 namespace sccf::server {
@@ -21,8 +25,9 @@ struct ServerOptions {
   /// the loopback tests to avoid collisions).
   uint16_t port = 7700;
   /// Concurrent-connection cap. Excess accepts are answered with a
-  /// best-effort `-ERR max connections reached` and closed immediately,
-  /// so a flood degrades loudly instead of starving the event loop.
+  /// best-effort `-OVERLOADED max connections reached` and closed
+  /// immediately, so a flood degrades loudly instead of starving the
+  /// event loop.
   int max_connections = 1024;
   /// Per-connection cap on one request frame's encoded size (fed to the
   /// protocol parser). A client streaming an unbounded frame is cut off
@@ -37,6 +42,23 @@ struct ServerOptions {
   /// this long after Shutdown() are force-closed so SIGTERM always
   /// terminates. <= 0 waits forever.
   int64_t drain_timeout_ms = 5000;
+  /// Idle reaping: a connection that sends no bytes for this long is
+  /// answered `-TIMEOUT idle connection` and closed, freeing its slot
+  /// for the max_connections budget. 0 disables (the default — loopback
+  /// tests and trusted meshes don't want surprise reaps).
+  int64_t idle_timeout_ms = 0;
+  /// Write-stall reaping: a connection whose reply backlog makes no
+  /// forward progress for this long (peer stopped reading) is
+  /// force-closed. Complements write_buffer_limit, which only catches
+  /// consumers slow enough to accumulate bytes — this catches ones that
+  /// are simply wedged. 0 disables.
+  int64_t write_stall_timeout_ms = 0;
+  /// Global admission budget: when the sum of unflushed reply bytes
+  /// across all connections exceeds this, newly parsed commands are
+  /// refused with `-OVERLOADED` (QUIT still honored) until the backlog
+  /// drains. Sheds cheapest-first: commands are refused before any
+  /// connection is dropped. 0 disables (unlimited).
+  size_t max_inflight_bytes = 0;
 };
 
 /// Single-threaded epoll reactor serving the SCCF wire protocol
@@ -67,6 +89,24 @@ struct ServerOptions {
 /// Error isolation: a malformed frame answers `-ERR ...`; a fatally
 /// desynchronized or oversized frame additionally closes that one
 /// connection. Other connections never observe it.
+///
+/// Overload resilience (see docs/OPERATIONS.md "Overload &
+/// availability"):
+///   - BGSAVE runs on an Engine helper thread; the issuing connection's
+///     reply is deferred (its later pipelined requests stay buffered,
+///     preserving order) and delivered via an eventfd completion wakeup
+///     while every other connection keeps being served.
+///   - A lazy-cancellation timer wheel drives idle and write-stall
+///     deadlines plus the accept re-arm backoff; the epoll timeout is
+///     derived from the earliest live deadline, so a server with no
+///     timers armed blocks indefinitely (zero idle wakeups — pinned by
+///     the fault-injection suite via Stats::loop_wakeups).
+///   - EMFILE/ENFILE on accept pauses the listen fd's EPOLLIN and
+///     re-arms it ~100ms later instead of busy-spinning the
+///     level-triggered loop.
+///   - Connection read/write/accept go through sccf::sys (the syscall
+///     fault-injection shim); the two eventfds stay on raw syscalls so
+///     injected faults can never sever the loop's own wakeup channel.
 class Server {
  public:
   Server(online::Engine& engine, ServerOptions options);
@@ -97,17 +137,40 @@ class Server {
     uint64_t connections_refused = 0;
     uint64_t commands_executed = 0;
     uint64_t protocol_errors = 0;
+    /// Connections reaped by the idle or write-stall deadline.
+    uint64_t connections_timed_out = 0;
+    /// Commands refused with -OVERLOADED by the in-flight byte budget.
+    uint64_t commands_shed = 0;
+    /// epoll_wait returns. The fault-injection suite asserts this stays
+    /// bounded under EINTR/EMFILE storms — the no-busy-spin contract.
+    uint64_t loop_wakeups = 0;
+    /// Current sum of unflushed reply bytes (the admission signal); the
+    /// overload tests poll this to sequence deterministically.
+    uint64_t inflight_bytes = 0;
   };
   Stats stats() const;
 
  private:
   struct Connection {
     int fd = -1;
+    uint64_t id = 0;  // monotonic; BGSAVE completions address by id, not
+                      // fd (the kernel recycles fds, ids never lie)
     RequestParser parser;
     std::string out;       // serialized replies not yet written
     size_t out_offset = 0; // flushed prefix of `out`
     bool close_after_flush = false;
     bool read_closed = false;  // EOF seen or reads half-closed by drain
+    /// BGSAVE issued, completion not yet delivered: parsing is paused
+    /// (later pipelined requests stay buffered — reply order preserved
+    /// by construction) and the connection is exempt from idle reaping
+    /// and from close-on-flush until the deferred reply lands.
+    bool awaiting_bgsave = false;
+    bool stall_armed = false;  // a kWriteStall wheel entry is live
+    /// Lazy-refresh deadlines: the hot paths only store here; the wheel
+    /// entry armed at accept/arm time re-validates against these when
+    /// it fires and re-arms itself if the deadline moved.
+    int64_t idle_deadline_ns = 0;
+    int64_t stall_deadline_ns = 0;
     uint32_t registered_events = 0;  // epoll interest currently installed
   };
 
@@ -125,6 +188,19 @@ class Server {
   void UpdateInterest(Connection& conn);
   void CloseConnection(int fd);
   void BeginDrain();
+  /// Delivers queued BGSAVE completions: appends the deferred reply,
+  /// resumes the connection's paused parse, flushes.
+  void HandleBgSaveDone();
+  /// Fires expired wheel entries (idle reap, write-stall cut, accept
+  /// re-arm), re-validating each against the connection's current
+  /// deadline (lazy cancellation).
+  void ProcessTimers(int64_t now_ns);
+  /// epoll_wait timeout from the drain tick and the earliest live wheel
+  /// deadline; -1 (block forever) when neither applies.
+  int ComputeEpollTimeoutMs(int64_t now_ns);
+  /// Adjusts the global unflushed-reply-byte account by the growth of
+  /// `conn.out` across an append site.
+  void AccountAppended(size_t before_size, size_t after_size);
 
   online::Engine* engine_;
   ServerOptions options_;
@@ -132,20 +208,36 @@ class Server {
 
   int listen_fd_ = -1;
   int epoll_fd_ = -1;
-  int wakeup_fd_ = -1;  // eventfd: Shutdown() -> loop wakeup
+  int wakeup_fd_ = -1;       // eventfd: Shutdown() -> loop wakeup
+  int bgsave_done_fd_ = -1;  // eventfd: BGSAVE helper thread -> loop
 
   std::thread loop_thread_;
   std::atomic<bool> running_{false};
   bool started_ = false;
   bool draining_ = false;
+  bool accept_paused_ = false;  // EMFILE backoff holds EPOLLIN off listen_fd_
   int64_t drain_deadline_ns_ = 0;
+  uint64_t next_connection_id_ = 1;
+  /// Sum of unflushed reply bytes across all connections — the
+  /// admission-control signal. Written only by the loop thread; atomic
+  /// so stats() can read it from outside.
+  std::atomic<size_t> inflight_bytes_{0};
 
   std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  TimerWheel wheel_;  // loop thread only
+
+  /// BGSAVE completions cross from the Engine helper thread to the loop
+  /// thread here: push under the mutex, then one raw eventfd write.
+  std::mutex bgsave_mu_;
+  std::vector<std::pair<uint64_t, Status>> bgsave_results_;
 
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> refused_{0};
   std::atomic<uint64_t> commands_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> timed_out_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> wakeups_{0};
 };
 
 }  // namespace sccf::server

@@ -1,0 +1,52 @@
+#include "server/timer_wheel.h"
+
+namespace sccf::server {
+
+namespace {
+constexpr size_t kKinds = 3;
+}  // namespace
+
+void TimerWheel::Arm(int fd, Kind kind, int64_t deadline_ns) {
+  const size_t slot =
+      static_cast<size_t>(fd) * kKinds + static_cast<size_t>(kind);
+  if (slot >= live_sequence_.size()) {
+    live_sequence_.resize(slot + 1, 0);
+  }
+  const uint64_t seq = next_sequence_++;
+  live_sequence_[slot] = seq;
+  heap_.push(Entry{deadline_ns, fd, kind, seq});
+}
+
+void TimerWheel::CancelAll(int fd) {
+  const size_t base = static_cast<size_t>(fd) * kKinds;
+  for (size_t k = 0; k < kKinds; ++k) {
+    if (base + k < live_sequence_.size()) live_sequence_[base + k] = 0;
+  }
+}
+
+bool TimerWheel::IsLive(const Entry& e) const {
+  const size_t slot =
+      static_cast<size_t>(e.fd) * kKinds + static_cast<size_t>(e.kind);
+  return slot < live_sequence_.size() && live_sequence_[slot] == e.sequence;
+}
+
+int64_t TimerWheel::NextDeadlineNs() {
+  while (!heap_.empty() && !IsLive(heap_.top())) heap_.pop();
+  return heap_.empty() ? -1 : heap_.top().deadline_ns;
+}
+
+std::vector<TimerWheel::Expired> TimerWheel::PopExpired(int64_t now_ns) {
+  std::vector<Expired> expired;
+  while (!heap_.empty() && heap_.top().deadline_ns <= now_ns) {
+    const Entry e = heap_.top();
+    heap_.pop();
+    if (!IsLive(e)) continue;
+    const size_t slot =
+        static_cast<size_t>(e.fd) * kKinds + static_cast<size_t>(e.kind);
+    live_sequence_[slot] = 0;  // fired exactly once
+    expired.push_back(Expired{e.fd, e.kind});
+  }
+  return expired;
+}
+
+}  // namespace sccf::server

@@ -1,0 +1,90 @@
+#ifndef SCCF_SERVER_TIMER_WHEEL_H_
+#define SCCF_SERVER_TIMER_WHEEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace sccf::server {
+
+/// Deadline source for the single-threaded reactor: idle timeouts,
+/// write-stall timeouts, and the accept re-arm backoff all live here.
+///
+/// Design: a min-heap of {deadline_ns, fd, kind, generation} with *lazy
+/// cancellation* — nothing is ever removed from the middle. Refreshing
+/// a connection's deadline (every read resets its idle timer) just
+/// pushes a new entry; closing a connection invalidates its entries by
+/// bumping the per-fd generation. Stale entries surface at the top of
+/// the heap eventually and are discarded in PopExpired. This trades a
+/// little heap memory (bounded by events since the last expiry sweep,
+/// itself bounded by the timeout windows) for O(log n) arm/refresh and
+/// zero bookkeeping on the reactor's hot read path.
+///
+/// The reactor derives its epoll_wait timeout from NextDeadlineNs():
+/// block forever when no timers are armed, otherwise sleep exactly
+/// until the earliest deadline — no fixed-rate ticking, so an idle
+/// server with no timeouts configured makes zero spurious wakeups (a
+/// property the fault-injection suite pins).
+///
+/// Single-threaded by construction (reactor-only); not locked.
+class TimerWheel {
+ public:
+  enum class Kind : uint8_t {
+    kIdle = 0,        ///< connection produced no bytes for idle_timeout
+    kWriteStall = 1,  ///< reply backlog made no progress for stall_timeout
+    kRearmAccept = 2, ///< re-enable the listen fd after EMFILE backoff
+  };
+
+  struct Expired {
+    int fd = -1;
+    Kind kind = Kind::kIdle;
+  };
+
+  /// Arms (or refreshes) a timer for `fd`. Multiple kinds per fd
+  /// coexist; re-arming the same kind supersedes the older entry (the
+  /// older one becomes stale and is discarded when it surfaces).
+  void Arm(int fd, Kind kind, int64_t deadline_ns);
+
+  /// Invalidates every armed timer for `fd`. Call when the connection
+  /// closes — fds are recycled by the kernel, and a stale deadline must
+  /// never fire against the slot's next tenant.
+  void CancelAll(int fd);
+
+  /// Earliest live deadline, or -1 when nothing is armed (sleep
+  /// forever). Prunes stale heads as a side effect, so the value is
+  /// exact, not an early stale bound.
+  int64_t NextDeadlineNs();
+
+  /// Pops every entry whose deadline is <= now and is still live.
+  /// An entry superseded by a later Arm of the same (fd, kind) is
+  /// skipped; the caller re-validates against the connection's actual
+  /// deadline anyway (cheap belt and braces for the lazy scheme).
+  std::vector<Expired> PopExpired(int64_t now_ns);
+
+  size_t heap_size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    int64_t deadline_ns;
+    int fd;
+    Kind kind;
+    uint64_t sequence;  ///< Arm() order; only the newest per (fd,kind) is live
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return a.deadline_ns > b.deadline_ns;
+    }
+  };
+
+  bool IsLive(const Entry& e) const;
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// newest sequence per (fd, kind); keyed fd*3+kind in a flat map.
+  std::vector<uint64_t> live_sequence_;  // indexed by fd*3+kind, 0 = none
+  uint64_t next_sequence_ = 1;
+};
+
+}  // namespace sccf::server
+
+#endif  // SCCF_SERVER_TIMER_WHEEL_H_

@@ -1,0 +1,52 @@
+#include "util/syscall_shim.h"
+
+#include <fcntl.h>
+#include <stdio.h>
+#include <unistd.h>
+
+namespace sccf::sys {
+
+namespace {
+
+int RealAccept4(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+                int flags) {
+#ifdef __linux__
+  return ::accept4(sockfd, addr, addrlen, flags);
+#else
+  // Portable fallback (the epoll reactor is Linux-only, but the shim
+  // lives in util, which builds everywhere): plain accept, then apply
+  // the flags accept4 would have set atomically.
+  const int fd = ::accept(sockfd, addr, addrlen);
+  if (fd < 0) return fd;
+#ifdef SOCK_NONBLOCK
+  if ((flags & SOCK_NONBLOCK) != 0) {
+    ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  }
+#endif
+#ifdef SOCK_CLOEXEC
+  if ((flags & SOCK_CLOEXEC) != 0) {
+    ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+  }
+#endif
+  (void)flags;
+  return fd;
+#endif
+}
+
+constexpr SyscallTable MakeRealTable() {
+  return SyscallTable{&::read, &::write, &RealAccept4, &::fsync, &::rename};
+}
+
+}  // namespace
+
+SyscallTable& Table() {
+  static SyscallTable table = MakeRealTable();
+  return table;
+}
+
+const SyscallTable& RealSyscalls() {
+  static const SyscallTable real = MakeRealTable();
+  return real;
+}
+
+}  // namespace sccf::sys

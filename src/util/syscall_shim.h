@@ -1,0 +1,82 @@
+#ifndef SCCF_UTIL_SYSCALL_SHIM_H_
+#define SCCF_UTIL_SYSCALL_SHIM_H_
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cstddef>
+
+namespace sccf::sys {
+
+/// Test-selectable indirection over the raw syscalls the serving and
+/// persistence layers issue on their hot and durability paths. The
+/// production default is a table of pointers to the real syscalls —
+/// one indirect call, no branches, no locks — and the fault-injection
+/// suites swap individual entries to drive error paths that are
+/// otherwise unreachable from a test: EINTR storms on the reactor's
+/// socket loop, short writes, EMFILE on accept, ENOSPC mid-snapshot,
+/// a wedged fsync.
+///
+/// Scope: only the calls whose *failure handling* carries correctness
+/// weight are routed here (read/write/accept4/fsync/rename). Setup-time
+/// calls (socket, bind, epoll_ctl, open) fail loudly at startup and stay
+/// direct.
+///
+/// Thread-safety: the table is plain function pointers. Overrides must
+/// be installed while no server loop or persistence helper thread is
+/// running (i.e., before Server::Start / Engine::Bootstrap, or between
+/// quiesced points); the injected functions themselves are called
+/// concurrently and must be thread-safe (use atomics for their
+/// counters). ScopedSyscallOverride restores the previous table on
+/// destruction so a failing test cannot poison the next one.
+struct SyscallTable {
+  ssize_t (*read)(int fd, void* buf, size_t count);
+  ssize_t (*write)(int fd, const void* buf, size_t count);
+  int (*accept4)(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+                 int flags);
+  int (*fsync)(int fd);
+  int (*rename)(const char* oldpath, const char* newpath);
+};
+
+/// The live table. Production code calls through the inline wrappers
+/// below; tests mutate entries (normally via ScopedSyscallOverride).
+SyscallTable& Table();
+
+/// The all-real-syscalls default (what Table() starts as).
+const SyscallTable& RealSyscalls();
+
+// Call-through wrappers, so call sites read like the syscall they wrap.
+inline ssize_t Read(int fd, void* buf, size_t count) {
+  return Table().read(fd, buf, count);
+}
+inline ssize_t Write(int fd, const void* buf, size_t count) {
+  return Table().write(fd, buf, count);
+}
+inline int Accept4(int sockfd, struct sockaddr* addr, socklen_t* addrlen,
+                   int flags) {
+  return Table().accept4(sockfd, addr, addrlen, flags);
+}
+inline int Fsync(int fd) { return Table().fsync(fd); }
+inline int Rename(const char* oldpath, const char* newpath) {
+  return Table().rename(oldpath, newpath);
+}
+
+/// RAII guard for tests: snapshots the table on construction, exposes
+/// the live table for mutation, restores the snapshot on destruction.
+class ScopedSyscallOverride {
+ public:
+  ScopedSyscallOverride() : saved_(Table()) {}
+  ~ScopedSyscallOverride() { Table() = saved_; }
+
+  ScopedSyscallOverride(const ScopedSyscallOverride&) = delete;
+  ScopedSyscallOverride& operator=(const ScopedSyscallOverride&) = delete;
+
+  SyscallTable& table() { return Table(); }
+
+ private:
+  SyscallTable saved_;
+};
+
+}  // namespace sccf::sys
+
+#endif  // SCCF_UTIL_SYSCALL_SHIM_H_

@@ -280,7 +280,7 @@ TEST_F(RecoveryTest, FreshDirIsPlainBootstrapPlusJournaling) {
                 MakeOptions(IndexKind::kBruteForce, 1, dir.file("data")));
   ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
   EXPECT_TRUE(engine.persistence_enabled());
-  EXPECT_EQ(engine.last_save_unix_s(), 0);
+  EXPECT_EQ(engine.last_save_unix_s(), -1);  // never saved, not epoch 0
 
   Engine witness(*fism_, MakeOptions(IndexKind::kBruteForce, 1, ""));
   ASSERT_TRUE(witness.BootstrapFromSplit(*split_).ok());

@@ -7,6 +7,13 @@
 //    same commands executed directly against a twin Engine; malformed
 //    frames poison only their own connection; graceful drain completes
 //    in-flight pipelines; the connection cap refuses loudly.
+//
+// Overload-resilience coverage (same fixture): idle-timeout reaping
+// frees the slot with an explicit -TIMEOUT, the in-flight byte budget
+// sheds new commands with -OVERLOADED while the congesting pipeline
+// still completes, and BGSAVE — deferred through the Engine helper
+// thread — produces a snapshot bit-identical to a synchronous SAVE at
+// the same horizon and stays recoverable under concurrent ingest.
 
 #include "server/server.h"
 
@@ -15,9 +22,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -26,14 +35,17 @@
 #include "data/synthetic.h"
 #include "models/fism.h"
 #include "online/engine.h"
+#include "persist/fs.h"
 #include "server/dispatch.h"
 #include "server/protocol.h"
+#include "server/timer_wheel.h"
+#include "testing/temp_dir.h"
 #include "util/logging.h"
 
 namespace sccf::server {
 namespace {
 
-class ServerTest : public testing::Test {
+class ServerTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
     data::SyntheticConfig cfg;
@@ -66,11 +78,15 @@ class ServerTest : public testing::Test {
   }
 
   /// A freshly bootstrapped engine over the shared corpus. Each call
-  /// returns an identical twin (same model, same bootstrap state).
-  static std::unique_ptr<online::Engine> MakeEngine() {
+  /// returns an identical twin (same model, same bootstrap state). With
+  /// `recover_dir` set the twin is persistent: it recovers whatever the
+  /// directory holds and journals every ingest there.
+  static std::unique_ptr<online::Engine> MakeEngine(
+      const std::string& recover_dir = "") {
     online::Engine::Options opts;
     opts.beta = 10;
     opts.num_shards = 4;
+    opts.recover_dir = recover_dir;
     auto engine = std::make_unique<online::Engine>(*fism_, opts);
     SCCF_CHECK(engine->BootstrapFromSplit(*split_).ok());
     return engine;
@@ -182,9 +198,28 @@ TEST_F(ServerTest, DispatchHistoryRoundTrip) {
 TEST_F(ServerTest, DispatchStatsShape) {
   auto engine = MakeEngine();
   const std::string reply = Dispatch(*engine, {"STATS", {}});
-  EXPECT_EQ(reply.rfind("*8\r\n", 0), 0u) << reply;
+  EXPECT_EQ(reply.rfind("*12\r\n", 0), 0u) << reply;
   EXPECT_NE(reply.find("num_users"), std::string::npos);
   EXPECT_NE(reply.find("pending_upserts"), std::string::npos);
+  EXPECT_NE(reply.find("save_in_progress"), std::string::npos);
+  EXPECT_NE(reply.find("last_save_duration_ms"), std::string::npos);
+}
+
+// The "never saved" sentinel: LASTSAVE must be distinguishable from a
+// save that landed at epoch 0, and save-free STATS advertises the same
+// via last_save_duration_ms.
+TEST_F(ServerTest, DispatchLastSaveNeverSavedIsMinusOne) {
+  auto engine = MakeEngine();
+  EXPECT_EQ(Dispatch(*engine, {"LASTSAVE", {}}), ":-1\r\n");
+  const std::string stats = Dispatch(*engine, {"STATS", {}});
+  EXPECT_NE(stats.find(":-1\r\n"), std::string::npos) << stats;
+  // Without --data_dir both save commands refuse identically.
+  EXPECT_EQ(Dispatch(*engine, {"SAVE", {}})
+                .rfind("-FAILEDPRECONDITION ", 0),
+            0u);
+  EXPECT_EQ(Dispatch(*engine, {"BGSAVE", {}})
+                .rfind("-FAILEDPRECONDITION ", 0),
+            0u);
 }
 
 // ---------------------------------------------------- loopback helpers
@@ -193,12 +228,18 @@ TEST_F(ServerTest, DispatchStatsShape) {
 /// fails the test instead of hanging it).
 class Client {
  public:
-  explicit Client(uint16_t port) {
+  /// `rcvbuf` > 0 shrinks the receive buffer before connecting — the
+  /// overload tests use a tiny window so an unread pipeline backs up
+  /// into the server's in-flight account instead of kernel buffers.
+  explicit Client(uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     SCCF_CHECK(fd_ >= 0);
     timeval tv{};
     tv.tv_sec = 10;
     ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (rcvbuf > 0) {
+      ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
@@ -441,7 +482,7 @@ TEST_F(ServerTest, ConnectionCapRefusesLoudly) {
   Client second(server.port());
   ASSERT_TRUE(second.connected());  // kernel accepts; server refuses
   const std::string refusal = second.ReadReply();
-  EXPECT_EQ(refusal, "-ERR max connections reached\r\n");
+  EXPECT_EQ(refusal, "-OVERLOADED max connections reached\r\n");
   EXPECT_TRUE(second.ReadEof());
 
   // The surviving connection is unaffected, and a slot freed by QUIT
@@ -457,6 +498,267 @@ TEST_F(ServerTest, ConnectionCapRefusesLoudly) {
   server.Shutdown();
   server.Wait();
   EXPECT_GE(server.stats().connections_refused, 1u);
+}
+
+// ------------------------------------------------- overload resilience
+
+// The lazy-cancellation contract of the reactor's deadline source,
+// pinned directly: re-arming supersedes, cancellation survives fd
+// recycling, and the next-deadline view prunes stale heads.
+TEST_F(ServerTest, TimerWheelLazyCancellation) {
+  TimerWheel wheel;
+  EXPECT_EQ(wheel.NextDeadlineNs(), -1);  // nothing armed: sleep forever
+
+  wheel.Arm(5, TimerWheel::Kind::kIdle, 100);
+  wheel.Arm(7, TimerWheel::Kind::kIdle, 50);
+  EXPECT_EQ(wheel.NextDeadlineNs(), 50);
+
+  // Refresh fd 7 later than fd 5: the stale 50 entry must neither fire
+  // nor show up as the next deadline.
+  wheel.Arm(7, TimerWheel::Kind::kIdle, 200);
+  EXPECT_EQ(wheel.NextDeadlineNs(), 100);
+  auto fired = wheel.PopExpired(99);
+  EXPECT_TRUE(fired.empty());
+  fired = wheel.PopExpired(100);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].fd, 5);
+
+  // Distinct kinds on one fd coexist; CancelAll kills both, and a
+  // recycled fd starts clean.
+  wheel.Arm(7, TimerWheel::Kind::kWriteStall, 150);
+  wheel.CancelAll(7);
+  EXPECT_EQ(wheel.NextDeadlineNs(), -1);
+  EXPECT_TRUE(wheel.PopExpired(1000).empty());
+  wheel.Arm(7, TimerWheel::Kind::kIdle, 300);
+  fired = wheel.PopExpired(300);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].kind, TimerWheel::Kind::kIdle);
+}
+
+TEST_F(ServerTest, IdleTimeoutReapsWithExplicitErrorAndFreesSlot) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  opts.max_connections = 1;  // the reap must free the only slot
+  opts.idle_timeout_ms = 150;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client idler(server.port());
+  ASSERT_TRUE(idler.connected());
+  idler.Send("PING\r\n");
+  EXPECT_EQ(idler.ReadReply(), "+PONG\r\n");
+
+  // Say nothing past the deadline: the server must announce the reap —
+  // not silently reset — and then close.
+  EXPECT_EQ(idler.ReadReply(), "-TIMEOUT idle connection\r\n");
+  EXPECT_TRUE(idler.ReadEof());
+
+  // The slot is genuinely free again (max_connections = 1).
+  Client next(server.port());
+  ASSERT_TRUE(next.connected());
+  next.Send("PING\r\n");
+  EXPECT_EQ(next.ReadReply(), "+PONG\r\n");
+
+  server.Shutdown();
+  server.Wait();
+  const Server::Stats stats = server.stats();
+  EXPECT_GE(stats.connections_timed_out, 1u);
+  EXPECT_EQ(stats.connections_refused, 0u);
+}
+
+TEST_F(ServerTest, ByteBudgetShedsNewCommandsWhilePipelineCompletes) {
+  auto engine = MakeEngine();
+  ServerOptions opts;
+  opts.port = 0;
+  opts.max_inflight_bytes = 16 * 1024;
+  Server server(*engine, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The congesting client: waves of fat-reply commands, nothing read
+  // back (and a tiny receive window). Waves keep coming until the
+  // server's unflushed account is over budget AND settled — a settled
+  // account means the reactor has flushed to EAGAIN, so what remains
+  // genuinely cannot drain (greedy never reads; the kernel path is
+  // saturated). Polling for a merely *transient* over-budget reading
+  // would race the flush that absorbs it.
+  Client greedy(server.port(), 4096);
+  Client healthy(server.port());
+  ASSERT_TRUE(greedy.connected());
+  ASSERT_TRUE(healthy.connected());
+  constexpr int kWave = 256;
+  int sent = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  for (;;) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "backlog never settled over the budget (sent " << sent << ")";
+    std::string wave;
+    for (int i = 0; i < kWave; ++i, ++sent) {
+      wave += "RECOMMEND " + std::to_string(sent % 50) + " 150\r\n";
+    }
+    greedy.Send(wave);
+    // Wait for the account to stop moving (wave executed + flushed).
+    uint64_t last = server.stats().inflight_bytes;
+    auto stable_since = std::chrono::steady_clock::now();
+    while (std::chrono::steady_clock::now() - stable_since <
+           std::chrono::milliseconds(25)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      const uint64_t cur = server.stats().inflight_bytes;
+      if (cur != last) {
+        last = cur;
+        stable_since = std::chrono::steady_clock::now();
+      }
+    }
+    if (last > opts.max_inflight_bytes) break;  // stable over budget
+  }
+
+  // Over budget: a new command is refused loudly. The greedy pipeline
+  // is NOT dropped — shedding refuses the cheapest unit first.
+  healthy.Send("PING\r\n");
+  EXPECT_EQ(healthy.ReadReply(),
+            "-OVERLOADED in-flight reply bytes over budget; retry later\r\n");
+
+  // The congesting pipeline still completes: exactly one reply per
+  // command, in order, every one parseable. Commands executed before
+  // the budget tripped answer normally; ones parsed after it are shed
+  // with the same -OVERLOADED (they are "new commands" too — the
+  // budget is per command, not per connection). No reply is lost and
+  // the connection is never dropped.
+  int full_replies = 0;
+  int shed_replies = 0;
+  for (int received = 0; received < sent; ++received) {
+    const std::string reply = greedy.ReadReply();
+    ASSERT_FALSE(reply.empty()) << "pipeline cut short at " << received;
+    if (reply.rfind("*", 0) == 0) {
+      ++full_replies;
+    } else {
+      EXPECT_EQ(reply.rfind("-OVERLOADED ", 0), 0u) << reply;
+      ++shed_replies;
+    }
+  }
+  EXPECT_GT(full_replies, 0);
+  EXPECT_GT(shed_replies, 0);
+
+  // Backlog drained: admission reopens.
+  const auto reopen_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().inflight_bytes > opts.max_inflight_bytes) {
+    ASSERT_LT(std::chrono::steady_clock::now(), reopen_deadline);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  healthy.Send("PING\r\n");
+  EXPECT_EQ(healthy.ReadReply(), "+PONG\r\n");
+
+  server.Shutdown();
+  server.Wait();
+  const Server::Stats stats = server.stats();
+  EXPECT_GE(stats.commands_shed, 1u);
+  EXPECT_EQ(stats.connections_timed_out, 0u);
+}
+
+// ------------------------------------------------------------- BGSAVE
+
+TEST_F(ServerTest, BgSaveSnapshotBitIdenticalToQuiescedSave) {
+  sccf::testing::TempDir dir;
+  auto served = MakeEngine(dir.file("via_bgsave"));
+  auto twin = MakeEngine(dir.file("via_save"));
+
+  ServerOptions opts;
+  opts.port = 0;
+  Server server(*served, opts);
+  ASSERT_TRUE(server.Start().ok());
+  Client client(server.port());
+  ASSERT_TRUE(client.connected());
+
+  // Identical ingest on both sides, then quiesce and save: the server
+  // path through BGSAVE (helper thread + deferred reply) and the twin's
+  // synchronous SAVE must leave byte-identical snapshot files — same
+  // shard states, same embedded journal seq horizon.
+  const Command ingest = {
+      "INGEST", {"0", "5", "100", "1", "9", "100", "0", "7", "101"}};
+  client.Send(EncodeMultibulk(ingest));
+  EXPECT_EQ(client.ReadReply().rfind("*3\r\n", 0), 0u);
+  EXPECT_EQ(Dispatch(*twin, ingest).rfind("*3\r\n", 0), 0u);
+
+  client.Send("BGSAVE\r\n");
+  EXPECT_EQ(client.ReadReply(), "+OK\r\n");
+  EXPECT_EQ(Dispatch(*twin, {"SAVE", {}}), "+OK\r\n");
+
+  // LASTSAVE flips from the -1 sentinel to a real timestamp.
+  client.Send("LASTSAVE\r\n");
+  const std::string lastsave = client.ReadReply();
+  EXPECT_EQ(lastsave.rfind(":", 0), 0u);
+  EXPECT_NE(lastsave, ":-1\r\n");
+
+  server.Shutdown();
+  server.Wait();
+
+  auto bg_bytes =
+      persist::ReadFileToString(dir.file("via_bgsave/snapshot"));
+  auto sync_bytes =
+      persist::ReadFileToString(dir.file("via_save/snapshot"));
+  ASSERT_TRUE(bg_bytes.ok()) << bg_bytes.status().ToString();
+  ASSERT_TRUE(sync_bytes.ok()) << sync_bytes.status().ToString();
+  EXPECT_EQ(*bg_bytes, *sync_bytes)
+      << "BGSAVE snapshot diverged from synchronous SAVE";
+}
+
+TEST_F(ServerTest, BgSaveUnderConcurrentIngestRecoversBitIdentical) {
+  sccf::testing::TempDir dir;
+  const std::string data_dir = dir.file("data");
+  auto served = MakeEngine(data_dir);
+
+  ServerOptions opts;
+  opts.port = 0;
+  Server server(*served, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  Client ingester(server.port());
+  Client saver(server.port());
+  ASSERT_TRUE(ingester.connected());
+  ASSERT_TRUE(saver.connected());
+
+  // Stream ingest batches while the BGSAVE runs somewhere in the
+  // middle: the snapshot lands at whatever per-shard horizon the export
+  // caught, and the journal (pre-rotation tail + post-rotation records)
+  // must cover the rest exactly once.
+  std::string batch;
+  for (int step = 0; step < 40; ++step) {
+    batch += "INGEST " + std::to_string(step % 30) + " " +
+             std::to_string((step * 7 + 3) % 160) + " " +
+             std::to_string(step) + "\r\n";
+  }
+  ingester.Send(batch);
+  saver.Send("BGSAVE\r\n");
+  for (int step = 0; step < 40; ++step) {
+    EXPECT_EQ(ingester.ReadReply().rfind("*3\r\n", 0), 0u) << step;
+  }
+  EXPECT_EQ(saver.ReadReply(), "+OK\r\n");
+  // And a post-save tail that only the rotated journal holds.
+  ingester.Send("INGEST 2 33 100 4 55 101\r\n");
+  EXPECT_EQ(ingester.ReadReply().rfind("*3\r\n", 0), 0u);
+
+  server.Shutdown();
+  server.Wait();
+
+  // A fresh engine recovered from the directory answers bit-identically
+  // to the engine that lived through it.
+  auto recovered = MakeEngine(data_dir);
+  for (const Command& probe : std::vector<Command>{
+           {"HISTORY", {"2"}},
+           {"HISTORY", {"4"}},
+           {"HISTORY", {"17"}},
+           {"NEIGHBORS", {"2"}},
+           {"NEIGHBORS", {"29"}},
+           {"RECOMMEND", {"2", "10"}},
+           {"RECOMMEND", {"15", "10"}},
+           // Not STATS: the live engine carries last_save_duration_ms
+           // from its BGSAVE, the recovered one has never saved.
+       }) {
+    EXPECT_EQ(Dispatch(*recovered, probe), Dispatch(*served, probe))
+        << probe.name;
+  }
 }
 
 }  // namespace
