@@ -25,6 +25,12 @@
 //   --run_length=N        consecutive events per user in the stream
 //                         (default 4 — e-commerce sessions are bursty;
 //                         1 = adversarial all-distinct worst case)
+//   --storage=fp32,sq8    embedding storage modes to sweep. Sweeping
+//                         both turns on the memory-vs-recall-vs-latency
+//                         comparison: each sq8 point reports index
+//                         memory bytes and Recall@10 of its neighbor
+//                         lists against the fp32 run at the same sweep
+//                         point (identical deterministic ingest stream)
 //   --json=PATH           machine-readable report (BENCH_engine.json)
 //   --quick               small workload for CI smoke
 //
@@ -60,6 +66,7 @@
 #include "bench/bench_util.h"
 #include "models/fism.h"
 #include "online/engine.h"
+#include "quant/sq8.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -80,6 +87,7 @@ struct Config {
   size_t compaction = 32;
   bool background = false;
   size_t run_length = 4;
+  std::vector<quant::Storage> storages = {quant::Storage::kFp32};
   std::string json_path;
 };
 
@@ -94,7 +102,52 @@ struct SweepPoint {
   size_t staged_rows = 0;            // pending upserts entering the query phase
   double query_staged_mean_ms = 0.0;    // Neighbors mean, buffers staged
   double query_compacted_mean_ms = 0.0;  // Neighbors mean, after Compact
+  quant::Storage storage = quant::Storage::kFp32;
+  size_t memory_bytes = 0;  // index row storage after Compact (fp32 + codes)
+  // Mean top-10 neighbor overlap vs the fp32 run at the same sweep
+  // point; 1.0 for fp32 itself, 0.0 when fp32 was not swept.
+  double recall_at10_vs_fp32 = 1.0;
 };
+
+/// Post-compaction neighbor ids (top 10) for a fixed probe block, used
+/// to score sq8 rankings against the fp32 reference.
+constexpr size_t kRecallProbes = 64;
+constexpr size_t kRecallTopK = 10;
+
+std::vector<std::vector<int>> ProbeNeighborIds(online::Engine& engine,
+                                               size_t users) {
+  std::vector<std::vector<int>> out;
+  out.reserve(kRecallProbes);
+  for (size_t i = 0; i < kRecallProbes; ++i) {
+    const int user = static_cast<int>((i * 2654435761u) % users);
+    auto nbrs = engine.Neighbors({user, kRecallTopK});
+    SCCF_CHECK(nbrs.ok()) << "recall probe failed for user " << user;
+    std::vector<int> ids;
+    ids.reserve(nbrs->neighbors.size());
+    for (const auto& n : nbrs->neighbors) ids.push_back(n.id);
+    out.push_back(std::move(ids));
+  }
+  return out;
+}
+
+double MeanOverlap(const std::vector<std::vector<int>>& ref,
+                   const std::vector<std::vector<int>>& got) {
+  SCCF_CHECK(ref.size() == got.size());
+  double sum = 0.0;
+  size_t counted = 0;
+  for (size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i].empty()) continue;
+    size_t hits = 0;
+    for (int id : got[i]) {
+      if (std::find(ref[i].begin(), ref[i].end(), id) != ref[i].end()) {
+        ++hits;
+      }
+    }
+    sum += static_cast<double>(hits) / static_cast<double>(ref[i].size());
+    ++counted;
+  }
+  return counted > 0 ? sum / static_cast<double>(counted) : 0.0;
+}
 
 /// Fixed query block for the buffer-scan-cost phase: kQueryProbes
 /// Neighbors calls round-robin over the bootstrap population.
@@ -121,7 +174,9 @@ double Percentile(std::vector<double>& sorted_ms, double q) {
 SweepPoint RunSweepPoint(const models::Fism& model,
                          const data::LeaveOneOutSplit& split,
                          const Config& cfg, int num_threads,
-                         size_t batch_size, int64_t interval_ms) {
+                         size_t batch_size, int64_t interval_ms,
+                         quant::Storage storage,
+                         std::vector<std::vector<int>>* probe_neighbors) {
   online::Engine::Options opts;
   opts.beta = 100;
   opts.num_shards = cfg.shards;
@@ -129,6 +184,7 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   opts.compaction_interval_ms = interval_ms;
   opts.background_compaction = cfg.background;
   opts.index_kind = core::IndexKind::kBruteForce;
+  opts.storage = storage;
   online::Engine engine(model, opts);
   SCCF_CHECK(engine.BootstrapFromSplit(split).ok());
 
@@ -181,10 +237,14 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   // Query phase: staged first (whatever the ingest run left in the
   // buffers — with background compaction or an elapsed interval this can
   // legitimately be 0), then compacted, same probe block both times.
+  point.storage = storage;
   point.staged_rows = engine.pending_upserts();
   point.query_staged_mean_ms = MeanNeighborsMs(engine, cfg.users);
   SCCF_CHECK(engine.Compact().ok());
   point.query_compacted_mean_ms = MeanNeighborsMs(engine, cfg.users);
+  const online::Engine::StatsSnapshot stats = engine.Stats();
+  point.memory_bytes = stats.embedding_bytes + stats.code_bytes;
+  *probe_neighbors = ProbeNeighborIds(engine, cfg.users);
 
   std::vector<double> all;
   for (auto& per_thread : latencies) {
@@ -205,6 +265,13 @@ SweepPoint RunSweepPoint(const models::Fism& model,
 void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
                double speedup_4t, size_t b_max, size_t b_min,
                double speedup_batch) {
+  std::string storages_json;
+  for (quant::Storage st : cfg.storages) {
+    if (!storages_json.empty()) storages_json += ", ";
+    storages_json += '"';
+    storages_json += quant::StorageName(st);
+    storages_json += '"';
+  }
   std::FILE* f = std::fopen(cfg.json_path.c_str(), "w");
   SCCF_CHECK(f != nullptr) << "cannot open " << cfg.json_path;
   std::fprintf(f, "{\n");
@@ -216,10 +283,12 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
                "\"items\": %zu, \"dim\": %zu, \"shards\": %zu, "
                "\"compaction_threshold\": %zu, \"background\": %s, "
                "\"query_probes\": %zu, \"run_length\": %zu, "
-               "\"index\": \"brute_force\", \"beta\": 100 },\n",
+               "\"index\": \"brute_force\", \"beta\": 100, "
+               "\"storages\": [%s], \"recall_probes\": %zu },\n",
                cfg.interactions, cfg.users, cfg.items, cfg.dim, cfg.shards,
                cfg.compaction, cfg.background ? "true" : "false",
-               kQueryProbes, cfg.run_length);
+               kQueryProbes, cfg.run_length, storages_json.c_str(),
+               kRecallProbes);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < points.size(); ++i) {
     const SweepPoint& p = points[i];
@@ -231,11 +300,13 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
         "\"updates_per_sec\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
         "\"mean_ms\": %.4f, \"interval_ms\": %lld, \"staged_rows\": %zu, "
         "\"query_staged_mean_ms\": %.4f, "
-        "\"query_compacted_mean_ms\": %.4f }%s\n",
+        "\"query_compacted_mean_ms\": %.4f, \"storage\": \"%s\", "
+        "\"memory_bytes\": %zu, \"recall_at10_vs_fp32\": %.4f }%s\n",
         p.threads, p.batch_size, p.updates_per_sec, p.p50_ms, p.p99_ms,
         p.mean_ms, static_cast<long long>(p.interval_ms), p.staged_rows,
         p.query_staged_mean_ms, p.query_compacted_mean_ms,
-        i + 1 < points.size() ? "," : "");
+        quant::StorageName(p.storage), p.memory_bytes,
+        p.recall_at10_vs_fp32, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f,\n", speedup_4t);
@@ -310,6 +381,14 @@ int main(int argc, char** argv) {
       int64_t v = 0;
       SCCF_CHECK(ParseInt64(val("--run_length="), &v) && v >= 1);
       cfg.run_length = static_cast<size_t>(v);
+    } else if (arg.rfind("--storage=", 0) == 0) {
+      cfg.storages.clear();
+      for (const std::string& part : Split(val("--storage="), ',')) {
+        quant::Storage st = quant::Storage::kFp32;
+        SCCF_CHECK(quant::ParseStorage(part, &st))
+            << "bad --storage (expected fp32 or sq8)";
+        cfg.storages.push_back(st);
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       cfg.json_path = val("--json=");
     } else if (arg == "--quick") {
@@ -357,22 +436,43 @@ int main(int argc, char** argv) {
   SCCF_CHECK(fism.Fit(split).ok());
 
   std::vector<SweepPoint> points;
-  TablePrinter table({"threads", "batch", "intvl(ms)", "updates/sec",
-                      "p50 (ms)", "p99 (ms)", "staged", "q-staged(ms)",
-                      "q-compact(ms)"});
+  TablePrinter table({"storage", "threads", "batch", "intvl(ms)",
+                      "updates/sec", "p50 (ms)", "p99 (ms)", "staged",
+                      "q-staged(ms)", "q-compact(ms)", "mem(KB)",
+                      "rec@10"});
   for (int t : cfg.threads) {
     for (size_t b : cfg.batch_sizes) {
       for (int64_t interval : cfg.intervals) {
-        const SweepPoint p = RunSweepPoint(fism, split, cfg, t, b, interval);
-        points.push_back(p);
-        table.AddRow({std::to_string(p.threads),
-                      std::to_string(p.batch_size),
-                      std::to_string(p.interval_ms),
-                      FormatFloat(p.updates_per_sec, 1),
-                      FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
-                      std::to_string(p.staged_rows),
-                      FormatFloat(p.query_staged_mean_ms, 4),
-                      FormatFloat(p.query_compacted_mean_ms, 4)});
+        // Storage innermost: the fp32 run at this point (when swept)
+        // becomes the recall reference for its sq8 twin — identical
+        // deterministic ingest stream, so the neighbor lists are
+        // directly comparable.
+        std::vector<std::vector<int>> fp32_ref;
+        for (quant::Storage storage : cfg.storages) {
+          std::vector<std::vector<int>> probes;
+          SweepPoint p = RunSweepPoint(fism, split, cfg, t, b, interval,
+                                       storage, &probes);
+          if (storage == quant::Storage::kFp32) {
+            fp32_ref = probes;
+            p.recall_at10_vs_fp32 = 1.0;
+          } else if (!fp32_ref.empty()) {
+            p.recall_at10_vs_fp32 = MeanOverlap(fp32_ref, probes);
+          } else {
+            p.recall_at10_vs_fp32 = 0.0;  // no fp32 reference swept
+          }
+          points.push_back(p);
+          table.AddRow({quant::StorageName(p.storage),
+                        std::to_string(p.threads),
+                        std::to_string(p.batch_size),
+                        std::to_string(p.interval_ms),
+                        FormatFloat(p.updates_per_sec, 1),
+                        FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
+                        std::to_string(p.staged_rows),
+                        FormatFloat(p.query_staged_mean_ms, 4),
+                        FormatFloat(p.query_compacted_mean_ms, 4),
+                        std::to_string(p.memory_bytes / 1024),
+                        FormatFloat(p.recall_at10_vs_fp32, 3)});
+        }
       }
     }
   }
@@ -390,8 +490,10 @@ int main(int argc, char** argv) {
   double ups_1t = 0.0, ups_4t = 0.0, ups_bmin = 0.0, ups_bmax = 0.0;
   for (const SweepPoint& p : points) {
     // Headlines come from the first swept interval (0 unless overridden)
-    // so the interval dimension never skews the thread/batch ratios.
+    // and the first swept storage, so neither extra dimension skews the
+    // thread/batch ratios.
     if (p.interval_ms != cfg.intervals.front()) continue;
+    if (p.storage != cfg.storages.front()) continue;
     if (p.batch_size == b_min && p.threads == 1) ups_1t = p.updates_per_sec;
     if (p.batch_size == b_min && p.threads == 4) ups_4t = p.updates_per_sec;
     if (p.threads == t_min && p.batch_size == b_min) {

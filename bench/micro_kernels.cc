@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -256,6 +257,41 @@ void RegisterSimdBenchmarks() {
             state.SetItemsProcessed(state.iterations() * dim);
           });
       benchmark::RegisterBenchmark(
+          ("BM_SimdI8Dot/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(37);
+            std::vector<float> q(dim);
+            std::vector<int8_t> c(dim);
+            for (size_t i = 0; i < dim; ++i) {
+              q[i] = rng.Normal();
+              c[i] = static_cast<int8_t>(rng.UniformInt(-127, 127));
+            }
+            for (auto _ : state) {
+              benchmark::DoNotOptimize(simd::DotI8(q.data(), c.data(), dim));
+            }
+            state.SetItemsProcessed(state.iterations() * dim);
+          });
+      benchmark::RegisterBenchmark(
+          ("BM_SimdI8DotBatch/" + suffix).c_str(),
+          [v, dim](benchmark::State& state) {
+            SCCF_CHECK(simd::ForceVariant(v).ok());
+            Rng rng(41);
+            std::vector<float> q(dim);
+            std::vector<int8_t> base(kBatchRows * dim);
+            std::vector<float> out(kBatchRows);
+            for (auto& x : q) x = rng.Normal();
+            for (auto& x : base) {
+              x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+            }
+            for (auto _ : state) {
+              simd::DotBatchI8(q.data(), base.data(), kBatchRows, dim,
+                               out.data());
+              benchmark::DoNotOptimize(out.data());
+            }
+            state.SetItemsProcessed(state.iterations() * kBatchRows * dim);
+          });
+      benchmark::RegisterBenchmark(
           ("BM_SimdDotBatch/" + suffix).c_str(),
           [v, dim](benchmark::State& state) {
             SCCF_CHECK(simd::ForceVariant(v).ok());
@@ -353,15 +389,38 @@ int WriteSimdJson(const char* path) {
                                           dim, out.data());
                            benchmark::DoNotOptimize(out.data());
                          })});
+
+      std::vector<int8_t> codes(dim);
+      std::vector<int8_t> code_base(kBatchRows * dim);
+      for (auto& x : codes) x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+      for (auto& x : code_base) {
+        x = static_cast<int8_t>(rng.UniformInt(-127, 127));
+      }
+      results.push_back({"dot_i8", simd::VariantName(v), dim, 1,
+                         MeasureNsPerCall([&] {
+                           benchmark::DoNotOptimize(
+                               simd::DotI8(a.data(), codes.data(), dim));
+                         })});
+      results.push_back({"dot_batch_i8", simd::VariantName(v), dim,
+                         kBatchRows, MeasureNsPerCall([&] {
+                           simd::DotBatchI8(a.data(), code_base.data(),
+                                            kBatchRows, dim, out.data());
+                           benchmark::DoNotOptimize(out.data());
+                         })});
     }
   }
   SCCF_CHECK(simd::ForceVariant(active).ok());
 
   double active_dot128 = 0.0;
+  double active_dot_i8_128 = 0.0;
   for (const SimdResult& r : results) {
-    if (std::strcmp(r.kernel, "dot") == 0 && r.dim == 128 &&
-        std::strcmp(r.variant, simd::VariantName(active)) == 0) {
-      active_dot128 = r.ns_per_call;
+    if (std::strcmp(r.variant, simd::VariantName(active)) != 0 ||
+        r.dim != 128) {
+      continue;
+    }
+    if (std::strcmp(r.kernel, "dot") == 0) active_dot128 = r.ns_per_call;
+    if (std::strcmp(r.kernel, "dot_i8") == 0) {
+      active_dot_i8_128 = r.ns_per_call;
     }
   }
 
@@ -382,6 +441,8 @@ int WriteSimdJson(const char* path) {
   std::fprintf(f, "  \"active_variant\": \"%s\",\n",
                simd::VariantName(active));
   std::fprintf(f, "  \"active_dot_dim128_ns\": %.3f,\n", active_dot128);
+  std::fprintf(f, "  \"active_dot_i8_dim128_ns\": %.3f,\n",
+               active_dot_i8_128);
   std::fprintf(f, "  \"results\": [\n");
   for (size_t i = 0; i < results.size(); ++i) {
     const SimdResult& r = results[i];

@@ -87,6 +87,31 @@ if [[ -x "${MICRO}" ]]; then
          "(${auto_ns}ns) slower than scalar (${scalar_ns}ns)" >&2
     exit 1
   fi
+
+  # Same gate for the int8 dot kernel the SQ8 storage mode scans with:
+  # the dispatched variant must not lose to forced-scalar at dim 128.
+  scalar_i8_ns="$(sed -n \
+    's/.*"active_dot_i8_dim128_ns": \([0-9.]*\).*/\1/p' \
+    "${SIMD_SCALAR_JSON}")"
+  auto_i8_ns="$(sed -n \
+    's/.*"active_dot_i8_dim128_ns": \([0-9.]*\).*/\1/p' \
+    "${SIMD_AUTO_JSON}")"
+  if [[ "${auto_variant}" == "scalar" ]]; then
+    echo "simd i8 dispatch check: SKIPPED (no SIMD variant on this CPU)"
+  elif [[ -z "${scalar_i8_ns}" || -z "${auto_i8_ns}" ]]; then
+    echo "simd i8 dispatch check: FAILED — no active_dot_i8_dim128_ns in" \
+         "the kernel report" >&2
+    exit 1
+  elif awk -v a="${auto_i8_ns}" -v s="${scalar_i8_ns}" \
+         'BEGIN{exit !(a <= s)}'; then
+    echo "simd i8 dispatch check: OK (${auto_variant} dot_i8@128" \
+         "${auto_i8_ns}ns <= scalar ${scalar_i8_ns}ns)"
+  else
+    echo "simd i8 dispatch check: FAILED — dispatched ${auto_variant}" \
+         "dot_i8@128 (${auto_i8_ns}ns) slower than scalar" \
+         "(${scalar_i8_ns}ns)" >&2
+    exit 1
+  fi
 else
   echo "micro_kernels smoke: SKIPPED (Google Benchmark not found)"
 fi
@@ -241,6 +266,93 @@ else
   echo "server smoke: SKIPPED (sccf_server not built on this platform)"
 fi
 
+# SQ8 storage smoke: the quantized mode end to end against the real
+# daemon. Start with --storage=sq8, ingest over the wire, then require
+# STATS to report nonzero int8 code bytes and zero fp32 embedding bytes
+# (the per-shard accounting actually reflects quantized storage), and a
+# SHARDSTATS reply sized to the shard count. The ranking-quality
+# tripwire rides along: the release-built golden suite's sq8 test pins
+# Recall@10/NDCG@10 within the documented band of the fp32 run.
+if [[ -x "${SRV}" ]]; then
+  SQ8_OUT="$(mktemp)"
+  SQ8_STATS="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+    "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${SQ8_OUT:-}" "${SQ8_STATS:-}"' EXIT
+  "${SRV}" --port=0 --users=800 --items=600 --storage=sq8 \
+    >"${SQ8_OUT}" 2>&1 &
+  SQ8_PID=$!
+  for _ in $(seq 1 150); do
+    grep -q 'listening on' "${SQ8_OUT}" && break
+    if ! kill -0 "${SQ8_PID}" 2>/dev/null; then break; fi
+    sleep 0.2
+  done
+  sq8_port="$(sed -n 's/.*listening on .*:\([0-9]*\)$/\1/p' "${SQ8_OUT}")"
+  if [[ -z "${sq8_port}" ]]; then
+    echo "sq8 smoke: FAILED — sccf_server --storage=sq8 never started:" >&2
+    cat "${SQ8_OUT}" >&2
+    exit 1
+  fi
+  {
+    printf 'INGEST 1 10 1 1 11 2 2 12 3\r\n'
+    printf 'STATS\r\n'
+    printf 'SHARDSTATS\r\n'
+    printf 'QUIT\r\n'
+  } | {
+    exec 9<>"/dev/tcp/127.0.0.1/${sq8_port}"
+    cat >&9
+    cat <&9
+    exec 9<&- 9>&-
+  } | tr -d '\r' >"${SQ8_STATS}"
+  sq8_stat() {  # value following a STATS/SHARDSTATS key line
+    awk -v key="$1" 'prev==key && /^:/ {sub(/^:/,""); print; exit}
+                     {prev=$0}' "${SQ8_STATS}"
+  }
+  sq8_code_bytes="$(sq8_stat code_bytes)"
+  sq8_emb_bytes="$(sq8_stat embedding_bytes)"
+  sq8_shard_arrays="$(grep -c '^\*14$' "${SQ8_STATS}" || true)"
+  kill -TERM "${SQ8_PID}"
+  sq8_exit=0
+  wait "${SQ8_PID}" || sq8_exit=$?
+  if [[ -z "${sq8_code_bytes}" || "${sq8_code_bytes}" -eq 0 ]]; then
+    echo "sq8 smoke: FAILED — STATS reported no int8 code bytes" \
+         "(code_bytes='${sq8_code_bytes}')" >&2
+    exit 1
+  fi
+  if [[ -z "${sq8_emb_bytes}" || "${sq8_emb_bytes}" -ne 0 ]]; then
+    echo "sq8 smoke: FAILED — sq8 server holds fp32 embedding bytes" \
+         "(embedding_bytes='${sq8_emb_bytes}')" >&2
+    exit 1
+  fi
+  if [[ -z "${sq8_shard_arrays}" || "${sq8_shard_arrays}" -eq 0 ]]; then
+    echo "sq8 smoke: FAILED — SHARDSTATS returned no per-shard arrays" >&2
+    exit 1
+  fi
+  if [[ "${sq8_exit}" -ne 0 ]]; then
+    echo "sq8 smoke: FAILED — SIGTERM drain exited ${sq8_exit}:" >&2
+    cat "${SQ8_OUT}" >&2
+    exit 1
+  fi
+  SQ8_GOLD="$(mktemp)"
+  trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+    "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${SQ8_OUT:-}" "${SQ8_STATS:-}" \
+    "${SQ8_GOLD:-}"' EXIT
+  if ./build/release/tests/sccf_golden_test \
+       --gtest_filter='*Sq8RecallWithinDocumentedBandOfFp32*' \
+       >"${SQ8_GOLD}" 2>&1 &&
+     grep -q '\[  PASSED  \] 1 test' "${SQ8_GOLD}"; then
+    echo "sq8 smoke: OK (code_bytes=${sq8_code_bytes}," \
+         "${sq8_shard_arrays} shard arrays, recall band held)"
+  else
+    echo "sq8 smoke: FAILED — sq8 golden recall band test did not pass:" >&2
+    tail -20 "${SQ8_GOLD}" >&2
+    exit 1
+  fi
+else
+  echo "sq8 smoke: SKIPPED (sccf_server not built on this platform)"
+fi
+
 # Crash-recovery smoke: the end-to-end durability claim, against the
 # real daemon. Start sccf_server with --data_dir, ingest over the wire,
 # pin the byte-exact replies to a read-only command block, SIGKILL the
@@ -256,7 +368,8 @@ if [[ -x "${SRV}" ]]; then
   CR_POST="$(mktemp)"
   trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
     "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
-    "${SRV_OUT:-}" "${SRV_JSON:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${SQ8_OUT:-}" "${SQ8_STATS:-}" \
+    "${SQ8_GOLD:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
     "${CR_POST:-}"; rm -rf "${CR_DIR:-}"' EXIT
   start_crash_server() {
     "${SRV}" --port=0 --users=800 --items=600 --data_dir="${CR_DIR}" \
@@ -345,7 +458,8 @@ if [[ -x "${SRV}" && -x "${SRV_BENCH}" ]]; then
   OL_PROBE="$(mktemp)"
   trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
     "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${COLD_OUT:-}" \
-    "${SRV_OUT:-}" "${SRV_JSON:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
+    "${SRV_OUT:-}" "${SRV_JSON:-}" "${SQ8_OUT:-}" "${SQ8_STATS:-}" \
+    "${SQ8_GOLD:-}" "${CR_OUT:-}" "${CR_PRE:-}" \
     "${CR_POST:-}" "${OL_OUT:-}" "${OL_JSON:-}" "${OL_PROBE:-}"; \
     rm -rf "${CR_DIR:-}" "${OL_DIR:-}"' EXIT
   start_overload_server() {

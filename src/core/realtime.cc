@@ -81,15 +81,18 @@ std::unique_ptr<index::VectorIndex> RealTimeService::MakeShardIndex(
   const size_t d = model_->embedding_dim();
   switch (options_.index_kind) {
     case IndexKind::kBruteForce:
-      return std::make_unique<index::BruteForceIndex>(d, options_.metric);
+      return std::make_unique<index::BruteForceIndex>(
+          d, options_.metric, /*parallel=*/false, options_.storage);
     case IndexKind::kIvfFlat: {
       index::IvfFlatIndex::Options ivf = options_.ivf;
       ivf.nlist = std::min(ivf.nlist, std::max<size_t>(1, shard_population));
-      return std::make_unique<index::IvfFlatIndex>(d, options_.metric, ivf);
+      return std::make_unique<index::IvfFlatIndex>(d, options_.metric, ivf,
+                                                   options_.storage);
     }
     case IndexKind::kHnsw:
       return std::make_unique<index::HnswIndex>(d, options_.metric,
-                                                options_.hnsw);
+                                                options_.hnsw,
+                                                options_.storage);
   }
   return nullptr;  // unreachable
 }
@@ -98,7 +101,8 @@ Status RealTimeService::BuildShard(
     Shard* shard, const std::vector<const UserState*>& users) const {
   const size_t d = model_->embedding_dim();
   shard->index = MakeShardIndex(users.size());
-  shard->pending = std::make_unique<index::UpsertBuffer>(d, options_.metric);
+  shard->pending = std::make_unique<index::UpsertBuffer>(d, options_.metric,
+                                                         options_.storage);
 
   std::vector<float> embeddings(users.size() * d, 0.0f);
   for (size_t i = 0; i < users.size(); ++i) {
@@ -731,8 +735,8 @@ Status RealTimeService::RestoreShard(size_t s, std::string_view payload) {
 
   uint64_t pending_count = 0;
   SCCF_RETURN_NOT_OK(reader.ReadFixed64(&pending_count));
-  auto pending =
-      std::make_unique<index::UpsertBuffer>(d, options_.metric);
+  auto pending = std::make_unique<index::UpsertBuffer>(d, options_.metric,
+                                                       options_.storage);
   std::vector<float> row;
   for (uint64_t i = 0; i < pending_count; ++i) {
     int32_t user = 0;
@@ -822,6 +826,26 @@ uint64_t RealTimeService::ShardJournalSeq(size_t s) const {
   const Shard& shard = *shards_[s];
   std::shared_lock<std::shared_mutex> lock(shard.mu);
   return shard.journal_seq;
+}
+
+std::vector<RealTimeService::ShardStats>
+RealTimeService::ShardStatsSnapshot() const {
+  std::vector<ShardStats> stats(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ShardStats& st = stats[s];
+    st.users = shard.histories.size();
+    st.index_rows = shard.index != nullptr ? shard.index->size() : 0;
+    if (shard.index != nullptr) {
+      const index::IndexMemoryStats mem = shard.index->memory_stats();
+      st.embedding_bytes = mem.embedding_bytes;
+      st.code_bytes = mem.code_bytes;
+      st.tombstones = mem.tombstones;
+    }
+    st.staged_rows = shard.pending != nullptr ? shard.pending->size() : 0;
+  }
+  return stats;
 }
 
 std::vector<size_t> RealTimeService::ShardSizes() const {

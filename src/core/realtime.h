@@ -122,6 +122,11 @@ class RealTimeService {
     bool background_compaction = false;
     IndexKind index_kind = IndexKind::kBruteForce;
     index::Metric metric = index::Metric::kCosine;
+    /// Embedding storage mode for every shard index and write buffer.
+    /// kSq8 stores rows as int8 codes + per-row scale/offset (dim + 8
+    /// bytes instead of 4*dim), scored directly on the codes via the int8
+    /// SIMD kernels. Snapshots embed the mode; restore validates it.
+    quant::Storage storage = quant::Storage::kFp32;
     /// Per-shard IVF options. nlist is clamped to the shard's bootstrap
     /// population (hash partitioning makes shard sizes data-dependent, so
     /// a fixed nlist could exceed a small shard); empty shards train a
@@ -342,6 +347,22 @@ class RealTimeService {
   const Options& options() const { return options_; }
   /// The model's embedding dimension (the width of every indexed row).
   size_t embedding_dim() const { return model_->embedding_dim(); }
+
+  /// Per-shard memory/occupancy accounting, read under one shared lock
+  /// per shard (see ShardStatsSnapshot).
+  struct ShardStats {
+    size_t users = 0;            ///< users resident in the shard
+    size_t index_rows = 0;       ///< live rows in the backend index
+    size_t embedding_bytes = 0;  ///< fp32 row storage held by the index
+    size_t code_bytes = 0;       ///< SQ8 codes + per-row params
+    size_t tombstones = 0;       ///< dead HNSW nodes still resident
+    size_t staged_rows = 0;      ///< upserts awaiting compaction
+  };
+
+  /// One ShardStats per shard, each read under that shard's shared lock
+  /// (one lock at a time, per the lock-ordering contract) — a per-shard
+  /// consistent cut, not a global one. Thread-safe after Bootstrap.
+  std::vector<ShardStats> ShardStatsSnapshot() const;
 
   /// Shard topology (0 shards before Bootstrap).
   size_t num_shards() const { return shards_.size(); }

@@ -18,13 +18,16 @@ std::unique_ptr<index::VectorIndex> UserBasedComponent::MakeIndex(
   const size_t d = base_->embedding_dim();
   switch (options_.index_kind) {
     case IndexKind::kBruteForce:
-      return std::make_unique<index::BruteForceIndex>(d, options_.metric);
+      return std::make_unique<index::BruteForceIndex>(
+          d, options_.metric, /*parallel=*/false, options_.storage);
     case IndexKind::kIvfFlat:
       return std::make_unique<index::IvfFlatIndex>(d, options_.metric,
-                                                   options_.ivf);
+                                                   options_.ivf,
+                                                   options_.storage);
     case IndexKind::kHnsw:
       return std::make_unique<index::HnswIndex>(d, options_.metric,
-                                                options_.hnsw);
+                                                options_.hnsw,
+                                                options_.storage);
   }
   return nullptr;
 }

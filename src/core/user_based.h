@@ -37,6 +37,9 @@ class UserBasedComponent : public models::Recommender {
     size_t vote_window = 15;
     IndexKind index_kind = IndexKind::kBruteForce;
     index::Metric metric = index::Metric::kCosine;
+    /// Embedding storage inside the index: fp32 rows or SQ8 codes
+    /// (int8 + per-row scale/offset, scored via the int8 kernels).
+    quant::Storage storage = quant::Storage::kFp32;
     /// Build the user snapshot from prefix+validation histories (test-time
     /// protocol) instead of training prefixes.
     bool include_validation = false;

@@ -11,21 +11,58 @@
 
 namespace sccf::index {
 
-BruteForceIndex::BruteForceIndex(size_t dim, Metric metric, bool parallel)
-    : dim_(dim), metric_(metric), parallel_(parallel) {}
+namespace {
+
+float Sum(const float* v, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+}  // namespace
+
+BruteForceIndex::BruteForceIndex(size_t dim, Metric metric, bool parallel,
+                                 quant::Storage storage)
+    : dim_(dim),
+      metric_(metric),
+      parallel_(parallel),
+      storage_(storage),
+      codes_(dim) {}
 
 Status BruteForceIndex::Add(int id, const float* vec) {
   if (id < 0) return Status::InvalidArgument("id must be non-negative");
   auto it = slot_.find(id);
   size_t s;
+  bool fresh = false;
   if (it != slot_.end()) {
     s = it->second;
   } else {
     s = ids_.size();
+    fresh = true;
     if (id != static_cast<int>(s)) ids_are_slots_ = false;
     ids_.push_back(id);
-    data_.resize(data_.size() + dim_);
+    if (storage_ == quant::Storage::kFp32) {
+      data_.resize(data_.size() + dim_);
+    }
     slot_[id] = s;
+  }
+  if (storage_ == quant::Storage::kSq8) {
+    // Quantize the row the same way the fp32 path stores it: normalised
+    // first when the metric is cosine, so inner product on decoded rows
+    // equals cosine.
+    const float* src = vec;
+    std::vector<float> normed;
+    if (metric_ == Metric::kCosine) {
+      normed.resize(dim_);
+      simd::NormalizeCopy(vec, normed.data(), dim_);
+      src = normed.data();
+    }
+    if (fresh) {
+      codes_.Append(src);
+    } else {
+      codes_.Set(s, src);
+    }
+    return Status::OK();
   }
   float* dst = data_.data() + s * dim_;
   if (metric_ == Metric::kCosine) {
@@ -34,6 +71,45 @@ Status BruteForceIndex::Add(int id, const float* vec) {
     std::copy(vec, vec + dim_, dst);
   }
   return Status::OK();
+}
+
+Status BruteForceIndex::Remove(int id) {
+  auto it = slot_.find(id);
+  if (it == slot_.end()) {
+    return Status::NotFound("id not in index: " + std::to_string(id));
+  }
+  const size_t s = it->second;
+  const size_t last = ids_.size() - 1;
+  if (s != last) {
+    // Swap the last row into the vacated slot. The moved id almost never
+    // equals its new slot, so the ids==slots fast path is conservatively
+    // dropped.
+    ids_[s] = ids_[last];
+    slot_[ids_[s]] = s;
+    if (storage_ == quant::Storage::kFp32) {
+      std::copy(data_.begin() + last * dim_, data_.begin() + (last + 1) * dim_,
+                data_.begin() + s * dim_);
+    }
+    ids_are_slots_ = false;
+  }
+  if (storage_ == quant::Storage::kSq8) {
+    codes_.RemoveSwap(s);
+  } else {
+    data_.resize(last * dim_);
+  }
+  ids_.pop_back();
+  slot_.erase(it);
+  return Status::OK();
+}
+
+IndexMemoryStats BruteForceIndex::memory_stats() const {
+  IndexMemoryStats stats;
+  if (storage_ == quant::Storage::kSq8) {
+    stats.code_bytes = codes_.code_bytes();
+  } else {
+    stats.embedding_bytes = data_.size() * sizeof(float);
+  }
+  return stats;
 }
 
 StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
@@ -46,6 +122,7 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
     simd::NormalizeCopy(query, qnorm.data(), dim_);
     q = qnorm.data();
   }
+  const float qsum = storage_ == quant::Storage::kSq8 ? Sum(q, dim_) : 0.0f;
 
   const size_t n = ids_.size();
 
@@ -61,14 +138,20 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
         if (it != slot_.end()) exclude_row = it->second;
       }
       std::vector<std::pair<int, float>> top;
-      simd::TopKDot(q, data_.data(), n, dim_, k, exclude_row, &top);
+      if (storage_ == quant::Storage::kSq8) {
+        simd::TopKDotI8(q, codes_.codes_data(), n, dim_,
+                        codes_.scales_data(), codes_.offsets_data(), qsum, k,
+                        exclude_row, &top);
+      } else {
+        simd::TopKDot(q, data_.data(), n, dim_, k, exclude_row, &top);
+      }
       std::vector<Neighbor> out;
       out.reserve(top.size());
       for (const auto& [row, score] : top) out.push_back({row, score});
       return out;
     }
     TopKAccumulator acc(k);
-    ScanRange(q, 0, n, exclude_id, &acc);
+    ScanRange(q, qsum, 0, n, exclude_id, &acc);
     return acc.Take();
   }
 
@@ -76,7 +159,7 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
   TopKAccumulator merged(k);
   ParallelForBlocked(0, n, [&](size_t lo, size_t hi) {
     TopKAccumulator local(k);
-    ScanRange(q, lo, hi, exclude_id, &local);
+    ScanRange(q, qsum, lo, hi, exclude_id, &local);
     std::vector<Neighbor> part = local.Take();
     std::lock_guard<std::mutex> lock(mu);
     for (const Neighbor& nb : part) merged.Offer(nb.id, nb.score);
@@ -84,8 +167,9 @@ StatusOr<std::vector<Neighbor>> BruteForceIndex::Search(
   return merged.Take();
 }
 
-void BruteForceIndex::ScanRange(const float* q, size_t lo, size_t hi,
-                                int exclude_id, TopKAccumulator* acc) const {
+void BruteForceIndex::ScanRange(const float* q, float qsum, size_t lo,
+                                size_t hi, int exclude_id,
+                                TopKAccumulator* acc) const {
   // Score a block of rows at a time through the batched kernel, then offer
   // sequentially — identical offer order (and therefore identical tie
   // handling) to the old one-dot-per-row loop.
@@ -93,7 +177,16 @@ void BruteForceIndex::ScanRange(const float* q, size_t lo, size_t hi,
   float scores[kBlock];
   for (size_t s = lo; s < hi; s += kBlock) {
     const size_t len = std::min(kBlock, hi - s);
-    simd::DotBatch(q, data_.data() + s * dim_, len, dim_, scores);
+    if (storage_ == quant::Storage::kSq8) {
+      simd::DotBatchI8(q, codes_.codes_data() + s * dim_, len, dim_, scores);
+      const float* scales = codes_.scales_data();
+      const float* offsets = codes_.offsets_data();
+      for (size_t j = 0; j < len; ++j) {
+        scores[j] = scales[s + j] * scores[j] + offsets[s + j] * qsum;
+      }
+    } else {
+      simd::DotBatch(q, data_.data() + s * dim_, len, dim_, scores);
+    }
     for (size_t j = 0; j < len; ++j) {
       if (ids_[s + j] == exclude_id) continue;
       acc->Offer(ids_[s + j], scores[j]);
@@ -102,27 +195,42 @@ void BruteForceIndex::ScanRange(const float* q, size_t lo, size_t hi,
 }
 
 // Payload layout (inside the persist layer's checksummed framing):
-//   u8 tag 'B' | u8 ids_are_slots | u64 dim | u64 count
-//   i32 id x count | f32 row x (count * dim)
+//   u8 tag 'B' | u8 storage | u8 ids_are_slots | u64 dim | u64 count
+//   i32 id x count
+//   fp32: f32 row x (count * dim)
+//   sq8:  i8 code x (count * dim) | f32 scale x count | f32 offset x count
 // Rows are stored exactly as held in memory (already normalised when the
-// metric is cosine), so restore is a memcpy, not a re-normalisation —
-// that is what makes recovery bit-exact.
+// metric is cosine; codes and params verbatim in sq8 mode), so restore is
+// a memcpy, not a re-normalisation or re-quantization — that is what
+// makes recovery bit-exact.
 void BruteForceIndex::SerializeTo(std::string* out) const {
   PutU8(out, 'B');
+  PutU8(out, static_cast<uint8_t>(storage_));
   PutU8(out, ids_are_slots_ ? 1 : 0);
   PutFixed64(out, static_cast<uint64_t>(dim_));
   PutFixed64(out, static_cast<uint64_t>(ids_.size()));
   for (int id : ids_) PutI32(out, id);
-  PutFloats(out, data_.data(), data_.size());
+  if (storage_ == quant::Storage::kSq8) {
+    out->append(reinterpret_cast<const char*>(codes_.codes_data()),
+                ids_.size() * dim_);
+    PutFloats(out, codes_.scales_data(), ids_.size());
+    PutFloats(out, codes_.offsets_data(), ids_.size());
+  } else {
+    PutFloats(out, data_.data(), data_.size());
+  }
 }
 
 Status BruteForceIndex::DeserializeFrom(std::string_view in) {
   ByteReader reader(in);
-  uint8_t tag = 0, ids_are_slots = 0;
+  uint8_t tag = 0, storage = 0, ids_are_slots = 0;
   uint64_t dim = 0, count = 0;
   SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
   if (tag != 'B') {
     return Status::InvalidArgument("not a brute-force index blob");
+  }
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&storage));
+  if (storage != static_cast<uint8_t>(storage_)) {
+    return Status::InvalidArgument("index blob storage mode mismatch");
   }
   SCCF_RETURN_NOT_OK(reader.ReadU8(&ids_are_slots));
   SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
@@ -147,8 +255,23 @@ Status BruteForceIndex::DeserializeFrom(std::string_view in) {
     ids.push_back(id);
   }
   std::vector<float> data;
-  SCCF_RETURN_NOT_OK(
-      reader.ReadFloats(static_cast<size_t>(count) * dim_, &data));
+  quant::Sq8Store codes(dim_);
+  if (storage_ == quant::Storage::kSq8) {
+    std::string_view raw;
+    SCCF_RETURN_NOT_OK(
+        reader.ReadView(static_cast<size_t>(count) * dim_, &raw));
+    std::vector<float> scales, offsets;
+    SCCF_RETURN_NOT_OK(reader.ReadFloats(static_cast<size_t>(count), &scales));
+    SCCF_RETURN_NOT_OK(
+        reader.ReadFloats(static_cast<size_t>(count), &offsets));
+    const int8_t* code_rows = reinterpret_cast<const int8_t*>(raw.data());
+    for (uint64_t i = 0; i < count; ++i) {
+      codes.AppendEncoded(code_rows + i * dim_, {scales[i], offsets[i]});
+    }
+  } else {
+    SCCF_RETURN_NOT_OK(
+        reader.ReadFloats(static_cast<size_t>(count) * dim_, &data));
+  }
   if (!reader.exhausted()) {
     return Status::InvalidArgument("trailing bytes in index blob");
   }
@@ -157,6 +280,7 @@ Status BruteForceIndex::DeserializeFrom(std::string_view in) {
   ids_ = std::move(ids);
   slot_ = std::move(slot);
   data_ = std::move(data);
+  codes_ = std::move(codes);
   return Status::OK();
 }
 

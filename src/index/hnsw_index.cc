@@ -11,13 +11,48 @@
 
 namespace sccf::index {
 
-HnswIndex::HnswIndex(size_t dim, Metric metric, Options options)
-    : dim_(dim), metric_(metric), options_(options), rng_(options.seed) {
+namespace {
+
+/// Graphs below this size never rebuild: the tombstone overhead is noise
+/// and tiny test graphs keep their exact historical structure.
+constexpr size_t kRebuildMinNodes = 64;
+
+float Sum(const float* v, size_t n) {
+  float s = 0.0f;
+  for (size_t i = 0; i < n; ++i) s += v[i];
+  return s;
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(size_t dim, Metric metric, Options options,
+                     quant::Storage storage)
+    : dim_(dim),
+      metric_(metric),
+      options_(options),
+      storage_(storage),
+      rng_(options.seed) {
   SCCF_CHECK_GT(options_.m, 1u);
 }
 
-float HnswIndex::Similarity(const float* a, const float* b) const {
-  return simd::Dot(a, b, dim_);
+float HnswIndex::NodeSim(const float* q, float qsum, int n) const {
+  const GraphNode& node = nodes_[n];
+  if (storage_ == quant::Storage::kSq8) {
+    return node.qp.scale * simd::DotI8(q, node.codes.data(), dim_) +
+           node.qp.offset * qsum;
+  }
+  return simd::Dot(q, node.vec.data(), dim_);
+}
+
+float HnswIndex::DecodeNode(int n, std::vector<float>* out) const {
+  const GraphNode& node = nodes_[n];
+  out->resize(dim_);
+  if (storage_ == quant::Storage::kSq8) {
+    quant::Sq8Decode(node.codes.data(), dim_, node.qp, out->data());
+  } else {
+    std::copy(node.vec.begin(), node.vec.end(), out->begin());
+  }
+  return Sum(out->data(), dim_);
 }
 
 int HnswIndex::RandomLevel() {
@@ -27,14 +62,15 @@ int HnswIndex::RandomLevel() {
   return static_cast<int>(-std::log(u) * ml);
 }
 
-int HnswIndex::GreedyClosest(const float* q, int entry, int level) const {
+int HnswIndex::GreedyClosest(const float* q, float qsum, int entry,
+                             int level) const {
   int cur = entry;
-  float cur_sim = Similarity(q, nodes_[cur].vec.data());
+  float cur_sim = NodeSim(q, qsum, cur);
   bool improved = true;
   while (improved) {
     improved = false;
     for (int nb : nodes_[cur].neighbors[level]) {
-      const float s = Similarity(q, nodes_[nb].vec.data());
+      const float s = NodeSim(q, qsum, nb);
       if (s > cur_sim) {
         cur_sim = s;
         cur = nb;
@@ -45,8 +81,9 @@ int HnswIndex::GreedyClosest(const float* q, int entry, int level) const {
   return cur;
 }
 
-std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, int entry,
-                                             size_t ef, int level) const {
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, float qsum,
+                                             int entry, size_t ef,
+                                             int level) const {
   // Classic dual-heap beam search; `visited` via epoch-free bool vector.
   std::vector<char> visited(nodes_.size(), 0);
   auto cmp_best = [](const Neighbor& a, const Neighbor& b) {
@@ -60,7 +97,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, int entry,
   std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(cmp_worst)>
       results(cmp_worst);
 
-  const float entry_sim = Similarity(q, nodes_[entry].vec.data());
+  const float entry_sim = NodeSim(q, qsum, entry);
   candidates.push({entry, entry_sim});
   results.push({entry, entry_sim});
   visited[entry] = 1;
@@ -72,7 +109,7 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, int entry,
     for (int nb : nodes_[c.id].neighbors[level]) {
       if (visited[nb]) continue;
       visited[nb] = 1;
-      const float s = Similarity(q, nodes_[nb].vec.data());
+      const float s = NodeSim(q, qsum, nb);
       if (results.size() < ef || s > results.top().score) {
         candidates.push({nb, s});
         results.push({nb, s});
@@ -94,11 +131,22 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* q, int entry,
 void HnswIndex::PruneNeighbors(int n, int level, size_t max_m) {
   auto& nbs = nodes_[n].neighbors[level];
   if (nbs.size() <= max_m) return;
+  // The pivot node becomes the query side: in sq8 mode decode it once and
+  // score its neighbors through the same affine kernel as every other
+  // similarity; fp32 uses the stored row in place.
+  std::vector<float> scratch;
+  const float* pivot;
+  float pivot_sum = 0.0f;
+  if (storage_ == quant::Storage::kSq8) {
+    pivot_sum = DecodeNode(n, &scratch);
+    pivot = scratch.data();
+  } else {
+    pivot = nodes_[n].vec.data();
+  }
   std::vector<Neighbor> scored;
   scored.reserve(nbs.size());
   for (int nb : nbs) {
-    scored.push_back(
-        {nb, Similarity(nodes_[n].vec.data(), nodes_[nb].vec.data())});
+    scored.push_back({nb, NodeSim(pivot, pivot_sum, nb)});
   }
   std::partial_sort(scored.begin(), scored.begin() + max_m, scored.end(),
                     [](const Neighbor& a, const Neighbor& b) {
@@ -108,46 +156,43 @@ void HnswIndex::PruneNeighbors(int n, int level, size_t max_m) {
   for (size_t i = 0; i < max_m; ++i) nbs.push_back(scored[i].id);
 }
 
-Status HnswIndex::Add(int id, const float* vec) {
-  if (id < 0) return Status::InvalidArgument("id must be non-negative");
-
-  auto it = live_.find(id);
-  if (it != live_.end()) {
-    // Tombstone the previous version; it keeps routing edges.
-    nodes_[it->second].deleted = true;
-    live_.erase(it);
-  }
-
-  GraphNode node;
-  node.external_id = id;
+void HnswIndex::InsertNode(GraphNode&& node) {
   node.level = RandomLevel();
-  node.vec.assign(vec, vec + dim_);
-  if (metric_ == Metric::kCosine) {
-    simd::NormalizeInPlace(node.vec.data(), dim_);
-  }
-  node.neighbors.resize(node.level + 1);
+  node.neighbors.assign(static_cast<size_t>(node.level) + 1, {});
 
   const int internal = static_cast<int>(nodes_.size());
   nodes_.push_back(std::move(node));
-  live_[id] = internal;
+  live_[nodes_[internal].external_id] = internal;
 
   if (entry_point_ < 0) {
     entry_point_ = internal;
     max_level_ = nodes_[internal].level;
-    return Status::OK();
+    return;
   }
 
-  const float* q = nodes_[internal].vec.data();
+  // The new node's row as the insertion query. In sq8 mode this is the
+  // DECODED row, so the beams that place its edges run in the same space
+  // later queries will score it in; fp32 queries with the stored row.
+  std::vector<float> qbuf;
+  const float* q;
+  float qsum = 0.0f;
+  if (storage_ == quant::Storage::kSq8) {
+    qsum = DecodeNode(internal, &qbuf);
+    q = qbuf.data();
+  } else {
+    q = nodes_[internal].vec.data();
+  }
+
   int cur = entry_point_;
   // Descend through levels above the new node's level greedily.
   for (int level = max_level_; level > nodes_[internal].level; --level) {
-    cur = GreedyClosest(q, cur, level);
+    cur = GreedyClosest(q, qsum, cur, level);
   }
   // Connect at each level from min(level, max_level_) down to 0.
   for (int level = std::min(nodes_[internal].level, max_level_); level >= 0;
        --level) {
     std::vector<Neighbor> cands =
-        SearchLayer(q, cur, options_.ef_construction, level);
+        SearchLayer(q, qsum, cur, options_.ef_construction, level);
     const size_t max_m = level == 0 ? options_.m * 2 : options_.m;
     size_t linked = 0;
     for (const Neighbor& c : cands) {
@@ -165,7 +210,86 @@ Status HnswIndex::Add(int id, const float* vec) {
     max_level_ = nodes_[internal].level;
     entry_point_ = internal;
   }
+}
+
+void HnswIndex::MaybeRebuild() {
+  if (options_.max_tombstone_ratio <= 0.0) return;
+  if (nodes_.size() < kRebuildMinNodes) return;
+  const size_t tombstones = nodes_.size() - live_.size();
+  if (static_cast<double>(tombstones) <
+      options_.max_tombstone_ratio * static_cast<double>(nodes_.size())) {
+    return;
+  }
+  // Rebuild from live nodes in internal-id order (== insertion order, so
+  // the rebuilt graph is deterministic). Rows move; levels are redrawn
+  // from the member Rng, whose state is serialized — a recovered index
+  // rebuilds identically to its uninterrupted twin.
+  std::vector<GraphNode> old = std::move(nodes_);
+  nodes_.clear();
+  nodes_.reserve(live_.size());
+  live_.clear();
+  entry_point_ = -1;
+  max_level_ = -1;
+  for (GraphNode& node : old) {
+    if (node.deleted) continue;
+    node.neighbors.clear();
+    InsertNode(std::move(node));
+  }
+}
+
+Status HnswIndex::Add(int id, const float* vec) {
+  if (id < 0) return Status::InvalidArgument("id must be non-negative");
+
+  auto it = live_.find(id);
+  if (it != live_.end()) {
+    // Tombstone the previous version; it keeps routing edges.
+    nodes_[it->second].deleted = true;
+    live_.erase(it);
+  }
+
+  GraphNode node;
+  node.external_id = id;
+  if (storage_ == quant::Storage::kSq8) {
+    std::vector<float> row(vec, vec + dim_);
+    if (metric_ == Metric::kCosine) {
+      simd::NormalizeInPlace(row.data(), dim_);
+    }
+    node.codes.resize(dim_);
+    node.qp = quant::Sq8Encode(row.data(), dim_, node.codes.data());
+  } else {
+    node.vec.assign(vec, vec + dim_);
+    if (metric_ == Metric::kCosine) {
+      simd::NormalizeInPlace(node.vec.data(), dim_);
+    }
+  }
+  InsertNode(std::move(node));
+  MaybeRebuild();
   return Status::OK();
+}
+
+Status HnswIndex::Remove(int id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) {
+    return Status::NotFound("id not in index: " + std::to_string(id));
+  }
+  nodes_[it->second].deleted = true;
+  live_.erase(it);
+  MaybeRebuild();
+  return Status::OK();
+}
+
+IndexMemoryStats HnswIndex::memory_stats() const {
+  IndexMemoryStats stats;
+  stats.tombstones = nodes_.size() - live_.size();
+  if (storage_ == quant::Storage::kSq8) {
+    // dim codes + scale + offset per resident node (tombstones included —
+    // they occupy RAM until a rebuild evicts them).
+    stats.code_bytes =
+        nodes_.size() * (dim_ * sizeof(int8_t) + 2 * sizeof(float));
+  } else {
+    stats.embedding_bytes = nodes_.size() * dim_ * sizeof(float);
+  }
+  return stats;
 }
 
 StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
@@ -177,13 +301,15 @@ StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
   std::vector<float> qbuf(query, query + dim_);
   if (metric_ == Metric::kCosine) simd::NormalizeInPlace(qbuf.data(), dim_);
   const float* q = qbuf.data();
+  const float qsum =
+      storage_ == quant::Storage::kSq8 ? Sum(q, dim_) : 0.0f;
 
   int cur = entry_point_;
   for (int level = max_level_; level > 0; --level) {
-    cur = GreedyClosest(q, cur, level);
+    cur = GreedyClosest(q, qsum, cur, level);
   }
   const size_t ef = std::max(options_.ef_search, k);
-  std::vector<Neighbor> raw = SearchLayer(q, cur, ef + k, 0);
+  std::vector<Neighbor> raw = SearchLayer(q, qsum, cur, ef + k, 0);
 
   // Filter tombstones and duplicate external ids (an id can appear once
   // live and multiple times tombstoned after updates).
@@ -198,18 +324,21 @@ StatusOr<std::vector<Neighbor>> HnswIndex::Search(const float* query,
 }
 
 // Payload layout:
-//   u8 tag 'H' | u64 dim | i32 entry_point | i32 max_level
+//   u8 tag 'H' | u8 storage | u64 dim | i32 entry_point | i32 max_level
 //   u64 rng.s[0..3] | u8 have_cached_normal | f32 cached_normal
 //   u64 node_count
 //   per node: i32 external_id | u8 deleted | i32 level
-//             f32 vec x dim
+//             fp32: f32 vec x dim
+//             sq8:  i8 code x dim | f32 scale | f32 offset
 //             per level 0..level: u64 n | i32 neighbor x n
 // The graph is persisted whole — tombstones, exact neighbor lists, entry
 // point, and the RNG — because a rebuilt-from-vectors graph would draw a
 // different level sequence and diverge from an uninterrupted run on the
-// very next Add. live_ is derived (non-deleted nodes), not stored.
+// very next Add. live_ is derived (non-deleted nodes), not stored. SQ8
+// codes and params are verbatim bytes, so restore never re-quantizes.
 void HnswIndex::SerializeTo(std::string* out) const {
   PutU8(out, 'H');
+  PutU8(out, static_cast<uint8_t>(storage_));
   PutFixed64(out, static_cast<uint64_t>(dim_));
   PutI32(out, entry_point_);
   PutI32(out, max_level_);
@@ -222,7 +351,14 @@ void HnswIndex::SerializeTo(std::string* out) const {
     PutI32(out, node.external_id);
     PutU8(out, node.deleted ? 1 : 0);
     PutI32(out, node.level);
-    PutFloats(out, node.vec.data(), node.vec.size());
+    if (storage_ == quant::Storage::kSq8) {
+      out->append(reinterpret_cast<const char*>(node.codes.data()),
+                  node.codes.size());
+      PutF32(out, node.qp.scale);
+      PutF32(out, node.qp.offset);
+    } else {
+      PutFloats(out, node.vec.data(), node.vec.size());
+    }
     for (const std::vector<int>& nbs : node.neighbors) {
       PutFixed64(out, static_cast<uint64_t>(nbs.size()));
       for (int nb : nbs) PutI32(out, nb);
@@ -235,6 +371,11 @@ Status HnswIndex::DeserializeFrom(std::string_view in) {
   uint8_t tag = 0;
   SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
   if (tag != 'H') return Status::InvalidArgument("not an HNSW index blob");
+  uint8_t storage = 0;
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&storage));
+  if (storage != static_cast<uint8_t>(storage_)) {
+    return Status::InvalidArgument("index blob storage mode mismatch");
+  }
   uint64_t dim = 0;
   SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
   if (dim != dim_) {
@@ -277,7 +418,16 @@ Status HnswIndex::DeserializeFrom(std::string_view in) {
     if (node.external_id < 0 || node.level < 0 || node.level > max_level) {
       return Status::InvalidArgument("index blob node header out of range");
     }
-    SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &node.vec));
+    if (storage_ == quant::Storage::kSq8) {
+      std::string_view raw;
+      SCCF_RETURN_NOT_OK(reader.ReadView(dim_, &raw));
+      node.codes.assign(reinterpret_cast<const int8_t*>(raw.data()),
+                        reinterpret_cast<const int8_t*>(raw.data()) + dim_);
+      SCCF_RETURN_NOT_OK(reader.ReadF32(&node.qp.scale));
+      SCCF_RETURN_NOT_OK(reader.ReadF32(&node.qp.offset));
+    } else {
+      SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &node.vec));
+    }
     node.neighbors.resize(static_cast<size_t>(node.level) + 1);
     for (std::vector<int>& nbs : node.neighbors) {
       uint64_t len = 0;

@@ -10,8 +10,9 @@
 
 namespace sccf::index {
 
-IvfFlatIndex::IvfFlatIndex(size_t dim, Metric metric, Options options)
-    : dim_(dim), metric_(metric), options_(options) {
+IvfFlatIndex::IvfFlatIndex(size_t dim, Metric metric, Options options,
+                           quant::Storage storage)
+    : dim_(dim), metric_(metric), options_(options), storage_(storage) {
   SCCF_CHECK_GT(options_.nlist, 0u);
   SCCF_CHECK_GT(options_.nprobe, 0u);
 }
@@ -104,6 +105,17 @@ Status IvfFlatIndex::Add(int id, const float* vec) {
   std::vector<float> v(vec, vec + dim_);
   if (metric_ == Metric::kCosine) simd::NormalizeInPlace(v.data(), dim_);
 
+  Posting posting;
+  posting.id = id;
+  if (storage_ == quant::Storage::kSq8) {
+    // Quantize first, then bucket by the DECODED row, so the posting
+    // lives in the centroid list closest to the vector queries actually
+    // score — assignment and search stay in the same space.
+    posting.codes.resize(dim_);
+    posting.qp = quant::Sq8Encode(v.data(), dim_, posting.codes.data());
+    quant::Sq8Decode(posting.codes.data(), dim_, posting.qp, v.data());
+  }
+
   auto it = assignment_.find(id);
   if (it != assignment_.end()) {
     // Streaming update: remove from the old bucket (swap-with-back).
@@ -118,9 +130,39 @@ Status IvfFlatIndex::Add(int id, const float* vec) {
   }
 
   const size_t list = NearestCentroid(v.data());
-  lists_[list].push_back({id, std::move(v)});
+  if (storage_ != quant::Storage::kSq8) posting.vec = std::move(v);
+  lists_[list].push_back(std::move(posting));
   assignment_[id] = {list, lists_[list].size() - 1};
   return Status::OK();
+}
+
+Status IvfFlatIndex::Remove(int id) {
+  auto it = assignment_.find(id);
+  if (it == assignment_.end()) {
+    return Status::NotFound("id not in index: " + std::to_string(id));
+  }
+  // True delete: same swap-with-back the streaming-update path uses.
+  auto [list, pos] = it->second;
+  auto& postings = lists_[list];
+  if (pos != postings.size() - 1) {
+    postings[pos] = std::move(postings.back());
+    assignment_[postings[pos].id] = {list, pos};
+  }
+  postings.pop_back();
+  assignment_.erase(it);
+  return Status::OK();
+}
+
+IndexMemoryStats IvfFlatIndex::memory_stats() const {
+  IndexMemoryStats stats;
+  stats.embedding_bytes = centroids_.size() * sizeof(float);
+  const size_t rows = assignment_.size();
+  if (storage_ == quant::Storage::kSq8) {
+    stats.code_bytes = rows * (dim_ * sizeof(int8_t) + 2 * sizeof(float));
+  } else {
+    stats.embedding_bytes += rows * dim_ * sizeof(float);
+  }
+  return stats;
 }
 
 StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
@@ -144,26 +186,41 @@ StatusOr<std::vector<Neighbor>> IvfFlatIndex::Search(const float* query,
   const size_t nprobe = std::min(options_.nprobe, nlist);
   std::partial_sort(order.begin(), order.begin() + nprobe, order.end());
 
+  float qsum = 0.0f;
+  if (storage_ == quant::Storage::kSq8) {
+    for (size_t i = 0; i < dim_; ++i) qsum += q[i];
+  }
+
   TopKAccumulator acc(k);
   for (size_t p = 0; p < nprobe; ++p) {
     for (const Posting& posting : lists_[order[p].second]) {
       if (posting.id == exclude_id) continue;
-      acc.Offer(posting.id, simd::Dot(q, posting.vec.data(), dim_));
+      if (storage_ == quant::Storage::kSq8) {
+        const float raw = simd::DotI8(q, posting.codes.data(), dim_);
+        acc.Offer(posting.id,
+                  posting.qp.scale * raw + posting.qp.offset * qsum);
+      } else {
+        acc.Offer(posting.id, simd::Dot(q, posting.vec.data(), dim_));
+      }
     }
   }
   return acc.Take();
 }
 
 // Payload layout:
-//   u8 tag 'I' | u64 dim | u8 trained | u64 nlist
+//   u8 tag 'I' | u8 storage | u64 dim | u8 trained | u64 nlist
 //   f32 centroid x (nlist * dim)
-//   per list: u64 count | per posting: i32 id | f32 vec x dim
+//   per list: u64 count | per posting:
+//     fp32: i32 id | f32 vec x dim
+//     sq8:  i32 id | i8 code x dim | f32 scale | f32 offset
 // Centroids are persisted rather than re-trained: Train() re-seeds empty
 // clusters from its own RNG, so a re-run could place centroids (and thus
 // postings) differently from the serialized run. assignment_ is derived
-// from lists_ and not stored.
+// from lists_ and not stored. SQ8 codes/params are verbatim bytes —
+// restore never re-quantizes.
 void IvfFlatIndex::SerializeTo(std::string* out) const {
   PutU8(out, 'I');
+  PutU8(out, static_cast<uint8_t>(storage_));
   PutFixed64(out, static_cast<uint64_t>(dim_));
   PutU8(out, trained_ ? 1 : 0);
   PutFixed64(out, static_cast<uint64_t>(lists_.size()));
@@ -172,17 +229,28 @@ void IvfFlatIndex::SerializeTo(std::string* out) const {
     PutFixed64(out, static_cast<uint64_t>(postings.size()));
     for (const Posting& posting : postings) {
       PutI32(out, posting.id);
-      PutFloats(out, posting.vec.data(), posting.vec.size());
+      if (storage_ == quant::Storage::kSq8) {
+        out->append(reinterpret_cast<const char*>(posting.codes.data()),
+                    posting.codes.size());
+        PutF32(out, posting.qp.scale);
+        PutF32(out, posting.qp.offset);
+      } else {
+        PutFloats(out, posting.vec.data(), posting.vec.size());
+      }
     }
   }
 }
 
 Status IvfFlatIndex::DeserializeFrom(std::string_view in) {
   ByteReader reader(in);
-  uint8_t tag = 0, trained = 0;
+  uint8_t tag = 0, storage = 0, trained = 0;
   uint64_t dim = 0, nlist = 0;
   SCCF_RETURN_NOT_OK(reader.ReadU8(&tag));
   if (tag != 'I') return Status::InvalidArgument("not an IVF index blob");
+  SCCF_RETURN_NOT_OK(reader.ReadU8(&storage));
+  if (storage != static_cast<uint8_t>(storage_)) {
+    return Status::InvalidArgument("index blob storage mode mismatch");
+  }
   SCCF_RETURN_NOT_OK(reader.ReadFixed64(&dim));
   if (dim != dim_) {
     return Status::InvalidArgument("index blob dim mismatch");
@@ -211,8 +279,9 @@ Status IvfFlatIndex::DeserializeFrom(std::string_view in) {
   for (size_t list = 0; list < lists.size(); ++list) {
     uint64_t count = 0;
     SCCF_RETURN_NOT_OK(reader.ReadFixed64(&count));
-    // Each posting costs at least 4 + 4 * dim bytes.
-    if (count > reader.remaining() / (4 + 4 * dim_)) {
+    // Each posting costs at least 4 + dim bytes (sq8) or 4 + 4 * dim
+    // (fp32); bound with the smaller.
+    if (count > reader.remaining() / (4 + dim_)) {
       return Status::IoError("truncated index blob (posting list)");
     }
     lists[list].reserve(static_cast<size_t>(count));
@@ -222,7 +291,17 @@ Status IvfFlatIndex::DeserializeFrom(std::string_view in) {
       if (posting.id < 0) {
         return Status::InvalidArgument("negative id in index blob");
       }
-      SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &posting.vec));
+      if (storage_ == quant::Storage::kSq8) {
+        std::string_view raw;
+        SCCF_RETURN_NOT_OK(reader.ReadView(dim_, &raw));
+        posting.codes.assign(
+            reinterpret_cast<const int8_t*>(raw.data()),
+            reinterpret_cast<const int8_t*>(raw.data()) + dim_);
+        SCCF_RETURN_NOT_OK(reader.ReadF32(&posting.qp.scale));
+        SCCF_RETURN_NOT_OK(reader.ReadF32(&posting.qp.offset));
+      } else {
+        SCCF_RETURN_NOT_OK(reader.ReadFloats(dim_, &posting.vec));
+      }
       if (!assignment
                .emplace(posting.id,
                         std::make_pair(list, static_cast<size_t>(i)))

@@ -33,21 +33,26 @@ class IvfFlatIndex : public VectorIndex {
     uint64_t seed = 42;
   };
 
-  IvfFlatIndex(size_t dim, Metric metric, Options options);
+  IvfFlatIndex(size_t dim, Metric metric, Options options,
+               quant::Storage storage = quant::Storage::kFp32);
 
   /// Learns the coarse quantizer from `vectors` (n x dim, row-major).
-  /// Pre: n >= nlist.
+  /// Pre: n >= nlist. Centroids are always fp32, whatever the posting
+  /// storage mode — they are nlist rows, not the memory problem.
   Status Train(const std::vector<float>& vectors, size_t n);
 
   bool trained() const { return trained_; }
 
   Status Add(int id, const float* vec) override;
+  Status Remove(int id) override;
   StatusOr<std::vector<Neighbor>> Search(const float* query, size_t k,
                                          int exclude_id = -1) const override;
 
   size_t size() const override { return assignment_.size(); }
   size_t dim() const override { return dim_; }
   Metric metric() const override { return metric_; }
+  quant::Storage storage() const override { return storage_; }
+  IndexMemoryStats memory_stats() const override;
 
   void set_nprobe(size_t nprobe) { options_.nprobe = nprobe; }
 
@@ -57,7 +62,9 @@ class IvfFlatIndex : public VectorIndex {
  private:
   struct Posting {
     int id = -1;
-    std::vector<float> vec;  // normalised when metric is cosine
+    std::vector<float> vec;      // fp32 mode: normalised when cosine
+    std::vector<int8_t> codes;   // sq8 mode: dim codes
+    quant::Sq8Params qp;         // sq8 mode: per-row affine params
   };
 
   size_t NearestCentroid(const float* vec) const;
@@ -65,6 +72,7 @@ class IvfFlatIndex : public VectorIndex {
   size_t dim_ = 0;
   Metric metric_;
   Options options_;
+  quant::Storage storage_ = quant::Storage::kFp32;
   bool trained_ = false;
   std::vector<float> centroids_;              // nlist x dim
   std::vector<std::vector<Posting>> lists_;   // per-centroid postings

@@ -41,10 +41,12 @@ std::vector<Neighbor> TopKAccumulator::Take() {
 void UpsertBuffer::Put(int id, const float* vec) {
   auto it = pos_.find(id);
   size_t row;
+  bool fresh = false;
   if (it != pos_.end()) {
     row = it->second;
   } else {
     row = ids_.size();
+    fresh = true;
     ids_.push_back(id);
     data_.resize(data_.size() + dim_);
     inv_norms_.push_back(0.0f);
@@ -54,6 +56,22 @@ void UpsertBuffer::Put(int id, const float* vec) {
   if (metric_ == Metric::kCosine) {
     const float norm = simd::Norm(vec, dim_);
     inv_norms_[row] = norm > 0.0f ? 1.0f / norm : 0.0f;
+  }
+  if (storage_ == quant::Storage::kSq8) {
+    // Encode exactly what the backend's Add will store, so staged and
+    // post-drain scores coincide bit-for-bit.
+    const float* enc = vec;
+    std::vector<float> normed;
+    if (metric_ == Metric::kCosine) {
+      normed.resize(dim_);
+      simd::NormalizeCopy(vec, normed.data(), dim_);
+      enc = normed.data();
+    }
+    if (fresh) {
+      codes_.Append(enc);
+    } else {
+      codes_.Set(row, enc);
+    }
   }
 }
 
@@ -66,6 +84,22 @@ void UpsertBuffer::OfferTo(const float* query, int exclude_id,
     qnorm.resize(dim_);
     simd::NormalizeCopy(query, qnorm.data(), dim_);
     q = qnorm.data();
+  }
+  if (storage_ == quant::Storage::kSq8) {
+    // Score the staged codes with the same affine int8 dot the backend
+    // uses, so the merged score equals the future indexed score exactly.
+    // Cosine needs no inv-norm factor here: the codes already encode the
+    // normalised row.
+    float qsum = 0.0f;
+    for (size_t i = 0; i < dim_; ++i) qsum += q[i];
+    for (size_t row = 0; row < ids_.size(); ++row) {
+      if (ids_[row] == exclude_id) continue;
+      const quant::Sq8Params p = codes_.params(row);
+      const float score =
+          p.scale * simd::DotI8(q, codes_.row(row), dim_) + p.offset * qsum;
+      acc->Offer(ids_[row], score);
+    }
+    return;
   }
   for (size_t row = 0; row < ids_.size(); ++row) {
     if (ids_[row] == exclude_id) continue;
@@ -84,6 +118,7 @@ Status UpsertBuffer::DrainTo(VectorIndex* index) {
   ids_.clear();
   data_.clear();
   inv_norms_.clear();
+  codes_.clear();
   pos_.clear();
   return first_error;
 }

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "quant/sq8.h"
 #include "util/status.h"
 
 namespace sccf::index {
@@ -17,6 +18,18 @@ enum class Metric { kInnerProduct, kCosine };
 struct Neighbor {
   int id = -1;
   float score = 0.0f;
+};
+
+/// Bytes and structural debt a backend currently holds, split by
+/// representation so operators can see what a storage-mode switch buys.
+/// embedding_bytes counts fp32 row storage (including IVF centroids and
+/// HNSW tombstoned nodes — they occupy RAM until a rebuild). code_bytes
+/// counts SQ8 codes plus their per-row scale/offset params. tombstones is
+/// the count of dead-but-resident entries (only HNSW accrues them).
+struct IndexMemoryStats {
+  size_t embedding_bytes = 0;
+  size_t code_bytes = 0;
+  size_t tombstones = 0;
 };
 
 /// Dynamic nearest-neighbor index over float vectors, the substrate the
@@ -72,6 +85,14 @@ class VectorIndex {
   /// Inserts or replaces the vector for `id`. Pre: id >= 0.
   virtual Status Add(int id, const float* vec) = 0;
 
+  /// Removes `id` from the index; NotFound when absent. Removal is a
+  /// *true* delete for brute-force and IVF (the row is gone). HNSW
+  /// tombstones the node to preserve graph routing, then rebuilds the
+  /// whole graph once tombstones exceed Options::max_tombstone_ratio —
+  /// so resident dead nodes are bounded, not monotone. Requires
+  /// exclusive access like Add.
+  virtual Status Remove(int id) = 0;
+
   /// Top-k ids by similarity to `query`, descending. `exclude_id` (if >= 0)
   /// is never returned — the paper excludes the user herself from N_u.
   /// Returns fewer than k results when the index is smaller.
@@ -82,6 +103,13 @@ class VectorIndex {
   virtual size_t size() const = 0;
   virtual size_t dim() const = 0;
   virtual Metric metric() const = 0;
+
+  /// Which representation rows are held in (fixed at construction).
+  virtual quant::Storage storage() const = 0;
+
+  /// Current resident footprint; safe concurrently with Search (reads
+  /// container sizes only). See IndexMemoryStats.
+  virtual IndexMemoryStats memory_stats() const = 0;
 
   /// Appends the backend's complete internal state to `*out` — stored
   /// rows, graph topology including tombstones, centroids, and any
@@ -139,11 +167,22 @@ class TopKAccumulator {
 /// score 0), matching the backends' normalised-copy semantics to within
 /// rounding.
 ///
+/// In sq8 mode the buffer additionally quantizes each staged row exactly
+/// as the backend's Add will (normalise-then-encode for cosine), and
+/// OfferTo scores the *codes* with the affine int8 dot — so a staged
+/// row's merged score is bit-identical to its post-drain indexed score,
+/// and queries never observe a drain. DrainTo still hands the backend
+/// the raw fp32 row (encoding is deterministic, so the backend derives
+/// the same codes), which keeps shard snapshots of staged rows in plain
+/// fp32 regardless of storage mode.
+///
 /// Not internally synchronized — same contract as VectorIndex; the owner
 /// guards it with the same lock as the index it stages for.
 class UpsertBuffer {
  public:
-  UpsertBuffer(size_t dim, Metric metric) : dim_(dim), metric_(metric) {}
+  UpsertBuffer(size_t dim, Metric metric,
+               quant::Storage storage = quant::Storage::kFp32)
+      : dim_(dim), metric_(metric), storage_(storage), codes_(dim) {}
 
   /// Stages a copy of `vec` (dim floats) for `id`. Pre: id >= 0.
   void Put(int id, const float* vec);
@@ -156,6 +195,7 @@ class UpsertBuffer {
   bool empty() const { return ids_.empty(); }
   size_t dim() const { return dim_; }
   Metric metric() const { return metric_; }
+  quant::Storage storage() const { return storage_; }
   /// Staged ids in first-Put order (diagnostics / tests / snapshots).
   const std::vector<int>& ids() const { return ids_; }
 
@@ -181,9 +221,11 @@ class UpsertBuffer {
  private:
   size_t dim_ = 0;
   Metric metric_;
+  quant::Storage storage_ = quant::Storage::kFp32;
   std::vector<int> ids_;                   // row -> external id
   std::vector<float> data_;                // ids_.size() x dim_, raw rows
   std::vector<float> inv_norms_;           // 1/|row| (0 for zero rows)
+  quant::Sq8Store codes_;                  // sq8 mode: backend-identical codes
   std::unordered_map<int, size_t> pos_;    // external id -> row
 };
 

@@ -276,14 +276,34 @@ class Engine {
     bool background_compaction = false;
     bool save_in_progress = false;
     int64_t last_save_duration_ms = -1;  ///< -1 until a save completes
+    /// Memory accounting, summed over ShardStats(): fp32 row bytes held
+    /// by the backend indexes, SQ8 code bytes (codes + per-row params),
+    /// and resident HNSW tombstones. Exactly one of embedding_bytes /
+    /// code_bytes dominates depending on Options::storage.
+    size_t embedding_bytes = 0;
+    size_t code_bytes = 0;
+    size_t tombstones = 0;
   };
   StatsSnapshot Stats() const {
-    return StatsSnapshot{service_.num_users(),
-                         service_.num_shards(),
-                         service_.pending_upserts(),
-                         service_.background_compaction_running(),
-                         save_in_progress(),
-                         last_save_duration_ms()};
+    StatsSnapshot out{service_.num_users(),
+                      service_.num_shards(),
+                      service_.pending_upserts(),
+                      service_.background_compaction_running(),
+                      save_in_progress(),
+                      last_save_duration_ms()};
+    for (const core::RealTimeService::ShardStats& s : ShardStats()) {
+      out.embedding_bytes += s.embedding_bytes;
+      out.code_bytes += s.code_bytes;
+      out.tombstones += s.tombstones;
+    }
+    return out;
+  }
+
+  /// Per-shard occupancy/memory accounting (the SHARDSTATS server
+  /// command): one entry per shard, each read under that shard's shared
+  /// lock. See core::RealTimeService::ShardStatsSnapshot.
+  std::vector<core::RealTimeService::ShardStats> ShardStats() const {
+    return service_.ShardStatsSnapshot();
   }
 
   /// The wrapped service, for diagnostics (shard topology, vote lists)

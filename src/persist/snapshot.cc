@@ -10,7 +10,8 @@ namespace sccf::persist {
 namespace {
 
 constexpr char kMagic[8] = {'S', 'C', 'C', 'F', 'S', 'N', 'A', 'P'};
-constexpr uint32_t kVersion = 1;
+// Version 2 added the storage mode (fp32 / sq8) to the meta section.
+constexpr uint32_t kVersion = 2;
 
 constexpr uint8_t kSectionMeta = 'M';
 constexpr uint8_t kSectionShard = 'S';
@@ -53,6 +54,7 @@ StatusOr<std::string> EncodeSnapshot(const core::RealTimeService& service) {
   PutFixed64(&meta, service.embedding_dim());
   PutFixed32(&meta, static_cast<uint32_t>(service.options().index_kind));
   PutFixed32(&meta, static_cast<uint32_t>(service.options().metric));
+  PutFixed32(&meta, static_cast<uint32_t>(service.options().storage));
   AppendSection(&out, kSectionMeta, meta);
 
   std::string payload;
@@ -91,6 +93,7 @@ Status DecodeSnapshot(std::string_view bytes, SnapshotMeta* meta,
     SCCF_RETURN_NOT_OK(m.ReadFixed64(&meta->dim));
     SCCF_RETURN_NOT_OK(m.ReadFixed32(&meta->index_kind));
     SCCF_RETURN_NOT_OK(m.ReadFixed32(&meta->metric));
+    SCCF_RETURN_NOT_OK(m.ReadFixed32(&meta->storage));
     if (!m.exhausted()) {
       return Status::IoError("trailing bytes in snapshot meta");
     }
@@ -154,6 +157,9 @@ Status LoadSnapshotFile(const std::string& path,
           static_cast<uint32_t>(service->options().index_kind) ||
       meta.metric != static_cast<uint32_t>(service->options().metric)) {
     return Status::InvalidArgument("snapshot index kind/metric mismatch");
+  }
+  if (meta.storage != static_cast<uint32_t>(service->options().storage)) {
+    return Status::InvalidArgument("snapshot storage mode mismatch");
   }
   for (size_t s = 0; s < shards.size(); ++s) {
     SCCF_RETURN_NOT_OK(service->RestoreShard(s, shards[s]));

@@ -34,6 +34,10 @@ struct SnapshotMeta {
   uint64_t dim = 0;
   uint32_t index_kind = 0;
   uint32_t metric = 0;
+  /// quant::Storage of the serialized indexes (version >= 2). A service
+  /// constructed in the other mode cannot restore these shard blobs, so
+  /// recovery rejects the mismatch up front instead of failing per shard.
+  uint32_t storage = 0;
 };
 
 /// Serializes the whole service (meta + every shard, one shard lock at a

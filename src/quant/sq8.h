@@ -1,0 +1,115 @@
+#ifndef SCCF_QUANT_SQ8_H_
+#define SCCF_QUANT_SQ8_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// SQ8 scalar quantization: each embedding row is stored as dim int8
+/// codes plus a per-row affine map value = scale * code + offset.
+///
+/// Encoding is min-max symmetric around the row midpoint:
+///   lo = min(row), hi = max(row)
+///   scale  = (hi - lo) / 254        (codes span [-127, 127])
+///   offset = (hi + lo) / 2
+///   code_i = round((v_i - offset) / scale), clamped to [-127, 127]
+/// A constant row (hi == lo, including all-zero rows) encodes as
+/// scale = 0, offset = lo, codes all 0 — and decodes exactly.
+///
+/// Properties the rest of the system relies on:
+///  - Deterministic: the same fp32 row always yields the same codes and
+///    params, so journal replay and snapshot recovery re-encode staged
+///    rows bit-identically.
+///  - Self-contained rows: codes + (scale, offset) serialize as-is, so
+///    snapshot roundtrips are trivially bit-exact.
+///  - Memory: dim + 8 bytes per row vs 4 * dim fp32 (3.76x at dim 128).
+///
+/// Scoring against codes never materializes decoded floats; see the
+/// DotI8/CosineI8/TopKDotI8 kernels in simd/kernels.h.
+namespace sccf::quant {
+
+/// Which representation an index backend holds rows in. Lives here (not
+/// in index/) so core/ and server/ can name it without pulling in the
+/// backend headers.
+enum class Storage : int { kFp32 = 0, kSq8 = 1 };
+
+/// "fp32" or "sq8".
+const char* StorageName(Storage s);
+
+/// Parses "fp32" / "sq8" (case-insensitive). Returns false on anything
+/// else.
+bool ParseStorage(const std::string& s, Storage* out);
+
+struct Sq8Params {
+  float scale = 0.0f;
+  float offset = 0.0f;
+};
+
+/// Encodes n floats into codes[0..n); returns the row's affine params.
+Sq8Params Sq8Encode(const float* in, size_t n, int8_t* codes);
+
+/// Decodes n codes back to floats: out[i] = scale * codes[i] + offset.
+void Sq8Decode(const int8_t* codes, size_t n, Sq8Params params, float* out);
+
+/// Dense slot-major store of SQ8 rows: one contiguous code matrix plus
+/// parallel per-row scale/offset arrays, laid out so TopKDotI8 can scan
+/// it directly. Mirrors the std::vector<float> row matrix the fp32
+/// backends use — append, overwrite, swap-remove — with the quantization
+/// step folded into the writes.
+class Sq8Store {
+ public:
+  explicit Sq8Store(size_t dim) : dim_(dim) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return scales_.size(); }
+  bool empty() const { return scales_.empty(); }
+
+  /// Encodes `row` (dim floats) into a new slot; returns its index.
+  size_t Append(const float* row);
+
+  /// Re-encodes `row` into an existing slot.
+  void Set(size_t slot, const float* row);
+
+  /// Appends a pre-encoded row (snapshot restore path).
+  void AppendEncoded(const int8_t* codes, Sq8Params params);
+
+  /// Removes `slot` by moving the last row into it (no-op move when slot
+  /// is already last). The caller owns fixing up any slot maps.
+  void RemoveSwap(size_t slot);
+
+  /// out[i] = scale * code[i] + offset for the row at `slot`.
+  void DecodeRow(size_t slot, float* out) const;
+
+  const int8_t* row(size_t slot) const { return codes_.data() + slot * dim_; }
+  Sq8Params params(size_t slot) const {
+    return {scales_[slot], offsets_[slot]};
+  }
+
+  /// Raw views for scan kernels and serialization.
+  const int8_t* codes_data() const { return codes_.data(); }
+  const float* scales_data() const { return scales_.data(); }
+  const float* offsets_data() const { return offsets_.data(); }
+
+  /// Bytes held by codes + per-row params (the quantized footprint).
+  size_t code_bytes() const {
+    return codes_.size() * sizeof(int8_t) +
+           (scales_.size() + offsets_.size()) * sizeof(float);
+  }
+
+  void clear() {
+    codes_.clear();
+    scales_.clear();
+    offsets_.clear();
+  }
+
+ private:
+  size_t dim_;
+  std::vector<int8_t> codes_;  // size() * dim_, row-major
+  std::vector<float> scales_;
+  std::vector<float> offsets_;
+};
+
+}  // namespace sccf::quant
+
+#endif  // SCCF_QUANT_SQ8_H_

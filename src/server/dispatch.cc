@@ -194,7 +194,7 @@ void ExecuteHistory(online::Engine& engine, const Command& cmd,
 
 void ExecuteStats(online::Engine& engine, std::string* out) {
   const online::Engine::StatsSnapshot stats = engine.Stats();
-  AppendArrayHeader(out, 12);
+  AppendArrayHeader(out, 18);
   AppendBulkString(out, "num_users");
   AppendInteger(out, static_cast<int64_t>(stats.num_users));
   AppendBulkString(out, "num_shards");
@@ -207,6 +207,36 @@ void ExecuteStats(online::Engine& engine, std::string* out) {
   AppendInteger(out, stats.save_in_progress ? 1 : 0);
   AppendBulkString(out, "last_save_duration_ms");
   AppendInteger(out, stats.last_save_duration_ms);
+  AppendBulkString(out, "embedding_bytes");
+  AppendInteger(out, static_cast<int64_t>(stats.embedding_bytes));
+  AppendBulkString(out, "code_bytes");
+  AppendInteger(out, static_cast<int64_t>(stats.code_bytes));
+  AppendBulkString(out, "tombstones");
+  AppendInteger(out, static_cast<int64_t>(stats.tombstones));
+}
+
+void ExecuteShardStats(online::Engine& engine, std::string* out) {
+  const std::vector<core::RealTimeService::ShardStats> shards =
+      engine.ShardStats();
+  AppendArrayHeader(out, shards.size());
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const core::RealTimeService::ShardStats& st = shards[s];
+    AppendArrayHeader(out, 14);
+    AppendBulkString(out, "shard");
+    AppendInteger(out, static_cast<int64_t>(s));
+    AppendBulkString(out, "users");
+    AppendInteger(out, static_cast<int64_t>(st.users));
+    AppendBulkString(out, "index_rows");
+    AppendInteger(out, static_cast<int64_t>(st.index_rows));
+    AppendBulkString(out, "embedding_bytes");
+    AppendInteger(out, static_cast<int64_t>(st.embedding_bytes));
+    AppendBulkString(out, "code_bytes");
+    AppendInteger(out, static_cast<int64_t>(st.code_bytes));
+    AppendBulkString(out, "tombstones");
+    AppendInteger(out, static_cast<int64_t>(st.tombstones));
+    AppendBulkString(out, "staged_rows");
+    AppendInteger(out, static_cast<int64_t>(st.staged_rows));
+  }
 }
 
 void ExecuteSave(online::Engine& engine, std::string* out) {
@@ -258,6 +288,8 @@ bool Execute(online::Engine& engine, const Command& command,
     ExecuteHistory(engine, command, out);
   } else if (command.name == "STATS") {
     ExecuteStats(engine, out);
+  } else if (command.name == "SHARDSTATS") {
+    ExecuteShardStats(engine, out);
   } else if (command.name == "SAVE") {
     ExecuteSave(engine, out);
   } else if (command.name == "BGSAVE") {

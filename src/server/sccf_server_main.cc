@@ -23,6 +23,9 @@
 //   --shards=N             0 = hardware concurrency (default)
 //   --compaction=N         write-buffer flush threshold (default 32)
 //   --compaction_interval=MS  wall-clock compaction bound (default 0)
+//   --storage=MODE         index embedding storage: fp32 (default) or
+//                          sq8 (int8 codes + per-row scale/offset, ~4x
+//                          smaller rows; see docs/OPERATIONS.md)
 //   --background           enable the background compaction thread
 //   --seed=N               corpus seed (default 7)
 //   --data_dir=DIR         persistence directory: recover on start
@@ -83,6 +86,7 @@ struct Config {
   size_t shards = 0;
   size_t compaction = 32;
   int64_t compaction_interval_ms = 0;
+  quant::Storage storage = quant::Storage::kFp32;
   bool background = false;
   uint64_t seed = 7;
   std::string data_dir;
@@ -150,6 +154,9 @@ int main(int argc, char** argv) {
       SCCF_CHECK(ParseInt64(val("--compaction_interval="), &v) && v >= 0)
           << "bad --compaction_interval";
       cfg.compaction_interval_ms = v;
+    } else if (arg.rfind("--storage=", 0) == 0) {
+      SCCF_CHECK(quant::ParseStorage(val("--storage="), &cfg.storage))
+          << "bad --storage (expected fp32 or sq8)";
     } else if (arg == "--background") {
       cfg.background = true;
     } else if (arg.rfind("--data_dir=", 0) == 0) {
@@ -201,6 +208,7 @@ int main(int argc, char** argv) {
   eopts.compaction_threshold = cfg.compaction;
   eopts.compaction_interval_ms = cfg.compaction_interval_ms;
   eopts.background_compaction = cfg.background;
+  eopts.storage = cfg.storage;
   eopts.recover_dir = cfg.data_dir;
   eopts.journal_fsync = cfg.journal_fsync;
   online::Engine engine(fism, eopts);

@@ -2,6 +2,7 @@
 #define SCCF_SIMD_KERNEL_TABLE_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace sccf::simd::internal {
 
@@ -29,6 +30,15 @@ struct KernelTable {
   /// duplicates inside a 16-lane batch).
   void (*scatter_add_constant)(float* dst, const int* idx, size_t n,
                                float v);
+  /// Raw inner product of an fp32 query against a length-n int8 code row:
+  /// sum_i q[i] * c[i], accumulated in fp32. The affine SQ8 correction
+  /// (scale * raw + offset * sum(q)) is applied by the derived kernels in
+  /// kernels.cc, not here, so each variant only widens and multiplies.
+  float (*dot_i8)(const float* q, const int8_t* c, size_t n);
+  /// out[r] = dot_i8(q, base + r*dim) for r in [0, count). Rows are
+  /// register-blocked like dot_batch.
+  void (*dot_batch_i8)(const float* q, const int8_t* base, size_t count,
+                       size_t dim, float* out);
 };
 
 /// Always available; the reference implementation every variant must match.
@@ -47,6 +57,9 @@ void AxpyScalar(float alpha, const float* x, float* y, size_t n);
 void DotBatchScalar(const float* q, const float* base, size_t count,
                     size_t dim, float* out);
 void ScatterAddConstantScalar(float* dst, const int* idx, size_t n, float v);
+float DotI8Scalar(const float* q, const int8_t* c, size_t n);
+void DotBatchI8Scalar(const float* q, const int8_t* base, size_t count,
+                      size_t dim, float* out);
 
 }  // namespace sccf::simd::internal
 

@@ -56,10 +56,33 @@ void ScatterAddConstantScalar(float* dst, const int* idx, size_t n,
   for (size_t i = 0; i < n; ++i) dst[idx[i]] += v;
 }
 
+float DotI8Scalar(const float* q, const int8_t* c, size_t n) {
+  // Same four-accumulator shape as DotScalar so the int8 scalar baseline
+  // is a fair reference for the widened-FMA variants.
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += q[i] * static_cast<float>(c[i]);
+    acc1 += q[i + 1] * static_cast<float>(c[i + 1]);
+    acc2 += q[i + 2] * static_cast<float>(c[i + 2]);
+    acc3 += q[i + 3] * static_cast<float>(c[i + 3]);
+  }
+  float acc = acc0 + acc1 + acc2 + acc3;
+  for (; i < n; ++i) acc += q[i] * static_cast<float>(c[i]);
+  return acc;
+}
+
+void DotBatchI8Scalar(const float* q, const int8_t* base, size_t count,
+                      size_t dim, float* out) {
+  for (size_t r = 0; r < count; ++r) {
+    out[r] = DotI8Scalar(q, base + r * dim, dim);
+  }
+}
+
 const KernelTable* ScalarTable() {
   static const KernelTable table = {
       &DotScalar, &SquaredL2Scalar, &AxpyScalar, &DotBatchScalar,
-      &ScatterAddConstantScalar,
+      &ScatterAddConstantScalar, &DotI8Scalar, &DotBatchI8Scalar,
   };
   return &table;
 }
@@ -302,6 +325,79 @@ void TopKDot(const float* q, const float* base, size_t count, size_t dim,
 
 void ScatterAddConstant(float* dst, const int* idx, size_t n, float v) {
   ActiveTable().scatter_add_constant(dst, idx, n, v);
+}
+
+float DotI8(const float* q, const int8_t* c, size_t n) {
+  return ActiveTable().dot_i8(q, c, n);
+}
+
+void DotBatchI8(const float* q, const int8_t* base, size_t count,
+                size_t dim, float* out) {
+  ActiveTable().dot_batch_i8(q, base, count, dim, out);
+}
+
+float CosineI8(const float* q, const int8_t* c, size_t n, float scale,
+               float offset, float qsum) {
+  const float nq = Norm(q, n);
+  if (nq == 0.0f) return 0.0f;
+  // ||decoded||^2 = scale^2*sum(c^2) + 2*scale*offset*sum(c) + offset^2*n.
+  // sum(c) / sum(c^2) stay scalar: int8 codes make this loop cheap and it
+  // keeps the norm bit-identical across variants (only the raw dot below
+  // goes through the dispatch table).
+  float sum_c = 0.0f, sum_c2 = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float v = static_cast<float>(c[i]);
+    sum_c += v;
+    sum_c2 += v * v;
+  }
+  const float norm_sq = scale * scale * sum_c2 +
+                        2.0f * scale * offset * sum_c +
+                        offset * offset * static_cast<float>(n);
+  const float nr = std::sqrt(std::max(0.0f, norm_sq));
+  if (nr == 0.0f) return 0.0f;
+  const float dot = scale * ActiveTable().dot_i8(q, c, n) + offset * qsum;
+  return dot / (nq * nr);
+}
+
+void TopKDotI8(const float* q, const int8_t* base, size_t count, size_t dim,
+               const float* scales, const float* offsets, float qsum,
+               size_t k, ptrdiff_t exclude_row,
+               std::vector<std::pair<int, float>>* out) {
+  out->clear();
+  if (k == 0 || count == 0) return;
+
+  constexpr size_t kBlock = 256;
+  float raw[kBlock];
+  std::vector<RowScore> heap;
+  heap.reserve(k + 1);
+
+  const KernelTable& table = ActiveTable();
+  for (size_t lo = 0; lo < count; lo += kBlock) {
+    const size_t len = std::min(kBlock, count - lo);
+    table.dot_batch_i8(q, base + lo * dim, len, dim, raw);
+    for (size_t j = 0; j < len; ++j) {
+      const size_t row = lo + j;
+      if (static_cast<ptrdiff_t>(row) == exclude_row) continue;
+      const float s = scales[row] * raw[j] + offsets[row] * qsum;
+      if (heap.size() < k) {
+        heap.push_back({static_cast<int>(row), s});
+        std::push_heap(heap.begin(), heap.end(), MinHeapCmp());
+        continue;
+      }
+      if (s <= heap.front().score) continue;
+      std::pop_heap(heap.begin(), heap.end(), MinHeapCmp());
+      heap.back() = {static_cast<int>(row), s};
+      std::push_heap(heap.begin(), heap.end(), MinHeapCmp());
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(), [](const RowScore& a,
+                                         const RowScore& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.row < b.row;
+  });
+  out->reserve(heap.size());
+  for (const RowScore& rs : heap) out->emplace_back(rs.row, rs.score);
 }
 
 }  // namespace sccf::simd

@@ -2,6 +2,7 @@
 #define SCCF_SIMD_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -86,6 +87,40 @@ void TopKDot(const float* q, const float* base, size_t count, size_t dim,
 /// call and in-bounds. Used for neighborhood vote accumulation (Eq. 12),
 /// where each neighbor's item list is de-duplicated.
 void ScatterAddConstant(float* dst, const int* idx, size_t n, float v);
+
+/// ---- Int8 (SQ8) kernels -----------------------------------------------
+///
+/// The quant layer stores rows as int8 codes with a per-row affine map
+/// value = scale * code + offset (see src/quant/sq8.h). These kernels
+/// score an fp32 query against code rows without materializing decoded
+/// floats: dot(q, decoded_row) = scale * DotI8(q, codes) + offset * qsum
+/// where qsum = sum_i q[i]. Callers precompute qsum once per query.
+
+/// Raw widened inner product sum_i q[i] * c[i], fp32 accumulation. This is
+/// the per-variant primitive; it carries no scale/offset semantics.
+float DotI8(const float* q, const int8_t* c, size_t n);
+
+/// out[r] = DotI8(q, base + r*dim) for r in [0, count). `base` is a dense
+/// row-major int8 code matrix.
+void DotBatchI8(const float* q, const int8_t* base, size_t count,
+                size_t dim, float* out);
+
+/// Cosine similarity between fp32 query q and the decoded row
+/// scale * c + offset. qsum = sum_i q[i]. Zero-norm policy matches
+/// Cosine(): if either side has zero norm the similarity is 0. Derived —
+/// identical across variants up to FP reassociation of the raw dot.
+float CosineI8(const float* q, const int8_t* c, size_t n, float scale,
+               float offset, float qsum);
+
+/// Top-k rows of an int8 code matrix by decoded inner product with q:
+/// score(r) = scales[r] * DotI8(q, row_r) + offsets[r] * qsum. Selection
+/// and tie semantics are identical to TopKDot (strictly-greater
+/// replacement, descending score then ascending row). `exclude_row`
+/// (if >= 0) is skipped.
+void TopKDotI8(const float* q, const int8_t* base, size_t count, size_t dim,
+               const float* scales, const float* offsets, float qsum,
+               size_t k, ptrdiff_t exclude_row,
+               std::vector<std::pair<int, float>>* out);
 
 }  // namespace sccf::simd
 

@@ -602,5 +602,88 @@ TEST_F(EngineTest, IngestResponseAggregatesAreConsistent) {
             split_->TrainSequence(11).size() + 3);
 }
 
+// ------------------------------------------------------- sq8 storage
+
+// An SQ8 engine serves end to end and the memory accounting matches the
+// codec arithmetic exactly: code_bytes == rows * (dim + 8), zero fp32
+// embedding bytes, while an fp32 twin reports rows * 4 * dim and zero
+// code bytes. (The >=3x reduction pin lives in index_test at dim 32;
+// this fixture's dim-16 model would only give 2.67x.)
+TEST_F(EngineTest, Sq8EngineServesAndAccountsMemory) {
+  Engine::Options sq8_opts = BaseOptions();
+  sq8_opts.storage = quant::Storage::kSq8;
+  Engine sq8(*fism_, sq8_opts);
+  ASSERT_TRUE(sq8.BootstrapFromSplit(*split_).ok());
+
+  Engine fp32(*fism_, BaseOptions());
+  ASSERT_TRUE(fp32.BootstrapFromSplit(*split_).ok());
+
+  auto resp = sq8.Ingest({ShuffledEventLog()});
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(sq8.Compact().ok());
+
+  // Serving paths all work on int8 codes.
+  auto nbrs = sq8.Neighbors({3, std::nullopt});
+  ASSERT_TRUE(nbrs.ok());
+  EXPECT_FALSE(nbrs->neighbors.empty());
+  auto recs = sq8.Recommend({3, 10, {}});
+  ASSERT_TRUE(recs.ok());
+  EXPECT_FALSE(recs->candidates.empty());
+
+  const size_t dim = fism_->embedding_dim();
+  size_t rows = 0;
+  for (const auto& s : sq8.ShardStats()) rows += s.index_rows;
+  EXPECT_GT(rows, 0u);
+
+  const Engine::StatsSnapshot stats = sq8.Stats();
+  EXPECT_EQ(stats.embedding_bytes, 0u);
+  EXPECT_EQ(stats.code_bytes, rows * (dim + 2 * sizeof(float)));
+
+  const Engine::StatsSnapshot base = fp32.Stats();
+  size_t base_rows = 0;
+  for (const auto& s : fp32.ShardStats()) base_rows += s.index_rows;
+  EXPECT_EQ(base.code_bytes, 0u);
+  EXPECT_EQ(base.embedding_bytes, base_rows * dim * sizeof(float));
+}
+
+// Staged SQ8 rows (write buffer, scored by the single-row int8 kernel)
+// must agree with the compacted index (batch int8 kernels) on ids; the
+// batch kernels reassociate the accumulation differently, so scores get
+// the same 1e-5 tolerance the fp32 staged tests use.
+TEST_F(EngineTest, Sq8StagedMatchesCompacted) {
+  Engine::Options opts = BaseOptions();
+  opts.storage = quant::Storage::kSq8;
+  opts.compaction_threshold = 1 << 20;  // keep everything staged
+  Engine engine(*fism_, opts);
+  ASSERT_TRUE(engine.BootstrapFromSplit(*split_).ok());
+
+  auto resp = engine.Ingest({ShuffledEventLog()});
+  ASSERT_TRUE(resp.ok());
+  EXPECT_GT(engine.pending_upserts(), 0u);
+
+  const std::vector<int> probes = {0, 3, 11, 29, 5000, 5001};
+  std::vector<std::vector<index::Neighbor>> staged;
+  for (int user : probes) {
+    auto n = engine.Neighbors({user, std::nullopt});
+    ASSERT_TRUE(n.ok()) << "user " << user;
+    staged.push_back(n->neighbors);
+  }
+
+  ASSERT_TRUE(engine.Compact().ok());
+  EXPECT_EQ(engine.pending_upserts(), 0u);
+
+  for (size_t p = 0; p < probes.size(); ++p) {
+    auto n = engine.Neighbors({probes[p], std::nullopt});
+    ASSERT_TRUE(n.ok()) << "user " << probes[p];
+    ASSERT_EQ(n->neighbors.size(), staged[p].size()) << "user " << probes[p];
+    for (size_t i = 0; i < staged[p].size(); ++i) {
+      EXPECT_EQ(n->neighbors[i].id, staged[p][i].id)
+          << "user " << probes[p] << " rank " << i;
+      EXPECT_NEAR(n->neighbors[i].score, staged[p][i].score, 1e-5f)
+          << "user " << probes[p] << " rank " << i;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sccf::online

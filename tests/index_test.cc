@@ -457,5 +457,314 @@ TEST(UpsertBufferTest, OfferToMatchesIndexScoringForCosine) {
   }
 }
 
+// ------------------------------------------------------- SQ8 storage
+
+// Recall of sq8 search against the fp32 exact reference: quantization
+// perturbs scores by ~scale/2 per element, so top-10 overlap stays high
+// on a random corpus even though exact ranks can swap.
+TEST(Sq8IndexTest, BruteForceSq8TracksFp32Reference) {
+  const size_t n = 200, d = 32;
+  Rng rng(41);
+  auto corpus = RandomCorpus(n, d, rng);
+  BruteForceIndex idx(d, Metric::kCosine, /*parallel=*/false,
+                      quant::Storage::kSq8);
+  EXPECT_EQ(idx.storage(), quant::Storage::kSq8);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+    // Scores are cosine-like: quantized but close.
+    for (const auto& nb : *got) {
+      const float exact =
+          tensor_ops::Cosine(q.data(), corpus.data() + nb.id * d, d);
+      EXPECT_NEAR(nb.score, exact, 0.05) << "id " << nb.id;
+    }
+  }
+  EXPECT_GE(recall / trials, 0.9);
+}
+
+TEST(Sq8IndexTest, BruteForceRemoveIsATrueDelete) {
+  for (quant::Storage storage :
+       {quant::Storage::kFp32, quant::Storage::kSq8}) {
+    const size_t n = 50, d = 8;
+    Rng rng(17);
+    auto corpus = RandomCorpus(n, d, rng);
+    BruteForceIndex idx(d, Metric::kInnerProduct, /*parallel=*/false,
+                        storage);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    }
+    EXPECT_FALSE(idx.Remove(999).ok());  // NotFound
+    for (int id : {0, 7, 49, 25}) {
+      ASSERT_TRUE(idx.Remove(id).ok());
+    }
+    EXPECT_EQ(idx.size(), n - 4);
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto r = idx.Search(q.data(), n);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), n - 4);
+    for (const auto& nb : *r) {
+      EXPECT_NE(nb.id, 0);
+      EXPECT_NE(nb.id, 7);
+      EXPECT_NE(nb.id, 49);
+      EXPECT_NE(nb.id, 25);
+    }
+    // Removed ids can come back.
+    ASSERT_TRUE(idx.Add(7, corpus.data() + 7 * d).ok());
+    EXPECT_EQ(idx.size(), n - 3);
+  }
+}
+
+TEST(Sq8IndexTest, IvfSq8RecallAndRemove) {
+  const size_t n = 300, d = 16;
+  Rng rng(23);
+  auto corpus = RandomCorpus(n, d, rng);
+  IvfFlatIndex::Options opts;
+  opts.nlist = 8;
+  opts.nprobe = 8;  // full probe: bucket choice cannot cost recall
+  IvfFlatIndex idx(d, Metric::kCosine, opts, quant::Storage::kSq8);
+  ASSERT_TRUE(idx.Train(corpus, n).ok());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+  }
+  EXPECT_GE(recall / trials, 0.85);
+
+  EXPECT_FALSE(idx.Remove(12345).ok());
+  ASSERT_TRUE(idx.Remove(5).ok());
+  ASSERT_TRUE(idx.Remove(250).ok());
+  EXPECT_EQ(idx.size(), n - 2);
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+  auto r = idx.Search(q.data(), n);
+  ASSERT_TRUE(r.ok());
+  for (const auto& nb : *r) {
+    EXPECT_NE(nb.id, 5);
+    EXPECT_NE(nb.id, 250);
+  }
+}
+
+TEST(Sq8IndexTest, HnswSq8HighRecall) {
+  const size_t n = 500, d = 24;
+  Rng rng(31);
+  auto corpus = RandomCorpus(n, d, rng);
+  HnswIndex::Options opts;
+  opts.ef_search = 128;
+  HnswIndex idx(d, Metric::kCosine, opts, quant::Storage::kSq8);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  double recall = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto got = idx.Search(q.data(), 10);
+    ASSERT_TRUE(got.ok());
+    auto truth = ExactSearch(corpus, n, d, q.data(), 10, Metric::kCosine);
+    recall += RecallAtK(*got, truth);
+  }
+  EXPECT_GE(recall / trials, 0.85);
+}
+
+// The tombstone bound: after every Add/Remove past the 64-node floor,
+// dead nodes never exceed max_tombstone_ratio of the resident graph
+// (a rebuild fires the moment they would). Search stays consistent
+// throughout the churn.
+TEST(Sq8IndexTest, HnswTombstonesBoundedUnderChurn) {
+  const size_t n = 150, d = 12;
+  Rng rng(37);
+  auto corpus = RandomCorpus(n, d, rng);
+  HnswIndex::Options opts;
+  opts.max_tombstone_ratio = 0.25;
+  for (quant::Storage storage :
+       {quant::Storage::kFp32, quant::Storage::kSq8}) {
+    HnswIndex idx(d, Metric::kCosine, opts, storage);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    }
+    // Delete-heavy churn: updates (tombstone + reinsert) and removes.
+    std::vector<float> row(d);
+    for (int step = 0; step < 600; ++step) {
+      const int id = static_cast<int>(rng.UniformFloat() * n);
+      if (step % 3 == 2) {
+        const Status s = idx.Remove(id);
+        (void)s;  // NotFound when already removed — fine
+      } else {
+        for (auto& v : row) v = rng.Normal();
+        ASSERT_TRUE(idx.Add(id, row.data()).ok());
+      }
+      const size_t tombstones = idx.num_graph_nodes() - idx.size();
+      ASSERT_LE(static_cast<double>(tombstones),
+                0.25 * static_cast<double>(idx.num_graph_nodes()) + 1e-9)
+          << "step " << step;
+      EXPECT_EQ(idx.memory_stats().tombstones, tombstones);
+    }
+    // The graph still answers queries over exactly the live set.
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto r = idx.Search(q.data(), 10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GT(r->size(), 0u);
+  }
+}
+
+TEST(Sq8IndexTest, HnswRatioZeroDisablesRebuilds) {
+  const size_t n = 100, d = 8;
+  Rng rng(43);
+  auto corpus = RandomCorpus(n, d, rng);
+  HnswIndex::Options opts;
+  opts.max_tombstone_ratio = 0.0;  // pre-quant behavior: unbounded
+  HnswIndex idx(d, Metric::kCosine, opts);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(idx.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  std::vector<float> row(d);
+  for (int step = 0; step < 200; ++step) {
+    for (auto& v : row) v = rng.Normal();
+    ASSERT_TRUE(idx.Add(step % static_cast<int>(n), row.data()).ok());
+  }
+  // Every update left a tombstone behind.
+  EXPECT_EQ(idx.num_graph_nodes(), n + 200);
+  EXPECT_EQ(idx.size(), n);
+}
+
+TEST(Sq8IndexTest, SerializeRoundTripIsBitExact) {
+  const size_t n = 120, d = 16;
+  Rng rng(53);
+  auto corpus = RandomCorpus(n, d, rng);
+
+  const auto roundtrip = [&](VectorIndex& src, VectorIndex& dst) {
+    std::string blob;
+    src.SerializeTo(&blob);
+    ASSERT_TRUE(dst.DeserializeFrom(blob).ok());
+    std::string blob2;
+    dst.SerializeTo(&blob2);
+    EXPECT_EQ(blob, blob2);  // codes + params verbatim, not re-quantized
+    std::vector<float> q(d);
+    for (auto& v : q) v = rng.Normal();
+    auto a = src.Search(q.data(), 10);
+    auto b = dst.Search(q.data(), 10);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].id, (*b)[i].id);
+      EXPECT_EQ((*a)[i].score, (*b)[i].score);  // bit-exact
+    }
+  };
+
+  {
+    BruteForceIndex src(d, Metric::kCosine, false, quant::Storage::kSq8);
+    BruteForceIndex dst(d, Metric::kCosine, false, quant::Storage::kSq8);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(src.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    }
+    roundtrip(src, dst);
+  }
+  {
+    HnswIndex::Options opts;
+    HnswIndex src(d, Metric::kCosine, opts, quant::Storage::kSq8);
+    HnswIndex dst(d, Metric::kCosine, opts, quant::Storage::kSq8);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(src.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    }
+    roundtrip(src, dst);
+  }
+  {
+    IvfFlatIndex::Options opts;
+    opts.nlist = 4;
+    IvfFlatIndex src(d, Metric::kCosine, opts, quant::Storage::kSq8);
+    IvfFlatIndex dst(d, Metric::kCosine, opts, quant::Storage::kSq8);
+    ASSERT_TRUE(src.Train(corpus, n).ok());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(src.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    }
+    roundtrip(src, dst);
+  }
+}
+
+TEST(Sq8IndexTest, DeserializeRejectsStorageModeMismatch) {
+  const size_t d = 8;
+  BruteForceIndex sq8(d, Metric::kCosine, false, quant::Storage::kSq8);
+  const float v[d] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(sq8.Add(0, v).ok());
+  std::string blob;
+  sq8.SerializeTo(&blob);
+  BruteForceIndex fp32(d, Metric::kCosine);
+  const Status s = fp32.DeserializeFrom(blob);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("storage"), std::string::npos);
+}
+
+// The acceptance bar for the storage mode: per-row bytes reported by the
+// new memory accounting drop >= 3x at the server-default dim of 32.
+TEST(Sq8IndexTest, MemoryStatsReportAtLeast3xReduction) {
+  const size_t n = 100, d = 32;
+  Rng rng(61);
+  auto corpus = RandomCorpus(n, d, rng);
+  BruteForceIndex fp32(d, Metric::kCosine);
+  BruteForceIndex sq8(d, Metric::kCosine, false, quant::Storage::kSq8);
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(fp32.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+    ASSERT_TRUE(sq8.Add(static_cast<int>(i), corpus.data() + i * d).ok());
+  }
+  const IndexMemoryStats a = fp32.memory_stats();
+  const IndexMemoryStats b = sq8.memory_stats();
+  EXPECT_EQ(a.embedding_bytes, n * d * sizeof(float));
+  EXPECT_EQ(a.code_bytes, 0u);
+  EXPECT_EQ(b.embedding_bytes, 0u);
+  EXPECT_EQ(b.code_bytes, n * (d + 2 * sizeof(float)));
+  EXPECT_GE(a.embedding_bytes, 3 * b.code_bytes);
+}
+
+TEST(Sq8IndexTest, UpsertBufferSq8StagedScoresMatchDrainedIndex) {
+  // The staged/compacted consistency contract in sq8 mode: OfferTo
+  // scores staged rows on the same codes the backend will hold after the
+  // drain, so the merged view never flickers when a compaction lands.
+  const size_t d = 16;
+  Rng rng(67);
+  UpsertBuffer buf(d, Metric::kCosine, quant::Storage::kSq8);
+  BruteForceIndex idx(d, Metric::kCosine, false, quant::Storage::kSq8);
+  std::vector<float> corpus = RandomCorpus(6, d, rng);
+  std::fill(corpus.begin() + 5 * d, corpus.end(), 0.0f);  // zero row
+  for (int i = 0; i < 6; ++i) {
+    buf.Put(i, corpus.data() + i * d);
+  }
+  std::vector<float> q(d);
+  for (auto& v : q) v = rng.Normal();
+
+  TopKAccumulator acc(6);
+  buf.OfferTo(q.data(), /*exclude_id=*/-1, &acc);
+  std::vector<Neighbor> staged = acc.Take();
+
+  ASSERT_TRUE(buf.DrainTo(&idx).ok());
+  auto drained = idx.Search(q.data(), 6);
+  ASSERT_TRUE(drained.ok());
+  ASSERT_EQ(staged.size(), drained->size());
+  for (size_t i = 0; i < staged.size(); ++i) {
+    EXPECT_EQ(staged[i].id, (*drained)[i].id) << "rank " << i;
+    EXPECT_NEAR(staged[i].score, (*drained)[i].score, 1e-5) << "rank " << i;
+  }
+}
+
 }  // namespace
 }  // namespace sccf::index

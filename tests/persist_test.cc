@@ -826,7 +826,14 @@ TEST_F(SnapshotTest, LoadValidatesMetaAgainstService) {
 }
 
 TEST_F(SnapshotTest, BitFlipAndTruncationSweepFailCleanly) {
-  auto service = MakeService(BaseOptions());
+ // The sweep runs for both storage modes: the sq8 snapshot carries the
+ // quantized index sections (storage byte, codes, scale/offset params)
+ // that fp32 blobs never exercise.
+ for (auto storage : {quant::Storage::kFp32, quant::Storage::kSq8}) {
+  SCOPED_TRACE(quant::StorageName(storage));
+  auto opts = BaseOptions();
+  opts.storage = storage;
+  auto service = MakeService(opts);
   auto encoded = EncodeSnapshot(*service);
   ASSERT_TRUE(encoded.ok());
   const std::string& bytes = *encoded;
@@ -868,9 +875,10 @@ TEST_F(SnapshotTest, BitFlipAndTruncationSweepFailCleanly) {
   mutated[bytes.size() / 2] =
       static_cast<char>(mutated[bytes.size() / 2] ^ 0xff);
   WriteBytes(path, mutated);
-  auto target = MakeService(BaseOptions(), false);
+  auto target = MakeService(opts, false);
   EXPECT_FALSE(LoadSnapshotFile(path, target.get()).ok());
   EXPECT_TRUE(target->Neighbors(0).ok());  // still serving
+ }
 }
 
 TEST_F(SnapshotTest, RestoreRejectsCorruptShardPayloadUnchanged) {
@@ -896,6 +904,79 @@ TEST_F(SnapshotTest, RestoreRejectsCorruptShardPayloadUnchanged) {
     ASSERT_TRUE(after.ok());
     EXPECT_EQ(*after, *before);
   }
+}
+
+// ------------------------------------------------------- sq8 storage
+
+/// Extracts the length-prefixed index blob from an ExportShard payload
+/// (after the journal seq and the two int-list maps).
+std::string_view ShardIndexBlob(std::string_view payload) {
+  ByteReader r(payload);
+  uint64_t seq = 0;
+  SCCF_CHECK(r.ReadFixed64(&seq).ok());
+  for (int m = 0; m < 2; ++m) {
+    uint64_t count = 0;
+    SCCF_CHECK(r.ReadFixed64(&count).ok());
+    for (uint64_t e = 0; e < count; ++e) {
+      int32_t v = 0;
+      SCCF_CHECK(r.ReadI32(&v).ok());
+      uint64_t len = 0;
+      SCCF_CHECK(r.ReadFixed64(&len).ok());
+      for (uint64_t i = 0; i < len; ++i) SCCF_CHECK(r.ReadI32(&v).ok());
+    }
+  }
+  std::string_view blob;
+  SCCF_CHECK(r.ReadLengthPrefixed(&blob).ok());
+  return blob;
+}
+
+TEST_F(SnapshotTest, Sq8SnapshotRecoversBitIdenticalShardBlobs) {
+  auto opts = BaseOptions();
+  opts.storage = quant::Storage::kSq8;
+  auto source = MakeService(opts);
+  auto encoded = EncodeSnapshot(*source);
+  ASSERT_TRUE(encoded.ok()) << encoded.status().ToString();
+
+  SnapshotMeta meta;
+  std::vector<std::string_view> shards;
+  ASSERT_TRUE(DecodeSnapshot(*encoded, &meta, &shards).ok());
+  EXPECT_EQ(meta.storage, static_cast<uint32_t>(quant::Storage::kSq8));
+
+  auto target = MakeService(opts, /*ingest=*/false);
+  for (size_t s = 0; s < shards.size(); ++s) {
+    ASSERT_TRUE(target->RestoreShard(s, shards[s]).ok()) << "shard " << s;
+  }
+  ExpectSameState(*source, *target);
+
+  // The quantized blobs — int8 codes plus per-row scale/offset — survive
+  // the snapshot byte-for-byte: a restored shard re-exports the
+  // identical index blob because codes are stored verbatim, never
+  // re-encoded from decoded floats.
+  for (size_t s = 0; s < shards.size(); ++s) {
+    std::string src_payload, dst_payload;
+    ASSERT_TRUE(source->ExportShard(s, &src_payload).ok());
+    ASSERT_TRUE(target->ExportShard(s, &dst_payload).ok());
+    EXPECT_EQ(ShardIndexBlob(src_payload), ShardIndexBlob(dst_payload))
+        << "shard " << s;
+  }
+}
+
+TEST_F(SnapshotTest, LoadRejectsStorageModeMismatch) {
+  TempDir dir;
+  auto sq8_opts = BaseOptions();
+  sq8_opts.storage = quant::Storage::kSq8;
+  auto source = MakeService(sq8_opts);
+  const std::string path = dir.file("snapshot");
+  ASSERT_TRUE(WriteSnapshotFile(*source, path).ok());
+
+  // An fp32 service must refuse an sq8 snapshot outright (and stay
+  // alive) rather than feed quantized blobs into float row storage.
+  auto target = MakeService(BaseOptions(), /*ingest=*/false);
+  const Status st = LoadSnapshotFile(path, target.get());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("storage"), std::string::npos)
+      << st.ToString();
+  EXPECT_TRUE(target->Neighbors(0).ok());  // still serving
 }
 
 // ------------------------------------ nn checkpoint hardening (pins)

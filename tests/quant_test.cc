@@ -1,0 +1,171 @@
+// Codec properties of the SQ8 scalar quantizer (src/quant/sq8.h):
+// deterministic encode, bounded reconstruction error, exact handling of
+// the degenerate rows (constant, zero, single-element), saturation at
+// the +/-127 code bounds, and Sq8Store's append/set/remove-swap
+// bookkeeping including the dim+8-bytes-per-row accounting the memory
+// stats build on.
+
+#include "quant/sq8.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/random.h"
+
+namespace sccf::quant {
+namespace {
+
+std::vector<float> RandomRow(Rng& rng, size_t n, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = scale * (2.0f * rng.UniformFloat() - 1.0f);
+  return v;
+}
+
+TEST(StorageTest, ParseAndName) {
+  Storage s = Storage::kSq8;
+  EXPECT_TRUE(ParseStorage("fp32", &s));
+  EXPECT_EQ(s, Storage::kFp32);
+  EXPECT_TRUE(ParseStorage("sq8", &s));
+  EXPECT_EQ(s, Storage::kSq8);
+  EXPECT_TRUE(ParseStorage("SQ8", &s));  // case-insensitive
+  EXPECT_EQ(s, Storage::kSq8);
+  EXPECT_FALSE(ParseStorage("int8", &s));
+  EXPECT_FALSE(ParseStorage("", &s));
+  EXPECT_STREQ(StorageName(Storage::kFp32), "fp32");
+  EXPECT_STREQ(StorageName(Storage::kSq8), "sq8");
+}
+
+TEST(Sq8CodecTest, RoundTripErrorIsBoundedByHalfStep) {
+  Rng rng(20210419);
+  for (size_t n : {1u, 2u, 15u, 16u, 17u, 64u, 257u}) {
+    for (float mag : {0.01f, 1.0f, 100.0f}) {
+      const std::vector<float> row = RandomRow(rng, n, mag);
+      std::vector<int8_t> codes(n);
+      const Sq8Params p = Sq8Encode(row.data(), n, codes.data());
+      std::vector<float> decoded(n);
+      Sq8Decode(codes.data(), n, p, decoded.data());
+      // Max quantization error is half a step; scale IS the step size.
+      const float bound = 0.5f * p.scale + 1e-6f * mag;
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_NEAR(decoded[i], row[i], bound) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(Sq8CodecTest, EncodeIsDeterministic) {
+  Rng rng(7);
+  const size_t n = 96;
+  const std::vector<float> row = RandomRow(rng, n);
+  std::vector<int8_t> a(n), b(n);
+  const Sq8Params pa = Sq8Encode(row.data(), n, a.data());
+  const Sq8Params pb = Sq8Encode(row.data(), n, b.data());
+  EXPECT_EQ(pa.scale, pb.scale);
+  EXPECT_EQ(pa.offset, pb.offset);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Sq8CodecTest, ExtremesSaturateExactlyAt127) {
+  // min and max of the row must map exactly to -127 / +127 (no overflow
+  // past the symmetric bound, no wasted range).
+  std::vector<float> row = {-3.0f, -1.0f, 0.0f, 2.0f, 5.0f};
+  std::vector<int8_t> codes(row.size());
+  const Sq8Params p = Sq8Encode(row.data(), row.size(), codes.data());
+  EXPECT_EQ(codes.front(), -127);  // row min
+  EXPECT_EQ(codes.back(), 127);    // row max
+  for (int8_t c : codes) {
+    EXPECT_GE(c, -127);
+    EXPECT_LE(c, 127);
+  }
+  // Decode maps the extremes back exactly: offset +/- 127*scale = hi/lo.
+  std::vector<float> decoded(row.size());
+  Sq8Decode(codes.data(), row.size(), p, decoded.data());
+  EXPECT_NEAR(decoded.front(), -3.0f, 1e-5f);
+  EXPECT_NEAR(decoded.back(), 5.0f, 1e-5f);
+}
+
+TEST(Sq8CodecTest, ConstantRowHasZeroScaleAndIsLossless) {
+  for (float c : {0.0f, -2.5f, 7.0f}) {
+    std::vector<float> row(33, c);
+    std::vector<int8_t> codes(row.size());
+    const Sq8Params p = Sq8Encode(row.data(), row.size(), codes.data());
+    EXPECT_EQ(p.scale, 0.0f);
+    EXPECT_EQ(p.offset, c);
+    for (int8_t code : codes) EXPECT_EQ(code, 0);
+    std::vector<float> decoded(row.size());
+    Sq8Decode(codes.data(), row.size(), p, decoded.data());
+    for (float d : decoded) EXPECT_EQ(d, c);  // bit-exact
+  }
+}
+
+TEST(Sq8StoreTest, AppendSetRemoveSwapAndByteAccounting) {
+  Rng rng(99);
+  const size_t dim = 32;
+  Sq8Store store(dim);
+  EXPECT_TRUE(store.empty());
+
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 5; ++i) {
+    rows.push_back(RandomRow(rng, dim));
+    EXPECT_EQ(store.Append(rows.back().data()), static_cast<size_t>(i));
+  }
+  EXPECT_EQ(store.size(), 5u);
+  // dim code bytes + 2 floats of params per row.
+  EXPECT_EQ(store.code_bytes(), 5 * (dim + 2 * sizeof(float)));
+
+  // Set re-encodes in place.
+  rows[2] = RandomRow(rng, dim);
+  store.Set(2, rows[2].data());
+
+  // Every slot decodes to (a quantization of) its row.
+  for (size_t s = 0; s < store.size(); ++s) {
+    std::vector<float> decoded(dim);
+    store.DecodeRow(s, decoded.data());
+    const Sq8Params p = store.params(s);
+    for (size_t i = 0; i < dim; ++i) {
+      ASSERT_NEAR(decoded[i], rows[s][i], 0.5f * p.scale + 1e-6f);
+    }
+  }
+
+  // RemoveSwap(1): last row (4) moves into slot 1.
+  const Sq8Params last_params = store.params(4);
+  std::vector<int8_t> last_codes(store.row(4), store.row(4) + dim);
+  store.RemoveSwap(1);
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.params(1).scale, last_params.scale);
+  EXPECT_EQ(store.params(1).offset, last_params.offset);
+  for (size_t i = 0; i < dim; ++i) {
+    ASSERT_EQ(store.row(1)[i], last_codes[i]);
+  }
+
+  // AppendEncoded restores verbatim (the deserialize path).
+  Sq8Store copy(dim);
+  for (size_t s = 0; s < store.size(); ++s) {
+    copy.AppendEncoded(store.row(s), store.params(s));
+  }
+  for (size_t s = 0; s < store.size(); ++s) {
+    for (size_t i = 0; i < dim; ++i) {
+      ASSERT_EQ(copy.row(s)[i], store.row(s)[i]);
+    }
+  }
+
+  store.clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.code_bytes(), 0u);
+}
+
+// The headline claim of the storage mode: per-row bytes drop >= 3x vs
+// fp32 for every realistic embedding dim (dim 32 is the server default).
+TEST(Sq8StoreTest, PerRowBytesAtLeast3xSmallerThanFp32) {
+  for (size_t dim : {32u, 64u, 128u, 256u}) {
+    const size_t fp32_bytes = dim * sizeof(float);
+    const size_t sq8_bytes = dim + 2 * sizeof(float);
+    EXPECT_GE(fp32_bytes, 3 * sq8_bytes) << "dim=" << dim;
+  }
+}
+
+}  // namespace
+}  // namespace sccf::quant

@@ -98,6 +98,34 @@ TEST_F(SccfGoldenTest, ImprovesOverBaseModel) {
   EXPECT_GT(merged.HrAt(10), 0.0);
 }
 
+// SQ8 tripwire, separate from the fp32 band: quantizing the user-user
+// index to int8 codes may move individual similarities by up to half a
+// quantization step, but ranking metrics on the golden corpus must stay
+// within a documented distance of the fp32 run. The band (0.02 absolute
+// on Recall@10 / NDCG@10) was recorded alongside the fp32 goldens; a
+// codec or kernel change that degrades ranking shows up here before it
+// shows up in production dashboards.
+constexpr double kSq8VsFp32Band = 0.02;
+
+TEST_F(SccfGoldenTest, Sq8RecallWithinDocumentedBandOfFp32) {
+  Sccf::Options sopts;
+  sopts.num_candidates = 50;
+  sopts.user_based.storage = quant::Storage::kSq8;
+  Sccf sq8(*fism_, sopts);
+  ASSERT_TRUE(sq8.Fit(*split_).ok());
+
+  const eval::EvalResult fp32_result = EvaluateAt10(*sccf_);
+  const eval::EvalResult sq8_result = EvaluateAt10(sq8);
+  EXPECT_NEAR(sq8_result.HrAt(10), fp32_result.HrAt(10), kSq8VsFp32Band)
+      << "SQ8 Recall@10 drifted out of the documented band vs fp32";
+  EXPECT_NEAR(sq8_result.NdcgAt(10), fp32_result.NdcgAt(10), kSq8VsFp32Band)
+      << "SQ8 NDCG@10 drifted out of the documented band vs fp32";
+  // And the absolute tripwire: sq8 must also sit inside the (looser)
+  // fp32 golden band, so both modes are pinned to the recorded numbers.
+  EXPECT_NEAR(sq8_result.HrAt(10), kGoldenRecallAt10, kTolerance);
+  EXPECT_NEAR(sq8_result.NdcgAt(10), kGoldenNdcgAt10, kTolerance);
+}
+
 TEST_F(SccfGoldenTest, EvaluationIsDeterministic) {
   // Parallel evaluation must not perturb metrics: rank-by-counting is
   // order-independent, so serial and parallel paths agree exactly.

@@ -198,11 +198,45 @@ TEST_F(ServerTest, DispatchHistoryRoundTrip) {
 TEST_F(ServerTest, DispatchStatsShape) {
   auto engine = MakeEngine();
   const std::string reply = Dispatch(*engine, {"STATS", {}});
-  EXPECT_EQ(reply.rfind("*12\r\n", 0), 0u) << reply;
+  EXPECT_EQ(reply.rfind("*18\r\n", 0), 0u) << reply;
   EXPECT_NE(reply.find("num_users"), std::string::npos);
   EXPECT_NE(reply.find("pending_upserts"), std::string::npos);
   EXPECT_NE(reply.find("save_in_progress"), std::string::npos);
   EXPECT_NE(reply.find("last_save_duration_ms"), std::string::npos);
+  EXPECT_NE(reply.find("embedding_bytes"), std::string::npos);
+  EXPECT_NE(reply.find("code_bytes"), std::string::npos);
+  EXPECT_NE(reply.find("tombstones"), std::string::npos);
+}
+
+// SHARDSTATS: one nested 14-element k/v array per shard, so operators
+// can spot hot/cold shard imbalance. The per-shard byte counters must
+// sum to the STATS totals (fp32 engine: all embedding bytes, no codes).
+TEST_F(ServerTest, DispatchShardStatsShape) {
+  auto engine = MakeEngine();
+  const std::string reply = Dispatch(*engine, {"SHARDSTATS", {}});
+  EXPECT_EQ(reply.rfind("*4\r\n", 0), 0u) << reply;  // num_shards = 4
+  size_t nested = 0;
+  for (size_t pos = reply.find("*14\r\n"); pos != std::string::npos;
+       pos = reply.find("*14\r\n", pos + 1)) {
+    ++nested;
+  }
+  EXPECT_EQ(nested, 4u) << reply;
+  for (const char* key : {"shard", "users", "index_rows",
+                          "embedding_bytes", "code_bytes", "tombstones",
+                          "staged_rows"}) {
+    EXPECT_NE(reply.find(key), std::string::npos) << key;
+  }
+  const auto shards = engine->ShardStats();
+  ASSERT_EQ(shards.size(), 4u);
+  size_t users = 0, embedding_bytes = 0;
+  for (const auto& s : shards) {
+    users += s.users;
+    embedding_bytes += s.embedding_bytes;
+    EXPECT_EQ(s.code_bytes, 0u);  // fp32 engine holds no codes
+  }
+  EXPECT_EQ(users, engine->num_users());
+  EXPECT_GT(embedding_bytes, 0u);
+  EXPECT_EQ(engine->Stats().embedding_bytes, embedding_bytes);
 }
 
 // The "never saved" sentinel: LASTSAVE must be distinguishable from a

@@ -1,14 +1,16 @@
 // Parity and dispatch tests for the runtime-dispatched SIMD kernels
 // (src/simd). Every variant the build+CPU supports must match the scalar
-// reference within 1e-5 across odd/even/remainder lengths, the zero-norm
-// cosine guard must hold for every variant, and the SCCF_SIMD override
-// must actually steer dispatch.
+// reference within 1e-5 across odd/even/remainder lengths (int8 kernels:
+// within 2e-7 of the products' L1 mass — see ExpectWithinI8), the
+// zero-norm cosine guard must hold for every variant, and the SCCF_SIMD
+// override must actually steer dispatch.
 
 #include "simd/kernels.h"
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <vector>
 
@@ -207,6 +209,190 @@ TEST_F(SimdKernelsTest, ZeroNormGuardIsCentralized) {
     NormalizeInPlace(unit.data(), unit.size());
     EXPECT_NEAR(Norm(unit.data(), unit.size()), 1.0f, 1e-5f)
         << VariantName(v);
+  }
+}
+
+std::vector<int8_t> RandomCodes(Rng& rng, size_t n) {
+  std::vector<int8_t> c(n);
+  for (auto& x : c) {
+    x = static_cast<int8_t>(
+        static_cast<int>(rng.UniformFloat() * 254.0f) - 127);
+  }
+  return c;
+}
+
+// Int8 dots accumulate terms up to 127x larger than the unit-range f32
+// parity vectors, and random-code sums cancel heavily, so a tolerance
+// relative to the (small) result would demand more precision than fp32
+// summation has. Budget reassociation noise against the L1 mass of the
+// products instead: measured cross-variant deviation is ~3e-8 * l1, so
+// 2e-7 * l1 keeps ~10x margin while staying far below one quantization
+// step of any realistic row.
+void ExpectWithinI8(float got, float want, const float* q, const int8_t* c,
+                    size_t n, const char* what, Variant v) {
+  double l1 = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    l1 += std::fabs(static_cast<double>(q[i]) * static_cast<double>(c[i]));
+  }
+  const float tol = std::max(1e-5f, static_cast<float>(2e-7 * l1));
+  EXPECT_NEAR(got, want, tol) << what << " n=" << n << " variant="
+                              << VariantName(v);
+}
+
+// Same length sweep as the fp32 parity test: 1..257 covers sub-width
+// vectors, every remainder class of the 8/16/32-wide int8 loops, and the
+// 256->257 boundary.
+TEST_F(SimdKernelsTest, Int8VariantsMatchScalarReference) {
+  Rng rng(4048);
+  for (size_t n = 1; n <= 257; ++n) {
+    const std::vector<float> q = RandomVector(rng, n);
+    const std::vector<int8_t> c = RandomCodes(rng, n);
+
+    ASSERT_TRUE(ForceVariant(Variant::kScalar).ok());
+    const float ref = DotI8(q.data(), c.data(), n);
+
+    for (Variant v : SupportedVariants()) {
+      if (v == Variant::kScalar) continue;
+      ASSERT_TRUE(ForceVariant(v).ok());
+      ExpectWithinI8(DotI8(q.data(), c.data(), n), ref, q.data(), c.data(),
+                     n, "DotI8", v);
+    }
+  }
+}
+
+// Extreme codes (every element +/-127): the widening path must not wrap
+// or saturate anywhere up to the 257-length boundary.
+TEST_F(SimdKernelsTest, Int8SaturatedCodesMatchScalar) {
+  Rng rng(4049);
+  for (size_t n : {1u, 7u, 8u, 31u, 32u, 33u, 127u, 256u, 257u}) {
+    const std::vector<float> q = RandomVector(rng, n);
+    std::vector<int8_t> c(n);
+    for (size_t i = 0; i < n; ++i) c[i] = (i % 2 == 0) ? 127 : -127;
+
+    ASSERT_TRUE(ForceVariant(Variant::kScalar).ok());
+    const float ref = DotI8(q.data(), c.data(), n);
+    // The scalar reference itself must agree with a double-precision sum.
+    double want = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      want += static_cast<double>(q[i]) * static_cast<double>(c[i]);
+    }
+    ExpectWithinI8(ref, static_cast<float>(want), q.data(), c.data(), n,
+                   "DotI8-ref", Variant::kScalar);
+
+    for (Variant v : SupportedVariants()) {
+      if (v == Variant::kScalar) continue;
+      ASSERT_TRUE(ForceVariant(v).ok());
+      ExpectWithinI8(DotI8(q.data(), c.data(), n), ref, q.data(), c.data(),
+                     n, "DotI8-sat", v);
+    }
+  }
+}
+
+TEST_F(SimdKernelsTest, DotBatchI8MatchesPerRowDot) {
+  Rng rng(4050);
+  const size_t count = 37;  // 4-row blocking plus a 1-row tail
+  for (size_t dim : {1u, 3u, 16u, 64u, 100u, 128u, 257u}) {
+    const std::vector<float> q = RandomVector(rng, dim);
+    const std::vector<int8_t> base = RandomCodes(rng, count * dim);
+    for (Variant v : SupportedVariants()) {
+      ASSERT_TRUE(ForceVariant(v).ok());
+      std::vector<float> out(count, 0.0f);
+      DotBatchI8(q.data(), base.data(), count, dim, out.data());
+      for (size_t r = 0; r < count; ++r) {
+        const float want = DotI8(q.data(), base.data() + r * dim, dim);
+        ExpectWithinI8(out[r], want, q.data(), base.data() + r * dim, dim,
+                       "DotBatchI8", v);
+      }
+    }
+  }
+}
+
+// CosineI8's zero-norm policy matches the fp32 one: a zero query or a
+// zero-norm row (all-zero codes with scale 0 — what Sq8Encode emits for
+// a constant-zero row) scores exactly 0 on every variant. A per-row
+// scale of 0 with nonzero offset (constant row) must still score via the
+// offset term.
+TEST_F(SimdKernelsTest, CosineI8ZeroNormAndZeroScaleRows) {
+  const size_t n = 33;
+  std::vector<float> q(n);
+  for (size_t i = 0; i < n; ++i) q[i] = 0.1f * (i + 1);
+  const std::vector<float> zeros(n, 0.0f);
+  const std::vector<int8_t> zero_codes(n, 0);
+  float qsum = 0.0f;
+  for (float x : q) qsum += x;
+
+  for (Variant v : SupportedVariants()) {
+    ASSERT_TRUE(ForceVariant(v).ok());
+    // Zero-norm row: scale 0, offset 0.
+    EXPECT_EQ(CosineI8(q.data(), zero_codes.data(), n, 0.0f, 0.0f, qsum),
+              0.0f)
+        << VariantName(v);
+    // Zero query against any row.
+    EXPECT_EQ(CosineI8(zeros.data(), zero_codes.data(), n, 0.5f, 0.25f,
+                       0.0f),
+              0.0f)
+        << VariantName(v);
+    // Constant row c=0.7: scale 0, offset 0.7. cosine(q, const-vector)
+    // = qsum * 0.7 / (||q|| * 0.7 * sqrt(n)).
+    const float got =
+        CosineI8(q.data(), zero_codes.data(), n, 0.0f, 0.7f, qsum);
+    const float want =
+        qsum * 0.7f /
+        (Norm(q.data(), n) * 0.7f * std::sqrt(static_cast<float>(n)));
+    EXPECT_NEAR(got, want, 1e-5f) << VariantName(v);
+  }
+}
+
+TEST_F(SimdKernelsTest, TopKDotI8MatchesOfferLoopAndHandlesTies) {
+  Rng rng(4051);
+  const size_t count = 300, dim = 24, k = 10;
+  std::vector<int8_t> base = RandomCodes(rng, count * dim);
+  std::vector<float> scales(count), offsets(count);
+  for (size_t r = 0; r < count; ++r) {
+    scales[r] = 0.001f + 0.01f * rng.UniformFloat();
+    offsets[r] = 0.5f * rng.UniformFloat() - 0.25f;
+  }
+  // Force exact score ties: identical codes AND params.
+  std::copy_n(base.begin() + 50 * dim, dim, base.begin() + 51 * dim);
+  scales[51] = scales[50];
+  offsets[51] = offsets[50];
+  std::copy_n(base.begin() + 100 * dim, dim, base.begin() + 101 * dim);
+  scales[101] = scales[100];
+  offsets[101] = offsets[100];
+  const std::vector<float> q = RandomVector(rng, dim);
+  float qsum = 0.0f;
+  for (float x : q) qsum += x;
+
+  for (Variant v : SupportedVariants()) {
+    ASSERT_TRUE(ForceVariant(v).ok());
+    for (ptrdiff_t exclude : {-1, 50, 299}) {
+      std::vector<float> raw(count);
+      DotBatchI8(q.data(), base.data(), count, dim, raw.data());
+      std::vector<std::pair<int, float>> want;
+      for (size_t r = 0; r < count; ++r) {
+        if (static_cast<ptrdiff_t>(r) == exclude) continue;
+        want.emplace_back(static_cast<int>(r),
+                          scales[r] * raw[r] + offsets[r] * qsum);
+      }
+      std::stable_sort(want.begin(), want.end(),
+                       [](const auto& a, const auto& b) {
+                         if (a.second != b.second) return a.second > b.second;
+                         return a.first < b.first;
+                       });
+      want.resize(std::min(want.size(), k));
+
+      std::vector<std::pair<int, float>> got;
+      TopKDotI8(q.data(), base.data(), count, dim, scales.data(),
+                offsets.data(), qsum, k, exclude, &got);
+      ASSERT_EQ(got.size(), want.size())
+          << VariantName(v) << " exclude=" << exclude;
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(got[i].first, want[i].first)
+            << VariantName(v) << " exclude=" << exclude << " rank=" << i;
+        EXPECT_EQ(got[i].second, want[i].second)
+            << VariantName(v) << " exclude=" << exclude << " rank=" << i;
+      }
+    }
   }
 }
 
