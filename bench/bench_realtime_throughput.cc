@@ -31,6 +31,22 @@
 //                         memory bytes and Recall@10 of its neighbor
 //                         lists against the fp32 run at the same sweep
 //                         point (identical deterministic ingest stream)
+//   --scenario=a,b,...    opt-in workload-regime dimension (off by
+//                         default; the classic sweep above is
+//                         unchanged). Each name is a src/scenario
+//                         synthetic generator (bursty, drift,
+//                         flash_sale, hot_shard, power_law); its seeded
+//                         corpus replaces the uniform round-robin
+//                         stream. Per scenario: a COLD engine (empty
+//                         bootstrap, every user is a cold start) absorbs
+//                         the full log in global timestamp order —
+//                         chunked per thread, keyed by the corpus's
+//                         ORIGINAL user ids so hot_shard's adversarial
+//                         id set actually collides under the serving
+//                         shard hash — swept over --threads at the
+//                         largest --batch_sizes entry; then one batched
+//                         streaming eval (reveal_window=32) reports
+//                         prequential throughput and live NDCG@20
 //   --json=PATH           machine-readable report (BENCH_engine.json)
 //   --quick               small workload for CI smoke
 //
@@ -66,7 +82,9 @@
 #include "bench/bench_util.h"
 #include "models/fism.h"
 #include "online/engine.h"
+#include "online/streaming_eval.h"
 #include "quant/sq8.h"
+#include "scenario/scenario.h"
 #include "util/stopwatch.h"
 #include "util/string_util.h"
 #include "util/table_printer.h"
@@ -88,6 +106,7 @@ struct Config {
   bool background = false;
   size_t run_length = 4;
   std::vector<quant::Storage> storages = {quant::Storage::kFp32};
+  std::vector<std::string> scenarios;  // empty = classic sweep only
   std::string json_path;
 };
 
@@ -262,7 +281,187 @@ SweepPoint RunSweepPoint(const models::Fism& model,
   return point;
 }
 
+// ------------------------------------------------- scenario dimension
+
+/// One ingest run of a scenario corpus through a cold engine, plus the
+/// per-scenario batched streaming-eval summary (filled once per
+/// scenario, on its first swept thread count).
+struct ScenarioPoint {
+  std::string scenario;
+  int threads = 0;
+  size_t batch_size = 0;
+  size_t events = 0;
+  double updates_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  /// Largest shard's share of resident users after the run — 1/shards
+  /// for a well-spread corpus, ~1.0 under hot_shard's adversarial ids.
+  double max_shard_share = 0.0;
+  size_t shards_occupied = 0;
+};
+
+struct ScenarioEvalPoint {
+  std::string scenario;
+  size_t reveal_window = 0;
+  double events_per_sec = 0.0;
+  size_t predictions = 0;
+  double live_ndcg_at20 = 0.0;
+};
+
+/// The scenario corpus's interaction log in global timestamp order
+/// (generators stamp ts = global event index, so the merge is exact),
+/// keyed by ORIGINAL user ids: hot_shard's adversarial property lives in
+/// the pre-compaction ids, and the serving hash must see them.
+std::vector<online::Engine::Event> ScenarioStream(
+    const data::Dataset& dataset) {
+  std::vector<online::Engine::Event> stream;
+  stream.reserve(dataset.num_actions());
+  for (size_t u = 0; u < dataset.num_users(); ++u) {
+    const int original = dataset.original_user_ids()[u];
+    const auto& seq = dataset.sequence(u);
+    const auto& ts = dataset.timestamps(u);
+    for (size_t j = 0; j < seq.size(); ++j) {
+      stream.push_back({original, seq[j], ts[j]});
+    }
+  }
+  std::stable_sort(stream.begin(), stream.end(),
+                   [](const online::Engine::Event& a,
+                      const online::Engine::Event& b) { return a.ts < b.ts; });
+  return stream;
+}
+
+data::Dataset LoadScenarioCorpus(const std::string& name, const Config& cfg,
+                                 size_t spec_users, size_t spec_items) {
+  scenario::ScenarioSpec spec;
+  spec.generator = name;
+  spec.name = "rt-scenario-" + name;
+  spec.num_users = spec_users;
+  spec.num_items = spec_items;
+  // Floor of 6: the streaming eval below skips users shorter than
+  // 2 * tail_events, and an all-skipped corpus would report 0 events/s.
+  spec.events_per_user =
+      std::max<size_t>(6, cfg.interactions / std::max<size_t>(1, spec_users));
+  spec.seed = 97;
+  if (name == "hot_shard") {
+    // The generator mines ids that collide under the serving hash for a
+    // given shard count; align it with the engine actually being driven
+    // so max_shard_share measures the real pile-up.
+    const size_t engine_shards =
+        cfg.shards > 0 ? cfg.shards : std::thread::hardware_concurrency();
+    spec.params["shards"] = std::to_string(std::max<size_t>(1, engine_shards));
+  }
+  auto source = scenario::MakeScenario(spec);
+  SCCF_CHECK(source.ok()) << source.status().ToString();
+  auto ds = (*source)->Load();
+  SCCF_CHECK(ds.ok()) << ds.status().ToString();
+  return *std::move(ds);
+}
+
+/// Cold-engine ingest: empty bootstrap (every user in the stream is a
+/// cold start), then the full log in global ts order, chunked
+/// contiguously per thread — each chunk stays internally chronological,
+/// which is all IngestRequest demands per user.
+ScenarioPoint RunScenarioIngest(const std::string& name,
+                                const models::Fism& model,
+                                const data::Dataset& dataset,
+                                const Config& cfg, int num_threads,
+                                size_t batch_size) {
+  online::Engine::Options opts;
+  opts.beta = 100;
+  opts.num_shards = cfg.shards;
+  opts.compaction_threshold = cfg.compaction;
+  opts.background_compaction = cfg.background;
+  opts.index_kind = core::IndexKind::kBruteForce;
+  online::Engine engine(model, opts);
+  SCCF_CHECK(engine.Bootstrap({}).ok());
+
+  const std::vector<online::Engine::Event> stream = ScenarioStream(dataset);
+  const size_t total = stream.size();
+  std::vector<std::vector<double>> latencies(num_threads);
+  std::atomic<bool> start{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  const size_t chunk = (total + num_threads - 1) / num_threads;
+  for (int t = 0; t < num_threads; ++t) {
+    const size_t lo = std::min(total, t * chunk);
+    const size_t hi = std::min(total, lo + chunk);
+    latencies[t].reserve(hi > lo ? (hi - lo) / batch_size + 1 : 0);
+    workers.emplace_back([&, t, lo, hi] {
+      while (!start.load(std::memory_order_acquire)) {
+      }
+      online::Engine::IngestRequest req;
+      req.events.reserve(batch_size);
+      for (size_t i = lo; i < hi; i += batch_size) {
+        const size_t end = std::min(hi, i + batch_size);
+        req.events.assign(stream.begin() + i, stream.begin() + end);
+        Stopwatch clock;
+        auto resp = engine.Ingest(req);
+        latencies[t].push_back(clock.ElapsedMillis());
+        if (!resp.ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  Stopwatch wall;
+  start.store(true, std::memory_order_release);
+  for (auto& w : workers) w.join();
+  const double wall_s = wall.ElapsedSeconds();
+  SCCF_CHECK(failures.load() == 0)
+      << failures.load() << " failed batches in scenario " << name;
+
+  ScenarioPoint point;
+  point.scenario = name;
+  point.threads = num_threads;
+  point.batch_size = batch_size;
+  point.events = total;
+  point.updates_per_sec =
+      wall_s > 0.0 ? static_cast<double>(total) / wall_s : 0.0;
+  size_t max_users = 0, total_users = 0;
+  for (const auto& s : engine.ShardStats()) {
+    max_users = std::max(max_users, s.users);
+    total_users += s.users;
+    point.shards_occupied += s.users > 0;
+  }
+  point.max_shard_share =
+      total_users > 0
+          ? static_cast<double>(max_users) / static_cast<double>(total_users)
+          : 0.0;
+
+  std::vector<double> all;
+  for (auto& per_thread : latencies) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  point.p50_ms = Percentile(all, 0.50);
+  point.p99_ms = Percentile(all, 0.99);
+  return point;
+}
+
+/// Batched prequential eval over the scenario corpus: predict 32 ahead,
+/// reveal 32 in one Ingest (docs/PERFORMANCE.md, batched-reveal
+/// methodology). Untrained model, same as the ingest runs.
+ScenarioEvalPoint RunScenarioEval(const std::string& name,
+                                  const models::Fism& model,
+                                  const data::Dataset& dataset,
+                                  const Config& cfg) {
+  online::StreamingEvalOptions eopts;
+  eopts.tail_events = 2;  // scenario corpora can be as short as 6/user
+  eopts.cutoffs = {20};
+  eopts.reveal_window = 32;
+  eopts.compaction_threshold = cfg.compaction;
+  auto result = online::EvaluateStreamingUserBased(model, dataset, eopts);
+  SCCF_CHECK(result.ok()) << result.status().ToString();
+  ScenarioEvalPoint point;
+  point.scenario = name;
+  point.reveal_window = eopts.reveal_window;
+  point.events_per_sec = result->events_per_sec;
+  point.predictions = result->num_predictions;
+  point.live_ndcg_at20 = result->LiveNdcgAt(20);
+  return point;
+}
+
 void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
+               const std::vector<ScenarioPoint>& scenario_points,
+               const std::vector<ScenarioEvalPoint>& scenario_evals,
                double speedup_4t, size_t b_max, size_t b_min,
                double speedup_batch) {
   std::string storages_json;
@@ -309,6 +508,39 @@ void WriteJson(const Config& cfg, const std::vector<SweepPoint>& points,
         p.recall_at10_vs_fp32, i + 1 < points.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  if (!scenario_points.empty()) {
+    // Field order differs from the classic rows on purpose: "events"
+    // sits between batch_size and updates_per_sec so the scripts/ci.sh
+    // rt_ups() prefix grep over the classic rows can never match a
+    // scenario row.
+    std::fprintf(f, "  \"scenario_results\": [\n");
+    for (size_t i = 0; i < scenario_points.size(); ++i) {
+      const ScenarioPoint& p = scenario_points[i];
+      std::fprintf(
+          f,
+          "    { \"scenario\": \"%s\", \"threads\": %d, "
+          "\"batch_size\": %zu, \"events\": %zu, "
+          "\"updates_per_sec\": %.1f, \"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+          "\"max_shard_share\": %.4f, \"shards_occupied\": %zu }%s\n",
+          p.scenario.c_str(), p.threads, p.batch_size, p.events,
+          p.updates_per_sec, p.p50_ms, p.p99_ms, p.max_shard_share,
+          p.shards_occupied, i + 1 < scenario_points.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"scenario_eval\": [\n");
+    for (size_t i = 0; i < scenario_evals.size(); ++i) {
+      const ScenarioEvalPoint& p = scenario_evals[i];
+      std::fprintf(
+          f,
+          "    { \"scenario\": \"%s\", \"reveal_window\": %zu, "
+          "\"eval_events_per_sec\": %.1f, \"predictions\": %zu, "
+          "\"live_ndcg_at20\": %.4f }%s\n",
+          p.scenario.c_str(), p.reveal_window, p.events_per_sec,
+          p.predictions, p.live_ndcg_at20,
+          i + 1 < scenario_evals.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+  }
   std::fprintf(f, "  \"speedup_4t_vs_1t\": %.3f,\n", speedup_4t);
   std::fprintf(f,
                "  \"batch_speedup\": { \"max\": %zu, \"min\": %zu, "
@@ -389,6 +621,11 @@ int main(int argc, char** argv) {
             << "bad --storage (expected fp32 or sq8)";
         cfg.storages.push_back(st);
       }
+    } else if (arg.rfind("--scenario=", 0) == 0) {
+      cfg.scenarios = Split(val("--scenario="), ',');
+      for (const std::string& s : cfg.scenarios) {
+        SCCF_CHECK(!s.empty()) << "bad --scenario (empty name)";
+      }
     } else if (arg.rfind("--json=", 0) == 0) {
       cfg.json_path = val("--json=");
     } else if (arg == "--quick") {
@@ -412,6 +649,11 @@ int main(int argc, char** argv) {
       std::thread::hardware_concurrency(), cfg.users, cfg.items, cfg.dim,
       cfg.shards, cfg.compaction, cfg.background ? "on" : "off",
       cfg.run_length);
+
+  // Scenario specs use the pre-filter flag dimensions; the classic-sweep
+  // corpus below overwrites cfg.users/items with its post-filter sizes.
+  const size_t spec_users = cfg.users;
+  const size_t spec_items = cfg.items;
 
   data::SyntheticConfig syn;
   syn.name = "rt-throughput";
@@ -515,8 +757,57 @@ int main(int argc, char** argv) {
     std::printf("speedup batch %zu vs %zu (%d thread%s): %.2fx\n", b_max,
                 b_min, t_min, t_min == 1 ? "" : "s", speedup_batch);
   }
+
+  // Scenario dimension (opt-in): cold-engine ingest of each workload
+  // regime at the largest swept batch size, then one batched streaming
+  // eval per scenario.
+  std::vector<ScenarioPoint> scenario_points;
+  std::vector<ScenarioEvalPoint> scenario_evals;
+  if (!cfg.scenarios.empty()) {
+    TablePrinter stable({"scenario", "threads", "batch", "events",
+                         "updates/sec", "p50 (ms)", "p99 (ms)", "max-shard",
+                         "occupied"});
+    TablePrinter etable(
+        {"scenario", "window", "events/sec", "preds", "live ndcg@20"});
+    for (const std::string& name : cfg.scenarios) {
+      const data::Dataset corpus =
+          LoadScenarioCorpus(name, cfg, spec_users, spec_items);
+      data::LeaveOneOutSplit sc_split(corpus);
+      models::Fism::Options sfopts;
+      sfopts.dim = cfg.dim;
+      sfopts.epochs = 0;
+      models::Fism sc_fism(sfopts);
+      SCCF_CHECK(sc_fism.Fit(sc_split).ok());
+      for (int t : cfg.threads) {
+        const ScenarioPoint p =
+            RunScenarioIngest(name, sc_fism, corpus, cfg, t, b_max);
+        scenario_points.push_back(p);
+        stable.AddRow({p.scenario, std::to_string(p.threads),
+                       std::to_string(p.batch_size),
+                       std::to_string(p.events),
+                       FormatFloat(p.updates_per_sec, 1),
+                       FormatFloat(p.p50_ms, 4), FormatFloat(p.p99_ms, 4),
+                       FormatFloat(p.max_shard_share, 3),
+                       std::to_string(p.shards_occupied)});
+      }
+      const ScenarioEvalPoint e = RunScenarioEval(name, sc_fism, corpus, cfg);
+      scenario_evals.push_back(e);
+      etable.AddRow({e.scenario, std::to_string(e.reveal_window),
+                     FormatFloat(e.events_per_sec, 1),
+                     std::to_string(e.predictions),
+                     FormatFloat(e.live_ndcg_at20, 4)});
+    }
+    std::printf(
+        "\nscenario ingest — cold engine, original user ids, batch %zu:\n",
+        b_max);
+    stable.Print();
+    std::printf("\nscenario batched streaming eval (reveal_window=32):\n");
+    etable.Print();
+  }
+
   if (!cfg.json_path.empty()) {
-    WriteJson(cfg, points, speedup_4t, b_max, b_min, speedup_batch);
+    WriteJson(cfg, points, scenario_points, scenario_evals, speedup_4t,
+              b_max, b_min, speedup_batch);
   }
   return 0;
 }

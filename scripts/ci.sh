@@ -168,6 +168,69 @@ else
   exit 1
 fi
 
+# Scenario smoke: the workload-generator dimension end to end
+# (docs/OPERATIONS.md, "Scenario specs"). Three gates:
+#   * bursty + power_law: cold-engine ingest updates/sec and batched
+#     streaming-eval events/sec must both be nonzero (the scenario
+#     corpora actually flow through the serving path and the
+#     reveal_window=32 evaluator makes predictions);
+#   * hot_shard: the adversarial all-ids-one-shard corpus must complete
+#     a 4-thread run within the timeout — contention on the single hot
+#     shard may serialize it, but must never stall it;
+#   * the per-scenario golden bands (fp32 + sq8) in the release-built
+#     golden suite must pass.
+SCEN_JSON="$(mktemp)"
+trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+  "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${SCEN_JSON:-}"' EXIT
+"${RT_BENCH}" --quick --threads=1 --batch_sizes=32 --shards=8 \
+  --scenario=bursty,power_law --json="${SCEN_JSON}" >/dev/null
+scen_ingest_ups() {  # scen_ingest_ups <scenario>
+  sed -n "s/.*\"scenario\": \"$1\", \"threads\": 1, .*\"updates_per_sec\": \([0-9.]*\).*/\1/p" \
+    "${SCEN_JSON}"
+}
+scen_eval_eps() {  # scen_eval_eps <scenario>
+  sed -n "s/.*\"scenario\": \"$1\", \"reveal_window\": .*\"eval_events_per_sec\": \([0-9.]*\).*/\1/p" \
+    "${SCEN_JSON}"
+}
+for scen in bursty power_law; do
+  scen_ups="$(scen_ingest_ups "${scen}")"
+  scen_eps="$(scen_eval_eps "${scen}")"
+  if [[ -z "${scen_ups}" ]] ||
+     ! awk -v u="${scen_ups}" 'BEGIN{exit !(u > 0)}'; then
+    echo "scenario smoke: FAILED — ${scen} cold-engine ingest made no" \
+         "progress (updates_per_sec='${scen_ups}')" >&2
+    exit 1
+  fi
+  if [[ -z "${scen_eps}" ]] ||
+     ! awk -v e="${scen_eps}" 'BEGIN{exit !(e > 0)}'; then
+    echo "scenario smoke: FAILED — ${scen} batched streaming eval made" \
+         "no predictions (eval_events_per_sec='${scen_eps}')" >&2
+    exit 1
+  fi
+done
+if ! timeout 180 "${RT_BENCH}" --quick --threads=4 --batch_sizes=32 \
+     --shards=8 --scenario=hot_shard >/dev/null; then
+  echo "scenario smoke: FAILED — hot_shard adversarial corpus stalled" \
+       "or crashed a 4-thread ingest (180s budget)" >&2
+  exit 1
+fi
+SCEN_GOLD="$(mktemp)"
+trap 'rm -f "${SMOKE_ERR:-}" "${SIMD_SCALAR_JSON:-}" \
+  "${SIMD_AUTO_JSON:-}" "${RT_JSON:-}" "${SCEN_JSON:-}" \
+  "${SCEN_GOLD:-}"' EXIT
+if ./build/release/tests/sccf_golden_test \
+     --gtest_filter='*ScenarioGoldenTest*' >"${SCEN_GOLD}" 2>&1 &&
+   grep -q '\[  PASSED  \] 1 test' "${SCEN_GOLD}"; then
+  echo "scenario smoke: OK (bursty/power_law flow, hot_shard completes," \
+       "per-scenario golden bands hold)"
+else
+  echo "scenario smoke: FAILED — per-scenario golden bands did not" \
+       "pass:" >&2
+  tail -20 "${SCEN_GOLD}" >&2
+  exit 1
+fi
+rm -f "${SCEN_JSON}" "${SCEN_GOLD}"
+
 # Cold-shard compaction smoke: with background compaction on, a shard
 # that receives staged upserts and then goes COLD (no ingest, no
 # queries) must see pending_upserts() reach 0 within the compaction

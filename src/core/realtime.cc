@@ -9,6 +9,7 @@
 #include "core/topk_merge.h"
 #include "util/coding.h"
 #include "util/logging.h"
+#include "util/random.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -34,15 +35,14 @@ int64_t SweepPeriodMs(int64_t interval_ms) {
 
 /// splitmix64 finalizer: a fixed, platform-independent user -> shard map
 /// (std::hash<int> is identity on libstdc++, which would turn "users 0..T
-/// round-robin" workloads into a single hot shard under modulo).
+/// round-robin" workloads into a single hot shard under modulo). Shared
+/// with scenario/generators.cc, whose hot_shard adversarial generator
+/// picks user ids that all land on the same shard under this exact map.
 size_t ShardIndex(int user, size_t num_shards) {
   if (num_shards <= 1) return 0;
-  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(user));
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  x ^= x >> 31;
-  return static_cast<size_t>(x % num_shards);
+  return static_cast<size_t>(
+      SplitMix64(static_cast<uint64_t>(static_cast<uint32_t>(user))) %
+      num_shards);
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "online/streaming_eval.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <memory>
 
@@ -96,6 +97,9 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
   }
   if (options.tail_events == 0 || options.cutoffs.empty()) {
     return Status::InvalidArgument("tail_events and cutoffs required");
+  }
+  if (options.reveal_window == 0) {
+    return Status::InvalidArgument("reveal_window must be >= 1");
   }
   const size_t n = dataset.num_users();
   const size_t d = model.embedding_dim();
@@ -215,60 +219,96 @@ StatusOr<StreamingEvalResult> EvaluateStreamingUserBased(
       events.begin(), events.end(),
       [](const TailEvent& a, const TailEvent& b) { return a.ts < b.ts; });
 
+  // Windowed predict-then-reveal: every event in a window is predicted
+  // against the engine state left by the previous window, then the whole
+  // window is revealed in one batched Ingest (one shard-lock round, one
+  // re-inference per touched user). reveal_window == 1 is exactly the
+  // legacy event-at-a-time loop.
   std::vector<float> emb(d);
-  for (const TailEvent& e : events) {
-    const auto& seq = dataset.sequence(e.user);
-    const int target = seq[e.pos];
-    const std::span<const int> history(seq.data(), e.pos);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (size_t begin = 0; begin < events.size();
+       begin += options.reveal_window) {
+    const size_t end =
+        std::min(events.size(), begin + options.reveal_window);
 
-    // Predict under both regimes. The query embedding is always fresh
-    // (the query side is inductive either way); what differs is the
-    // staleness of the indexed corpus and of the neighbors' vote lists.
-    // The live neighborhood comes straight from the Engine (its stored
-    // history for e.user is exactly `history` at this point, and staged
-    // upserts are merged into the search).
-    auto live_resp =
-        engine.Neighbors({static_cast<int>(e.user), std::nullopt});
-    SCCF_RETURN_NOT_OK(live_resp.status());
-    infer_tail(history, emb.data());
-    auto frozen_nbrs =
-        frozen->Search(emb.data(), options.beta, static_cast<int>(e.user));
-    SCCF_RETURN_NOT_OK(frozen_nbrs.status());
-    auto stale_nbrs = frozen->Search(bootstrap_emb.data() + e.user * d,
-                                     options.beta,
-                                     static_cast<int>(e.user));
-    SCCF_RETURN_NOT_OK(stale_nbrs.status());
+    for (size_t i = begin; i < end; ++i) {
+      const TailEvent& e = events[i];
+      const auto& seq = dataset.sequence(e.user);
+      const int target = seq[e.pos];
+      const std::span<const int> history(seq.data(), e.pos);
 
-    const size_t live_rank = RankByVotesLive(
-        live_resp->neighbors, engine.service(), history, target, m);
-    const size_t frozen_rank =
-        RankByVotes(*frozen_nbrs, vote_items, history, target, m);
-    const size_t stale_rank =
-        RankByVotes(*stale_nbrs, vote_items, history, target, m);
-    for (size_t c = 0; c < options.cutoffs.size(); ++c) {
-      const size_t k = options.cutoffs[c];
-      result.live_hr[c] += live_rank <= k ? 1.0 : 0.0;
-      result.frozen_hr[c] += frozen_rank <= k ? 1.0 : 0.0;
-      result.stale_query_hr[c] += stale_rank <= k ? 1.0 : 0.0;
-      result.live_ndcg[c] +=
-          live_rank <= k ? 1.0 / std::log2(live_rank + 1.0) : 0.0;
-      result.frozen_ndcg[c] +=
-          frozen_rank <= k ? 1.0 / std::log2(frozen_rank + 1.0) : 0.0;
-      result.stale_query_ndcg[c] +=
-          stale_rank <= k ? 1.0 / std::log2(stale_rank + 1.0) : 0.0;
+      // Predict under both regimes. The query embedding is always fresh
+      // (the query side is inductive either way); what differs is the
+      // staleness of the indexed corpus and of the neighbors' vote lists.
+      // The live neighborhood comes straight from the Engine; with
+      // reveal_window == 1 its stored history for e.user is exactly
+      // `history` here (staged upserts are merged into the search).
+      auto live_resp =
+          engine.Neighbors({static_cast<int>(e.user), std::nullopt});
+      SCCF_RETURN_NOT_OK(live_resp.status());
+      infer_tail(history, emb.data());
+      auto frozen_nbrs = frozen->Search(emb.data(), options.beta,
+                                        static_cast<int>(e.user));
+      SCCF_RETURN_NOT_OK(frozen_nbrs.status());
+      auto stale_nbrs = frozen->Search(bootstrap_emb.data() + e.user * d,
+                                       options.beta,
+                                       static_cast<int>(e.user));
+      SCCF_RETURN_NOT_OK(stale_nbrs.status());
+
+      const size_t live_rank = RankByVotesLive(
+          live_resp->neighbors, engine.service(), history, target, m);
+      const size_t frozen_rank =
+          RankByVotes(*frozen_nbrs, vote_items, history, target, m);
+      const size_t stale_rank =
+          RankByVotes(*stale_nbrs, vote_items, history, target, m);
+      for (size_t c = 0; c < options.cutoffs.size(); ++c) {
+        const size_t k = options.cutoffs[c];
+        result.live_hr[c] += live_rank <= k ? 1.0 : 0.0;
+        result.frozen_hr[c] += frozen_rank <= k ? 1.0 : 0.0;
+        result.stale_query_hr[c] += stale_rank <= k ? 1.0 : 0.0;
+        result.live_ndcg[c] +=
+            live_rank <= k ? 1.0 / std::log2(live_rank + 1.0) : 0.0;
+        result.frozen_ndcg[c] +=
+            frozen_rank <= k ? 1.0 / std::log2(frozen_rank + 1.0) : 0.0;
+        result.stale_query_ndcg[c] +=
+            stale_rank <= k ? 1.0 / std::log2(stale_rank + 1.0) : 0.0;
+      }
+      ++result.num_predictions;
     }
-    ++result.num_predictions;
 
-    // Reveal: the live Engine absorbs the interaction (history, vote
-    // list, embedding re-inference, buffered index refresh); the frozen
-    // regime keeps serving the stale snapshot. `identify` is off — the
-    // next prediction does its own neighborhood search.
-    Engine::IngestRequest reveal;
-    reveal.events.push_back(
-        {static_cast<int>(e.user), target, e.ts});
-    reveal.identify = false;
-    SCCF_RETURN_NOT_OK(engine.Ingest(reveal).status());
+    // Reveal: the live Engine absorbs the window's interactions
+    // (history, vote list, embedding re-inference, buffered index
+    // refresh); the frozen regime keeps serving the stale snapshot.
+    // `identify` is off — the next prediction does its own search.
+    if (options.batch_reveal_ingest) {
+      Engine::IngestRequest reveal;
+      reveal.identify = false;
+      reveal.events.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        const TailEvent& e = events[i];
+        reveal.events.push_back({static_cast<int>(e.user),
+                                 dataset.sequence(e.user)[e.pos], e.ts});
+      }
+      SCCF_RETURN_NOT_OK(engine.Ingest(reveal).status());
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        const TailEvent& e = events[i];
+        Engine::IngestRequest reveal;
+        reveal.identify = false;
+        reveal.events.push_back({static_cast<int>(e.user),
+                                 dataset.sequence(e.user)[e.pos], e.ts});
+        SCCF_RETURN_NOT_OK(engine.Ingest(reveal).status());
+      }
+    }
   }
+  result.eval_wall_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - wall_start)
+          .count();
+  result.events_per_sec =
+      result.eval_wall_ms > 0.0
+          ? result.num_predictions / (result.eval_wall_ms / 1000.0)
+          : 0.0;
 
   if (result.num_predictions > 0) {
     for (size_t c = 0; c < options.cutoffs.size(); ++c) {

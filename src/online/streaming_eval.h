@@ -49,6 +49,21 @@ struct StreamingEvalOptions {
   /// backends (queries merge the buffer, so brute force is exact at any
   /// threshold).
   size_t compaction_threshold = 1;
+
+  /// Batched reveal: predict this many future events against one engine
+  /// snapshot, then reveal them all in a single batched Ingest (one
+  /// OnInteractionBatch, one shard-lock round, one re-inference per
+  /// touched user) — Table V-style evaluation at batch speed on large
+  /// logs. 1 reproduces the legacy event-at-a-time loop bit-identically.
+  /// Larger windows trade intra-window neighborhood freshness (a user's
+  /// second event in a window is predicted without their first having
+  /// been absorbed) for throughput. Must be >= 1.
+  size_t reveal_window = 1;
+
+  /// Reference switch for equivalence testing: when false, the window's
+  /// reveals are applied as reveal_window single-event Ingest calls (same
+  /// prediction cadence, unbatched write path) instead of one batch.
+  bool batch_reveal_ingest = true;
 };
 
 struct StreamingEvalResult {
@@ -60,6 +75,11 @@ struct StreamingEvalResult {
   std::vector<double> stale_query_hr;
   std::vector<double> stale_query_ndcg;
   size_t num_predictions = 0;
+
+  /// Wall time of the predict/reveal loop and the resulting throughput
+  /// (tail events per second) — the Table V-style speed axis.
+  double eval_wall_ms = 0.0;
+  double events_per_sec = 0.0;
 
   double LiveNdcgAt(size_t k) const;
   double FrozenNdcgAt(size_t k) const;

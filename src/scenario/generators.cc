@@ -1,0 +1,588 @@
+#include "scenario/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "scenario/scenario.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace sccf::scenario::internal {
+
+namespace {
+
+using data::Dataset;
+using data::Interaction;
+
+// ---------------------------------------------------------------------------
+// Shared sampling helpers. All randomness flows through one Rng seeded from
+// spec.seed, and nothing ever iterates spec.params, so a spec is a complete,
+// order-independent description of the corpus.
+// ---------------------------------------------------------------------------
+
+/// Cumulative Zipf weights: cum[i] = sum_{r=1..i+1} r^-exponent.
+std::vector<double> ZipfCumulative(size_t n, double exponent) {
+  std::vector<double> cum(n);
+  double acc = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cum[i] = acc;
+  }
+  return cum;
+}
+
+size_t SampleCumulative(const std::vector<double>& cum, Rng& rng) {
+  double r = rng.UniformDouble() * cum.back();
+  size_t idx = static_cast<size_t>(
+      std::upper_bound(cum.begin(), cum.end(), r) - cum.begin());
+  return std::min(idx, cum.size() - 1);
+}
+
+/// Partitions items [0, num_items) into `clusters` contiguous blocks.
+/// Returns per-item cluster labels; blocks differ in size by at most one.
+std::vector<int> ContiguousClusters(size_t num_items, size_t clusters) {
+  std::vector<int> label(num_items);
+  for (size_t i = 0; i < num_items; ++i) {
+    label[i] = static_cast<int>(i * clusters / num_items);
+  }
+  return label;
+}
+
+/// [begin, end) item range of cluster `c` under ContiguousClusters.
+std::pair<size_t, size_t> ClusterRange(size_t num_items, size_t clusters,
+                                       size_t c) {
+  return {c * num_items / clusters, (c + 1) * num_items / clusters};
+}
+
+int UniformClusterItem(size_t num_items, size_t clusters, size_t c,
+                       Rng& rng) {
+  auto [lo, hi] = ClusterRange(num_items, clusters, c);
+  return static_cast<int>(lo + rng.Uniform(hi - lo));
+}
+
+/// Zipf item within cluster `c`, using a per-cluster cumulative table
+/// (index into the table is the within-cluster rank).
+int ZipfClusterItem(size_t num_items, size_t clusters, size_t c,
+                    const std::vector<std::vector<double>>& cluster_cum,
+                    Rng& rng) {
+  auto [lo, hi] = ClusterRange(num_items, clusters, c);
+  (void)hi;
+  return static_cast<int>(lo + SampleCumulative(cluster_cum[c], rng));
+}
+
+std::vector<std::vector<double>> PerClusterZipf(size_t num_items,
+                                                size_t clusters,
+                                                double exponent) {
+  std::vector<std::vector<double>> cum(clusters);
+  for (size_t c = 0; c < clusters; ++c) {
+    auto [lo, hi] = ClusterRange(num_items, clusters, c);
+    cum[c] = ZipfCumulative(hi - lo, exponent);
+  }
+  return cum;
+}
+
+Status CheckProbability(const char* generator, const char* key, double v) {
+  if (v < 0.0 || v > 1.0) {
+    return Status::InvalidArgument(std::string(generator) + ": param '" +
+                                   key + "' must be in [0,1], got " +
+                                   FormatFloat(v, 4));
+  }
+  return Status::OK();
+}
+
+Status CheckClusters(const char* generator, int64_t clusters,
+                     size_t num_items) {
+  if (clusters < 1 || static_cast<size_t>(clusters) > num_items) {
+    return Status::InvalidArgument(
+        std::string(generator) +
+        ": param 'clusters' must be in [1, num_items]");
+  }
+  return Status::OK();
+}
+
+void AddMetric(ScenarioReport* report, const std::string& key, double v) {
+  report->metrics.emplace_back(key, v);
+}
+
+void FillCommon(ScenarioReport* report, const ScenarioSpec& spec,
+                const Dataset& ds) {
+  report->generator = spec.generator;
+  report->dataset_name = ds.name();
+  report->num_users = ds.num_users();
+  report->num_items = ds.num_items();
+  report->num_events = ds.num_actions();
+}
+
+std::string DatasetName(const ScenarioSpec& spec) {
+  return spec.name.empty() ? spec.generator : spec.name;
+}
+
+// ---------------------------------------------------------------------------
+// drift: every user starts in one interest cluster and linearly ramps to a
+// target cluster over their sequence — the Fig.-1 interest-drift regime,
+// isolated from all other structure.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> GenerateDrift(const ScenarioSpec& spec,
+                                ScenarioReport* report) {
+  ScenarioParams p(spec);
+  const int64_t clusters = p.Int("clusters", 8);
+  const double noise = p.Double("noise", 0.1);
+  SCCF_RETURN_NOT_OK(p.status());
+  SCCF_RETURN_NOT_OK(CheckClusters("drift", clusters, spec.num_items));
+  SCCF_RETURN_NOT_OK(CheckProbability("drift", "noise", noise));
+
+  const size_t U = spec.num_users, M = spec.num_items,
+               E = spec.events_per_user;
+  const size_t C = static_cast<size_t>(clusters);
+  Rng rng(spec.seed);
+
+  std::vector<int> start(U), target(U);
+  for (size_t u = 0; u < U; ++u) {
+    start[u] = static_cast<int>(rng.Uniform(C));
+    target[u] = C < 2 ? start[u]
+                      : static_cast<int>(
+                            (start[u] + 1 + rng.Uniform(C - 1)) % C);
+  }
+
+  // Round-robin interleave: position j of every user, then j+1, so the
+  // global clock advances uniformly across users.
+  std::vector<Interaction> events;
+  events.reserve(U * E);
+  int64_t ts = 0;
+  for (size_t j = 0; j < E; ++j) {
+    const double progress =
+        E > 1 ? static_cast<double>(j) / static_cast<double>(E - 1) : 1.0;
+    for (size_t u = 0; u < U; ++u) {
+      int item;
+      if (rng.Bernoulli(noise)) {
+        item = static_cast<int>(rng.Uniform(M));
+      } else {
+        size_t c = rng.Bernoulli(progress)
+                       ? static_cast<size_t>(target[u])
+                       : static_cast<size_t>(start[u]);
+        item = UniformClusterItem(M, C, c, rng);
+      }
+      events.push_back({static_cast<int>(u), item, ts++});
+    }
+  }
+
+  // Achieved drift: share of events in the user's start vs target cluster,
+  // split at the sequence midpoint.
+  const std::vector<int> item_cluster = ContiguousClusters(M, C);
+  double start_first = 0, start_second = 0, target_first = 0,
+         target_second = 0;
+  size_t first = 0, second = 0;
+  for (const Interaction& e : events) {
+    const bool in_first =
+        static_cast<size_t>(e.timestamp) < (U * E) / 2;
+    const int c = item_cluster[e.item];
+    (in_first ? first : second)++;
+    if (c == start[e.user]) (in_first ? start_first : start_second)++;
+    if (c == target[e.user]) (in_first ? target_first : target_second)++;
+  }
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromInteractions(DatasetName(spec),
+                                            std::move(events)));
+  FillCommon(report, spec, ds);
+  AddMetric(report, "start_share_first_half", start_first / first);
+  AddMetric(report, "start_share_second_half", start_second / second);
+  AddMetric(report, "target_share_first_half", target_first / first);
+  AddMetric(report, "target_share_second_half", target_second / second);
+  report->notes = "linear ramp from start to target cluster per user";
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// flash_sale: steady cluster-affine baseline traffic with a global window
+// of event time where a small hot-item set absorbs most clicks — the
+// flash-sale / promotion spike regime.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> GenerateFlashSale(const ScenarioSpec& spec,
+                                    ScenarioReport* report) {
+  ScenarioParams p(spec);
+  const int64_t clusters = p.Int("clusters", 8);
+  const int64_t sale_items = p.Int("sale_items", 8);
+  const double sale_start = p.Double("sale_start", 0.45);
+  const double sale_len = p.Double("sale_len", 0.1);
+  const double sale_intensity = p.Double("sale_intensity", 0.8);
+  const double affinity = p.Double("affinity", 0.7);
+  const double zipf = p.Double("zipf", 1.0);
+  SCCF_RETURN_NOT_OK(p.status());
+  SCCF_RETURN_NOT_OK(CheckClusters("flash_sale", clusters, spec.num_items));
+  SCCF_RETURN_NOT_OK(CheckProbability("flash_sale", "sale_start", sale_start));
+  SCCF_RETURN_NOT_OK(CheckProbability("flash_sale", "sale_len", sale_len));
+  SCCF_RETURN_NOT_OK(
+      CheckProbability("flash_sale", "sale_intensity", sale_intensity));
+  SCCF_RETURN_NOT_OK(CheckProbability("flash_sale", "affinity", affinity));
+  if (sale_start + sale_len > 1.0) {
+    return Status::InvalidArgument(
+        "flash_sale: sale_start + sale_len must be <= 1");
+  }
+  if (sale_items < 1 ||
+      static_cast<size_t>(sale_items) > spec.num_items) {
+    return Status::InvalidArgument(
+        "flash_sale: param 'sale_items' must be in [1, num_items]");
+  }
+  if (zipf <= 0.0) {
+    return Status::InvalidArgument("flash_sale: param 'zipf' must be > 0");
+  }
+
+  const size_t U = spec.num_users, M = spec.num_items,
+               E = spec.events_per_user;
+  const size_t C = static_cast<size_t>(clusters);
+  Rng rng(spec.seed);
+
+  std::vector<int> preferred(U);
+  for (size_t u = 0; u < U; ++u)
+    preferred[u] = static_cast<int>(rng.Uniform(C));
+
+  // Hot set: `sale_items` distinct items drawn from the whole catalog.
+  std::vector<int> perm(M);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(perm);
+  std::vector<int> hot(perm.begin(), perm.begin() + sale_items);
+
+  const auto cluster_cum = PerClusterZipf(M, C, zipf);
+  const size_t total = U * E;
+  const size_t window_lo = static_cast<size_t>(total * sale_start);
+  const size_t window_hi =
+      static_cast<size_t>(total * (sale_start + sale_len));
+
+  std::vector<bool> is_hot(M, false);
+  for (int h : hot) is_hot[h] = true;
+
+  std::vector<Interaction> events;
+  events.reserve(total);
+  size_t hot_in = 0, hot_out = 0, in_count = 0;
+  for (size_t ts = 0; ts < total; ++ts) {
+    const size_t u = ts % U;
+    const bool in_window = ts >= window_lo && ts < window_hi;
+    int item;
+    if (in_window && rng.Bernoulli(sale_intensity)) {
+      item = hot[rng.Uniform(hot.size())];
+    } else {
+      size_t c = rng.Bernoulli(affinity)
+                     ? static_cast<size_t>(preferred[u])
+                     : rng.Uniform(C);
+      item = ZipfClusterItem(M, C, c, cluster_cum, rng);
+    }
+    if (in_window) {
+      ++in_count;
+      hot_in += is_hot[item];
+    } else {
+      hot_out += is_hot[item];
+    }
+    events.push_back(
+        {static_cast<int>(u), item, static_cast<int64_t>(ts)});
+  }
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromInteractions(DatasetName(spec),
+                                            std::move(events)));
+  FillCommon(report, spec, ds);
+  const size_t out_count = total - in_count;
+  AddMetric(report, "sale_share_in_window",
+            in_count ? static_cast<double>(hot_in) / in_count : 0.0);
+  AddMetric(report, "sale_share_outside",
+            out_count ? static_cast<double>(hot_out) / out_count : 0.0);
+  AddMetric(report, "window_begin_ts", static_cast<double>(window_lo));
+  AddMetric(report, "window_end_ts", static_cast<double>(window_hi));
+  report->notes = "hot-set spike confined to the sale window";
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// power_law: Zipf skew on both sides — a few blockbuster items absorb most
+// clicks and a few power users emit most events. Ranks are assigned by a
+// seeded shuffle so popularity is uncorrelated with id order.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> GeneratePowerLaw(const ScenarioSpec& spec,
+                                   ScenarioReport* report) {
+  ScenarioParams p(spec);
+  const double item_exponent = p.Double("item_exponent", 1.1);
+  const double user_exponent = p.Double("user_exponent", 0.8);
+  SCCF_RETURN_NOT_OK(p.status());
+  if (item_exponent <= 0.0 || user_exponent <= 0.0) {
+    return Status::InvalidArgument(
+        "power_law: params 'item_exponent'/'user_exponent' must be > 0");
+  }
+
+  const size_t U = spec.num_users, M = spec.num_items,
+               E = spec.events_per_user;
+  Rng rng(spec.seed);
+
+  std::vector<int> item_by_rank(M);
+  std::iota(item_by_rank.begin(), item_by_rank.end(), 0);
+  rng.Shuffle(item_by_rank);
+  std::vector<int> user_by_rank(U);
+  std::iota(user_by_rank.begin(), user_by_rank.end(), 0);
+  rng.Shuffle(user_by_rank);
+
+  const auto item_cum = ZipfCumulative(M, item_exponent);
+  const auto user_cum = ZipfCumulative(U, user_exponent);
+
+  const size_t total = U * E;
+  std::vector<Interaction> events;
+  events.reserve(total);
+  int64_t ts = 0;
+  // Round zero gives every user one event so the compacted corpus keeps
+  // exactly num_users users; the remaining traffic is fully Zipf.
+  for (size_t u = 0; u < U; ++u) {
+    events.push_back({static_cast<int>(u),
+                      item_by_rank[SampleCumulative(item_cum, rng)], ts++});
+  }
+  for (size_t i = U; i < total; ++i) {
+    events.push_back({user_by_rank[SampleCumulative(user_cum, rng)],
+                      item_by_rank[SampleCumulative(item_cum, rng)], ts++});
+  }
+
+  // Achieved skew: traffic share of the busiest decile of items/users.
+  auto top_decile_share = [total](std::vector<size_t> counts) {
+    std::sort(counts.begin(), counts.end(), std::greater<size_t>());
+    const size_t k = std::max<size_t>(1, counts.size() / 10);
+    size_t top = 0;
+    for (size_t i = 0; i < k; ++i) top += counts[i];
+    return static_cast<double>(top) / static_cast<double>(total);
+  };
+  std::vector<size_t> item_counts(M, 0), user_counts(U, 0);
+  for (const Interaction& e : events) {
+    item_counts[e.item]++;
+    user_counts[e.user]++;
+  }
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromInteractions(DatasetName(spec),
+                                            std::move(events)));
+  FillCommon(report, spec, ds);
+  AddMetric(report, "item_top_decile_share",
+            top_decile_share(std::move(item_counts)));
+  AddMetric(report, "user_top_decile_share",
+            top_decile_share(std::move(user_counts)));
+  report->notes = "Zipf item popularity and user activity, shuffled ranks";
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// bursty: traffic arrives as dense per-user sessions (geometric length)
+// with strong within-session item locality; whole sessions are shuffled
+// onto the global clock so each one occupies a consecutive timestamp run.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> GenerateBursty(const ScenarioSpec& spec,
+                                 ScenarioReport* report) {
+  ScenarioParams p(spec);
+  const double session_len = p.Double("session_len", 6.0);
+  const double locality = p.Double("locality", 0.85);
+  const double affinity = p.Double("affinity", 0.6);
+  const int64_t clusters = p.Int("clusters", 8);
+  SCCF_RETURN_NOT_OK(p.status());
+  SCCF_RETURN_NOT_OK(CheckClusters("bursty", clusters, spec.num_items));
+  SCCF_RETURN_NOT_OK(CheckProbability("bursty", "locality", locality));
+  SCCF_RETURN_NOT_OK(CheckProbability("bursty", "affinity", affinity));
+  if (session_len < 1.0) {
+    return Status::InvalidArgument(
+        "bursty: param 'session_len' must be >= 1");
+  }
+
+  const size_t U = spec.num_users, M = spec.num_items,
+               E = spec.events_per_user;
+  const size_t C = static_cast<size_t>(clusters);
+  Rng rng(spec.seed);
+
+  std::vector<int> preferred(U);
+  for (size_t u = 0; u < U; ++u)
+    preferred[u] = static_cast<int>(rng.Uniform(C));
+
+  struct Session {
+    int user;
+    std::vector<int> items;
+  };
+  std::vector<Session> sessions;
+  size_t locality_hits = 0;
+  const double stop_p = 1.0 / session_len;
+  const std::vector<int> item_cluster = ContiguousClusters(M, C);
+  for (size_t u = 0; u < U; ++u) {
+    size_t remaining = E;
+    while (remaining > 0) {
+      size_t len = 1;
+      while (len < remaining && !rng.Bernoulli(stop_p)) ++len;
+      const size_t c = rng.Bernoulli(affinity)
+                           ? static_cast<size_t>(preferred[u])
+                           : rng.Uniform(C);
+      Session s;
+      s.user = static_cast<int>(u);
+      s.items.reserve(len);
+      for (size_t i = 0; i < len; ++i) {
+        int item = rng.Bernoulli(locality)
+                       ? UniformClusterItem(M, C, c, rng)
+                       : static_cast<int>(rng.Uniform(M));
+        locality_hits += item_cluster[item] == static_cast<int>(c);
+        s.items.push_back(item);
+      }
+      sessions.push_back(std::move(s));
+      remaining -= len;
+    }
+  }
+
+  // Sessions hit the global clock in shuffled order, each as one
+  // consecutive timestamp block — the burst.
+  rng.Shuffle(sessions);
+  std::vector<Interaction> events;
+  events.reserve(U * E);
+  int64_t ts = 0;
+  for (const Session& s : sessions) {
+    for (int item : s.items) events.push_back({s.user, item, ts++});
+  }
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromInteractions(DatasetName(spec),
+                                            std::move(events)));
+
+  // Burstiness: fraction of each user's consecutive timestamp gaps that
+  // equal 1 (i.e. the next event of the same user is the very next global
+  // event). Round-robin traffic scores ~0 here; sessions score high.
+  size_t unit_gaps = 0, gaps = 0;
+  for (size_t u = 0; u < ds.num_users(); ++u) {
+    const auto& t = ds.timestamps(u);
+    for (size_t i = 1; i < t.size(); ++i) {
+      ++gaps;
+      unit_gaps += (t[i] - t[i - 1]) == 1;
+    }
+  }
+
+  FillCommon(report, spec, ds);
+  AddMetric(report, "mean_session_len",
+            sessions.empty()
+                ? 0.0
+                : static_cast<double>(U * E) / sessions.size());
+  AddMetric(report, "locality_share",
+            static_cast<double>(locality_hits) / (U * E));
+  AddMetric(report, "unit_gap_share",
+            gaps ? static_cast<double>(unit_gaps) / gaps : 0.0);
+  report->notes = "geometric sessions, shuffled onto consecutive ts blocks";
+  return ds;
+}
+
+// ---------------------------------------------------------------------------
+// hot_shard: adversarial user-id selection against the serving layer's
+// shard hash. Keeps only candidate ids that land on the first `hot_shards`
+// of `shards` under SplitMix64 — the exact map core/realtime.cc partitions
+// users with — so a sharded engine serving this corpus by original id sees
+// all traffic concentrated on a few shards.
+// ---------------------------------------------------------------------------
+
+StatusOr<Dataset> GenerateHotShard(const ScenarioSpec& spec,
+                                   ScenarioReport* report) {
+  ScenarioParams p(spec);
+  const int64_t shards = p.Int("shards", 8);
+  const int64_t hot_shards = p.Int("hot_shards", 1);
+  const int64_t clusters = p.Int("clusters", 8);
+  const double affinity = p.Double("affinity", 0.7);
+  const double zipf = p.Double("zipf", 1.0);
+  SCCF_RETURN_NOT_OK(p.status());
+  SCCF_RETURN_NOT_OK(CheckClusters("hot_shard", clusters, spec.num_items));
+  SCCF_RETURN_NOT_OK(CheckProbability("hot_shard", "affinity", affinity));
+  if (shards < 1) {
+    return Status::InvalidArgument("hot_shard: param 'shards' must be >= 1");
+  }
+  if (hot_shards < 1 || hot_shards > shards) {
+    return Status::InvalidArgument(
+        "hot_shard: param 'hot_shards' must be in [1, shards]");
+  }
+  if (zipf <= 0.0) {
+    return Status::InvalidArgument("hot_shard: param 'zipf' must be > 0");
+  }
+
+  const size_t U = spec.num_users, M = spec.num_items,
+               E = spec.events_per_user;
+  const size_t C = static_cast<size_t>(clusters);
+  Rng rng(spec.seed);
+
+  // Scan candidate ids upward, keeping the ones the serving shard hash
+  // sends to a hot shard. Expected scan length U * shards / hot_shards.
+  std::vector<int> user_ids;
+  user_ids.reserve(U);
+  for (uint32_t c = 0; user_ids.size() < U; ++c) {
+    const uint64_t shard =
+        SplitMix64(static_cast<uint64_t>(c)) %
+        static_cast<uint64_t>(shards);
+    if (shard < static_cast<uint64_t>(hot_shards)) {
+      user_ids.push_back(static_cast<int>(c));
+    }
+  }
+
+  std::vector<int> preferred(U);
+  for (size_t u = 0; u < U; ++u)
+    preferred[u] = static_cast<int>(rng.Uniform(C));
+  const auto cluster_cum = PerClusterZipf(M, C, zipf);
+
+  std::vector<Interaction> events;
+  events.reserve(U * E);
+  int64_t ts = 0;
+  for (size_t j = 0; j < E; ++j) {
+    for (size_t u = 0; u < U; ++u) {
+      const size_t c = rng.Bernoulli(affinity)
+                           ? static_cast<size_t>(preferred[u])
+                           : rng.Uniform(C);
+      events.push_back({user_ids[u],
+                        ZipfClusterItem(M, C, c, cluster_cum, rng), ts++});
+    }
+  }
+
+  // Achieved imbalance over ORIGINAL ids (the Dataset compacts ids; the
+  // adversarial property lives in original_user_ids(), which is what
+  // benches must feed the engine).
+  std::vector<size_t> per_shard(static_cast<size_t>(shards), 0);
+  for (int id : user_ids) {
+    per_shard[SplitMix64(static_cast<uint64_t>(
+                  static_cast<uint32_t>(id))) %
+              static_cast<uint64_t>(shards)] += E;
+  }
+  const size_t max_shard = *std::max_element(per_shard.begin(),
+                                             per_shard.end());
+
+  SCCF_ASSIGN_OR_RETURN(
+      Dataset ds, Dataset::FromInteractions(DatasetName(spec),
+                                            std::move(events)));
+  FillCommon(report, spec, ds);
+  AddMetric(report, "shards", static_cast<double>(shards));
+  AddMetric(report, "hot_shards", static_cast<double>(hot_shards));
+  AddMetric(report, "max_shard_share",
+            static_cast<double>(max_shard) / (U * E));
+  report->notes =
+      "user ids chosen to collide under the serving SplitMix64 shard hash; "
+      "drive the engine with original_user_ids()";
+  return ds;
+}
+
+}  // namespace
+
+const std::vector<GeneratorInfo>& SyntheticGenerators() {
+  static const std::vector<GeneratorInfo> kGenerators = {
+      {"bursty",
+       {"session_len", "locality", "affinity", "clusters"},
+       &GenerateBursty},
+      {"drift", {"clusters", "noise"}, &GenerateDrift},
+      {"flash_sale",
+       {"clusters", "sale_items", "sale_start", "sale_len",
+        "sale_intensity", "affinity", "zipf"},
+       &GenerateFlashSale},
+      {"hot_shard",
+       {"shards", "hot_shards", "clusters", "affinity", "zipf"},
+       &GenerateHotShard},
+      {"power_law", {"item_exponent", "user_exponent"}, &GeneratePowerLaw},
+  };
+  return kGenerators;
+}
+
+}  // namespace sccf::scenario::internal

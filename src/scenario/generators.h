@@ -1,0 +1,30 @@
+#ifndef SCCF_SCENARIO_GENERATORS_H_
+#define SCCF_SCENARIO_GENERATORS_H_
+
+// Internal registry wiring generators.cc into the factory in scenario.cc.
+// Not part of the public scenario API.
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "scenario/scenario.h"
+#include "util/status.h"
+
+namespace sccf::scenario::internal {
+
+struct GeneratorInfo {
+  std::string name;
+  /// Param keys this generator accepts; anything else is InvalidArgument.
+  std::vector<std::string> allowed_params;
+  StatusOr<data::Dataset> (*generate)(const ScenarioSpec& spec,
+                                      ScenarioReport* report);
+};
+
+/// The five synthetic workload generators (bursty, drift, flash_sale,
+/// hot_shard, power_law), name-sorted.
+const std::vector<GeneratorInfo>& SyntheticGenerators();
+
+}  // namespace sccf::scenario::internal
+
+#endif  // SCCF_SCENARIO_GENERATORS_H_

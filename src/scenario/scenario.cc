@@ -1,0 +1,255 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/loaders.h"
+#include "scenario/generators.h"
+#include "util/status.h"
+#include "util/string_util.h"
+
+namespace sccf::scenario {
+
+namespace {
+
+using internal::GeneratorInfo;
+
+/// File-backed corpora registered beside the synthetic generators: name +
+/// which loader parses the file.
+struct FileSourceInfo {
+  std::string name;
+  StatusOr<std::vector<data::Interaction>> (*load)(const std::string& path);
+};
+
+const std::vector<FileSourceInfo>& FileSources() {
+  static const std::vector<FileSourceInfo> kSources = {
+      {"amazon", &data::LoadAmazonRatings},
+      {"ml1m", &data::LoadMovieLens},
+      {"ml20m", &data::LoadMovieLens},
+  };
+  return kSources;
+}
+
+const std::vector<std::string>& FileSourceParams() {
+  static const std::vector<std::string> kParams = {"path", "core"};
+  return kParams;
+}
+
+/// Unknown-param check. Collects offending keys sorted so the message is
+/// deterministic regardless of unordered_map iteration order.
+Status CheckParamKeys(const ScenarioSpec& spec,
+                      const std::vector<std::string>& allowed) {
+  std::vector<std::string> unknown;
+  for (const auto& [key, value] : spec.params) {
+    if (std::find(allowed.begin(), allowed.end(), key) == allowed.end()) {
+      unknown.push_back(key);
+    }
+  }
+  if (unknown.empty()) return Status::OK();
+  std::sort(unknown.begin(), unknown.end());
+  std::vector<std::string> sorted_allowed = allowed;
+  std::sort(sorted_allowed.begin(), sorted_allowed.end());
+  return Status::InvalidArgument(
+      "scenario '" + spec.generator + "': unknown params: " +
+      Join(unknown, ", ") + " (allowed: " + Join(sorted_allowed, ", ") +
+      ")");
+}
+
+class SyntheticScenario : public ScenarioSource {
+ public:
+  SyntheticScenario(ScenarioSpec spec, const GeneratorInfo* info)
+      : spec_(std::move(spec)), info_(info) {
+    name_ = spec_.name.empty() ? spec_.generator : spec_.name;
+  }
+
+  const std::string& name() const override { return name_; }
+
+  StatusOr<data::Dataset> Load() override {
+    ScenarioReport report;
+    SCCF_ASSIGN_OR_RETURN(data::Dataset ds,
+                          info_->generate(spec_, &report));
+    report_ = std::move(report);
+    return ds;
+  }
+
+  const ScenarioReport& report() const override { return report_; }
+
+ private:
+  ScenarioSpec spec_;
+  const GeneratorInfo* info_;
+  std::string name_;
+  ScenarioReport report_;
+};
+
+class FileScenario : public ScenarioSource {
+ public:
+  FileScenario(ScenarioSpec spec, const FileSourceInfo* info)
+      : spec_(std::move(spec)), info_(info) {
+    name_ = spec_.name.empty() ? spec_.generator : spec_.name;
+  }
+
+  const std::string& name() const override { return name_; }
+
+  StatusOr<data::Dataset> Load() override {
+    ScenarioParams p(spec_);
+    const std::string path = p.Str("path", "");
+    const int64_t core = p.Int("core", 5);
+    SCCF_RETURN_NOT_OK(p.status());
+    if (core < 0) {
+      return Status::InvalidArgument(
+          "scenario '" + spec_.generator + "': param 'core' must be >= 0");
+    }
+    // Existence check before the loader so an absent corpus is a clean
+    // NotFound (tests and CI skip on this code) rather than an IoError.
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec) || ec) {
+      return Status::NotFound("scenario corpus file absent: " + path);
+    }
+    SCCF_ASSIGN_OR_RETURN(std::vector<data::Interaction> interactions,
+                          info_->load(path));
+    if (core > 1) {
+      interactions =
+          data::KCoreFilter(std::move(interactions),
+                            static_cast<size_t>(core),
+                            data::CoreFilterMode::kPaper);
+    }
+    SCCF_ASSIGN_OR_RETURN(
+        data::Dataset ds,
+        data::Dataset::FromInteractions(name_, std::move(interactions)));
+    report_ = ScenarioReport{};
+    report_.generator = spec_.generator;
+    report_.dataset_name = ds.name();
+    report_.num_users = ds.num_users();
+    report_.num_items = ds.num_items();
+    report_.num_events = ds.num_actions();
+    const data::DatasetStats stats = ds.Stats();
+    report_.metrics.emplace_back("avg_length", stats.avg_length);
+    report_.metrics.emplace_back("density", stats.density);
+    report_.metrics.emplace_back("core", static_cast<double>(core));
+    report_.notes = "loaded from " + path;
+    return ds;
+  }
+
+  const ScenarioReport& report() const override { return report_; }
+
+ private:
+  ScenarioSpec spec_;
+  const FileSourceInfo* info_;
+  std::string name_;
+  ScenarioReport report_;
+};
+
+}  // namespace
+
+double ScenarioReport::Metric(const std::string& key,
+                              double fallback) const {
+  for (const auto& [k, v] : metrics) {
+    if (k == key) return v;
+  }
+  return fallback;
+}
+
+std::string ScenarioReport::ToString() const {
+  std::string out = "generator=" + generator + " dataset=" + dataset_name +
+                    " users=" + std::to_string(num_users) +
+                    " items=" + std::to_string(num_items) +
+                    " events=" + std::to_string(num_events);
+  for (const auto& [k, v] : metrics) {
+    out += " " + k + "=" + FormatFloat(v, 4);
+  }
+  if (!notes.empty()) out += " (" + notes + ")";
+  return out;
+}
+
+double ScenarioParams::Double(const std::string& key, double def) {
+  auto it = spec_->params.find(key);
+  if (it == spec_->params.end()) return def;
+  double v = 0.0;
+  if (!ParseDouble(it->second, &v)) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "scenario param '" + key + "': expected a number, got '" +
+          it->second + "'");
+    }
+    return def;
+  }
+  return v;
+}
+
+int64_t ScenarioParams::Int(const std::string& key, int64_t def) {
+  auto it = spec_->params.find(key);
+  if (it == spec_->params.end()) return def;
+  int64_t v = 0;
+  if (!ParseInt64(it->second, &v)) {
+    if (status_.ok()) {
+      status_ = Status::InvalidArgument(
+          "scenario param '" + key + "': expected an integer, got '" +
+          it->second + "'");
+    }
+    return def;
+  }
+  return v;
+}
+
+std::string ScenarioParams::Str(const std::string& key,
+                                std::string def) const {
+  auto it = spec_->params.find(key);
+  return it == spec_->params.end() ? def : it->second;
+}
+
+bool ScenarioParams::Has(const std::string& key) const {
+  return spec_->params.count(key) > 0;
+}
+
+StatusOr<std::unique_ptr<ScenarioSource>> MakeScenario(
+    const ScenarioSpec& spec) {
+  if (spec.generator.empty()) {
+    return Status::InvalidArgument("scenario spec: generator is empty");
+  }
+
+  for (const GeneratorInfo& info : internal::SyntheticGenerators()) {
+    if (info.name != spec.generator) continue;
+    SCCF_RETURN_NOT_OK(CheckParamKeys(spec, info.allowed_params));
+    if (spec.num_users == 0 || spec.num_items == 0 ||
+        spec.events_per_user == 0) {
+      return Status::InvalidArgument(
+          "scenario '" + spec.generator +
+          "': num_users, num_items, events_per_user must all be > 0");
+    }
+    return std::unique_ptr<ScenarioSource>(
+        std::make_unique<SyntheticScenario>(spec, &info));
+  }
+
+  for (const FileSourceInfo& info : FileSources()) {
+    if (info.name != spec.generator) continue;
+    SCCF_RETURN_NOT_OK(CheckParamKeys(spec, FileSourceParams()));
+    if (spec.params.find("path") == spec.params.end()) {
+      return Status::InvalidArgument("scenario '" + spec.generator +
+                                     "': param 'path' is required");
+    }
+    return std::unique_ptr<ScenarioSource>(
+        std::make_unique<FileScenario>(spec, &info));
+  }
+
+  return Status::InvalidArgument(
+      "unknown scenario generator '" + spec.generator +
+      "'; known: " + Join(ListScenarioGenerators(), ", "));
+}
+
+std::vector<std::string> ListScenarioGenerators() {
+  std::vector<std::string> names;
+  for (const GeneratorInfo& info : internal::SyntheticGenerators()) {
+    names.push_back(info.name);
+  }
+  for (const FileSourceInfo& info : FileSources()) {
+    names.push_back(info.name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace sccf::scenario

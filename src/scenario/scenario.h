@@ -1,0 +1,118 @@
+#ifndef SCCF_SCENARIO_SCENARIO_H_
+#define SCCF_SCENARIO_SCENARIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace sccf::scenario {
+
+/// Declarative description of one workload: which generator, how big, and
+/// generator-specific knobs as string-keyed params. Every synthetic
+/// generator is fully deterministic from this struct — same spec (seed
+/// included), same corpus bit-for-bit, regardless of the insertion order
+/// of `params` (generation code never iterates the map).
+struct ScenarioSpec {
+  /// Generator key; see ListScenarioGenerators(). Synthetic:
+  /// "bursty", "drift", "flash_sale", "hot_shard", "power_law".
+  /// File-backed (need params["path"]): "ml1m", "ml20m", "amazon".
+  std::string generator;
+
+  /// Dataset name; defaults to the generator key when empty.
+  std::string name;
+
+  /// Corpus dimensions (synthetic generators only; file-backed sources
+  /// take their size from the file).
+  size_t num_users = 200;
+  size_t num_items = 400;
+  size_t events_per_user = 30;
+
+  /// Master seed. The only source of randomness.
+  uint64_t seed = 7;
+
+  /// Generator-specific knobs, e.g. {"noise", "0.1"}. Unknown keys are an
+  /// InvalidArgument at MakeScenario() time; malformed or out-of-range
+  /// values are an InvalidArgument at Load() time. Never a crash.
+  std::unordered_map<std::string, std::string> params;
+};
+
+/// Achieved statistics of one generated/loaded corpus, reported by the
+/// generator that produced it (what did the workload actually look like,
+/// as opposed to what the spec asked for).
+struct ScenarioReport {
+  std::string generator;
+  std::string dataset_name;
+  size_t num_users = 0;
+  size_t num_items = 0;
+  size_t num_events = 0;
+
+  /// Generator-specific achieved metrics in a fixed, deterministic order
+  /// (e.g. drift reports start/target cluster shares per half).
+  std::vector<std::pair<std::string, double>> metrics;
+
+  std::string notes;
+
+  /// Value of the named metric, or `fallback` when absent.
+  double Metric(const std::string& key, double fallback = 0.0) const;
+
+  /// One-line "generator=... users=... k1=v1 k2=v2" rendering.
+  std::string ToString() const;
+};
+
+/// A pluggable corpus source: synthetic generators and file-backed real
+/// corpora (ML-1M/ML-20M/Amazon) present the same interface, so the
+/// streaming eval and benches run identically against either.
+class ScenarioSource {
+ public:
+  virtual ~ScenarioSource() = default;
+
+  /// Dataset name (spec.name, or the generator key when unset).
+  virtual const std::string& name() const = 0;
+
+  /// Generates (synthetic) or loads (file-backed) the corpus. Synthetic
+  /// sources are deterministic from the spec; file-backed sources return
+  /// NotFound when the file is absent so callers can skip cleanly.
+  virtual StatusOr<data::Dataset> Load() = 0;
+
+  /// Achieved-statistics report of the last successful Load().
+  virtual const ScenarioReport& report() const = 0;
+};
+
+/// Builds the source described by `spec`. InvalidArgument on an unknown
+/// generator key, unknown param keys (listed sorted in the message), or
+/// zero-sized synthetic dimensions.
+StatusOr<std::unique_ptr<ScenarioSource>> MakeScenario(
+    const ScenarioSpec& spec);
+
+/// All registered generator keys, sorted.
+std::vector<std::string> ListScenarioGenerators();
+
+/// Typed accessor over ScenarioSpec::params used by the generators (public
+/// because benches parse ad-hoc user flags through it too). Getters record
+/// the first malformed value; check status() after reading everything.
+class ScenarioParams {
+ public:
+  explicit ScenarioParams(const ScenarioSpec& spec) : spec_(&spec) {}
+
+  double Double(const std::string& key, double def);
+  int64_t Int(const std::string& key, int64_t def);
+  std::string Str(const std::string& key, std::string def) const;
+  bool Has(const std::string& key) const;
+
+  Status status() const { return status_; }
+
+ private:
+  const ScenarioSpec* spec_;
+  Status status_ = Status::OK();
+};
+
+}  // namespace sccf::scenario
+
+#endif  // SCCF_SCENARIO_SCENARIO_H_

@@ -9,19 +9,22 @@ namespace sccf {
 
 namespace {
 inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
-// splitmix64: expands a single seed into the xoshiro state.
-inline uint64_t SplitMix64(uint64_t& state) {
-  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
 }  // namespace
 
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
+  // splitmix64 sequence expands the single seed into the xoshiro state.
   uint64_t sm = seed;
-  for (auto& s : s_) s = SplitMix64(sm);
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+    sm += 0x9e3779b97f4a7c15ULL;
+  }
 }
 
 uint64_t Rng::Next() {

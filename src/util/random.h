@@ -8,6 +8,15 @@
 
 namespace sccf {
 
+/// SplitMix64 finalizer over one 64-bit input. This is the fixed,
+/// platform-independent integer mix the serving layer partitions users
+/// across shards with (core/realtime.cc takes it modulo num_shards) and
+/// the hot-shard adversarial scenario generator inverts by search
+/// (scenario/generators.cc picks user ids that collide modulo the shard
+/// count). Those two MUST agree bit-for-bit, so both call this one
+/// definition. Also used internally to expand Rng seeds.
+uint64_t SplitMix64(uint64_t x);
+
 /// Deterministic, seedable PRNG (xoshiro256**). Used everywhere instead of
 /// std::mt19937 so experiment results are reproducible across platforms and
 /// standard-library versions.

@@ -11,6 +11,7 @@
 #include "core/candidates.h"
 #include "core/profile_neighborhood.h"
 #include "core/rank_stage.h"
+#include "online/engine.h"
 #include "online/streaming_eval.h"
 #include "core/user_based.h"
 #include "data/split.h"
@@ -18,6 +19,8 @@
 #include "eval/evaluator.h"
 #include "eval/metrics.h"
 #include "index/brute_force_index.h"
+#include "index/hnsw_index.h"
+#include "index/ivf_flat_index.h"
 #include "models/fism.h"
 #include "models/gru4rec.h"
 #include "models/pop.h"
@@ -277,6 +280,300 @@ TEST_F(ExtensionsTest, StreamingEvalValidatesInputs) {
                 .status()
                 .code(),
             StatusCode::kInvalidArgument);
+}
+
+// ------------------------------------- batched-reveal equivalence pins
+
+// Reference implementation of the pre-batching event-at-a-time streaming
+// eval, kept verbatim (through public APIs only) so reveal_window == 1 of
+// the windowed production loop stays pinned bit-identical to it forever.
+// If the production loop drifts, this copy does not.
+StatusOr<online::StreamingEvalResult> LegacyStreamingEval(
+    const models::InductiveUiModel& model, const data::Dataset& dataset,
+    const online::StreamingEvalOptions& options) {
+  using online::Engine;
+  const size_t n = dataset.num_users();
+  const size_t d = model.embedding_dim();
+  const size_t m = dataset.num_items();
+
+  auto prefix_len = [&](size_t u) -> size_t {
+    const size_t len = dataset.sequence(u).size();
+    return len >= 2 * options.tail_events ? len - options.tail_events : len;
+  };
+  auto infer_tail = [&](std::span<const int> history, float* out) {
+    const size_t take = options.infer_window == 0
+                            ? history.size()
+                            : std::min(history.size(), options.infer_window);
+    model.InferUserEmbedding(history.subspan(history.size() - take, take),
+                             out);
+  };
+  auto rank_by_votes = [&](const std::vector<index::Neighbor>& neighbors,
+                           const std::vector<std::vector<int>>& vote_items,
+                           std::span<const int> history, int target) {
+    std::vector<float> scores(m, 0.0f);
+    for (const auto& nb : neighbors) {
+      for (int item : vote_items[nb.id]) scores[item] += nb.score;
+    }
+    for (int item : history) scores[item] = 0.0f;
+    const float t = scores[target];
+    size_t better = 0;
+    for (float s : scores) better += s > t;
+    return better + 1;
+  };
+  auto rank_by_votes_live =
+      [&](const std::vector<index::Neighbor>& neighbors,
+          const core::RealTimeService& service, std::span<const int> history,
+          int target) {
+        std::vector<float> scores(m, 0.0f);
+        for (const auto& nb : neighbors) {
+          auto votes = service.VoteItems(nb.id);
+          if (!votes.ok()) continue;
+          for (int item : *votes) scores[item] += nb.score;
+        }
+        for (int item : history) scores[item] = 0.0f;
+        const float t = scores[target];
+        size_t better = 0;
+        for (float s : scores) better += s > t;
+        return better + 1;
+      };
+
+  Engine::Options live_opts;
+  live_opts.beta = options.beta;
+  live_opts.infer_window = options.infer_window;
+  live_opts.vote_window = options.vote_window;
+  live_opts.num_shards = 1;
+  live_opts.index_kind = options.index_kind;
+  live_opts.compaction_threshold = options.compaction_threshold;
+  Engine engine(model, live_opts);
+  {
+    std::vector<Engine::UserState> states(n);
+    for (size_t u = 0; u < n; ++u) {
+      states[u].user = static_cast<int>(u);
+      const auto& seq = dataset.sequence(u);
+      states[u].history.assign(seq.begin(), seq.begin() + prefix_len(u));
+    }
+    SCCF_RETURN_NOT_OK(engine.Bootstrap(states));
+  }
+
+  std::vector<std::vector<int>> vote_items(n);
+  std::vector<float> bootstrap_emb(n * d, 0.0f);
+  std::vector<int> populated;
+  for (size_t u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequence(u);
+    const size_t p = prefix_len(u);
+    if (p == 0) continue;
+    std::span<const int> prefix(seq.data(), p);
+    infer_tail(prefix, bootstrap_emb.data() + u * d);
+    populated.push_back(static_cast<int>(u));
+    const size_t vt =
+        options.vote_window == 0 ? p : std::min(p, options.vote_window);
+    std::vector<int> votes(prefix.end() - vt, prefix.end());
+    std::sort(votes.begin(), votes.end());
+    votes.erase(std::unique(votes.begin(), votes.end()), votes.end());
+    vote_items[u] = std::move(votes);
+  }
+  std::unique_ptr<index::VectorIndex> frozen;
+  if (options.index_kind == core::IndexKind::kIvfFlat) {
+    index::IvfFlatIndex::Options ivf_opts;
+    ivf_opts.nlist =
+        std::min(ivf_opts.nlist, std::max<size_t>(1, populated.size()));
+    auto ivf = std::make_unique<index::IvfFlatIndex>(
+        d, index::Metric::kCosine, ivf_opts);
+    std::vector<float> train_set;
+    train_set.reserve(populated.size() * d);
+    for (int u : populated) {
+      train_set.insert(train_set.end(), bootstrap_emb.begin() + u * d,
+                       bootstrap_emb.begin() + (u + 1) * d);
+    }
+    if (populated.empty()) {
+      train_set.assign(d, 0.0f);
+      SCCF_RETURN_NOT_OK(ivf->Train(train_set, 1));
+    } else {
+      SCCF_RETURN_NOT_OK(ivf->Train(train_set, populated.size()));
+    }
+    frozen = std::move(ivf);
+  } else if (options.index_kind == core::IndexKind::kHnsw) {
+    frozen = std::make_unique<index::HnswIndex>(
+        d, index::Metric::kCosine, index::HnswIndex::Options{});
+  } else {
+    frozen = std::make_unique<index::BruteForceIndex>(
+        d, index::Metric::kCosine);
+  }
+  for (int u : populated) {
+    SCCF_RETURN_NOT_OK(frozen->Add(u, bootstrap_emb.data() + u * d));
+  }
+
+  online::StreamingEvalResult result;
+  result.cutoffs = options.cutoffs;
+  result.live_hr.assign(options.cutoffs.size(), 0.0);
+  result.live_ndcg.assign(options.cutoffs.size(), 0.0);
+  result.frozen_hr.assign(options.cutoffs.size(), 0.0);
+  result.frozen_ndcg.assign(options.cutoffs.size(), 0.0);
+  result.stale_query_hr.assign(options.cutoffs.size(), 0.0);
+  result.stale_query_ndcg.assign(options.cutoffs.size(), 0.0);
+
+  struct TailEvent {
+    int64_t ts;
+    size_t user;
+    size_t pos;
+  };
+  std::vector<TailEvent> events;
+  for (size_t u = 0; u < n; ++u) {
+    const auto& seq = dataset.sequence(u);
+    if (seq.size() < 2 * options.tail_events) continue;
+    for (size_t t = prefix_len(u); t < seq.size(); ++t) {
+      events.push_back({dataset.timestamps(u)[t], u, t});
+    }
+  }
+  std::stable_sort(
+      events.begin(), events.end(),
+      [](const TailEvent& a, const TailEvent& b) { return a.ts < b.ts; });
+
+  std::vector<float> emb(d);
+  for (const TailEvent& e : events) {
+    const auto& seq = dataset.sequence(e.user);
+    const int target = seq[e.pos];
+    const std::span<const int> history(seq.data(), e.pos);
+
+    auto live_resp =
+        engine.Neighbors({static_cast<int>(e.user), std::nullopt});
+    SCCF_RETURN_NOT_OK(live_resp.status());
+    infer_tail(history, emb.data());
+    auto frozen_nbrs =
+        frozen->Search(emb.data(), options.beta, static_cast<int>(e.user));
+    SCCF_RETURN_NOT_OK(frozen_nbrs.status());
+    auto stale_nbrs =
+        frozen->Search(bootstrap_emb.data() + e.user * d, options.beta,
+                       static_cast<int>(e.user));
+    SCCF_RETURN_NOT_OK(stale_nbrs.status());
+
+    const size_t live_rank = rank_by_votes_live(
+        live_resp->neighbors, engine.service(), history, target);
+    const size_t frozen_rank =
+        rank_by_votes(*frozen_nbrs, vote_items, history, target);
+    const size_t stale_rank =
+        rank_by_votes(*stale_nbrs, vote_items, history, target);
+    for (size_t c = 0; c < options.cutoffs.size(); ++c) {
+      const size_t k = options.cutoffs[c];
+      result.live_hr[c] += live_rank <= k ? 1.0 : 0.0;
+      result.frozen_hr[c] += frozen_rank <= k ? 1.0 : 0.0;
+      result.stale_query_hr[c] += stale_rank <= k ? 1.0 : 0.0;
+      result.live_ndcg[c] +=
+          live_rank <= k ? 1.0 / std::log2(live_rank + 1.0) : 0.0;
+      result.frozen_ndcg[c] +=
+          frozen_rank <= k ? 1.0 / std::log2(frozen_rank + 1.0) : 0.0;
+      result.stale_query_ndcg[c] +=
+          stale_rank <= k ? 1.0 / std::log2(stale_rank + 1.0) : 0.0;
+    }
+    ++result.num_predictions;
+
+    Engine::IngestRequest reveal;
+    reveal.events.push_back({static_cast<int>(e.user), target, e.ts});
+    reveal.identify = false;
+    SCCF_RETURN_NOT_OK(engine.Ingest(reveal).status());
+  }
+
+  if (result.num_predictions > 0) {
+    for (size_t c = 0; c < options.cutoffs.size(); ++c) {
+      result.live_hr[c] /= result.num_predictions;
+      result.live_ndcg[c] /= result.num_predictions;
+      result.frozen_hr[c] /= result.num_predictions;
+      result.frozen_ndcg[c] /= result.num_predictions;
+      result.stale_query_hr[c] /= result.num_predictions;
+      result.stale_query_ndcg[c] /= result.num_predictions;
+    }
+  }
+  return result;
+}
+
+void ExpectSameMetrics(const online::StreamingEvalResult& a,
+                       const online::StreamingEvalResult& b) {
+  EXPECT_EQ(a.num_predictions, b.num_predictions);
+  EXPECT_EQ(a.cutoffs, b.cutoffs);
+  EXPECT_EQ(a.live_hr, b.live_hr);
+  EXPECT_EQ(a.live_ndcg, b.live_ndcg);
+  EXPECT_EQ(a.frozen_hr, b.frozen_hr);
+  EXPECT_EQ(a.frozen_ndcg, b.frozen_ndcg);
+  EXPECT_EQ(a.stale_query_hr, b.stale_query_hr);
+  EXPECT_EQ(a.stale_query_ndcg, b.stale_query_ndcg);
+}
+
+TEST_F(ExtensionsTest, RevealWindowOneMatchesLegacyBitIdentically) {
+  models::Fism::Options fopts;
+  fopts.dim = 16;
+  fopts.epochs = 4;
+  models::Fism fism(fopts);
+  ASSERT_TRUE(fism.Fit(*split_).ok());
+
+  for (core::IndexKind kind :
+       {core::IndexKind::kBruteForce, core::IndexKind::kIvfFlat,
+        core::IndexKind::kHnsw}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    online::StreamingEvalOptions opts;
+    opts.tail_events = 3;
+    opts.cutoffs = {20, 50};
+    opts.index_kind = kind;
+    opts.reveal_window = 1;
+
+    auto legacy = LegacyStreamingEval(fism, *dataset_, opts);
+    ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+    auto windowed = online::EvaluateStreamingUserBased(fism, *dataset_, opts);
+    ASSERT_TRUE(windowed.ok()) << windowed.status().ToString();
+    ASSERT_GT(windowed->num_predictions, 0u);
+    ExpectSameMetrics(*legacy, *windowed);
+  }
+}
+
+// For reveal_window > 1 the batched window-Ingest must land the engine in
+// the same effective state as revealing the window event-by-event at the
+// same prediction cadence. With compaction_threshold above the event
+// count every reveal stays staged in the UpsertBuffer, whose latest-row
+// shadowing is exact for every backend — so the agreement is exact, not
+// approximate, for brute force, IVF-Flat, and HNSW alike.
+TEST_F(ExtensionsTest, BatchedRevealMatchesSequentialRevealAllBackends) {
+  models::Fism::Options fopts;
+  fopts.dim = 16;
+  fopts.epochs = 4;
+  models::Fism fism(fopts);
+  ASSERT_TRUE(fism.Fit(*split_).ok());
+
+  for (core::IndexKind kind :
+       {core::IndexKind::kBruteForce, core::IndexKind::kIvfFlat,
+        core::IndexKind::kHnsw}) {
+    for (size_t window : {size_t{8}, size_t{32}}) {
+      SCOPED_TRACE("backend " + std::to_string(static_cast<int>(kind)) +
+                   " window " + std::to_string(window));
+      online::StreamingEvalOptions opts;
+      opts.tail_events = 3;
+      opts.cutoffs = {20, 50};
+      opts.index_kind = kind;
+      opts.compaction_threshold = 1u << 20;
+      opts.reveal_window = window;
+
+      opts.batch_reveal_ingest = true;
+      auto batched = online::EvaluateStreamingUserBased(fism, *dataset_, opts);
+      ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+      opts.batch_reveal_ingest = false;
+      auto sequential =
+          online::EvaluateStreamingUserBased(fism, *dataset_, opts);
+      ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+      ASSERT_GT(batched->num_predictions, 0u);
+      ExpectSameMetrics(*batched, *sequential);
+    }
+  }
+}
+
+TEST_F(ExtensionsTest, StreamingEvalRejectsZeroRevealWindow) {
+  models::Fism::Options fopts;
+  fopts.dim = 8;
+  fopts.epochs = 1;
+  models::Fism fism(fopts);
+  ASSERT_TRUE(fism.Fit(*split_).ok());
+  online::StreamingEvalOptions bad;
+  bad.reveal_window = 0;
+  EXPECT_EQ(
+      online::EvaluateStreamingUserBased(fism, *dataset_, bad).status().code(),
+      StatusCode::kInvalidArgument);
 }
 
 // ------------------------------------------- profile-aware neighborhood

@@ -5,6 +5,7 @@
 #include "data/synthetic.h"
 #include "eval/evaluator.h"
 #include "models/fism.h"
+#include "scenario/scenario.h"
 
 namespace sccf::core {
 namespace {
@@ -137,6 +138,78 @@ TEST_F(SccfGoldenTest, EvaluationIsDeterministic) {
   const eval::EvalResult parallel_result = EvaluateAt10(*sccf_);
   EXPECT_DOUBLE_EQ(serial_result->HrAt(10), parallel_result.HrAt(10));
   EXPECT_DOUBLE_EQ(serial_result->NdcgAt(10), parallel_result.NdcgAt(10));
+}
+
+// ----------------------------------------------- per-scenario goldens
+
+// Each workload regime from the scenario factory is its own algorithmic
+// tripwire: SCCF over FISM on a small seeded spec of every generator must
+// reproduce the recorded Recall@10 / NDCG@10, fp32 within the golden band
+// and sq8 within the documented quantization band of its own fp32 run.
+// A change that only degrades, say, drifting or heavy-tailed corpora now
+// fails here even if the original golden corpus stays green.
+struct ScenarioGolden {
+  const char* generator;
+  double recall10;
+  double ndcg10;
+};
+
+// Goldens recorded from the first green build of the scenario factory
+// (g++ 12, Release). Same tolerance philosophy as the corpus above.
+constexpr ScenarioGolden kScenarioGoldens[] = {
+    {"bursty", 0.1600, 0.0755},
+    {"drift", 0.3267, 0.1393},
+    {"flash_sale", 0.0667, 0.0279},
+    {"hot_shard", 0.1333, 0.0808},
+    {"power_law", 0.2467, 0.1627},
+};
+
+TEST(ScenarioGoldenTest, PerScenarioBandsFp32AndSq8) {
+  for (const ScenarioGolden& golden : kScenarioGoldens) {
+    SCOPED_TRACE(golden.generator);
+    scenario::ScenarioSpec spec;
+    spec.generator = golden.generator;
+    spec.num_users = 150;
+    spec.num_items = 200;
+    spec.events_per_user = 30;
+    spec.seed = 20210419;  // same fixed seed as the golden corpus
+    auto source = scenario::MakeScenario(spec);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    auto ds = (*source)->Load();
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    data::LeaveOneOutSplit split(*ds);
+
+    models::Fism::Options fopts;
+    fopts.dim = 16;
+    fopts.epochs = 6;
+    models::Fism fism(fopts);
+    ASSERT_TRUE(fism.Fit(split).ok());
+
+    Sccf::Options sopts;
+    sopts.num_candidates = 50;
+    Sccf fp32(fism, sopts);
+    ASSERT_TRUE(fp32.Fit(split).ok());
+    eval::EvalOptions eopts;
+    eopts.cutoffs = {10};
+    auto fp32_result = eval::Evaluate(fp32, split, eopts);
+    ASSERT_TRUE(fp32_result.ok());
+
+    EXPECT_NEAR(fp32_result->HrAt(10), golden.recall10, kTolerance)
+        << golden.generator << " Recall@10 drifted out of its golden band";
+    EXPECT_NEAR(fp32_result->NdcgAt(10), golden.ndcg10, kTolerance)
+        << golden.generator << " NDCG@10 drifted out of its golden band";
+
+    sopts.user_based.storage = quant::Storage::kSq8;
+    Sccf sq8(fism, sopts);
+    ASSERT_TRUE(sq8.Fit(split).ok());
+    auto sq8_result = eval::Evaluate(sq8, split, eopts);
+    ASSERT_TRUE(sq8_result.ok());
+    EXPECT_NEAR(sq8_result->HrAt(10), fp32_result->HrAt(10), kSq8VsFp32Band)
+        << golden.generator << " SQ8 Recall@10 outside the fp32 band";
+    EXPECT_NEAR(sq8_result->NdcgAt(10), fp32_result->NdcgAt(10),
+                kSq8VsFp32Band)
+        << golden.generator << " SQ8 NDCG@10 outside the fp32 band";
+  }
 }
 
 }  // namespace
